@@ -1,0 +1,146 @@
+// E4 — Activation latency by role property (§4.3.1, AAR1..AAR4): the same
+// activate/drop round-trip on a role that takes part in (a) nothing (core),
+// (b) hierarchies, (c) a DSD relation, (d) both — on the OWTE engine and on
+// the hand-coded DirectEnforcer. The per-variant deltas show the cost of
+// each additional generated condition; engine-vs-baseline shows the price
+// of event/rule dispatch (the paper's uniformity tax).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/policy_parser.h"
+
+namespace sentinel {
+namespace {
+
+// One policy per AAR variant; the role under test is always "Target".
+const char* PolicyFor(const std::string& variant) {
+  if (variant == "core") {
+    return R"(
+policy "aar1"
+role Target {}
+user u { assign: Target }
+)";
+  }
+  if (variant == "hierarchy") {
+    return R"(
+policy "aar2"
+role Junior {}
+role Target { senior-of: Junior }
+role Senior { senior-of: Target }
+user u { assign: Senior }
+)";
+  }
+  if (variant == "dsd") {
+    return R"(
+policy "aar3"
+role Target {}
+role Other {}
+user u { assign: Target, Other }
+dsd D { roles: Target, Other  n: 2 }
+)";
+  }
+  // hierarchy + dsd (AAR4).
+  return R"(
+policy "aar4"
+role Junior {}
+role Target { senior-of: Junior }
+role Senior { senior-of: Target }
+role Other {}
+user u { assign: Senior, Other }
+dsd D { roles: Target, Other  n: 2 }
+)";
+}
+
+const char* kVariants[] = {"core", "hierarchy", "dsd", "hierarchy_dsd"};
+
+void BM_Activation_Engine(benchmark::State& state) {
+  const std::string variant = kVariants[state.range(0)];
+  auto policy = PolicyParser::Parse(PolicyFor(variant));
+  benchutil::EngineUnderTest sut(*policy);
+  (void)sut.engine->CreateSession("u", "s1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sut.engine->AddActiveRole("u", "s1", "Target"));
+    benchmark::DoNotOptimize(
+        sut.engine->DropActiveRole("u", "s1", "Target"));
+  }
+  state.SetLabel(variant);
+}
+BENCHMARK(BM_Activation_Engine)->DenseRange(0, 3);
+
+void BM_Activation_Baseline(benchmark::State& state) {
+  const std::string variant = kVariants[state.range(0)];
+  auto policy = PolicyParser::Parse(PolicyFor(variant));
+  benchutil::BaselineUnderTest sut(*policy);
+  (void)sut.enforcer->CreateSession("u", "s1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sut.enforcer->AddActiveRole("u", "s1", "Target"));
+    benchmark::DoNotOptimize(
+        sut.enforcer->DropActiveRole("u", "s1", "Target"));
+  }
+  state.SetLabel(variant);
+}
+BENCHMARK(BM_Activation_Baseline)->DenseRange(0, 3);
+
+// Denied activations exercise the ELSE path (conditions fail early).
+void BM_Activation_EngineDenied(benchmark::State& state) {
+  auto policy = PolicyParser::Parse(PolicyFor("core"));
+  benchutil::EngineUnderTest sut(*policy);
+  (void)sut.engine->CreateSession("u", "s1");
+  for (auto _ : state) {
+    // "ghost" is unknown: the first condition fails.
+    benchmark::DoNotOptimize(
+        sut.engine->AddActiveRole("ghost", "s1", "Target"));
+  }
+}
+BENCHMARK(BM_Activation_EngineDenied);
+
+void BM_Activation_BaselineDenied(benchmark::State& state) {
+  auto policy = PolicyParser::Parse(PolicyFor("core"));
+  benchutil::BaselineUnderTest sut(*policy);
+  (void)sut.enforcer->CreateSession("u", "s1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sut.enforcer->AddActiveRole("ghost", "s1", "Target"));
+  }
+}
+BENCHMARK(BM_Activation_BaselineDenied);
+
+// Scaling with hierarchy depth: the checkAuthorization condition walks
+// seniors of the target role.
+void BM_Activation_EngineHierarchyDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Policy policy("deep");
+  RoleSpec target;
+  target.name = "Target";
+  (void)policy.AddRole(std::move(target));
+  std::string junior = "Target";
+  for (int i = 0; i < depth; ++i) {
+    RoleSpec senior;
+    senior.name = "L" + std::to_string(i);
+    senior.juniors.insert(junior);
+    junior = senior.name;
+    (void)policy.AddRole(std::move(senior));
+  }
+  UserSpec user;
+  user.name = "u";
+  user.assignments.insert(junior);  // Topmost senior.
+  (void)policy.AddUser(std::move(user));
+
+  benchutil::EngineUnderTest sut(policy);
+  (void)sut.engine->CreateSession("u", "s1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sut.engine->AddActiveRole("u", "s1", "Target"));
+    benchmark::DoNotOptimize(
+        sut.engine->DropActiveRole("u", "s1", "Target"));
+  }
+  state.counters["depth"] = depth;
+}
+BENCHMARK(BM_Activation_EngineHierarchyDepth)->Arg(1)->Arg(4)->Arg(16)
+    ->Arg(64);
+
+}  // namespace
+}  // namespace sentinel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// E10 — Active security (§1, §4.3.3): (a) the monitoring overhead that
+// threshold directives impose on the normal request path, and (b) the
+// alert path itself (a denial burst that trips the window, raises the
+// alert and disables rules).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+
+namespace sentinel {
+namespace {
+
+Policy MonitoredPolicy(int directives) {
+  Policy policy("monitored");
+  RoleSpec role;
+  role.name = "Analyst";
+  role.permissions.insert(Permission{"read", "report"});
+  (void)policy.AddRole(std::move(role));
+  UserSpec user;
+  user.name = "u";
+  user.assignments.insert("Analyst");
+  (void)policy.AddUser(std::move(user));
+  for (int i = 0; i < directives; ++i) {
+    ThresholdDirective directive;
+    directive.name = "guard" + std::to_string(i);
+    directive.threshold = 1000000;  // Never trips during the overhead runs.
+    directive.window = kMinute;
+    (void)policy.AddThreshold(std::move(directive));
+  }
+  return policy;
+}
+
+// Denied checkAccess feeds every SEC rule: overhead vs directive count.
+void BM_Security_DeniedAccessOverhead(benchmark::State& state) {
+  const int directives = static_cast<int>(state.range(0));
+  benchutil::EngineUnderTest sut(MonitoredPolicy(directives));
+  (void)sut.engine->CreateSession("u", "s1");
+  for (auto _ : state) {
+    sut.clock->Advance(3);
+    benchmark::DoNotOptimize(
+        sut.engine->CheckAccess("s1", "write", "report"));
+  }
+  state.counters["directives"] = directives;
+}
+BENCHMARK(BM_Security_DeniedAccessOverhead)->Arg(0)->Arg(1)->Arg(4)
+    ->Arg(16);
+
+// Allowed accesses never raise rbac.accessDenied: monitoring must be free.
+void BM_Security_AllowedAccessOverhead(benchmark::State& state) {
+  const int directives = static_cast<int>(state.range(0));
+  benchutil::EngineUnderTest sut(MonitoredPolicy(directives));
+  (void)sut.engine->CreateSession("u", "s1");
+  (void)sut.engine->AddActiveRole("u", "s1", "Analyst");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sut.engine->CheckAccess("s1", "read", "report"));
+  }
+  state.counters["directives"] = directives;
+}
+BENCHMARK(BM_Security_AllowedAccessOverhead)->Arg(0)->Arg(16);
+
+// Full alert path: N-1 denials prime the window, the Nth trips it
+// (alert + window reset), measured as a whole burst.
+void BM_Security_AlertBurst(benchmark::State& state) {
+  const int threshold = static_cast<int>(state.range(0));
+  Policy policy("alerting");
+  RoleSpec role;
+  role.name = "Analyst";
+  (void)policy.AddRole(std::move(role));
+  UserSpec user;
+  user.name = "u";
+  user.assignments.insert("Analyst");
+  (void)policy.AddUser(std::move(user));
+  ThresholdDirective directive;
+  directive.name = "guard";
+  directive.threshold = threshold;
+  directive.window = kMinute;
+  (void)policy.AddThreshold(std::move(directive));
+
+  Logger::Global().SetSink([](LogLevel, const std::string&) {});
+  benchutil::EngineUnderTest sut(policy);
+  (void)sut.engine->CreateSession("u", "s1");
+  int alerts_before = 0;
+  for (auto _ : state) {
+    alerts_before = sut.engine->security().alert_count();
+    for (int i = 0; i < threshold; ++i) {
+      sut.clock->Advance(3);
+      benchmark::DoNotOptimize(
+          sut.engine->CheckAccess("s1", "write", "x"));
+    }
+    if (sut.engine->security().alert_count() != alerts_before + 1) {
+      state.SkipWithError("alert did not fire");
+    }
+  }
+  Logger::Global().SetSink(nullptr);
+  state.counters["threshold"] = threshold;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          threshold);
+}
+BENCHMARK(BM_Security_AlertBurst)->Arg(5)->Arg(50);
+
+// Transaction-activation window churn (Rule 9): manager on/off with a
+// junior activation per cycle.
+void BM_Security_TransactionCycle(benchmark::State& state) {
+  Policy policy("tx");
+  for (const char* name : {"Manager", "JuniorEmp"}) {
+    RoleSpec role;
+    role.name = name;
+    (void)policy.AddRole(std::move(role));
+  }
+  UserSpec mgr;
+  mgr.name = "mgr";
+  mgr.assignments.insert("Manager");
+  (void)policy.AddUser(std::move(mgr));
+  UserSpec junior;
+  junior.name = "jr";
+  junior.assignments.insert("JuniorEmp");
+  (void)policy.AddUser(std::move(junior));
+  (void)policy.AddTransaction(
+      TransactionActivation{"t", "Manager", "JuniorEmp"});
+
+  benchutil::EngineUnderTest sut(policy);
+  (void)sut.engine->CreateSession("mgr", "sm");
+  (void)sut.engine->CreateSession("jr", "sj");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sut.engine->AddActiveRole("mgr", "sm", "Manager"));
+    benchmark::DoNotOptimize(
+        sut.engine->AddActiveRole("jr", "sj", "JuniorEmp"));
+    benchmark::DoNotOptimize(
+        sut.engine->DropActiveRole("mgr", "sm", "Manager"));
+    // The cascade dropped the junior too; state is back to the start.
+  }
+}
+BENCHMARK(BM_Security_TransactionCycle);
+
+}  // namespace
+}  // namespace sentinel
+
+BENCHMARK_MAIN();

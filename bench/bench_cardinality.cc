@@ -1,0 +1,202 @@
+// E8 — Cardinality constraints (Rule 4 / CC): contention on a role with a
+// concurrent-activation limit. The engine's compensating post-check (add,
+// cascaded CC rule, forced rollback on breach) versus the baseline's
+// inline check, on both the admit and the reject path.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace sentinel {
+namespace {
+
+Policy CardinalityPolicy(int limit, int users) {
+  Policy policy("cardinality");
+  RoleSpec role;
+  role.name = "Limited";
+  role.activation_cardinality = limit;
+  (void)policy.AddRole(std::move(role));
+  for (int i = 0; i < users; ++i) {
+    UserSpec user;
+    user.name = SyntheticUserName(i);
+    user.assignments.insert("Limited");
+    (void)policy.AddUser(std::move(user));
+  }
+  return policy;
+}
+
+// Admit path: activate/drop below the limit.
+void BM_Cardinality_EngineAdmit(benchmark::State& state) {
+  benchutil::EngineUnderTest sut(CardinalityPolicy(8, 1));
+  (void)sut.engine->CreateSession(SyntheticUserName(0), "s0");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sut.engine->AddActiveRole(SyntheticUserName(0), "s0", "Limited"));
+    benchmark::DoNotOptimize(
+        sut.engine->DropActiveRole(SyntheticUserName(0), "s0", "Limited"));
+  }
+}
+BENCHMARK(BM_Cardinality_EngineAdmit);
+
+void BM_Cardinality_BaselineAdmit(benchmark::State& state) {
+  benchutil::BaselineUnderTest sut(CardinalityPolicy(8, 1));
+  (void)sut.enforcer->CreateSession(SyntheticUserName(0), "s0");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sut.enforcer->AddActiveRole(SyntheticUserName(0), "s0", "Limited"));
+    benchmark::DoNotOptimize(sut.enforcer->DropActiveRole(
+        SyntheticUserName(0), "s0", "Limited"));
+  }
+}
+BENCHMARK(BM_Cardinality_BaselineAdmit);
+
+// Reject path: the limit is saturated; every attempt triggers the CC
+// rule's compensating rollback (engine) / inline reject (baseline).
+void BM_Cardinality_EngineReject(benchmark::State& state) {
+  const int limit = static_cast<int>(state.range(0));
+  benchutil::EngineUnderTest sut(CardinalityPolicy(limit, limit + 1));
+  for (int i = 0; i < limit; ++i) {
+    const std::string user = SyntheticUserName(i);
+    (void)sut.engine->CreateSession(user, "s" + std::to_string(i));
+    (void)sut.engine->AddActiveRole(user, "s" + std::to_string(i),
+                                    "Limited");
+  }
+  const std::string extra = SyntheticUserName(limit);
+  (void)sut.engine->CreateSession(extra, "sx");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sut.engine->AddActiveRole(extra, "sx", "Limited"));
+  }
+  state.counters["limit"] = limit;
+}
+BENCHMARK(BM_Cardinality_EngineReject)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_Cardinality_BaselineReject(benchmark::State& state) {
+  const int limit = static_cast<int>(state.range(0));
+  benchutil::BaselineUnderTest sut(CardinalityPolicy(limit, limit + 1));
+  for (int i = 0; i < limit; ++i) {
+    const std::string user = SyntheticUserName(i);
+    (void)sut.enforcer->CreateSession(user, "s" + std::to_string(i));
+    (void)sut.enforcer->AddActiveRole(user, "s" + std::to_string(i),
+                                      "Limited");
+  }
+  const std::string extra = SyntheticUserName(limit);
+  (void)sut.enforcer->CreateSession(extra, "sx");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sut.enforcer->AddActiveRole(extra, "sx", "Limited"));
+  }
+  state.counters["limit"] = limit;
+}
+BENCHMARK(BM_Cardinality_BaselineReject)->Arg(1)->Arg(8)->Arg(64);
+
+// Ablation — the paper's design choice for Rule 4: cardinality as a
+// *compensating post-check* (activate, cascaded CC rule, rollback on
+// breach — what the paper describes and the generator emits) versus the
+// alternative of checking the count as a pre-condition inside the
+// activation rule itself. Both variants are hand-built on the raw
+// substrate so the comparison isolates the pattern, not the generator.
+struct AblationRig {
+  SimulatedClock clock{benchutil::Noon()};
+  EventDetector detector{&clock};
+  RuleManager rules{&detector};
+  int active = 0;
+  int limit = 1;
+  EventId request = kInvalidEventId;
+  EventId added = kInvalidEventId;
+
+  explicit AblationRig(bool precheck) {
+    request = *detector.DefinePrimitive("request");
+    added = *detector.DefinePrimitive("added");
+    if (precheck) {
+      Rule rule("AAR.pre", request);
+      rule.When("cardinality as pre-condition",
+                [this](RuleContext&) { return active < limit; })
+          .Then("activate",
+                [this](RuleContext& c) {
+                  ++active;
+                  AllowOutcome(c);
+                })
+          .Else("deny", [](RuleContext& c) {
+            if (c.decision) c.decision->Deny("AAR.pre", "max");
+          });
+      (void)rules.AddRule(std::move(rule));
+    } else {
+      Rule aar("AAR.post", request);
+      aar.Then("activate then cascade", [this](RuleContext& c) {
+        ++active;
+        AllowOutcome(c);
+        (void)detector.Raise(added, {});
+      });
+      (void)rules.AddRule(std::move(aar));
+      Rule cc("CC.post", added);
+      cc.When("cardinality ok", [this](RuleContext&) {
+          return active <= limit;
+        }).Else("undo", [this](RuleContext& c) {
+        --active;
+        if (c.decision) c.decision->Deny("CC.post", "max");
+      });
+      (void)rules.AddRule(std::move(cc));
+    }
+  }
+
+  static void AllowOutcome(RuleContext& c) {
+    if (c.decision) c.decision->Allow("AAR");
+  }
+
+  Decision Request() {
+    Decision decision;
+    ScopedDecision scope(&rules, &decision);
+    (void)detector.Raise(request, {});
+    return decision;
+  }
+};
+
+void BM_Ablation_PrecheckAdmitReject(benchmark::State& state) {
+  AblationRig rig(/*precheck=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.Request());  // Admit (0 -> 1).
+    benchmark::DoNotOptimize(rig.Request());  // Reject at the limit.
+    rig.active = 0;
+  }
+}
+BENCHMARK(BM_Ablation_PrecheckAdmitReject);
+
+void BM_Ablation_CompensateAdmitReject(benchmark::State& state) {
+  AblationRig rig(/*precheck=*/false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.Request());  // Admit.
+    benchmark::DoNotOptimize(rig.Request());  // Overshoot + rollback.
+    rig.active = 0;
+  }
+}
+BENCHMARK(BM_Ablation_CompensateAdmitReject);
+
+// Churn at the limit: the slot is contended; each iteration one drop
+// admits exactly one of two waiting users.
+void BM_Cardinality_EngineChurn(benchmark::State& state) {
+  benchutil::EngineUnderTest sut(CardinalityPolicy(1, 2));
+  const std::string u0 = SyntheticUserName(0);
+  const std::string u1 = SyntheticUserName(1);
+  (void)sut.engine->CreateSession(u0, "s0");
+  (void)sut.engine->CreateSession(u1, "s1");
+  (void)sut.engine->AddActiveRole(u0, "s0", "Limited");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sut.engine->AddActiveRole(u1, "s1", "Limited"));  // Rejected.
+    benchmark::DoNotOptimize(
+        sut.engine->DropActiveRole(u0, "s0", "Limited"));
+    benchmark::DoNotOptimize(
+        sut.engine->AddActiveRole(u1, "s1", "Limited"));  // Admitted.
+    benchmark::DoNotOptimize(
+        sut.engine->DropActiveRole(u1, "s1", "Limited"));
+    benchmark::DoNotOptimize(
+        sut.engine->AddActiveRole(u0, "s0", "Limited"));  // Back to start.
+  }
+}
+BENCHMARK(BM_Cardinality_EngineChurn);
+
+}  // namespace
+}  // namespace sentinel
+
+BENCHMARK_MAIN();

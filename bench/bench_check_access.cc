@@ -1,0 +1,144 @@
+// E5 — checkAccess latency (Rule 5 / CA1): the globalized check-access
+// rule walks the session's active role set and the permission inheritance
+// closure. Sweeps the number of active roles per session and permissions
+// per role; engine vs DirectEnforcer.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace sentinel {
+namespace {
+
+/// Flat policy: `roles` roles, each granted `perms` permissions, one user
+/// assigned to all of them.
+Policy FlatPolicy(int roles, int perms) {
+  Policy policy("flat");
+  UserSpec user;
+  user.name = "u";
+  for (int r = 0; r < roles; ++r) {
+    RoleSpec role;
+    role.name = SyntheticRoleName(r);
+    for (int p = 0; p < perms; ++p) {
+      role.permissions.insert(
+          Permission{"op" + std::to_string(p),
+                     SyntheticObjectName(r * perms + p)});
+    }
+    user.assignments.insert(role.name);
+    (void)policy.AddRole(std::move(role));
+  }
+  (void)policy.AddUser(std::move(user));
+  return policy;
+}
+
+void ActivateAll(AuthorizationEngine& engine, int roles) {
+  (void)engine.CreateSession("u", "s1");
+  for (int r = 0; r < roles; ++r) {
+    (void)engine.AddActiveRole("u", "s1", SyntheticRoleName(r));
+  }
+}
+
+void ActivateAllBaseline(DirectEnforcer& enforcer, int roles) {
+  (void)enforcer.CreateSession("u", "s1");
+  for (int r = 0; r < roles; ++r) {
+    (void)enforcer.AddActiveRole("u", "s1", SyntheticRoleName(r));
+  }
+}
+
+void BM_CheckAccess_Engine_ActiveRoles(benchmark::State& state) {
+  const int roles = static_cast<int>(state.range(0));
+  benchutil::EngineUnderTest sut(FlatPolicy(roles, 4));
+  ActivateAll(*sut.engine, roles);
+  // Worst case: the permission held only by the last-ordered role.
+  const std::string obj = SyntheticObjectName((roles - 1) * 4 + 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sut.engine->CheckAccess("s1", "op3", obj));
+  }
+  state.counters["active_roles"] = roles;
+}
+BENCHMARK(BM_CheckAccess_Engine_ActiveRoles)->Arg(1)->Arg(4)->Arg(16)
+    ->Arg(64);
+
+void BM_CheckAccess_Baseline_ActiveRoles(benchmark::State& state) {
+  const int roles = static_cast<int>(state.range(0));
+  benchutil::BaselineUnderTest sut(FlatPolicy(roles, 4));
+  ActivateAllBaseline(*sut.enforcer, roles);
+  const std::string obj = SyntheticObjectName((roles - 1) * 4 + 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sut.enforcer->CheckAccess("s1", "op3", obj));
+  }
+  state.counters["active_roles"] = roles;
+}
+BENCHMARK(BM_CheckAccess_Baseline_ActiveRoles)->Arg(1)->Arg(4)->Arg(16)
+    ->Arg(64);
+
+void BM_CheckAccess_Engine_PermsPerRole(benchmark::State& state) {
+  const int perms = static_cast<int>(state.range(0));
+  benchutil::EngineUnderTest sut(FlatPolicy(4, perms));
+  ActivateAll(*sut.engine, 4);
+  const std::string obj = SyntheticObjectName(3 * perms + perms - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sut.engine->CheckAccess("s1", "op" + std::to_string(perms - 1), obj));
+  }
+  state.counters["perms_per_role"] = perms;
+}
+BENCHMARK(BM_CheckAccess_Engine_PermsPerRole)->Arg(2)->Arg(8)->Arg(32)
+    ->Arg(128);
+
+void BM_CheckAccess_Engine_Denied(benchmark::State& state) {
+  benchutil::EngineUnderTest sut(FlatPolicy(8, 4));
+  ActivateAll(*sut.engine, 8);
+  for (auto _ : state) {
+    // Known op/object, but no grant matches: full scan, then deny.
+    benchmark::DoNotOptimize(
+        sut.engine->CheckAccess("s1", "op0", SyntheticObjectName(1)));
+  }
+}
+BENCHMARK(BM_CheckAccess_Engine_Denied);
+
+void BM_CheckAccess_Baseline_Denied(benchmark::State& state) {
+  benchutil::BaselineUnderTest sut(FlatPolicy(8, 4));
+  ActivateAllBaseline(*sut.enforcer, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sut.enforcer->CheckAccess("s1", "op0", SyntheticObjectName(1)));
+  }
+}
+BENCHMARK(BM_CheckAccess_Baseline_Denied);
+
+// Deep hierarchy: permission only at the bottom; the active role is the
+// top. CheckAccess walks the junior closure.
+void BM_CheckAccess_Engine_HierarchyDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Policy policy("deep");
+  RoleSpec bottom;
+  bottom.name = "L0";
+  bottom.permissions.insert(Permission{"read", "leaf"});
+  (void)policy.AddRole(std::move(bottom));
+  for (int i = 1; i <= depth; ++i) {
+    RoleSpec role;
+    role.name = "L" + std::to_string(i);
+    role.juniors.insert("L" + std::to_string(i - 1));
+    (void)policy.AddRole(std::move(role));
+  }
+  UserSpec user;
+  user.name = "u";
+  user.assignments.insert("L" + std::to_string(depth));
+  (void)policy.AddUser(std::move(user));
+
+  benchutil::EngineUnderTest sut(policy);
+  (void)sut.engine->CreateSession("u", "s1");
+  (void)sut.engine->AddActiveRole("u", "s1", "L" + std::to_string(depth));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sut.engine->CheckAccess("s1", "read", "leaf"));
+  }
+  state.counters["depth"] = depth;
+}
+BENCHMARK(BM_CheckAccess_Engine_HierarchyDepth)->Arg(1)->Arg(4)->Arg(16)
+    ->Arg(64);
+
+}  // namespace
+}  // namespace sentinel
+
+BENCHMARK_MAIN();

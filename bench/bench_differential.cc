@@ -1,0 +1,76 @@
+// E11 — End-to-end enforcement throughput on full random workloads:
+// the OWTE engine versus the hand-coded DirectEnforcer running the same
+// request stream. The ratio is the total price of the paper's uniform
+// event/rule machinery; the differential test guarantees the decisions
+// are identical.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace sentinel {
+namespace {
+
+PolicyGenParams WorkloadPolicyParams(int roles) {
+  PolicyGenParams params;
+  params.seed = 21;
+  params.num_roles = roles;
+  params.num_users = roles * 2;
+  params.hierarchy_prob = 0.6;
+  params.ssd_sets = roles / 10 + 1;
+  params.dsd_sets = roles / 10 + 1;
+  params.cardinality_frac = 0.2;
+  params.duration_frac = 0.1;
+  params.user_cap_frac = 0.1;
+  return params;
+}
+
+std::vector<Request> MakeStream(const Policy& policy, int n) {
+  RequestGenParams params;
+  params.seed = 1234;
+  params.num_requests = n;
+  return RequestGenerator(policy, params).Generate();
+}
+
+void BM_Workload_Engine(benchmark::State& state) {
+  const int roles = static_cast<int>(state.range(0));
+  const Policy policy = GeneratePolicy(WorkloadPolicyParams(roles));
+  const std::vector<Request> stream = MakeStream(policy, 2000);
+  for (auto _ : state) {
+    state.PauseTiming();
+    benchutil::EngineUnderTest sut(policy);
+    state.ResumeTiming();
+    for (const Request& request : stream) {
+      benchmark::DoNotOptimize(ApplyRequest(*sut.engine, request));
+    }
+  }
+  state.counters["roles"] = roles;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_Workload_Engine)->Arg(25)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Workload_Baseline(benchmark::State& state) {
+  const int roles = static_cast<int>(state.range(0));
+  const Policy policy = GeneratePolicy(WorkloadPolicyParams(roles));
+  const std::vector<Request> stream = MakeStream(policy, 2000);
+  for (auto _ : state) {
+    state.PauseTiming();
+    benchutil::BaselineUnderTest sut(policy);
+    state.ResumeTiming();
+    for (const Request& request : stream) {
+      benchmark::DoNotOptimize(ApplyRequest(*sut.enforcer, request));
+    }
+  }
+  state.counters["roles"] = roles;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_Workload_Baseline)->Arg(25)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sentinel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// E2 — Rule-generation scaling: "large enterprises have hundreds of roles,
+// which requires thousands of rules" (§1/§7). Measures full policy-load
+// time and reports generated rule/event counts as the role count grows,
+// for plain and constraint-rich policies.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace sentinel {
+namespace {
+
+PolicyGenParams ParamsFor(int roles, bool rich) {
+  PolicyGenParams params;
+  params.seed = 42;
+  params.num_roles = roles;
+  params.num_users = roles * 2;
+  if (rich) {
+    params.hierarchy_prob = 0.7;
+    params.ssd_sets = roles / 10 + 1;
+    params.dsd_sets = roles / 10 + 1;
+    params.cardinality_frac = 0.3;
+    params.duration_frac = 0.2;
+    params.user_cap_frac = 0.2;
+  }
+  return params;
+}
+
+void RunGeneration(benchmark::State& state, bool rich) {
+  const int roles = static_cast<int>(state.range(0));
+  const Policy policy = GeneratePolicy(ParamsFor(roles, rich));
+  size_t rule_count = 0;
+  int event_count = 0;
+  for (auto _ : state) {
+    SimulatedClock clock(benchutil::Noon());
+    AuthorizationEngine engine(&clock);
+    const Status status = engine.LoadPolicy(policy);
+    benchmark::DoNotOptimize(status);
+    rule_count = engine.rule_manager().rule_count();
+    event_count = engine.detector().registry().size();
+  }
+  state.counters["roles"] = roles;
+  state.counters["rules"] = static_cast<double>(rule_count);
+  state.counters["events"] = static_cast<double>(event_count);
+  state.counters["rules_per_role"] =
+      static_cast<double>(rule_count) / roles;
+}
+
+void BM_Generate_Plain(benchmark::State& state) {
+  RunGeneration(state, /*rich=*/false);
+}
+BENCHMARK(BM_Generate_Plain)->Arg(10)->Arg(50)->Arg(100)->Arg(200)->Arg(500)
+    ->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_Generate_Rich(benchmark::State& state) {
+  RunGeneration(state, /*rich=*/true);
+}
+BENCHMARK(BM_Generate_Rich)->Arg(10)->Arg(50)->Arg(100)->Arg(200)->Arg(500)
+    ->Arg(1000)->Unit(benchmark::kMillisecond);
+
+// The baseline has no rules to generate: its "load" is pure base-state
+// instantiation. The gap is the cost of the paper's automation.
+void BM_Generate_BaselineLoad(benchmark::State& state) {
+  const int roles = static_cast<int>(state.range(0));
+  const Policy policy = GeneratePolicy(ParamsFor(roles, true));
+  for (auto _ : state) {
+    SimulatedClock clock(benchutil::Noon());
+    DirectEnforcer enforcer(&clock);
+    benchmark::DoNotOptimize(enforcer.LoadPolicy(policy));
+  }
+  state.counters["roles"] = roles;
+}
+BENCHMARK(BM_Generate_BaselineLoad)->Arg(100)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sentinel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// E9 — Time-based SoD (Rule 6 / TSOD): role disabling adjudicated by the
+// APERIODIC-window rule inside (I,P) and by the plain GLOB rule outside.
+// Measures both paths and the baseline mirror, plus scaling in the number
+// of time-SoD constraints guarding the role.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "event/time_pattern.h"
+#include "gtrbac/periodic_expression.h"
+
+namespace sentinel {
+namespace {
+
+Policy TsodPolicy(int constraints) {
+  Policy policy("tsod");
+  RoleSpec doctor;
+  doctor.name = "Doctor";
+  (void)policy.AddRole(std::move(doctor));
+  for (int i = 0; i < constraints; ++i) {
+    RoleSpec counter;
+    counter.name = "Counter" + std::to_string(i);
+    (void)policy.AddRole(std::move(counter));
+    TimeSod constraint;
+    constraint.name = "avail" + std::to_string(i);
+    constraint.kind = TimeSodKind::kDisabling;
+    constraint.roles = {"Doctor", "Counter" + std::to_string(i)};
+    constraint.period = *PeriodicExpression::Create(
+        TimePattern(10, 0, 0, TimePattern::kAny, TimePattern::kAny,
+                    TimePattern::kAny),
+        TimePattern(17, 0, 0, TimePattern::kAny, TimePattern::kAny,
+                    TimePattern::kAny));
+    (void)policy.AddTimeSod(std::move(constraint));
+  }
+  return policy;
+}
+
+// Inside the window (noon): disable/enable cycle through the TSOD rule.
+void BM_TimeSod_EngineInsideWindow(benchmark::State& state) {
+  const int constraints = static_cast<int>(state.range(0));
+  benchutil::EngineUnderTest sut(TsodPolicy(constraints));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sut.engine->DisableRole("Doctor"));
+    benchmark::DoNotOptimize(sut.engine->EnableRole("Doctor"));
+  }
+  state.counters["constraints"] = constraints;
+}
+BENCHMARK(BM_TimeSod_EngineInsideWindow)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_TimeSod_BaselineInsideWindow(benchmark::State& state) {
+  const int constraints = static_cast<int>(state.range(0));
+  benchutil::BaselineUnderTest sut(TsodPolicy(constraints));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sut.enforcer->DisableRole("Doctor"));
+    benchmark::DoNotOptimize(sut.enforcer->EnableRole("Doctor"));
+  }
+  state.counters["constraints"] = constraints;
+}
+BENCHMARK(BM_TimeSod_BaselineInsideWindow)->Arg(1)->Arg(4)->Arg(16);
+
+// Outside the window (18:00): the plain GLOB.disable path.
+void BM_TimeSod_EngineOutsideWindow(benchmark::State& state) {
+  benchutil::EngineUnderTest sut(TsodPolicy(1));
+  sut.engine->AdvanceTo(MakeTime(2026, 7, 6, 18, 0, 0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sut.engine->DisableRole("Doctor"));
+    benchmark::DoNotOptimize(sut.engine->EnableRole("Doctor"));
+  }
+}
+BENCHMARK(BM_TimeSod_EngineOutsideWindow);
+
+// Denied path: the counter-role is already down; every attempt is
+// adjudicated and denied by the TSOD rule.
+void BM_TimeSod_EngineDenied(benchmark::State& state) {
+  benchutil::EngineUnderTest sut(TsodPolicy(1));
+  (void)sut.engine->DisableRole("Counter0");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sut.engine->DisableRole("Doctor"));
+  }
+}
+BENCHMARK(BM_TimeSod_EngineDenied);
+
+void BM_TimeSod_BaselineDenied(benchmark::State& state) {
+  benchutil::BaselineUnderTest sut(TsodPolicy(1));
+  (void)sut.enforcer->DisableRole("Counter0");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sut.enforcer->DisableRole("Doctor"));
+  }
+}
+BENCHMARK(BM_TimeSod_BaselineDenied);
+
+}  // namespace
+}  // namespace sentinel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Hospital — Generalized Temporal RBAC features driven by simulated time.
+//
+// Demonstrates the paper's GTRBAC enforcement (Section 4.3.2): a shift-
+// limited DayDoctor role (periodic enabling), a duration-bounded OnCall
+// role (Rule 7, PLUS events), and the Rule 6 disabling-time SoD between
+// Doctor and Nurse ("both cannot be disabled between 10:00 and 17:00").
+
+#include <cstdio>
+
+#include "common/calendar.h"
+#include "common/clock.h"
+#include "core/engine.h"
+#include "core/policy_parser.h"
+
+namespace {
+
+using namespace sentinel;  // Example code; the library never does this.
+
+constexpr const char* kHospitalPolicy = R"(
+policy "hospital"
+
+role Doctor { permission: read(patient.dat), write(patient.dat) }
+role Nurse { permission: read(patient.dat) }
+role DayDoctor { enable: 08:00:00 - 16:00:00  permission: read(ward.log) }
+role OnCall { max-activation: 2h  permission: write(pager) }
+
+user dave { assign: Doctor, OnCall }
+user nina { assign: Nurse }
+user dana { assign: DayDoctor }
+
+time-sod availability { kind: disabling  roles: Doctor, Nurse
+                        window: 10:00:00 - 17:00:00 }
+)";
+
+void Show(AuthorizationEngine& engine, const char* what,
+          const Decision& decision) {
+  std::printf("  [%s] %-40s -> %s%s%s\n",
+              FormatTime(engine.Now()).c_str(), what,
+              decision.allowed ? "ALLOW" : "DENY",
+              decision.reason.empty() ? "" : ": ",
+              decision.reason.c_str());
+}
+
+void State(AuthorizationEngine& engine, const char* role) {
+  std::printf("  [%s] role %-10s is %s\n", FormatTime(engine.Now()).c_str(),
+              role,
+              engine.role_state().IsEnabled(role) ? "ENABLED" : "disabled");
+}
+
+}  // namespace
+
+int main() {
+  SimulatedClock clock(MakeTime(2026, 7, 6, 7, 0, 0));  // 07:00.
+  AuthorizationEngine engine(&clock);
+  auto policy = PolicyParser::Parse(kHospitalPolicy);
+  if (!policy.ok() || !engine.LoadPolicy(*policy).ok()) {
+    std::printf("failed to load hospital policy\n");
+    return 1;
+  }
+
+  std::printf("== Shift-limited DayDoctor (periodic enabling) ==\n");
+  (void)engine.CreateSession("dana", "sd");
+  State(engine, "DayDoctor");  // 07:00: before the shift.
+  Show(engine, "dana activates DayDoctor at 07:00",
+       engine.AddActiveRole("dana", "sd", "DayDoctor"));
+  engine.AdvanceTo(MakeTime(2026, 7, 6, 8, 0, 0));
+  State(engine, "DayDoctor");
+  Show(engine, "dana activates DayDoctor at 08:00",
+       engine.AddActiveRole("dana", "sd", "DayDoctor"));
+  engine.AdvanceTo(MakeTime(2026, 7, 6, 16, 0, 0));
+  State(engine, "DayDoctor");
+  std::printf("  [%s] dana's activation auto-dropped: %s\n",
+              FormatTime(engine.Now()).c_str(),
+              engine.rbac().db().IsSessionRoleActive("sd", "DayDoctor")
+                  ? "no"
+                  : "yes");
+
+  std::printf("\n== Duration-bounded OnCall (Rule 7, PLUS) ==\n");
+  (void)engine.CreateSession("dave", "sv");
+  Show(engine, "dave activates OnCall",
+       engine.AddActiveRole("dave", "sv", "OnCall"));
+  engine.AdvanceBy(kHour);
+  std::printf("  [%s] 1h later, still on call: %s\n",
+              FormatTime(engine.Now()).c_str(),
+              engine.rbac().db().IsSessionRoleActive("sv", "OnCall")
+                  ? "yes"
+                  : "no");
+  engine.AdvanceBy(kHour + kMinute);
+  std::printf("  [%s] 2h01 later, still on call: %s\n",
+              FormatTime(engine.Now()).c_str(),
+              engine.rbac().db().IsSessionRoleActive("sv", "OnCall")
+                  ? "yes"
+                  : "no");
+
+  std::printf("\n== Rule 6: disabling-time SoD (10:00-17:00) ==\n");
+  // It's past 17:00 by now; wind to the next morning inside the window.
+  engine.AdvanceTo(MakeTime(2026, 7, 7, 11, 0, 0));
+  Show(engine, "disable Nurse at 11:00", engine.DisableRole("Nurse"));
+  Show(engine, "disable Doctor at 11:00 too", engine.DisableRole("Doctor"));
+  Show(engine, "re-enable Nurse", engine.EnableRole("Nurse"));
+  Show(engine, "disable Doctor now", engine.DisableRole("Doctor"));
+  // After hours both may go down.
+  engine.AdvanceTo(MakeTime(2026, 7, 7, 18, 0, 0));
+  Show(engine, "re-enable Doctor", engine.EnableRole("Doctor"));
+  Show(engine, "disable Nurse at 18:00", engine.DisableRole("Nurse"));
+  Show(engine, "disable Doctor at 18:00", engine.DisableRole("Doctor"));
+  State(engine, "Doctor");
+  State(engine, "Nurse");
+  return 0;
+}

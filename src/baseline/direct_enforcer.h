@@ -1,0 +1,137 @@
+#ifndef SENTINELPP_BASELINE_DIRECT_ENFORCER_H_
+#define SENTINELPP_BASELINE_DIRECT_ENFORCER_H_
+
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/policy.h"
+#include "core/privacy.h"
+#include "gtrbac/role_state.h"
+#include "rbac/core_api.h"
+#include "rules/decision.h"
+
+namespace sentinel {
+
+/// \brief Hand-coded straight-line enforcement of the same policy model —
+/// the "manual low-level semantic descriptor" approach the paper argues
+/// OWTE rule generation replaces.
+///
+/// The decision semantics deliberately mirror AuthorizationEngine
+/// operation-for-operation (same checks, same order, same reason strings):
+/// the differential property test runs random workloads against both and
+/// requires identical decision sequences and end states. Performance-wise
+/// this is the lower-bound baseline (no event detection, no rule
+/// dispatch) used by the enforcement-overhead experiments.
+///
+/// Known mirrored composition limits (same on both sides, documented in
+/// DESIGN.md): CFD cascades are single-level; roles that are both a
+/// time-SoD member and a CFD companion are out of scope for equivalence.
+class DirectEnforcer {
+ public:
+  explicit DirectEnforcer(SimulatedClock* clock) : clock_(clock) {}
+
+  DirectEnforcer(const DirectEnforcer&) = delete;
+  DirectEnforcer& operator=(const DirectEnforcer&) = delete;
+
+  Status LoadPolicy(const Policy& policy);
+  Status ApplyPolicyUpdate(const Policy& updated);
+  const Policy& policy() const { return policy_; }
+
+  Decision CreateSession(const UserName& user, const SessionId& session);
+  Decision DeleteSession(const SessionId& session);
+  Decision AddActiveRole(const UserName& user, const SessionId& session,
+                         const RoleName& role);
+  Decision DropActiveRole(const UserName& user, const SessionId& session,
+                          const RoleName& role);
+  Decision CheckAccess(const SessionId& session, const OperationName& op,
+                       const ObjectName& obj, const PurposeName& purpose = "");
+  Decision AssignUser(const UserName& user, const RoleName& role);
+  Decision DeassignUser(const UserName& user, const RoleName& role);
+  Decision EnableRole(const RoleName& role);
+  Decision DisableRole(const RoleName& role);
+
+  /// Advances time, applying shift boundaries and duration expiries in
+  /// (time, schedule-order) order.
+  void AdvanceTo(Time t);
+  Time Now() const { return clock_->Now(); }
+
+  /// Context-aware RBAC mirror: records the value and immediately
+  /// deactivates active roles whose context constraints broke.
+  void SetContext(const std::string& key, const std::string& value);
+  const std::string& ContextValue(const std::string& key) const;
+  bool ContextSatisfied(
+      const std::map<std::string, std::string>& required) const;
+
+  RbacSystem& rbac() { return rbac_; }
+  const RbacSystem& rbac() const { return rbac_; }
+  RoleStateTable& role_state() { return state_; }
+  const RoleStateTable& role_state() const { return state_; }
+
+  uint64_t decisions_made() const { return decisions_made_; }
+  uint64_t denials() const { return denials_; }
+
+ private:
+  struct Expiry {
+    Time when;
+    uint64_t seq;
+    UserName user;
+    SessionId session;
+    RoleName role;
+    /// Activation generation; stale entries (role dropped or re-activated
+    /// since) are skipped — the analog of cancelling a PLUS timer.
+    uint64_t generation;
+    bool operator<(const Expiry& other) const {  // Min-heap inversion.
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+  struct Boundary {
+    Time when;
+    uint64_t seq;
+    RoleName role;
+    bool is_start;
+    bool operator<(const Boundary& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  Status Reconcile(const Policy& from, const Policy& to);
+  void RebuildBoundaries();
+  Decision Finish(Decision decision);
+
+  /// Drops the role, cancels its expiries and runs transaction cascades.
+  void DropWithCascades(const UserName& user, const SessionId& session,
+                        const RoleName& role);
+  void DeactivateAllInstances(const RoleName& role);
+  void CancelExpiries(const SessionId& session, const RoleName& role);
+  int CountUserActiveRoles(const UserName& user) const;
+  bool TsodGuardedNow(const RoleName& role, TimeSodKind kind) const;
+  bool DisableTsodOk(const RoleName& role) const;
+  bool EnableTsodOk(const RoleName& role) const;
+  bool IsCfdTrigger(const RoleName& role) const;
+  void DisableRoleInternal(const RoleName& role);
+
+  SimulatedClock* clock_;  // Not owned.
+  RbacSystem rbac_;
+  RoleStateTable state_;
+  PrivacyStore privacy_;
+  Policy policy_;
+  bool policy_loaded_ = false;
+
+  std::priority_queue<Expiry> expiries_;
+  std::map<std::pair<SessionId, RoleName>, uint64_t> activation_gen_;
+  std::priority_queue<Boundary> boundaries_;
+  std::map<std::string, std::string> context_;
+  uint64_t next_seq_ = 1;
+  uint64_t decisions_made_ = 0;
+  uint64_t denials_ = 0;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_BASELINE_DIRECT_ENFORCER_H_

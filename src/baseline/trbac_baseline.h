@@ -1,0 +1,65 @@
+#ifndef SENTINELPP_BASELINE_TRBAC_BASELINE_H_
+#define SENTINELPP_BASELINE_TRBAC_BASELINE_H_
+
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "gtrbac/periodic_expression.h"
+#include "gtrbac/role_state.h"
+#include "rbac/types.h"
+
+namespace sentinel {
+
+/// \brief A minimal role-trigger table in the style of Bertino et al.'s
+/// TRBAC (related-work comparator for experiment E12).
+///
+/// TRBAC expresses periodic role enabling/disabling through *role
+/// triggers*: fixed (periodic-time, action) pairs evaluated against the
+/// clock. This comparator implements exactly that — a flat trigger table,
+/// re-scanned on time advance — without composite events, parameters or
+/// alternative actions, illustrating the expressiveness gap and providing
+/// a performance reference for periodic enablement processing.
+class TrbacBaseline {
+ public:
+  explicit TrbacBaseline(SimulatedClock* clock) : clock_(clock) {}
+
+  /// Installs a periodic enabling trigger: `role` is enabled inside the
+  /// expression's windows and disabled outside (evaluated on AdvanceTo).
+  void AddEnablingTrigger(const RoleName& role,
+                          const PeriodicExpression& period);
+
+  /// Processes all trigger firings in (time, trigger-order) up to `t`.
+  void AdvanceTo(Time t);
+
+  bool IsEnabled(const RoleName& role) const { return state_.IsEnabled(role); }
+  uint64_t firings() const { return firings_; }
+
+ private:
+  struct Trigger {
+    RoleName role;
+    PeriodicExpression period;
+  };
+  struct Firing {
+    Time when;
+    uint64_t seq;
+    size_t trigger_index;
+    bool is_start;
+    bool operator<(const Firing& other) const {  // Min-heap inversion.
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  SimulatedClock* clock_;  // Not owned.
+  std::vector<Trigger> triggers_;
+  std::priority_queue<Firing> queue_;
+  RoleStateTable state_;
+  uint64_t next_seq_ = 1;
+  uint64_t firings_ = 0;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_BASELINE_TRBAC_BASELINE_H_

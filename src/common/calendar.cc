@@ -1,0 +1,126 @@
+#include "common/calendar.h"
+
+#include <cstdio>
+
+namespace sentinel {
+
+namespace {
+
+// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm,
+// public domain). Valid far beyond any plausible policy horizon.
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int yoe = static_cast<int>(y - era * 400);              // [0, 399]
+  const int doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const int doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;        // [0, 146096]
+  return era * 146097 + doe - 719468;
+}
+
+// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int doe = static_cast<int>(z - era * 146097);           // [0, 146096]
+  const int yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;    // [0, 399]
+  const int64_t yr = static_cast<int64_t>(yoe) + era * 400;
+  const int doy = doe - (365 * yoe + yoe / 4 - yoe / 100);      // [0, 365]
+  const int mp = (5 * doy + 2) / 153;                           // [0, 11]
+  *d = doy - (153 * mp + 2) / 5 + 1;                            // [1, 31]
+  *m = mp + (mp < 10 ? 3 : -9);                                 // [1, 12]
+  *y = static_cast<int>(yr + (*m <= 2));
+}
+
+// Floor division/modulo helpers for possibly-negative times.
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+int64_t FloorMod(int64_t a, int64_t b) { return a - FloorDiv(a, b) * b; }
+
+}  // namespace
+
+CivilTime ToCivil(Time t) {
+  const int64_t days = FloorDiv(t, kDay);
+  int64_t rem = FloorMod(t, kDay);
+  CivilTime c;
+  CivilFromDays(days, &c.year, &c.month, &c.day);
+  c.hour = static_cast<int>(rem / kHour);
+  rem %= kHour;
+  c.minute = static_cast<int>(rem / kMinute);
+  rem %= kMinute;
+  c.second = static_cast<int>(rem / kSecond);
+  c.microsecond = rem % kSecond;
+  return c;
+}
+
+Time FromCivil(const CivilTime& c) {
+  // Normalize by carrying sub-day fields into the day count; the day/month
+  // normalization is handled by DaysFromCivil accepting out-of-range days
+  // only within the same month, so carry months explicitly first.
+  int year = c.year;
+  int month = c.month;
+  // Carry months into years.
+  year += (month - 1) / 12;
+  month = (month - 1) % 12 + 1;
+  if (month < 1) {
+    month += 12;
+    --year;
+  }
+  int64_t micros = c.microsecond + c.second * kSecond + c.minute * kMinute +
+                   c.hour * kHour;
+  int64_t extra_days = FloorDiv(micros, kDay);
+  micros = FloorMod(micros, kDay);
+  const int64_t days = DaysFromCivil(year, month, 1) + (c.day - 1) + extra_days;
+  return days * kDay + micros;
+}
+
+int DayOfWeek(Time t) {
+  const int64_t days = FloorDiv(t, kDay);
+  // 1970-01-01 was a Thursday (weekday 4 with Sunday=0).
+  return static_cast<int>(FloorMod(days + 4, 7));
+}
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) return 0;
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+Time MakeTime(int year, int month, int day, int hour, int minute, int second,
+              int64_t microsecond) {
+  CivilTime c;
+  c.year = year;
+  c.month = month;
+  c.day = day;
+  c.hour = hour;
+  c.minute = minute;
+  c.second = second;
+  c.microsecond = microsecond;
+  return FromCivil(c);
+}
+
+std::string FormatTime(Time t) {
+  const CivilTime c = ToCivil(t);
+  char buf[64];
+  if (c.microsecond == 0) {
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", c.year,
+                  c.month, c.day, c.hour, c.minute, c.second);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%06lld",
+                  c.year, c.month, c.day, c.hour, c.minute, c.second,
+                  static_cast<long long>(c.microsecond));
+  }
+  return buf;
+}
+
+}  // namespace sentinel

@@ -1,0 +1,51 @@
+#ifndef SENTINELPP_COMMON_CALENDAR_H_
+#define SENTINELPP_COMMON_CALENDAR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/value.h"
+
+namespace sentinel {
+
+/// \brief A broken-down UTC civil time. GTRBAC periodic expressions
+/// ("24h:mi:ss/mm/dd/yyyy" with wildcards, paper footnote 10) are matched
+/// against this representation.
+struct CivilTime {
+  int year = 1970;    // e.g. 2026
+  int month = 1;      // 1..12
+  int day = 1;        // 1..31
+  int hour = 0;       // 0..23
+  int minute = 0;     // 0..59
+  int second = 0;     // 0..59
+  int64_t microsecond = 0;  // 0..999999
+
+  friend bool operator==(const CivilTime&, const CivilTime&) = default;
+};
+
+/// Converts a Time (microseconds since the Unix epoch, UTC) to civil fields.
+CivilTime ToCivil(Time t);
+
+/// Converts civil fields to a Time. Fields outside their canonical ranges
+/// are normalized by carrying (e.g. hour 24 rolls into the next day).
+Time FromCivil(const CivilTime& c);
+
+/// Day of week for a Time: 0 = Sunday ... 6 = Saturday.
+int DayOfWeek(Time t);
+
+/// True iff `year` is a Gregorian leap year.
+bool IsLeapYear(int year);
+
+/// Number of days in `month` (1..12) of `year`.
+int DaysInMonth(int year, int month);
+
+/// Convenience constructor: builds a Time from Y/M/D h:m:s UTC.
+Time MakeTime(int year, int month, int day, int hour = 0, int minute = 0,
+              int second = 0, int64_t microsecond = 0);
+
+/// Renders as "YYYY-MM-DD hh:mm:ss" (microseconds omitted when zero).
+std::string FormatTime(Time t);
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_COMMON_CALENDAR_H_

@@ -1,0 +1,12 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace sentinel {
+
+Time SystemClock::Now() const {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+}
+
+}  // namespace sentinel

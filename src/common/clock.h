@@ -1,0 +1,55 @@
+#ifndef SENTINELPP_COMMON_CLOCK_H_
+#define SENTINELPP_COMMON_CLOCK_H_
+
+#include "common/value.h"
+
+namespace sentinel {
+
+/// \brief Time source abstraction.
+///
+/// All components read time through a Clock so that temporal semantics
+/// (PLUS expiry, periodic windows, durations) are fully deterministic under
+/// test: inject a SimulatedClock and advance it explicitly. A wall-clock
+/// implementation is provided for interactive use.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds since the Unix epoch, UTC.
+  virtual Time Now() const = 0;
+};
+
+/// \brief Manually-advanced clock for deterministic tests and benchmarks.
+///
+/// Advancing the clock does not by itself fire timers; the TimerService
+/// owning component (EventDetector) drains due timers when asked. Use
+/// `EventDetector::AdvanceTo` which couples the two.
+class SimulatedClock final : public Clock {
+ public:
+  explicit SimulatedClock(Time start = 0) : now_(start) {}
+
+  Time Now() const override { return now_; }
+
+  /// Moves time forward to `t`; moving backwards is a programming error
+  /// and is ignored.
+  void SetTime(Time t) {
+    if (t > now_) now_ = t;
+  }
+
+  /// Moves time forward by `d` microseconds.
+  void Advance(Duration d) {
+    if (d > 0) now_ += d;
+  }
+
+ private:
+  Time now_;
+};
+
+/// \brief Real wall-clock time (CLOCK_REALTIME), microsecond resolution.
+class SystemClock final : public Clock {
+ public:
+  Time Now() const override;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_COMMON_CLOCK_H_

@@ -1,0 +1,75 @@
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace sentinel {
+
+const char* LogLevelToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARNING";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kAlert:
+      return "ALERT";
+  }
+  return "UNKNOWN";
+}
+
+Logger::Logger() : sink_(nullptr), min_level_(LogLevel::kWarning) {}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();  // Intentionally leaked.
+  return *logger;
+}
+
+void Logger::SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::SetMinLevel(LogLevel level) { min_level_ = level; }
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(min_level_)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) {
+    sink_(level, message);
+  } else {
+    std::cerr << '[' << LogLevelToString(level) << "] " << message << '\n';
+  }
+}
+
+CapturingLogSink::CapturingLogSink(LogLevel level)
+    : prev_min_(Logger::Global().min_level()) {
+  Logger::Global().SetMinLevel(level);
+  Logger::Global().SetSink([this](LogLevel lvl, const std::string& msg) {
+    entries_.push_back({lvl, msg});
+  });
+}
+
+CapturingLogSink::~CapturingLogSink() {
+  Logger::Global().SetSink(nullptr);
+  Logger::Global().SetMinLevel(prev_min_);
+}
+
+int CapturingLogSink::CountAt(LogLevel level) const {
+  int n = 0;
+  for (const Entry& e : entries_) {
+    if (e.level == level) ++n;
+  }
+  return n;
+}
+
+bool CapturingLogSink::Contains(const std::string& needle) const {
+  for (const Entry& e : entries_) {
+    if (e.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace sentinel

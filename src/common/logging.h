@@ -1,0 +1,103 @@
+#ifndef SENTINELPP_COMMON_LOGGING_H_
+#define SENTINELPP_COMMON_LOGGING_H_
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sentinel {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kAlert = 4,  // Active-security alerts destined for administrators.
+};
+
+const char* LogLevelToString(LogLevel level);
+
+/// \brief Minimal leveled logger with a pluggable sink.
+///
+/// Active-security rules emit administrator alerts through this logger; the
+/// test suite installs a capturing sink to assert on alert content. The
+/// default sink writes WARNING and above to stderr.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Process-wide logger instance.
+  static Logger& Global();
+
+  /// Replaces the sink; pass nullptr to restore the default stderr sink.
+  void SetSink(Sink sink);
+
+  /// Minimum level that reaches the sink (default: kWarning).
+  void SetMinLevel(LogLevel level);
+  LogLevel min_level() const { return min_level_; }
+
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+
+  std::mutex mu_;
+  Sink sink_;
+  LogLevel min_level_;
+};
+
+/// \brief RAII sink that records every message at or above `level`;
+/// restores the previous behaviour on destruction. For tests.
+class CapturingLogSink {
+ public:
+  explicit CapturingLogSink(LogLevel level = LogLevel::kDebug);
+  ~CapturingLogSink();
+
+  CapturingLogSink(const CapturingLogSink&) = delete;
+  CapturingLogSink& operator=(const CapturingLogSink&) = delete;
+
+  struct Entry {
+    LogLevel level;
+    std::string message;
+  };
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Number of captured messages at exactly `level`.
+  int CountAt(LogLevel level) const;
+
+  /// True iff any captured message contains `needle`.
+  bool Contains(const std::string& needle) const;
+
+ private:
+  std::vector<Entry> entries_;
+  LogLevel prev_min_;
+};
+
+namespace internal {
+/// Stream-style builder used by the SENTINEL_LOG macro.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Global().Log(level_, os_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace internal
+
+}  // namespace sentinel
+
+#define SENTINEL_LOG(level) \
+  ::sentinel::internal::LogMessage(::sentinel::LogLevel::level)
+
+#endif  // SENTINELPP_COMMON_LOGGING_H_

@@ -1,0 +1,49 @@
+#ifndef SENTINELPP_COMMON_RNG_H_
+#define SENTINELPP_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sentinel {
+
+/// \brief Deterministic 64-bit PRNG (xoshiro256**), seeded via SplitMix64.
+///
+/// Workload generators use this instead of <random> engines so that a seed
+/// yields the identical policy/request stream on every platform and standard
+/// library. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (std::size_t i = items->size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(NextBounded(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_COMMON_RNG_H_

@@ -1,0 +1,186 @@
+#ifndef SENTINELPP_COMMON_STATUS_H_
+#define SENTINELPP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace sentinel {
+
+/// \brief Outcome codes for API-misuse and internal failures.
+///
+/// Authorization verdicts (allow/deny) are *not* statuses; they are carried
+/// by `Decision` values (see rules/decision.h). `Status` is reserved for
+/// calls that cannot be answered at all: unknown identifiers, duplicate
+/// creations, malformed policy text, broken invariants.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kConstraintViolation = 5,
+  kParseError = 6,
+  kInternal = 7,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Arrow/RocksDB-style status object: cheap when OK, carries a code
+/// and message otherwise. No exceptions cross the library boundary.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : state_(nullptr) {}
+  ~Status() { delete state_; }
+
+  Status(const Status& other)
+      : state_(other.state_ ? new State(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      delete state_;
+      state_ = other.state_ ? new State(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&& other) noexcept : state_(other.state_) {
+    other.state_ = nullptr;
+  }
+  Status& operator=(Status&& other) noexcept {
+    if (this != &other) {
+      delete state_;
+      state_ = other.state_;
+      other.state_ = nullptr;
+    }
+    return *this;
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+  /// Message for non-OK statuses; empty string when OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const {
+    return code() == StatusCode::kAlreadyExists;
+  }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsConstraintViolation() const {
+    return code() == StatusCode::kConstraintViolation;
+  }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : state_(new State{code, std::move(msg)}) {}
+
+  State* state_;  // nullptr means OK.
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Holds either a value of type T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return value;` in functions returning Result<T>.
+  Result(T value) : status_(), value_(std::move(value)), has_value_(true) {}
+  /// Implicit from error status; must not be OK.
+  Result(Status status) : status_(std::move(status)), has_value_(false) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(has_value_);
+    return value_;
+  }
+  T& value() & {
+    assert(has_value_);
+    return value_;
+  }
+  T&& value() && {
+    assert(has_value_);
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` when this result is an error.
+  T value_or(T fallback) const {
+    return has_value_ ? value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+  bool has_value_;
+};
+
+}  // namespace sentinel
+
+/// Propagates a non-OK Status to the caller.
+#define SENTINEL_RETURN_IF_ERROR(expr)             \
+  do {                                             \
+    ::sentinel::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+/// Evaluates a Result<T> expression and binds its value, or propagates.
+#define SENTINEL_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto lhs##_result = (expr);                      \
+  if (!lhs##_result.ok()) return lhs##_result.status(); \
+  auto& lhs = lhs##_result.value()
+
+#endif  // SENTINELPP_COMMON_STATUS_H_

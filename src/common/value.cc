@@ -1,0 +1,65 @@
+#include "common/value.h"
+
+#include <sstream>
+
+namespace sentinel {
+
+bool Value::AsBool(bool fallback) const {
+  if (const bool* b = std::get_if<bool>(&v_)) return *b;
+  if (const int64_t* i = std::get_if<int64_t>(&v_)) return *i != 0;
+  return fallback;
+}
+
+int64_t Value::AsInt(int64_t fallback) const {
+  if (const int64_t* i = std::get_if<int64_t>(&v_)) return *i;
+  if (const bool* b = std::get_if<bool>(&v_)) return *b ? 1 : 0;
+  if (const double* d = std::get_if<double>(&v_)) {
+    return static_cast<int64_t>(*d);
+  }
+  return fallback;
+}
+
+double Value::AsDouble(double fallback) const {
+  if (const double* d = std::get_if<double>(&v_)) return *d;
+  if (const int64_t* i = std::get_if<int64_t>(&v_)) {
+    return static_cast<double>(*i);
+  }
+  return fallback;
+}
+
+const std::string& Value::AsString() const {
+  static const std::string kEmpty;
+  if (const std::string* s = std::get_if<std::string>(&v_)) return *s;
+  return kEmpty;
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  if (is_null()) {
+    os << "null";
+  } else if (is_bool()) {
+    os << (AsBool() ? "true" : "false");
+  } else if (is_int()) {
+    os << AsInt();
+  } else if (is_double()) {
+    os << AsDouble();
+  } else {
+    os << '"' << AsString() << '"';
+  }
+  return os.str();
+}
+
+std::string ParamMapToString(const ParamMap& params) {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto& [name, value] : params) {
+    if (!first) os << ", ";
+    first = false;
+    os << name << '=' << value.ToString();
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace sentinel

@@ -1,0 +1,59 @@
+#include "core/active_security.h"
+
+#include "common/logging.h"
+
+namespace sentinel {
+
+void ActiveSecurityMonitor::DefineWindow(const std::string& directive,
+                                         Duration window, int threshold) {
+  windows_[directive] = WindowState{window, threshold, {}};
+}
+
+void ActiveSecurityMonitor::RemoveWindow(const std::string& directive) {
+  windows_.erase(directive);
+}
+
+int ActiveSecurityMonitor::RecordDenial(const std::string& directive,
+                                        Time when) {
+  auto it = windows_.find(directive);
+  if (it == windows_.end()) return 0;
+  ++total_denials_;
+  WindowState& state = it->second;
+  state.denials.push_back(when);
+  const Time horizon = when - state.window;
+  while (!state.denials.empty() && state.denials.front() <= horizon) {
+    state.denials.pop_front();
+  }
+  return static_cast<int>(state.denials.size());
+}
+
+bool ActiveSecurityMonitor::ThresholdReached(
+    const std::string& directive) const {
+  auto it = windows_.find(directive);
+  if (it == windows_.end()) return false;
+  return static_cast<int>(it->second.denials.size()) >= it->second.threshold;
+}
+
+void ActiveSecurityMonitor::RaiseAlert(const std::string& directive,
+                                       Time when, int observed,
+                                       const std::string& detail) {
+  alerts_.push_back(SecurityAlert{directive, when, observed, detail});
+  auto it = windows_.find(directive);
+  if (it != windows_.end()) it->second.denials.clear();
+  SENTINEL_LOG(kAlert) << "internal security alert [" << directive << "] "
+                       << detail << " (observed " << observed << ")";
+}
+
+void ActiveSecurityMonitor::RecordAuditReport(const std::string& directive,
+                                              Time when) {
+  (void)when;
+  ++audit_counts_[directive];
+}
+
+int ActiveSecurityMonitor::audit_report_count(
+    const std::string& directive) const {
+  auto it = audit_counts_.find(directive);
+  return it == audit_counts_.end() ? 0 : it->second;
+}
+
+}  // namespace sentinel

@@ -1,0 +1,73 @@
+#ifndef SENTINELPP_CORE_ACTIVE_SECURITY_H_
+#define SENTINELPP_CORE_ACTIVE_SECURITY_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace sentinel {
+
+/// \brief One raised internal-security alert (for administrators).
+struct SecurityAlert {
+  std::string directive;
+  Time when = 0;
+  int observed_count = 0;
+  std::string detail;
+};
+
+/// \brief Sliding-window denial counters backing the threshold directives
+/// (paper §1: "when access requests by unauthorized roles ... are more than
+/// a certain number of times within a duration, an internal security alert
+/// is triggered").
+///
+/// The active-security rules feed denial timestamps in; the rule condition
+/// asks whether the window count reached the directive's threshold. Alerts
+/// and report counters are recorded here for administrators (and tests).
+class ActiveSecurityMonitor {
+ public:
+  ActiveSecurityMonitor() = default;
+
+  /// Registers/resets the sliding window for a directive.
+  void DefineWindow(const std::string& directive, Duration window,
+                    int threshold);
+  void RemoveWindow(const std::string& directive);
+
+  /// Records one denial at `when`; returns the count of denials inside
+  /// the directive's window ending at `when` (inclusive of this one).
+  int RecordDenial(const std::string& directive, Time when);
+
+  /// True iff the directive's window count has reached its threshold.
+  bool ThresholdReached(const std::string& directive) const;
+
+  /// Records an alert (also clears the directive's window so the alert
+  /// does not re-fire for the same burst).
+  void RaiseAlert(const std::string& directive, Time when, int observed,
+                  const std::string& detail);
+
+  /// Records a periodic audit report tick.
+  void RecordAuditReport(const std::string& directive, Time when);
+
+  const std::vector<SecurityAlert>& alerts() const { return alerts_; }
+  int alert_count() const { return static_cast<int>(alerts_.size()); }
+  int audit_report_count(const std::string& directive) const;
+  uint64_t total_denials_recorded() const { return total_denials_; }
+
+ private:
+  struct WindowState {
+    Duration window = 0;
+    int threshold = 0;
+    std::deque<Time> denials;
+  };
+
+  std::map<std::string, WindowState> windows_;
+  std::map<std::string, int> audit_counts_;
+  std::vector<SecurityAlert> alerts_;
+  uint64_t total_denials_ = 0;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_CORE_ACTIVE_SECURITY_H_

@@ -1,0 +1,329 @@
+#include "core/consistency.h"
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "core/engine.h"
+
+namespace sentinel {
+
+const char* IssueSeverityToString(IssueSeverity severity) {
+  switch (severity) {
+    case IssueSeverity::kWarning:
+      return "WARNING";
+    case IssueSeverity::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::string ConsistencyIssue::ToString() const {
+  return std::string(IssueSeverityToString(severity)) + " [" + code + "] " +
+         detail;
+}
+
+bool NoErrors(const std::vector<ConsistencyIssue>& issues) {
+  for (const ConsistencyIssue& issue : issues) {
+    if (issue.severity == IssueSeverity::kError) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Junior closures (inclusive) over the policy's hierarchy edges.
+std::map<RoleName, std::set<RoleName>> JuniorClosures(const Policy& policy) {
+  std::map<RoleName, std::set<RoleName>> closure;
+  // Repeated relaxation; hierarchies are acyclic (Validate ran first).
+  for (const auto& [name, spec] : policy.roles()) closure[name] = {name};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, spec] : policy.roles()) {
+      std::set<RoleName>& mine = closure[name];
+      for (const RoleName& junior : spec.juniors) {
+        for (const RoleName& transitive : closure[junior]) {
+          if (mine.insert(transitive).second) changed = true;
+        }
+      }
+    }
+  }
+  return closure;
+}
+
+int SodHits(const SodSet& set, const std::set<RoleName>& roles) {
+  int hits = 0;
+  for (const RoleName& role : set.roles) {
+    if (roles.count(role) > 0) ++hits;
+  }
+  return hits;
+}
+
+void Add(std::vector<ConsistencyIssue>* issues, IssueSeverity severity,
+         const std::string& code, const std::string& detail) {
+  issues->push_back(ConsistencyIssue{severity, code, detail});
+}
+
+}  // namespace
+
+std::vector<ConsistencyIssue> CheckPolicyConsistency(const Policy& policy) {
+  std::vector<ConsistencyIssue> issues;
+  const auto closures = JuniorClosures(policy);
+
+  // --- SSD vs hierarchy: roles whose own closure breaks a set. ----------
+  for (const auto& [name, spec] : policy.roles()) {
+    for (const auto& [set_name, set] : policy.ssd_sets()) {
+      if (SodHits(set, closures.at(name)) >= set.n) {
+        Add(&issues, IssueSeverity::kWarning, "ssd-hierarchy-conflict",
+            "role " + name + " inherits >= " + std::to_string(set.n) +
+                " roles of SSD set " + set_name +
+                "; no user can ever be assigned to it");
+      }
+    }
+  }
+
+  // --- SSD vs assignments. ----------------------------------------------
+  for (const auto& [user, spec] : policy.users()) {
+    std::set<RoleName> authorized;
+    for (const RoleName& role : spec.assignments) {
+      auto it = closures.find(role);
+      if (it == closures.end()) continue;
+      authorized.insert(it->second.begin(), it->second.end());
+    }
+    for (const auto& [set_name, set] : policy.ssd_sets()) {
+      if (SodHits(set, authorized) >= set.n) {
+        Add(&issues, IssueSeverity::kError, "ssd-assignment-conflict",
+            "user " + user + "'s assignments violate SSD set " + set_name);
+      }
+    }
+  }
+
+  // --- Prerequisite cycles. ----------------------------------------------
+  {
+    // DFS over the prerequisite graph.
+    enum class Color { kWhite, kGray, kBlack };
+    std::map<RoleName, Color> color;
+    for (const auto& [name, spec] : policy.roles()) {
+      color[name] = Color::kWhite;
+    }
+    for (const auto& [start, start_spec] : policy.roles()) {
+      if (color[start] != Color::kWhite) continue;
+      std::deque<std::pair<RoleName, bool>> stack = {{start, false}};
+      while (!stack.empty()) {
+        auto [node, processed] = stack.back();
+        stack.pop_back();
+        if (processed) {
+          color[node] = Color::kBlack;
+          continue;
+        }
+        if (color[node] == Color::kBlack) continue;
+        if (color[node] == Color::kGray) continue;
+        color[node] = Color::kGray;
+        stack.push_back({node, true});
+        auto it = policy.roles().find(node);
+        if (it == policy.roles().end()) continue;
+        for (const RoleName& prereq : it->second.prerequisites) {
+          if (color.count(prereq) == 0) continue;
+          if (color[prereq] == Color::kGray) {
+            Add(&issues, IssueSeverity::kError, "prerequisite-cycle",
+                "roles " + node + " and " + prereq +
+                    " are in a prerequisite cycle; neither can ever be "
+                    "activated");
+          } else if (color[prereq] == Color::kWhite) {
+            stack.push_back({prereq, false});
+          }
+        }
+      }
+    }
+  }
+
+  // --- Prerequisite vs DSD: need both active in one session. ------------
+  for (const auto& [name, spec] : policy.roles()) {
+    for (const RoleName& prereq : spec.prerequisites) {
+      for (const auto& [set_name, set] : policy.dsd_sets()) {
+        std::set<RoleName> both = {name, prereq};
+        if (SodHits(set, both) >= set.n) {
+          Add(&issues, IssueSeverity::kError, "prerequisite-dsd-conflict",
+              "role " + name + " requires prerequisite " + prereq +
+                  " active, but DSD set " + set_name +
+                  " forbids them in one session");
+        }
+      }
+    }
+  }
+
+  // --- DSD subsumed by SSD (same members, SSD at least as strict): the
+  // dynamic relation can never bind because assignment is impossible. ----
+  for (const auto& [dsd_name, dsd] : policy.dsd_sets()) {
+    for (const auto& [ssd_name, ssd] : policy.ssd_sets()) {
+      const bool subset =
+          SodHits(ssd, dsd.roles) == static_cast<int>(ssd.roles.size()) &&
+          ssd.roles.size() <= dsd.roles.size();
+      if (subset && ssd.n <= dsd.n) {
+        Add(&issues, IssueSeverity::kWarning, "dsd-subsumed-by-ssd",
+            "DSD set " + dsd_name + " can never bind: SSD set " + ssd_name +
+                " already prevents the assignments");
+      }
+    }
+  }
+
+  // --- Vacuous cardinality: fewer potential activators than the limit. --
+  {
+    // Authorized-user counts per role.
+    std::map<RoleName, int> potential;
+    for (const auto& [user, spec] : policy.users()) {
+      std::set<RoleName> authorized;
+      for (const RoleName& role : spec.assignments) {
+        auto it = closures.find(role);
+        if (it == closures.end()) continue;
+        authorized.insert(it->second.begin(), it->second.end());
+      }
+      for (const RoleName& role : authorized) ++potential[role];
+    }
+    for (const auto& [name, spec] : policy.roles()) {
+      if (spec.activation_cardinality > 0 &&
+          potential[name] < spec.activation_cardinality) {
+        Add(&issues, IssueSeverity::kWarning, "cardinality-vacuous",
+            "role " + name + " has cardinality " +
+                std::to_string(spec.activation_cardinality) + " but only " +
+                std::to_string(potential[name]) +
+                " authorized user(s); the limit can never bind");
+      }
+    }
+  }
+
+  // --- Duration bound longer than the enabling window. -------------------
+  for (const auto& [name, spec] : policy.roles()) {
+    if (spec.max_activation <= 0 || !spec.enabling_window.has_value()) {
+      continue;
+    }
+    const PeriodicExpression& window = *spec.enabling_window;
+    const auto start = window.NextWindowStart(0);
+    if (!start.has_value()) continue;
+    const auto end = window.NextWindowEnd(*start);
+    if (!end.has_value()) continue;
+    if (spec.max_activation >= *end - *start) {
+      Add(&issues, IssueSeverity::kWarning, "duration-exceeds-shift",
+          "role " + name + "'s max-activation is at least as long as its "
+          "enabling window; the shift end always preempts it");
+    }
+  }
+
+  // --- Time-SoD member with a shift: SH disabling bypasses the guard. ---
+  for (const TimeSod& constraint : policy.time_sods()) {
+    if (constraint.kind != TimeSodKind::kDisabling) continue;
+    for (const RoleName& role : constraint.roles) {
+      auto it = policy.roles().find(role);
+      if (it != policy.roles().end() &&
+          it->second.enabling_window.has_value()) {
+        Add(&issues, IssueSeverity::kWarning, "tsod-member-has-shift",
+            "role " + role + " is guarded by time-SoD " + constraint.name +
+                " but has an enabling window; automatic shift disabling "
+                "bypasses the SoD guard");
+      }
+    }
+  }
+
+  // --- Transactions that can never be exercised. -------------------------
+  {
+    std::map<RoleName, int> potential;
+    for (const auto& [user, spec] : policy.users()) {
+      std::set<RoleName> authorized;
+      for (const RoleName& role : spec.assignments) {
+        auto it = closures.find(role);
+        if (it == closures.end()) continue;
+        authorized.insert(it->second.begin(), it->second.end());
+      }
+      for (const RoleName& role : authorized) ++potential[role];
+    }
+    for (const TransactionActivation& tx : policy.transactions()) {
+      if (potential[tx.controller] == 0 || potential[tx.dependent] == 0) {
+        Add(&issues, IssueSeverity::kWarning, "transaction-unusable",
+            "transaction " + tx.name +
+                " has no authorized users for its controller or dependent");
+      }
+    }
+  }
+
+  return issues;
+}
+
+std::vector<ConsistencyIssue> VerifyGeneratedPool(
+    const AuthorizationEngine& engine) {
+  std::vector<ConsistencyIssue> issues;
+  const Policy& policy = engine.policy();
+  const RuleManager& rules = engine.rule_manager();
+
+  std::set<std::string> expected;
+  // Global block.
+  for (const char* name :
+       {"ADM.createSession", "ADM.deleteSession", "ADM.assign",
+        "ADM.deassign", "GLOB.drop", "CA.global", "GLOB.enable",
+        "GLOB.disable"}) {
+    expected.insert(name);
+  }
+  // Per-role rules.
+  for (const auto& [name, spec] : policy.roles()) {
+    if (!policy.RoleIsTransactionDependent(name)) {
+      expected.insert("AAR." + name);
+    }
+    if (spec.activation_cardinality > 0) expected.insert("CC." + name);
+    if (spec.max_activation > 0) expected.insert("DUR." + name);
+    if (spec.enabling_window.has_value()) {
+      expected.insert("SH." + name + ".on");
+      expected.insert("SH." + name + ".off");
+    }
+    if (!spec.required_context.empty()) expected.insert("CTX." + name);
+  }
+  // Per-user rules.
+  for (const auto& [name, spec] : policy.users()) {
+    if (spec.max_active_roles > 0) expected.insert("UAC." + name);
+    for (const auto& [role, duration] : spec.role_durations) {
+      expected.insert("DUR." + name + "." + role);
+    }
+  }
+  // Constraint and directive rules.
+  for (const TimeSod& constraint : policy.time_sods()) {
+    if (constraint.kind == TimeSodKind::kDisabling) {
+      expected.insert("TSOD." + constraint.name);
+    }
+  }
+  for (const CfdPair& pair : policy.cfd_pairs()) {
+    expected.insert("CFD." + pair.trigger + "." + pair.companion +
+                    ".enable");
+    expected.insert("CFD." + pair.trigger + "." + pair.companion +
+                    ".disable");
+  }
+  for (const TransactionActivation& tx : policy.transactions()) {
+    expected.insert("ASEC." + tx.name + ".activate");
+    expected.insert("ASEC." + tx.name + ".cascade");
+  }
+  for (const ThresholdDirective& directive : policy.thresholds()) {
+    expected.insert("SEC." + directive.name);
+  }
+  for (const AuditDirective& directive : policy.audits()) {
+    expected.insert("AUD." + directive.name);
+  }
+
+  std::set<std::string> actual;
+  for (const Rule* rule : rules.rules()) actual.insert(rule->name());
+
+  for (const std::string& name : expected) {
+    if (actual.count(name) == 0) {
+      issues.push_back(ConsistencyIssue{
+          IssueSeverity::kError, "missing-rule",
+          "policy requires rule " + name + " but the pool lacks it"});
+    }
+  }
+  for (const std::string& name : actual) {
+    if (expected.count(name) == 0) {
+      issues.push_back(ConsistencyIssue{
+          IssueSeverity::kError, "unexpected-rule",
+          "pool contains rule " + name + " the policy does not call for"});
+    }
+  }
+  return issues;
+}
+
+}  // namespace sentinel

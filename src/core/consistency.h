@@ -1,0 +1,77 @@
+#ifndef SENTINELPP_CORE_CONSISTENCY_H_
+#define SENTINELPP_CORE_CONSISTENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+
+namespace sentinel {
+
+class AuthorizationEngine;
+
+/// Severity of a consistency finding.
+enum class IssueSeverity : int {
+  kWarning = 0,  // Suspicious but loadable (vacuous/unreachable policy).
+  kError = 1,    // The policy cannot be honoured as written.
+};
+
+const char* IssueSeverityToString(IssueSeverity severity);
+
+/// \brief One finding of the consistency checker.
+struct ConsistencyIssue {
+  IssueSeverity severity = IssueSeverity::kWarning;
+  /// Stable machine-readable code, e.g. "ssd-assignment-conflict".
+  std::string code;
+  /// Human-readable description naming the offending elements.
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// \brief Advanced policy consistency checking — the mechanism the paper
+/// leaves as work in progress ("Currently, we assume that the policies …
+/// do not have inconsistencies, but we are in the process of developing
+/// advanced consistency checking mechanisms", §5).
+///
+/// Assumes `policy.Validate()` already passed (structural sanity); this
+/// pass finds *semantic* conflicts:
+///
+///   ssd-assignment-conflict   (error)   a user's authorized role set
+///                                       already violates an SSD relation
+///   ssd-hierarchy-conflict    (warning) a role's junior closure violates
+///                                       an SSD relation: unassignable
+///   prerequisite-cycle        (error)   roles that mutually require each
+///                                       other can never be activated
+///   prerequisite-dsd-conflict (error)   a role and its prerequisite are
+///                                       mutually exclusive in a session
+///   dsd-subsumed-by-ssd       (warning) a DSD relation can never bind
+///                                       because SSD prevents assignment
+///   cardinality-vacuous       (warning) activation cardinality not
+///                                       reachable by assigned users
+///   duration-exceeds-shift    (warning) a per-activation bound longer
+///                                       than the role's enabling window
+///   tsod-member-has-shift     (warning) automatic shift disabling
+///                                       bypasses the time-SoD guard
+///   transaction-unusable      (warning) transaction roles with no
+///                                       assigned users
+std::vector<ConsistencyIssue> CheckPolicyConsistency(const Policy& policy);
+
+/// \brief Verification of the generated rule pool against the policy —
+/// the paper's §7 future work ("the generated rules should be verified").
+///
+/// Structurally audits the engine's pool: every policy element must have
+/// exactly its expected rules (AAR/ASEC per role, CC iff cardinality, DUR
+/// iff duration, SH iff enabling window, CTX iff context, UAC per capped
+/// user, TSOD/CFD/SEC/AUD per constraint/directive, the global block).
+/// Returns an issue per missing or unexpected rule; empty means the pool
+/// is exactly the compilation of the policy.
+std::vector<ConsistencyIssue> VerifyGeneratedPool(
+    const AuthorizationEngine& engine);
+
+/// Convenience: true iff no issue at kError severity.
+bool NoErrors(const std::vector<ConsistencyIssue>& issues);
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_CORE_CONSISTENCY_H_

@@ -1,0 +1,422 @@
+#include "core/engine.h"
+
+#include "core/rule_generator.h"
+
+namespace sentinel {
+
+namespace {
+
+Value V(const std::string& s) { return Value(s); }
+
+}  // namespace
+
+AuthorizationEngine::AuthorizationEngine(SimulatedClock* clock)
+    : clock_(clock), detector_(clock), rules_(&detector_) {
+  rules_.set_engine(this);
+  // Each independent trigger (request or timer firing) gets a fresh
+  // cascade budget once its own cascade has fully drained.
+  detector_.SetQuiescentCallback([this] { rules_.ResetCascadeBudget(); });
+  generator_ = std::make_unique<RuleGenerator>(this);
+
+  auto define = [this](const char* name) {
+    auto result = detector_.DefinePrimitive(name);
+    // Core event names are unique literals; failure is impossible.
+    return result.ok() ? *result : kInvalidEventId;
+  };
+  events_.create_session = define("rbac.createSession");
+  events_.delete_session = define("rbac.deleteSession");
+  events_.add_active_role = define("rbac.addActiveRole");
+  events_.drop_active_role = define("rbac.dropActiveRole");
+  events_.check_access = define("rbac.checkAccess");
+  events_.assign_user = define("rbac.assignUser");
+  events_.deassign_user = define("rbac.deassignUser");
+  events_.enable_role = define("rbac.enableRole");
+  events_.disable_role = define("rbac.disableRole");
+  events_.session_role_added = define("rbac.sessionRoleAdded");
+  events_.session_role_dropped = define("rbac.sessionRoleDropped");
+  events_.role_enabled = define("rbac.roleEnabled");
+  events_.role_disabled = define("rbac.roleDisabled");
+  events_.access_denied = define("rbac.accessDenied");
+  events_.security_alert = define("rbac.securityAlert");
+  events_.context_changed = define("rbac.contextChanged");
+}
+
+AuthorizationEngine::~AuthorizationEngine() = default;
+
+Status AuthorizationEngine::LoadPolicy(const Policy& policy) {
+  if (policy_loaded_) {
+    return Status::FailedPrecondition(
+        "a policy is already loaded; use ApplyPolicyUpdate");
+  }
+  SENTINEL_RETURN_IF_ERROR(policy.Validate());
+  SENTINEL_RETURN_IF_ERROR(ReconcileBaseState(Policy(), policy));
+  policy_ = policy;
+  policy_loaded_ = true;
+  auto stats = generator_->GenerateAll(policy_);
+  if (!stats.ok()) return stats.status();
+  return Status::OK();
+}
+
+Result<RegenReport> AuthorizationEngine::ApplyPolicyUpdate(
+    const Policy& updated) {
+  if (!policy_loaded_) {
+    return Status::FailedPrecondition("no policy loaded yet");
+  }
+  SENTINEL_RETURN_IF_ERROR(updated.Validate());
+
+  const std::set<RoleName> roles = Policy::AffectedRoles(policy_, updated);
+  const std::set<UserName> users = Policy::AffectedUsers(policy_, updated);
+  const bool directives = Policy::DirectivesChanged(policy_, updated);
+
+  SENTINEL_RETURN_IF_ERROR(ReconcileBaseState(policy_, updated));
+  const Policy previous = std::move(policy_);
+  policy_ = updated;
+
+  auto regen = generator_->Regenerate(policy_, roles, users, directives);
+  if (!regen.ok()) return regen.status();
+
+  RegenReport report;
+  report.roles_affected = static_cast<int>(roles.size());
+  report.users_affected = static_cast<int>(users.size());
+  report.rules_removed = regen->rules_removed;
+  report.rules_added = regen->rules_added;
+  report.events_added = regen->events_added;
+  report.directives_rebuilt = directives;
+  return report;
+}
+
+Status AuthorizationEngine::ReconcileBaseState(const Policy& from,
+                                               const Policy& to) {
+  // Ordered so that constraint stores never spuriously reject: retire
+  // constraints first, shrink relations, then grow them, then re-install
+  // constraints.
+  // 1. Drop SSD/DSD sets that changed or disappeared.
+  for (const auto& [name, set] : from.ssd_sets()) {
+    auto it = to.ssd_sets().find(name);
+    if (it == to.ssd_sets().end() || !(it->second == set)) {
+      (void)rbac_.DeleteSsdSet(name);
+    }
+  }
+  for (const auto& [name, set] : from.dsd_sets()) {
+    auto it = to.dsd_sets().find(name);
+    if (it == to.dsd_sets().end() || !(it->second == set)) {
+      (void)rbac_.DeleteDsdSet(name);
+    }
+  }
+  // 2. Deassign removed assignments; revoke removed grants.
+  for (const auto& [name, spec] : from.users()) {
+    auto it = to.users().find(name);
+    for (const RoleName& role : spec.assignments) {
+      if (it == to.users().end() || it->second.assignments.count(role) == 0) {
+        (void)rbac_.DeassignUser(name, role);
+      }
+    }
+  }
+  for (const auto& [name, spec] : from.roles()) {
+    auto it = to.roles().find(name);
+    for (const Permission& perm : spec.permissions) {
+      if (it == to.roles().end() ||
+          it->second.permissions.count(perm) == 0) {
+        (void)rbac_.RevokePermission(perm.operation, perm.object, name);
+      }
+    }
+    // 3. Remove hierarchy edges that disappeared.
+    for (const RoleName& junior : spec.juniors) {
+      if (it == to.roles().end() || it->second.juniors.count(junior) == 0) {
+        (void)rbac_.DeleteInheritance(name, junior);
+      }
+    }
+  }
+  // 4. Delete roles and users that disappeared.
+  for (const auto& [name, spec] : from.roles()) {
+    if (to.roles().count(name) == 0) {
+      (void)rbac_.DeleteRole(name);
+      role_state_.EraseRole(name);
+    }
+  }
+  for (const auto& [name, spec] : from.users()) {
+    if (to.users().count(name) == 0) (void)rbac_.DeleteUser(name);
+  }
+  // 5. Add new users and roles.
+  for (const auto& [name, spec] : to.users()) {
+    if (!rbac_.db().HasUser(name)) {
+      SENTINEL_RETURN_IF_ERROR(rbac_.AddUser(name));
+    }
+  }
+  for (const auto& [name, spec] : to.roles()) {
+    if (!rbac_.db().HasRole(name)) {
+      SENTINEL_RETURN_IF_ERROR(rbac_.AddRole(name));
+    }
+  }
+  // 6. Add hierarchy edges, grants, assignments.
+  for (const auto& [name, spec] : to.roles()) {
+    for (const RoleName& junior : spec.juniors) {
+      if (!rbac_.hierarchy().ImmediateJuniors(name).count(junior)) {
+        SENTINEL_RETURN_IF_ERROR(rbac_.AddInheritance(name, junior));
+      }
+    }
+    for (const Permission& perm : spec.permissions) {
+      if (!rbac_.db().IsGranted(perm, name)) {
+        SENTINEL_RETURN_IF_ERROR(
+            rbac_.GrantPermission(perm.operation, perm.object, name));
+      }
+    }
+  }
+  for (const auto& [name, spec] : to.users()) {
+    for (const RoleName& role : spec.assignments) {
+      if (!rbac_.db().IsAssigned(name, role)) {
+        SENTINEL_RETURN_IF_ERROR(rbac_.AssignUser(name, role));
+      }
+    }
+  }
+  // 7. Re-install SoD sets.
+  for (const auto& [name, set] : to.ssd_sets()) {
+    if (!rbac_.ssd().GetSet(name).ok()) {
+      SENTINEL_RETURN_IF_ERROR(rbac_.CreateSsdSet(name, set.roles, set.n));
+    }
+  }
+  for (const auto& [name, set] : to.dsd_sets()) {
+    if (!rbac_.dsd().GetSet(name).ok()) {
+      SENTINEL_RETURN_IF_ERROR(rbac_.CreateDsdSet(name, set.roles, set.n));
+    }
+  }
+  // 8. Privacy store: rebuild (cheap, order-sensitive on parents).
+  privacy_ = PrivacyStore();
+  for (const PurposeSpec& purpose : to.purposes()) {
+    SENTINEL_RETURN_IF_ERROR(privacy_.AddPurpose(purpose.name,
+                                                 purpose.parent));
+  }
+  for (const ObjectPolicySpec& spec : to.object_policies()) {
+    SENTINEL_RETURN_IF_ERROR(
+        privacy_.SetObjectPolicy(spec.object, spec.purposes));
+  }
+  // 9. Role enablement: initialize from enabling windows at current time.
+  const Time now = Now();
+  for (const auto& [name, spec] : to.roles()) {
+    if (spec.enabling_window.has_value()) {
+      if (spec.enabling_window->Contains(now)) {
+        role_state_.Enable(name, now);
+      } else {
+        role_state_.Disable(name, now);
+        DeactivateAllInstances(name);
+      }
+    } else {
+      auto it = from.roles().find(name);
+      const bool had_window =
+          it != from.roles().end() && it->second.enabling_window.has_value();
+      if (had_window) role_state_.Enable(name, now);  // Window removed.
+    }
+  }
+  return Status::OK();
+}
+
+Decision AuthorizationEngine::Dispatch(EventId event, ParamMap params) {
+  Decision decision;
+  {
+    ScopedDecision scope(&rules_, &decision);
+    (void)detector_.Raise(event, std::move(params));
+  }
+  if (!decision.decided) {
+    // Fail-safe default: requests no rule adjudicates are denied.
+    decision.Deny("", "Permission Denied");
+  }
+  ++decisions_made_;
+  if (!decision.allowed) ++denials_;
+  if (decision_log_capacity_ > 0) {
+    decision_log_.push_back(
+        DecisionRecord{Now(), detector_.name(event), decision});
+    while (decision_log_.size() > decision_log_capacity_) {
+      decision_log_.pop_front();
+    }
+  }
+  return decision;
+}
+
+void AuthorizationEngine::set_decision_log_capacity(size_t capacity) {
+  decision_log_capacity_ = capacity;
+  while (decision_log_.size() > decision_log_capacity_) {
+    decision_log_.pop_front();
+  }
+}
+
+Decision AuthorizationEngine::CreateSession(const UserName& user,
+                                            const SessionId& session) {
+  return Dispatch(events_.create_session,
+                  {{kUser, V(user)}, {kSession, V(session)}});
+}
+
+Decision AuthorizationEngine::DeleteSession(const SessionId& session) {
+  return Dispatch(events_.delete_session, {{kSession, V(session)}});
+}
+
+Decision AuthorizationEngine::AddActiveRole(const UserName& user,
+                                            const SessionId& session,
+                                            const RoleName& role) {
+  return Dispatch(
+      events_.add_active_role,
+      {{kUser, V(user)}, {kSession, V(session)}, {kRole, V(role)}});
+}
+
+Decision AuthorizationEngine::DropActiveRole(const UserName& user,
+                                             const SessionId& session,
+                                             const RoleName& role) {
+  return Dispatch(
+      events_.drop_active_role,
+      {{kUser, V(user)}, {kSession, V(session)}, {kRole, V(role)}});
+}
+
+Decision AuthorizationEngine::CheckAccess(const SessionId& session,
+                                          const OperationName& op,
+                                          const ObjectName& obj,
+                                          const PurposeName& purpose) {
+  ParamMap params = {{kSession, V(session)},
+                     {kOperation, V(op)},
+                     {kObject, V(obj)}};
+  if (!purpose.empty()) params[kPurpose] = V(purpose);
+  return Dispatch(events_.check_access, std::move(params));
+}
+
+Decision AuthorizationEngine::AssignUser(const UserName& user,
+                                         const RoleName& role) {
+  return Dispatch(events_.assign_user, {{kUser, V(user)}, {kRole, V(role)}});
+}
+
+Decision AuthorizationEngine::DeassignUser(const UserName& user,
+                                           const RoleName& role) {
+  return Dispatch(events_.deassign_user,
+                  {{kUser, V(user)}, {kRole, V(role)}});
+}
+
+Decision AuthorizationEngine::EnableRole(const RoleName& role) {
+  return Dispatch(events_.enable_role, {{kRole, V(role)}});
+}
+
+Decision AuthorizationEngine::DisableRole(const RoleName& role) {
+  return Dispatch(events_.disable_role, {{kRole, V(role)}});
+}
+
+void AuthorizationEngine::AdvanceTo(Time t) {
+  detector_.AdvanceTo(t, clock_);
+}
+
+void AuthorizationEngine::SetContext(const std::string& key,
+                                     const std::string& value) {
+  context_[key] = value;
+  (void)detector_.Raise(events_.context_changed,
+                        {{"key", V(key)}, {"value", V(value)}});
+}
+
+const std::string& AuthorizationEngine::ContextValue(
+    const std::string& key) const {
+  static const std::string* kEmpty = new std::string();
+  auto it = context_.find(key);
+  return it == context_.end() ? *kEmpty : it->second;
+}
+
+bool AuthorizationEngine::ContextSatisfied(
+    const std::map<std::string, std::string>& required) const {
+  for (const auto& [key, value] : required) {
+    auto it = context_.find(key);
+    if (it == context_.end() || it->second != value) return false;
+  }
+  return true;
+}
+
+Status AuthorizationEngine::ForceDeactivate(const UserName& user,
+                                            const SessionId& session,
+                                            const RoleName& role) {
+  SENTINEL_RETURN_IF_ERROR(rbac_.db().DropSessionRole(session, role));
+  CancelDurationTimers({{kSession, V(session)}, {kRole, V(role)}});
+  return detector_.Raise(
+      events_.session_role_dropped,
+      {{kUser, V(user)}, {kSession, V(session)}, {kRole, V(role)}});
+}
+
+int AuthorizationEngine::DeactivateAllInstances(const RoleName& role) {
+  int count = 0;
+  for (const SessionId& session : rbac_.db().SessionIds()) {
+    auto info = rbac_.db().GetSession(session);
+    if (!info.ok()) continue;
+    if ((*info)->active_roles.count(role) > 0) {
+      const UserName user = (*info)->user;
+      if (ForceDeactivate(user, session, role).ok()) ++count;
+    }
+  }
+  return count;
+}
+
+int AuthorizationEngine::CountUserActiveRoles(const UserName& user) const {
+  int count = 0;
+  for (const SessionId& session : rbac_.db().UserSessions(user)) {
+    auto info = rbac_.db().GetSession(session);
+    if (info.ok()) count += static_cast<int>((*info)->active_roles.size());
+  }
+  return count;
+}
+
+bool AuthorizationEngine::TsodGuardedNow(const RoleName& role,
+                                         TimeSodKind kind) const {
+  const Time now = Now();
+  for (const TimeSod& constraint : policy_.time_sods()) {
+    if (constraint.kind != kind) continue;
+    if (constraint.roles.count(role) == 0) continue;
+    if (constraint.period.Contains(now)) return true;
+  }
+  return false;
+}
+
+bool AuthorizationEngine::IsCfdTrigger(const RoleName& role) const {
+  for (const CfdPair& pair : policy_.cfd_pairs()) {
+    if (pair.trigger == role) return true;
+  }
+  return false;
+}
+
+bool AuthorizationEngine::DisableTsodOk(const RoleName& role) const {
+  const Time now = Now();
+  for (const TimeSod& constraint : policy_.time_sods()) {
+    if (constraint.kind != TimeSodKind::kDisabling) continue;
+    if (constraint.roles.count(role) == 0) continue;
+    if (!constraint.period.Contains(now)) continue;
+    bool counter_enabled = false;
+    for (const RoleName& other : constraint.roles) {
+      if (other != role && role_state_.IsEnabled(other)) {
+        counter_enabled = true;
+        break;
+      }
+    }
+    if (!counter_enabled) return false;
+  }
+  return true;
+}
+
+bool AuthorizationEngine::EnableTsodOk(const RoleName& role) const {
+  const Time now = Now();
+  for (const TimeSod& constraint : policy_.time_sods()) {
+    if (constraint.kind != TimeSodKind::kEnabling) continue;
+    if (constraint.roles.count(role) == 0) continue;
+    if (!constraint.period.Contains(now)) continue;
+    bool counter_disabled = false;
+    for (const RoleName& other : constraint.roles) {
+      if (other != role && !role_state_.IsEnabled(other)) {
+        counter_disabled = true;
+        break;
+      }
+    }
+    if (!counter_disabled) return false;
+  }
+  return true;
+}
+
+void AuthorizationEngine::RegisterDurationEvent(EventId plus_event) {
+  duration_events_.push_back(plus_event);
+}
+
+void AuthorizationEngine::CancelDurationTimers(const ParamMap& match) {
+  for (EventId event : duration_events_) {
+    if (detector_.IsDeactivated(event)) continue;
+    (void)detector_.CancelPendingPlus(event, match);
+  }
+}
+
+}  // namespace sentinel

@@ -1,0 +1,232 @@
+#ifndef SENTINELPP_CORE_ENGINE_H_
+#define SENTINELPP_CORE_ENGINE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/active_security.h"
+#include "core/policy.h"
+#include "core/privacy.h"
+#include "event/event_detector.h"
+#include "gtrbac/role_state.h"
+#include "rbac/core_api.h"
+#include "rules/decision.h"
+#include "rules/rule_manager.h"
+
+namespace sentinel {
+
+class RuleGenerator;
+
+/// One entry of the engine's decision audit trail.
+struct DecisionRecord {
+  Time when = 0;
+  /// The request event's name, e.g. "rbac.addActiveRole".
+  std::string operation;
+  Decision decision;
+};
+
+/// Outcome summary of an incremental policy update (ApplyPolicyUpdate).
+struct RegenReport {
+  int roles_affected = 0;
+  int users_affected = 0;
+  int rules_removed = 0;
+  int rules_added = 0;
+  int events_added = 0;
+  bool directives_rebuilt = false;
+};
+
+/// \brief The OWTE-rule-driven authorization engine — the paper's
+/// contribution, assembled.
+///
+/// Every public operation raises a primitive event carrying the request's
+/// parameters; the generated rule pool (compiled from the loaded Policy by
+/// RuleGenerator) performs all checks and state changes; the Decision the
+/// rules wrote is returned to the caller. Nothing in the request path is
+/// hard-coded: change the policy, regenerate the affected rules, and the
+/// engine's behaviour follows — the property the paper calls "seamless".
+///
+/// Fail-safe default: a request no rule decides is denied.
+class AuthorizationEngine {
+ public:
+  /// Parameter keys used on all engine events.
+  static constexpr const char* kUser = "user";
+  static constexpr const char* kSession = "session";
+  static constexpr const char* kRole = "role";
+  static constexpr const char* kOperation = "operation";
+  static constexpr const char* kObject = "object";
+  static constexpr const char* kPurpose = "purpose";
+
+  /// Core primitive events, defined at construction.
+  struct CoreEvents {
+    EventId create_session = kInvalidEventId;
+    EventId delete_session = kInvalidEventId;
+    EventId add_active_role = kInvalidEventId;   // Request (paper E2).
+    EventId drop_active_role = kInvalidEventId;  // Request.
+    EventId check_access = kInvalidEventId;      // Request (paper E6).
+    EventId assign_user = kInvalidEventId;       // Administrative request.
+    EventId deassign_user = kInvalidEventId;
+    EventId enable_role = kInvalidEventId;       // GTRBAC transition request.
+    EventId disable_role = kInvalidEventId;
+    EventId session_role_added = kInvalidEventId;    // Post-state (E3).
+    EventId session_role_dropped = kInvalidEventId;  // Post-state (E4).
+    EventId role_enabled = kInvalidEventId;          // Post-state.
+    EventId role_disabled = kInvalidEventId;         // Post-state.
+    EventId access_denied = kInvalidEventId;   // Raised by CA's ELSE.
+    EventId security_alert = kInvalidEventId;  // Raised by SEC rules.
+    EventId context_changed = kInvalidEventId;  // External/context events.
+  };
+
+  /// `clock` must outlive the engine; not owned. The engine is built for
+  /// deterministic simulated time; a wall-clock deployment would drive
+  /// Poll() instead of AdvanceTo().
+  explicit AuthorizationEngine(SimulatedClock* clock);
+  ~AuthorizationEngine();
+
+  AuthorizationEngine(const AuthorizationEngine&) = delete;
+  AuthorizationEngine& operator=(const AuthorizationEngine&) = delete;
+
+  // ------------------------------------------------------ Policy loading
+
+  /// Validates and installs `policy`: instantiates the RBAC base state and
+  /// generates the full rule pool. Call once on a fresh engine.
+  Status LoadPolicy(const Policy& policy);
+
+  /// Diffs the loaded policy against `updated`, reconciles base state and
+  /// regenerates only the affected rules (the paper's §5 regeneration).
+  Result<RegenReport> ApplyPolicyUpdate(const Policy& updated);
+
+  const Policy& policy() const { return policy_; }
+
+  // ------------------------------------------------ Runtime (rule-driven)
+
+  Decision CreateSession(const UserName& user, const SessionId& session);
+  Decision DeleteSession(const SessionId& session);
+  Decision AddActiveRole(const UserName& user, const SessionId& session,
+                         const RoleName& role);
+  Decision DropActiveRole(const UserName& user, const SessionId& session,
+                          const RoleName& role);
+  /// Purpose is optional; required when the object carries a privacy
+  /// policy (privacy-aware RBAC).
+  Decision CheckAccess(const SessionId& session, const OperationName& op,
+                       const ObjectName& obj, const PurposeName& purpose = "");
+  Decision AssignUser(const UserName& user, const RoleName& role);
+  Decision DeassignUser(const UserName& user, const RoleName& role);
+  Decision EnableRole(const RoleName& role);
+  Decision DisableRole(const RoleName& role);
+
+  /// Context-aware RBAC: records an environment value ("location",
+  /// "network", ...) and raises the external context event. Generated CTX
+  /// rules force-deactivate active roles whose context constraints no
+  /// longer hold (paper §1; OASIS-style environmental predicates).
+  void SetContext(const std::string& key, const std::string& value);
+  /// Current context value, empty string when unset.
+  const std::string& ContextValue(const std::string& key) const;
+  /// True iff every (key, value) pair holds in the current context.
+  bool ContextSatisfied(
+      const std::map<std::string, std::string>& required) const;
+
+  // --------------------------------------------------------------- Time
+
+  /// Advances simulated time, firing temporal events (shift boundaries,
+  /// duration expiries, audit ticks) at their exact instants.
+  void AdvanceTo(Time t);
+  void AdvanceBy(Duration d) { AdvanceTo(Now() + d); }
+  Time Now() const { return clock_->Now(); }
+
+  // --------------------------------------- Services for generated rules
+
+  RbacSystem& rbac() { return rbac_; }
+  const RbacSystem& rbac() const { return rbac_; }
+  RoleStateTable& role_state() { return role_state_; }
+  const RoleStateTable& role_state() const { return role_state_; }
+  PrivacyStore& privacy() { return privacy_; }
+  const PrivacyStore& privacy() const { return privacy_; }
+  ActiveSecurityMonitor& security() { return security_; }
+  const ActiveSecurityMonitor& security() const { return security_; }
+  EventDetector& detector() { return detector_; }
+  const EventDetector& detector() const { return detector_; }
+  RuleManager& rule_manager() { return rules_; }
+  const RuleManager& rule_manager() const { return rules_; }
+  const CoreEvents& events() const { return events_; }
+
+  /// Drops `role` from `session` outside a user request (duration expiry,
+  /// shift end, cascade), raising the post-state event.
+  Status ForceDeactivate(const UserName& user, const SessionId& session,
+                         const RoleName& role);
+  /// Force-deactivates every active instance of `role`; returns count.
+  int DeactivateAllInstances(const RoleName& role);
+
+  /// Active role instances of `user` across all their sessions.
+  int CountUserActiveRoles(const UserName& user) const;
+
+  /// True iff a time-SoD of `kind` containing `role` is in effect now.
+  bool TsodGuardedNow(const RoleName& role, TimeSodKind kind) const;
+  /// True iff `role` triggers a CFD pair (its enabling is CFD-handled).
+  bool IsCfdTrigger(const RoleName& role) const;
+
+  /// Disabling-time SoD verdict: for every in-effect disabling time-SoD
+  /// containing `role`, some counter-role must still be enabled.
+  bool DisableTsodOk(const RoleName& role) const;
+  /// Enabling-time SoD verdict: for every in-effect enabling time-SoD
+  /// containing `role`, some counter-role must remain disabled.
+  bool EnableTsodOk(const RoleName& role) const;
+
+  /// Registers a duration-expiry PLUS event so session teardown can cancel
+  /// its pending expiries. Called by the rule generator.
+  void RegisterDurationEvent(EventId plus_event);
+  /// Cancels pending duration expiries matching `match`.
+  void CancelDurationTimers(const ParamMap& match);
+
+  /// Raises a primitive event (used by rule actions for cascades).
+  Status RaiseEvent(EventId event, ParamMap params) {
+    return detector_.Raise(event, std::move(params));
+  }
+
+  // ------------------------------------------------------ Introspection
+
+  uint64_t decisions_made() const { return decisions_made_; }
+  uint64_t denials() const { return denials_; }
+
+  /// Bounded audit trail of the most recent decisions (administrators'
+  /// report material; audit rules summarize it). Oldest first.
+  const std::deque<DecisionRecord>& decision_log() const {
+    return decision_log_;
+  }
+  /// Sets the trail capacity (default 256; 0 disables recording).
+  void set_decision_log_capacity(size_t capacity);
+
+ private:
+  /// Raises `event` with a fresh Decision installed; applies the default
+  /// deny when no rule decided.
+  Decision Dispatch(EventId event, ParamMap params);
+
+  Status ReconcileBaseState(const Policy& from, const Policy& to);
+
+  SimulatedClock* clock_;  // Not owned.
+  EventDetector detector_;
+  RuleManager rules_;
+  RbacSystem rbac_;
+  RoleStateTable role_state_;
+  PrivacyStore privacy_;
+  ActiveSecurityMonitor security_;
+  Policy policy_;
+  std::unique_ptr<RuleGenerator> generator_;
+  CoreEvents events_;
+  std::vector<EventId> duration_events_;
+  std::map<std::string, std::string> context_;
+  std::deque<DecisionRecord> decision_log_;
+  size_t decision_log_capacity_ = 256;
+  bool policy_loaded_ = false;
+  uint64_t decisions_made_ = 0;
+  uint64_t denials_ = 0;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_CORE_ENGINE_H_

@@ -1,0 +1,233 @@
+#ifndef SENTINELPP_CORE_POLICY_H_
+#define SENTINELPP_CORE_POLICY_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "core/privacy.h"
+#include "gtrbac/periodic_expression.h"
+#include "gtrbac/temporal_constraint.h"
+#include "rbac/sod.h"
+#include "rbac/types.h"
+
+namespace sentinel {
+
+/// \brief One role node of the access-specification graph (Figure 1),
+/// with its relationship flags and per-role constraint annotations.
+struct RoleSpec {
+  RoleName name;
+  /// Immediate hierarchy edges: this role is senior of each listed role.
+  std::set<RoleName> juniors;
+  /// Permissions granted directly to this role.
+  std::set<Permission> permissions;
+  /// Rule 4: max sessions the role may be active in at once (0 = no limit).
+  int activation_cardinality = 0;
+  /// GTRBAC shift: when present, the role is enabled only inside windows.
+  std::optional<PeriodicExpression> enabling_window;
+  /// Rule 7 (localized): per-activation duration bound (0 = none).
+  Duration max_activation = 0;
+  /// Prerequisite roles: must be active in the session before this one.
+  std::set<RoleName> prerequisites;
+  /// Context-aware RBAC: environment keys that must hold the given values
+  /// for the role to be activated — and to *stay* active (a context change
+  /// that breaks a constraint force-deactivates the role, the paper's §1
+  /// "constraints should hold TRUE until the role is deactivated").
+  std::map<std::string, std::string> required_context;
+
+  friend bool operator==(const RoleSpec&, const RoleSpec&) = default;
+};
+
+/// \brief One user with assignments and user-specific (specialized-rule)
+/// constraints.
+struct UserSpec {
+  UserName name;
+  std::set<RoleName> assignments;
+  /// Scenario 1 (§4.3): max roles active at a time across the user's
+  /// sessions (0 = no limit).
+  int max_active_roles = 0;
+  /// Rule 7 (specialized): per-role activation duration bounds.
+  std::map<RoleName, Duration> role_durations;
+
+  friend bool operator==(const UserSpec&, const UserSpec&) = default;
+};
+
+/// \brief Control-flow dependency (Rule 8): enabling `trigger` requires
+/// enabling `companion` too; disabling `companion` disables `trigger`.
+struct CfdPair {
+  RoleName trigger;    // e.g. SysAdmin
+  RoleName companion;  // e.g. SysAudit
+
+  friend bool operator==(const CfdPair&, const CfdPair&) = default;
+};
+
+/// \brief Transaction-based activation (Rule 9 / active security):
+/// `dependent` can only be activated while `controller` is active, and is
+/// deactivated when the controller deactivates.
+struct TransactionActivation {
+  std::string name;
+  RoleName controller;  // e.g. Manager
+  RoleName dependent;   // e.g. JuniorEmp
+
+  friend bool operator==(const TransactionActivation&,
+                         const TransactionActivation&) = default;
+};
+
+/// \brief Active-security threshold directive (§1): `threshold` denials
+/// within `window` raise an internal alert; optionally, rules whose names
+/// start with one of `disable_rule_prefixes` are disabled.
+struct ThresholdDirective {
+  std::string name;
+  int threshold = 5;
+  Duration window = kMinute;
+  std::vector<std::string> disable_rule_prefixes;
+  /// Roles to disable (and deactivate everywhere) when the alert fires —
+  /// the paper's "deactivate a set of roles" alert action (§3).
+  std::vector<RoleName> disable_roles;
+
+  friend bool operator==(const ThresholdDirective&,
+                         const ThresholdDirective&) = default;
+};
+
+/// \brief Periodic audit directive: a report every `interval` (PERIODIC
+/// event, §3: "periodically monitor the underlying system and generate
+/// reports").
+struct AuditDirective {
+  std::string name;
+  Duration interval = kHour;
+
+  friend bool operator==(const AuditDirective&,
+                         const AuditDirective&) = default;
+};
+
+/// \brief Purpose registration for privacy-aware RBAC.
+struct PurposeSpec {
+  PurposeName name;
+  PurposeName parent;  // Empty for roots.
+
+  friend bool operator==(const PurposeSpec&, const PurposeSpec&) = default;
+};
+
+/// \brief Per-object allowed purposes.
+struct ObjectPolicySpec {
+  ObjectName object;
+  std::set<PurposeName> purposes;
+
+  friend bool operator==(const ObjectPolicySpec&,
+                         const ObjectPolicySpec&) = default;
+};
+
+/// \brief The high-level enterprise access control policy — everything the
+/// paper's RBAC Manager captures, in one value type. The rule generator
+/// compiles a Policy into the engine's rule pool; edits produce a new
+/// Policy whose diff drives incremental regeneration.
+class Policy {
+ public:
+  Policy() = default;
+  explicit Policy(std::string name) : name_(std::move(name)) {}
+
+  // Value semantics: policies are edited by copy-and-mutate.
+  Policy(const Policy&) = default;
+  Policy& operator=(const Policy&) = default;
+  Policy(Policy&&) = default;
+  Policy& operator=(Policy&&) = default;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // ------------------------------------------------------------ Mutation
+
+  Status AddRole(RoleSpec role);
+  Status RemoveRole(const RoleName& role);
+  Result<RoleSpec*> MutableRole(const RoleName& role);
+
+  Status AddUser(UserSpec user);
+  Status RemoveUser(const UserName& user);
+  Result<UserSpec*> MutableUser(const UserName& user);
+
+  Status AddSsd(SodSet set);
+  Status RemoveSsd(const std::string& name);
+  Status AddDsd(SodSet set);
+  Status RemoveDsd(const std::string& name);
+
+  Status AddCfd(CfdPair pair);
+  Status AddTransaction(TransactionActivation tx);
+  Status AddThreshold(ThresholdDirective directive);
+  Status AddAudit(AuditDirective directive);
+  Status AddTimeSod(TimeSod constraint);
+  Status AddPurpose(PurposeSpec purpose);
+  Status AddObjectPolicy(ObjectPolicySpec policy);
+
+  // -------------------------------------------------------------- Access
+
+  const std::map<RoleName, RoleSpec>& roles() const { return roles_; }
+  const std::map<UserName, UserSpec>& users() const { return users_; }
+  const std::map<std::string, SodSet>& ssd_sets() const { return ssd_sets_; }
+  const std::map<std::string, SodSet>& dsd_sets() const { return dsd_sets_; }
+  const std::vector<CfdPair>& cfd_pairs() const { return cfd_pairs_; }
+  const std::vector<TransactionActivation>& transactions() const {
+    return transactions_;
+  }
+  const std::vector<ThresholdDirective>& thresholds() const {
+    return thresholds_;
+  }
+  const std::vector<AuditDirective>& audits() const { return audits_; }
+  const std::vector<TimeSod>& time_sods() const { return time_sods_; }
+  const std::vector<PurposeSpec>& purposes() const { return purposes_; }
+  const std::vector<ObjectPolicySpec>& object_policies() const {
+    return object_policies_;
+  }
+
+  bool HasRole(const RoleName& role) const { return roles_.count(role) > 0; }
+
+  /// Role properties the generator keys AAR variants on (paper §4.3.1).
+  bool RoleInHierarchy(const RoleName& role) const;
+  bool RoleInDsd(const RoleName& role) const;
+  bool RoleInSsd(const RoleName& role) const;
+  /// True when the role is the dependent of a transaction activation (its
+  /// activation is handled by the ASEC Aperiodic rule, not a plain AAR).
+  bool RoleIsTransactionDependent(const RoleName& role) const;
+
+  // ---------------------------------------------------------- Validation
+
+  /// Structural consistency: every referenced role/user/purpose exists,
+  /// hierarchy is acyclic, SoD sets are sane, directives well-formed.
+  Status Validate() const;
+
+  // ------------------------------------------------------------- Diffing
+
+  /// Roles whose generated rules must be rebuilt when moving from `from`
+  /// to `to` (changed/added/removed role specs, membership in changed SoD
+  /// sets / CFDs / transactions / time-SoDs).
+  static std::set<RoleName> AffectedRoles(const Policy& from,
+                                          const Policy& to);
+  /// Users whose specialized rules must be rebuilt.
+  static std::set<UserName> AffectedUsers(const Policy& from,
+                                          const Policy& to);
+  /// True when directive sections (thresholds/audits) differ.
+  static bool DirectivesChanged(const Policy& from, const Policy& to);
+
+  friend bool operator==(const Policy&, const Policy&) = default;
+
+ private:
+  std::string name_;
+  std::map<RoleName, RoleSpec> roles_;
+  std::map<UserName, UserSpec> users_;
+  std::map<std::string, SodSet> ssd_sets_;
+  std::map<std::string, SodSet> dsd_sets_;
+  std::vector<CfdPair> cfd_pairs_;
+  std::vector<TransactionActivation> transactions_;
+  std::vector<ThresholdDirective> thresholds_;
+  std::vector<AuditDirective> audits_;
+  std::vector<TimeSod> time_sods_;
+  std::vector<PurposeSpec> purposes_;
+  std::vector<ObjectPolicySpec> object_policies_;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_CORE_POLICY_H_

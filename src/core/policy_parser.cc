@@ -1,0 +1,624 @@
+#include "core/policy_parser.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace sentinel {
+
+namespace {
+
+/// Serializes a duration with the largest unit that divides it evenly, so
+/// PolicyToText round-trips through ParseDuration losslessly.
+std::string FormatDurationLossless(Duration d) {
+  struct Unit {
+    Duration span;
+    const char* suffix;
+  };
+  static constexpr Unit kUnits[] = {
+      {kDay, "d"}, {kHour, "h"}, {kMinute, "m"},
+      {kSecond, "s"}, {kMillisecond, "ms"}, {kMicrosecond, "us"}};
+  for (const Unit& unit : kUnits) {
+    if (d % unit.span == 0) {
+      return std::to_string(d / unit.span) + unit.suffix;
+    }
+  }
+  return std::to_string(d) + "us";
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> SplitList(const std::string& s) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : s) {
+    if (c == ',') {
+      const std::string item = Trim(current);
+      if (!item.empty()) out.push_back(item);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  const std::string item = Trim(current);
+  if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+/// One parsed block: `kind name { key: value ... }`.
+struct Block {
+  std::string kind;
+  std::string name;
+  std::map<std::string, std::vector<std::string>> properties;  // key -> values
+  int line = 0;
+};
+
+Status ParseError(int line, const std::string& message) {
+  return Status::ParseError("line " + std::to_string(line) + ": " + message);
+}
+
+Result<PeriodicExpression> ParseWindow(const std::string& text, int line) {
+  auto parsed = PeriodicExpression::Parse(text);
+  if (!parsed.ok()) {
+    return ParseError(line, "bad window '" + text +
+                                "': " + parsed.status().message());
+  }
+  return parsed;
+}
+
+Result<Permission> ParsePermission(const std::string& text, int line) {
+  const size_t open = text.find('(');
+  const size_t close = text.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    return ParseError(line, "expected op(object), got '" + text + "'");
+  }
+  Permission perm;
+  perm.operation = Trim(text.substr(0, open));
+  perm.object = Trim(text.substr(open + 1, close - open - 1));
+  if (perm.operation.empty() || perm.object.empty()) {
+    return ParseError(line, "empty operation or object in '" + text + "'");
+  }
+  return perm;
+}
+
+Result<int> ParseInt(const std::string& text, int line) {
+  if (text.empty()) return ParseError(line, "expected integer");
+  int value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return ParseError(line, "expected integer, got '" + text + "'");
+    }
+    value = value * 10 + (c - '0');
+    if (value > 1000000000) {
+      return ParseError(line, "integer too large: " + text);
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<Duration> PolicyParser::ParseDuration(const std::string& text) {
+  const std::string t = Trim(text);
+  if (t.empty()) return Status::ParseError("empty duration");
+  size_t i = 0;
+  int64_t value = 0;
+  while (i < t.size() && t[i] >= '0' && t[i] <= '9') {
+    value = value * 10 + (t[i] - '0');
+    if (value > 100'000'000'000LL) {
+      return Status::ParseError("duration too large: " + t);
+    }
+    ++i;
+  }
+  if (i == 0) return Status::ParseError("expected number in duration: " + t);
+  const std::string suffix = t.substr(i);
+  if (suffix.empty() || suffix == "s") return value * kSecond;
+  if (suffix == "us") return value * kMicrosecond;
+  if (suffix == "ms") return value * kMillisecond;
+  if (suffix == "m" || suffix == "min") return value * kMinute;
+  if (suffix == "h") return value * kHour;
+  if (suffix == "d") return value * kDay;
+  return Status::ParseError("unknown duration suffix '" + suffix + "' in " +
+                            t);
+}
+
+Result<Policy> PolicyParser::Parse(const std::string& text) {
+  Policy policy;
+
+  // ---------------------------------------------------------- Tokenize
+  std::vector<Block> blocks;
+  Block* open_block = nullptr;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const size_t comment = raw.find('#');
+    if (comment != std::string::npos) raw = raw.substr(0, comment);
+    std::string line = Trim(raw);
+    if (line.empty()) continue;
+
+    if (open_block == nullptr) {
+      // Expect: `policy "name"` or `kind [name] {` (maybe one-line block).
+      if (line.rfind("policy", 0) == 0) {
+        std::string name = Trim(line.substr(6));
+        if (name.size() >= 2 && name.front() == '"' && name.back() == '"') {
+          name = name.substr(1, name.size() - 2);
+        }
+        if (name.empty()) return ParseError(line_no, "empty policy name");
+        policy.set_name(name);
+        continue;
+      }
+      const size_t brace = line.find('{');
+      if (brace == std::string::npos) {
+        return ParseError(line_no, "expected a block, got '" + line + "'");
+      }
+      std::string header = Trim(line.substr(0, brace));
+      std::string rest = Trim(line.substr(brace + 1));
+      std::istringstream hs(header);
+      Block block;
+      block.line = line_no;
+      hs >> block.kind;
+      std::string maybe_name;
+      hs >> maybe_name;
+      block.name = maybe_name;
+      if (block.kind.empty()) {
+        return ParseError(line_no, "missing block kind");
+      }
+      blocks.push_back(std::move(block));
+      open_block = &blocks.back();
+      // Allow inline content and inline close: `ssd S { roles: A, B  n: 2 }`.
+      line = rest;
+      if (line.empty()) continue;
+    }
+
+    // Inside a block: possibly `... }` on this line.
+    bool closes = false;
+    const size_t close = line.rfind('}');
+    if (close != std::string::npos) {
+      closes = true;
+      line = Trim(line.substr(0, close));
+    }
+    if (!line.empty()) {
+      // One or more `key: value` segments. Values may contain ':' (time
+      // patterns), so split on known key boundaries: a key is a word
+      // followed by ':' at a segment start. Segments separated by two or
+      // more spaces or by ';'.
+      std::vector<std::string> segments;
+      std::string current;
+      for (size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == ';' ||
+            (line[i] == ' ' && i + 1 < line.size() && line[i + 1] == ' ')) {
+          if (!Trim(current).empty()) segments.push_back(Trim(current));
+          current.clear();
+          while (i + 1 < line.size() && line[i + 1] == ' ') ++i;
+        } else {
+          current += line[i];
+        }
+      }
+      if (!Trim(current).empty()) segments.push_back(Trim(current));
+
+      for (const std::string& segment : segments) {
+        const size_t colon = segment.find(':');
+        if (colon == std::string::npos) {
+          return ParseError(line_no,
+                            "expected key: value, got '" + segment + "'");
+        }
+        const std::string key = Trim(segment.substr(0, colon));
+        const std::string value = Trim(segment.substr(colon + 1));
+        if (key.empty()) return ParseError(line_no, "empty property key");
+        open_block->properties[key].push_back(value);
+      }
+    }
+    if (closes) open_block = nullptr;
+  }
+  if (open_block != nullptr) {
+    return ParseError(open_block->line, "unterminated block '" +
+                                            open_block->kind + "'");
+  }
+
+  // ------------------------------------------------------------- Build
+  // Roles first (other blocks reference them), then users, then the rest.
+  auto get_single = [](const Block& block, const std::string& key)
+      -> const std::string* {
+    auto it = block.properties.find(key);
+    if (it == block.properties.end() || it->second.empty()) return nullptr;
+    return &it->second.back();
+  };
+
+  for (const Block& block : blocks) {
+    if (block.kind != "role") continue;
+    if (block.name.empty()) return ParseError(block.line, "role needs a name");
+    RoleSpec spec;
+    spec.name = block.name;
+    if (const std::string* v = get_single(block, "cardinality")) {
+      SENTINEL_ASSIGN_OR_RETURN(n, ParseInt(*v, block.line));
+      spec.activation_cardinality = n;
+    }
+    if (const std::string* v = get_single(block, "max-activation")) {
+      auto d = ParseDuration(*v);
+      if (!d.ok()) return ParseError(block.line, d.status().message());
+      spec.max_activation = *d;
+    }
+    if (const std::string* v = get_single(block, "enable")) {
+      SENTINEL_ASSIGN_OR_RETURN(window, ParseWindow(*v, block.line));
+      spec.enabling_window = window;
+    }
+    auto it = block.properties.find("senior-of");
+    if (it != block.properties.end()) {
+      for (const std::string& value : it->second) {
+        for (const std::string& junior : SplitList(value)) {
+          spec.juniors.insert(junior);
+        }
+      }
+    }
+    it = block.properties.find("prerequisite");
+    if (it != block.properties.end()) {
+      for (const std::string& value : it->second) {
+        for (const std::string& prereq : SplitList(value)) {
+          spec.prerequisites.insert(prereq);
+        }
+      }
+    }
+    it = block.properties.find("permission");
+    if (it != block.properties.end()) {
+      for (const std::string& value : it->second) {
+        for (const std::string& text_perm : SplitList(value)) {
+          SENTINEL_ASSIGN_OR_RETURN(perm,
+                                    ParsePermission(text_perm, block.line));
+          spec.permissions.insert(perm);
+        }
+      }
+    }
+    it = block.properties.find("context");
+    if (it != block.properties.end()) {
+      for (const std::string& value : it->second) {
+        const size_t eq = value.find('=');
+        if (eq == std::string::npos) {
+          return ParseError(block.line,
+                            "expected context: key = value, got '" + value +
+                                "'");
+        }
+        const std::string key = Trim(value.substr(0, eq));
+        const std::string val = Trim(value.substr(eq + 1));
+        if (key.empty() || val.empty()) {
+          return ParseError(block.line, "empty context key or value");
+        }
+        spec.required_context[key] = val;
+      }
+    }
+    Status added = policy.AddRole(std::move(spec));
+    if (!added.ok()) return ParseError(block.line, added.message());
+  }
+
+  for (const Block& block : blocks) {
+    if (block.kind == "role") continue;
+    if (block.kind == "user") {
+      if (block.name.empty()) {
+        return ParseError(block.line, "user needs a name");
+      }
+      UserSpec spec;
+      spec.name = block.name;
+      auto it = block.properties.find("assign");
+      if (it != block.properties.end()) {
+        for (const std::string& value : it->second) {
+          for (const std::string& role : SplitList(value)) {
+            spec.assignments.insert(role);
+          }
+        }
+      }
+      if (const std::string* v = get_single(block, "max-active")) {
+        SENTINEL_ASSIGN_OR_RETURN(n, ParseInt(*v, block.line));
+        spec.max_active_roles = n;
+      }
+      it = block.properties.find("duration");
+      if (it != block.properties.end()) {
+        for (const std::string& value : it->second) {
+          const size_t eq = value.find('=');
+          if (eq == std::string::npos) {
+            return ParseError(block.line,
+                              "expected duration: ROLE = 30m, got '" +
+                                  value + "'");
+          }
+          const RoleName role = Trim(value.substr(0, eq));
+          auto d = ParseDuration(value.substr(eq + 1));
+          if (!d.ok()) return ParseError(block.line, d.status().message());
+          spec.role_durations[role] = *d;
+        }
+      }
+      Status added = policy.AddUser(std::move(spec));
+      if (!added.ok()) return ParseError(block.line, added.message());
+    } else if (block.kind == "ssd" || block.kind == "dsd") {
+      if (block.name.empty()) {
+        return ParseError(block.line, block.kind + " needs a name");
+      }
+      SodSet set;
+      set.name = block.name;
+      if (const std::string* v = get_single(block, "roles")) {
+        for (const std::string& role : SplitList(*v)) set.roles.insert(role);
+      }
+      set.n = 2;
+      if (const std::string* v = get_single(block, "n")) {
+        SENTINEL_ASSIGN_OR_RETURN(n, ParseInt(*v, block.line));
+        set.n = n;
+      }
+      Status added = block.kind == "ssd" ? policy.AddSsd(std::move(set))
+                                         : policy.AddDsd(std::move(set));
+      if (!added.ok()) return ParseError(block.line, added.message());
+    } else if (block.kind == "cfd") {
+      const std::string* trigger = get_single(block, "trigger");
+      const std::string* companion = get_single(block, "companion");
+      if (trigger == nullptr || companion == nullptr) {
+        return ParseError(block.line, "cfd needs trigger: and companion:");
+      }
+      (void)policy.AddCfd(CfdPair{*trigger, *companion});
+    } else if (block.kind == "transaction") {
+      const std::string* controller = get_single(block, "controller");
+      const std::string* dependent = get_single(block, "dependent");
+      if (controller == nullptr || dependent == nullptr) {
+        return ParseError(block.line,
+                          "transaction needs controller: and dependent:");
+      }
+      TransactionActivation tx;
+      tx.name = block.name.empty()
+                    ? *controller + "." + *dependent
+                    : block.name;
+      tx.controller = *controller;
+      tx.dependent = *dependent;
+      (void)policy.AddTransaction(std::move(tx));
+    } else if (block.kind == "threshold") {
+      if (block.name.empty()) {
+        return ParseError(block.line, "threshold needs a name");
+      }
+      ThresholdDirective directive;
+      directive.name = block.name;
+      if (const std::string* v = get_single(block, "count")) {
+        SENTINEL_ASSIGN_OR_RETURN(n, ParseInt(*v, block.line));
+        directive.threshold = n;
+      }
+      if (const std::string* v = get_single(block, "window")) {
+        auto d = ParseDuration(*v);
+        if (!d.ok()) return ParseError(block.line, d.status().message());
+        directive.window = *d;
+      }
+      if (const std::string* v = get_single(block, "disable")) {
+        directive.disable_rule_prefixes = SplitList(*v);
+      }
+      if (const std::string* v = get_single(block, "disable-roles")) {
+        directive.disable_roles = SplitList(*v);
+      }
+      (void)policy.AddThreshold(std::move(directive));
+    } else if (block.kind == "audit") {
+      if (block.name.empty()) {
+        return ParseError(block.line, "audit needs a name");
+      }
+      AuditDirective directive;
+      directive.name = block.name;
+      if (const std::string* v = get_single(block, "interval")) {
+        auto d = ParseDuration(*v);
+        if (!d.ok()) return ParseError(block.line, d.status().message());
+        directive.interval = *d;
+      }
+      (void)policy.AddAudit(std::move(directive));
+    } else if (block.kind == "time-sod") {
+      if (block.name.empty()) {
+        return ParseError(block.line, "time-sod needs a name");
+      }
+      TimeSod constraint;
+      constraint.name = block.name;
+      if (const std::string* v = get_single(block, "kind")) {
+        if (*v == "disabling") {
+          constraint.kind = TimeSodKind::kDisabling;
+        } else if (*v == "enabling") {
+          constraint.kind = TimeSodKind::kEnabling;
+        } else {
+          return ParseError(block.line, "time-sod kind must be "
+                                        "disabling|enabling, got " + *v);
+        }
+      }
+      if (const std::string* v = get_single(block, "roles")) {
+        for (const std::string& role : SplitList(*v)) {
+          constraint.roles.insert(role);
+        }
+      }
+      const std::string* window = get_single(block, "window");
+      if (window == nullptr) {
+        return ParseError(block.line, "time-sod needs window:");
+      }
+      SENTINEL_ASSIGN_OR_RETURN(period, ParseWindow(*window, block.line));
+      constraint.period = period;
+      (void)policy.AddTimeSod(std::move(constraint));
+    } else if (block.kind == "purpose") {
+      if (block.name.empty()) {
+        return ParseError(block.line, "purpose needs a name");
+      }
+      PurposeSpec spec;
+      spec.name = block.name;
+      if (const std::string* v = get_single(block, "parent")) {
+        spec.parent = *v;
+      }
+      (void)policy.AddPurpose(std::move(spec));
+    } else if (block.kind == "object-policy") {
+      if (block.name.empty()) {
+        return ParseError(block.line, "object-policy needs an object name");
+      }
+      ObjectPolicySpec spec;
+      spec.object = block.name;
+      if (const std::string* v = get_single(block, "purposes")) {
+        for (const std::string& purpose : SplitList(*v)) {
+          spec.purposes.insert(purpose);
+        }
+      }
+      (void)policy.AddObjectPolicy(std::move(spec));
+    } else {
+      return ParseError(block.line, "unknown block kind '" + block.kind +
+                                        "'");
+    }
+  }
+
+  Status valid = policy.Validate();
+  if (!valid.ok()) {
+    return Status::ParseError("policy validation failed: " + valid.message());
+  }
+  return policy;
+}
+
+Result<Policy> PolicyParser::ParseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open policy file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+std::string PolicyToText(const Policy& policy) {
+  std::ostringstream os;
+  os << "policy \"" << policy.name() << "\"\n\n";
+  for (const auto& [name, spec] : policy.roles()) {
+    os << "role " << name << " {\n";
+    if (!spec.juniors.empty()) {
+      os << "  senior-of: ";
+      bool first = true;
+      for (const RoleName& junior : spec.juniors) {
+        os << (first ? "" : ", ") << junior;
+        first = false;
+      }
+      os << "\n";
+    }
+    if (spec.activation_cardinality > 0) {
+      os << "  cardinality: " << spec.activation_cardinality << "\n";
+    }
+    if (spec.enabling_window.has_value()) {
+      os << "  enable: " << spec.enabling_window->window_start().ToString()
+         << " - " << spec.enabling_window->window_end().ToString() << "\n";
+    }
+    if (spec.max_activation > 0) {
+      os << "  max-activation: "
+         << FormatDurationLossless(spec.max_activation) << "\n";
+    }
+    if (!spec.prerequisites.empty()) {
+      os << "  prerequisite: ";
+      bool first = true;
+      for (const RoleName& prereq : spec.prerequisites) {
+        os << (first ? "" : ", ") << prereq;
+        first = false;
+      }
+      os << "\n";
+    }
+    if (!spec.permissions.empty()) {
+      os << "  permission: ";
+      bool first = true;
+      for (const Permission& perm : spec.permissions) {
+        os << (first ? "" : ", ") << perm.ToString();
+        first = false;
+      }
+      os << "\n";
+    }
+    for (const auto& [key, value] : spec.required_context) {
+      os << "  context: " << key << " = " << value << "\n";
+    }
+    os << "}\n";
+  }
+  for (const auto& [name, spec] : policy.users()) {
+    os << "user " << name << " {\n";
+    if (!spec.assignments.empty()) {
+      os << "  assign: ";
+      bool first = true;
+      for (const RoleName& role : spec.assignments) {
+        os << (first ? "" : ", ") << role;
+        first = false;
+      }
+      os << "\n";
+    }
+    if (spec.max_active_roles > 0) {
+      os << "  max-active: " << spec.max_active_roles << "\n";
+    }
+    for (const auto& [role, duration] : spec.role_durations) {
+      os << "  duration: " << role << " = "
+         << FormatDurationLossless(duration) << "\n";
+    }
+    os << "}\n";
+  }
+  auto emit_sod = [&os](const char* kind,
+                        const std::map<std::string, SodSet>& sets) {
+    for (const auto& [name, set] : sets) {
+      os << kind << " " << name << " { roles: ";
+      bool first = true;
+      for (const RoleName& role : set.roles) {
+        os << (first ? "" : ", ") << role;
+        first = false;
+      }
+      os << "  n: " << set.n << " }\n";
+    }
+  };
+  emit_sod("ssd", policy.ssd_sets());
+  emit_sod("dsd", policy.dsd_sets());
+  for (const CfdPair& pair : policy.cfd_pairs()) {
+    os << "cfd { trigger: " << pair.trigger
+       << "  companion: " << pair.companion << " }\n";
+  }
+  for (const TransactionActivation& tx : policy.transactions()) {
+    os << "transaction " << tx.name << " { controller: " << tx.controller
+       << "  dependent: " << tx.dependent << " }\n";
+  }
+  for (const ThresholdDirective& directive : policy.thresholds()) {
+    os << "threshold " << directive.name << " { count: "
+       << directive.threshold
+       << "  window: " << FormatDurationLossless(directive.window);
+    if (!directive.disable_rule_prefixes.empty()) {
+      os << "  disable: ";
+      bool first = true;
+      for (const std::string& prefix : directive.disable_rule_prefixes) {
+        os << (first ? "" : ", ") << prefix;
+        first = false;
+      }
+    }
+    if (!directive.disable_roles.empty()) {
+      os << "  disable-roles: ";
+      bool first = true;
+      for (const RoleName& role : directive.disable_roles) {
+        os << (first ? "" : ", ") << role;
+        first = false;
+      }
+    }
+    os << " }\n";
+  }
+  for (const AuditDirective& directive : policy.audits()) {
+    os << "audit " << directive.name << " { interval: "
+       << FormatDurationLossless(directive.interval) << " }\n";
+  }
+  for (const TimeSod& constraint : policy.time_sods()) {
+    os << "time-sod " << constraint.name << " { kind: "
+       << TimeSodKindToString(constraint.kind) << "  roles: ";
+    bool first = true;
+    for (const RoleName& role : constraint.roles) {
+      os << (first ? "" : ", ") << role;
+      first = false;
+    }
+    os << "  window: " << constraint.period.window_start().ToString()
+       << " - " << constraint.period.window_end().ToString() << " }\n";
+  }
+  for (const PurposeSpec& purpose : policy.purposes()) {
+    os << "purpose " << purpose.name << " {";
+    if (!purpose.parent.empty()) os << " parent: " << purpose.parent;
+    os << " }\n";
+  }
+  for (const ObjectPolicySpec& spec : policy.object_policies()) {
+    os << "object-policy " << spec.object << " { purposes: ";
+    bool first = true;
+    for (const PurposeName& purpose : spec.purposes) {
+      os << (first ? "" : ", ") << purpose;
+      first = false;
+    }
+    os << " }\n";
+  }
+  return os.str();
+}
+
+}  // namespace sentinel

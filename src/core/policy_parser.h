@@ -1,0 +1,66 @@
+#ifndef SENTINELPP_CORE_POLICY_PARSER_H_
+#define SENTINELPP_CORE_POLICY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/policy.h"
+
+namespace sentinel {
+
+/// \brief Parses the text policy DSL — the reproduction's stand-in for the
+/// paper's RBAC Manager GUI. The DSL spells the same access-specification
+/// graph: role nodes with relationship flags and constraint annotations,
+/// users, SoD relations, and the extension directives.
+///
+/// Grammar (line-oriented; `#` starts a comment; lists are comma-separated):
+///
+///   policy "enterprise-xyz"
+///
+///   role PM {
+///     senior-of: PC            # hierarchy edges (Figure 1 solid arrows)
+///     cardinality: 5           # Rule 4
+///     enable: 09:00:00 - 17:00:00   # GTRBAC shift (TimePattern pair)
+///     max-activation: 2h       # Rule 7
+///     prerequisite: Clerk
+///     permission: read(order), write(order)
+///   }
+///
+///   user bob {
+///     assign: PC
+///     max-active: 5            # scenario 1
+///     duration: R3 = 30m       # Rule 7, specialized
+///   }
+///
+///   ssd SoD1 { roles: PC, AC   n: 2 }      # Figure 1 dashed line
+///   dsd DSoD1 { roles: A, B, C   n: 2 }
+///   cfd { trigger: SysAdmin   companion: SysAudit }          # Rule 8
+///   transaction tx1 { controller: Manager  dependent: JuniorEmp }  # Rule 9
+///   threshold guard { count: 5  window: 60s  disable: CA }   # §1
+///   audit daily { interval: 24h }
+///   time-sod avail { kind: disabling  roles: Doctor, Nurse
+///                    window: 10:00:00 - 17:00:00 }           # Rule 6
+///   purpose business {}
+///   purpose marketing { parent: business }
+///   object-policy patient.dat { purposes: treatment }
+///
+/// Durations: integer + suffix us/ms/s/m/h/d (plain integers are seconds).
+class PolicyParser {
+ public:
+  /// Parses `text` and returns a validated Policy.
+  static Result<Policy> Parse(const std::string& text);
+
+  /// Reads and parses a `.acp` policy file.
+  static Result<Policy> ParseFile(const std::string& path);
+
+  /// Parses a duration literal like "120m", "30s", "24h" (public for reuse
+  /// in tools/tests).
+  static Result<Duration> ParseDuration(const std::string& text);
+};
+
+/// Serializes a Policy back into DSL text (round-trips through Parse).
+std::string PolicyToText(const Policy& policy);
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_CORE_POLICY_PARSER_H_

@@ -1,0 +1,80 @@
+#include "core/privacy.h"
+
+namespace sentinel {
+
+Status PrivacyStore::AddPurpose(const PurposeName& purpose,
+                                const PurposeName& parent) {
+  if (purpose.empty()) {
+    return Status::InvalidArgument("purpose name must not be empty");
+  }
+  if (parents_.count(purpose) > 0) {
+    return Status::AlreadyExists("purpose exists: " + purpose);
+  }
+  if (!parent.empty() && parents_.count(parent) == 0) {
+    return Status::NotFound("unknown parent purpose: " + parent);
+  }
+  parents_.emplace(purpose, parent);
+  return Status::OK();
+}
+
+Status PrivacyStore::DeletePurpose(const PurposeName& purpose) {
+  auto it = parents_.find(purpose);
+  if (it == parents_.end()) {
+    return Status::NotFound("no such purpose: " + purpose);
+  }
+  for (const auto& [child, parent] : parents_) {
+    if (parent == purpose) {
+      return Status::FailedPrecondition("purpose " + purpose +
+                                        " still has child " + child);
+    }
+  }
+  parents_.erase(it);
+  return Status::OK();
+}
+
+Status PrivacyStore::SetObjectPolicy(const ObjectName& obj,
+                                     std::set<PurposeName> allowed) {
+  for (const PurposeName& purpose : allowed) {
+    if (parents_.count(purpose) == 0) {
+      return Status::NotFound("unknown purpose in object policy: " + purpose);
+    }
+  }
+  if (allowed.empty()) {
+    object_policies_.erase(obj);
+  } else {
+    object_policies_[obj] = std::move(allowed);
+  }
+  return Status::OK();
+}
+
+bool PrivacyStore::PurposeEntails(const PurposeName& purpose,
+                                  const PurposeName& ancestor) const {
+  PurposeName current = purpose;
+  // Walk up the (forest-shaped, cycle-free by construction) hierarchy.
+  while (!current.empty()) {
+    if (current == ancestor) return true;
+    auto it = parents_.find(current);
+    if (it == parents_.end()) return false;
+    current = it->second;
+  }
+  return false;
+}
+
+bool PrivacyStore::AccessPermitted(const ObjectName& obj,
+                                   const PurposeName& purpose) const {
+  auto it = object_policies_.find(obj);
+  if (it == object_policies_.end()) return true;  // Unconstrained object.
+  if (purpose.empty() || parents_.count(purpose) == 0) return false;
+  for (const PurposeName& allowed : it->second) {
+    if (PurposeEntails(purpose, allowed)) return true;
+  }
+  return false;
+}
+
+const std::set<PurposeName>* PrivacyStore::ObjectPolicy(
+    const ObjectName& obj) const {
+  auto it = object_policies_.find(obj);
+  return it == object_policies_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sentinel

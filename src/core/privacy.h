@@ -1,0 +1,65 @@
+#ifndef SENTINELPP_CORE_PRIVACY_H_
+#define SENTINELPP_CORE_PRIVACY_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "rbac/types.h"
+
+namespace sentinel {
+
+/// A business purpose name (privacy-aware RBAC, He 2003, cited as [19]).
+using PurposeName = std::string;
+
+/// \brief Purposes, the purpose hierarchy, and per-object purpose policies.
+///
+/// Privacy-aware RBAC adds two elements to the ER model: "purpose" and
+/// "object-policy". An access request carries the purpose for which the
+/// operation executes; an object's policy names the purposes it may be
+/// used for. A request purpose satisfies a policy purpose when it equals
+/// it or is one of its descendants (a more specific business purpose).
+class PrivacyStore {
+ public:
+  PrivacyStore() = default;
+
+  /// Registers a purpose, optionally under a parent (general -> specific).
+  Status AddPurpose(const PurposeName& purpose,
+                    const PurposeName& parent = "");
+  Status DeletePurpose(const PurposeName& purpose);
+  bool HasPurpose(const PurposeName& purpose) const {
+    return parents_.count(purpose) > 0;
+  }
+
+  /// Sets the purposes object `obj` may be accessed for (replaces any
+  /// previous policy). An empty set removes the policy.
+  Status SetObjectPolicy(const ObjectName& obj, std::set<PurposeName> allowed);
+
+  bool ObjectHasPolicy(const ObjectName& obj) const {
+    return object_policies_.count(obj) > 0;
+  }
+
+  /// True iff `purpose` equals `ancestor` or descends from it.
+  bool PurposeEntails(const PurposeName& purpose,
+                      const PurposeName& ancestor) const;
+
+  /// Privacy verdict for accessing `obj` for `purpose`:
+  ///  - objects without a policy are unconstrained (always permitted);
+  ///  - otherwise the purpose must be registered and entail one of the
+  ///    allowed purposes; the empty purpose never satisfies a policy.
+  bool AccessPermitted(const ObjectName& obj,
+                       const PurposeName& purpose) const;
+
+  const std::set<PurposeName>* ObjectPolicy(const ObjectName& obj) const;
+  size_t purpose_count() const { return parents_.size(); }
+
+ private:
+  /// purpose -> parent ("" for roots).
+  std::map<PurposeName, PurposeName> parents_;
+  std::map<ObjectName, std::set<PurposeName>> object_policies_;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_CORE_PRIVACY_H_

@@ -1,0 +1,103 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "common/calendar.h"
+#include "core/engine.h"
+
+namespace sentinel {
+
+std::string GenerateAdminReport(const AuthorizationEngine& engine,
+                                const ReportOptions& options) {
+  std::ostringstream os;
+  const Policy& policy = engine.policy();
+
+  os << "=== sentinelpp administrator report ===\n";
+  os << "time: " << FormatTime(engine.Now()) << "\n";
+  os << "policy: \"" << policy.name() << "\" (" << policy.roles().size()
+     << " roles, " << policy.users().size() << " users)\n\n";
+
+  // ------------------------------------------------------------- Decisions
+  os << "-- decisions --\n";
+  os << "total: " << engine.decisions_made()
+     << "  denials: " << engine.denials();
+  if (engine.decisions_made() > 0) {
+    os << "  (deny rate "
+       << (100 * engine.denials() / engine.decisions_made()) << "%)";
+  }
+  os << "\n\n";
+
+  // -------------------------------------------------------------- The pool
+  const RuleManager& rules = engine.rule_manager();
+  os << "-- rule pool --\n";
+  os << "rules: " << rules.rule_count()
+     << "  fired: " << rules.total_fired()
+     << "  events: " << engine.detector().registry().size()
+     << "  pending timers: " << engine.detector().pending_timer_count()
+     << "\n";
+  os << "administrative: " << rules.CountByClass(RuleClass::kAdministrative)
+     << "  activity-control: "
+     << rules.CountByClass(RuleClass::kActivityControl)
+     << "  active-security: "
+     << rules.CountByClass(RuleClass::kActiveSecurity) << "\n";
+  int disabled_rules = 0;
+  for (const Rule* rule : rules.rules()) {
+    if (!rule->enabled()) ++disabled_rules;
+  }
+  if (disabled_rules > 0) {
+    os << "DISABLED rules: " << disabled_rules << " —";
+    for (const Rule* rule : rules.rules()) {
+      if (!rule->enabled()) os << ' ' << rule->name();
+    }
+    os << "\n";
+  }
+  os << "\n";
+
+  // ----------------------------------------------------------- Role states
+  const auto disabled_roles = engine.role_state().DisabledRoles();
+  os << "-- roles --\n";
+  os << "disabled: " << disabled_roles.size();
+  for (const RoleName& role : disabled_roles) os << ' ' << role;
+  os << "\n\n";
+
+  // -------------------------------------------------------------- Sessions
+  if (options.include_sessions) {
+    os << "-- sessions (" << engine.rbac().db().session_count() << ") --\n";
+    for (const SessionId& session : engine.rbac().db().SessionIds()) {
+      auto info = engine.rbac().db().GetSession(session);
+      if (!info.ok()) continue;
+      os << session << " (" << (*info)->user << "):";
+      for (const RoleName& role : (*info)->active_roles) os << ' ' << role;
+      os << "\n";
+    }
+    os << "\n";
+  }
+
+  // ---------------------------------------------------------------- Alerts
+  const auto& alerts = engine.security().alerts();
+  os << "-- security alerts (" << alerts.size() << ") --\n";
+  for (const SecurityAlert& alert : alerts) {
+    os << FormatTime(alert.when) << " [" << alert.directive << "] "
+       << alert.detail << " (observed " << alert.observed_count << ")\n";
+  }
+  os << "\n";
+
+  // -------------------------------------------------------- Recent denials
+  if (options.recent_denials > 0) {
+    os << "-- recent denials --\n";
+    int listed = 0;
+    const auto& log = engine.decision_log();
+    for (auto it = log.rbegin();
+         it != log.rend() && listed < options.recent_denials; ++it) {
+      if (it->decision.allowed) continue;
+      os << FormatTime(it->when) << ' ' << it->operation << " -> "
+         << (it->decision.rule.empty() ? "(default)" : it->decision.rule)
+         << ": " << it->decision.reason << "\n";
+      ++listed;
+    }
+    if (listed == 0) os << "(none in the audit trail)\n";
+  }
+  return os.str();
+}
+
+}  // namespace sentinel

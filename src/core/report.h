@@ -1,0 +1,33 @@
+#ifndef SENTINELPP_CORE_REPORT_H_
+#define SENTINELPP_CORE_REPORT_H_
+
+#include <string>
+
+#include "common/value.h"
+
+namespace sentinel {
+
+class AuthorizationEngine;
+
+/// \brief Options for administrator reports.
+struct ReportOptions {
+  /// Include the per-session active-role listing (can be long).
+  bool include_sessions = true;
+  /// How many recent denials from the decision log to list.
+  int recent_denials = 10;
+};
+
+/// \brief Renders the administrator report the paper's alert/audit actions
+/// refer to ("generate reports and alert administrators", §3): decision
+/// totals, rule-pool composition, role enablement, current sessions,
+/// security alerts and the most recent denials from the audit trail.
+///
+/// Audit (AUD) rules log a one-line summary each tick; this function is
+/// the full report for interactive/administrative use (see the
+/// active_security_monitor example and policy_inspector).
+std::string GenerateAdminReport(const AuthorizationEngine& engine,
+                                const ReportOptions& options = {});
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_CORE_REPORT_H_

@@ -1,0 +1,1244 @@
+#include "core/rule_generator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/engine.h"
+#include "rules/rule.h"
+
+namespace sentinel {
+
+namespace {
+
+Value V(const std::string& s) { return Value(s); }
+
+// Decision writers tolerant of monitoring contexts (no decision in flight,
+// e.g. timer-driven rule firings).
+void AllowDecision(RuleContext& ctx, const std::string& rule) {
+  if (ctx.decision != nullptr) ctx.decision->Allow(rule);
+}
+
+void DenyDecision(RuleContext& ctx, const std::string& rule,
+                  const std::string& reason) {
+  if (ctx.decision == nullptr) return;
+  ctx.decision->Deny(rule, reason);
+  // Explanation: surface which WHEN condition routed us into ELSE.
+  if (ctx.failed_condition != nullptr) {
+    ctx.decision->failed_condition = *ctx.failed_condition;
+  }
+}
+
+}  // namespace
+
+// ======================================================== Bookkeeping
+
+Result<EventId> RuleGenerator::EnsureFilter(const std::string& name,
+                                            EventId base, ParamMap equals) {
+  EventDetector& detector = engine_->detector();
+  if (detector.registry().Contains(name)) {
+    return detector.Lookup(name);
+  }
+  auto id = detector.DefineFilter(name, base, std::move(equals));
+  if (id.ok() && current_stats_ != nullptr) ++current_stats_->events_added;
+  return id;
+}
+
+Status RuleGenerator::AddRule(const std::string& tag, Rule rule) {
+  const std::string name = rule.name();
+  auto added = engine_->rule_manager().AddRule(std::move(rule));
+  if (!added.ok()) return added.status();
+  tags_[tag].rule_names.push_back(name);
+  if (current_stats_ != nullptr) ++current_stats_->rules_added;
+  return Status::OK();
+}
+
+void RuleGenerator::TrackTemporal(const std::string& tag, EventId event) {
+  tags_[tag].temporal_events.push_back(event);
+  if (current_stats_ != nullptr) ++current_stats_->events_added;
+}
+
+std::string RuleGenerator::TemporalName(const std::string& tag,
+                                        const std::string& stem) {
+  const int generation = generations_[tag];
+  if (generation == 0) return stem;
+  return stem + "#" + std::to_string(generation);
+}
+
+int RuleGenerator::RemoveTag(const std::string& tag) {
+  auto it = tags_.find(tag);
+  if (it == tags_.end()) return 0;
+  int removed = 0;
+  for (const std::string& rule_name : it->second.rule_names) {
+    if (engine_->rule_manager().RemoveRule(rule_name).ok()) ++removed;
+  }
+  for (EventId event : it->second.temporal_events) {
+    (void)engine_->detector().DeactivateEvent(event);
+  }
+  if (tag.rfind("sec:", 0) == 0) {
+    engine_->security().RemoveWindow(tag.substr(4));
+  }
+  ++generations_[tag];
+  tags_.erase(it);
+  if (current_stats_ != nullptr) current_stats_->rules_removed += removed;
+  return removed;
+}
+
+std::vector<std::string> RuleGenerator::RulesForTag(
+    const std::string& tag) const {
+  auto it = tags_.find(tag);
+  if (it == tags_.end()) return {};
+  return it->second.rule_names;
+}
+
+// ==================================================== Top-level passes
+
+Result<RuleGenerator::Stats> RuleGenerator::GenerateAll(
+    const Policy& policy) {
+  Stats stats;
+  current_stats_ = &stats;
+  Status status = GenerateGlobalRules(policy);
+  for (const auto& [name, spec] : policy.roles()) {
+    if (!status.ok()) break;
+    status = GenerateRoleRules(policy, spec);
+  }
+  for (const auto& [name, spec] : policy.users()) {
+    if (!status.ok()) break;
+    status = GenerateUserRules(policy, spec);
+  }
+  for (const TimeSod& tsod : policy.time_sods()) {
+    if (!status.ok()) break;
+    if (tsod.kind == TimeSodKind::kDisabling) {
+      status = GenerateTimeSodRules(policy, tsod);
+    }
+    // Enabling-time SoD is enforced by the GLOB.enable conditions, which
+    // read the policy dynamically; no per-constraint rules required.
+  }
+  for (size_t i = 0; i < policy.cfd_pairs().size() && status.ok(); ++i) {
+    status = GenerateCfdRules(policy, policy.cfd_pairs()[i],
+                              static_cast<int>(i));
+  }
+  for (const TransactionActivation& tx : policy.transactions()) {
+    if (!status.ok()) break;
+    status = GenerateTransactionRules(policy, tx);
+  }
+  for (const ThresholdDirective& directive : policy.thresholds()) {
+    if (!status.ok()) break;
+    status = GenerateThresholdRules(policy, directive);
+  }
+  for (const AuditDirective& directive : policy.audits()) {
+    if (!status.ok()) break;
+    status = GenerateAuditRules(policy, directive);
+  }
+  current_stats_ = nullptr;
+  if (!status.ok()) return status;
+  return stats;
+}
+
+Result<RuleGenerator::Stats> RuleGenerator::Regenerate(
+    const Policy& policy, const std::set<RoleName>& roles,
+    const std::set<UserName>& users, bool directives_changed) {
+  Stats stats;
+  current_stats_ = &stats;
+
+  auto touches_affected = [&roles](const TagInfo& info) {
+    return std::any_of(info.touches.begin(), info.touches.end(),
+                       [&roles](const RoleName& role) {
+                         return roles.count(role) > 0;
+                       });
+  };
+
+  // Collect constraint tags touching any affected role (before mutation).
+  std::vector<std::string> doomed;
+  for (const auto& [tag, info] : tags_) {
+    const bool role_tag = tag.rfind("role:", 0) == 0;
+    const bool user_tag = tag.rfind("user:", 0) == 0;
+    const bool directive_tag =
+        tag.rfind("sec:", 0) == 0 || tag.rfind("aud:", 0) == 0;
+    if (role_tag && roles.count(tag.substr(5)) > 0) {
+      doomed.push_back(tag);
+    } else if (user_tag && users.count(tag.substr(5)) > 0) {
+      doomed.push_back(tag);
+    } else if (directive_tag && directives_changed) {
+      doomed.push_back(tag);
+    } else if (!role_tag && !user_tag && !directive_tag && tag != "global" &&
+               touches_affected(info)) {
+      doomed.push_back(tag);
+    }
+  }
+  for (const std::string& tag : doomed) RemoveTag(tag);
+
+  Status status = Status::OK();
+  // Rebuild role and user rules for entries still present in the policy.
+  for (const RoleName& role : roles) {
+    if (!status.ok()) break;
+    auto it = policy.roles().find(role);
+    if (it != policy.roles().end()) {
+      status = GenerateRoleRules(policy, it->second);
+    }
+  }
+  for (const UserName& user : users) {
+    if (!status.ok()) break;
+    auto it = policy.users().find(user);
+    if (it != policy.users().end()) {
+      status = GenerateUserRules(policy, it->second);
+    }
+  }
+  // Rebuild constraint tags touching affected roles.
+  for (const TimeSod& tsod : policy.time_sods()) {
+    if (!status.ok()) break;
+    if (tsod.kind != TimeSodKind::kDisabling) continue;
+    const bool touches = std::any_of(
+        tsod.roles.begin(), tsod.roles.end(),
+        [&roles](const RoleName& role) { return roles.count(role) > 0; });
+    if (touches && tags_.count("tsod:" + tsod.name) == 0) {
+      status = GenerateTimeSodRules(policy, tsod);
+    }
+  }
+  for (size_t i = 0; i < policy.cfd_pairs().size() && status.ok(); ++i) {
+    const CfdPair& pair = policy.cfd_pairs()[i];
+    const bool touches =
+        roles.count(pair.trigger) > 0 || roles.count(pair.companion) > 0;
+    const std::string tag = "cfd:" + std::to_string(i);
+    if (touches && tags_.count(tag) == 0) {
+      status = GenerateCfdRules(policy, pair, static_cast<int>(i));
+    }
+  }
+  for (const TransactionActivation& tx : policy.transactions()) {
+    if (!status.ok()) break;
+    const bool touches =
+        roles.count(tx.controller) > 0 || roles.count(tx.dependent) > 0;
+    if (touches && tags_.count("tx:" + tx.name) == 0) {
+      status = GenerateTransactionRules(policy, tx);
+    }
+  }
+  if (directives_changed && status.ok()) {
+    for (const ThresholdDirective& directive : policy.thresholds()) {
+      status = GenerateThresholdRules(policy, directive);
+      if (!status.ok()) break;
+    }
+    for (const AuditDirective& directive : policy.audits()) {
+      if (!status.ok()) break;
+      status = GenerateAuditRules(policy, directive);
+    }
+  }
+  current_stats_ = nullptr;
+  if (!status.ok()) return status;
+  return stats;
+}
+
+// ===================================================== Global rules
+
+Status RuleGenerator::GenerateGlobalRules(const Policy& policy) {
+  (void)policy;  // Global rule conditions read engine_->policy() live.
+  AuthorizationEngine* eng = engine_;
+  const auto& ev = eng->events();
+  const std::string tag = "global";
+
+  using O = Rule::Options;
+
+  // --- ADM.createSession (paper: administrative rule, globalized) -------
+  {
+    Rule rule("ADM.createSession", ev.create_session,
+              O{0, true, RuleClass::kAdministrative,
+                RuleGranularity::kGlobalized});
+    rule.When("user IN userL",
+              [eng](RuleContext& c) {
+                return eng->rbac().db().HasUser(c.ParamString("user"));
+              })
+        .When("sessionId valid and NOT IN sessionL",
+              [eng](RuleContext& c) {
+                const SessionId session = c.ParamString("session");
+                return !session.empty() &&
+                       !eng->rbac().db().HasSession(session);
+              })
+        .Then("createSession(user, sessionId)",
+              [eng](RuleContext& c) {
+                (void)eng->rbac().db().CreateSession(c.ParamString("user"),
+                                                     c.ParamString("session"));
+                AllowDecision(c, "ADM.createSession");
+              })
+        .Else("raise error \"Cannot Create Session\"", [](RuleContext& c) {
+          DenyDecision(c, "ADM.createSession", "Cannot Create Session");
+        });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+  }
+
+  // --- ADM.deleteSession -------------------------------------------------
+  {
+    Rule rule("ADM.deleteSession", ev.delete_session,
+              O{0, true, RuleClass::kAdministrative,
+                RuleGranularity::kGlobalized});
+    rule.When("sessionId IN sessionL",
+              [eng](RuleContext& c) {
+                return eng->rbac().db().HasSession(c.ParamString("session"));
+              })
+        .Then("deactivate roles; deleteSession(sessionId)",
+              [eng](RuleContext& c) {
+                const SessionId session = c.ParamString("session");
+                auto info = eng->rbac().db().GetSession(session);
+                if (info.ok()) {
+                  const UserName user = (*info)->user;
+                  const std::set<RoleName> active = (*info)->active_roles;
+                  for (const RoleName& role : active) {
+                    (void)eng->ForceDeactivate(user, session, role);
+                  }
+                }
+                (void)eng->rbac().db().DeleteSession(session);
+                AllowDecision(c, "ADM.deleteSession");
+              })
+        .Else("raise error \"No Such Session\"", [](RuleContext& c) {
+          DenyDecision(c, "ADM.deleteSession", "No Such Session");
+        });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+  }
+
+  // --- ADM.assign (scenario 3: one globalized assignment rule) ----------
+  {
+    Rule rule("ADM.assign", ev.assign_user,
+              O{0, true, RuleClass::kAdministrative,
+                RuleGranularity::kGlobalized});
+    rule.When("user IN userL",
+              [eng](RuleContext& c) {
+                return eng->rbac().db().HasUser(c.ParamString("user"));
+              })
+        .When("role IN roleL",
+              [eng](RuleContext& c) {
+                return eng->rbac().db().HasRole(c.ParamString("role"));
+              })
+        .When("user NOT assigned to role",
+              [eng](RuleContext& c) {
+                return !eng->rbac().db().IsAssigned(c.ParamString("user"),
+                                                    c.ParamString("role"));
+              })
+        .When("checkStaticSoDSet(user, role)",
+              [eng](RuleContext& c) {
+                return eng->rbac().SsdSatisfiedWith(c.ParamString("user"),
+                                                    c.ParamString("role"));
+              })
+        .Then("assignUser(user, role)",
+              [eng](RuleContext& c) {
+                (void)eng->rbac().db().Assign(c.ParamString("user"),
+                                              c.ParamString("role"));
+                AllowDecision(c, "ADM.assign");
+              })
+        .Else("raise error \"Cannot Assign\"", [](RuleContext& c) {
+          DenyDecision(c, "ADM.assign", "Cannot Assign");
+        });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+  }
+
+  // --- ADM.deassign ------------------------------------------------------
+  {
+    Rule rule("ADM.deassign", ev.deassign_user,
+              O{0, true, RuleClass::kAdministrative,
+                RuleGranularity::kGlobalized});
+    rule.When("user IN userL",
+              [eng](RuleContext& c) {
+                return eng->rbac().db().HasUser(c.ParamString("user"));
+              })
+        .When("user assigned to role",
+              [eng](RuleContext& c) {
+                return eng->rbac().db().IsAssigned(c.ParamString("user"),
+                                                   c.ParamString("role"));
+              })
+        .Then("deassignUser(user, role); drop unauthorized active roles",
+              [eng](RuleContext& c) {
+                const UserName user = c.ParamString("user");
+                const RoleName role = c.ParamString("role");
+                (void)eng->rbac().db().Deassign(user, role);
+                // Active instances that lost their authorization fall away.
+                for (const SessionId& session :
+                     eng->rbac().db().UserSessions(user)) {
+                  auto info = eng->rbac().db().GetSession(session);
+                  if (!info.ok()) continue;
+                  const std::set<RoleName> active = (*info)->active_roles;
+                  for (const RoleName& r : active) {
+                    if (!eng->rbac().IsAuthorized(user, r)) {
+                      (void)eng->ForceDeactivate(user, session, r);
+                    }
+                  }
+                }
+                AllowDecision(c, "ADM.deassign");
+              })
+        .Else("raise error \"Cannot Deassign\"", [](RuleContext& c) {
+          DenyDecision(c, "ADM.deassign", "Cannot Deassign");
+        });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+  }
+
+  // --- GLOB.drop: deactivation requests ----------------------------------
+  {
+    Rule rule("GLOB.drop", ev.drop_active_role,
+              O{0, true, RuleClass::kActivityControl,
+                RuleGranularity::kGlobalized});
+    rule.When("sessionId IN sessionL",
+              [eng](RuleContext& c) {
+                return eng->rbac().db().HasSession(c.ParamString("session"));
+              })
+        .When("sessionId IN checkUserSessions(user)",
+              [eng](RuleContext& c) {
+                auto info = eng->rbac().db().GetSession(c.ParamString("session"));
+                return info.ok() && (*info)->user == c.ParamString("user");
+              })
+        .When("role IN checkSessionRoles(sessionId)",
+              [eng](RuleContext& c) {
+                return eng->rbac().db().IsSessionRoleActive(
+                    c.ParamString("session"), c.ParamString("role"));
+              })
+        .Then("dropSessionRole(sessionId, role)",
+              [eng](RuleContext& c) {
+                (void)eng->ForceDeactivate(c.ParamString("user"),
+                                           c.ParamString("session"),
+                                           c.ParamString("role"));
+                AllowDecision(c, "GLOB.drop");
+              })
+        .Else("raise error \"Cannot Deactivate\"", [](RuleContext& c) {
+          DenyDecision(c, "GLOB.drop", "Cannot Deactivate");
+        });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+  }
+
+  // --- CA.global: Rule 5 (check access) -----------------------------------
+  {
+    Rule rule("CA.global", ev.check_access,
+              O{0, true, RuleClass::kActivityControl,
+                RuleGranularity::kGlobalized});
+    rule.When("sessionId IN sessionL",
+              [eng](RuleContext& c) {
+                return eng->rbac().db().HasSession(c.ParamString("session"));
+              })
+        .When("operation IN opsL",
+              [eng](RuleContext& c) {
+                return eng->rbac().db().HasOperation(
+                    c.ParamString("operation"));
+              })
+        .When("object IN objL",
+              [eng](RuleContext& c) {
+                return eng->rbac().db().HasObject(c.ParamString("object"));
+              })
+        .When("ANY role IN getSessionRoles has checkPermissions",
+              [eng](RuleContext& c) {
+                auto verdict = eng->rbac().CheckAccess(
+                    c.ParamString("session"), c.ParamString("operation"),
+                    c.ParamString("object"));
+                return verdict.ok() && *verdict;
+              })
+        .When("purpose permitted by object policy",
+              [eng](RuleContext& c) {
+                return eng->privacy().AccessPermitted(
+                    c.ParamString("object"), c.ParamString("purpose"));
+              })
+        .Then("allow access",
+              [](RuleContext& c) { AllowDecision(c, "CA.global"); })
+        .Else("raise error \"Permission Denied\"", [eng](RuleContext& c) {
+          DenyDecision(c, "CA.global", "Permission Denied");
+          (void)eng->RaiseEvent(
+              eng->events().access_denied,
+              {{"session", V(c.ParamString("session"))},
+               {"operation", V(c.ParamString("operation"))},
+               {"object", V(c.ParamString("object"))}});
+        });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+  }
+
+  // --- GLOB.enable: role enabling (GTRBAC transitions) --------------------
+  {
+    Rule rule("GLOB.enable", ev.enable_role,
+              O{0, true, RuleClass::kActivityControl,
+                RuleGranularity::kGlobalized});
+    rule.When("role IN roleL",
+              [eng](RuleContext& c) {
+                return eng->rbac().db().HasRole(c.ParamString("role"));
+              })
+        .When("role is not a CFD trigger",
+              [eng](RuleContext& c) {
+                return !eng->IsCfdTrigger(c.ParamString("role"));
+              })
+        .When("enabling-time SoD satisfied",
+              [eng](RuleContext& c) {
+                return eng->EnableTsodOk(c.ParamString("role"));
+              })
+        .Then("enableRole(role)",
+              [eng](RuleContext& c) {
+                const RoleName role = c.ParamString("role");
+                eng->role_state().Enable(role, eng->Now());
+                AllowDecision(c, "GLOB.enable");
+                (void)eng->RaiseEvent(eng->events().role_enabled,
+                                      {{"role", V(role)}});
+              })
+        .Else("deny or defer to CFD rule", [eng](RuleContext& c) {
+          const RoleName role = c.ParamString("role");
+          if (!eng->rbac().db().HasRole(role)) {
+            DenyDecision(c, "GLOB.enable", "No Such Role");
+          } else if (eng->IsCfdTrigger(role)) {
+            // The CFD rule on the filtered event adjudicates this request.
+          } else {
+            DenyDecision(c, "GLOB.enable",
+                         "Denied by Enabling-Time SoD");
+          }
+        });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+  }
+
+  // --- GLOB.disable --------------------------------------------------------
+  {
+    Rule rule("GLOB.disable", ev.disable_role,
+              O{0, true, RuleClass::kActivityControl,
+                RuleGranularity::kGlobalized});
+    rule.When("role IN roleL",
+              [eng](RuleContext& c) {
+                return eng->rbac().db().HasRole(c.ParamString("role"));
+              })
+        .When("no disabling-time SoD window in effect",
+              [eng](RuleContext& c) {
+                return !eng->TsodGuardedNow(c.ParamString("role"),
+                                            TimeSodKind::kDisabling);
+              })
+        .Then("disableRole(role)",
+              [eng](RuleContext& c) {
+                const RoleName role = c.ParamString("role");
+                eng->role_state().Disable(role, eng->Now());
+                eng->DeactivateAllInstances(role);
+                AllowDecision(c, "GLOB.disable");
+                (void)eng->RaiseEvent(eng->events().role_disabled,
+                                      {{"role", V(role)}});
+              })
+        .Else("deny or defer to TSOD rule", [eng](RuleContext& c) {
+          const RoleName role = c.ParamString("role");
+          if (!eng->rbac().db().HasRole(role)) {
+            DenyDecision(c, "GLOB.disable", "No Such Role");
+          }
+          // Guarded roles are adjudicated by the TSOD APERIODIC rule.
+        });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+  }
+
+  return Status::OK();
+}
+
+// ======================================================== Role rules
+
+Status RuleGenerator::GenerateRoleRules(const Policy& policy,
+                                        const RoleSpec& spec) {
+  AuthorizationEngine* eng = engine_;
+  const auto& ev = eng->events();
+  const RoleName role = spec.name;
+  const std::string tag = "role:" + role;
+  tags_[tag].touches.insert(role);
+
+  // Structural events, shared across generations.
+  SENTINEL_ASSIGN_OR_RETURN(
+      activate_ev, EnsureFilter("ev.act." + role, ev.add_active_role,
+                                {{"role", V(role)}}));
+  SENTINEL_ASSIGN_OR_RETURN(
+      added_ev, EnsureFilter("ev.added." + role, ev.session_role_added,
+                             {{"role", V(role)}}));
+  SENTINEL_ASSIGN_OR_RETURN(
+      dropped_ev, EnsureFilter("ev.dropped." + role, ev.session_role_dropped,
+                               {{"role", V(role)}}));
+  (void)dropped_ev;
+
+  const bool in_hierarchy = policy.RoleInHierarchy(role);
+  const bool in_dsd = policy.RoleInDsd(role);
+  const std::set<RoleName> prerequisites = spec.prerequisites;
+
+  // --- AAR.<role>: the activation rule, variant by role properties -------
+  // (paper §4.3.1, AAR1..AAR4). Roles whose activation is transaction-
+  // gated get their checks inside the ASEC rule instead.
+  if (!policy.RoleIsTransactionDependent(role)) {
+    Rule rule("AAR." + role, activate_ev,
+              Rule::Options{0, true, RuleClass::kActivityControl,
+                            RuleGranularity::kLocalized});
+    rule.When("user IN userL",
+              [eng](RuleContext& c) {
+                return eng->rbac().db().HasUser(c.ParamString("user"));
+              })
+        .When("sessionId IN sessionL",
+              [eng](RuleContext& c) {
+                return eng->rbac().db().HasSession(c.ParamString("session"));
+              })
+        .When("sessionId IN checkUserSessions(user)",
+              [eng](RuleContext& c) {
+                auto info =
+                    eng->rbac().db().GetSession(c.ParamString("session"));
+                return info.ok() && (*info)->user == c.ParamString("user");
+              })
+        .When(role + " NOT IN checkSessionRoles(sessionId)",
+              [eng, role](RuleContext& c) {
+                return !eng->rbac().db().IsSessionRoleActive(
+                    c.ParamString("session"), role);
+              });
+    if (in_hierarchy) {
+      rule.When("checkAuthorization" + role + "(user) IS TRUE",
+                [eng, role](RuleContext& c) {
+                  return eng->rbac().IsAuthorized(c.ParamString("user"),
+                                                  role);
+                });
+    } else {
+      rule.When("checkAssigned" + role + "(user) IS TRUE",
+                [eng, role](RuleContext& c) {
+                  return eng->rbac().db().IsAssigned(c.ParamString("user"),
+                                                     role);
+                });
+    }
+    if (in_dsd) {
+      rule.When("checkDynamicSoDSet(user, " + role + ") IS TRUE",
+                [eng, role](RuleContext& c) {
+                  return eng->rbac().DsdSatisfiedWith(
+                      c.ParamString("session"), role);
+                });
+    }
+    rule.When("checkRoleEnabled(" + role + ") IS TRUE",
+              [eng, role](RuleContext& c) {
+                (void)c;
+                return eng->role_state().IsEnabled(role);
+              });
+    if (!prerequisites.empty()) {
+      rule.When("checkPrerequisiteRoles(sessionId) IS TRUE",
+                [eng, prerequisites](RuleContext& c) {
+                  for (const RoleName& prereq : prerequisites) {
+                    if (!eng->rbac().db().IsSessionRoleActive(
+                            c.ParamString("session"), prereq)) {
+                      return false;
+                    }
+                  }
+                  return true;
+                });
+    }
+    if (!spec.required_context.empty()) {
+      const std::map<std::string, std::string> required =
+          spec.required_context;
+      rule.When("checkContext(" + role + ") IS TRUE",
+                [eng, required](RuleContext& c) {
+                  (void)c;
+                  return eng->ContextSatisfied(required);
+                });
+    }
+    rule.Then("addSessionRole" + role + "(sessionId)",
+              [eng, role](RuleContext& c) {
+                (void)eng->rbac().db().AddSessionRole(
+                    c.ParamString("session"), role);
+                AllowDecision(c, "AAR." + role);
+                (void)eng->RaiseEvent(
+                    eng->events().session_role_added,
+                    {{"user", V(c.ParamString("user"))},
+                     {"session", V(c.ParamString("session"))},
+                     {"role", V(role)}});
+              })
+        .Else("raise error \"Access Denied Cannot Activate\"",
+              [role](RuleContext& c) {
+                DenyDecision(c, "AAR." + role,
+                             "Access Denied Cannot Activate");
+              });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+  }
+
+  // --- CTX.<role>: context-aware deactivation (§1: constraints must hold
+  // until deactivation; a breaking context change deactivates the role) ---
+  if (!spec.required_context.empty()) {
+    const std::map<std::string, std::string> required =
+        spec.required_context;
+    Rule rule("CTX." + role, ev.context_changed,
+              Rule::Options{0, true, RuleClass::kActiveSecurity,
+                            RuleGranularity::kLocalized});
+    rule.When("context constraint broken for " + role,
+              [eng, required](RuleContext& c) {
+                (void)c;
+                return !eng->ContextSatisfied(required);
+              })
+        .Then("deactivate all instances of " + role,
+              [eng, role](RuleContext& c) {
+                (void)c;
+                eng->DeactivateAllInstances(role);
+              });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+  }
+
+  // --- CC.<role>: Rule 4 cardinality, compensating post-check ------------
+  if (spec.activation_cardinality > 0) {
+    const int limit = spec.activation_cardinality;
+    Rule rule("CC." + role, added_ev,
+              Rule::Options{0, true, RuleClass::kActivityControl,
+                            RuleGranularity::kLocalized});
+    rule.When("Cardinality" + role + "(INCR) IS TRUE",
+              [eng, role, limit](RuleContext& c) {
+                (void)c;
+                return eng->rbac().db().ActiveSessionCount(role) <= limit;
+              })
+        .Then("confirm activation", [](RuleContext&) {})
+        .Else("undo activation; raise error \"Maximum Number of Roles "
+              "Reached\"",
+              [eng, role](RuleContext& c) {
+                (void)eng->ForceDeactivate(c.ParamString("user"),
+                                           c.ParamString("session"), role);
+                DenyDecision(c, "CC." + role,
+                             "Maximum Number of Roles Reached");
+              });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+  }
+
+  // --- DUR.<role>: Rule 7 duration chain via PLUS -------------------------
+  if (spec.max_activation > 0) {
+    const std::string plus_name = TemporalName(tag, "ev.durexp." + role);
+    auto plus_ev = eng->detector().DefinePlus(plus_name, added_ev,
+                                              spec.max_activation);
+    if (!plus_ev.ok()) return plus_ev.status();
+    TrackTemporal(tag, *plus_ev);
+    eng->RegisterDurationEvent(*plus_ev);
+
+    Rule rule("DUR." + role, *plus_ev,
+              Rule::Options{0, true, RuleClass::kActivityControl,
+                            RuleGranularity::kLocalized});
+    rule.When("role still active in session",
+              [eng, role](RuleContext& c) {
+                return eng->rbac().db().IsSessionRoleActive(
+                    c.ParamString("session"), role);
+              })
+        .Then("deactivateRole" + role + "(sessionId)",
+              [eng, role](RuleContext& c) {
+                (void)eng->ForceDeactivate(c.ParamString("user"),
+                                           c.ParamString("session"), role);
+              });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+  }
+
+  // --- SH.<role>: GTRBAC enabling window (shift) boundaries ----------------
+  if (spec.enabling_window.has_value()) {
+    const PeriodicExpression& window = *spec.enabling_window;
+    auto on_ev = eng->detector().DefineAbsolute(
+        TemporalName(tag, "ev.shift.on." + role), window.window_start());
+    if (!on_ev.ok()) return on_ev.status();
+    TrackTemporal(tag, *on_ev);
+    auto off_ev = eng->detector().DefineAbsolute(
+        TemporalName(tag, "ev.shift.off." + role), window.window_end());
+    if (!off_ev.ok()) return off_ev.status();
+    TrackTemporal(tag, *off_ev);
+
+    Rule on_rule("SH." + role + ".on", *on_ev,
+                 Rule::Options{0, true, RuleClass::kActivityControl,
+                               RuleGranularity::kLocalized});
+    on_rule.Then("enableRole" + role,
+                 [eng, role](RuleContext& c) {
+                   (void)c;
+                   eng->role_state().Enable(role, eng->Now());
+                   (void)eng->RaiseEvent(eng->events().role_enabled,
+                                         {{"role", V(role)}});
+                 });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(on_rule)));
+
+    Rule off_rule("SH." + role + ".off", *off_ev,
+                  Rule::Options{0, true, RuleClass::kActivityControl,
+                                RuleGranularity::kLocalized});
+    off_rule.Then("disableRole" + role + "; deactivate instances",
+                  [eng, role](RuleContext& c) {
+                    (void)c;
+                    eng->role_state().Disable(role, eng->Now());
+                    eng->DeactivateAllInstances(role);
+                    (void)eng->RaiseEvent(eng->events().role_disabled,
+                                          {{"role", V(role)}});
+                  });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(off_rule)));
+  }
+
+  return Status::OK();
+}
+
+// ======================================================== User rules
+
+Status RuleGenerator::GenerateUserRules(const Policy& policy,
+                                        const UserSpec& spec) {
+  (void)policy;
+  AuthorizationEngine* eng = engine_;
+  const auto& ev = eng->events();
+  const UserName user = spec.name;
+  const std::string tag = "user:" + user;
+  tags_[tag];  // Materialize the tag even when no rules follow.
+
+  // --- UAC.<user>: scenario 1, specialized active-role cap ---------------
+  if (spec.max_active_roles > 0) {
+    const int cap = spec.max_active_roles;
+    SENTINEL_ASSIGN_OR_RETURN(
+        added_ev, EnsureFilter("ev.added.u." + user, ev.session_role_added,
+                               {{"user", V(user)}}));
+    Rule rule("UAC." + user, added_ev,
+              Rule::Options{0, true, RuleClass::kActivityControl,
+                            RuleGranularity::kSpecialized});
+    rule.When("active roles of " + user + " <= " + std::to_string(cap),
+              [eng, user, cap](RuleContext& c) {
+                (void)c;
+                return eng->CountUserActiveRoles(user) <= cap;
+              })
+        .Then("confirm activation", [](RuleContext&) {})
+        .Else("undo activation; raise error \"Maximum Number of Roles "
+              "Reached\"",
+              [eng, user](RuleContext& c) {
+                (void)eng->ForceDeactivate(user, c.ParamString("session"),
+                                           c.ParamString("role"));
+                DenyDecision(c, "UAC." + user,
+                             "Maximum Number of Roles Reached");
+              });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+  }
+
+  // --- DUR.<user>.<role>: Rule 7, specialized duration bounds ------------
+  for (const auto& [role, duration] : spec.role_durations) {
+    SENTINEL_ASSIGN_OR_RETURN(
+        added_ev,
+        EnsureFilter("ev.added.u." + user + ".r." + role,
+                     ev.session_role_added,
+                     {{"user", V(user)}, {"role", V(role)}}));
+    const std::string plus_name =
+        TemporalName(tag, "ev.durexp.u." + user + ".r." + role);
+    auto plus_ev = eng->detector().DefinePlus(plus_name, added_ev, duration);
+    if (!plus_ev.ok()) return plus_ev.status();
+    TrackTemporal(tag, *plus_ev);
+    eng->RegisterDurationEvent(*plus_ev);
+
+    const RoleName role_copy = role;
+    Rule rule("DUR." + user + "." + role, *plus_ev,
+              Rule::Options{0, true, RuleClass::kActivityControl,
+                            RuleGranularity::kSpecialized});
+    rule.When("role still active in session",
+              [eng, role_copy](RuleContext& c) {
+                return eng->rbac().db().IsSessionRoleActive(
+                    c.ParamString("session"), role_copy);
+              })
+        .Then("deactivateRole" + role + "(sessionId)",
+              [eng, user, role_copy](RuleContext& c) {
+                (void)eng->ForceDeactivate(user, c.ParamString("session"),
+                                           role_copy);
+              });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+  }
+
+  return Status::OK();
+}
+
+// ================================================= Time-based SoD rules
+
+Status RuleGenerator::GenerateTimeSodRules(const Policy& policy,
+                                           const TimeSod& tsod) {
+  (void)policy;
+  AuthorizationEngine* eng = engine_;
+  const auto& ev = eng->events();
+  const std::string tag = "tsod:" + tsod.name;
+  tags_[tag].touches.insert(tsod.roles.begin(), tsod.roles.end());
+
+  // OR over the member roles' disable requests (paper Rule 6: ET3).
+  std::vector<EventId> alternatives;
+  for (const RoleName& role : tsod.roles) {
+    SENTINEL_ASSIGN_OR_RETURN(
+        disable_ev, EnsureFilter("ev.disable." + role, ev.disable_role,
+                                 {{"role", V(role)}}));
+    alternatives.push_back(disable_ev);
+  }
+  auto or_ev = eng->detector().DefineOr(
+      TemporalName(tag, "ev.tsod.or." + tsod.name), alternatives);
+  if (!or_ev.ok()) return or_ev.status();
+  TrackTemporal(tag, *or_ev);
+
+  // Window machinery: absolute boundary events + a boot initiator so a
+  // window already in progress at generation time is honoured.
+  auto start_ev = eng->detector().DefineAbsolute(
+      TemporalName(tag, "ev.tsod.start." + tsod.name),
+      tsod.period.window_start());
+  if (!start_ev.ok()) return start_ev.status();
+  TrackTemporal(tag, *start_ev);
+  auto end_ev = eng->detector().DefineAbsolute(
+      TemporalName(tag, "ev.tsod.end." + tsod.name),
+      tsod.period.window_end());
+  if (!end_ev.ok()) return end_ev.status();
+  TrackTemporal(tag, *end_ev);
+  auto boot_ev = eng->detector().DefinePrimitive(
+      TemporalName(tag, "ev.tsod.boot." + tsod.name));
+  if (!boot_ev.ok()) return boot_ev.status();
+  TrackTemporal(tag, *boot_ev);
+  auto init_ev = eng->detector().DefineOr(
+      TemporalName(tag, "ev.tsod.init." + tsod.name), {*start_ev, *boot_ev});
+  if (!init_ev.ok()) return init_ev.status();
+  TrackTemporal(tag, *init_ev);
+  auto win_ev = eng->detector().DefineAperiodic(
+      TemporalName(tag, "ev.tsod.win." + tsod.name), *init_ev, *or_ev,
+      *end_ev, ConsumptionMode::kRecent);
+  if (!win_ev.ok()) return win_ev.status();
+  TrackTemporal(tag, *win_ev);
+
+  const PeriodicExpression period = tsod.period;
+  Rule rule("TSOD." + tsod.name, *win_ev,
+            Rule::Options{0, true, RuleClass::kActivityControl,
+                          RuleGranularity::kLocalized});
+  rule.When("(I,P) in effect",
+            [eng, period](RuleContext& c) {
+              (void)c;
+              return period.Contains(eng->Now());
+            })
+      .When("checkActive counter-role IS TRUE",
+            [eng](RuleContext& c) {
+              return eng->DisableTsodOk(c.ParamString("role"));
+            })
+      .Then("disable requested role",
+            [eng, rule_name = "TSOD." + tsod.name](RuleContext& c) {
+              const RoleName role = c.ParamString("role");
+              eng->role_state().Disable(role, eng->Now());
+              eng->DeactivateAllInstances(role);
+              AllowDecision(c, rule_name);
+              (void)eng->RaiseEvent(eng->events().role_disabled,
+                                    {{"role", V(role)}});
+            })
+      .Else("raise error \"Denied as Counter-Role Already Disabled\"",
+            [eng, period, rule_name = "TSOD." + tsod.name](RuleContext& c) {
+              // Outside (I,P) the window machinery can linger one cycle;
+              // GLOB.disable already adjudicated, so stay silent.
+              if (!period.Contains(eng->Now())) return;
+              DenyDecision(c, rule_name,
+                           "Denied as Counter-Role Already Disabled");
+            });
+  SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+
+  // A window already open at generation time must be honoured.
+  if (period.Contains(eng->Now())) {
+    (void)eng->detector().Raise(*boot_ev, {});
+  }
+  return Status::OK();
+}
+
+// ============================================================ CFD rules
+
+Status RuleGenerator::GenerateCfdRules(const Policy& policy,
+                                       const CfdPair& pair, int index) {
+  (void)policy;
+  AuthorizationEngine* eng = engine_;
+  const auto& ev = eng->events();
+  const std::string tag = "cfd:" + std::to_string(index);
+  tags_[tag].touches = {pair.trigger, pair.companion};
+  const RoleName trigger = pair.trigger;
+  const RoleName companion = pair.companion;
+
+  SENTINEL_ASSIGN_OR_RETURN(
+      enable_trigger_ev, EnsureFilter("ev.enable." + trigger, ev.enable_role,
+                                      {{"role", V(trigger)}}));
+  SENTINEL_ASSIGN_OR_RETURN(
+      disable_companion_ev,
+      EnsureFilter("ev.disable." + companion, ev.disable_role,
+                   {{"role", V(companion)}}));
+
+  // CFD1: enabling the trigger requires enabling the companion too
+  // (paper Rule 8: enableRoleSysAdmin -> enableRoleSysAudit).
+  {
+    Rule rule("CFD." + trigger + "." + companion + ".enable",
+              enable_trigger_ev,
+              Rule::Options{0, true, RuleClass::kActivityControl,
+                            RuleGranularity::kLocalized});
+    rule.When("enabling-time SoD satisfied for " + trigger,
+              [eng, trigger](RuleContext& c) {
+                (void)c;
+                return eng->EnableTsodOk(trigger);
+              })
+        .When("companion " + companion + " enabled or enablable",
+              [eng, companion](RuleContext& c) {
+                (void)c;
+                return eng->role_state().IsEnabled(companion) ||
+                       eng->EnableTsodOk(companion);
+              })
+        .Then("enableRole" + trigger + "(); enableRole" + companion + "()",
+              [eng, trigger, companion](RuleContext& c) {
+                eng->role_state().Enable(trigger, eng->Now());
+                (void)eng->RaiseEvent(eng->events().role_enabled,
+                                      {{"role", V(trigger)}});
+                if (!eng->role_state().IsEnabled(companion)) {
+                  eng->role_state().Enable(companion, eng->Now());
+                  (void)eng->RaiseEvent(eng->events().role_enabled,
+                                        {{"role", V(companion)}});
+                }
+                AllowDecision(c, "CFD." + trigger + ".enable");
+              })
+        .Else("raise error \"Cannot Enable " + trigger + "\"",
+              [trigger](RuleContext& c) {
+                DenyDecision(c, "CFD." + trigger + ".enable",
+                             "Cannot Enable " + trigger);
+              });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+  }
+
+  // CFD2: disabling the companion disables the trigger (post-condition
+  // invariant: trigger enabled implies companion enabled).
+  {
+    Rule rule("CFD." + trigger + "." + companion + ".disable",
+              disable_companion_ev,
+              Rule::Options{0, true, RuleClass::kActivityControl,
+                            RuleGranularity::kLocalized});
+    rule.When("companion " + companion + " is now disabled",
+              [eng, companion](RuleContext& c) {
+                (void)c;
+                return !eng->role_state().IsEnabled(companion);
+              })
+        .When("trigger " + trigger + " still enabled",
+              [eng, trigger](RuleContext& c) {
+                (void)c;
+                return eng->role_state().IsEnabled(trigger);
+              })
+        .Then("disableRole" + trigger + "()",
+              [eng, trigger](RuleContext& c) {
+                (void)c;
+                eng->role_state().Disable(trigger, eng->Now());
+                eng->DeactivateAllInstances(trigger);
+                (void)eng->RaiseEvent(eng->events().role_disabled,
+                                      {{"role", V(trigger)}});
+              });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+  }
+
+  return Status::OK();
+}
+
+// ================================================= Transaction rules
+
+Status RuleGenerator::GenerateTransactionRules(
+    const Policy& policy, const TransactionActivation& tx) {
+  AuthorizationEngine* eng = engine_;
+  const auto& ev = eng->events();
+  const std::string tag = "tx:" + tx.name;
+  tags_[tag].touches = {tx.controller, tx.dependent};
+  const RoleName controller = tx.controller;
+  const RoleName dependent = tx.dependent;
+
+  SENTINEL_ASSIGN_OR_RETURN(
+      ctrl_on_ev, EnsureFilter("ev.added." + controller,
+                               ev.session_role_added,
+                               {{"role", V(controller)}}));
+  SENTINEL_ASSIGN_OR_RETURN(
+      ctrl_off_ev, EnsureFilter("ev.dropped." + controller,
+                                ev.session_role_dropped,
+                                {{"role", V(controller)}}));
+  SENTINEL_ASSIGN_OR_RETURN(
+      dep_req_ev, EnsureFilter("ev.act." + dependent, ev.add_active_role,
+                               {{"role", V(dependent)}}));
+
+  auto boot_ev = eng->detector().DefinePrimitive(
+      TemporalName(tag, "ev.tx.boot." + tx.name));
+  if (!boot_ev.ok()) return boot_ev.status();
+  TrackTemporal(tag, *boot_ev);
+  auto init_ev = eng->detector().DefineOr(
+      TemporalName(tag, "ev.tx.init." + tx.name), {ctrl_on_ev, *boot_ev});
+  if (!init_ev.ok()) return init_ev.status();
+  TrackTemporal(tag, *init_ev);
+  auto win_ev = eng->detector().DefineAperiodic(
+      TemporalName(tag, "ev.tx.win." + tx.name), *init_ev, dep_req_ev,
+      ctrl_off_ev, ConsumptionMode::kRecent);
+  if (!win_ev.ok()) return win_ev.status();
+  TrackTemporal(tag, *win_ev);
+
+  const bool in_hierarchy = policy.RoleInHierarchy(dependent);
+  const bool in_dsd = policy.RoleInDsd(dependent);
+
+  // ASEC activation rule (paper Rule 9, ASEC3): the dependent role can be
+  // activated only while the transaction window is open; all the usual
+  // AAR checks still apply.
+  {
+    Rule rule("ASEC." + tx.name + ".activate", *win_ev,
+              Rule::Options{0, true, RuleClass::kActiveSecurity,
+                            RuleGranularity::kLocalized});
+    rule.When("user IN userL",
+              [eng](RuleContext& c) {
+                return eng->rbac().db().HasUser(c.ParamString("user"));
+              })
+        .When("sessionId IN sessionL",
+              [eng](RuleContext& c) {
+                return eng->rbac().db().HasSession(c.ParamString("session"));
+              })
+        .When("sessionId IN checkUserSessions(user)",
+              [eng](RuleContext& c) {
+                auto info =
+                    eng->rbac().db().GetSession(c.ParamString("session"));
+                return info.ok() && (*info)->user == c.ParamString("user");
+              })
+        .When(dependent + " NOT IN checkSessionRoles(sessionId)",
+              [eng, dependent](RuleContext& c) {
+                return !eng->rbac().db().IsSessionRoleActive(
+                    c.ParamString("session"), dependent);
+              })
+        .When(in_hierarchy ? "checkAuthorization(user) IS TRUE"
+                           : "checkAssigned(user) IS TRUE",
+              [eng, dependent, in_hierarchy](RuleContext& c) {
+                return in_hierarchy
+                           ? eng->rbac().IsAuthorized(c.ParamString("user"),
+                                                      dependent)
+                           : eng->rbac().db().IsAssigned(
+                                 c.ParamString("user"), dependent);
+              });
+    if (in_dsd) {
+      rule.When("checkDynamicSoDSet(user, " + dependent + ") IS TRUE",
+                [eng, dependent](RuleContext& c) {
+                  return eng->rbac().DsdSatisfiedWith(
+                      c.ParamString("session"), dependent);
+                });
+    }
+    const std::map<std::string, std::string> dep_context =
+        policy.roles().count(dependent) > 0
+            ? policy.roles().at(dependent).required_context
+            : std::map<std::string, std::string>{};
+    if (!dep_context.empty()) {
+      rule.When("checkContext(" + dependent + ") IS TRUE",
+                [eng, dep_context](RuleContext& c) {
+                  (void)c;
+                  return eng->ContextSatisfied(dep_context);
+                });
+    }
+    rule.When("checkRoleEnabled(" + dependent + ") IS TRUE",
+              [eng, dependent](RuleContext& c) {
+                (void)c;
+                return eng->role_state().IsEnabled(dependent);
+              })
+        .When("controller " + controller + " still active",
+              [eng, controller](RuleContext& c) {
+                (void)c;
+                return eng->rbac().db().ActiveSessionCount(controller) > 0;
+              })
+        .Then("activate" + dependent,
+              [eng, dependent, tx_name = tx.name](RuleContext& c) {
+                (void)eng->rbac().db().AddSessionRole(
+                    c.ParamString("session"), dependent);
+                AllowDecision(c, "ASEC." + tx_name + ".activate");
+                (void)eng->RaiseEvent(
+                    eng->events().session_role_added,
+                    {{"user", V(c.ParamString("user"))},
+                     {"session", V(c.ParamString("session"))},
+                     {"role", V(dependent)}});
+              })
+        .Else("raise error \"Permission Denied\"",
+              [tx_name = tx.name](RuleContext& c) {
+                DenyDecision(c, "ASEC." + tx_name + ".activate",
+                             "Permission Denied");
+              });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+  }
+
+  // ASEC cascade (paper Rule 9, ASEC2 tail): when the last controller
+  // instance deactivates, the dependent role falls away everywhere;
+  // otherwise the window re-opens for the remaining controllers.
+  {
+    const EventId boot = *boot_ev;
+    Rule rule("ASEC." + tx.name + ".cascade", ctrl_off_ev,
+              Rule::Options{0, true, RuleClass::kActiveSecurity,
+                            RuleGranularity::kLocalized});
+    rule.Then("deactivate dependents or re-open window",
+              [eng, controller, dependent, boot](RuleContext& c) {
+                (void)c;
+                if (eng->rbac().db().ActiveSessionCount(controller) == 0) {
+                  eng->DeactivateAllInstances(dependent);
+                } else {
+                  (void)eng->RaiseEvent(boot, {});
+                }
+              });
+    SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+  }
+
+  // Honour controllers already active at generation time.
+  if (eng->rbac().db().ActiveSessionCount(controller) > 0) {
+    (void)eng->detector().Raise(*boot_ev, {});
+  }
+  return Status::OK();
+}
+
+// ================================================== Threshold directives
+
+Status RuleGenerator::GenerateThresholdRules(
+    const Policy& policy, const ThresholdDirective& directive) {
+  (void)policy;
+  AuthorizationEngine* eng = engine_;
+  const std::string tag = "sec:" + directive.name;
+  tags_[tag];
+
+  eng->security().DefineWindow(directive.name, directive.window,
+                               directive.threshold);
+
+  const std::string name = directive.name;
+  const int threshold = directive.threshold;
+  const std::vector<std::string> prefixes = directive.disable_rule_prefixes;
+  const std::vector<RoleName> disable_roles = directive.disable_roles;
+
+  Rule rule("SEC." + name, eng->events().access_denied,
+            Rule::Options{0, true, RuleClass::kActiveSecurity,
+                          RuleGranularity::kGlobalized});
+  rule.Then(
+      "record denial; alert administrators and disable critical rules on "
+      "breach",
+      [eng, name, threshold, prefixes, disable_roles](RuleContext& c) {
+        const Time now = eng->Now();
+        const int count = eng->security().RecordDenial(name, now);
+        if (count < threshold) return;
+        eng->security().RaiseAlert(
+            name, now, count,
+            "denied access burst: op=" + c.ParamString("operation") +
+                " obj=" + c.ParamString("object"));
+        int disabled = 0;
+        for (const std::string& prefix : prefixes) {
+          disabled += eng->rule_manager().DisableIf(
+              [&prefix](const Rule& r) {
+                return r.name().rfind(prefix, 0) == 0;
+              });
+        }
+        if (disabled > 0) {
+          SENTINEL_LOG(kWarning)
+              << "active security disabled " << disabled
+              << " rule(s) after alert [" << name << "]";
+        }
+        // The paper's "deactivate a set of roles" alert action.
+        for (const RoleName& role : disable_roles) {
+          if (eng->role_state().IsEnabled(role)) {
+            eng->role_state().Disable(role, now);
+            eng->DeactivateAllInstances(role);
+            (void)eng->RaiseEvent(eng->events().role_disabled,
+                                  {{"role", V(role)}});
+          }
+        }
+        (void)eng->RaiseEvent(eng->events().security_alert,
+                              {{"name", V(name)}});
+      });
+  SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+  return Status::OK();
+}
+
+// ====================================================== Audit directives
+
+Status RuleGenerator::GenerateAuditRules(const Policy& policy,
+                                         const AuditDirective& directive) {
+  (void)policy;
+  AuthorizationEngine* eng = engine_;
+  const std::string tag = "aud:" + directive.name;
+  tags_[tag];
+
+  auto boot_ev = eng->detector().DefinePrimitive(
+      TemporalName(tag, "ev.audit.boot." + directive.name));
+  if (!boot_ev.ok()) return boot_ev.status();
+  TrackTemporal(tag, *boot_ev);
+  auto stop_ev = eng->detector().DefinePrimitive(
+      TemporalName(tag, "ev.audit.stop." + directive.name));
+  if (!stop_ev.ok()) return stop_ev.status();
+  TrackTemporal(tag, *stop_ev);
+  auto tick_ev = eng->detector().DefinePeriodic(
+      TemporalName(tag, "ev.audit." + directive.name), *boot_ev,
+      directive.interval, *stop_ev);
+  if (!tick_ev.ok()) return tick_ev.status();
+  TrackTemporal(tag, *tick_ev);
+
+  const std::string name = directive.name;
+  Rule rule("AUD." + name, *tick_ev,
+            Rule::Options{0, true, RuleClass::kActiveSecurity,
+                          RuleGranularity::kGlobalized});
+  rule.Then("generate report", [eng, name](RuleContext& c) {
+    (void)c;
+    eng->security().RecordAuditReport(name, eng->Now());
+    SENTINEL_LOG(kInfo) << "audit report [" << name << "]: decisions="
+                        << eng->decisions_made()
+                        << " denials=" << eng->denials() << " sessions="
+                        << eng->rbac().db().session_count();
+  });
+  SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
+
+  // Start the periodic stream.
+  (void)eng->detector().Raise(*boot_ev, {});
+  return Status::OK();
+}
+
+}  // namespace sentinel

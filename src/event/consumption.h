@@ -1,0 +1,32 @@
+#ifndef SENTINELPP_EVENT_CONSUMPTION_H_
+#define SENTINELPP_EVENT_CONSUMPTION_H_
+
+namespace sentinel {
+
+/// \brief Snoop parameter contexts: which initiator occurrences pair with a
+/// detecting/terminating occurrence, and which are consumed afterwards.
+///
+/// - kRecent:     only the most recent initiator participates; it stays
+///                usable until a newer initiator replaces it.
+/// - kChronicle:  the oldest unconsumed initiator participates and is
+///                consumed (FIFO pairing).
+/// - kContinuous: every open initiator participates; one detection is
+///                emitted per initiator and all are consumed.
+/// - kCumulative: all open initiators are merged into a single detection
+///                (parameters accumulated oldest-to-newest) and consumed.
+///
+/// Access-control rules in the paper rely on Recent (state-like constraints:
+/// "the latest activation") and Chronicle (transaction-like pairing); the
+/// detector implements all four for fidelity to Sentinel.
+enum class ConsumptionMode : int {
+  kRecent = 0,
+  kChronicle = 1,
+  kContinuous = 2,
+  kCumulative = 3,
+};
+
+const char* ConsumptionModeToString(ConsumptionMode mode);
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_EVENT_CONSUMPTION_H_

@@ -1,0 +1,18 @@
+#include "event/event.h"
+
+#include <sstream>
+
+#include "common/calendar.h"
+
+namespace sentinel {
+
+std::string OccurrenceToString(const Occurrence& occ,
+                               const std::string& name) {
+  std::ostringstream os;
+  os << name << '[' << FormatTime(occ.start);
+  if (occ.end != occ.start) os << " .. " << FormatTime(occ.end);
+  os << ']' << ParamMapToString(occ.params);
+  return os.str();
+}
+
+}  // namespace sentinel

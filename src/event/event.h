@@ -1,0 +1,42 @@
+#ifndef SENTINELPP_EVENT_EVENT_H_
+#define SENTINELPP_EVENT_EVENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/value.h"
+
+namespace sentinel {
+
+/// Dense handle for a registered event (primitive or composite).
+/// Values are indices into the EventRegistry.
+using EventId = int32_t;
+
+constexpr EventId kInvalidEventId = -1;
+
+/// \brief One detected occurrence of an event, with interval-based
+/// (SnoopIB) timestamps.
+///
+/// Primitive occurrences have `start == end` (the instant they were raised).
+/// Composite occurrences span from the start of their earliest constituent
+/// to the detection instant. `params` is the merge of constituent parameter
+/// maps; on key conflicts the latest-arriving constituent wins. `source` is
+/// the event whose arrival completed the detection (for OR, which of the
+/// alternatives occurred — the paper's TSOD rule dispatches on this).
+struct Occurrence {
+  EventId event = kInvalidEventId;
+  EventId source = kInvalidEventId;
+  Time start = 0;
+  Time end = 0;
+  /// Monotone per-detector sequence number; total order of detections.
+  uint64_t seq = 0;
+  ParamMap params;
+};
+
+/// Renders an occurrence as `name[start,end]{params}` given the display
+/// name (the detector supplies it).
+std::string OccurrenceToString(const Occurrence& occ, const std::string& name);
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_EVENT_EVENT_H_

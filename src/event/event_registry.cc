@@ -1,0 +1,102 @@
+#include "event/event_registry.h"
+
+#include <sstream>
+
+namespace sentinel {
+
+const char* EventKindToString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPrimitive:
+      return "PRIMITIVE";
+    case EventKind::kFilter:
+      return "FILTER";
+    case EventKind::kAnd:
+      return "AND";
+    case EventKind::kOr:
+      return "OR";
+    case EventKind::kSeq:
+      return "SEQ";
+    case EventKind::kNot:
+      return "NOT";
+    case EventKind::kPlus:
+      return "PLUS";
+    case EventKind::kAperiodic:
+      return "APERIODIC";
+    case EventKind::kAperiodicStar:
+      return "APERIODIC*";
+    case EventKind::kPeriodic:
+      return "PERIODIC";
+    case EventKind::kPeriodicStar:
+      return "PERIODIC*";
+    case EventKind::kAbsolute:
+      return "ABSOLUTE";
+  }
+  return "UNKNOWN";
+}
+
+const char* ConsumptionModeToString(ConsumptionMode mode) {
+  switch (mode) {
+    case ConsumptionMode::kRecent:
+      return "recent";
+    case ConsumptionMode::kChronicle:
+      return "chronicle";
+    case ConsumptionMode::kContinuous:
+      return "continuous";
+    case ConsumptionMode::kCumulative:
+      return "cumulative";
+  }
+  return "unknown";
+}
+
+Result<EventId> EventRegistry::Register(EventDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("event name must not be empty");
+  }
+  if (by_name_.count(def.name) > 0) {
+    return Status::AlreadyExists("event already defined: " + def.name);
+  }
+  for (EventId child : def.children) {
+    if (child < 0 || child >= size()) {
+      return Status::InvalidArgument("unknown child event id for " + def.name);
+    }
+  }
+  const EventId id = size();
+  by_name_.emplace(def.name, id);
+  defs_.push_back(std::move(def));
+  return id;
+}
+
+Result<EventId> EventRegistry::Lookup(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("unknown event: " + name);
+  }
+  return it->second;
+}
+
+std::string EventRegistry::Describe(EventId id) const {
+  const EventDef& d = defs_[id];
+  std::ostringstream os;
+  os << d.name << " = " << EventKindToString(d.kind);
+  if (!d.children.empty()) {
+    os << '(';
+    for (size_t i = 0; i < d.children.size(); ++i) {
+      if (i) os << ", ";
+      os << name(d.children[i]);
+    }
+    if (d.kind == EventKind::kPlus || d.kind == EventKind::kPeriodic ||
+        d.kind == EventKind::kPeriodicStar) {
+      os << ", " << (d.duration / kMillisecond) << "ms";
+    }
+    os << ')';
+  }
+  if (d.kind == EventKind::kFilter) os << ' ' << ParamMapToString(d.filter);
+  if (d.kind == EventKind::kAbsolute) os << " @" << d.pattern.ToString();
+  if (d.kind != EventKind::kPrimitive && d.kind != EventKind::kOr &&
+      d.kind != EventKind::kFilter && d.kind != EventKind::kAbsolute) {
+    os << " [" << ConsumptionModeToString(d.mode) << ']';
+  }
+  return os.str();
+}
+
+}  // namespace sentinel

@@ -1,0 +1,174 @@
+#include "event/time_pattern.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace sentinel {
+
+namespace {
+
+// Splits "a:b:c" or "a/b/c" into three raw field strings.
+bool Split3(const std::string& text, char sep, std::string out[3]) {
+  size_t p1 = text.find(sep);
+  if (p1 == std::string::npos) return false;
+  size_t p2 = text.find(sep, p1 + 1);
+  if (p2 == std::string::npos) return false;
+  if (text.find(sep, p2 + 1) != std::string::npos) return false;
+  out[0] = text.substr(0, p1);
+  out[1] = text.substr(p1 + 1, p2 - p1 - 1);
+  out[2] = text.substr(p2 + 1);
+  return true;
+}
+
+// Parses a field that is either "*" or a decimal in [lo, hi].
+Result<int> ParseField(const std::string& raw, int lo, int hi,
+                       const char* what) {
+  if (raw == "*") return TimePattern::kAny;
+  if (raw.empty()) {
+    return Status::ParseError(std::string("empty ") + what + " field");
+  }
+  int value = 0;
+  for (char c : raw) {
+    if (c < '0' || c > '9') {
+      return Status::ParseError(std::string("bad ") + what + " field: " + raw);
+    }
+    value = value * 10 + (c - '0');
+    if (value > hi) break;
+  }
+  if (value < lo || value > hi) {
+    return Status::ParseError(std::string("out-of-range ") + what +
+                              " field: " + raw);
+  }
+  return value;
+}
+
+std::string FieldToString(int v) {
+  if (v == TimePattern::kAny) return "*";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d", v);
+  return buf;
+}
+
+}  // namespace
+
+Result<TimePattern> TimePattern::Parse(const std::string& text) {
+  // Layout: "hh:mi:ss" optionally followed by "/mm/dd/yyyy".
+  std::string time_part = text;
+  std::string date_part;
+  const size_t slash = text.find('/');
+  if (slash != std::string::npos) {
+    time_part = text.substr(0, slash);
+    date_part = text.substr(slash + 1);
+  }
+
+  std::string tf[3];
+  if (!Split3(time_part, ':', tf)) {
+    return Status::ParseError("expected hh:mi:ss in pattern: " + text);
+  }
+  SENTINEL_ASSIGN_OR_RETURN(hour, ParseField(tf[0], 0, 23, "hour"));
+  SENTINEL_ASSIGN_OR_RETURN(minute, ParseField(tf[1], 0, 59, "minute"));
+  SENTINEL_ASSIGN_OR_RETURN(second, ParseField(tf[2], 0, 59, "second"));
+
+  int month = kAny, day = kAny, year = kAny;
+  if (!date_part.empty()) {
+    std::string df[3];
+    if (!Split3(date_part, '/', df)) {
+      return Status::ParseError("expected mm/dd/yyyy in pattern: " + text);
+    }
+    SENTINEL_ASSIGN_OR_RETURN(m, ParseField(df[0], 1, 12, "month"));
+    SENTINEL_ASSIGN_OR_RETURN(d, ParseField(df[1], 1, 31, "day"));
+    SENTINEL_ASSIGN_OR_RETURN(y, ParseField(df[2], 1970, 9999, "year"));
+    month = m;
+    day = d;
+    year = y;
+  }
+  return TimePattern(hour, minute, second, month, day, year);
+}
+
+bool TimePattern::Matches(Time t) const {
+  const CivilTime c = ToCivil(t);
+  auto match = [](int field, int value) {
+    return field == kAny || field == value;
+  };
+  return match(hour_, c.hour) && match(minute_, c.minute) &&
+         match(second_, c.second) && match(month_, c.month) &&
+         match(day_, c.day) && match(year_, c.year);
+}
+
+std::optional<Time> TimePattern::NextMatchAfter(Time t) const {
+  // Candidates are whole seconds strictly after t.
+  Time bound = (t / kSecond) * kSecond;
+  if (bound <= t) bound += kSecond;
+
+  CivilTime bc = ToCivil(bound);
+
+  // Earliest matching time-of-day (in seconds) at or after `tod_low`
+  // (seconds since midnight), or -1 when none exists that day.
+  auto next_tod = [this](int tod_low) -> int {
+    const int bh = tod_low / 3600;
+    const int bm = (tod_low / 60) % 60;
+    const int bs = tod_low % 60;
+    const int h_first = (hour_ == kAny) ? bh : hour_;
+    const int h_last = (hour_ == kAny) ? 23 : hour_;
+    for (int h = h_first; h <= h_last; ++h) {
+      if (h < bh) continue;
+      const int m_low = (h == bh) ? bm : 0;
+      const int m_first = (minute_ == kAny) ? m_low : minute_;
+      const int m_last = (minute_ == kAny) ? 59 : minute_;
+      for (int m = m_first; m <= m_last; ++m) {
+        if (m < m_low) continue;
+        const int s_low = (h == bh && m == bm) ? bs : 0;
+        const int s = (second_ == kAny) ? s_low : second_;
+        if (s < s_low || s > 59) continue;
+        return h * 3600 + m * 60 + s;
+      }
+      if (minute_ != kAny && hour_ == kAny) continue;
+    }
+    return -1;
+  };
+
+  // Walk forward day by day. The horizon covers a full leap cycle so that
+  // concrete month/day combinations (e.g. Feb 29) are always found if they
+  // exist; beyond it, a concrete year is exhausted.
+  constexpr int kHorizonDays = 4 * 366 + 2;
+  CivilTime day_cursor = bc;
+  for (int i = 0; i < kHorizonDays; ++i) {
+    const bool date_ok = (year_ == kAny || year_ == day_cursor.year) &&
+                         (month_ == kAny || month_ == day_cursor.month) &&
+                         (day_ == kAny || day_ == day_cursor.day);
+    if (year_ != kAny && day_cursor.year > year_) return std::nullopt;
+    if (date_ok) {
+      const int tod_low =
+          (i == 0) ? bc.hour * 3600 + bc.minute * 60 + bc.second : 0;
+      const int tod = next_tod(tod_low);
+      if (tod >= 0) {
+        return MakeTime(day_cursor.year, day_cursor.month, day_cursor.day) +
+               static_cast<Time>(tod) * kSecond;
+      }
+    }
+    // Advance one civil day.
+    day_cursor.day += 1;
+    if (day_cursor.day > DaysInMonth(day_cursor.year, day_cursor.month)) {
+      day_cursor.day = 1;
+      day_cursor.month += 1;
+      if (day_cursor.month > 12) {
+        day_cursor.month = 1;
+        day_cursor.year += 1;
+      }
+    }
+    day_cursor.hour = 0;
+    day_cursor.minute = 0;
+    day_cursor.second = 0;
+  }
+  return std::nullopt;
+}
+
+std::string TimePattern::ToString() const {
+  std::string out = FieldToString(hour_) + ":" + FieldToString(minute_) + ":" +
+                    FieldToString(second_);
+  out += "/" + FieldToString(month_) + "/" + FieldToString(day_) + "/";
+  out += (year_ == kAny) ? "*" : std::to_string(year_);
+  return out;
+}
+
+}  // namespace sentinel

@@ -1,0 +1,71 @@
+#ifndef SENTINELPP_EVENT_TIME_PATTERN_H_
+#define SENTINELPP_EVENT_TIME_PATTERN_H_
+
+#include <optional>
+#include <string>
+
+#include "common/calendar.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sentinel {
+
+/// \brief A wildcard calendar pattern in the paper's notation
+/// "24h:mi:ss/mm/dd/yyyy" (footnote 10), e.g. "10:00:00/*/*/*" = 10 a.m.
+/// every day. Each field is either a concrete value or a wildcard.
+///
+/// A pattern denotes the (possibly infinite) set of time instants whose
+/// civil fields match all concrete fields. Absolute temporal events fire at
+/// each matching instant; GTRBAC periodic expressions (I,P) are built from
+/// pairs of patterns.
+class TimePattern {
+ public:
+  /// Wildcard sentinel for any field.
+  static constexpr int kAny = -1;
+
+  TimePattern() = default;
+  TimePattern(int hour, int minute, int second, int month, int day, int year)
+      : hour_(hour),
+        minute_(minute),
+        second_(second),
+        month_(month),
+        day_(day),
+        year_(year) {}
+
+  /// Parses "hh:mi:ss/mm/dd/yyyy"; any field may be "*". The time part is
+  /// mandatory; the date part defaults to "*/*/*" when omitted.
+  static Result<TimePattern> Parse(const std::string& text);
+
+  /// True iff the civil fields of `t` match every concrete field.
+  /// Sub-second precision is ignored: an instant matches if its whole-second
+  /// truncation does.
+  bool Matches(Time t) const;
+
+  /// Earliest matching instant strictly after `t`, or nullopt when the
+  /// pattern has a concrete year/month/day combination entirely in the past.
+  /// Matching instants are whole seconds.
+  std::optional<Time> NextMatchAfter(Time t) const;
+
+  int hour() const { return hour_; }
+  int minute() const { return minute_; }
+  int second() const { return second_; }
+  int month() const { return month_; }
+  int day() const { return day_; }
+  int year() const { return year_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const TimePattern&, const TimePattern&) = default;
+
+ private:
+  int hour_ = kAny;
+  int minute_ = kAny;
+  int second_ = kAny;
+  int month_ = kAny;
+  int day_ = kAny;
+  int year_ = kAny;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_EVENT_TIME_PATTERN_H_

@@ -1,0 +1,47 @@
+#include "event/timer_service.h"
+
+namespace sentinel {
+
+TimerId TimerService::Schedule(Time when, Callback cb) {
+  const TimerId id = next_id_++;
+  heap_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+void TimerService::Cancel(TimerId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return;  // Already fired or cancelled.
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+}
+
+void TimerService::PruneCancelledTop() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+std::optional<Time> TimerService::NextFireTime() {
+  PruneCancelledTop();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().when;
+}
+
+bool TimerService::FireDueOne(Time now) {
+  PruneCancelledTop();
+  if (heap_.empty() || heap_.top().when > now) return false;
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(entry.id);
+  if (it == callbacks_.end()) return true;  // Raced with Cancel; skip.
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  cb(entry.id, entry.when);
+  return true;
+}
+
+}  // namespace sentinel

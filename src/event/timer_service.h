@@ -1,0 +1,72 @@
+#ifndef SENTINELPP_EVENT_TIMER_SERVICE_H_
+#define SENTINELPP_EVENT_TIMER_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/value.h"
+
+namespace sentinel {
+
+/// Handle to a scheduled timer; used to cancel it.
+using TimerId = uint64_t;
+
+/// \brief Min-heap of one-shot timers keyed by fire time.
+///
+/// PLUS, PERIODIC and absolute temporal events schedule timers here. The
+/// service does not read a clock: the owner (EventDetector) drains due
+/// timers as its clock advances, so firing order is fully deterministic —
+/// by (fire_time, timer_id) — under simulated time. Cancellation is lazy
+/// (tombstone set) to keep cancel O(1).
+class TimerService {
+ public:
+  using Callback = std::function<void(TimerId, Time fire_time)>;
+
+  TimerService() = default;
+
+  TimerService(const TimerService&) = delete;
+  TimerService& operator=(const TimerService&) = delete;
+
+  /// Schedules `cb` to fire at absolute time `when`. Returns the timer id.
+  TimerId Schedule(Time when, Callback cb);
+
+  /// Cancels a pending timer; no-op if it already fired or was cancelled.
+  void Cancel(TimerId id);
+
+  /// Fire time of the earliest pending (non-cancelled) timer, or nullopt.
+  std::optional<Time> NextFireTime();
+
+  /// Pops and runs the earliest timer if its fire time is <= `now`.
+  /// Returns true when a timer fired (callers loop until false).
+  bool FireDueOne(Time now);
+
+  /// Number of pending (non-cancelled) timers.
+  size_t pending_count() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    Time when;
+    TimerId id;
+    // Min-heap on (when, id): priority_queue is a max-heap, so invert.
+    bool operator<(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  void PruneCancelledTop();
+
+  std::priority_queue<Entry> heap_;
+  std::unordered_map<TimerId, Callback> callbacks_;
+  std::unordered_set<TimerId> cancelled_;
+  TimerId next_id_ = 1;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_EVENT_TIMER_SERVICE_H_

@@ -1,0 +1,87 @@
+#include "gtrbac/periodic_expression.h"
+
+#include "common/calendar.h"
+
+namespace sentinel {
+
+Result<PeriodicExpression> PeriodicExpression::Create(
+    const TimePattern& window_start, const TimePattern& window_end) {
+  return Create(kMinTime, kMaxTime, window_start, window_end);
+}
+
+Result<PeriodicExpression> PeriodicExpression::Create(
+    Time begin, Time end, const TimePattern& window_start,
+    const TimePattern& window_end) {
+  if (begin >= end) {
+    return Status::InvalidArgument(
+        "periodic expression bounds must satisfy begin < end");
+  }
+  if (window_start == window_end) {
+    return Status::InvalidArgument(
+        "window start and end patterns must differ");
+  }
+  return PeriodicExpression(begin, end, window_start, window_end);
+}
+
+Result<PeriodicExpression> PeriodicExpression::Parse(
+    const std::string& text) {
+  const size_t dash = text.find('-');
+  if (dash == std::string::npos) {
+    return Status::ParseError("expected 'start-end' in periodic expression: " +
+                              text);
+  }
+  auto trim = [](std::string s) {
+    const size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos) return std::string();
+    const size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+  };
+  SENTINEL_ASSIGN_OR_RETURN(start,
+                            TimePattern::Parse(trim(text.substr(0, dash))));
+  SENTINEL_ASSIGN_OR_RETURN(
+      end, TimePattern::Parse(trim(text.substr(dash + 1))));
+  return Create(start, end);
+}
+
+bool PeriodicExpression::Contains(Time t) const {
+  if (t < begin_ || t >= end_) return false;
+  // A window opening exactly at t puts t inside (starts inclusive).
+  if (window_start_.Matches(t) && (t / kSecond) * kSecond == t) return true;
+  // Otherwise t is inside a window iff the next boundary to occur is a
+  // close (patterns alternate strictly).
+  const std::optional<Time> next_end = window_end_.NextMatchAfter(t);
+  if (!next_end.has_value()) return false;
+  const std::optional<Time> next_start = window_start_.NextMatchAfter(t);
+  if (!next_start.has_value()) return true;  // Window never re-opens.
+  return *next_end < *next_start;
+}
+
+std::optional<Time> PeriodicExpression::NextWindowStart(Time t) const {
+  Time from = t;
+  if (begin_ != kMinTime && begin_ - 1 > from) from = begin_ - 1;
+  const std::optional<Time> next = window_start_.NextMatchAfter(from);
+  if (!next.has_value() || *next >= end_) return std::nullopt;
+  return next;
+}
+
+std::optional<Time> PeriodicExpression::NextWindowEnd(Time t) const {
+  Time from = t;
+  if (begin_ != kMinTime && begin_ - 1 > from) from = begin_ - 1;
+  const std::optional<Time> next = window_end_.NextMatchAfter(from);
+  if (!next.has_value() || *next >= end_) return std::nullopt;
+  return next;
+}
+
+std::string PeriodicExpression::ToString() const {
+  std::string out = window_start_.ToString() + " - " + window_end_.ToString();
+  if (begin_ != kMinTime || end_ != kMaxTime) {
+    out += " in [";
+    out += (begin_ == kMinTime) ? "-inf" : FormatTime(begin_);
+    out += ", ";
+    out += (end_ == kMaxTime) ? "+inf" : FormatTime(end_);
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace sentinel

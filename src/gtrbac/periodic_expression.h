@@ -1,0 +1,77 @@
+#ifndef SENTINELPP_GTRBAC_PERIODIC_EXPRESSION_H_
+#define SENTINELPP_GTRBAC_PERIODIC_EXPRESSION_H_
+
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "event/time_pattern.h"
+
+namespace sentinel {
+
+/// \brief A GTRBAC periodic time (I, P): an infinite set of recurring
+/// windows clipped to a bounding interval I = [begin, end].
+///
+/// P is expressed as a pair of calendar patterns in the paper's notation
+/// (footnote 10): `window_start` opens each window, `window_end` closes it
+/// — e.g. 10:00:00/*/*/* .. 17:00:00/*/*/* is "10 a.m. to 5 p.m. every
+/// day". Patterns must alternate strictly (every start is followed by an
+/// end before the next start); overnight windows (22:00 .. 06:00) satisfy
+/// this and are supported. Window starts are inclusive, ends exclusive.
+class PeriodicExpression {
+ public:
+  static constexpr Time kMinTime = std::numeric_limits<Time>::min();
+  static constexpr Time kMaxTime = std::numeric_limits<Time>::max();
+
+  /// Unbounded I, windows per the two patterns.
+  static Result<PeriodicExpression> Create(const TimePattern& window_start,
+                                           const TimePattern& window_end);
+  /// Bounded I = [begin, end] (end exclusive).
+  static Result<PeriodicExpression> Create(Time begin, Time end,
+                                           const TimePattern& window_start,
+                                           const TimePattern& window_end);
+
+  /// Parses "HH:MM:SS[/mm/dd/yyyy]-HH:MM:SS[/mm/dd/yyyy]".
+  static Result<PeriodicExpression> Parse(const std::string& text);
+
+  PeriodicExpression() = default;
+
+  /// True iff `t` lies inside I and inside one of P's windows.
+  bool Contains(Time t) const;
+
+  /// Next window-opening instant strictly after `t` that lies within I,
+  /// or nullopt when none remains before `end`.
+  std::optional<Time> NextWindowStart(Time t) const;
+
+  /// Next window-closing instant strictly after `t` within I.
+  std::optional<Time> NextWindowEnd(Time t) const;
+
+  Time begin() const { return begin_; }
+  Time end() const { return end_; }
+  const TimePattern& window_start() const { return window_start_; }
+  const TimePattern& window_end() const { return window_end_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const PeriodicExpression&,
+                         const PeriodicExpression&) = default;
+
+ private:
+  PeriodicExpression(Time begin, Time end, const TimePattern& start,
+                     const TimePattern& end_pattern)
+      : begin_(begin),
+        end_(end),
+        window_start_(start),
+        window_end_(end_pattern) {}
+
+  Time begin_ = kMinTime;
+  Time end_ = kMaxTime;
+  TimePattern window_start_;
+  TimePattern window_end_;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_GTRBAC_PERIODIC_EXPRESSION_H_

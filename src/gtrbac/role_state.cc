@@ -1,0 +1,33 @@
+#include "gtrbac/role_state.h"
+
+namespace sentinel {
+
+void RoleStateTable::Enable(const RoleName& role, Time when) {
+  disabled_.erase(role);
+  last_transition_[role] = when;
+}
+
+void RoleStateTable::Disable(const RoleName& role, Time when) {
+  disabled_.insert(role);
+  last_transition_[role] = when;
+}
+
+bool RoleStateTable::IsEnabled(const RoleName& role) const {
+  return disabled_.count(role) == 0;
+}
+
+std::optional<Time> RoleStateTable::LastTransition(
+    const RoleName& role) const {
+  auto it = last_transition_.find(role);
+  if (it == last_transition_.end()) return std::nullopt;
+  return it->second;
+}
+
+void RoleStateTable::EraseRole(const RoleName& role) {
+  disabled_.erase(role);
+  last_transition_.erase(role);
+}
+
+std::set<RoleName> RoleStateTable::DisabledRoles() const { return disabled_; }
+
+}  // namespace sentinel

@@ -1,0 +1,50 @@
+#ifndef SENTINELPP_GTRBAC_ROLE_STATE_H_
+#define SENTINELPP_GTRBAC_ROLE_STATE_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "rbac/types.h"
+
+namespace sentinel {
+
+/// \brief GTRBAC role enablement state.
+///
+/// GTRBAC distinguishes a role being *enabled* (may be activated) from
+/// being *active* (in some session). Periodic enabling constraints and
+/// time-based SoD act on this table; activation rules consult it. Roles
+/// without an entry are enabled by default.
+class RoleStateTable {
+ public:
+  RoleStateTable() = default;
+
+  /// Enables the role; records the transition time.
+  void Enable(const RoleName& role, Time when);
+  /// Disables the role; records the transition time.
+  void Disable(const RoleName& role, Time when);
+
+  bool IsEnabled(const RoleName& role) const;
+
+  /// Time of the last enable/disable transition, or nullopt if none.
+  std::optional<Time> LastTransition(const RoleName& role) const;
+
+  /// Drops the role's entry (on role deletion).
+  void EraseRole(const RoleName& role);
+
+  /// Roles currently explicitly disabled.
+  std::set<RoleName> DisabledRoles() const;
+
+  int disabled_count() const { return static_cast<int>(disabled_.size()); }
+
+ private:
+  std::set<RoleName> disabled_;
+  std::map<RoleName, Time> last_transition_;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_GTRBAC_ROLE_STATE_H_

@@ -1,0 +1,42 @@
+#include "gtrbac/temporal_constraint.h"
+
+#include <sstream>
+
+namespace sentinel {
+
+const char* TimeSodKindToString(TimeSodKind kind) {
+  switch (kind) {
+    case TimeSodKind::kDisabling:
+      return "disabling";
+    case TimeSodKind::kEnabling:
+      return "enabling";
+  }
+  return "unknown";
+}
+
+std::string EnablingWindow::ToString() const {
+  return "enable " + role + " during " + period.ToString();
+}
+
+std::string ActivationDuration::ToString() const {
+  std::ostringstream os;
+  os << "deactivate " << role;
+  if (!user.empty()) os << " (user " << user << ")";
+  os << " after " << (max_active / kMinute) << "min";
+  return os.str();
+}
+
+std::string TimeSod::ToString() const {
+  std::ostringstream os;
+  os << TimeSodKindToString(kind) << "-time SoD " << name << " {";
+  bool first = true;
+  for (const RoleName& role : roles) {
+    if (!first) os << ", ";
+    first = false;
+    os << role;
+  }
+  os << "} during " << period.ToString();
+  return os.str();
+}
+
+}  // namespace sentinel

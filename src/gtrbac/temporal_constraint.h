@@ -1,0 +1,61 @@
+#ifndef SENTINELPP_GTRBAC_TEMPORAL_CONSTRAINT_H_
+#define SENTINELPP_GTRBAC_TEMPORAL_CONSTRAINT_H_
+
+#include <set>
+#include <string>
+
+#include "common/value.h"
+#include "gtrbac/periodic_expression.h"
+#include "rbac/types.h"
+
+namespace sentinel {
+
+/// \brief Periodic role enabling: the role is enabled exactly inside the
+/// periodic expression's windows (GTRBAC role enabling/disabling; the
+/// paper's "shift time of role day doctor" example).
+struct EnablingWindow {
+  RoleName role;
+  PeriodicExpression period;
+
+  std::string ToString() const;
+};
+
+/// \brief Per-activation duration bound (paper Rule 7): each activation of
+/// `role` is force-deactivated after `max_active`. When `user` is empty the
+/// bound applies to every user (localized rule); otherwise only to that
+/// user (specialized rule).
+struct ActivationDuration {
+  RoleName role;
+  UserName user;  // Empty: any user.
+  Duration max_active = 0;
+
+  std::string ToString() const;
+};
+
+/// Which transition a time-based SoD constraint guards.
+enum class TimeSodKind : int {
+  kDisabling = 0,  // Paper Rule 6: roles cannot all be disabled in (I,P).
+  kEnabling = 1,   // Dual: roles cannot all be enabled in (I,P).
+};
+
+/// \brief Time-based separation of duty over role enablement (GTRBAC
+/// dependencies paper, enforced by the paper's Rule 6): within the periodic
+/// time (I, P), the *last* remaining counter-role of the set cannot make
+/// the guarded transition — e.g. "Nurse" and "Doctor" cannot both be
+/// disabled between 10:00 and 17:00.
+struct TimeSod {
+  std::string name;
+  TimeSodKind kind = TimeSodKind::kDisabling;
+  std::set<RoleName> roles;
+  PeriodicExpression period;
+
+  std::string ToString() const;
+
+  friend bool operator==(const TimeSod&, const TimeSod&) = default;
+};
+
+const char* TimeSodKindToString(TimeSodKind kind);
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_GTRBAC_TEMPORAL_CONSTRAINT_H_

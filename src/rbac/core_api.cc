@@ -1,0 +1,336 @@
+#include "rbac/core_api.h"
+
+namespace sentinel {
+
+Status RbacSystem::DeleteRole(const RoleName& role) {
+  SENTINEL_RETURN_IF_ERROR(db_.DeleteRole(role));
+  hierarchy_.EraseRole(role);
+  ssd_.EraseRole(role);
+  dsd_.EraseRole(role);
+  return Status::OK();
+}
+
+Status RbacSystem::AssignUser(const UserName& user, const RoleName& role) {
+  if (!db_.HasUser(user)) return Status::NotFound("no such user: " + user);
+  if (!db_.HasRole(role)) return Status::NotFound("no such role: " + role);
+  if (db_.IsAssigned(user, role)) {
+    return Status::AlreadyExists(user + " already assigned to " + role);
+  }
+  if (!SsdSatisfiedWith(user, role)) {
+    return Status::ConstraintViolation(
+        "assigning " + user + " to " + role +
+        " violates a static separation-of-duty relation");
+  }
+  return db_.Assign(user, role);
+}
+
+Status RbacSystem::DeassignUser(const UserName& user, const RoleName& role) {
+  SENTINEL_RETURN_IF_ERROR(db_.Deassign(user, role));
+  // The standard drops an active role from the user's sessions when the
+  // assignment that authorized it disappears — including juniors that
+  // were only reachable through the removed assignment.
+  for (const SessionId& session : db_.UserSessions(user)) {
+    auto info = db_.GetSession(session);
+    if (!info.ok()) continue;
+    const std::set<RoleName> active = (*info)->active_roles;
+    for (const RoleName& r : active) {
+      if (!IsAuthorized(user, r)) {
+        (void)db_.DropSessionRole(session, r);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status RbacSystem::AddInheritance(const RoleName& senior,
+                                  const RoleName& junior) {
+  if (!db_.HasRole(senior)) {
+    return Status::NotFound("no such role: " + senior);
+  }
+  if (!db_.HasRole(junior)) {
+    return Status::NotFound("no such role: " + junior);
+  }
+  SENTINEL_RETURN_IF_ERROR(hierarchy_.AddInheritance(senior, junior));
+  const std::string violation = FindSsdViolation();
+  if (!violation.empty()) {
+    // Roll back: the enlarged authorized sets broke an SSD relation.
+    (void)hierarchy_.DeleteInheritance(senior, junior);
+    return Status::ConstraintViolation("inheritance " + senior + " >>= " +
+                                       junior + " rejected: " + violation);
+  }
+  return Status::OK();
+}
+
+Status RbacSystem::DeleteInheritance(const RoleName& senior,
+                                     const RoleName& junior) {
+  SENTINEL_RETURN_IF_ERROR(hierarchy_.DeleteInheritance(senior, junior));
+  // Dropping inheritance can only shrink authorized sets; active roles
+  // that lost their authorization are dropped from sessions.
+  for (const UserName& user : db_.users()) {
+    for (const SessionId& session : db_.UserSessions(user)) {
+      auto session_info = db_.GetSession(session);
+      if (!session_info.ok()) continue;
+      const std::set<RoleName> active = (*session_info)->active_roles;
+      for (const RoleName& role : active) {
+        if (!IsAuthorized(user, role)) {
+          (void)db_.DropSessionRole(session, role);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status RbacSystem::CreateSsdSet(const std::string& name,
+                                std::set<RoleName> roles, int n) {
+  for (const RoleName& role : roles) {
+    if (!db_.HasRole(role)) return Status::NotFound("no such role: " + role);
+  }
+  SENTINEL_RETURN_IF_ERROR(ssd_.CreateSet(name, std::move(roles), n));
+  const std::string violation = FindSsdViolation();
+  if (!violation.empty()) {
+    (void)ssd_.DeleteSet(name);
+    return Status::ConstraintViolation("SSD set " + name +
+                                       " rejected: " + violation);
+  }
+  return Status::OK();
+}
+
+Status RbacSystem::AddSsdRoleMember(const std::string& name,
+                                    const RoleName& role) {
+  if (!db_.HasRole(role)) return Status::NotFound("no such role: " + role);
+  SENTINEL_RETURN_IF_ERROR(ssd_.AddRoleMember(name, role));
+  const std::string violation = FindSsdViolation();
+  if (!violation.empty()) {
+    (void)ssd_.DeleteRoleMember(name, role);
+    return Status::ConstraintViolation("adding " + role + " to SSD set " +
+                                       name + " rejected: " + violation);
+  }
+  return Status::OK();
+}
+
+Status RbacSystem::SetSsdCardinality(const std::string& name, int n) {
+  SENTINEL_ASSIGN_OR_RETURN(set, ssd_.GetSet(name));
+  const int old_n = set->n;
+  SENTINEL_RETURN_IF_ERROR(ssd_.SetCardinality(name, n));
+  const std::string violation = FindSsdViolation();
+  if (!violation.empty()) {
+    (void)ssd_.SetCardinality(name, old_n);
+    return Status::ConstraintViolation("SSD cardinality change on " + name +
+                                       " rejected: " + violation);
+  }
+  return Status::OK();
+}
+
+Status RbacSystem::CreateDsdSet(const std::string& name,
+                                std::set<RoleName> roles, int n) {
+  for (const RoleName& role : roles) {
+    if (!db_.HasRole(role)) return Status::NotFound("no such role: " + role);
+  }
+  SENTINEL_RETURN_IF_ERROR(dsd_.CreateSet(name, std::move(roles), n));
+  for (const SessionId& session : db_.SessionIds()) {
+    auto info = db_.GetSession(session);
+    if (info.ok() && !dsd_.Satisfies((*info)->active_roles)) {
+      (void)dsd_.DeleteSet(name);
+      return Status::ConstraintViolation(
+          "DSD set " + name + " rejected: session " + session +
+          " already violates it");
+    }
+  }
+  return Status::OK();
+}
+
+Status RbacSystem::AddDsdRoleMember(const std::string& name,
+                                    const RoleName& role) {
+  if (!db_.HasRole(role)) return Status::NotFound("no such role: " + role);
+  SENTINEL_RETURN_IF_ERROR(dsd_.AddRoleMember(name, role));
+  for (const SessionId& session : db_.SessionIds()) {
+    auto info = db_.GetSession(session);
+    if (info.ok() && !dsd_.Satisfies((*info)->active_roles)) {
+      (void)dsd_.DeleteRoleMember(name, role);
+      return Status::ConstraintViolation(
+          "adding " + role + " to DSD set " + name + " rejected: session " +
+          session + " would violate it");
+    }
+  }
+  return Status::OK();
+}
+
+Status RbacSystem::SetDsdCardinality(const std::string& name, int n) {
+  SENTINEL_ASSIGN_OR_RETURN(set, dsd_.GetSet(name));
+  const int old_n = set->n;
+  SENTINEL_RETURN_IF_ERROR(dsd_.SetCardinality(name, n));
+  for (const SessionId& session : db_.SessionIds()) {
+    auto info = db_.GetSession(session);
+    if (info.ok() && !dsd_.Satisfies((*info)->active_roles)) {
+      (void)dsd_.SetCardinality(name, old_n);
+      return Status::ConstraintViolation(
+          "DSD cardinality change on " + name + " rejected: session " +
+          session + " would violate it");
+    }
+  }
+  return Status::OK();
+}
+
+Status RbacSystem::AddActiveRole(const UserName& user,
+                                 const SessionId& session,
+                                 const RoleName& role) {
+  if (!db_.HasUser(user)) return Status::NotFound("no such user: " + user);
+  SENTINEL_ASSIGN_OR_RETURN(info, db_.GetSession(session));
+  if (info->user != user) {
+    return Status::FailedPrecondition("session " + session +
+                                      " is not owned by " + user);
+  }
+  if (!db_.HasRole(role)) return Status::NotFound("no such role: " + role);
+  if (db_.IsSessionRoleActive(session, role)) {
+    return Status::AlreadyExists(role + " already active in " + session);
+  }
+  if (!IsAuthorized(user, role)) {
+    return Status::ConstraintViolation(user + " is not authorized for " +
+                                       role);
+  }
+  if (!DsdSatisfiedWith(session, role)) {
+    return Status::ConstraintViolation(
+        "activating " + role + " in " + session +
+        " violates a dynamic separation-of-duty relation");
+  }
+  return db_.AddSessionRole(session, role);
+}
+
+Status RbacSystem::DropActiveRole(const UserName& user,
+                                  const SessionId& session,
+                                  const RoleName& role) {
+  SENTINEL_ASSIGN_OR_RETURN(info, db_.GetSession(session));
+  if (info->user != user) {
+    return Status::FailedPrecondition("session " + session +
+                                      " is not owned by " + user);
+  }
+  return db_.DropSessionRole(session, role);
+}
+
+Result<bool> RbacSystem::CheckAccess(const SessionId& session,
+                                     const OperationName& op,
+                                     const ObjectName& obj) const {
+  SENTINEL_ASSIGN_OR_RETURN(info, db_.GetSession(session));
+  const Permission perm{op, obj};
+  for (const RoleName& role : info->active_roles) {
+    // An active role conveys its own permissions and its juniors'.
+    for (const RoleName& source : hierarchy_.JuniorsOf(role)) {
+      if (db_.IsGranted(perm, source)) return true;
+    }
+  }
+  return false;
+}
+
+std::set<UserName> RbacSystem::AuthorizedUsers(const RoleName& role) const {
+  std::set<UserName> out;
+  for (const RoleName& senior : hierarchy_.SeniorsOf(role)) {
+    const auto& assigned = db_.AssignedUsers(senior);
+    out.insert(assigned.begin(), assigned.end());
+  }
+  return out;
+}
+
+std::set<RoleName> RbacSystem::AuthorizedRoles(const UserName& user) const {
+  std::set<RoleName> out;
+  for (const RoleName& assigned : db_.AssignedRoles(user)) {
+    const std::set<RoleName> juniors = hierarchy_.JuniorsOf(assigned);
+    out.insert(juniors.begin(), juniors.end());
+  }
+  return out;
+}
+
+std::set<Permission> RbacSystem::RolePermissions(const RoleName& role,
+                                                 bool inherited) const {
+  if (!inherited) return db_.RolePermissions(role);
+  std::set<Permission> out;
+  for (const RoleName& source : hierarchy_.JuniorsOf(role)) {
+    const auto& perms = db_.RolePermissions(source);
+    out.insert(perms.begin(), perms.end());
+  }
+  return out;
+}
+
+std::set<Permission> RbacSystem::UserPermissions(const UserName& user) const {
+  std::set<Permission> out;
+  for (const RoleName& role : AuthorizedRoles(user)) {
+    const auto& perms = db_.RolePermissions(role);
+    out.insert(perms.begin(), perms.end());
+  }
+  return out;
+}
+
+std::set<RoleName> RbacSystem::SessionRoles(const SessionId& session) const {
+  auto info = db_.GetSession(session);
+  if (!info.ok()) return {};
+  return (*info)->active_roles;
+}
+
+std::set<Permission> RbacSystem::SessionPermissions(
+    const SessionId& session) const {
+  std::set<Permission> out;
+  auto info = db_.GetSession(session);
+  if (!info.ok()) return out;
+  for (const RoleName& role : (*info)->active_roles) {
+    const std::set<Permission> perms = RolePermissions(role, true);
+    out.insert(perms.begin(), perms.end());
+  }
+  return out;
+}
+
+std::set<OperationName> RbacSystem::RoleOperationsOnObject(
+    const RoleName& role, const ObjectName& obj) const {
+  std::set<OperationName> out;
+  for (const Permission& perm : RolePermissions(role, true)) {
+    if (perm.object == obj) out.insert(perm.operation);
+  }
+  return out;
+}
+
+std::set<OperationName> RbacSystem::UserOperationsOnObject(
+    const UserName& user, const ObjectName& obj) const {
+  std::set<OperationName> out;
+  for (const Permission& perm : UserPermissions(user)) {
+    if (perm.object == obj) out.insert(perm.operation);
+  }
+  return out;
+}
+
+bool RbacSystem::IsAuthorized(const UserName& user,
+                              const RoleName& role) const {
+  if (db_.IsAssigned(user, role)) return true;
+  if (hierarchy_.empty()) return false;
+  for (const RoleName& senior : hierarchy_.SeniorsOf(role)) {
+    if (db_.IsAssigned(user, senior)) return true;
+  }
+  return false;
+}
+
+bool RbacSystem::DsdSatisfiedWith(const SessionId& session,
+                                  const RoleName& role) const {
+  auto info = db_.GetSession(session);
+  if (!info.ok()) return false;
+  std::set<RoleName> hypothetical = (*info)->active_roles;
+  hypothetical.insert(role);
+  return dsd_.Satisfies(hypothetical);
+}
+
+bool RbacSystem::SsdSatisfiedWith(const UserName& user,
+                                  const RoleName& role) const {
+  std::set<RoleName> hypothetical = AuthorizedRoles(user);
+  const std::set<RoleName> juniors = hierarchy_.JuniorsOf(role);
+  hypothetical.insert(juniors.begin(), juniors.end());
+  return ssd_.Satisfies(hypothetical);
+}
+
+std::string RbacSystem::FindSsdViolation() const {
+  for (const UserName& user : db_.users()) {
+    const std::string set_name = ssd_.FirstViolated(AuthorizedRoles(user));
+    if (!set_name.empty()) {
+      return "user " + user + " would violate SSD set " + set_name;
+    }
+  }
+  return "";
+}
+
+}  // namespace sentinel

@@ -1,0 +1,263 @@
+#include "rbac/database.h"
+
+#include <algorithm>
+
+namespace sentinel {
+
+namespace {
+
+const std::set<RoleName>& EmptyRoleSet() {
+  static const std::set<RoleName>* kEmpty = new std::set<RoleName>();
+  return *kEmpty;
+}
+
+const std::set<UserName>& EmptyUserSet() {
+  static const std::set<UserName>* kEmpty = new std::set<UserName>();
+  return *kEmpty;
+}
+
+const std::set<Permission>& EmptyPermissionSet() {
+  static const std::set<Permission>* kEmpty = new std::set<Permission>();
+  return *kEmpty;
+}
+
+const std::set<SessionId>& EmptySessionSet() {
+  static const std::set<SessionId>* kEmpty = new std::set<SessionId>();
+  return *kEmpty;
+}
+
+}  // namespace
+
+Status RbacDatabase::AddUser(const UserName& user) {
+  if (user.empty()) return Status::InvalidArgument("empty user name");
+  if (!users_.insert(user).second) {
+    return Status::AlreadyExists("user exists: " + user);
+  }
+  return Status::OK();
+}
+
+Status RbacDatabase::DeleteUser(const UserName& user) {
+  if (users_.erase(user) == 0) {
+    return Status::NotFound("no such user: " + user);
+  }
+  // Drop assignments.
+  auto ua = ua_.find(user);
+  if (ua != ua_.end()) {
+    for (const RoleName& role : ua->second) ua_inverse_[role].erase(user);
+    ua_.erase(ua);
+  }
+  // NIST DeleteUser: the user's sessions are deleted as well.
+  auto us = user_sessions_.find(user);
+  if (us != user_sessions_.end()) {
+    const std::set<SessionId> doomed = us->second;
+    for (const SessionId& session : doomed) {
+      (void)DeleteSession(session);
+    }
+  }
+  return Status::OK();
+}
+
+Status RbacDatabase::AddRole(const RoleName& role) {
+  if (role.empty()) return Status::InvalidArgument("empty role name");
+  if (!roles_.insert(role).second) {
+    return Status::AlreadyExists("role exists: " + role);
+  }
+  return Status::OK();
+}
+
+Status RbacDatabase::DeleteRole(const RoleName& role) {
+  if (roles_.erase(role) == 0) {
+    return Status::NotFound("no such role: " + role);
+  }
+  auto inv = ua_inverse_.find(role);
+  if (inv != ua_inverse_.end()) {
+    for (const UserName& user : inv->second) ua_[user].erase(role);
+    ua_inverse_.erase(inv);
+  }
+  pa_.erase(role);
+  for (auto& [id, session] : sessions_) {
+    if (session.active_roles.erase(role) > 0) {
+      // Active count bookkeeping handled below via map erase.
+    }
+  }
+  active_counts_.erase(role);
+  return Status::OK();
+}
+
+Status RbacDatabase::AddOperation(const OperationName& op) {
+  if (op.empty()) return Status::InvalidArgument("empty operation name");
+  if (!operations_.insert(op).second) {
+    return Status::AlreadyExists("operation exists: " + op);
+  }
+  return Status::OK();
+}
+
+Status RbacDatabase::AddObject(const ObjectName& obj) {
+  if (obj.empty()) return Status::InvalidArgument("empty object name");
+  if (!objects_.insert(obj).second) {
+    return Status::AlreadyExists("object exists: " + obj);
+  }
+  return Status::OK();
+}
+
+Status RbacDatabase::Assign(const UserName& user, const RoleName& role) {
+  if (!HasUser(user)) return Status::NotFound("no such user: " + user);
+  if (!HasRole(role)) return Status::NotFound("no such role: " + role);
+  if (!ua_[user].insert(role).second) {
+    return Status::AlreadyExists(user + " already assigned to " + role);
+  }
+  ua_inverse_[role].insert(user);
+  return Status::OK();
+}
+
+Status RbacDatabase::Deassign(const UserName& user, const RoleName& role) {
+  auto it = ua_.find(user);
+  if (it == ua_.end() || it->second.erase(role) == 0) {
+    return Status::NotFound(user + " is not assigned to " + role);
+  }
+  ua_inverse_[role].erase(user);
+  return Status::OK();
+}
+
+bool RbacDatabase::IsAssigned(const UserName& user,
+                              const RoleName& role) const {
+  auto it = ua_.find(user);
+  return it != ua_.end() && it->second.count(role) > 0;
+}
+
+const std::set<RoleName>& RbacDatabase::AssignedRoles(
+    const UserName& user) const {
+  auto it = ua_.find(user);
+  return it == ua_.end() ? EmptyRoleSet() : it->second;
+}
+
+const std::set<UserName>& RbacDatabase::AssignedUsers(
+    const RoleName& role) const {
+  auto it = ua_inverse_.find(role);
+  return it == ua_inverse_.end() ? EmptyUserSet() : it->second;
+}
+
+Status RbacDatabase::Grant(const Permission& perm, const RoleName& role) {
+  if (!HasRole(role)) return Status::NotFound("no such role: " + role);
+  // Operations and objects are registered implicitly on first grant.
+  operations_.insert(perm.operation);
+  objects_.insert(perm.object);
+  if (!pa_[role].insert(perm).second) {
+    return Status::AlreadyExists(perm.ToString() + " already granted to " +
+                                 role);
+  }
+  return Status::OK();
+}
+
+Status RbacDatabase::Revoke(const Permission& perm, const RoleName& role) {
+  auto it = pa_.find(role);
+  if (it == pa_.end() || it->second.erase(perm) == 0) {
+    return Status::NotFound(perm.ToString() + " not granted to " + role);
+  }
+  return Status::OK();
+}
+
+bool RbacDatabase::IsGranted(const Permission& perm,
+                             const RoleName& role) const {
+  auto it = pa_.find(role);
+  return it != pa_.end() && it->second.count(perm) > 0;
+}
+
+const std::set<Permission>& RbacDatabase::RolePermissions(
+    const RoleName& role) const {
+  auto it = pa_.find(role);
+  return it == pa_.end() ? EmptyPermissionSet() : it->second;
+}
+
+Status RbacDatabase::CreateSession(const UserName& user,
+                                   const SessionId& session) {
+  if (!HasUser(user)) return Status::NotFound("no such user: " + user);
+  if (session.empty()) return Status::InvalidArgument("empty session id");
+  if (sessions_.count(session) > 0) {
+    return Status::AlreadyExists("session exists: " + session);
+  }
+  sessions_.emplace(session, Session{session, user, {}});
+  user_sessions_[user].insert(session);
+  return Status::OK();
+}
+
+Status RbacDatabase::DeleteSession(const SessionId& session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session: " + session);
+  }
+  for (const RoleName& role : it->second.active_roles) {
+    auto ac = active_counts_.find(role);
+    if (ac != active_counts_.end() && --ac->second <= 0) {
+      active_counts_.erase(ac);
+    }
+  }
+  user_sessions_[it->second.user].erase(session);
+  sessions_.erase(it);
+  return Status::OK();
+}
+
+Result<const Session*> RbacDatabase::GetSession(
+    const SessionId& session) const {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session: " + session);
+  }
+  return &it->second;
+}
+
+const std::set<SessionId>& RbacDatabase::UserSessions(
+    const UserName& user) const {
+  auto it = user_sessions_.find(user);
+  return it == user_sessions_.end() ? EmptySessionSet() : it->second;
+}
+
+Status RbacDatabase::AddSessionRole(const SessionId& session,
+                                    const RoleName& role) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session: " + session);
+  }
+  if (!HasRole(role)) return Status::NotFound("no such role: " + role);
+  if (!it->second.active_roles.insert(role).second) {
+    return Status::AlreadyExists(role + " already active in " + session);
+  }
+  ++active_counts_[role];
+  return Status::OK();
+}
+
+Status RbacDatabase::DropSessionRole(const SessionId& session,
+                                     const RoleName& role) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session: " + session);
+  }
+  if (it->second.active_roles.erase(role) == 0) {
+    return Status::NotFound(role + " not active in " + session);
+  }
+  auto ac = active_counts_.find(role);
+  if (ac != active_counts_.end() && --ac->second <= 0) {
+    active_counts_.erase(ac);
+  }
+  return Status::OK();
+}
+
+bool RbacDatabase::IsSessionRoleActive(const SessionId& session,
+                                       const RoleName& role) const {
+  auto it = sessions_.find(session);
+  return it != sessions_.end() && it->second.active_roles.count(role) > 0;
+}
+
+int RbacDatabase::ActiveSessionCount(const RoleName& role) const {
+  auto it = active_counts_.find(role);
+  return it == active_counts_.end() ? 0 : it->second;
+}
+
+std::vector<SessionId> RbacDatabase::SessionIds() const {
+  std::vector<SessionId> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) out.push_back(id);
+  return out;
+}
+
+}  // namespace sentinel

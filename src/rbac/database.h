@@ -1,0 +1,109 @@
+#ifndef SENTINELPP_RBAC_DATABASE_H_
+#define SENTINELPP_RBAC_DATABASE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rbac/types.h"
+
+namespace sentinel {
+
+/// \brief Raw RBAC state: element sets (USERS, ROLES, OPS, OBS), the
+/// user-assignment (UA) and permission-assignment (PA) relations, and
+/// SESSIONS. Maintains referential integrity only; policy constraints
+/// (hierarchy semantics, SoD, temporal) live in the layers above.
+class RbacDatabase {
+ public:
+  RbacDatabase() = default;
+
+  RbacDatabase(const RbacDatabase&) = delete;
+  RbacDatabase& operator=(const RbacDatabase&) = delete;
+
+  // -------------------------------------------------------- Element sets
+
+  Status AddUser(const UserName& user);
+  /// Also removes the user's assignments and sessions.
+  Status DeleteUser(const UserName& user);
+  bool HasUser(const UserName& user) const { return users_.count(user) > 0; }
+
+  Status AddRole(const RoleName& role);
+  /// Also removes the role's assignments, grants and active instances.
+  Status DeleteRole(const RoleName& role);
+  bool HasRole(const RoleName& role) const { return roles_.count(role) > 0; }
+
+  Status AddOperation(const OperationName& op);
+  bool HasOperation(const OperationName& op) const {
+    return operations_.count(op) > 0;
+  }
+  Status AddObject(const ObjectName& obj);
+  bool HasObject(const ObjectName& obj) const {
+    return objects_.count(obj) > 0;
+  }
+
+  // ------------------------------------------------------------------ UA
+
+  Status Assign(const UserName& user, const RoleName& role);
+  Status Deassign(const UserName& user, const RoleName& role);
+  bool IsAssigned(const UserName& user, const RoleName& role) const;
+  const std::set<RoleName>& AssignedRoles(const UserName& user) const;
+  const std::set<UserName>& AssignedUsers(const RoleName& role) const;
+
+  // ------------------------------------------------------------------ PA
+
+  Status Grant(const Permission& perm, const RoleName& role);
+  Status Revoke(const Permission& perm, const RoleName& role);
+  bool IsGranted(const Permission& perm, const RoleName& role) const;
+  const std::set<Permission>& RolePermissions(const RoleName& role) const;
+
+  // ------------------------------------------------------------ Sessions
+
+  Status CreateSession(const UserName& user, const SessionId& session);
+  Status DeleteSession(const SessionId& session);
+  bool HasSession(const SessionId& session) const {
+    return sessions_.count(session) > 0;
+  }
+  /// Owner and active-role set; error when unknown.
+  Result<const Session*> GetSession(const SessionId& session) const;
+  const std::set<SessionId>& UserSessions(const UserName& user) const;
+
+  /// Adds/removes an active role in a session. Validity (assignment,
+  /// authorization, DSD) is checked by the enforcement layer, not here —
+  /// only existence of the session and role.
+  Status AddSessionRole(const SessionId& session, const RoleName& role);
+  Status DropSessionRole(const SessionId& session, const RoleName& role);
+  bool IsSessionRoleActive(const SessionId& session,
+                           const RoleName& role) const;
+
+  /// Number of sessions in which `role` is currently active (counts each
+  /// session once) — the quantity cardinality constraints bound.
+  int ActiveSessionCount(const RoleName& role) const;
+
+  // ------------------------------------------------------ Introspection
+
+  const std::set<UserName>& users() const { return users_; }
+  const std::set<RoleName>& roles() const { return roles_; }
+  const std::set<OperationName>& operations() const { return operations_; }
+  const std::set<ObjectName>& objects() const { return objects_; }
+  std::vector<SessionId> SessionIds() const;
+  size_t session_count() const { return sessions_.size(); }
+
+ private:
+  std::set<UserName> users_;
+  std::set<RoleName> roles_;
+  std::set<OperationName> operations_;
+  std::set<ObjectName> objects_;
+
+  std::map<UserName, std::set<RoleName>> ua_;
+  std::map<RoleName, std::set<UserName>> ua_inverse_;
+  std::map<RoleName, std::set<Permission>> pa_;
+  std::map<SessionId, Session> sessions_;
+  std::map<UserName, std::set<SessionId>> user_sessions_;
+  std::map<RoleName, int> active_counts_;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_RBAC_DATABASE_H_

@@ -1,0 +1,109 @@
+#include "rbac/hierarchy.h"
+
+#include <deque>
+
+namespace sentinel {
+
+namespace {
+
+const std::set<RoleName>& EmptySet() {
+  static const std::set<RoleName>* kEmpty = new std::set<RoleName>();
+  return *kEmpty;
+}
+
+// Collects reachability over `edges` starting at `start`, inclusive.
+std::set<RoleName> Reach(const std::map<RoleName, std::set<RoleName>>& edges,
+                         const RoleName& start) {
+  std::set<RoleName> seen = {start};
+  std::deque<RoleName> frontier = {start};
+  while (!frontier.empty()) {
+    const RoleName current = std::move(frontier.front());
+    frontier.pop_front();
+    auto it = edges.find(current);
+    if (it == edges.end()) continue;
+    for (const RoleName& next : it->second) {
+      if (seen.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+Status RoleHierarchy::AddInheritance(const RoleName& senior,
+                                     const RoleName& junior) {
+  if (senior == junior) {
+    return Status::InvalidArgument("role cannot inherit from itself: " +
+                                   senior);
+  }
+  // A cycle would arise iff junior already dominates senior.
+  if (Dominates(junior, senior)) {
+    return Status::ConstraintViolation("inheritance " + senior + " >>= " +
+                                       junior + " would create a cycle");
+  }
+  if (!juniors_[senior].insert(junior).second) {
+    return Status::AlreadyExists("inheritance exists: " + senior + " >>= " +
+                                 junior);
+  }
+  seniors_[junior].insert(senior);
+  return Status::OK();
+}
+
+Status RoleHierarchy::DeleteInheritance(const RoleName& senior,
+                                        const RoleName& junior) {
+  auto it = juniors_.find(senior);
+  if (it == juniors_.end() || it->second.erase(junior) == 0) {
+    return Status::NotFound("no inheritance: " + senior + " >>= " + junior);
+  }
+  seniors_[junior].erase(senior);
+  return Status::OK();
+}
+
+void RoleHierarchy::EraseRole(const RoleName& role) {
+  auto down = juniors_.find(role);
+  if (down != juniors_.end()) {
+    for (const RoleName& junior : down->second) seniors_[junior].erase(role);
+    juniors_.erase(down);
+  }
+  auto up = seniors_.find(role);
+  if (up != seniors_.end()) {
+    for (const RoleName& senior : up->second) juniors_[senior].erase(role);
+    seniors_.erase(up);
+  }
+}
+
+bool RoleHierarchy::Dominates(const RoleName& senior,
+                              const RoleName& junior) const {
+  if (senior == junior) return true;
+  return Reach(juniors_, senior).count(junior) > 0;
+}
+
+std::set<RoleName> RoleHierarchy::JuniorsOf(const RoleName& role) const {
+  return Reach(juniors_, role);
+}
+
+std::set<RoleName> RoleHierarchy::SeniorsOf(const RoleName& role) const {
+  return Reach(seniors_, role);
+}
+
+const std::set<RoleName>& RoleHierarchy::ImmediateJuniors(
+    const RoleName& role) const {
+  auto it = juniors_.find(role);
+  return it == juniors_.end() ? EmptySet() : it->second;
+}
+
+const std::set<RoleName>& RoleHierarchy::ImmediateSeniors(
+    const RoleName& role) const {
+  auto it = seniors_.find(role);
+  return it == seniors_.end() ? EmptySet() : it->second;
+}
+
+int RoleHierarchy::edge_count() const {
+  int n = 0;
+  for (const auto& [senior, juniors] : juniors_) {
+    n += static_cast<int>(juniors.size());
+  }
+  return n;
+}
+
+}  // namespace sentinel

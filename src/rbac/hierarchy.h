@@ -1,0 +1,59 @@
+#ifndef SENTINELPP_RBAC_HIERARCHY_H_
+#define SENTINELPP_RBAC_HIERARCHY_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "rbac/types.h"
+
+namespace sentinel {
+
+/// \brief General role hierarchies (NIST Hierarchical RBAC).
+///
+/// The inheritance relation is a partial order: senior >= junior means the
+/// senior role acquires the junior's permissions and the junior acquires
+/// the senior's user membership. Stored as the immediate relation
+/// (senior -> juniors); queries compute reachability. Cycle creation is
+/// rejected so the relation stays a partial order.
+class RoleHierarchy {
+ public:
+  RoleHierarchy() = default;
+
+  /// Adds an immediate inheritance senior >>= junior. Fails when it would
+  /// create a cycle (including senior == junior) or already exists.
+  Status AddInheritance(const RoleName& senior, const RoleName& junior);
+
+  /// Removes an immediate inheritance edge.
+  Status DeleteInheritance(const RoleName& senior, const RoleName& junior);
+
+  /// Removes a role from the relation entirely (on role deletion).
+  void EraseRole(const RoleName& role);
+
+  /// True iff senior >= junior in the transitive-reflexive closure.
+  bool Dominates(const RoleName& senior, const RoleName& junior) const;
+
+  /// All juniors of `role` including itself — the roles whose permissions
+  /// `role` acquires.
+  std::set<RoleName> JuniorsOf(const RoleName& role) const;
+
+  /// All seniors of `role` including itself — the roles whose user
+  /// membership `role` acquires.
+  std::set<RoleName> SeniorsOf(const RoleName& role) const;
+
+  const std::set<RoleName>& ImmediateJuniors(const RoleName& role) const;
+  const std::set<RoleName>& ImmediateSeniors(const RoleName& role) const;
+
+  bool empty() const { return juniors_.empty(); }
+  /// Number of immediate inheritance edges.
+  int edge_count() const;
+
+ private:
+  std::map<RoleName, std::set<RoleName>> juniors_;  // senior -> juniors
+  std::map<RoleName, std::set<RoleName>> seniors_;  // junior -> seniors
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_RBAC_HIERARCHY_H_

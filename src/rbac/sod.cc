@@ -1,0 +1,143 @@
+#include "rbac/sod.h"
+
+namespace sentinel {
+
+Status SodStore::CreateSet(const std::string& name, std::set<RoleName> roles,
+                           int n) {
+  if (name.empty()) {
+    return Status::InvalidArgument(kind_ + " set name must not be empty");
+  }
+  if (sets_.count(name) > 0) {
+    return Status::AlreadyExists(kind_ + " set exists: " + name);
+  }
+  if (n < 2) {
+    return Status::InvalidArgument(kind_ + " cardinality must be >= 2");
+  }
+  if (static_cast<int>(roles.size()) < n) {
+    return Status::InvalidArgument(
+        kind_ + " set " + name +
+        " must contain at least as many roles as its cardinality");
+  }
+  for (const RoleName& role : roles) by_role_[role].insert(name);
+  sets_.emplace(name, SodSet{name, std::move(roles), n});
+  return Status::OK();
+}
+
+Status SodStore::DeleteSet(const std::string& name) {
+  auto it = sets_.find(name);
+  if (it == sets_.end()) {
+    return Status::NotFound("no such " + kind_ + " set: " + name);
+  }
+  for (const RoleName& role : it->second.roles) by_role_[role].erase(name);
+  sets_.erase(it);
+  return Status::OK();
+}
+
+Status SodStore::AddRoleMember(const std::string& name,
+                               const RoleName& role) {
+  auto it = sets_.find(name);
+  if (it == sets_.end()) {
+    return Status::NotFound("no such " + kind_ + " set: " + name);
+  }
+  if (!it->second.roles.insert(role).second) {
+    return Status::AlreadyExists(role + " already in " + kind_ + " set " +
+                                 name);
+  }
+  by_role_[role].insert(name);
+  return Status::OK();
+}
+
+Status SodStore::DeleteRoleMember(const std::string& name,
+                                  const RoleName& role) {
+  auto it = sets_.find(name);
+  if (it == sets_.end()) {
+    return Status::NotFound("no such " + kind_ + " set: " + name);
+  }
+  if (static_cast<int>(it->second.roles.size()) - 1 < it->second.n) {
+    return Status::ConstraintViolation(
+        "removing " + role + " would make " + kind_ + " set " + name +
+        " smaller than its cardinality");
+  }
+  if (it->second.roles.erase(role) == 0) {
+    return Status::NotFound(role + " not in " + kind_ + " set " + name);
+  }
+  by_role_[role].erase(name);
+  return Status::OK();
+}
+
+Status SodStore::SetCardinality(const std::string& name, int n) {
+  auto it = sets_.find(name);
+  if (it == sets_.end()) {
+    return Status::NotFound("no such " + kind_ + " set: " + name);
+  }
+  if (n < 2 || n > static_cast<int>(it->second.roles.size())) {
+    return Status::InvalidArgument("invalid cardinality for " + kind_ +
+                                   " set " + name);
+  }
+  it->second.n = n;
+  return Status::OK();
+}
+
+Result<const SodSet*> SodStore::GetSet(const std::string& name) const {
+  auto it = sets_.find(name);
+  if (it == sets_.end()) {
+    return Status::NotFound("no such " + kind_ + " set: " + name);
+  }
+  return &it->second;
+}
+
+std::vector<const SodSet*> SodStore::AllSets() const {
+  std::vector<const SodSet*> out;
+  out.reserve(sets_.size());
+  for (const auto& [name, set] : sets_) out.push_back(&set);
+  return out;
+}
+
+std::vector<const SodSet*> SodStore::SetsContaining(
+    const RoleName& role) const {
+  std::vector<const SodSet*> out;
+  auto it = by_role_.find(role);
+  if (it == by_role_.end()) return out;
+  for (const std::string& name : it->second) {
+    out.push_back(&sets_.at(name));
+  }
+  return out;
+}
+
+bool SodStore::RoleConstrained(const RoleName& role) const {
+  auto it = by_role_.find(role);
+  return it != by_role_.end() && !it->second.empty();
+}
+
+void SodStore::EraseRole(const RoleName& role) {
+  auto it = by_role_.find(role);
+  if (it == by_role_.end()) return;
+  const std::set<std::string> names = it->second;
+  for (const std::string& name : names) {
+    SodSet& set = sets_.at(name);
+    set.roles.erase(role);
+    if (static_cast<int>(set.roles.size()) < set.n) {
+      (void)DeleteSet(name);
+    }
+  }
+  by_role_.erase(role);
+}
+
+bool SodStore::Satisfies(const std::set<RoleName>& roles) const {
+  return FirstViolated(roles).empty();
+}
+
+std::string SodStore::FirstViolated(const std::set<RoleName>& roles) const {
+  // Count memberships per set touched by `roles`.
+  std::map<std::string, int> hits;
+  for (const RoleName& role : roles) {
+    auto it = by_role_.find(role);
+    if (it == by_role_.end()) continue;
+    for (const std::string& name : it->second) {
+      if (++hits[name] >= sets_.at(name).n) return name;
+    }
+  }
+  return "";
+}
+
+}  // namespace sentinel

@@ -1,0 +1,67 @@
+#ifndef SENTINELPP_RBAC_SOD_H_
+#define SENTINELPP_RBAC_SOD_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rbac/types.h"
+
+namespace sentinel {
+
+/// \brief One separation-of-duty relation: a named set of mutually
+/// exclusive roles with a cardinality n >= 2. For SSD: no user may be
+/// assigned (authorized, with hierarchies) to n or more of the roles. For
+/// DSD: no session may have n or more of the roles active simultaneously
+/// (the paper's "assigned to M, active in fewer than N").
+struct SodSet {
+  std::string name;
+  std::set<RoleName> roles;
+  int n = 2;
+
+  friend bool operator==(const SodSet&, const SodSet&) = default;
+};
+
+/// \brief A collection of SoD relations (used for both SSD and DSD; the
+/// enforcement layer decides what the sets constrain).
+class SodStore {
+ public:
+  explicit SodStore(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Creates a named set. Requires n >= 2 and |roles| >= n (NIST: the
+  /// constraint must be satisfiable and non-vacuous).
+  Status CreateSet(const std::string& name, std::set<RoleName> roles, int n);
+  Status DeleteSet(const std::string& name);
+  Status AddRoleMember(const std::string& name, const RoleName& role);
+  Status DeleteRoleMember(const std::string& name, const RoleName& role);
+  Status SetCardinality(const std::string& name, int n);
+
+  Result<const SodSet*> GetSet(const std::string& name) const;
+  std::vector<const SodSet*> AllSets() const;
+  /// Sets that contain `role`.
+  std::vector<const SodSet*> SetsContaining(const RoleName& role) const;
+  bool RoleConstrained(const RoleName& role) const;
+
+  /// Removes `role` from every set (on role deletion). A set shrinking
+  /// below its cardinality is dropped entirely (it can no longer bind).
+  void EraseRole(const RoleName& role);
+
+  /// True iff `roles` satisfies every set: fewer than n members of each.
+  bool Satisfies(const std::set<RoleName>& roles) const;
+
+  /// Name of the first violated set for `roles`, or empty when none.
+  std::string FirstViolated(const std::set<RoleName>& roles) const;
+
+  size_t size() const { return sets_.size(); }
+
+ private:
+  std::string kind_;  // "SSD" or "DSD", for messages.
+  std::map<std::string, SodSet> sets_;
+  std::map<RoleName, std::set<std::string>> by_role_;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_RBAC_SOD_H_

@@ -1,0 +1,39 @@
+#ifndef SENTINELPP_RBAC_TYPES_H_
+#define SENTINELPP_RBAC_TYPES_H_
+
+#include <set>
+#include <string>
+
+namespace sentinel {
+
+/// RBAC element names. The standard's element sets USERS, ROLES, OPS, OBS
+/// are modeled as registered string names (instances of the entities U and
+/// R in the paper's ER model).
+using UserName = std::string;
+using RoleName = std::string;
+using OperationName = std::string;
+using ObjectName = std::string;
+using SessionId = std::string;
+
+/// \brief A permission: an approval to perform `operation` on `object`
+/// (NIST PRMS = 2^(OPS x OBS); we use the atomic pairs).
+struct Permission {
+  OperationName operation;
+  ObjectName object;
+
+  auto operator<=>(const Permission&) const = default;
+
+  std::string ToString() const { return operation + "(" + object + ")"; }
+};
+
+/// \brief A user session: one user, a subset of that user's (authorized)
+/// roles currently active. NIST SESSIONS.
+struct Session {
+  SessionId id;
+  UserName user;
+  std::set<RoleName> active_roles;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_RBAC_TYPES_H_

@@ -1,0 +1,47 @@
+#ifndef SENTINELPP_RULES_DECISION_H_
+#define SENTINELPP_RULES_DECISION_H_
+
+#include <string>
+
+namespace sentinel {
+
+/// \brief The authorization verdict produced by OWTE rules for one request.
+///
+/// The engine allocates a Decision per public operation, raises the
+/// operation's event, and the generated rules' Then/Else actions write the
+/// verdict. Cascaded rules (e.g. a cardinality rule firing after an
+/// activation rule) may overwrite an earlier Allow with a Deny — the last
+/// writer wins, matching the paper's nested-rule narrative for Rule 4.
+struct Decision {
+  bool decided = false;
+  bool allowed = false;
+  /// Name of the rule that produced the final verdict.
+  std::string rule;
+  /// The paper-style error text for denials ("Access Denied Cannot
+  /// Activate", "Permission Denied", ...). Empty for allows.
+  std::string reason;
+  /// Explanation: the label of the WHEN condition whose failure routed the
+  /// deciding rule into its ELSE branch (e.g. "checkAssignedPC(user) IS
+  /// TRUE"). Empty for allows and for default denials. Diagnostic only —
+  /// not part of the authorization verdict.
+  std::string failed_condition;
+
+  void Allow(const std::string& by_rule) {
+    decided = true;
+    allowed = true;
+    rule = by_rule;
+    reason.clear();
+  }
+
+  void Deny(const std::string& by_rule, const std::string& why) {
+    decided = true;
+    allowed = false;
+    rule = by_rule;
+    reason = why;
+    failed_condition.clear();
+  }
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_RULES_DECISION_H_

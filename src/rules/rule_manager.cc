@@ -1,0 +1,174 @@
+#include "rules/rule_manager.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace sentinel {
+
+RuleManager::RuleManager(EventDetector* detector) : detector_(detector) {}
+
+RuleManager::~RuleManager() {
+  for (const auto& [event, sub] : dispatchers_) {
+    detector_->Unsubscribe(event, sub);
+  }
+}
+
+Result<Rule*> RuleManager::AddRule(Rule rule) {
+  if (rules_.count(rule.name()) > 0) {
+    return Status::AlreadyExists("rule already exists: " + rule.name());
+  }
+  const EventId event = rule.event();
+  if (event < 0 || event >= detector_->registry().size()) {
+    return Status::InvalidArgument("rule " + rule.name() +
+                                   " references unknown event");
+  }
+  const uint64_t seq = next_insertion_seq_++;
+  auto owned = std::make_unique<Rule>(std::move(rule));
+  Rule* ptr = owned.get();
+  insertion_order_[ptr->name()] = seq;
+  rules_.emplace(ptr->name(), Entry{std::move(owned), seq});
+  by_event_[event].push_back(ptr);
+  SortEventRules(event);
+  EnsureDispatcher(event);
+  return ptr;
+}
+
+void RuleManager::SortEventRules(EventId event) {
+  auto& list = by_event_[event];
+  std::stable_sort(list.begin(), list.end(), [this](Rule* a, Rule* b) {
+    if (a->priority() != b->priority()) return a->priority() > b->priority();
+    return insertion_order_[a->name()] < insertion_order_[b->name()];
+  });
+}
+
+void RuleManager::EnsureDispatcher(EventId event) {
+  if (dispatchers_.count(event) > 0) return;
+  const SubscriptionId sub = detector_->Subscribe(
+      event,
+      [this, event](const Occurrence& occ) { OnOccurrence(event, occ); });
+  dispatchers_.emplace(event, sub);
+}
+
+void RuleManager::DetachFromEvent(EventId event, Rule* rule) {
+  auto it = by_event_.find(event);
+  if (it == by_event_.end()) return;
+  auto& list = it->second;
+  list.erase(std::remove(list.begin(), list.end(), rule), list.end());
+  if (list.empty()) {
+    auto disp = dispatchers_.find(event);
+    if (disp != dispatchers_.end()) {
+      detector_->Unsubscribe(event, disp->second);
+      dispatchers_.erase(disp);
+    }
+    by_event_.erase(it);
+  }
+}
+
+Status RuleManager::RemoveRule(const std::string& name) {
+  auto it = rules_.find(name);
+  if (it == rules_.end()) {
+    return Status::NotFound("no such rule: " + name);
+  }
+  DetachFromEvent(it->second.rule->event(), it->second.rule.get());
+  insertion_order_.erase(name);
+  rules_.erase(it);
+  return Status::OK();
+}
+
+int RuleManager::RemoveIf(const std::function<bool(const Rule&)>& pred) {
+  std::vector<std::string> doomed;
+  for (const auto& [name, entry] : rules_) {
+    if (pred(*entry.rule)) doomed.push_back(name);
+  }
+  for (const std::string& name : doomed) {
+    (void)RemoveRule(name);
+  }
+  return static_cast<int>(doomed.size());
+}
+
+Result<Rule*> RuleManager::Find(const std::string& name) {
+  auto it = rules_.find(name);
+  if (it == rules_.end()) return Status::NotFound("no such rule: " + name);
+  return it->second.rule.get();
+}
+
+Result<const Rule*> RuleManager::Find(const std::string& name) const {
+  auto it = rules_.find(name);
+  if (it == rules_.end()) return Status::NotFound("no such rule: " + name);
+  return static_cast<const Rule*>(it->second.rule.get());
+}
+
+Status RuleManager::SetEnabled(const std::string& name, bool enabled) {
+  SENTINEL_ASSIGN_OR_RETURN(rule, Find(name));
+  rule->set_enabled(enabled);
+  return Status::OK();
+}
+
+int RuleManager::DisableIf(const std::function<bool(const Rule&)>& pred) {
+  int disabled = 0;
+  for (auto& [name, entry] : rules_) {
+    if (entry.rule->enabled() && pred(*entry.rule)) {
+      entry.rule->set_enabled(false);
+      ++disabled;
+    }
+  }
+  return disabled;
+}
+
+void RuleManager::OnOccurrence(EventId event, const Occurrence& occ) {
+  // Copy: rule actions may mutate the pool (regeneration, disable).
+  auto it = by_event_.find(event);
+  if (it == by_event_.end()) return;
+  const std::vector<Rule*> snapshot = it->second;
+  for (Rule* rule : snapshot) {
+    // A rule removed mid-dispatch must not fire: re-validate.
+    if (rules_.count(rule->name()) == 0) continue;
+    if (!rule->enabled()) continue;
+    if (cascade_used_ >= cascade_limit_) {
+      ++dropped_firings_;
+      SENTINEL_LOG(kError) << "cascade budget exhausted; dropping firing of "
+                           << rule->name();
+      continue;
+    }
+    ++cascade_used_;
+    ++total_fired_;
+    RuleContext ctx;
+    ctx.occurrence = &occ;
+    ctx.detector = detector_;
+    ctx.decision = decisions_.empty() ? nullptr : decisions_.back();
+    ctx.engine = engine_;
+    rule->Fire(ctx);
+  }
+}
+
+std::vector<const Rule*> RuleManager::rules() const {
+  std::vector<const Rule*> out;
+  out.reserve(rules_.size());
+  for (const auto& [name, entry] : rules_) {
+    out.push_back(entry.rule.get());
+  }
+  std::sort(out.begin(), out.end(), [this](const Rule* a, const Rule* b) {
+    return insertion_order_.at(a->name()) < insertion_order_.at(b->name());
+  });
+  return out;
+}
+
+std::string RuleManager::DescribePool() const {
+  std::ostringstream os;
+  for (const Rule* rule : rules()) {
+    os << rule->Describe(detector_->name(rule->event())) << "\n\n";
+  }
+  return os.str();
+}
+
+int RuleManager::CountByClass(RuleClass cls) const {
+  int n = 0;
+  for (const auto& [name, entry] : rules_) {
+    if (entry.rule->rule_class() == cls) ++n;
+  }
+  return n;
+}
+
+}  // namespace sentinel

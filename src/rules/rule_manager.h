@@ -1,0 +1,137 @@
+#ifndef SENTINELPP_RULES_RULE_MANAGER_H_
+#define SENTINELPP_RULES_RULE_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "event/event_detector.h"
+#include "rules/rule.h"
+
+namespace sentinel {
+
+/// \brief The rule pool and firing machinery.
+///
+/// Rules subscribe (via the manager) to their ON events. When an event
+/// occurrence arrives, every enabled rule on that event fires in
+/// deterministic order: priority descending, then insertion order. Actions
+/// may raise further events — cascaded rules — which the detector queues
+/// and delivers before the outermost Raise returns. A cascade budget bounds
+/// runaway rule loops (mutually-triggering rules): once the per-request
+/// budget is exhausted, further firings are dropped and counted.
+///
+/// The manager also carries the decision slot for the request in flight
+/// (installed by the engine around each public operation) and an opaque
+/// engine backpointer handed to every RuleContext.
+class RuleManager {
+ public:
+  /// `detector` must outlive the manager; not owned.
+  explicit RuleManager(EventDetector* detector);
+  ~RuleManager();
+
+  RuleManager(const RuleManager&) = delete;
+  RuleManager& operator=(const RuleManager&) = delete;
+
+  // ------------------------------------------------------------ Pool API
+
+  /// Adds a rule (ownership transferred). Fails on duplicate rule name or
+  /// invalid event id. Returns a stable pointer to the stored rule.
+  Result<Rule*> AddRule(Rule rule);
+
+  Status RemoveRule(const std::string& name);
+
+  /// Removes every rule matching `pred`; returns how many were removed.
+  /// Used by incremental regeneration (drop all rules of a changed role).
+  int RemoveIf(const std::function<bool(const Rule&)>& pred);
+
+  Result<Rule*> Find(const std::string& name);
+  Result<const Rule*> Find(const std::string& name) const;
+
+  Status SetEnabled(const std::string& name, bool enabled);
+
+  /// Disables every rule matching `pred` (active security: "some critical
+  /// authorization rules are disabled"); returns how many were disabled.
+  int DisableIf(const std::function<bool(const Rule&)>& pred);
+
+  // --------------------------------------------------- Request plumbing
+
+  /// Installs the decision slot for the request in flight. The engine
+  /// brackets each public operation with Push/Pop; nesting is allowed.
+  void PushDecision(Decision* decision) { decisions_.push_back(decision); }
+  void PopDecision() { decisions_.pop_back(); }
+
+  /// Opaque backpointer handed to RuleContext::engine.
+  void set_engine(void* engine) { engine_ = engine; }
+
+  /// Cascade budget per request (default 1024 firings).
+  void set_cascade_limit(uint64_t limit) { cascade_limit_ = limit; }
+  void ResetCascadeBudget() { cascade_used_ = 0; }
+  uint64_t dropped_firings() const { return dropped_firings_; }
+
+  // ------------------------------------------------------ Introspection
+
+  size_t rule_count() const { return rules_.size(); }
+  uint64_t total_fired() const { return total_fired_; }
+
+  /// All rules, insertion-ordered. Pointers valid until pool mutation.
+  std::vector<const Rule*> rules() const;
+
+  /// Full OWTE listing of the pool (the Figure-1 bench prints this).
+  std::string DescribePool() const;
+
+  /// Counts per classification, e.g. for pool statistics.
+  int CountByClass(RuleClass cls) const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<Rule> rule;
+    uint64_t insertion_seq;
+  };
+
+  void OnOccurrence(EventId event, const Occurrence& occ);
+  void EnsureDispatcher(EventId event);
+  void SortEventRules(EventId event);
+  void DetachFromEvent(EventId event, Rule* rule);
+
+  EventDetector* detector_;  // Not owned.
+  void* engine_ = nullptr;
+
+  std::unordered_map<std::string, Entry> rules_;
+  std::unordered_map<std::string, uint64_t> insertion_order_;
+  /// Per-event rule lists, kept sorted (priority desc, insertion asc).
+  std::unordered_map<EventId, std::vector<Rule*>> by_event_;
+  std::unordered_map<EventId, SubscriptionId> dispatchers_;
+
+  std::vector<Decision*> decisions_;
+  uint64_t next_insertion_seq_ = 1;
+  uint64_t total_fired_ = 0;
+  uint64_t cascade_limit_ = 1024;
+  uint64_t cascade_used_ = 0;
+  uint64_t dropped_firings_ = 0;
+};
+
+/// \brief RAII bracket installing a Decision on the manager for the scope
+/// of one engine operation (and resetting the cascade budget).
+class ScopedDecision {
+ public:
+  ScopedDecision(RuleManager* manager, Decision* decision)
+      : manager_(manager) {
+    manager_->ResetCascadeBudget();
+    manager_->PushDecision(decision);
+  }
+  ~ScopedDecision() { manager_->PopDecision(); }
+
+  ScopedDecision(const ScopedDecision&) = delete;
+  ScopedDecision& operator=(const ScopedDecision&) = delete;
+
+ private:
+  RuleManager* manager_;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_RULES_RULE_MANAGER_H_

@@ -1,0 +1,176 @@
+#include "workload/policy_gen.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "event/time_pattern.h"
+
+namespace sentinel {
+
+std::string SyntheticRoleName(int index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "R%04d", index);
+  return buf;
+}
+
+std::string SyntheticUserName(int index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "u%04d", index);
+  return buf;
+}
+
+std::string SyntheticObjectName(int index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "obj%03d", index);
+  return buf;
+}
+
+namespace {
+
+constexpr const char* kOperations[] = {"read", "write", "exec", "append"};
+
+/// Transitive junior closure (inclusive) for every role of the spec map.
+std::map<RoleName, std::set<RoleName>> JuniorClosures(
+    const std::map<RoleName, RoleSpec>& roles) {
+  std::map<RoleName, std::set<RoleName>> closure;
+  // Roles were generated so that juniors always precede seniors in name
+  // order; a single ordered pass suffices.
+  for (const auto& [name, spec] : roles) {
+    std::set<RoleName>& mine = closure[name];
+    mine.insert(name);
+    for (const RoleName& junior : spec.juniors) {
+      const auto& sub = closure[junior];
+      mine.insert(sub.begin(), sub.end());
+    }
+  }
+  return closure;
+}
+
+bool SsdAllows(const std::map<std::string, SodSet>& ssd_sets,
+               const std::set<RoleName>& authorized) {
+  for (const auto& [name, set] : ssd_sets) {
+    int hits = 0;
+    for (const RoleName& role : set.roles) {
+      if (authorized.count(role) > 0 && ++hits >= set.n) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Policy GeneratePolicy(const PolicyGenParams& params) {
+  Rng rng(params.seed);
+  Policy policy("synthetic-" + std::to_string(params.seed));
+
+  // --- Roles with forest hierarchy (junior = some earlier role). --------
+  for (int i = 0; i < params.num_roles; ++i) {
+    RoleSpec spec;
+    spec.name = SyntheticRoleName(i);
+    if (i > 0 && rng.NextBool(params.hierarchy_prob)) {
+      spec.juniors.insert(
+          SyntheticRoleName(static_cast<int>(rng.NextBounded(i))));
+    }
+    for (int p = 0; p < params.permissions_per_role; ++p) {
+      Permission perm;
+      perm.operation = kOperations[rng.NextBounded(4)];
+      perm.object = SyntheticObjectName(
+          static_cast<int>(rng.NextBounded(params.num_objects)));
+      spec.permissions.insert(perm);
+    }
+    if (rng.NextBool(params.cardinality_frac)) {
+      spec.activation_cardinality = params.cardinality_limit;
+    }
+    if (rng.NextBool(params.duration_frac)) {
+      // Offset durations per role to avoid same-instant expiry collisions.
+      spec.max_activation =
+          params.duration + static_cast<Duration>(i) * 17 * kMillisecond;
+    }
+    if (i > 0 && rng.NextBool(params.prereq_frac)) {
+      spec.prerequisites.insert(
+          SyntheticRoleName(static_cast<int>(rng.NextBounded(i))));
+    }
+    if (rng.NextBool(params.context_frac)) {
+      static constexpr const char* kKeys[] = {"location", "network"};
+      static constexpr const char* kValues[] = {"office", "home",
+                                                "hospital", "secure",
+                                                "insecure"};
+      spec.required_context[kKeys[rng.NextBounded(2)]] =
+          kValues[rng.NextBounded(5)];
+    }
+    if (rng.NextBool(params.shift_frac)) {
+      // A 9-to-5-style shift; start hour varied to spread boundaries.
+      const int start_hour = 6 + static_cast<int>(rng.NextBounded(4));
+      const int end_hour = start_hour + 8;
+      auto window = PeriodicExpression::Create(
+          TimePattern(start_hour, (i * 7) % 60, 0, TimePattern::kAny,
+                      TimePattern::kAny, TimePattern::kAny),
+          TimePattern(end_hour, (i * 11) % 60, 0, TimePattern::kAny,
+                      TimePattern::kAny, TimePattern::kAny));
+      if (window.ok()) spec.enabling_window = *window;
+    }
+    (void)policy.AddRole(std::move(spec));
+  }
+
+  // --- SoD sets over distinct sampled roles. ------------------------------
+  auto sample_roles = [&rng, &params](int count) {
+    std::set<RoleName> out;
+    while (static_cast<int>(out.size()) < count &&
+           static_cast<int>(out.size()) < params.num_roles) {
+      out.insert(SyntheticRoleName(
+          static_cast<int>(rng.NextBounded(params.num_roles))));
+    }
+    return out;
+  };
+  for (int i = 0; i < params.ssd_sets; ++i) {
+    SodSet set;
+    set.name = "SSD" + std::to_string(i);
+    set.roles = sample_roles(params.ssd_set_size);
+    set.n = 2;
+    if (static_cast<int>(set.roles.size()) >= set.n) {
+      (void)policy.AddSsd(std::move(set));
+    }
+  }
+  for (int i = 0; i < params.dsd_sets; ++i) {
+    SodSet set;
+    set.name = "DSD" + std::to_string(i);
+    set.roles = sample_roles(params.dsd_set_size);
+    set.n = 2;
+    if (static_cast<int>(set.roles.size()) >= set.n) {
+      (void)policy.AddDsd(std::move(set));
+    }
+  }
+
+  // --- Users with SSD-respecting assignments. ----------------------------
+  const auto closures = JuniorClosures(policy.roles());
+  for (int i = 0; i < params.num_users; ++i) {
+    UserSpec spec;
+    spec.name = SyntheticUserName(i);
+    std::set<RoleName> authorized;
+    int attempts = 0;
+    while (static_cast<int>(spec.assignments.size()) <
+               params.assignments_per_user &&
+           attempts++ < params.assignments_per_user * 8) {
+      const RoleName candidate = SyntheticRoleName(
+          static_cast<int>(rng.NextBounded(params.num_roles)));
+      if (spec.assignments.count(candidate) > 0) continue;
+      std::set<RoleName> hypothetical = authorized;
+      const auto& closure = closures.at(candidate);
+      hypothetical.insert(closure.begin(), closure.end());
+      if (!SsdAllows(policy.ssd_sets(), hypothetical)) continue;
+      spec.assignments.insert(candidate);
+      authorized = std::move(hypothetical);
+    }
+    if (rng.NextBool(params.user_cap_frac)) {
+      spec.max_active_roles = params.user_cap;
+    }
+    (void)policy.AddUser(std::move(spec));
+  }
+
+  return policy;
+}
+
+}  // namespace sentinel

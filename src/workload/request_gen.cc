@@ -1,0 +1,206 @@
+#include "workload/request_gen.h"
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace sentinel {
+
+const char* RequestKindToString(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kCreateSession:
+      return "createSession";
+    case RequestKind::kDeleteSession:
+      return "deleteSession";
+    case RequestKind::kAddActiveRole:
+      return "addActiveRole";
+    case RequestKind::kDropActiveRole:
+      return "dropActiveRole";
+    case RequestKind::kCheckAccess:
+      return "checkAccess";
+    case RequestKind::kAssignUser:
+      return "assignUser";
+    case RequestKind::kDeassignUser:
+      return "deassignUser";
+    case RequestKind::kEnableRole:
+      return "enableRole";
+    case RequestKind::kDisableRole:
+      return "disableRole";
+    case RequestKind::kAdvanceTime:
+      return "advanceTime";
+    case RequestKind::kSetContext:
+      return "setContext";
+  }
+  return "unknown";
+}
+
+RequestGenerator::RequestGenerator(const Policy& policy,
+                                   const RequestGenParams& params)
+    : policy_(policy), params_(params) {}
+
+std::vector<Request> RequestGenerator::Generate() {
+  Rng rng(params_.seed);
+  std::vector<Request> out;
+  out.reserve(static_cast<size_t>(params_.num_requests));
+
+  // Name pools drawn from the policy.
+  std::vector<UserName> users;
+  for (const auto& [name, spec] : policy_.users()) users.push_back(name);
+  std::vector<RoleName> roles;
+  for (const auto& [name, spec] : policy_.roles()) roles.push_back(name);
+  std::vector<Permission> perms;
+  std::set<OperationName> op_set;
+  std::set<ObjectName> obj_set;
+  for (const auto& [name, spec] : policy_.roles()) {
+    for (const Permission& perm : spec.permissions) {
+      perms.push_back(perm);
+      op_set.insert(perm.operation);
+      obj_set.insert(perm.object);
+    }
+  }
+  const std::vector<OperationName> ops(op_set.begin(), op_set.end());
+  const std::vector<ObjectName> objs(obj_set.begin(), obj_set.end());
+  std::vector<PurposeName> purposes;
+  for (const PurposeSpec& purpose : policy_.purposes()) {
+    purposes.push_back(purpose.name);
+  }
+
+  // Live session bookkeeping: plausible streams reuse created sessions.
+  struct LiveSession {
+    SessionId id;
+    UserName user;
+  };
+  std::vector<LiveSession> sessions;
+  int next_session = 0;
+
+  auto pick = [&rng](const auto& pool) -> decltype(pool[0]) {
+    return pool[rng.NextBounded(pool.size())];
+  };
+  auto pick_user = [&]() -> UserName {
+    if (users.empty() || rng.NextBool(params_.invalid_frac)) {
+      return "ghost-user";
+    }
+    return pick(users);
+  };
+  auto pick_role = [&]() -> RoleName {
+    if (roles.empty() || rng.NextBool(params_.invalid_frac)) {
+      return "ghost-role";
+    }
+    return pick(roles);
+  };
+
+  const RequestMix& mix = params_.mix;
+  const int weights[] = {mix.create_session,  mix.delete_session,
+                         mix.add_active_role, mix.drop_active_role,
+                         mix.check_access,    mix.assign_user,
+                         mix.deassign_user,   mix.enable_role,
+                         mix.disable_role,    mix.advance_time,
+                         mix.set_context};
+  int total_weight = 0;
+  for (int w : weights) total_weight += w;
+  if (total_weight <= 0) return out;
+
+  for (int i = 0; i < params_.num_requests; ++i) {
+    int draw = static_cast<int>(
+        rng.NextBounded(static_cast<uint64_t>(total_weight)));
+    int kind_index = 0;
+    while (draw >= weights[kind_index]) {
+      draw -= weights[kind_index];
+      ++kind_index;
+    }
+    auto kind = static_cast<RequestKind>(kind_index);
+    // Session-dependent kinds degrade to createSession when none is live.
+    const bool needs_session = kind == RequestKind::kDeleteSession ||
+                               kind == RequestKind::kAddActiveRole ||
+                               kind == RequestKind::kDropActiveRole ||
+                               kind == RequestKind::kCheckAccess;
+    if (needs_session && sessions.empty()) {
+      kind = RequestKind::kCreateSession;
+    }
+
+    Request request;
+    request.kind = kind;
+    switch (kind) {
+      case RequestKind::kCreateSession: {
+        request.user = pick_user();
+        request.session = "s" + std::to_string(next_session++);
+        if (request.user != "ghost-user") {
+          sessions.push_back(LiveSession{request.session, request.user});
+        }
+        break;
+      }
+      case RequestKind::kDeleteSession: {
+        const size_t index = rng.NextBounded(sessions.size());
+        request.session = sessions[index].id;
+        sessions.erase(sessions.begin() + static_cast<ptrdiff_t>(index));
+        break;
+      }
+      case RequestKind::kAddActiveRole:
+      case RequestKind::kDropActiveRole: {
+        const LiveSession& live = sessions[rng.NextBounded(sessions.size())];
+        request.session = live.id;
+        request.user = rng.NextBool(params_.invalid_frac) ? pick_user()
+                                                          : live.user;
+        // Prefer roles the user is assigned to, for interesting allows.
+        auto spec = policy_.users().find(live.user);
+        if (spec != policy_.users().end() &&
+            !spec->second.assignments.empty() && rng.NextBool(0.7)) {
+          std::vector<RoleName> assigned(spec->second.assignments.begin(),
+                                         spec->second.assignments.end());
+          request.role = pick(assigned);
+        } else {
+          request.role = pick_role();
+        }
+        break;
+      }
+      case RequestKind::kCheckAccess: {
+        const LiveSession& live = sessions[rng.NextBounded(sessions.size())];
+        request.session = live.id;
+        if (!perms.empty() && rng.NextBool(0.5)) {
+          const Permission& perm = pick(perms);
+          request.operation = perm.operation;
+          request.object = perm.object;
+        } else {
+          request.operation = ops.empty() ? "read" : pick(ops);
+          request.object = objs.empty() ? "obj0" : pick(objs);
+        }
+        if (!purposes.empty() && rng.NextBool(0.5)) {
+          request.purpose = pick(purposes);
+        }
+        break;
+      }
+      case RequestKind::kAssignUser:
+      case RequestKind::kDeassignUser:
+        request.user = pick_user();
+        request.role = pick_role();
+        break;
+      case RequestKind::kEnableRole:
+      case RequestKind::kDisableRole:
+        request.role = pick_role();
+        break;
+      case RequestKind::kAdvanceTime: {
+        // Odd microsecond counts: temporal firings stay collision-free.
+        const Duration bound = params_.max_advance > 2 ? params_.max_advance
+                                                       : Duration{2};
+        request.advance =
+            static_cast<Duration>(rng.NextBounded(
+                static_cast<uint64_t>(bound))) |
+            1;
+        break;
+      }
+      case RequestKind::kSetContext: {
+        static constexpr const char* kKeys[] = {"location", "network"};
+        static constexpr const char* kValues[] = {"office", "home",
+                                                  "hospital", "secure",
+                                                  "insecure"};
+        request.context_key = kKeys[rng.NextBounded(2)];
+        request.context_value = kValues[rng.NextBounded(5)];
+        break;
+      }
+    }
+    out.push_back(std::move(request));
+  }
+  return out;
+}
+
+}  // namespace sentinel

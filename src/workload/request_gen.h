@@ -1,0 +1,134 @@
+#ifndef SENTINELPP_WORKLOAD_REQUEST_GEN_H_
+#define SENTINELPP_WORKLOAD_REQUEST_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "rules/decision.h"
+
+namespace sentinel {
+
+/// Kind of one workload request, matching the enforcement surface.
+enum class RequestKind : int {
+  kCreateSession = 0,
+  kDeleteSession,
+  kAddActiveRole,
+  kDropActiveRole,
+  kCheckAccess,
+  kAssignUser,
+  kDeassignUser,
+  kEnableRole,
+  kDisableRole,
+  kAdvanceTime,
+  kSetContext,
+};
+
+const char* RequestKindToString(RequestKind kind);
+
+/// \brief One request of a generated stream.
+struct Request {
+  RequestKind kind = RequestKind::kCheckAccess;
+  UserName user;
+  SessionId session;
+  RoleName role;
+  OperationName operation;
+  ObjectName object;
+  PurposeName purpose;
+  Duration advance = 0;  // kAdvanceTime only.
+  std::string context_key;    // kSetContext only.
+  std::string context_value;  // kSetContext only.
+};
+
+/// \brief Mix weights for the stream (relative, not normalized).
+struct RequestMix {
+  int create_session = 5;
+  int delete_session = 2;
+  int add_active_role = 25;
+  int drop_active_role = 10;
+  int check_access = 40;
+  int assign_user = 3;
+  int deassign_user = 2;
+  int enable_role = 1;
+  int disable_role = 1;
+  int advance_time = 10;
+  int set_context = 2;
+};
+
+struct RequestGenParams {
+  uint64_t seed = 7;
+  int num_requests = 1000;
+  RequestMix mix;
+  /// Bound on each time advance; actual advances are odd microsecond
+  /// counts to keep temporal firings collision-free across systems.
+  Duration max_advance = 2 * kMinute;
+  /// Probability a request references an unknown user/role/session,
+  /// exercising the ELSE branches.
+  double invalid_frac = 0.1;
+};
+
+/// \brief Deterministic plausible request streams over a policy: sessions
+/// that were created get used and eventually deleted, activations pick
+/// assigned roles most of the time, accesses target granted permissions
+/// about half the time.
+class RequestGenerator {
+ public:
+  RequestGenerator(const Policy& policy, const RequestGenParams& params);
+
+  /// Generates the full stream (stateful; call once).
+  std::vector<Request> Generate();
+
+ private:
+  const Policy& policy_;
+  RequestGenParams params_;
+};
+
+/// Applies one request to any system exposing the engine surface
+/// (AuthorizationEngine, DirectEnforcer). Returns the decision;
+/// kAdvanceTime returns a synthetic allow.
+template <typename System>
+Decision ApplyRequest(System& system, const Request& request) {
+  switch (request.kind) {
+    case RequestKind::kCreateSession:
+      return system.CreateSession(request.user, request.session);
+    case RequestKind::kDeleteSession:
+      return system.DeleteSession(request.session);
+    case RequestKind::kAddActiveRole:
+      return system.AddActiveRole(request.user, request.session,
+                                  request.role);
+    case RequestKind::kDropActiveRole:
+      return system.DropActiveRole(request.user, request.session,
+                                   request.role);
+    case RequestKind::kCheckAccess:
+      return system.CheckAccess(request.session, request.operation,
+                                request.object, request.purpose);
+    case RequestKind::kAssignUser:
+      return system.AssignUser(request.user, request.role);
+    case RequestKind::kDeassignUser:
+      return system.DeassignUser(request.user, request.role);
+    case RequestKind::kEnableRole:
+      return system.EnableRole(request.role);
+    case RequestKind::kDisableRole:
+      return system.DisableRole(request.role);
+    case RequestKind::kAdvanceTime: {
+      system.AdvanceTo(system.Now() + request.advance);
+      Decision d;
+      d.Allow("advance");
+      return d;
+    }
+    case RequestKind::kSetContext: {
+      system.SetContext(request.context_key, request.context_value);
+      Decision d;
+      d.Allow("context");
+      return d;
+    }
+  }
+  Decision d;
+  d.Deny("", "unknown request kind");
+  return d;
+}
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_WORKLOAD_REQUEST_GEN_H_

@@ -1,0 +1,84 @@
+#include "core/active_security.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace sentinel {
+namespace {
+
+TEST(ActiveSecurityMonitorTest, RecordDenialCountsWithinWindow) {
+  ActiveSecurityMonitor monitor;
+  monitor.DefineWindow("guard", 60 * kSecond, 3);
+  EXPECT_EQ(monitor.RecordDenial("guard", 0), 1);
+  EXPECT_EQ(monitor.RecordDenial("guard", 10 * kSecond), 2);
+  EXPECT_EQ(monitor.RecordDenial("guard", 20 * kSecond), 3);
+  EXPECT_TRUE(monitor.ThresholdReached("guard"));
+}
+
+TEST(ActiveSecurityMonitorTest, OldDenialsSlideOut) {
+  ActiveSecurityMonitor monitor;
+  monitor.DefineWindow("guard", 60 * kSecond, 3);
+  monitor.RecordDenial("guard", 0);
+  monitor.RecordDenial("guard", 10 * kSecond);
+  // At t=70s the 60s window covers (10s, 70s]: both old denials aged out.
+  EXPECT_EQ(monitor.RecordDenial("guard", 70 * kSecond), 1);
+  EXPECT_FALSE(monitor.ThresholdReached("guard"));
+}
+
+TEST(ActiveSecurityMonitorTest, BoundaryIsExclusive) {
+  ActiveSecurityMonitor monitor;
+  monitor.DefineWindow("guard", 60 * kSecond, 2);
+  monitor.RecordDenial("guard", 0);
+  // Exactly window-width later: the first one has just aged out.
+  EXPECT_EQ(monitor.RecordDenial("guard", 60 * kSecond), 1);
+}
+
+TEST(ActiveSecurityMonitorTest, UnknownDirectiveIgnored) {
+  ActiveSecurityMonitor monitor;
+  EXPECT_EQ(monitor.RecordDenial("ghost", 0), 0);
+  EXPECT_FALSE(monitor.ThresholdReached("ghost"));
+}
+
+TEST(ActiveSecurityMonitorTest, AlertRecordsAndClearsWindow) {
+  CapturingLogSink sink;
+  ActiveSecurityMonitor monitor;
+  monitor.DefineWindow("guard", 60 * kSecond, 2);
+  monitor.RecordDenial("guard", 0);
+  monitor.RecordDenial("guard", 1);
+  monitor.RaiseAlert("guard", 1, 2, "burst");
+  ASSERT_EQ(monitor.alert_count(), 1);
+  EXPECT_EQ(monitor.alerts()[0].directive, "guard");
+  EXPECT_EQ(monitor.alerts()[0].observed_count, 2);
+  EXPECT_TRUE(sink.Contains("internal security alert [guard]"));
+  // Window cleared: the same burst does not re-alert.
+  EXPECT_FALSE(monitor.ThresholdReached("guard"));
+}
+
+TEST(ActiveSecurityMonitorTest, RemoveWindowStopsCounting) {
+  ActiveSecurityMonitor monitor;
+  monitor.DefineWindow("guard", 60 * kSecond, 2);
+  monitor.RemoveWindow("guard");
+  EXPECT_EQ(monitor.RecordDenial("guard", 0), 0);
+}
+
+TEST(ActiveSecurityMonitorTest, AuditReportsCounted) {
+  ActiveSecurityMonitor monitor;
+  monitor.RecordAuditReport("daily", 0);
+  monitor.RecordAuditReport("daily", kDay);
+  EXPECT_EQ(monitor.audit_report_count("daily"), 2);
+  EXPECT_EQ(monitor.audit_report_count("other"), 0);
+}
+
+TEST(ActiveSecurityMonitorTest, TotalDenialsAcrossDirectives) {
+  ActiveSecurityMonitor monitor;
+  monitor.DefineWindow("a", kMinute, 5);
+  monitor.DefineWindow("b", kMinute, 5);
+  monitor.RecordDenial("a", 0);
+  monitor.RecordDenial("b", 0);
+  monitor.RecordDenial("ghost", 0);  // Not counted.
+  EXPECT_EQ(monitor.total_denials_recorded(), 2u);
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -1,0 +1,126 @@
+#include "common/calendar.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace sentinel {
+namespace {
+
+TEST(CalendarTest, EpochIsJan1st1970) {
+  const CivilTime c = ToCivil(0);
+  EXPECT_EQ(c.year, 1970);
+  EXPECT_EQ(c.month, 1);
+  EXPECT_EQ(c.day, 1);
+  EXPECT_EQ(c.hour, 0);
+}
+
+TEST(CalendarTest, KnownInstant) {
+  // 2026-07-06 12:34:56 UTC.
+  const Time t = MakeTime(2026, 7, 6, 12, 34, 56);
+  const CivilTime c = ToCivil(t);
+  EXPECT_EQ(c.year, 2026);
+  EXPECT_EQ(c.month, 7);
+  EXPECT_EQ(c.day, 6);
+  EXPECT_EQ(c.hour, 12);
+  EXPECT_EQ(c.minute, 34);
+  EXPECT_EQ(c.second, 56);
+  EXPECT_EQ(c.microsecond, 0);
+}
+
+TEST(CalendarTest, DayOfWeek) {
+  EXPECT_EQ(DayOfWeek(0), 4);  // 1970-01-01 was a Thursday.
+  EXPECT_EQ(DayOfWeek(MakeTime(2026, 7, 6)), 1);   // Monday.
+  EXPECT_EQ(DayOfWeek(MakeTime(2026, 7, 12)), 0);  // Sunday.
+}
+
+TEST(CalendarTest, LeapYears) {
+  EXPECT_TRUE(IsLeapYear(2024));
+  EXPECT_FALSE(IsLeapYear(2026));
+  EXPECT_FALSE(IsLeapYear(1900));  // Century, not divisible by 400.
+  EXPECT_TRUE(IsLeapYear(2000));
+}
+
+TEST(CalendarTest, DaysInMonth) {
+  EXPECT_EQ(DaysInMonth(2024, 2), 29);
+  EXPECT_EQ(DaysInMonth(2026, 2), 28);
+  EXPECT_EQ(DaysInMonth(2026, 4), 30);
+  EXPECT_EQ(DaysInMonth(2026, 12), 31);
+  EXPECT_EQ(DaysInMonth(2026, 13), 0);
+}
+
+TEST(CalendarTest, FromCivilNormalizesOverflow) {
+  // Hour 24 rolls into the next day.
+  CivilTime c;
+  c.year = 2026;
+  c.month = 7;
+  c.day = 6;
+  c.hour = 24;
+  EXPECT_EQ(FromCivil(c), MakeTime(2026, 7, 7));
+  // Month 13 rolls into the next year.
+  CivilTime m;
+  m.year = 2026;
+  m.month = 13;
+  m.day = 1;
+  EXPECT_EQ(FromCivil(m), MakeTime(2027, 1, 1));
+}
+
+TEST(CalendarTest, NegativeTimesBeforeEpoch) {
+  const CivilTime c = ToCivil(-kDay);
+  EXPECT_EQ(c.year, 1969);
+  EXPECT_EQ(c.month, 12);
+  EXPECT_EQ(c.day, 31);
+}
+
+TEST(CalendarTest, FormatTime) {
+  EXPECT_EQ(FormatTime(MakeTime(2026, 7, 6, 9, 5, 3)),
+            "2026-07-06 09:05:03");
+  EXPECT_EQ(FormatTime(MakeTime(2026, 1, 1, 0, 0, 0, 250)),
+            "2026-01-01 00:00:00.000250");
+}
+
+// Property: ToCivil and FromCivil are exact inverses over a wide random
+// range of instants.
+TEST(CalendarPropertyTest, RoundTripRandomInstants) {
+  Rng rng(20260706);
+  for (int i = 0; i < 20000; ++i) {
+    // ~1900..2150 range in microseconds.
+    const Time t =
+        rng.NextInt(-2208988800LL, 5680281600LL) * kSecond +
+        rng.NextInt(0, kSecond - 1);
+    const CivilTime c = ToCivil(t);
+    EXPECT_EQ(FromCivil(c), t) << FormatTime(t);
+    EXPECT_GE(c.month, 1);
+    EXPECT_LE(c.month, 12);
+    EXPECT_GE(c.day, 1);
+    EXPECT_LE(c.day, DaysInMonth(c.year, c.month));
+    EXPECT_GE(c.hour, 0);
+    EXPECT_LE(c.hour, 23);
+  }
+}
+
+TEST(SystemClockTest, ReturnsPlausibleWallTime) {
+  // Wall-clock smoke test: the SystemClock reads a monotone-ish, current
+  // real time (the library is otherwise exercised under simulated time).
+  SystemClock clock;
+  const Time first = clock.Now();
+  EXPECT_GT(first, MakeTime(2024, 1, 1));   // After the library existed.
+  EXPECT_LT(first, MakeTime(2100, 1, 1));   // Before the heat death.
+  const Time second = clock.Now();
+  EXPECT_GE(second, first);
+}
+
+// Property: adding one civil day equals adding kDay microseconds.
+TEST(CalendarPropertyTest, DayArithmeticConsistent) {
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const Time t = rng.NextInt(0, 4102444800LL) * kSecond;
+    CivilTime c = ToCivil(t);
+    c.day += 1;
+    EXPECT_EQ(FromCivil(c), t + kDay);
+  }
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -1,0 +1,268 @@
+#include "core/consistency.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/policy_parser.h"
+#include "tests/test_util.h"
+#include "workload/policy_gen.h"
+
+namespace sentinel {
+namespace {
+
+std::vector<ConsistencyIssue> CheckText(const std::string& text) {
+  auto policy = PolicyParser::Parse(text);
+  EXPECT_TRUE(policy.ok()) << policy.status().ToString();
+  return CheckPolicyConsistency(*policy);
+}
+
+bool HasIssue(const std::vector<ConsistencyIssue>& issues,
+              const std::string& code) {
+  for (const ConsistencyIssue& issue : issues) {
+    if (issue.code == code) return true;
+  }
+  return false;
+}
+
+TEST(ConsistencyTest, CleanPoliciesHaveNoIssues) {
+  EXPECT_TRUE(
+      CheckPolicyConsistency(testutil::EnterpriseXyzPolicy()).empty());
+  const auto hospital = CheckPolicyConsistency(testutil::HospitalPolicy());
+  EXPECT_TRUE(NoErrors(hospital));
+}
+
+TEST(ConsistencyTest, SsdAssignmentConflictIsError) {
+  const auto issues = CheckText(R"(
+policy "p"
+role A {}
+role B {}
+ssd S { roles: A, B  n: 2 }
+user u { assign: A, B }
+)");
+  EXPECT_TRUE(HasIssue(issues, "ssd-assignment-conflict"));
+  EXPECT_FALSE(NoErrors(issues));
+}
+
+TEST(ConsistencyTest, SsdConflictThroughHierarchyDetected) {
+  const auto issues = CheckText(R"(
+policy "p"
+role A {}
+role B {}
+role Senior { senior-of: A }
+ssd S { roles: A, B  n: 2 }
+user u { assign: Senior, B }
+)");
+  EXPECT_TRUE(HasIssue(issues, "ssd-assignment-conflict"));
+}
+
+TEST(ConsistencyTest, SsdHierarchyConflictIsWarning) {
+  const auto issues = CheckText(R"(
+policy "p"
+role A {}
+role B {}
+role Super { senior-of: A, B }
+ssd S { roles: A, B  n: 2 }
+)");
+  EXPECT_TRUE(HasIssue(issues, "ssd-hierarchy-conflict"));
+  EXPECT_TRUE(NoErrors(issues));  // Unassignable but loadable.
+}
+
+TEST(ConsistencyTest, PrerequisiteCycleIsError) {
+  const auto issues = CheckText(R"(
+policy "p"
+role A { prerequisite: B }
+role B { prerequisite: A }
+)");
+  EXPECT_TRUE(HasIssue(issues, "prerequisite-cycle"));
+  EXPECT_FALSE(NoErrors(issues));
+}
+
+TEST(ConsistencyTest, PrerequisiteDsdConflictIsError) {
+  const auto issues = CheckText(R"(
+policy "p"
+role Mentor {}
+role Junior { prerequisite: Mentor }
+dsd D { roles: Mentor, Junior  n: 2 }
+)");
+  EXPECT_TRUE(HasIssue(issues, "prerequisite-dsd-conflict"));
+}
+
+TEST(ConsistencyTest, DsdSubsumedBySsdIsWarning) {
+  const auto issues = CheckText(R"(
+policy "p"
+role A {}
+role B {}
+ssd S { roles: A, B  n: 2 }
+dsd D { roles: A, B  n: 2 }
+)");
+  EXPECT_TRUE(HasIssue(issues, "dsd-subsumed-by-ssd"));
+  EXPECT_TRUE(NoErrors(issues));
+}
+
+TEST(ConsistencyTest, DsdNotSubsumedWhenStricter) {
+  // DSD n=2 over three roles, SSD n=3: a user CAN hold two of them.
+  const auto issues = CheckText(R"(
+policy "p"
+role A {}
+role B {}
+role C {}
+ssd S { roles: A, B, C  n: 3 }
+dsd D { roles: A, B, C  n: 2 }
+)");
+  EXPECT_FALSE(HasIssue(issues, "dsd-subsumed-by-ssd"));
+}
+
+TEST(ConsistencyTest, VacuousCardinalityWarning) {
+  const auto issues = CheckText(R"(
+policy "p"
+role A { cardinality: 5 }
+user u { assign: A }
+)");
+  EXPECT_TRUE(HasIssue(issues, "cardinality-vacuous"));
+}
+
+TEST(ConsistencyTest, ReachableCardinalityClean) {
+  const auto issues = CheckText(R"(
+policy "p"
+role A { cardinality: 2 }
+user u1 { assign: A }
+user u2 { assign: A }
+user u3 { assign: A }
+)");
+  EXPECT_FALSE(HasIssue(issues, "cardinality-vacuous"));
+}
+
+TEST(ConsistencyTest, DurationExceedsShiftWarning) {
+  const auto issues = CheckText(R"(
+policy "p"
+role Day { enable: 09:00:00 - 17:00:00  max-activation: 10h }
+user u { assign: Day }
+)");
+  EXPECT_TRUE(HasIssue(issues, "duration-exceeds-shift"));
+  const auto fine = CheckText(R"(
+policy "p"
+role Day { enable: 09:00:00 - 17:00:00  max-activation: 2h }
+user u { assign: Day }
+)");
+  EXPECT_FALSE(HasIssue(fine, "duration-exceeds-shift"));
+}
+
+TEST(ConsistencyTest, TsodMemberWithShiftWarning) {
+  const auto issues = CheckText(R"(
+policy "p"
+role Doctor { enable: 08:00:00 - 20:00:00 }
+role Nurse {}
+time-sod avail { kind: disabling  roles: Doctor, Nurse
+                 window: 10:00:00 - 17:00:00 }
+)");
+  EXPECT_TRUE(HasIssue(issues, "tsod-member-has-shift"));
+}
+
+TEST(ConsistencyTest, UnusableTransactionWarning) {
+  const auto issues = CheckText(R"(
+policy "p"
+role Manager {}
+role JuniorEmp {}
+transaction t { controller: Manager  dependent: JuniorEmp }
+)");
+  EXPECT_TRUE(HasIssue(issues, "transaction-unusable"));
+}
+
+TEST(ConsistencyTest, GeneratedPoliciesAreErrorFree) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    PolicyGenParams params;
+    params.seed = seed;
+    params.context_frac = 0.2;
+    params.shift_frac = 0.2;
+    const auto issues = CheckPolicyConsistency(GeneratePolicy(params));
+    EXPECT_TRUE(NoErrors(issues)) << "seed " << seed;
+  }
+}
+
+// ------------------------------------------- Generated-pool verification
+
+TEST(PoolVerificationTest, XyzPoolIsExactlyExpected) {
+  SimulatedClock clock(testutil::Noon());
+  AuthorizationEngine engine(&clock);
+  ASSERT_TRUE(engine.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  const auto issues = VerifyGeneratedPool(engine);
+  EXPECT_TRUE(issues.empty())
+      << (issues.empty() ? std::string() : issues[0].ToString());
+}
+
+TEST(PoolVerificationTest, EveryFeatureFullPolicyVerifies) {
+  auto policy = PolicyParser::Parse(R"(
+policy "full"
+role A { cardinality: 3  max-activation: 1h }
+role B { senior-of: A  enable: 08:00:00 - 18:00:00 }
+role C { prerequisite: A  context: location = office }
+role SysAdmin {}
+role SysAudit {}
+role Manager {}
+role JuniorEmp {}
+user u { assign: A, Manager  max-active: 3  duration: A = 30m }
+ssd S { roles: SysAdmin, JuniorEmp  n: 2 }
+dsd D { roles: A, C  n: 2 }
+cfd { trigger: SysAdmin  companion: SysAudit }
+transaction t { controller: Manager  dependent: JuniorEmp }
+threshold g { count: 5  window: 60s }
+audit a { interval: 1h }
+time-sod ts { kind: disabling  roles: SysAdmin, SysAudit
+              window: 10:00:00 - 17:00:00 }
+)");
+  ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+  SimulatedClock clock(testutil::Noon());
+  AuthorizationEngine engine(&clock);
+  ASSERT_TRUE(engine.LoadPolicy(*policy).ok());
+  const auto issues = VerifyGeneratedPool(engine);
+  for (const ConsistencyIssue& issue : issues) {
+    ADD_FAILURE() << issue.ToString();
+  }
+}
+
+TEST(PoolVerificationTest, PoolStaysExactAcrossRegeneration) {
+  SimulatedClock clock(testutil::Noon());
+  AuthorizationEngine engine(&clock);
+  Policy base = testutil::EnterpriseXyzPolicy();
+  ASSERT_TRUE(engine.LoadPolicy(base).ok());
+  // Churn the policy a few times; the pool must track exactly.
+  for (int round = 0; round < 3; ++round) {
+    Policy updated = base;
+    (*updated.MutableRole("PC"))->activation_cardinality = round + 1;
+    (*updated.MutableRole("AM"))->max_activation = (round + 1) * kHour;
+    ASSERT_TRUE(engine.ApplyPolicyUpdate(updated).ok());
+    EXPECT_TRUE(VerifyGeneratedPool(engine).empty()) << "round " << round;
+    ASSERT_TRUE(engine.ApplyPolicyUpdate(base).ok());
+    EXPECT_TRUE(VerifyGeneratedPool(engine).empty()) << "round " << round;
+  }
+}
+
+TEST(PoolVerificationTest, DetectsTamperedPool) {
+  SimulatedClock clock(testutil::Noon());
+  AuthorizationEngine engine(&clock);
+  ASSERT_TRUE(engine.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  // Remove a required rule behind the generator's back.
+  ASSERT_TRUE(engine.rule_manager().RemoveRule("AAR.PC").ok());
+  auto issues = VerifyGeneratedPool(engine);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].code, "missing-rule");
+  EXPECT_NE(issues[0].detail.find("AAR.PC"), std::string::npos);
+  // Add a rogue rule.
+  ASSERT_TRUE(engine.rule_manager()
+                  .AddRule(Rule("ROGUE.backdoor",
+                                engine.events().check_access))
+                  .ok());
+  issues = VerifyGeneratedPool(engine);
+  ASSERT_EQ(issues.size(), 2u);
+  EXPECT_TRUE(issues[0].code == "unexpected-rule" ||
+              issues[1].code == "unexpected-rule");
+}
+
+TEST(ConsistencyTest, IssueToString) {
+  ConsistencyIssue issue{IssueSeverity::kError, "missing-rule", "x"};
+  EXPECT_EQ(issue.ToString(), "ERROR [missing-rule] x");
+  EXPECT_STREQ(IssueSeverityToString(IssueSeverity::kWarning), "WARNING");
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "event/event_detector.h"
+#include "tests/test_util.h"
+
+namespace sentinel {
+namespace {
+
+/// Parameterized sweep: structural invariants that must hold for binary
+/// operators in EVERY consumption mode, plus per-mode expected counts for
+/// canonical initiator/terminator scripts.
+class ConsumptionModeTest : public ::testing::TestWithParam<ConsumptionMode> {
+ protected:
+  ConsumptionModeTest() : clock_(testutil::Noon()), detector_(&clock_) {
+    a_ = *detector_.DefinePrimitive("a");
+    b_ = *detector_.DefinePrimitive("b");
+    c_ = *detector_.DefinePrimitive("c");
+  }
+
+  void Watch(EventId event) {
+    detector_.Subscribe(event,
+                        [this](const Occurrence& occ) { log_.push_back(occ); });
+  }
+
+  void Raise(EventId event, ParamMap params = {}) {
+    clock_.Advance(kMillisecond);  // Distinct instants for clean ordering.
+    ASSERT_TRUE(detector_.Raise(event, std::move(params)).ok());
+  }
+
+  ConsumptionMode mode() const { return GetParam(); }
+
+  SimulatedClock clock_;
+  EventDetector detector_;
+  EventId a_ = kInvalidEventId, b_ = kInvalidEventId, c_ = kInvalidEventId;
+  std::vector<Occurrence> log_;
+};
+
+TEST_P(ConsumptionModeTest, AndNeverFiresFromOneSide) {
+  const EventId and_ev = *detector_.DefineAnd("and", a_, b_, mode());
+  Watch(and_ev);
+  for (int i = 0; i < 5; ++i) Raise(a_);
+  EXPECT_EQ(log_.size(), 0u);
+}
+
+TEST_P(ConsumptionModeTest, AndSinglePairDetectsExactlyOnce) {
+  const EventId and_ev = *detector_.DefineAnd("and", a_, b_, mode());
+  Watch(and_ev);
+  Raise(a_);
+  Raise(b_);
+  EXPECT_EQ(log_.size(), 1u);
+}
+
+TEST_P(ConsumptionModeTest, AndTwoInitiatorsOneTerminatorCounts) {
+  const EventId and_ev = *detector_.DefineAnd("and", a_, b_, mode());
+  Watch(and_ev);
+  Raise(a_);
+  Raise(a_);
+  Raise(b_);
+  const size_t expected =
+      mode() == ConsumptionMode::kContinuous ? 2u : 1u;
+  EXPECT_EQ(log_.size(), expected);
+}
+
+TEST_P(ConsumptionModeTest, SeqNeverFiresOnReversedOrder) {
+  const EventId seq = *detector_.DefineSeq("seq", a_, b_, mode());
+  Watch(seq);
+  Raise(b_);
+  Raise(b_);
+  Raise(a_);
+  EXPECT_EQ(log_.size(), 0u);
+}
+
+TEST_P(ConsumptionModeTest, SeqTwoLeftsOneRightCounts) {
+  const EventId seq = *detector_.DefineSeq("seq", a_, b_, mode());
+  Watch(seq);
+  Raise(a_, {{"x", Value(1)}});
+  Raise(a_, {{"x", Value(2)}});
+  Raise(b_);
+  size_t expected = 1u;
+  if (mode() == ConsumptionMode::kContinuous) expected = 2u;
+  ASSERT_EQ(log_.size(), expected);
+  // Which initiator pairs depends on the mode.
+  if (mode() == ConsumptionMode::kRecent) {
+    EXPECT_EQ(log_[0].params.at("x"), Value(2));
+  } else if (mode() == ConsumptionMode::kChronicle) {
+    EXPECT_EQ(log_[0].params.at("x"), Value(1));
+  }
+}
+
+TEST_P(ConsumptionModeTest, SeqIntervalSpansInitiatorToTerminator) {
+  const EventId seq = *detector_.DefineSeq("seq", a_, b_, mode());
+  Watch(seq);
+  Raise(a_);
+  const Time a_time = clock_.Now();
+  Raise(b_);
+  const Time b_time = clock_.Now();
+  ASSERT_GE(log_.size(), 1u);
+  for (const Occurrence& occ : log_) {
+    EXPECT_EQ(occ.start, a_time);
+    EXPECT_EQ(occ.end, b_time);
+    EXPECT_LE(occ.start, occ.end);
+  }
+}
+
+TEST_P(ConsumptionModeTest, SeqRepeatedTerminators) {
+  const EventId seq = *detector_.DefineSeq("seq", a_, b_, mode());
+  Watch(seq);
+  Raise(a_);
+  Raise(b_);
+  Raise(b_);
+  // Recent retains the initiator: both b's detect. All consuming modes
+  // detect once.
+  const size_t expected = mode() == ConsumptionMode::kRecent ? 2u : 1u;
+  EXPECT_EQ(log_.size(), expected);
+}
+
+TEST_P(ConsumptionModeTest, NotMiddleAlwaysInvalidates) {
+  const EventId not_ev = *detector_.DefineNot("not", a_, b_, c_, mode());
+  Watch(not_ev);
+  Raise(a_);
+  Raise(a_);
+  Raise(b_);
+  Raise(c_);
+  EXPECT_EQ(log_.size(), 0u);
+}
+
+TEST_P(ConsumptionModeTest, NotCleanWindowDetects) {
+  const EventId not_ev = *detector_.DefineNot("not", a_, b_, c_, mode());
+  Watch(not_ev);
+  Raise(a_);
+  Raise(c_);
+  EXPECT_EQ(log_.size(), 1u);
+}
+
+TEST_P(ConsumptionModeTest, AperiodicMiddleCountMatchesMode) {
+  const EventId ap = *detector_.DefineAperiodic("ap", a_, b_, c_, mode());
+  Watch(ap);
+  Raise(a_);
+  Raise(a_);
+  Raise(b_);
+  size_t expected = 1u;
+  if (mode() == ConsumptionMode::kContinuous) expected = 2u;
+  EXPECT_EQ(log_.size(), expected);
+}
+
+TEST_P(ConsumptionModeTest, AperiodicNoDetectionOutsideWindow) {
+  const EventId ap = *detector_.DefineAperiodic("ap", a_, b_, c_, mode());
+  Watch(ap);
+  Raise(b_);
+  Raise(a_);
+  Raise(c_);
+  Raise(b_);
+  EXPECT_EQ(log_.size(), 0u);
+}
+
+TEST_P(ConsumptionModeTest, PeriodicTickCountIndependentOfMode) {
+  const EventId per =
+      *detector_.DefinePeriodic("per", a_, 10 * kSecond, c_, mode());
+  Watch(per);
+  Raise(a_);
+  detector_.AdvanceTo(clock_.Now() + 25 * kSecond, &clock_);
+  EXPECT_EQ(log_.size(), 2u);
+  Raise(c_);
+  detector_.AdvanceTo(clock_.Now() + 25 * kSecond, &clock_);
+  EXPECT_EQ(log_.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ConsumptionModeTest,
+    ::testing::Values(ConsumptionMode::kRecent, ConsumptionMode::kChronicle,
+                      ConsumptionMode::kContinuous,
+                      ConsumptionMode::kCumulative),
+    [](const ::testing::TestParamInfo<ConsumptionMode>& info) {
+      return ConsumptionModeToString(info.param);
+    });
+
+}  // namespace
+}  // namespace sentinel

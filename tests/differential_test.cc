@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/direct_enforcer.h"
+#include "core/engine.h"
+#include "tests/test_util.h"
+#include "workload/policy_gen.h"
+#include "workload/request_gen.h"
+
+namespace sentinel {
+namespace {
+
+/// THE reproduction's correctness anchor: for random policies and random
+/// request streams, the OWTE-rule engine and the hand-coded DirectEnforcer
+/// must produce identical decision sequences and identical end states. If
+/// this holds across seeds and policy shapes, the rule synthesis (the
+/// paper's contribution) is faithful to the specification it was compiled
+/// from.
+struct DiffCase {
+  uint64_t policy_seed;
+  uint64_t request_seed;
+  PolicyGenParams policy_params;
+  RequestGenParams request_params;
+  const char* label;
+};
+
+std::string StateFingerprint(const RbacSystem& rbac,
+                             const RoleStateTable& state) {
+  std::string out;
+  for (const SessionId& session : rbac.db().SessionIds()) {
+    auto info = rbac.db().GetSession(session);
+    if (!info.ok()) continue;
+    out += session + "/" + (*info)->user + ":";
+    for (const RoleName& role : (*info)->active_roles) out += role + ",";
+    out += ";";
+  }
+  out += "|UA:";
+  for (const UserName& user : rbac.db().users()) {
+    out += user + "=";
+    for (const RoleName& role : rbac.db().AssignedRoles(user)) {
+      out += role + ",";
+    }
+    out += ";";
+  }
+  out += "|disabled:";
+  for (const RoleName& role : state.DisabledRoles()) out += role + ",";
+  return out;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(DifferentialTest, EngineMatchesDirectEnforcer) {
+  const DiffCase& test_case = GetParam();
+
+  PolicyGenParams policy_params = test_case.policy_params;
+  policy_params.seed = test_case.policy_seed;
+  const Policy policy = GeneratePolicy(policy_params);
+  ASSERT_TRUE(policy.Validate().ok());
+
+  RequestGenParams request_params = test_case.request_params;
+  request_params.seed = test_case.request_seed;
+  RequestGenerator generator(policy, request_params);
+  const std::vector<Request> requests = generator.Generate();
+  ASSERT_GT(requests.size(), 0u);
+
+  SimulatedClock engine_clock(testutil::Noon());
+  AuthorizationEngine engine(&engine_clock);
+  ASSERT_TRUE(engine.LoadPolicy(policy).ok());
+
+  SimulatedClock baseline_clock(testutil::Noon());
+  DirectEnforcer baseline(&baseline_clock);
+  ASSERT_TRUE(baseline.LoadPolicy(policy).ok());
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const Request& request = requests[i];
+    const Decision engine_decision = ApplyRequest(engine, request);
+    const Decision baseline_decision = ApplyRequest(baseline, request);
+    ASSERT_EQ(engine_decision.allowed, baseline_decision.allowed)
+        << "request #" << i << " " << RequestKindToString(request.kind)
+        << " user=" << request.user << " session=" << request.session
+        << " role=" << request.role << " op=" << request.operation
+        << " obj=" << request.object
+        << "\n  engine: rule=" << engine_decision.rule
+        << " reason=" << engine_decision.reason
+        << "\n  baseline: rule=" << baseline_decision.rule
+        << " reason=" << baseline_decision.reason;
+    if (!engine_decision.allowed) {
+      ASSERT_EQ(engine_decision.reason, baseline_decision.reason)
+          << "request #" << i << " " << RequestKindToString(request.kind);
+    }
+  }
+
+  // End states coincide exactly.
+  EXPECT_EQ(StateFingerprint(engine.rbac(), engine.role_state()),
+            StateFingerprint(baseline.rbac(), baseline.role_state()));
+  EXPECT_EQ(engine.Now(), baseline.Now());
+}
+
+PolicyGenParams PlainParams() {
+  PolicyGenParams params;
+  params.num_roles = 25;
+  params.num_users = 40;
+  return params;
+}
+
+PolicyGenParams RichParams() {
+  PolicyGenParams params;
+  params.num_roles = 30;
+  params.num_users = 50;
+  params.hierarchy_prob = 0.7;
+  params.ssd_sets = 3;
+  params.dsd_sets = 3;
+  params.cardinality_frac = 0.3;
+  params.duration_frac = 0.25;
+  params.user_cap_frac = 0.3;
+  params.prereq_frac = 0.2;
+  return params;
+}
+
+PolicyGenParams TemporalParams() {
+  PolicyGenParams params;
+  params.num_roles = 20;
+  params.num_users = 30;
+  params.duration_frac = 0.4;
+  params.shift_frac = 0.4;
+  return params;
+}
+
+PolicyGenParams ContextParams() {
+  PolicyGenParams params;
+  params.num_roles = 20;
+  params.num_users = 30;
+  params.context_frac = 0.5;
+  params.duration_frac = 0.2;
+  return params;
+}
+
+PolicyGenParams EverythingParams() {
+  PolicyGenParams params;
+  params.num_roles = 35;
+  params.num_users = 50;
+  params.hierarchy_prob = 0.6;
+  params.ssd_sets = 3;
+  params.dsd_sets = 3;
+  params.cardinality_frac = 0.25;
+  params.duration_frac = 0.25;
+  params.shift_frac = 0.25;
+  params.context_frac = 0.25;
+  params.user_cap_frac = 0.25;
+  params.prereq_frac = 0.25;
+  return params;
+}
+
+RequestGenParams ShortStream() {
+  RequestGenParams params;
+  params.num_requests = 800;
+  return params;
+}
+
+RequestGenParams LongStream() {
+  RequestGenParams params;
+  params.num_requests = 3000;
+  params.max_advance = 6 * kHour + 1;  // Crosses shift boundaries.
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DifferentialTest,
+    ::testing::Values(
+        DiffCase{1, 101, PlainParams(), ShortStream(), "plain_1"},
+        DiffCase{2, 202, PlainParams(), ShortStream(), "plain_2"},
+        DiffCase{3, 303, PlainParams(), LongStream(), "plain_long"},
+        DiffCase{4, 404, RichParams(), ShortStream(), "rich_1"},
+        DiffCase{5, 505, RichParams(), ShortStream(), "rich_2"},
+        DiffCase{6, 606, RichParams(), LongStream(), "rich_long"},
+        DiffCase{7, 707, TemporalParams(), LongStream(), "temporal_1"},
+        DiffCase{8, 808, TemporalParams(), LongStream(), "temporal_2"},
+        DiffCase{9, 909, RichParams(), LongStream(), "rich_long_2"},
+        DiffCase{10, 1010, TemporalParams(), LongStream(), "temporal_3"},
+        DiffCase{11, 1111, ContextParams(), ShortStream(), "context_1"},
+        DiffCase{12, 1212, ContextParams(), LongStream(), "context_2"},
+        DiffCase{13, 1313, EverythingParams(), LongStream(), "all_1"},
+        DiffCase{14, 1414, EverythingParams(), LongStream(), "all_2"},
+        DiffCase{15, 1515, EverythingParams(), LongStream(), "all_3"},
+        DiffCase{16, 1616, EverythingParams(), ShortStream(), "all_4"}),
+    [](const ::testing::TestParamInfo<DiffCase>& info) {
+      return info.param.label;
+    });
+
+/// Long soak: 10k requests over a rich temporal/context policy with three
+/// interleaved policy updates — the heaviest single equivalence check.
+TEST(DifferentialSoakTest, TenThousandRequestsWithUpdates) {
+  PolicyGenParams policy_params;
+  policy_params.seed = 4711;
+  policy_params.num_roles = 40;
+  policy_params.num_users = 60;
+  policy_params.hierarchy_prob = 0.6;
+  policy_params.ssd_sets = 4;
+  policy_params.dsd_sets = 4;
+  policy_params.cardinality_frac = 0.25;
+  policy_params.duration_frac = 0.25;
+  policy_params.shift_frac = 0.25;
+  policy_params.context_frac = 0.25;
+  policy_params.user_cap_frac = 0.25;
+  const Policy base = GeneratePolicy(policy_params);
+
+  // Three successive edits of increasing scope.
+  std::vector<Policy> updates;
+  {
+    Policy u1 = base;
+    (*u1.MutableRole(SyntheticRoleName(2)))->activation_cardinality = 2;
+    updates.push_back(u1);
+    Policy u2 = u1;
+    (*u2.MutableUser(SyntheticUserName(3)))->max_active_roles = 2;
+    updates.push_back(u2);
+    Policy u3 = u2;
+    (*u3.MutableRole(SyntheticRoleName(5)))->max_activation = 45 * kMinute;
+    SodSet set;
+    set.name = "DSDsoak";
+    set.roles = {SyntheticRoleName(8), SyntheticRoleName(9),
+                 SyntheticRoleName(10)};
+    set.n = 2;
+    ASSERT_TRUE(u3.AddDsd(std::move(set)).ok());
+    updates.push_back(u3);
+  }
+
+  RequestGenParams request_params;
+  request_params.seed = 1812;
+  request_params.num_requests = 10000;
+  request_params.max_advance = 3 * kHour + 1;
+  const std::vector<Request> requests =
+      RequestGenerator(base, request_params).Generate();
+
+  SimulatedClock engine_clock(testutil::Noon());
+  AuthorizationEngine engine(&engine_clock);
+  ASSERT_TRUE(engine.LoadPolicy(base).ok());
+  SimulatedClock baseline_clock(testutil::Noon());
+  DirectEnforcer baseline(&baseline_clock);
+  ASSERT_TRUE(baseline.LoadPolicy(base).ok());
+
+  size_t next_update = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (next_update < updates.size() &&
+        i == (next_update + 1) * requests.size() / 4) {
+      ASSERT_TRUE(engine.ApplyPolicyUpdate(updates[next_update]).ok());
+      ASSERT_TRUE(baseline.ApplyPolicyUpdate(updates[next_update]).ok());
+      ++next_update;
+    }
+    const Decision engine_decision = ApplyRequest(engine, requests[i]);
+    const Decision baseline_decision = ApplyRequest(baseline, requests[i]);
+    ASSERT_EQ(engine_decision.allowed, baseline_decision.allowed)
+        << "request #" << i << " " << RequestKindToString(requests[i].kind)
+        << " user=" << requests[i].user << " role=" << requests[i].role
+        << "\n  engine: " << engine_decision.rule << " / "
+        << engine_decision.reason << "\n  baseline: "
+        << baseline_decision.rule << " / " << baseline_decision.reason;
+  }
+  EXPECT_EQ(StateFingerprint(engine.rbac(), engine.role_state()),
+            StateFingerprint(baseline.rbac(), baseline.role_state()));
+  EXPECT_EQ(engine.rule_manager().dropped_firings(), 0u);
+}
+
+/// Differential check across a policy update: both systems apply the same
+/// incremental change mid-stream and must stay in lockstep.
+TEST(DifferentialUpdateTest, LockstepAcrossPolicyUpdate) {
+  PolicyGenParams policy_params = RichParams();
+  policy_params.seed = 77;
+  const Policy before = GeneratePolicy(policy_params);
+
+  Policy after = before;
+  // Change a handful of roles: new cardinality and a new DSD set.
+  auto role = after.MutableRole(SyntheticRoleName(3));
+  ASSERT_TRUE(role.ok());
+  (*role)->activation_cardinality = 2;
+  SodSet set;
+  set.name = "DSDnew";
+  set.roles = {SyntheticRoleName(5), SyntheticRoleName(6),
+               SyntheticRoleName(7)};
+  set.n = 2;
+  ASSERT_TRUE(after.AddDsd(std::move(set)).ok());
+  ASSERT_TRUE(after.Validate().ok());
+
+  RequestGenParams request_params;
+  request_params.seed = 999;
+  request_params.num_requests = 600;
+  RequestGenerator generator(before, request_params);
+  const std::vector<Request> requests = generator.Generate();
+
+  SimulatedClock engine_clock(testutil::Noon());
+  AuthorizationEngine engine(&engine_clock);
+  ASSERT_TRUE(engine.LoadPolicy(before).ok());
+  SimulatedClock baseline_clock(testutil::Noon());
+  DirectEnforcer baseline(&baseline_clock);
+  ASSERT_TRUE(baseline.LoadPolicy(before).ok());
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (i == requests.size() / 2) {
+      ASSERT_TRUE(engine.ApplyPolicyUpdate(after).ok());
+      ASSERT_TRUE(baseline.ApplyPolicyUpdate(after).ok());
+    }
+    const Decision engine_decision = ApplyRequest(engine, requests[i]);
+    const Decision baseline_decision = ApplyRequest(baseline, requests[i]);
+    ASSERT_EQ(engine_decision.allowed, baseline_decision.allowed)
+        << "request #" << i << " " << RequestKindToString(requests[i].kind)
+        << " role=" << requests[i].role << " engine="
+        << engine_decision.rule << "/" << engine_decision.reason
+        << " baseline=" << baseline_decision.rule << "/"
+        << baseline_decision.reason;
+  }
+  EXPECT_EQ(StateFingerprint(engine.rbac(), engine.role_state()),
+            StateFingerprint(baseline.rbac(), baseline.role_state()));
+}
+
+}  // namespace
+}  // namespace sentinel

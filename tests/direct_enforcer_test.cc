@@ -1,0 +1,189 @@
+#include "baseline/direct_enforcer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/calendar.h"
+#include "core/policy_parser.h"
+#include "tests/test_util.h"
+
+namespace sentinel {
+namespace {
+
+/// Sanity tests for the hand-coded comparator: the same scenarios the
+/// engine tests cover, asserting the mirrored semantics directly. (The
+/// differential property test covers equivalence exhaustively.)
+class DirectEnforcerTest : public ::testing::Test {
+ protected:
+  DirectEnforcerTest() : clock_(testutil::Noon()), enforcer_(&clock_) {}
+
+  void Load(const std::string& text) {
+    auto policy = PolicyParser::Parse(text);
+    ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+    ASSERT_TRUE(enforcer_.LoadPolicy(*policy).ok());
+  }
+
+  SimulatedClock clock_;
+  DirectEnforcer enforcer_;
+};
+
+TEST_F(DirectEnforcerTest, BasicLifecycle) {
+  ASSERT_TRUE(enforcer_.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  EXPECT_TRUE(enforcer_.CreateSession("alice", "s1").allowed);
+  EXPECT_FALSE(enforcer_.CreateSession("alice", "s1").allowed);
+  EXPECT_TRUE(enforcer_.AddActiveRole("alice", "s1", "PC").allowed);
+  EXPECT_TRUE(enforcer_.CheckAccess("s1", "write", "purchase-order").allowed);
+  EXPECT_FALSE(enforcer_.CheckAccess("s1", "read", "ledger").allowed ==
+               false);  // Inherited from Clerk: allowed.
+  EXPECT_TRUE(enforcer_.DropActiveRole("alice", "s1", "PC").allowed);
+  EXPECT_FALSE(enforcer_.CheckAccess("s1", "write", "purchase-order").allowed);
+  EXPECT_TRUE(enforcer_.DeleteSession("s1").allowed);
+}
+
+TEST_F(DirectEnforcerTest, DenyReasonsMatchEngineStrings) {
+  ASSERT_TRUE(enforcer_.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  EXPECT_EQ(enforcer_.CreateSession("ghost", "s1").reason,
+            "Cannot Create Session");
+  EXPECT_EQ(enforcer_.DeleteSession("nope").reason, "No Such Session");
+  ASSERT_TRUE(enforcer_.CreateSession("carol", "s1").allowed);
+  EXPECT_EQ(enforcer_.AddActiveRole("carol", "s1", "PM").reason,
+            "Access Denied Cannot Activate");
+  EXPECT_EQ(enforcer_.AddActiveRole("carol", "s1", "Nope").reason,
+            "Permission Denied");
+  EXPECT_EQ(enforcer_.CheckAccess("s1", "read", "ledger").reason,
+            "Permission Denied");
+  EXPECT_EQ(enforcer_.AssignUser("alice", "AC").reason, "Cannot Assign");
+  EXPECT_EQ(enforcer_.DeassignUser("carol", "PM").reason, "Cannot Deassign");
+  EXPECT_EQ(enforcer_.DropActiveRole("carol", "s1", "Clerk").reason,
+            "Cannot Deactivate");
+}
+
+TEST_F(DirectEnforcerTest, CardinalityAndUserCap) {
+  Load(R"(
+policy "caps"
+role Pres { cardinality: 1 }
+role A {}
+user u1 { assign: Pres, A  max-active: 1 }
+user u2 { assign: Pres }
+)");
+  ASSERT_TRUE(enforcer_.CreateSession("u1", "s1").allowed);
+  ASSERT_TRUE(enforcer_.CreateSession("u2", "s2").allowed);
+  EXPECT_TRUE(enforcer_.AddActiveRole("u1", "s1", "Pres").allowed);
+  // Role cardinality hit.
+  EXPECT_EQ(enforcer_.AddActiveRole("u2", "s2", "Pres").reason,
+            "Maximum Number of Roles Reached");
+  // User cap hit.
+  EXPECT_EQ(enforcer_.AddActiveRole("u1", "s1", "A").reason,
+            "Maximum Number of Roles Reached");
+  EXPECT_FALSE(enforcer_.rbac().db().IsSessionRoleActive("s1", "A"));
+}
+
+TEST_F(DirectEnforcerTest, DurationExpiry) {
+  Load(R"(
+policy "dur"
+role OnCall { max-activation: 1h }
+user u { assign: OnCall }
+)");
+  ASSERT_TRUE(enforcer_.CreateSession("u", "s1").allowed);
+  ASSERT_TRUE(enforcer_.AddActiveRole("u", "s1", "OnCall").allowed);
+  enforcer_.AdvanceTo(testutil::Noon() + kHour - 1);
+  EXPECT_TRUE(enforcer_.rbac().db().IsSessionRoleActive("s1", "OnCall"));
+  enforcer_.AdvanceTo(testutil::Noon() + kHour);
+  EXPECT_FALSE(enforcer_.rbac().db().IsSessionRoleActive("s1", "OnCall"));
+}
+
+TEST_F(DirectEnforcerTest, ReactivationGetsFreshExpiry) {
+  Load(R"(
+policy "dur"
+role OnCall { max-activation: 1h }
+user u { assign: OnCall }
+)");
+  ASSERT_TRUE(enforcer_.CreateSession("u", "s1").allowed);
+  ASSERT_TRUE(enforcer_.AddActiveRole("u", "s1", "OnCall").allowed);
+  enforcer_.AdvanceTo(testutil::Noon() + 10 * kMinute);
+  ASSERT_TRUE(enforcer_.DropActiveRole("u", "s1", "OnCall").allowed);
+  ASSERT_TRUE(enforcer_.AddActiveRole("u", "s1", "OnCall").allowed);
+  enforcer_.AdvanceTo(testutil::Noon() + 65 * kMinute);
+  EXPECT_TRUE(enforcer_.rbac().db().IsSessionRoleActive("s1", "OnCall"));
+  enforcer_.AdvanceTo(testutil::Noon() + 71 * kMinute);
+  EXPECT_FALSE(enforcer_.rbac().db().IsSessionRoleActive("s1", "OnCall"));
+}
+
+TEST_F(DirectEnforcerTest, ShiftBoundariesProcessedOnAdvance) {
+  Load(R"(
+policy "shift"
+role DayDoctor { enable: 08:00:00 - 16:00:00 }
+user dana { assign: DayDoctor }
+)");
+  EXPECT_TRUE(enforcer_.role_state().IsEnabled("DayDoctor"));
+  ASSERT_TRUE(enforcer_.CreateSession("dana", "s1").allowed);
+  ASSERT_TRUE(enforcer_.AddActiveRole("dana", "s1", "DayDoctor").allowed);
+  enforcer_.AdvanceTo(MakeTime(2026, 7, 6, 16, 0, 0));
+  EXPECT_FALSE(enforcer_.role_state().IsEnabled("DayDoctor"));
+  EXPECT_FALSE(enforcer_.rbac().db().IsSessionRoleActive("s1", "DayDoctor"));
+  enforcer_.AdvanceTo(MakeTime(2026, 7, 7, 9, 0, 0));
+  EXPECT_TRUE(enforcer_.role_state().IsEnabled("DayDoctor"));
+}
+
+TEST_F(DirectEnforcerTest, TimeSodMirrorsEngine) {
+  Load(R"(
+policy "tsod"
+role Doctor {}
+role Nurse {}
+time-sod avail { kind: disabling  roles: Doctor, Nurse
+                 window: 10:00:00 - 17:00:00 }
+)");
+  EXPECT_TRUE(enforcer_.DisableRole("Nurse").allowed);
+  Decision d = enforcer_.DisableRole("Doctor");
+  EXPECT_FALSE(d.allowed);
+  EXPECT_EQ(d.reason, "Denied as Counter-Role Already Disabled");
+  EXPECT_TRUE(enforcer_.EnableRole("Nurse").allowed);
+  EXPECT_TRUE(enforcer_.DisableRole("Doctor").allowed);
+}
+
+TEST_F(DirectEnforcerTest, TransactionWindowInvariant) {
+  Load(R"(
+policy "tx"
+role Manager {}
+role JuniorEmp {}
+user mgr { assign: Manager }
+user jr { assign: JuniorEmp }
+transaction t { controller: Manager  dependent: JuniorEmp }
+)");
+  ASSERT_TRUE(enforcer_.CreateSession("mgr", "sm").allowed);
+  ASSERT_TRUE(enforcer_.CreateSession("jr", "sj").allowed);
+  EXPECT_FALSE(enforcer_.AddActiveRole("jr", "sj", "JuniorEmp").allowed);
+  ASSERT_TRUE(enforcer_.AddActiveRole("mgr", "sm", "Manager").allowed);
+  EXPECT_TRUE(enforcer_.AddActiveRole("jr", "sj", "JuniorEmp").allowed);
+  ASSERT_TRUE(enforcer_.DropActiveRole("mgr", "sm", "Manager").allowed);
+  EXPECT_FALSE(enforcer_.rbac().db().IsSessionRoleActive("sj", "JuniorEmp"));
+}
+
+TEST_F(DirectEnforcerTest, CfdMirrorsEngine) {
+  Load(R"(
+policy "cfd"
+role SysAdmin {}
+role SysAudit {}
+cfd { trigger: SysAdmin  companion: SysAudit }
+)");
+  ASSERT_TRUE(enforcer_.DisableRole("SysAdmin").allowed);
+  ASSERT_TRUE(enforcer_.DisableRole("SysAudit").allowed);
+  EXPECT_TRUE(enforcer_.EnableRole("SysAdmin").allowed);
+  EXPECT_TRUE(enforcer_.role_state().IsEnabled("SysAudit"));
+  EXPECT_TRUE(enforcer_.DisableRole("SysAudit").allowed);
+  EXPECT_FALSE(enforcer_.role_state().IsEnabled("SysAdmin"));
+}
+
+TEST_F(DirectEnforcerTest, ApplyPolicyUpdateMirrors) {
+  Policy base = testutil::EnterpriseXyzPolicy();
+  ASSERT_TRUE(enforcer_.LoadPolicy(base).ok());
+  Policy after = base;
+  (*after.MutableRole("PC"))->activation_cardinality = 1;
+  ASSERT_TRUE(enforcer_.ApplyPolicyUpdate(after).ok());
+  ASSERT_TRUE(enforcer_.CreateSession("alice", "s1").allowed);
+  ASSERT_TRUE(enforcer_.CreateSession("alice", "s2").allowed);
+  EXPECT_TRUE(enforcer_.AddActiveRole("alice", "s1", "PC").allowed);
+  EXPECT_FALSE(enforcer_.AddActiveRole("alice", "s2", "PC").allowed);
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "core/consistency.h"
+#include "core/engine.h"
+#include "core/policy_parser.h"
+#include "tests/test_util.h"
+#include "workload/policy_gen.h"
+
+namespace sentinel {
+namespace {
+
+/// Malformed-input and corner-case sweeps across the engine surface:
+/// every public operation must stay fail-safe (deny, never crash, never
+/// corrupt state) under hostile or nonsensical parameters.
+class EdgeCasesTest : public ::testing::Test {
+ protected:
+  EdgeCasesTest() : clock_(testutil::Noon()), engine_(&clock_) {
+    EXPECT_TRUE(engine_.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  }
+
+  SimulatedClock clock_;
+  AuthorizationEngine engine_;
+};
+
+TEST_F(EdgeCasesTest, EmptyStringsAreDenied) {
+  EXPECT_FALSE(engine_.CreateSession("", "s1").allowed);
+  EXPECT_FALSE(engine_.CreateSession("alice", "").allowed);
+  EXPECT_FALSE(engine_.AddActiveRole("", "", "").allowed);
+  EXPECT_FALSE(engine_.CheckAccess("", "", "").allowed);
+  EXPECT_FALSE(engine_.AssignUser("", "PM").allowed);
+  EXPECT_FALSE(engine_.EnableRole("").allowed);
+  EXPECT_FALSE(engine_.DisableRole("").allowed);
+  EXPECT_FALSE(engine_.DropActiveRole("", "", "").allowed);
+  EXPECT_FALSE(engine_.DeleteSession("").allowed);
+  EXPECT_FALSE(engine_.DeassignUser("", "").allowed);
+}
+
+TEST_F(EdgeCasesTest, OperationsBeforeAnySession) {
+  EXPECT_FALSE(engine_.CheckAccess("s1", "read", "ledger").allowed);
+  EXPECT_FALSE(engine_.AddActiveRole("alice", "s1", "PM").allowed);
+}
+
+TEST_F(EdgeCasesTest, RepeatedIdenticalRequestsAreStable) {
+  ASSERT_TRUE(engine_.CreateSession("alice", "s1").allowed);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(engine_.AddActiveRole("carol", "s1", "PM").allowed);
+  }
+  // State unchanged: alice can still use her session normally.
+  EXPECT_TRUE(engine_.AddActiveRole("alice", "s1", "PM").allowed);
+}
+
+TEST_F(EdgeCasesTest, SessionIdReuseAfterDeletion) {
+  ASSERT_TRUE(engine_.CreateSession("alice", "s1").allowed);
+  ASSERT_TRUE(engine_.AddActiveRole("alice", "s1", "PM").allowed);
+  ASSERT_TRUE(engine_.DeleteSession("s1").allowed);
+  // A different user reuses the id; no state leaks from the old session.
+  ASSERT_TRUE(engine_.CreateSession("carol", "s1").allowed);
+  EXPECT_TRUE(engine_.rbac().SessionRoles("s1").empty());
+  EXPECT_FALSE(engine_.CheckAccess("s1", "read", "ledger").allowed);
+}
+
+TEST_F(EdgeCasesTest, AdvanceToPastIsNoOp) {
+  const Time before = engine_.Now();
+  engine_.AdvanceTo(before - kHour);  // Backwards: ignored.
+  EXPECT_EQ(engine_.Now(), before);
+  engine_.AdvanceBy(-5);  // Negative: ignored.
+  EXPECT_EQ(engine_.Now(), before);
+}
+
+TEST_F(EdgeCasesTest, ContextOnPolicyWithoutContextConstraints) {
+  // Raising context events against a context-free policy is harmless.
+  ASSERT_TRUE(engine_.CreateSession("alice", "s1").allowed);
+  ASSERT_TRUE(engine_.AddActiveRole("alice", "s1", "PM").allowed);
+  engine_.SetContext("location", "moon");
+  EXPECT_TRUE(engine_.rbac().db().IsSessionRoleActive("s1", "PM"));
+  EXPECT_EQ(engine_.ContextValue("location"), "moon");
+  EXPECT_EQ(engine_.ContextValue("unset"), "");
+}
+
+TEST_F(EdgeCasesTest, CaseSensitivityOfNames) {
+  // "pm" is not "PM": unknown role, default deny.
+  ASSERT_TRUE(engine_.CreateSession("alice", "s1").allowed);
+  EXPECT_FALSE(engine_.AddActiveRole("alice", "s1", "pm").allowed);
+  EXPECT_FALSE(engine_.AssignUser("Alice", "PM").allowed);
+}
+
+TEST_F(EdgeCasesTest, DisableUnknownAndDoubleDisable) {
+  EXPECT_FALSE(engine_.DisableRole("NoSuch").allowed);
+  EXPECT_TRUE(engine_.DisableRole("Clerk").allowed);
+  // Disabling an already-disabled role is an idempotent allow.
+  EXPECT_TRUE(engine_.DisableRole("Clerk").allowed);
+  EXPECT_TRUE(engine_.EnableRole("Clerk").allowed);
+  EXPECT_TRUE(engine_.EnableRole("Clerk").allowed);
+}
+
+TEST_F(EdgeCasesTest, DisabledRoleBlocksNewActivationsEverywhere) {
+  ASSERT_TRUE(engine_.CreateSession("alice", "s1").allowed);
+  ASSERT_TRUE(engine_.AddActiveRole("alice", "s1", "PC").allowed);
+  ASSERT_TRUE(engine_.DisableRole("PC").allowed);
+  // Existing instance was force-deactivated; new ones denied.
+  EXPECT_FALSE(engine_.rbac().db().IsSessionRoleActive("s1", "PC"));
+  EXPECT_FALSE(engine_.AddActiveRole("alice", "s1", "PC").allowed);
+  ASSERT_TRUE(engine_.EnableRole("PC").allowed);
+  EXPECT_TRUE(engine_.AddActiveRole("alice", "s1", "PC").allowed);
+}
+
+TEST_F(EdgeCasesTest, LongUnicodeishNamesSurvive) {
+  // Not valid policy members, but must not corrupt anything.
+  const std::string weird(300, 'x');
+  EXPECT_FALSE(engine_.CreateSession(weird, weird).allowed);
+  EXPECT_FALSE(engine_.AddActiveRole(weird, weird, weird).allowed);
+  EXPECT_FALSE(engine_.CheckAccess(weird, "read", "ledger").allowed);
+}
+
+// --------------------------------- Compensation interplay corner cases
+
+TEST(EdgeCaseScenarioTest, CardinalityAndUserCapBothTrigger) {
+  auto policy = PolicyParser::Parse(R"(
+policy "both"
+role L { cardinality: 1 }
+role M {}
+user u { assign: L, M  max-active: 1 }
+user v { assign: L }
+)");
+  ASSERT_TRUE(policy.ok());
+  SimulatedClock clock(testutil::Noon());
+  AuthorizationEngine engine(&clock);
+  ASSERT_TRUE(engine.LoadPolicy(*policy).ok());
+  ASSERT_TRUE(engine.CreateSession("u", "su").allowed);
+  ASSERT_TRUE(engine.CreateSession("v", "sv").allowed);
+  // u activates M: user-cap now saturated.
+  ASSERT_TRUE(engine.AddActiveRole("u", "su", "M").allowed);
+  // u tries L: cardinality fine (0<1), user cap breached -> UAC denies.
+  Decision d = engine.AddActiveRole("u", "su", "L");
+  EXPECT_FALSE(d.allowed);
+  EXPECT_EQ(d.rule, "UAC.u");
+  EXPECT_EQ(engine.rbac().db().ActiveSessionCount("L"), 0);
+  // v takes the single L slot; u dropping M then trying L hits CC.
+  ASSERT_TRUE(engine.AddActiveRole("v", "sv", "L").allowed);
+  ASSERT_TRUE(engine.DropActiveRole("u", "su", "M").allowed);
+  Decision d2 = engine.AddActiveRole("u", "su", "L");
+  EXPECT_FALSE(d2.allowed);
+  EXPECT_EQ(d2.rule, "CC.L");
+}
+
+TEST(EdgeCaseScenarioTest, DurationExpiryFreesCardinalitySlot) {
+  auto policy = PolicyParser::Parse(R"(
+policy "durcard"
+role L { cardinality: 1  max-activation: 30m }
+user u1 { assign: L }
+user u2 { assign: L }
+)");
+  ASSERT_TRUE(policy.ok());
+  SimulatedClock clock(testutil::Noon());
+  AuthorizationEngine engine(&clock);
+  ASSERT_TRUE(engine.LoadPolicy(*policy).ok());
+  ASSERT_TRUE(engine.CreateSession("u1", "s1").allowed);
+  ASSERT_TRUE(engine.CreateSession("u2", "s2").allowed);
+  ASSERT_TRUE(engine.AddActiveRole("u1", "s1", "L").allowed);
+  EXPECT_FALSE(engine.AddActiveRole("u2", "s2", "L").allowed);
+  engine.AdvanceBy(31 * kMinute);  // u1's activation expires.
+  EXPECT_TRUE(engine.AddActiveRole("u2", "s2", "L").allowed);
+}
+
+TEST(EdgeCaseScenarioTest, RejectedActivationDoesNotScheduleExpiry) {
+  auto policy = PolicyParser::Parse(R"(
+policy "rej"
+role L { cardinality: 1  max-activation: 30m }
+user u1 { assign: L }
+user u2 { assign: L }
+)");
+  ASSERT_TRUE(policy.ok());
+  SimulatedClock clock(testutil::Noon());
+  AuthorizationEngine engine(&clock);
+  ASSERT_TRUE(engine.LoadPolicy(*policy).ok());
+  ASSERT_TRUE(engine.CreateSession("u1", "s1").allowed);
+  ASSERT_TRUE(engine.CreateSession("u2", "s2").allowed);
+  ASSERT_TRUE(engine.AddActiveRole("u1", "s1", "L").allowed);
+  // Rejected by CC; its provisional PLUS expiry must have been cancelled.
+  ASSERT_FALSE(engine.AddActiveRole("u2", "s2", "L").allowed);
+  // u1 drops; u2 re-activates at +20m. The phantom expiry from the
+  // rejected attempt (would fire at +30m) must not kill u2's activation.
+  ASSERT_TRUE(engine.DropActiveRole("u1", "s1", "L").allowed);
+  engine.AdvanceBy(20 * kMinute);
+  ASSERT_TRUE(engine.AddActiveRole("u2", "s2", "L").allowed);
+  engine.AdvanceBy(15 * kMinute);  // +35m from start, +15m from u2's add.
+  EXPECT_TRUE(engine.rbac().db().IsSessionRoleActive("s2", "L"));
+  engine.AdvanceBy(20 * kMinute);  // +35m from u2's add: now it expires.
+  EXPECT_FALSE(engine.rbac().db().IsSessionRoleActive("s2", "L"));
+}
+
+// ----------------------------------------- Pool verification under load
+
+TEST(GeneratedPoolTest, RichGeneratedPoliciesVerifyExactly) {
+  for (uint64_t seed : {5u, 6u, 7u}) {
+    PolicyGenParams params;
+    params.seed = seed;
+    params.num_roles = 60;
+    params.num_users = 80;
+    params.hierarchy_prob = 0.6;
+    params.cardinality_frac = 0.3;
+    params.duration_frac = 0.3;
+    params.shift_frac = 0.3;
+    params.context_frac = 0.3;
+    params.user_cap_frac = 0.3;
+    const Policy policy = GeneratePolicy(params);
+    SimulatedClock clock(testutil::Noon());
+    AuthorizationEngine engine(&clock);
+    ASSERT_TRUE(engine.LoadPolicy(policy).ok()) << "seed " << seed;
+    const auto issues = VerifyGeneratedPool(engine);
+    for (const ConsistencyIssue& issue : issues) {
+      ADD_FAILURE() << "seed " << seed << ": " << issue.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sentinel

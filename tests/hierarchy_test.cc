@@ -1,0 +1,93 @@
+#include "rbac/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace sentinel {
+namespace {
+
+class HierarchyTest : public ::testing::Test {
+ protected:
+  // Figure 1 chains: PM >>= PC >>= Clerk, AM >>= AC >>= Clerk.
+  void SetUp() override {
+    ASSERT_TRUE(h_.AddInheritance("PM", "PC").ok());
+    ASSERT_TRUE(h_.AddInheritance("PC", "Clerk").ok());
+    ASSERT_TRUE(h_.AddInheritance("AM", "AC").ok());
+    ASSERT_TRUE(h_.AddInheritance("AC", "Clerk").ok());
+  }
+  RoleHierarchy h_;
+};
+
+TEST_F(HierarchyTest, DominatesIsReflexiveAndTransitive) {
+  EXPECT_TRUE(h_.Dominates("PM", "PM"));
+  EXPECT_TRUE(h_.Dominates("PM", "PC"));
+  EXPECT_TRUE(h_.Dominates("PM", "Clerk"));
+  EXPECT_FALSE(h_.Dominates("PC", "PM"));
+  EXPECT_FALSE(h_.Dominates("PM", "AC"));
+}
+
+TEST_F(HierarchyTest, JuniorsAndSeniorsInclusive) {
+  EXPECT_EQ(h_.JuniorsOf("PM"),
+            (std::set<RoleName>{"PM", "PC", "Clerk"}));
+  EXPECT_EQ(h_.SeniorsOf("Clerk"),
+            (std::set<RoleName>{"Clerk", "PC", "PM", "AC", "AM"}));
+  EXPECT_EQ(h_.JuniorsOf("Clerk"), (std::set<RoleName>{"Clerk"}));
+  EXPECT_EQ(h_.SeniorsOf("PM"), (std::set<RoleName>{"PM"}));
+}
+
+TEST_F(HierarchyTest, UnknownRoleIsItsOwnClosure) {
+  EXPECT_EQ(h_.JuniorsOf("Ghost"), (std::set<RoleName>{"Ghost"}));
+  EXPECT_TRUE(h_.Dominates("Ghost", "Ghost"));
+  EXPECT_FALSE(h_.Dominates("Ghost", "PM"));
+}
+
+TEST_F(HierarchyTest, SelfInheritanceRejected) {
+  EXPECT_TRUE(h_.AddInheritance("PM", "PM").IsInvalidArgument());
+}
+
+TEST_F(HierarchyTest, DirectCycleRejected) {
+  EXPECT_TRUE(h_.AddInheritance("PC", "PM").IsConstraintViolation());
+}
+
+TEST_F(HierarchyTest, TransitiveCycleRejected) {
+  EXPECT_TRUE(h_.AddInheritance("Clerk", "PM").IsConstraintViolation());
+}
+
+TEST_F(HierarchyTest, DuplicateEdgeRejected) {
+  EXPECT_TRUE(h_.AddInheritance("PM", "PC").IsAlreadyExists());
+}
+
+TEST_F(HierarchyTest, DeleteInheritanceSplitsClosure) {
+  ASSERT_TRUE(h_.DeleteInheritance("PC", "Clerk").ok());
+  EXPECT_FALSE(h_.Dominates("PM", "Clerk"));
+  EXPECT_TRUE(h_.Dominates("AM", "Clerk"));  // Other chain intact.
+  EXPECT_TRUE(h_.DeleteInheritance("PC", "Clerk").IsNotFound());
+}
+
+TEST_F(HierarchyTest, DiamondShapesSupported) {
+  // General hierarchies allow multiple seniors: Clerk under both chains.
+  ASSERT_TRUE(h_.AddInheritance("PM", "AC").ok());
+  EXPECT_TRUE(h_.Dominates("PM", "AC"));
+  EXPECT_EQ(h_.SeniorsOf("AC"), (std::set<RoleName>{"AC", "AM", "PM"}));
+}
+
+TEST_F(HierarchyTest, EraseRoleRemovesAllEdges) {
+  h_.EraseRole("PC");
+  EXPECT_FALSE(h_.Dominates("PM", "Clerk"));
+  EXPECT_FALSE(h_.Dominates("PM", "PC"));
+  EXPECT_EQ(h_.ImmediateJuniors("PM").size(), 0u);
+  EXPECT_EQ(h_.SeniorsOf("Clerk"), (std::set<RoleName>{"Clerk", "AC", "AM"}));
+}
+
+TEST_F(HierarchyTest, EdgeCount) {
+  EXPECT_EQ(h_.edge_count(), 4);
+  ASSERT_TRUE(h_.DeleteInheritance("PM", "PC").ok());
+  EXPECT_EQ(h_.edge_count(), 3);
+}
+
+TEST_F(HierarchyTest, ImmediateRelations) {
+  EXPECT_EQ(h_.ImmediateJuniors("PM"), (std::set<RoleName>{"PC"}));
+  EXPECT_EQ(h_.ImmediateSeniors("Clerk"), (std::set<RoleName>{"PC", "AC"}));
+}
+
+}  // namespace
+}  // namespace sentinel

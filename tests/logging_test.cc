@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace sentinel {
+namespace {
+
+TEST(LoggingTest, CapturingSinkRecordsMessages) {
+  CapturingLogSink sink;
+  SENTINEL_LOG(kInfo) << "hello " << 42;
+  ASSERT_EQ(sink.entries().size(), 1u);
+  EXPECT_EQ(sink.entries()[0].level, LogLevel::kInfo);
+  EXPECT_EQ(sink.entries()[0].message, "hello 42");
+}
+
+TEST(LoggingTest, MinLevelFilters) {
+  CapturingLogSink sink(LogLevel::kWarning);
+  SENTINEL_LOG(kDebug) << "quiet";
+  SENTINEL_LOG(kInfo) << "quiet too";
+  SENTINEL_LOG(kWarning) << "loud";
+  SENTINEL_LOG(kAlert) << "alarm";
+  EXPECT_EQ(sink.entries().size(), 2u);
+  EXPECT_EQ(sink.CountAt(LogLevel::kAlert), 1);
+  EXPECT_EQ(sink.CountAt(LogLevel::kWarning), 1);
+}
+
+TEST(LoggingTest, ContainsSearchesAllEntries) {
+  CapturingLogSink sink;
+  SENTINEL_LOG(kError) << "first message";
+  SENTINEL_LOG(kAlert) << "internal security alert [guard]";
+  EXPECT_TRUE(sink.Contains("security alert"));
+  EXPECT_FALSE(sink.Contains("missing"));
+}
+
+TEST(LoggingTest, SinkRestoredAfterScope) {
+  {
+    CapturingLogSink inner;
+    SENTINEL_LOG(kError) << "captured";
+    EXPECT_EQ(inner.entries().size(), 1u);
+  }
+  // No crash writing to the default sink afterwards; level restored.
+  EXPECT_EQ(Logger::Global().min_level(), LogLevel::kWarning);
+}
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_STREQ(LogLevelToString(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelToString(LogLevel::kAlert), "ALERT");
+}
+
+}  // namespace
+}  // namespace sentinel

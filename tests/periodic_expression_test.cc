@@ -1,0 +1,120 @@
+#include "gtrbac/periodic_expression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/calendar.h"
+#include "tests/test_util.h"
+
+namespace sentinel {
+namespace {
+
+using testutil::Daily;
+
+TEST(PeriodicExpressionTest, CreateValidations) {
+  EXPECT_FALSE(PeriodicExpression::Create(Daily(10), Daily(10)).ok());
+  EXPECT_FALSE(
+      PeriodicExpression::Create(100, 100, Daily(10), Daily(17)).ok());
+  EXPECT_TRUE(PeriodicExpression::Create(Daily(10), Daily(17)).ok());
+}
+
+TEST(PeriodicExpressionTest, ContainsDailyWindow) {
+  const PeriodicExpression p = testutil::TenToFive();
+  EXPECT_TRUE(p.Contains(MakeTime(2026, 7, 6, 12, 0, 0)));
+  EXPECT_TRUE(p.Contains(MakeTime(2026, 7, 6, 16, 59, 59)));
+  EXPECT_FALSE(p.Contains(MakeTime(2026, 7, 6, 9, 59, 59)));
+  EXPECT_FALSE(p.Contains(MakeTime(2026, 7, 6, 18, 0, 0)));
+}
+
+TEST(PeriodicExpressionTest, BoundaryInstants) {
+  const PeriodicExpression p = testutil::TenToFive();
+  // Window start inclusive, end exclusive.
+  EXPECT_TRUE(p.Contains(MakeTime(2026, 7, 6, 10, 0, 0)));
+  EXPECT_FALSE(p.Contains(MakeTime(2026, 7, 6, 17, 0, 0)));
+}
+
+TEST(PeriodicExpressionTest, OvernightWindow) {
+  const auto p = PeriodicExpression::Create(Daily(22), Daily(6));
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Contains(MakeTime(2026, 7, 6, 23, 0, 0)));
+  EXPECT_TRUE(p->Contains(MakeTime(2026, 7, 7, 3, 0, 0)));
+  EXPECT_FALSE(p->Contains(MakeTime(2026, 7, 6, 12, 0, 0)));
+}
+
+TEST(PeriodicExpressionTest, BoundsClipWindows) {
+  const Time begin = MakeTime(2026, 7, 6);
+  const Time end = MakeTime(2026, 7, 8);
+  const auto p =
+      PeriodicExpression::Create(begin, end, Daily(10), Daily(17));
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Contains(MakeTime(2026, 7, 6, 12, 0, 0)));
+  EXPECT_TRUE(p->Contains(MakeTime(2026, 7, 7, 12, 0, 0)));
+  EXPECT_FALSE(p->Contains(MakeTime(2026, 7, 8, 12, 0, 0)));   // Past end.
+  EXPECT_FALSE(p->Contains(MakeTime(2026, 7, 5, 12, 0, 0)));   // Before.
+}
+
+TEST(PeriodicExpressionTest, NextWindowStartAndEnd) {
+  const PeriodicExpression p = testutil::TenToFive();
+  const Time noon = MakeTime(2026, 7, 6, 12, 0, 0);
+  EXPECT_EQ(*p.NextWindowStart(noon), MakeTime(2026, 7, 7, 10, 0, 0));
+  EXPECT_EQ(*p.NextWindowEnd(noon), MakeTime(2026, 7, 6, 17, 0, 0));
+}
+
+TEST(PeriodicExpressionTest, NextWindowRespectsBounds) {
+  const Time begin = MakeTime(2026, 7, 6);
+  const Time end = MakeTime(2026, 7, 7);
+  const auto p =
+      PeriodicExpression::Create(begin, end, Daily(10), Daily(17));
+  ASSERT_TRUE(p.ok());
+  // After the last in-bounds start, no more windows.
+  EXPECT_FALSE(
+      p->NextWindowStart(MakeTime(2026, 7, 6, 12, 0, 0)).has_value());
+  EXPECT_TRUE(p->NextWindowEnd(MakeTime(2026, 7, 6, 12, 0, 0)).has_value());
+}
+
+TEST(PeriodicExpressionTest, ParseRoundTrip) {
+  const auto p = PeriodicExpression::Parse("10:00:00 - 17:00:00");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Contains(MakeTime(2026, 7, 6, 12, 0, 0)));
+  EXPECT_FALSE(p->Contains(MakeTime(2026, 7, 6, 8, 0, 0)));
+  EXPECT_FALSE(PeriodicExpression::Parse("10:00:00").ok());
+  EXPECT_FALSE(PeriodicExpression::Parse("").ok());
+}
+
+TEST(PeriodicExpressionTest, ParseWithoutSpaces) {
+  const auto p = PeriodicExpression::Parse("08:30:00-16:30:00");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Contains(MakeTime(2026, 7, 6, 9, 0, 0)));
+}
+
+TEST(PeriodicExpressionTest, ToStringUnboundedOmitsInterval) {
+  const PeriodicExpression p = testutil::TenToFive();
+  EXPECT_EQ(p.ToString(), "10:00:00/*/*/* - 17:00:00/*/*/*");
+}
+
+TEST(PeriodicExpressionTest, ContainsConsistentWithBoundaryScan) {
+  // Property: Contains flips exactly at NextWindowStart/NextWindowEnd.
+  const PeriodicExpression p = testutil::TenToFive();
+  Time t = MakeTime(2026, 7, 6, 0, 0, 0);
+  for (int i = 0; i < 8; ++i) {
+    const bool inside = p.Contains(t);
+    const auto next_start = p.NextWindowStart(t);
+    const auto next_end = p.NextWindowEnd(t);
+    ASSERT_TRUE(next_start.has_value());
+    ASSERT_TRUE(next_end.has_value());
+    if (inside) {
+      EXPECT_LT(*next_end, *next_start);
+      // One microsecond before the end we are still inside.
+      EXPECT_TRUE(p.Contains(*next_end - 1));
+      EXPECT_FALSE(p.Contains(*next_end));
+      t = *next_end;
+    } else {
+      EXPECT_LT(*next_start, *next_end);
+      EXPECT_FALSE(p.Contains(*next_start - 1));
+      EXPECT_TRUE(p.Contains(*next_start));
+      t = *next_start;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sentinel

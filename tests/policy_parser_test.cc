@@ -1,0 +1,245 @@
+#include "core/policy_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/calendar.h"
+#include "common/rng.h"
+#include "tests/test_util.h"
+#include "workload/policy_gen.h"
+
+namespace sentinel {
+namespace {
+
+TEST(PolicyParserTest, ParsesEnterpriseXyz) {
+  const Policy policy = testutil::EnterpriseXyzPolicy();
+  EXPECT_EQ(policy.name(), "enterprise-xyz");
+  EXPECT_EQ(policy.roles().size(), 5u);
+  EXPECT_EQ(policy.users().size(), 3u);
+  EXPECT_EQ(policy.roles().at("PM").juniors, (std::set<RoleName>{"PC"}));
+  EXPECT_EQ(policy.ssd_sets().at("SoD1").roles,
+            (std::set<RoleName>{"PC", "AC"}));
+  EXPECT_EQ(policy.ssd_sets().at("SoD1").n, 2);
+  EXPECT_EQ(policy.users().at("alice").assignments,
+            (std::set<RoleName>{"PM"}));
+  EXPECT_EQ(policy.roles().at("PC").permissions.count(
+                Permission{"write", "purchase-order"}),
+            1u);
+}
+
+TEST(PolicyParserTest, ParsesHospitalTemporalFeatures) {
+  const Policy policy = testutil::HospitalPolicy();
+  const RoleSpec& day_doctor = policy.roles().at("DayDoctor");
+  ASSERT_TRUE(day_doctor.enabling_window.has_value());
+  EXPECT_TRUE(
+      day_doctor.enabling_window->Contains(MakeTime(2026, 7, 6, 12, 0, 0)));
+  EXPECT_FALSE(
+      day_doctor.enabling_window->Contains(MakeTime(2026, 7, 6, 5, 0, 0)));
+  EXPECT_EQ(policy.roles().at("OnCall").max_activation, 2 * kHour);
+  ASSERT_EQ(policy.time_sods().size(), 1u);
+  const TimeSod& tsod = policy.time_sods()[0];
+  EXPECT_EQ(tsod.kind, TimeSodKind::kDisabling);
+  EXPECT_EQ(tsod.roles, (std::set<RoleName>{"Doctor", "Nurse"}));
+}
+
+TEST(PolicyParserTest, ParsesAllDirectiveKinds) {
+  const char* text = R"(
+policy "full"
+role A { cardinality: 3 }
+role B { prerequisite: A }
+role SysAdmin {}
+role SysAudit {}
+role Manager {}
+role JuniorEmp {}
+user u { assign: A  max-active: 2  duration: A = 45m }
+dsd D1 { roles: A, B  n: 2 }
+cfd { trigger: SysAdmin  companion: SysAudit }
+transaction tx { controller: Manager  dependent: JuniorEmp }
+threshold guard { count: 7  window: 90s  disable: CA, AAR }
+audit nightly { interval: 12h }
+purpose business {}
+purpose marketing { parent: business }
+object-policy crm.dat { purposes: marketing }
+)";
+  auto policy = PolicyParser::Parse(text);
+  ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+  EXPECT_EQ(policy->roles().at("A").activation_cardinality, 3);
+  EXPECT_EQ(policy->roles().at("B").prerequisites,
+            (std::set<RoleName>{"A"}));
+  EXPECT_EQ(policy->users().at("u").max_active_roles, 2);
+  EXPECT_EQ(policy->users().at("u").role_durations.at("A"), 45 * kMinute);
+  EXPECT_EQ(policy->dsd_sets().size(), 1u);
+  ASSERT_EQ(policy->cfd_pairs().size(), 1u);
+  EXPECT_EQ(policy->cfd_pairs()[0].trigger, "SysAdmin");
+  ASSERT_EQ(policy->transactions().size(), 1u);
+  EXPECT_EQ(policy->transactions()[0].controller, "Manager");
+  ASSERT_EQ(policy->thresholds().size(), 1u);
+  EXPECT_EQ(policy->thresholds()[0].threshold, 7);
+  EXPECT_EQ(policy->thresholds()[0].window, 90 * kSecond);
+  EXPECT_EQ(policy->thresholds()[0].disable_rule_prefixes,
+            (std::vector<std::string>{"CA", "AAR"}));
+  ASSERT_EQ(policy->audits().size(), 1u);
+  EXPECT_EQ(policy->audits()[0].interval, 12 * kHour);
+  EXPECT_EQ(policy->purposes().size(), 2u);
+  ASSERT_EQ(policy->object_policies().size(), 1u);
+  EXPECT_EQ(policy->object_policies()[0].purposes,
+            (std::set<PurposeName>{"marketing"}));
+}
+
+TEST(PolicyParserTest, CommentsAndBlankLinesIgnored) {
+  const char* text = R"(
+# leading comment
+policy "p"   # trailing comment
+
+role A {
+  # inside block
+  cardinality: 2
+}
+)";
+  auto policy = PolicyParser::Parse(text);
+  ASSERT_TRUE(policy.ok());
+  EXPECT_EQ(policy->roles().at("A").activation_cardinality, 2);
+}
+
+TEST(PolicyParserTest, OneLineBlocks) {
+  auto policy = PolicyParser::Parse(
+      "policy \"p\"\nrole A {}\nrole B { senior-of: A }\n");
+  ASSERT_TRUE(policy.ok());
+  EXPECT_EQ(policy->roles().at("B").juniors, (std::set<RoleName>{"A"}));
+}
+
+TEST(PolicyParserTest, DurationLiterals) {
+  EXPECT_EQ(*PolicyParser::ParseDuration("30s"), 30 * kSecond);
+  EXPECT_EQ(*PolicyParser::ParseDuration("45"), 45 * kSecond);
+  EXPECT_EQ(*PolicyParser::ParseDuration("5m"), 5 * kMinute);
+  EXPECT_EQ(*PolicyParser::ParseDuration("5min"), 5 * kMinute);
+  EXPECT_EQ(*PolicyParser::ParseDuration("2h"), 2 * kHour);
+  EXPECT_EQ(*PolicyParser::ParseDuration("1d"), kDay);
+  EXPECT_EQ(*PolicyParser::ParseDuration("250ms"), 250 * kMillisecond);
+  EXPECT_EQ(*PolicyParser::ParseDuration("10us"), 10 * kMicrosecond);
+  EXPECT_FALSE(PolicyParser::ParseDuration("").ok());
+  EXPECT_FALSE(PolicyParser::ParseDuration("abc").ok());
+  EXPECT_FALSE(PolicyParser::ParseDuration("10y").ok());
+}
+
+TEST(PolicyParserTest, ErrorsCarryLineNumbers) {
+  auto bad = PolicyParser::Parse("policy \"p\"\nrole A {\n  nonsense\n}\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(PolicyParserTest, UnterminatedBlockRejected) {
+  auto bad = PolicyParser::Parse("policy \"p\"\nrole A {\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("unterminated"), std::string::npos);
+}
+
+TEST(PolicyParserTest, UnknownBlockKindRejected) {
+  auto bad = PolicyParser::Parse("policy \"p\"\nwidget W {}\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("unknown block kind"),
+            std::string::npos);
+}
+
+TEST(PolicyParserTest, ValidationFailuresSurfaceAsParseErrors) {
+  auto bad = PolicyParser::Parse(
+      "policy \"p\"\nrole A { senior-of: Ghost }\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsParseError());
+}
+
+TEST(PolicyParserTest, RoundTripThroughText) {
+  const Policy original = testutil::EnterpriseXyzPolicy();
+  const std::string text = PolicyToText(original);
+  auto reparsed = PolicyParser::Parse(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << text;
+  EXPECT_EQ(*reparsed, original);
+}
+
+TEST(PolicyParserTest, RoundTripHospital) {
+  const Policy original = testutil::HospitalPolicy();
+  auto reparsed = PolicyParser::Parse(PolicyToText(original));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(*reparsed, original);
+}
+
+TEST(PolicyParserTest, ContextConstraintsParse) {
+  auto policy = PolicyParser::Parse(R"(
+policy "ctx"
+role WardNurse { context: location = hospital  context: network = secure }
+)");
+  ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+  const auto& required = policy->roles().at("WardNurse").required_context;
+  ASSERT_EQ(required.size(), 2u);
+  EXPECT_EQ(required.at("location"), "hospital");
+  EXPECT_EQ(required.at("network"), "secure");
+  EXPECT_FALSE(
+      PolicyParser::Parse("policy \"p\"\nrole A { context: nonsense }\n")
+          .ok());
+}
+
+TEST(PolicyParserPropertyTest, RandomPoliciesRoundTripThroughText) {
+  for (uint64_t seed : {1u, 9u, 77u, 2048u}) {
+    PolicyGenParams params;
+    params.seed = seed;
+    params.num_roles = 30;
+    params.num_users = 20;
+    params.cardinality_frac = 0.4;
+    params.duration_frac = 0.4;
+    params.shift_frac = 0.4;
+    params.context_frac = 0.4;
+    params.user_cap_frac = 0.4;
+    const Policy original = GeneratePolicy(params);
+    const std::string text = PolicyToText(original);
+    auto reparsed = PolicyParser::Parse(text);
+    ASSERT_TRUE(reparsed.ok())
+        << "seed " << seed << ": " << reparsed.status().ToString();
+    EXPECT_EQ(*reparsed, original) << "seed " << seed;
+  }
+}
+
+// Robustness: random token soup must never crash the parser — every input
+// either parses or returns a ParseError.
+TEST(PolicyParserPropertyTest, RandomGarbageNeverCrashes) {
+  Rng rng(31337);
+  const char* tokens[] = {"policy", "role",  "user",   "{",      "}",
+                          ":",      ",",     "\"x\"",  "ssd",    "dsd",
+                          "enable", "08:00", "-",      "n",      "2",
+                          "#",      "\n",    "assign", "senior-of",
+                          "cardinality",     "context", "=",     "30m",
+                          "threshold",       "window",  "roles", "A"};
+  constexpr size_t kTokenCount = sizeof(tokens) / sizeof(tokens[0]);
+  for (int round = 0; round < 500; ++round) {
+    std::string soup;
+    const int length = static_cast<int>(rng.NextBounded(60));
+    for (int i = 0; i < length; ++i) {
+      soup += tokens[rng.NextBounded(kTokenCount)];
+      soup += rng.NextBool(0.7) ? " " : "";
+      if (rng.NextBool(0.2)) soup += "\n";
+    }
+    auto result = PolicyParser::Parse(soup);
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsParseError()) << soup;
+    }
+  }
+}
+
+// Robustness: truncating a valid policy at every byte offset must never
+// crash; prefixes either parse or produce a ParseError.
+TEST(PolicyParserPropertyTest, AllPrefixesOfValidPolicyAreSafe) {
+  const std::string text = PolicyToText(testutil::HospitalPolicy());
+  for (size_t cut = 0; cut <= text.size(); cut += 7) {
+    auto result = PolicyParser::Parse(text.substr(0, cut));
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsParseError());
+    }
+  }
+}
+
+TEST(PolicyParserTest, MissingFileReported) {
+  EXPECT_TRUE(PolicyParser::ParseFile("/no/such/file.acp")
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace sentinel

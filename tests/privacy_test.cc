@@ -1,0 +1,82 @@
+#include "core/privacy.h"
+
+#include <gtest/gtest.h>
+
+namespace sentinel {
+namespace {
+
+class PrivacyStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store_.AddPurpose("business").ok());
+    ASSERT_TRUE(store_.AddPurpose("marketing", "business").ok());
+    ASSERT_TRUE(store_.AddPurpose("email-campaign", "marketing").ok());
+    ASSERT_TRUE(store_.AddPurpose("treatment").ok());
+  }
+  PrivacyStore store_;
+};
+
+TEST_F(PrivacyStoreTest, AddPurposeValidations) {
+  EXPECT_TRUE(store_.AddPurpose("").IsInvalidArgument());
+  EXPECT_TRUE(store_.AddPurpose("business").IsAlreadyExists());
+  EXPECT_TRUE(store_.AddPurpose("x", "ghost").IsNotFound());
+  EXPECT_TRUE(store_.HasPurpose("marketing"));
+  EXPECT_FALSE(store_.HasPurpose("ghost"));
+}
+
+TEST_F(PrivacyStoreTest, EntailmentWalksUpTheHierarchy) {
+  EXPECT_TRUE(store_.PurposeEntails("email-campaign", "business"));
+  EXPECT_TRUE(store_.PurposeEntails("email-campaign", "marketing"));
+  EXPECT_TRUE(store_.PurposeEntails("marketing", "marketing"));
+  EXPECT_FALSE(store_.PurposeEntails("business", "marketing"));  // Downward.
+  EXPECT_FALSE(store_.PurposeEntails("treatment", "business"));
+}
+
+TEST_F(PrivacyStoreTest, ObjectWithoutPolicyIsUnconstrained) {
+  EXPECT_TRUE(store_.AccessPermitted("free.dat", ""));
+  EXPECT_TRUE(store_.AccessPermitted("free.dat", "anything"));
+}
+
+TEST_F(PrivacyStoreTest, ObjectPolicyEnforced) {
+  ASSERT_TRUE(store_.SetObjectPolicy("patient.dat", {"treatment"}).ok());
+  EXPECT_TRUE(store_.AccessPermitted("patient.dat", "treatment"));
+  EXPECT_FALSE(store_.AccessPermitted("patient.dat", "marketing"));
+  EXPECT_FALSE(store_.AccessPermitted("patient.dat", ""));
+  EXPECT_FALSE(store_.AccessPermitted("patient.dat", "unregistered"));
+}
+
+TEST_F(PrivacyStoreTest, SubPurposeSatisfiesPolicy) {
+  ASSERT_TRUE(store_.SetObjectPolicy("crm.dat", {"marketing"}).ok());
+  EXPECT_TRUE(store_.AccessPermitted("crm.dat", "email-campaign"));
+  EXPECT_FALSE(store_.AccessPermitted("crm.dat", "business"));
+}
+
+TEST_F(PrivacyStoreTest, PolicyRequiresKnownPurposes) {
+  EXPECT_TRUE(store_.SetObjectPolicy("x", {"ghost"}).IsNotFound());
+}
+
+TEST_F(PrivacyStoreTest, EmptyPolicyRemoves) {
+  ASSERT_TRUE(store_.SetObjectPolicy("x", {"treatment"}).ok());
+  EXPECT_TRUE(store_.ObjectHasPolicy("x"));
+  ASSERT_TRUE(store_.SetObjectPolicy("x", {}).ok());
+  EXPECT_FALSE(store_.ObjectHasPolicy("x"));
+  EXPECT_TRUE(store_.AccessPermitted("x", ""));
+}
+
+TEST_F(PrivacyStoreTest, DeletePurposeGuardsChildren) {
+  EXPECT_TRUE(store_.DeletePurpose("marketing").IsFailedPrecondition());
+  ASSERT_TRUE(store_.DeletePurpose("email-campaign").ok());
+  ASSERT_TRUE(store_.DeletePurpose("marketing").ok());
+  EXPECT_TRUE(store_.DeletePurpose("ghost").IsNotFound());
+}
+
+TEST_F(PrivacyStoreTest, ObjectPolicyAccessor) {
+  ASSERT_TRUE(store_.SetObjectPolicy("x", {"treatment", "business"}).ok());
+  const auto* policy = store_.ObjectPolicy("x");
+  ASSERT_NE(policy, nullptr);
+  EXPECT_EQ(policy->size(), 2u);
+  EXPECT_EQ(store_.ObjectPolicy("none"), nullptr);
+}
+
+}  // namespace
+}  // namespace sentinel

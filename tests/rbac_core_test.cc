@@ -1,0 +1,199 @@
+#include "rbac/core_api.h"
+
+#include <gtest/gtest.h>
+
+namespace sentinel {
+namespace {
+
+/// Fixture building the paper's enterprise XYZ structure directly on the
+/// NIST reference model.
+class RbacSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* role : {"Clerk", "PC", "PM", "AC", "AM"}) {
+      ASSERT_TRUE(rbac_.AddRole(role).ok());
+    }
+    ASSERT_TRUE(rbac_.AddInheritance("PM", "PC").ok());
+    ASSERT_TRUE(rbac_.AddInheritance("PC", "Clerk").ok());
+    ASSERT_TRUE(rbac_.AddInheritance("AM", "AC").ok());
+    ASSERT_TRUE(rbac_.AddInheritance("AC", "Clerk").ok());
+    ASSERT_TRUE(rbac_.CreateSsdSet("SoD1", {"PC", "AC"}, 2).ok());
+    for (const char* user : {"alice", "bob"}) {
+      ASSERT_TRUE(rbac_.AddUser(user).ok());
+    }
+    ASSERT_TRUE(rbac_.GrantPermission("read", "ledger", "Clerk").ok());
+    ASSERT_TRUE(rbac_.GrantPermission("write", "po", "PC").ok());
+  }
+  RbacSystem rbac_;
+};
+
+TEST_F(RbacSystemTest, AssignRespectsSsdThroughHierarchy) {
+  // alice as PM is authorized for PC (junior): AM/AC become forbidden.
+  ASSERT_TRUE(rbac_.AssignUser("alice", "PM").ok());
+  EXPECT_TRUE(rbac_.AssignUser("alice", "AC").IsConstraintViolation());
+  EXPECT_TRUE(rbac_.AssignUser("alice", "AM").IsConstraintViolation());
+  // Clerk is in neither SoD set: fine.
+  EXPECT_TRUE(rbac_.AssignUser("alice", "Clerk").ok());
+  // bob can take the approval side.
+  EXPECT_TRUE(rbac_.AssignUser("bob", "AM").ok());
+}
+
+TEST_F(RbacSystemTest, DirectSsdViolationRejected) {
+  ASSERT_TRUE(rbac_.AssignUser("bob", "PC").ok());
+  EXPECT_TRUE(rbac_.AssignUser("bob", "AC").IsConstraintViolation());
+}
+
+TEST_F(RbacSystemTest, AuthorizedUsersAndRoles) {
+  ASSERT_TRUE(rbac_.AssignUser("alice", "PM").ok());
+  EXPECT_EQ(rbac_.AuthorizedRoles("alice"),
+            (std::set<RoleName>{"PM", "PC", "Clerk"}));
+  EXPECT_EQ(rbac_.AuthorizedUsers("Clerk"), (std::set<UserName>{"alice"}));
+  EXPECT_EQ(rbac_.AuthorizedUsers("PM"), (std::set<UserName>{"alice"}));
+  EXPECT_EQ(rbac_.AuthorizedUsers("AM"), (std::set<UserName>{}));
+}
+
+TEST_F(RbacSystemTest, ActivationRequiresAuthorization) {
+  ASSERT_TRUE(rbac_.AssignUser("alice", "PM").ok());
+  ASSERT_TRUE(rbac_.CreateSession("alice", "s1").ok());
+  // Senior role activates juniors via hierarchy.
+  EXPECT_TRUE(rbac_.AddActiveRole("alice", "s1", "PC").ok());
+  EXPECT_TRUE(rbac_.AddActiveRole("alice", "s1", "Clerk").ok());
+  // Not authorized for the approval chain.
+  EXPECT_TRUE(
+      rbac_.AddActiveRole("alice", "s1", "AM").IsConstraintViolation());
+}
+
+TEST_F(RbacSystemTest, ActivationChecksOwnershipAndDuplicates) {
+  ASSERT_TRUE(rbac_.AssignUser("alice", "Clerk").ok());
+  ASSERT_TRUE(rbac_.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(rbac_.AddUser("mallory").ok());
+  EXPECT_TRUE(
+      rbac_.AddActiveRole("mallory", "s1", "Clerk").IsFailedPrecondition());
+  ASSERT_TRUE(rbac_.AddActiveRole("alice", "s1", "Clerk").ok());
+  EXPECT_TRUE(
+      rbac_.AddActiveRole("alice", "s1", "Clerk").IsAlreadyExists());
+}
+
+TEST_F(RbacSystemTest, DsdLimitsSimultaneousActivation) {
+  ASSERT_TRUE(rbac_.AddRole("X").ok());
+  ASSERT_TRUE(rbac_.AddRole("Y").ok());
+  ASSERT_TRUE(rbac_.CreateDsdSet("D", {"X", "Y"}, 2).ok());
+  ASSERT_TRUE(rbac_.AssignUser("bob", "X").ok());
+  ASSERT_TRUE(rbac_.AssignUser("bob", "Y").ok());  // Assignment is fine.
+  ASSERT_TRUE(rbac_.CreateSession("bob", "s1").ok());
+  ASSERT_TRUE(rbac_.AddActiveRole("bob", "s1", "X").ok());
+  EXPECT_TRUE(
+      rbac_.AddActiveRole("bob", "s1", "Y").IsConstraintViolation());
+  // A second session may activate the other role (DSD is per session).
+  ASSERT_TRUE(rbac_.CreateSession("bob", "s2").ok());
+  EXPECT_TRUE(rbac_.AddActiveRole("bob", "s2", "Y").ok());
+  // Dropping X in s1 frees Y there.
+  ASSERT_TRUE(rbac_.DropActiveRole("bob", "s1", "X").ok());
+  EXPECT_TRUE(rbac_.AddActiveRole("bob", "s1", "Y").ok());
+}
+
+TEST_F(RbacSystemTest, CheckAccessUsesPermissionInheritance) {
+  ASSERT_TRUE(rbac_.AssignUser("alice", "PM").ok());
+  ASSERT_TRUE(rbac_.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(rbac_.AddActiveRole("alice", "s1", "PM").ok());
+  // PM has no direct grants but inherits PC's and Clerk's.
+  EXPECT_TRUE(*rbac_.CheckAccess("s1", "write", "po"));
+  EXPECT_TRUE(*rbac_.CheckAccess("s1", "read", "ledger"));
+  EXPECT_FALSE(*rbac_.CheckAccess("s1", "write", "ledger"));
+  EXPECT_FALSE(rbac_.CheckAccess("ghost", "read", "ledger").ok());
+}
+
+TEST_F(RbacSystemTest, CheckAccessOnlyThroughActiveRoles) {
+  ASSERT_TRUE(rbac_.AssignUser("alice", "PM").ok());
+  ASSERT_TRUE(rbac_.CreateSession("alice", "s1").ok());
+  // Authorized but nothing active: no permissions available.
+  EXPECT_FALSE(*rbac_.CheckAccess("s1", "read", "ledger"));
+}
+
+TEST_F(RbacSystemTest, DeassignDropsNoLongerAuthorizedActiveRoles) {
+  ASSERT_TRUE(rbac_.AssignUser("alice", "PM").ok());
+  ASSERT_TRUE(rbac_.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(rbac_.AddActiveRole("alice", "s1", "PC").ok());
+  ASSERT_TRUE(rbac_.DeassignUser("alice", "PM").ok());
+  EXPECT_FALSE(rbac_.db().IsSessionRoleActive("s1", "PC"));
+}
+
+TEST_F(RbacSystemTest, DeassignKeepsStillAuthorizedActiveRoles) {
+  ASSERT_TRUE(rbac_.AssignUser("alice", "PM").ok());
+  ASSERT_TRUE(rbac_.AssignUser("alice", "PC").ok());
+  ASSERT_TRUE(rbac_.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(rbac_.AddActiveRole("alice", "s1", "PC").ok());
+  ASSERT_TRUE(rbac_.DeassignUser("alice", "PM").ok());
+  EXPECT_TRUE(rbac_.db().IsSessionRoleActive("s1", "PC"));
+}
+
+TEST_F(RbacSystemTest, AddInheritanceValidatedAgainstSsd) {
+  // bob assigned to PM and AM separately would be fine without SoD links,
+  // but SoD1 makes PM/AM conflict through PC/AC.
+  ASSERT_TRUE(rbac_.AddRole("Super").ok());
+  ASSERT_TRUE(rbac_.AssignUser("bob", "Super").ok());
+  ASSERT_TRUE(rbac_.AddInheritance("Super", "PM").ok());
+  // Super >>= AM would authorize bob for both PC and AC.
+  EXPECT_TRUE(rbac_.AddInheritance("Super", "AM").IsConstraintViolation());
+  // The rejected edge must have been rolled back.
+  EXPECT_FALSE(rbac_.hierarchy().Dominates("Super", "AM"));
+}
+
+TEST_F(RbacSystemTest, CreateSsdSetValidatedAgainstExistingAssignments) {
+  ASSERT_TRUE(rbac_.AssignUser("bob", "PM").ok());
+  ASSERT_TRUE(rbac_.AssignUser("bob", "Clerk").ok());
+  // PM is authorized for Clerk; a PM/Clerk SoD set is already violated.
+  EXPECT_TRUE(
+      rbac_.CreateSsdSet("bad", {"PM", "Clerk"}, 2).IsConstraintViolation());
+  EXPECT_FALSE(rbac_.ssd().GetSet("bad").ok());
+}
+
+TEST_F(RbacSystemTest, CreateDsdSetValidatedAgainstActiveSessions) {
+  ASSERT_TRUE(rbac_.AddRole("X").ok());
+  ASSERT_TRUE(rbac_.AddRole("Y").ok());
+  ASSERT_TRUE(rbac_.AssignUser("bob", "X").ok());
+  ASSERT_TRUE(rbac_.AssignUser("bob", "Y").ok());
+  ASSERT_TRUE(rbac_.CreateSession("bob", "s1").ok());
+  ASSERT_TRUE(rbac_.AddActiveRole("bob", "s1", "X").ok());
+  ASSERT_TRUE(rbac_.AddActiveRole("bob", "s1", "Y").ok());
+  EXPECT_TRUE(
+      rbac_.CreateDsdSet("D", {"X", "Y"}, 2).IsConstraintViolation());
+}
+
+TEST_F(RbacSystemTest, ReviewFunctions) {
+  ASSERT_TRUE(rbac_.AssignUser("alice", "PM").ok());
+  ASSERT_TRUE(rbac_.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(rbac_.AddActiveRole("alice", "s1", "PM").ok());
+
+  EXPECT_EQ(rbac_.AssignedRoles("alice"), (std::set<RoleName>{"PM"}));
+  EXPECT_EQ(rbac_.SessionRoles("s1"), (std::set<RoleName>{"PM"}));
+  EXPECT_EQ(rbac_.RolePermissions("PM", /*inherited=*/false).size(), 0u);
+  EXPECT_EQ(rbac_.RolePermissions("PM", /*inherited=*/true).size(), 2u);
+  EXPECT_EQ(rbac_.UserPermissions("alice").size(), 2u);
+  EXPECT_EQ(rbac_.SessionPermissions("s1").size(), 2u);
+  EXPECT_EQ(rbac_.RoleOperationsOnObject("PM", "ledger"),
+            (std::set<OperationName>{"read"}));
+  EXPECT_EQ(rbac_.UserOperationsOnObject("alice", "po"),
+            (std::set<OperationName>{"write"}));
+}
+
+TEST_F(RbacSystemTest, DeleteRoleScrubsEverything) {
+  ASSERT_TRUE(rbac_.AssignUser("bob", "PC").ok());
+  ASSERT_TRUE(rbac_.DeleteRole("PC").ok());
+  EXPECT_FALSE(rbac_.db().HasRole("PC"));
+  EXPECT_FALSE(rbac_.hierarchy().Dominates("PM", "Clerk"));
+  // SoD1 shrank below cardinality and is gone: AC alone is unconstrained.
+  EXPECT_TRUE(rbac_.AssignUser("bob", "AC").ok());
+}
+
+TEST_F(RbacSystemTest, IsAuthorizedMatchesAssignmentsWhenNoHierarchy) {
+  RbacSystem flat;
+  ASSERT_TRUE(flat.AddUser("u").ok());
+  ASSERT_TRUE(flat.AddRole("R").ok());
+  ASSERT_TRUE(flat.AssignUser("u", "R").ok());
+  EXPECT_TRUE(flat.IsAuthorized("u", "R"));
+  EXPECT_FALSE(flat.IsAuthorized("u", "S"));
+}
+
+}  // namespace
+}  // namespace sentinel

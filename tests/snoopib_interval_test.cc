@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "event/event_detector.h"
+#include "tests/test_util.h"
+
+namespace sentinel {
+namespace {
+
+/// SnoopIB interval-semantics property sweep: composite occurrences carry
+/// [start, end] intervals spanning their constituents; nesting composes
+/// intervals correctly; detections are totally ordered by sequence number;
+/// and SEQ's strict-precedence requirement holds at every nesting depth.
+class SnoopIbIntervalTest : public ::testing::Test {
+ protected:
+  SnoopIbIntervalTest() : clock_(testutil::Noon()), detector_(&clock_) {}
+
+  SimulatedClock clock_;
+  EventDetector detector_;
+};
+
+TEST_F(SnoopIbIntervalTest, NestedSeqSpansOutermostConstituents) {
+  const EventId a = *detector_.DefinePrimitive("a");
+  const EventId b = *detector_.DefinePrimitive("b");
+  const EventId c = *detector_.DefinePrimitive("c");
+  const EventId ab = *detector_.DefineSeq("ab", a, b);
+  const EventId abc = *detector_.DefineSeq("abc", ab, c);
+  std::vector<Occurrence> log;
+  detector_.Subscribe(abc,
+                      [&](const Occurrence& occ) { log.push_back(occ); });
+
+  const Time t_a = clock_.Now();
+  ASSERT_TRUE(detector_.Raise(a, {}).ok());
+  clock_.Advance(kSecond);
+  ASSERT_TRUE(detector_.Raise(b, {}).ok());
+  clock_.Advance(kSecond);
+  const Time t_c = clock_.Now();
+  ASSERT_TRUE(detector_.Raise(c, {}).ok());
+
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].start, t_a);
+  EXPECT_EQ(log[0].end, t_c);
+}
+
+TEST_F(SnoopIbIntervalTest, SeqRejectsOverlappingComposite) {
+  // SEQ(ab, c) must NOT detect when c occurs *inside* ab's interval
+  // (i.e. between a and b) — the interval end of ab is after c's start.
+  const EventId a = *detector_.DefinePrimitive("a");
+  const EventId b = *detector_.DefinePrimitive("b");
+  const EventId c = *detector_.DefinePrimitive("c");
+  const EventId ab = *detector_.DefineSeq("ab", a, b);
+  const EventId abc = *detector_.DefineSeq("abc", ab, c);
+  int detections = 0;
+  detector_.Subscribe(abc, [&](const Occurrence&) { ++detections; });
+
+  ASSERT_TRUE(detector_.Raise(a, {}).ok());
+  clock_.Advance(kSecond);
+  ASSERT_TRUE(detector_.Raise(c, {}).ok());  // Inside (a, b): no pairing.
+  clock_.Advance(kSecond);
+  ASSERT_TRUE(detector_.Raise(b, {}).ok());  // ab completes after c.
+  EXPECT_EQ(detections, 0);
+  // A later c does pair.
+  clock_.Advance(kSecond);
+  ASSERT_TRUE(detector_.Raise(c, {}).ok());
+  EXPECT_EQ(detections, 1);
+}
+
+TEST_F(SnoopIbIntervalTest, AndIntervalIsUnionOfPair) {
+  const EventId a = *detector_.DefinePrimitive("a");
+  const EventId b = *detector_.DefinePrimitive("b");
+  const EventId and_ev = *detector_.DefineAnd("and", a, b);
+  std::vector<Occurrence> log;
+  detector_.Subscribe(and_ev,
+                      [&](const Occurrence& occ) { log.push_back(occ); });
+  const Time t_b = clock_.Now();
+  ASSERT_TRUE(detector_.Raise(b, {}).ok());
+  clock_.Advance(3 * kSecond);
+  const Time t_a = clock_.Now();
+  ASSERT_TRUE(detector_.Raise(a, {}).ok());
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].start, t_b);  // Earliest constituent.
+  EXPECT_EQ(log[0].end, t_a);    // Detection instant.
+}
+
+TEST_F(SnoopIbIntervalTest, PlusIntervalSpansInitiationToExpiry) {
+  const EventId a = *detector_.DefinePrimitive("a");
+  const EventId plus = *detector_.DefinePlus("plus", a, 10 * kSecond);
+  std::vector<Occurrence> log;
+  detector_.Subscribe(plus,
+                      [&](const Occurrence& occ) { log.push_back(occ); });
+  const Time t_a = clock_.Now();
+  ASSERT_TRUE(detector_.Raise(a, {}).ok());
+  detector_.AdvanceTo(t_a + kMinute, &clock_);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].start, t_a);
+  EXPECT_EQ(log[0].end, t_a + 10 * kSecond);
+}
+
+// Property sweep: random interleavings into a two-level operator tree.
+// For every detection: start <= end, the interval lies within the span of
+// raised primitives, and sequence numbers increase monotonically.
+TEST_F(SnoopIbIntervalTest, RandomInterleavingsKeepIntervalInvariants) {
+  Rng rng(777);
+  for (int round = 0; round < 50; ++round) {
+    SimulatedClock clock(testutil::Noon());
+    EventDetector detector(&clock);
+    const EventId a = *detector.DefinePrimitive("a");
+    const EventId b = *detector.DefinePrimitive("b");
+    const EventId c = *detector.DefinePrimitive("c");
+    const EventId seq = *detector.DefineSeq(
+        "seq", a, b,
+        static_cast<ConsumptionMode>(rng.NextBounded(4)));
+    const EventId top = *detector.DefineAnd(
+        "top", seq, c, static_cast<ConsumptionMode>(rng.NextBounded(4)));
+
+    std::vector<Occurrence> detections;
+    detector.Subscribe(top, [&](const Occurrence& occ) {
+      detections.push_back(occ);
+    });
+
+    const Time begin = clock.Now();
+    const EventId prims[] = {a, b, c};
+    for (int i = 0; i < 40; ++i) {
+      clock.Advance(static_cast<Duration>(rng.NextInt(1, 2000)) *
+                    kMillisecond);
+      ASSERT_TRUE(detector.Raise(prims[rng.NextBounded(3)], {}).ok());
+    }
+    const Time finish = clock.Now();
+
+    uint64_t last_seq = 0;
+    for (const Occurrence& occ : detections) {
+      EXPECT_LE(occ.start, occ.end) << "round " << round;
+      EXPECT_GE(occ.start, begin) << "round " << round;
+      EXPECT_LE(occ.end, finish) << "round " << round;
+      EXPECT_GT(occ.seq, last_seq) << "round " << round;
+      last_seq = occ.seq;
+    }
+  }
+}
+
+// Property: in chronicle mode, SEQ pairs are non-overlapping and ordered —
+// each detection's initiator strictly precedes its terminator, and
+// consumed initiators never pair twice.
+TEST_F(SnoopIbIntervalTest, ChronicleSeqPairsAreDisjointAndOrdered) {
+  Rng rng(4242);
+  SimulatedClock clock(testutil::Noon());
+  EventDetector detector(&clock);
+  const EventId a = *detector.DefinePrimitive("a");
+  const EventId b = *detector.DefinePrimitive("b");
+  const EventId seq =
+      *detector.DefineSeq("seq", a, b, ConsumptionMode::kChronicle);
+  std::vector<Occurrence> detections;
+  detector.Subscribe(seq, [&](const Occurrence& occ) {
+    detections.push_back(occ);
+  });
+
+  int raised_a = 0, raised_b = 0;
+  for (int i = 0; i < 400; ++i) {
+    clock.Advance(kSecond);
+    if (rng.NextBool(0.5)) {
+      ++raised_a;
+      ASSERT_TRUE(detector.Raise(a, {}).ok());
+    } else {
+      ++raised_b;
+      ASSERT_TRUE(detector.Raise(b, {}).ok());
+    }
+  }
+  // Each detection consumed one a: detections <= min(#a, #b).
+  EXPECT_LE(static_cast<int>(detections.size()),
+            std::min(raised_a, raised_b));
+  // FIFO pairing: initiator starts strictly increase across detections.
+  for (size_t i = 1; i < detections.size(); ++i) {
+    EXPECT_GT(detections[i].start, detections[i - 1].start);
+    EXPECT_GT(detections[i].end, detections[i - 1].end);
+  }
+}
+
+}  // namespace
+}  // namespace sentinel

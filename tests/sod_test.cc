@@ -1,0 +1,106 @@
+#include "rbac/sod.h"
+
+#include <gtest/gtest.h>
+
+namespace sentinel {
+namespace {
+
+class SodStoreTest : public ::testing::Test {
+ protected:
+  SodStoreTest() : store_("SSD") {}
+  SodStore store_;
+};
+
+TEST_F(SodStoreTest, CreateValidations) {
+  EXPECT_TRUE(store_.CreateSet("", {"A", "B"}, 2).IsInvalidArgument());
+  EXPECT_TRUE(store_.CreateSet("s", {"A", "B"}, 1).IsInvalidArgument());
+  EXPECT_TRUE(store_.CreateSet("s", {"A"}, 2).IsInvalidArgument());
+  ASSERT_TRUE(store_.CreateSet("s", {"A", "B"}, 2).ok());
+  EXPECT_TRUE(store_.CreateSet("s", {"C", "D"}, 2).IsAlreadyExists());
+}
+
+TEST_F(SodStoreTest, SatisfiesCountsMembership) {
+  ASSERT_TRUE(store_.CreateSet("s", {"A", "B", "C"}, 2).ok());
+  EXPECT_TRUE(store_.Satisfies({}));
+  EXPECT_TRUE(store_.Satisfies({"A"}));
+  EXPECT_TRUE(store_.Satisfies({"A", "X", "Y"}));
+  EXPECT_FALSE(store_.Satisfies({"A", "B"}));
+  EXPECT_FALSE(store_.Satisfies({"A", "B", "C"}));
+}
+
+TEST_F(SodStoreTest, CardinalityThreeAllowsPairs) {
+  ASSERT_TRUE(store_.CreateSet("s", {"A", "B", "C"}, 3).ok());
+  EXPECT_TRUE(store_.Satisfies({"A", "B"}));
+  EXPECT_FALSE(store_.Satisfies({"A", "B", "C"}));
+}
+
+TEST_F(SodStoreTest, FirstViolatedNamesTheSet) {
+  ASSERT_TRUE(store_.CreateSet("s1", {"A", "B"}, 2).ok());
+  ASSERT_TRUE(store_.CreateSet("s2", {"C", "D"}, 2).ok());
+  EXPECT_EQ(store_.FirstViolated({"C", "D"}), "s2");
+  EXPECT_EQ(store_.FirstViolated({"A", "C"}), "");
+}
+
+TEST_F(SodStoreTest, MultipleSetsAllChecked) {
+  ASSERT_TRUE(store_.CreateSet("s1", {"A", "B"}, 2).ok());
+  ASSERT_TRUE(store_.CreateSet("s2", {"B", "C"}, 2).ok());
+  EXPECT_FALSE(store_.Satisfies({"B", "C"}));
+  EXPECT_FALSE(store_.Satisfies({"A", "B"}));
+  EXPECT_TRUE(store_.Satisfies({"A", "C"}));
+}
+
+TEST_F(SodStoreTest, AddAndRemoveMembers) {
+  ASSERT_TRUE(store_.CreateSet("s", {"A", "B"}, 2).ok());
+  ASSERT_TRUE(store_.AddRoleMember("s", "C").ok());
+  EXPECT_TRUE(store_.AddRoleMember("s", "C").IsAlreadyExists());
+  EXPECT_TRUE(store_.AddRoleMember("ghost", "C").IsNotFound());
+  EXPECT_FALSE(store_.Satisfies({"A", "C"}));
+  ASSERT_TRUE(store_.DeleteRoleMember("s", "C").ok());
+  EXPECT_TRUE(store_.Satisfies({"A", "C"}));
+  // Shrinking below the cardinality is rejected.
+  EXPECT_TRUE(store_.DeleteRoleMember("s", "A").IsConstraintViolation());
+}
+
+TEST_F(SodStoreTest, SetCardinalityValidated) {
+  ASSERT_TRUE(store_.CreateSet("s", {"A", "B", "C"}, 2).ok());
+  ASSERT_TRUE(store_.SetCardinality("s", 3).ok());
+  EXPECT_TRUE(store_.Satisfies({"A", "B"}));
+  EXPECT_TRUE(store_.SetCardinality("s", 4).IsInvalidArgument());
+  EXPECT_TRUE(store_.SetCardinality("s", 1).IsInvalidArgument());
+  EXPECT_TRUE(store_.SetCardinality("ghost", 2).IsNotFound());
+}
+
+TEST_F(SodStoreTest, EraseRoleDropsUndersizedSets) {
+  ASSERT_TRUE(store_.CreateSet("s", {"A", "B"}, 2).ok());
+  store_.EraseRole("A");
+  EXPECT_FALSE(store_.GetSet("s").ok());
+  EXPECT_TRUE(store_.Satisfies({"B", "A"}));
+}
+
+TEST_F(SodStoreTest, EraseRoleKeepsLargeEnoughSets) {
+  ASSERT_TRUE(store_.CreateSet("s", {"A", "B", "C"}, 2).ok());
+  store_.EraseRole("A");
+  ASSERT_TRUE(store_.GetSet("s").ok());
+  EXPECT_FALSE(store_.Satisfies({"B", "C"}));
+}
+
+TEST_F(SodStoreTest, SetsContainingAndRoleConstrained) {
+  ASSERT_TRUE(store_.CreateSet("s1", {"A", "B"}, 2).ok());
+  ASSERT_TRUE(store_.CreateSet("s2", {"A", "C"}, 2).ok());
+  EXPECT_EQ(store_.SetsContaining("A").size(), 2u);
+  EXPECT_EQ(store_.SetsContaining("B").size(), 1u);
+  EXPECT_TRUE(store_.RoleConstrained("A"));
+  EXPECT_FALSE(store_.RoleConstrained("Z"));
+  EXPECT_EQ(store_.AllSets().size(), 2u);
+}
+
+TEST_F(SodStoreTest, DeleteSet) {
+  ASSERT_TRUE(store_.CreateSet("s", {"A", "B"}, 2).ok());
+  ASSERT_TRUE(store_.DeleteSet("s").ok());
+  EXPECT_TRUE(store_.DeleteSet("s").IsNotFound());
+  EXPECT_TRUE(store_.Satisfies({"A", "B"}));
+  EXPECT_FALSE(store_.RoleConstrained("A"));
+}
+
+}  // namespace
+}  // namespace sentinel

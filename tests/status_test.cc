@@ -1,0 +1,109 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace sentinel {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such role: PM");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "no such role: PM");
+  EXPECT_EQ(s.ToString(), "NotFound: no such role: PM");
+}
+
+TEST(StatusTest, AllFactoriesMapToPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::ConstraintViolation("x").IsConstraintViolation());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status a = Status::InvalidArgument("bad");
+  Status b = a;
+  EXPECT_TRUE(b.IsInvalidArgument());
+  EXPECT_EQ(b.message(), "bad");
+  // Original unchanged after copy-assign over it.
+  b = Status::OK();
+  EXPECT_TRUE(b.ok());
+  EXPECT_TRUE(a.IsInvalidArgument());
+}
+
+TEST(StatusTest, MoveSemantics) {
+  Status a = Status::NotFound("gone");
+  Status b = std::move(a);
+  EXPECT_TRUE(b.IsNotFound());
+  EXPECT_TRUE(a.ok());  // Moved-from is OK (empty) by construction.
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kConstraintViolation),
+               "ConstraintViolation");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MovesValueOut) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailingStep() { return Status::Internal("boom"); }
+
+Status UsesReturnIfError() {
+  SENTINEL_RETURN_IF_ERROR(FailingStep());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError().IsInternal());
+}
+
+Result<int> ProducesValue() { return 10; }
+
+Status UsesAssignOrReturn(int* out) {
+  SENTINEL_ASSIGN_OR_RETURN(v, ProducesValue());
+  *out = v + 1;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnBinds) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(&out).ok());
+  EXPECT_EQ(out, 11);
+}
+
+}  // namespace
+}  // namespace sentinel

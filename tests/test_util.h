@@ -1,0 +1,82 @@
+#ifndef SENTINELPP_TESTS_TEST_UTIL_H_
+#define SENTINELPP_TESTS_TEST_UTIL_H_
+
+#include <string>
+
+#include "common/calendar.h"
+#include "common/clock.h"
+#include "core/policy.h"
+#include "core/policy_parser.h"
+#include "event/time_pattern.h"
+#include "gtrbac/periodic_expression.h"
+
+namespace sentinel {
+namespace testutil {
+
+/// A fixed reference instant used across tests: 2026-07-06 12:00:00 UTC
+/// (a Monday, mid-window for 9-to-5 shifts).
+inline Time Noon() { return MakeTime(2026, 7, 6, 12, 0, 0); }
+
+/// Builds a TimePattern for an every-day HH:MM:SS.
+inline TimePattern Daily(int hour, int minute = 0, int second = 0) {
+  return TimePattern(hour, minute, second, TimePattern::kAny,
+                     TimePattern::kAny, TimePattern::kAny);
+}
+
+/// Builds the 10:00-17:00 daily periodic expression from the paper's
+/// Rule 6 footnote.
+inline PeriodicExpression TenToFive() {
+  return *PeriodicExpression::Create(Daily(10), Daily(17));
+}
+
+/// The paper's Section 5 / Figure 1 enterprise XYZ policy: two hierarchy
+/// chains PM -> PC -> Clerk and AM -> AC -> Clerk, static SoD between PC
+/// and AC (inherited upward by PM and AM), and a few users/permissions so
+/// the scenario is executable.
+inline Policy EnterpriseXyzPolicy() {
+  const char* text = R"(
+policy "enterprise-xyz"
+
+role Clerk { permission: read(ledger) }
+role PC { senior-of: Clerk  permission: write(purchase-order) }
+role PM { senior-of: PC  permission: approve(budget-request) }
+role AC { senior-of: Clerk  permission: write(approval) }
+role AM { senior-of: AC  permission: approve(purchase-order) }
+
+ssd SoD1 { roles: PC, AC  n: 2 }
+
+user alice { assign: PM }
+user bob { assign: AC }
+user carol { assign: Clerk }
+)";
+  auto policy = PolicyParser::Parse(text);
+  return *policy;
+}
+
+/// A hospital policy exercising the GTRBAC features: shift-limited
+/// DayDoctor, disabling-time SoD between Doctor and Nurse, duration-bound
+/// OnCall activations.
+inline Policy HospitalPolicy() {
+  const char* text = R"(
+policy "hospital"
+
+role Doctor { permission: read(patient.dat), write(patient.dat) }
+role Nurse { permission: read(patient.dat) }
+role DayDoctor { enable: 08:00:00 - 16:00:00  permission: read(ward.log) }
+role OnCall { max-activation: 2h  permission: write(pager) }
+
+user dave { assign: Doctor, OnCall }
+user nina { assign: Nurse }
+user dana { assign: DayDoctor }
+
+time-sod availability { kind: disabling  roles: Doctor, Nurse
+                        window: 10:00:00 - 17:00:00 }
+)";
+  auto policy = PolicyParser::Parse(text);
+  return *policy;
+}
+
+}  // namespace testutil
+}  // namespace sentinel
+
+#endif  // SENTINELPP_TESTS_TEST_UTIL_H_

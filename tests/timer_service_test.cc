@@ -1,0 +1,106 @@
+#include "event/timer_service.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sentinel {
+namespace {
+
+TEST(TimerServiceTest, FiresInTimeOrder) {
+  TimerService timers;
+  std::vector<int> fired;
+  timers.Schedule(30, [&](TimerId, Time) { fired.push_back(3); });
+  timers.Schedule(10, [&](TimerId, Time) { fired.push_back(1); });
+  timers.Schedule(20, [&](TimerId, Time) { fired.push_back(2); });
+  while (timers.FireDueOne(100)) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimerServiceTest, SameInstantFiresInScheduleOrder) {
+  TimerService timers;
+  std::vector<int> fired;
+  timers.Schedule(10, [&](TimerId, Time) { fired.push_back(1); });
+  timers.Schedule(10, [&](TimerId, Time) { fired.push_back(2); });
+  timers.Schedule(10, [&](TimerId, Time) { fired.push_back(3); });
+  while (timers.FireDueOne(10)) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimerServiceTest, DoesNotFireEarly) {
+  TimerService timers;
+  bool fired = false;
+  timers.Schedule(100, [&](TimerId, Time) { fired = true; });
+  EXPECT_FALSE(timers.FireDueOne(99));
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(timers.FireDueOne(100));
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerServiceTest, CallbackReceivesFireTimeNotNow) {
+  TimerService timers;
+  Time seen = 0;
+  timers.Schedule(50, [&](TimerId, Time t) { seen = t; });
+  EXPECT_TRUE(timers.FireDueOne(500));
+  EXPECT_EQ(seen, 50);
+}
+
+TEST(TimerServiceTest, CancelPreventsFiring) {
+  TimerService timers;
+  bool fired = false;
+  const TimerId id = timers.Schedule(10, [&](TimerId, Time) { fired = true; });
+  timers.Cancel(id);
+  while (timers.FireDueOne(100)) {
+  }
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(timers.pending_count(), 0u);
+}
+
+TEST(TimerServiceTest, CancelIsIdempotentAndSafeAfterFire) {
+  TimerService timers;
+  const TimerId id = timers.Schedule(10, [](TimerId, Time) {});
+  EXPECT_TRUE(timers.FireDueOne(10));
+  timers.Cancel(id);  // Already fired: no-op.
+  timers.Cancel(999);  // Unknown: no-op.
+  EXPECT_FALSE(timers.FireDueOne(100));
+}
+
+TEST(TimerServiceTest, NextFireTimeSkipsCancelled) {
+  TimerService timers;
+  const TimerId early = timers.Schedule(10, [](TimerId, Time) {});
+  timers.Schedule(20, [](TimerId, Time) {});
+  timers.Cancel(early);
+  ASSERT_TRUE(timers.NextFireTime().has_value());
+  EXPECT_EQ(*timers.NextFireTime(), 20);
+}
+
+TEST(TimerServiceTest, NextFireTimeEmpty) {
+  TimerService timers;
+  EXPECT_FALSE(timers.NextFireTime().has_value());
+}
+
+TEST(TimerServiceTest, ReschedulingFromCallback) {
+  TimerService timers;
+  int count = 0;
+  std::function<void(TimerId, Time)> tick = [&](TimerId, Time t) {
+    if (++count < 5) timers.Schedule(t + 10, tick);
+  };
+  timers.Schedule(10, tick);
+  while (timers.FireDueOne(1000)) {
+  }
+  EXPECT_EQ(count, 5);
+}
+
+TEST(TimerServiceTest, PendingCountTracksCancellations) {
+  TimerService timers;
+  const TimerId a = timers.Schedule(10, [](TimerId, Time) {});
+  timers.Schedule(20, [](TimerId, Time) {});
+  EXPECT_EQ(timers.pending_count(), 2u);
+  timers.Cancel(a);
+  EXPECT_EQ(timers.pending_count(), 1u);
+}
+
+}  // namespace
+}  // namespace sentinel

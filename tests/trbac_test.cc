@@ -1,0 +1,49 @@
+#include "baseline/trbac_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/calendar.h"
+#include "tests/test_util.h"
+
+namespace sentinel {
+namespace {
+
+TEST(TrbacBaselineTest, InitialStateFromPeriod) {
+  SimulatedClock clock(testutil::Noon());
+  TrbacBaseline trbac(&clock);
+  trbac.AddEnablingTrigger("Day", testutil::TenToFive());
+  trbac.AddEnablingTrigger(
+      "Night", *PeriodicExpression::Create(testutil::Daily(22),
+                                           testutil::Daily(6)));
+  EXPECT_TRUE(trbac.IsEnabled("Day"));
+  EXPECT_FALSE(trbac.IsEnabled("Night"));
+}
+
+TEST(TrbacBaselineTest, TriggersFireOnAdvance) {
+  SimulatedClock clock(testutil::Noon());
+  TrbacBaseline trbac(&clock);
+  trbac.AddEnablingTrigger("Day", testutil::TenToFive());
+  trbac.AdvanceTo(MakeTime(2026, 7, 6, 18, 0, 0));
+  EXPECT_FALSE(trbac.IsEnabled("Day"));
+  trbac.AdvanceTo(MakeTime(2026, 7, 7, 10, 30, 0));
+  EXPECT_TRUE(trbac.IsEnabled("Day"));
+  EXPECT_EQ(trbac.firings(), 2u);  // 17:00 off, 10:00 on.
+}
+
+TEST(TrbacBaselineTest, ManyDaysManyFirings) {
+  SimulatedClock clock(testutil::Noon());
+  TrbacBaseline trbac(&clock);
+  trbac.AddEnablingTrigger("Day", testutil::TenToFive());
+  trbac.AdvanceTo(testutil::Noon() + 10 * kDay);
+  EXPECT_EQ(trbac.firings(), 20u);  // 2 boundaries per day.
+  EXPECT_TRUE(trbac.IsEnabled("Day"));  // Noon again.
+}
+
+TEST(TrbacBaselineTest, UnknownRoleDefaultsEnabled) {
+  SimulatedClock clock(testutil::Noon());
+  TrbacBaseline trbac(&clock);
+  EXPECT_TRUE(trbac.IsEnabled("Anything"));
+}
+
+}  // namespace
+}  // namespace sentinel
