@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_check_access.dir/bench_check_access.cc.o"
+  "CMakeFiles/bench_check_access.dir/bench_check_access.cc.o.d"
+  "bench_check_access"
+  "bench_check_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_check_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

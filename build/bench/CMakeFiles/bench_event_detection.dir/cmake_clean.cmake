@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_event_detection.dir/bench_event_detection.cc.o"
+  "CMakeFiles/bench_event_detection.dir/bench_event_detection.cc.o.d"
+  "bench_event_detection"
+  "bench_event_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_xyz.dir/bench_fig1_xyz.cc.o"
+  "CMakeFiles/bench_fig1_xyz.dir/bench_fig1_xyz.cc.o.d"
+  "bench_fig1_xyz"
+  "bench_fig1_xyz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_xyz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

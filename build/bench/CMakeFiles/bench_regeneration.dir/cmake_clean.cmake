@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regeneration.dir/bench_regeneration.cc.o"
+  "CMakeFiles/bench_regeneration.dir/bench_regeneration.cc.o.d"
+  "bench_regeneration"
+  "bench_regeneration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regeneration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

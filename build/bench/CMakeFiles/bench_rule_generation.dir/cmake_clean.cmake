@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rule_generation.dir/bench_rule_generation.cc.o"
+  "CMakeFiles/bench_rule_generation.dir/bench_rule_generation.cc.o.d"
+  "bench_rule_generation"
+  "bench_rule_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rule_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

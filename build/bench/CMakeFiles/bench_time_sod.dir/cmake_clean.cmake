@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_time_sod.dir/bench_time_sod.cc.o"
+  "CMakeFiles/bench_time_sod.dir/bench_time_sod.cc.o.d"
+  "bench_time_sod"
+  "bench_time_sod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_time_sod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trbac_compare.dir/bench_trbac_compare.cc.o"
+  "CMakeFiles/bench_trbac_compare.dir/bench_trbac_compare.cc.o.d"
+  "bench_trbac_compare"
+  "bench_trbac_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trbac_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_security_monitor.dir/active_security_monitor.cpp.o"
+  "CMakeFiles/active_security_monitor.dir/active_security_monitor.cpp.o.d"
+  "active_security_monitor"
+  "active_security_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_security_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

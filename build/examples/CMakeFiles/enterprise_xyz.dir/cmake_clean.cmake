@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_xyz.dir/enterprise_xyz.cpp.o"
+  "CMakeFiles/enterprise_xyz.dir/enterprise_xyz.cpp.o.d"
+  "enterprise_xyz"
+  "enterprise_xyz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_xyz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_gtrbac.dir/hospital_gtrbac.cpp.o"
+  "CMakeFiles/hospital_gtrbac.dir/hospital_gtrbac.cpp.o.d"
+  "hospital_gtrbac"
+  "hospital_gtrbac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_gtrbac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

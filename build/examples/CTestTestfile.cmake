@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_enterprise_xyz "/root/repo/build/examples/enterprise_xyz")
+set_tests_properties(example_enterprise_xyz PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hospital_gtrbac "/root/repo/build/examples/hospital_gtrbac")
+set_tests_properties(example_hospital_gtrbac PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_active_security_monitor "/root/repo/build/examples/active_security_monitor")
+set_tests_properties(example_active_security_monitor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_policy_inspector "/root/repo/build/examples/policy_inspector")
+set_tests_properties(example_policy_inspector PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_inspector_xyz "/root/repo/build/examples/policy_inspector" "/root/repo/examples/policies/enterprise_xyz.acp")
+set_tests_properties(example_inspector_xyz PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_inspector_hospital "/root/repo/build/examples/policy_inspector" "/root/repo/examples/policies/hospital.acp")
+set_tests_properties(example_inspector_hospital PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/direct_enforcer.cc" "src/CMakeFiles/sentinelpp.dir/baseline/direct_enforcer.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/baseline/direct_enforcer.cc.o.d"
+  "/root/repo/src/baseline/trbac_baseline.cc" "src/CMakeFiles/sentinelpp.dir/baseline/trbac_baseline.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/baseline/trbac_baseline.cc.o.d"
+  "/root/repo/src/common/calendar.cc" "src/CMakeFiles/sentinelpp.dir/common/calendar.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/common/calendar.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/sentinelpp.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/sentinelpp.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/sentinelpp.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/sentinelpp.dir/common/status.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/common/status.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/sentinelpp.dir/common/value.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/common/value.cc.o.d"
+  "/root/repo/src/core/active_security.cc" "src/CMakeFiles/sentinelpp.dir/core/active_security.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/core/active_security.cc.o.d"
+  "/root/repo/src/core/consistency.cc" "src/CMakeFiles/sentinelpp.dir/core/consistency.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/core/consistency.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/sentinelpp.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/CMakeFiles/sentinelpp.dir/core/policy.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/core/policy.cc.o.d"
+  "/root/repo/src/core/policy_parser.cc" "src/CMakeFiles/sentinelpp.dir/core/policy_parser.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/core/policy_parser.cc.o.d"
+  "/root/repo/src/core/privacy.cc" "src/CMakeFiles/sentinelpp.dir/core/privacy.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/core/privacy.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/sentinelpp.dir/core/report.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/core/report.cc.o.d"
+  "/root/repo/src/core/rule_generator.cc" "src/CMakeFiles/sentinelpp.dir/core/rule_generator.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/core/rule_generator.cc.o.d"
+  "/root/repo/src/event/event.cc" "src/CMakeFiles/sentinelpp.dir/event/event.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/event/event.cc.o.d"
+  "/root/repo/src/event/event_detector.cc" "src/CMakeFiles/sentinelpp.dir/event/event_detector.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/event/event_detector.cc.o.d"
+  "/root/repo/src/event/event_registry.cc" "src/CMakeFiles/sentinelpp.dir/event/event_registry.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/event/event_registry.cc.o.d"
+  "/root/repo/src/event/operator_node.cc" "src/CMakeFiles/sentinelpp.dir/event/operator_node.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/event/operator_node.cc.o.d"
+  "/root/repo/src/event/time_pattern.cc" "src/CMakeFiles/sentinelpp.dir/event/time_pattern.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/event/time_pattern.cc.o.d"
+  "/root/repo/src/event/timer_service.cc" "src/CMakeFiles/sentinelpp.dir/event/timer_service.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/event/timer_service.cc.o.d"
+  "/root/repo/src/gtrbac/periodic_expression.cc" "src/CMakeFiles/sentinelpp.dir/gtrbac/periodic_expression.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/gtrbac/periodic_expression.cc.o.d"
+  "/root/repo/src/gtrbac/role_state.cc" "src/CMakeFiles/sentinelpp.dir/gtrbac/role_state.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/gtrbac/role_state.cc.o.d"
+  "/root/repo/src/gtrbac/temporal_constraint.cc" "src/CMakeFiles/sentinelpp.dir/gtrbac/temporal_constraint.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/gtrbac/temporal_constraint.cc.o.d"
+  "/root/repo/src/rbac/core_api.cc" "src/CMakeFiles/sentinelpp.dir/rbac/core_api.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/rbac/core_api.cc.o.d"
+  "/root/repo/src/rbac/database.cc" "src/CMakeFiles/sentinelpp.dir/rbac/database.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/rbac/database.cc.o.d"
+  "/root/repo/src/rbac/hierarchy.cc" "src/CMakeFiles/sentinelpp.dir/rbac/hierarchy.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/rbac/hierarchy.cc.o.d"
+  "/root/repo/src/rbac/sod.cc" "src/CMakeFiles/sentinelpp.dir/rbac/sod.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/rbac/sod.cc.o.d"
+  "/root/repo/src/rules/rule.cc" "src/CMakeFiles/sentinelpp.dir/rules/rule.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/rules/rule.cc.o.d"
+  "/root/repo/src/rules/rule_manager.cc" "src/CMakeFiles/sentinelpp.dir/rules/rule_manager.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/rules/rule_manager.cc.o.d"
+  "/root/repo/src/workload/policy_gen.cc" "src/CMakeFiles/sentinelpp.dir/workload/policy_gen.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/workload/policy_gen.cc.o.d"
+  "/root/repo/src/workload/request_gen.cc" "src/CMakeFiles/sentinelpp.dir/workload/request_gen.cc.o" "gcc" "src/CMakeFiles/sentinelpp.dir/workload/request_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

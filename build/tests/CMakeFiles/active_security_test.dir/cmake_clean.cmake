@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_security_test.dir/active_security_test.cc.o"
+  "CMakeFiles/active_security_test.dir/active_security_test.cc.o.d"
+  "active_security_test"
+  "active_security_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_security_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

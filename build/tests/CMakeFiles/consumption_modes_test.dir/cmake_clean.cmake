@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consumption_modes_test.dir/consumption_modes_test.cc.o"
+  "CMakeFiles/consumption_modes_test.dir/consumption_modes_test.cc.o.d"
+  "consumption_modes_test"
+  "consumption_modes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consumption_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direct_enforcer_test.dir/direct_enforcer_test.cc.o"
+  "CMakeFiles/direct_enforcer_test.dir/direct_enforcer_test.cc.o.d"
+  "direct_enforcer_test"
+  "direct_enforcer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direct_enforcer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

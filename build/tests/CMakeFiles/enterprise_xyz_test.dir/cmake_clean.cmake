@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_xyz_test.dir/enterprise_xyz_test.cc.o"
+  "CMakeFiles/enterprise_xyz_test.dir/enterprise_xyz_test.cc.o.d"
+  "enterprise_xyz_test"
+  "enterprise_xyz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_xyz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_detector_test.dir/event_detector_test.cc.o"
+  "CMakeFiles/event_detector_test.dir/event_detector_test.cc.o.d"
+  "event_detector_test"
+  "event_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

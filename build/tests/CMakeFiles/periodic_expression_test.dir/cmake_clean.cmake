@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/periodic_expression_test.dir/periodic_expression_test.cc.o"
+  "CMakeFiles/periodic_expression_test.dir/periodic_expression_test.cc.o.d"
+  "periodic_expression_test"
+  "periodic_expression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/periodic_expression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

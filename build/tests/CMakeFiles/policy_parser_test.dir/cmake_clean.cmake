@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_parser_test.dir/policy_parser_test.cc.o"
+  "CMakeFiles/policy_parser_test.dir/policy_parser_test.cc.o.d"
+  "policy_parser_test"
+  "policy_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbac_core_test.dir/rbac_core_test.cc.o"
+  "CMakeFiles/rbac_core_test.dir/rbac_core_test.cc.o.d"
+  "rbac_core_test"
+  "rbac_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbac_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

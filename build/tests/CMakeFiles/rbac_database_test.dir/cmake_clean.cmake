@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbac_database_test.dir/rbac_database_test.cc.o"
+  "CMakeFiles/rbac_database_test.dir/rbac_database_test.cc.o.d"
+  "rbac_database_test"
+  "rbac_database_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbac_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regen_test.dir/regen_test.cc.o"
+  "CMakeFiles/regen_test.dir/regen_test.cc.o.d"
+  "regen_test"
+  "regen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_manager_test.dir/rule_manager_test.cc.o"
+  "CMakeFiles/rule_manager_test.dir/rule_manager_test.cc.o.d"
+  "rule_manager_test"
+  "rule_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoopib_interval_test.dir/snoopib_interval_test.cc.o"
+  "CMakeFiles/snoopib_interval_test.dir/snoopib_interval_test.cc.o.d"
+  "snoopib_interval_test"
+  "snoopib_interval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoopib_interval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod_test.dir/sod_test.cc.o"
+  "CMakeFiles/sod_test.dir/sod_test.cc.o.d"
+  "sod_test"
+  "sod_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trbac_test.dir/trbac_test.cc.o"
+  "CMakeFiles/trbac_test.dir/trbac_test.cc.o.d"
+  "trbac_test"
+  "trbac_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trbac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
