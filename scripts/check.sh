@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, test — then repeat under ASan/UBSan.
+#
+# Usage: scripts/check.sh [--no-sanitize]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+echo "== Tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+if [[ "${1:-}" == "--no-sanitize" ]]; then
+  echo "== Skipping sanitizer pass =="
+  exit 0
+fi
+
+echo "== Sanitizer pass: address,undefined =="
+cmake -B build-asan -S . -DSENTINELPP_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build build-asan -j"$JOBS"
+ctest --test-dir build-asan --output-on-failure -j"$JOBS"
+
+echo "== All checks passed =="

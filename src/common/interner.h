@@ -1,0 +1,215 @@
+#ifndef SENTINELPP_COMMON_INTERNER_H_
+#define SENTINELPP_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <new>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/symbol.h"
+#include "common/value.h"
+
+namespace sentinel {
+
+/// \brief Maps strings to dense 32-bit Symbol ids, with stable reverse lookup.
+///
+/// Each engine owns one SymbolTable and shares it with its detector, RBAC
+/// database and role-state table, so a name interned once at policy-load time
+/// is an integer everywhere on the request path. Interned strings are never
+/// released; NameOf references stay valid for the table's lifetime.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Returns the symbol for `name`, interning it if new. O(1) amortized.
+  Symbol Intern(std::string_view name);
+
+  /// Returns the symbol for `name`, or an invalid symbol if never interned.
+  Symbol Find(std::string_view name) const;
+
+  /// Reverse lookup. Invalid/out-of-range symbols map to the empty string.
+  const std::string& NameOf(Symbol s) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  // Deque keeps element addresses stable across growth, so index_ can key on
+  // string_views into the stored names without re-pointing on rehash.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, uint32_t> index_;
+};
+
+/// \brief A small sorted flat map from Symbol to Value.
+///
+/// Replaces `std::map<std::string, Value>` for event occurrence parameters.
+/// Param maps carry at most a handful of entries (user/session/role/...), so
+/// a sorted inline vector beats a node-based map on every raise, merge and
+/// compare; entries spill to the heap only past kInlineCapacity. Keys are
+/// unique and kept sorted by symbol id, which makes equality and subset
+/// checks a linear merge.
+///
+/// The inline slots are raw storage: only the `size_` live entries are ever
+/// constructed, so default construction, destruction and copies of the
+/// mostly-small maps that ride on every Occurrence cost exactly what their
+/// content costs. After a spill every entry lives in `heap_` and no inline
+/// slot is constructed; entries never move back inline.
+class FlatParamMap {
+ public:
+  struct Entry {
+    Symbol key;
+    Value value;
+
+    friend bool operator==(const Entry& a, const Entry& b) {
+      return a.key == b.key && a.value == b.value;
+    }
+  };
+
+  static constexpr size_t kInlineCapacity = 6;
+
+  FlatParamMap() = default;
+  FlatParamMap(std::initializer_list<Entry> entries) {
+    for (const Entry& e : entries) Set(e.key, e.value);
+  }
+
+  FlatParamMap(const FlatParamMap& other) { CopyFrom(other); }
+  FlatParamMap& operator=(const FlatParamMap& other) {
+    if (this != &other) {
+      Reset();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  FlatParamMap(FlatParamMap&& other) noexcept { MoveFrom(std::move(other)); }
+  FlatParamMap& operator=(FlatParamMap&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  ~FlatParamMap() {
+    if (!spilled()) DestroyInline(size_);
+  }
+
+  /// Inserts or overwrites (latest write wins, as with std::map::operator[]).
+  void Set(Symbol key, Value value);
+
+  /// Returns the entry for `key`, or nullptr.
+  const Value* Find(Symbol key) const;
+
+  /// Returns the value for `key`, or a null Value if absent.
+  const Value& Get(Symbol key) const;
+
+  bool Contains(Symbol key) const { return Find(key) != nullptr; }
+
+  /// True when every entry of `sub` is present here with an equal value.
+  bool ContainsAll(const FlatParamMap& sub) const;
+
+  /// Overlays `overlay` onto this map; on key conflicts the overlay wins.
+  /// Matches the seed's MergeParams semantics (later constituent wins).
+  void MergeFrom(const FlatParamMap& overlay);
+
+  /// Replaces every string-typed value with its interned symbol. The engine
+  /// canonicalizes params at the raise boundary so that inside the detector
+  /// and rule layers a name is always a Symbol, never a std::string.
+  void InternStringValues(SymbolTable& symbols);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const Entry* begin() const { return data(); }
+  const Entry* end() const { return data() + size_; }
+
+  friend bool operator==(const FlatParamMap& a, const FlatParamMap& b) {
+    if (a.size_ != b.size_) return false;
+    const Entry* pa = a.data();
+    const Entry* pb = b.data();
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (!(pa[i] == pb[i])) return false;
+    }
+    return true;
+  }
+
+  /// String-keyed conveniences for tests and debugging (resolve through the
+  /// table; absent or never-interned keys yield the null-Value fallbacks).
+  const Value& Get(const SymbolTable& symbols, std::string_view key) const;
+  /// Returns the string form of a string/symbol value, or "" if absent.
+  const std::string& GetString(const SymbolTable& symbols,
+                               std::string_view key) const;
+
+  /// Renders as `{a=1, b="x"}` with entries sorted by key name and symbol
+  /// values resolved, matching ParamMapToString output for equal content.
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  bool spilled() const { return size_ > kInlineCapacity; }
+  Entry* inline_data() {
+    return std::launder(reinterpret_cast<Entry*>(inline_storage_));
+  }
+  const Entry* inline_data() const {
+    return std::launder(reinterpret_cast<const Entry*>(inline_storage_));
+  }
+  const Entry* data() const { return spilled() ? heap_.data() : inline_data(); }
+  Entry* data() { return spilled() ? heap_.data() : inline_data(); }
+
+  void DestroyInline(size_t count) {
+    Entry* p = inline_data();
+    for (size_t i = 0; i < count; ++i) p[i].~Entry();
+  }
+  /// Destroys all content; leaves *this empty (heap capacity retained).
+  void Reset() {
+    if (!spilled()) DestroyInline(size_);
+    heap_.clear();
+    size_ = 0;
+  }
+  /// Requires *this empty.
+  void CopyFrom(const FlatParamMap& other) {
+    if (other.spilled()) {
+      heap_ = other.heap_;
+    } else {
+      Entry* dst = inline_data();
+      const Entry* src = other.inline_data();
+      for (size_t i = 0; i < other.size_; ++i) new (dst + i) Entry(src[i]);
+    }
+    size_ = other.size_;
+  }
+  /// Requires *this empty; leaves `other` empty.
+  void MoveFrom(FlatParamMap&& other) noexcept {
+    if (other.spilled()) {
+      heap_ = std::move(other.heap_);
+      other.heap_.clear();
+    } else {
+      Entry* dst = inline_data();
+      Entry* src = other.inline_data();
+      for (size_t i = 0; i < other.size_; ++i) {
+        new (dst + i) Entry(std::move(src[i]));
+        src[i].~Entry();
+      }
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
+  alignas(Entry) unsigned char inline_storage_[kInlineCapacity * sizeof(Entry)];
+  std::vector<Entry> heap_;
+  size_t size_ = 0;
+};
+
+/// Interns a string-keyed ParamMap: keys become symbols and string values
+/// become symbol values. The boundary conversion for definition-time filters
+/// and test raises.
+FlatParamMap InternParams(SymbolTable& symbols, const ParamMap& params);
+
+/// Converts back to a string-keyed map, resolving symbol values to string
+/// values. For introspection and tests only; never on the request path.
+ParamMap ExternParams(const SymbolTable& symbols, const FlatParamMap& params);
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_COMMON_INTERNER_H_

@@ -1,0 +1,48 @@
+#ifndef SENTINELPP_COMMON_SYMBOL_H_
+#define SENTINELPP_COMMON_SYMBOL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace sentinel {
+
+/// \brief A dense interned-string id.
+///
+/// Symbols are handed out by a SymbolTable: the first distinct string interned
+/// gets id 0, the next id 1, and so on. They are cheap to copy, hash and
+/// compare, which makes them the key type for every hot-path map in the
+/// engine (occurrence parameters, the filter fast-path index, RBAC relation
+/// lookups). A default-constructed Symbol is invalid and never equal to any
+/// interned symbol.
+class Symbol {
+ public:
+  static constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
+
+  constexpr Symbol() : id_(kInvalidId) {}
+  constexpr explicit Symbol(uint32_t id) : id_(id) {}
+
+  constexpr uint32_t id() const { return id_; }
+  constexpr bool valid() const { return id_ != kInvalidId; }
+
+  friend constexpr bool operator==(Symbol a, Symbol b) {
+    return a.id_ == b.id_;
+  }
+  friend constexpr bool operator!=(Symbol a, Symbol b) {
+    return a.id_ != b.id_;
+  }
+  friend constexpr bool operator<(Symbol a, Symbol b) { return a.id_ < b.id_; }
+
+ private:
+  uint32_t id_;
+};
+
+}  // namespace sentinel
+
+template <>
+struct std::hash<sentinel::Symbol> {
+  size_t operator()(sentinel::Symbol s) const noexcept {
+    return std::hash<uint32_t>()(s.id());
+  }
+};
+
+#endif  // SENTINELPP_COMMON_SYMBOL_H_

@@ -33,6 +33,11 @@ const std::string& Value::AsString() const {
   return kEmpty;
 }
 
+Symbol Value::AsSymbol() const {
+  if (const Symbol* s = std::get_if<Symbol>(&v_)) return *s;
+  return Symbol();
+}
+
 std::string Value::ToString() const {
   std::ostringstream os;
   if (is_null()) {
@@ -43,6 +48,8 @@ std::string Value::ToString() const {
     os << AsInt();
   } else if (is_double()) {
     os << AsDouble();
+  } else if (is_symbol()) {
+    os << '@' << AsSymbol().id();
   } else {
     os << '"' << AsString() << '"';
   }

@@ -6,6 +6,8 @@
 #include <string>
 #include <variant>
 
+#include "common/symbol.h"
+
 namespace sentinel {
 
 /// Microseconds since the Unix epoch (UTC, no leap seconds). All event
@@ -36,18 +38,21 @@ class Value {
   explicit Value(double d) : v_(d) {}
   explicit Value(std::string s) : v_(std::move(s)) {}
   explicit Value(const char* s) : v_(std::string(s)) {}
+  explicit Value(Symbol s) : v_(s) {}
 
   bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
   bool is_bool() const { return std::holds_alternative<bool>(v_); }
   bool is_int() const { return std::holds_alternative<int64_t>(v_); }
   bool is_double() const { return std::holds_alternative<double>(v_); }
   bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_symbol() const { return std::holds_alternative<Symbol>(v_); }
 
   /// Typed accessors; return the fallback when the alternative differs.
   bool AsBool(bool fallback = false) const;
   int64_t AsInt(int64_t fallback = 0) const;
   double AsDouble(double fallback = 0.0) const;
   const std::string& AsString() const;  // empty string fallback
+  Symbol AsSymbol() const;              // invalid symbol fallback
 
   std::string ToString() const;
 
@@ -56,7 +61,7 @@ class Value {
   }
 
  private:
-  std::variant<std::monostate, bool, int64_t, double, std::string> v_;
+  std::variant<std::monostate, bool, int64_t, double, std::string, Symbol> v_;
 };
 
 /// Ordered name -> value parameter map attached to event occurrences.

@@ -4,14 +4,20 @@
 
 namespace sentinel {
 
-namespace {
-
-Value V(const std::string& s) { return Value(s); }
-
-}  // namespace
-
 AuthorizationEngine::AuthorizationEngine(SimulatedClock* clock)
-    : clock_(clock), detector_(clock), rules_(&detector_) {
+    : clock_(clock),
+      detector_(clock, &symbols_),
+      rules_(&detector_),
+      rbac_(&symbols_),
+      role_state_(&symbols_) {
+  keys_.user = symbols_.Intern(kUser);
+  keys_.session = symbols_.Intern(kSession);
+  keys_.role = symbols_.Intern(kRole);
+  keys_.operation = symbols_.Intern(kOperation);
+  keys_.object = symbols_.Intern(kObject);
+  keys_.purpose = symbols_.Intern(kPurpose);
+  keys_.context_key = symbols_.Intern("key");
+  keys_.context_value = symbols_.Intern("value");
   rules_.set_engine(this);
   // Each independent trigger (request or timer firing) gets a fresh
   // cascade budget once its own cascade has fully drained.
@@ -210,11 +216,11 @@ Status AuthorizationEngine::ReconcileBaseState(const Policy& from,
   return Status::OK();
 }
 
-Decision AuthorizationEngine::Dispatch(EventId event, ParamMap params) {
+Decision AuthorizationEngine::Dispatch(EventId event, FlatParamMap params) {
   Decision decision;
   {
     ScopedDecision scope(&rules_, &decision);
-    (void)detector_.Raise(event, std::move(params));
+    (void)detector_.RaiseInterned(event, std::move(params));
   }
   if (!decision.decided) {
     // Fail-safe default: requests no rule adjudicates are denied.
@@ -242,57 +248,68 @@ void AuthorizationEngine::set_decision_log_capacity(size_t capacity) {
 Decision AuthorizationEngine::CreateSession(const UserName& user,
                                             const SessionId& session) {
   return Dispatch(events_.create_session,
-                  {{kUser, V(user)}, {kSession, V(session)}});
+                  {{keys_.user, Value(symbols_.Intern(user))},
+                   {keys_.session, Value(symbols_.Intern(session))}});
 }
 
 Decision AuthorizationEngine::DeleteSession(const SessionId& session) {
-  return Dispatch(events_.delete_session, {{kSession, V(session)}});
+  return Dispatch(events_.delete_session,
+                  {{keys_.session, Value(symbols_.Intern(session))}});
 }
 
 Decision AuthorizationEngine::AddActiveRole(const UserName& user,
                                             const SessionId& session,
                                             const RoleName& role) {
-  return Dispatch(
-      events_.add_active_role,
-      {{kUser, V(user)}, {kSession, V(session)}, {kRole, V(role)}});
+  return Dispatch(events_.add_active_role,
+                  {{keys_.user, Value(symbols_.Intern(user))},
+                   {keys_.session, Value(symbols_.Intern(session))},
+                   {keys_.role, Value(symbols_.Intern(role))}});
 }
 
 Decision AuthorizationEngine::DropActiveRole(const UserName& user,
                                              const SessionId& session,
                                              const RoleName& role) {
-  return Dispatch(
-      events_.drop_active_role,
-      {{kUser, V(user)}, {kSession, V(session)}, {kRole, V(role)}});
+  return Dispatch(events_.drop_active_role,
+                  {{keys_.user, Value(symbols_.Intern(user))},
+                   {keys_.session, Value(symbols_.Intern(session))},
+                   {keys_.role, Value(symbols_.Intern(role))}});
 }
 
 Decision AuthorizationEngine::CheckAccess(const SessionId& session,
                                           const OperationName& op,
                                           const ObjectName& obj,
                                           const PurposeName& purpose) {
-  ParamMap params = {{kSession, V(session)},
-                     {kOperation, V(op)},
-                     {kObject, V(obj)}};
-  if (!purpose.empty()) params[kPurpose] = V(purpose);
+  FlatParamMap params = {{keys_.session, Value(symbols_.Intern(session))},
+                         {keys_.operation, Value(symbols_.Intern(op))},
+                         {keys_.object, Value(symbols_.Intern(obj))}};
+  if (!purpose.empty()) {
+    params.Set(keys_.purpose, Value(symbols_.Intern(purpose)));
+  }
   return Dispatch(events_.check_access, std::move(params));
 }
 
 Decision AuthorizationEngine::AssignUser(const UserName& user,
                                          const RoleName& role) {
-  return Dispatch(events_.assign_user, {{kUser, V(user)}, {kRole, V(role)}});
+  return Dispatch(events_.assign_user,
+                  {{keys_.user, Value(symbols_.Intern(user))},
+                   {keys_.role, Value(symbols_.Intern(role))}});
 }
 
 Decision AuthorizationEngine::DeassignUser(const UserName& user,
                                            const RoleName& role) {
   return Dispatch(events_.deassign_user,
-                  {{kUser, V(user)}, {kRole, V(role)}});
+                  {{keys_.user, Value(symbols_.Intern(user))},
+                   {keys_.role, Value(symbols_.Intern(role))}});
 }
 
 Decision AuthorizationEngine::EnableRole(const RoleName& role) {
-  return Dispatch(events_.enable_role, {{kRole, V(role)}});
+  return Dispatch(events_.enable_role,
+                  {{keys_.role, Value(symbols_.Intern(role))}});
 }
 
 Decision AuthorizationEngine::DisableRole(const RoleName& role) {
-  return Dispatch(events_.disable_role, {{kRole, V(role)}});
+  return Dispatch(events_.disable_role,
+                  {{keys_.role, Value(symbols_.Intern(role))}});
 }
 
 void AuthorizationEngine::AdvanceTo(Time t) {
@@ -302,8 +319,10 @@ void AuthorizationEngine::AdvanceTo(Time t) {
 void AuthorizationEngine::SetContext(const std::string& key,
                                      const std::string& value) {
   context_[key] = value;
-  (void)detector_.Raise(events_.context_changed,
-                        {{"key", V(key)}, {"value", V(value)}});
+  (void)detector_.RaiseInterned(
+      events_.context_changed,
+      {{keys_.context_key, Value(symbols_.Intern(key))},
+       {keys_.context_value, Value(symbols_.Intern(value))}});
 }
 
 const std::string& AuthorizationEngine::ContextValue(
@@ -326,10 +345,14 @@ Status AuthorizationEngine::ForceDeactivate(const UserName& user,
                                             const SessionId& session,
                                             const RoleName& role) {
   SENTINEL_RETURN_IF_ERROR(rbac_.db().DropSessionRole(session, role));
-  CancelDurationTimers({{kSession, V(session)}, {kRole, V(role)}});
-  return detector_.Raise(
-      events_.session_role_dropped,
-      {{kUser, V(user)}, {kSession, V(session)}, {kRole, V(role)}});
+  const Value user_v(symbols_.Intern(user));
+  const Value session_v(symbols_.Intern(session));
+  const Value role_v(symbols_.Intern(role));
+  CancelDurationTimers({{keys_.session, session_v}, {keys_.role, role_v}});
+  return detector_.RaiseInterned(events_.session_role_dropped,
+                                 {{keys_.user, user_v},
+                                  {keys_.session, session_v},
+                                  {keys_.role, role_v}});
 }
 
 int AuthorizationEngine::DeactivateAllInstances(const RoleName& role) {
@@ -412,10 +435,10 @@ void AuthorizationEngine::RegisterDurationEvent(EventId plus_event) {
   duration_events_.push_back(plus_event);
 }
 
-void AuthorizationEngine::CancelDurationTimers(const ParamMap& match) {
+void AuthorizationEngine::CancelDurationTimers(const FlatParamMap& match) {
   for (EventId event : duration_events_) {
     if (detector_.IsDeactivated(event)) continue;
-    (void)detector_.CancelPendingPlus(event, match);
+    (void)detector_.CancelPendingPlusInterned(event, match);
   }
 }
 

@@ -62,6 +62,19 @@ class AuthorizationEngine {
   static constexpr const char* kObject = "object";
   static constexpr const char* kPurpose = "purpose";
 
+  /// The same keys pre-interned in the engine's symbol table — what the
+  /// dispatch path and generated rules use instead of the string literals.
+  struct ParamKeys {
+    Symbol user;
+    Symbol session;
+    Symbol role;
+    Symbol operation;
+    Symbol object;
+    Symbol purpose;
+    Symbol context_key;    // "key" on rbac.contextChanged.
+    Symbol context_value;  // "value" on rbac.contextChanged.
+  };
+
   /// Core primitive events, defined at construction.
   struct CoreEvents {
     EventId create_session = kInvalidEventId;
@@ -154,6 +167,9 @@ class AuthorizationEngine {
   RuleManager& rule_manager() { return rules_; }
   const RuleManager& rule_manager() const { return rules_; }
   const CoreEvents& events() const { return events_; }
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+  const ParamKeys& keys() const { return keys_; }
 
   /// Drops `role` from `session` outside a user request (duration expiry,
   /// shift end, cascade), raising the post-state event.
@@ -180,12 +196,13 @@ class AuthorizationEngine {
   /// Registers a duration-expiry PLUS event so session teardown can cancel
   /// its pending expiries. Called by the rule generator.
   void RegisterDurationEvent(EventId plus_event);
-  /// Cancels pending duration expiries matching `match`.
-  void CancelDurationTimers(const ParamMap& match);
+  /// Cancels pending duration expiries matching `match` (symbol-keyed).
+  void CancelDurationTimers(const FlatParamMap& match);
 
-  /// Raises a primitive event (used by rule actions for cascades).
-  Status RaiseEvent(EventId event, ParamMap params) {
-    return detector_.Raise(event, std::move(params));
+  /// Raises a primitive event (used by rule actions for cascades). Params
+  /// are symbol-keyed; name values must already be interned.
+  Status RaiseEvent(EventId event, FlatParamMap params) {
+    return detector_.RaiseInterned(event, std::move(params));
   }
 
   // ------------------------------------------------------ Introspection
@@ -204,11 +221,15 @@ class AuthorizationEngine {
  private:
   /// Raises `event` with a fresh Decision installed; applies the default
   /// deny when no rule decided.
-  Decision Dispatch(EventId event, ParamMap params);
+  Decision Dispatch(EventId event, FlatParamMap params);
 
   Status ReconcileBaseState(const Policy& from, const Policy& to);
 
   SimulatedClock* clock_;  // Not owned.
+  /// Shared by the detector, RBAC base and role-state table; declared
+  /// first so it outlives every component that holds a pointer to it.
+  SymbolTable symbols_;
+  ParamKeys keys_;
   EventDetector detector_;
   RuleManager rules_;
   RbacSystem rbac_;

@@ -232,6 +232,9 @@ Status RuleGenerator::GenerateGlobalRules(const Policy& policy) {
   (void)policy;  // Global rule conditions read engine_->policy() live.
   AuthorizationEngine* eng = engine_;
   const auto& ev = eng->events();
+  // Copied into the condition lambdas: parameter lookups and RBAC
+  // predicates then run entirely on interned symbols.
+  const AuthorizationEngine::ParamKeys k = eng->keys();
   const std::string tag = "global";
 
   using O = Rule::Options;
@@ -242,19 +245,19 @@ Status RuleGenerator::GenerateGlobalRules(const Policy& policy) {
               O{0, true, RuleClass::kAdministrative,
                 RuleGranularity::kGlobalized});
     rule.When("user IN userL",
-              [eng](RuleContext& c) {
-                return eng->rbac().db().HasUser(c.ParamString("user"));
+              [eng, k](RuleContext& c) {
+                return eng->rbac().db().HasUser(c.ParamSym(k.user));
               })
         .When("sessionId valid and NOT IN sessionL",
-              [eng](RuleContext& c) {
-                const SessionId session = c.ParamString("session");
-                return !session.empty() &&
-                       !eng->rbac().db().HasSession(session);
+              [eng, k](RuleContext& c) {
+                // Empty ids intern like any name; reject by spelling.
+                return !c.ParamString(k.session).empty() &&
+                       !eng->rbac().db().HasSession(c.ParamSym(k.session));
               })
         .Then("createSession(user, sessionId)",
-              [eng](RuleContext& c) {
-                (void)eng->rbac().db().CreateSession(c.ParamString("user"),
-                                                     c.ParamString("session"));
+              [eng, k](RuleContext& c) {
+                (void)eng->rbac().db().CreateSession(
+                    c.ParamString(k.user), c.ParamString(k.session));
                 AllowDecision(c, "ADM.createSession");
               })
         .Else("raise error \"Cannot Create Session\"", [](RuleContext& c) {
@@ -269,12 +272,12 @@ Status RuleGenerator::GenerateGlobalRules(const Policy& policy) {
               O{0, true, RuleClass::kAdministrative,
                 RuleGranularity::kGlobalized});
     rule.When("sessionId IN sessionL",
-              [eng](RuleContext& c) {
-                return eng->rbac().db().HasSession(c.ParamString("session"));
+              [eng, k](RuleContext& c) {
+                return eng->rbac().db().HasSession(c.ParamSym(k.session));
               })
         .Then("deactivate roles; deleteSession(sessionId)",
-              [eng](RuleContext& c) {
-                const SessionId session = c.ParamString("session");
+              [eng, k](RuleContext& c) {
+                const SessionId session = c.ParamString(k.session);
                 auto info = eng->rbac().db().GetSession(session);
                 if (info.ok()) {
                   const UserName user = (*info)->user;
@@ -298,27 +301,27 @@ Status RuleGenerator::GenerateGlobalRules(const Policy& policy) {
               O{0, true, RuleClass::kAdministrative,
                 RuleGranularity::kGlobalized});
     rule.When("user IN userL",
-              [eng](RuleContext& c) {
-                return eng->rbac().db().HasUser(c.ParamString("user"));
+              [eng, k](RuleContext& c) {
+                return eng->rbac().db().HasUser(c.ParamSym(k.user));
               })
         .When("role IN roleL",
-              [eng](RuleContext& c) {
-                return eng->rbac().db().HasRole(c.ParamString("role"));
+              [eng, k](RuleContext& c) {
+                return eng->rbac().db().HasRole(c.ParamSym(k.role));
               })
         .When("user NOT assigned to role",
-              [eng](RuleContext& c) {
-                return !eng->rbac().db().IsAssigned(c.ParamString("user"),
-                                                    c.ParamString("role"));
+              [eng, k](RuleContext& c) {
+                return !eng->rbac().db().IsAssigned(c.ParamSym(k.user),
+                                                    c.ParamSym(k.role));
               })
         .When("checkStaticSoDSet(user, role)",
-              [eng](RuleContext& c) {
-                return eng->rbac().SsdSatisfiedWith(c.ParamString("user"),
-                                                    c.ParamString("role"));
+              [eng, k](RuleContext& c) {
+                return eng->rbac().SsdSatisfiedWith(c.ParamString(k.user),
+                                                    c.ParamString(k.role));
               })
         .Then("assignUser(user, role)",
-              [eng](RuleContext& c) {
-                (void)eng->rbac().db().Assign(c.ParamString("user"),
-                                              c.ParamString("role"));
+              [eng, k](RuleContext& c) {
+                (void)eng->rbac().db().Assign(c.ParamString(k.user),
+                                              c.ParamString(k.role));
                 AllowDecision(c, "ADM.assign");
               })
         .Else("raise error \"Cannot Assign\"", [](RuleContext& c) {
@@ -333,18 +336,18 @@ Status RuleGenerator::GenerateGlobalRules(const Policy& policy) {
               O{0, true, RuleClass::kAdministrative,
                 RuleGranularity::kGlobalized});
     rule.When("user IN userL",
-              [eng](RuleContext& c) {
-                return eng->rbac().db().HasUser(c.ParamString("user"));
+              [eng, k](RuleContext& c) {
+                return eng->rbac().db().HasUser(c.ParamSym(k.user));
               })
         .When("user assigned to role",
-              [eng](RuleContext& c) {
-                return eng->rbac().db().IsAssigned(c.ParamString("user"),
-                                                   c.ParamString("role"));
+              [eng, k](RuleContext& c) {
+                return eng->rbac().db().IsAssigned(c.ParamSym(k.user),
+                                                   c.ParamSym(k.role));
               })
         .Then("deassignUser(user, role); drop unauthorized active roles",
-              [eng](RuleContext& c) {
-                const UserName user = c.ParamString("user");
-                const RoleName role = c.ParamString("role");
+              [eng, k](RuleContext& c) {
+                const UserName user = c.ParamString(k.user);
+                const RoleName role = c.ParamString(k.role);
                 (void)eng->rbac().db().Deassign(user, role);
                 // Active instances that lost their authorization fall away.
                 for (const SessionId& session :
@@ -372,24 +375,25 @@ Status RuleGenerator::GenerateGlobalRules(const Policy& policy) {
               O{0, true, RuleClass::kActivityControl,
                 RuleGranularity::kGlobalized});
     rule.When("sessionId IN sessionL",
-              [eng](RuleContext& c) {
-                return eng->rbac().db().HasSession(c.ParamString("session"));
+              [eng, k](RuleContext& c) {
+                return eng->rbac().db().HasSession(c.ParamSym(k.session));
               })
         .When("sessionId IN checkUserSessions(user)",
-              [eng](RuleContext& c) {
-                auto info = eng->rbac().db().GetSession(c.ParamString("session"));
-                return info.ok() && (*info)->user == c.ParamString("user");
+              [eng, k](RuleContext& c) {
+                const auto* state =
+                    eng->rbac().db().GetSessionState(c.ParamSym(k.session));
+                return state != nullptr && state->user == c.ParamSym(k.user);
               })
         .When("role IN checkSessionRoles(sessionId)",
-              [eng](RuleContext& c) {
+              [eng, k](RuleContext& c) {
                 return eng->rbac().db().IsSessionRoleActive(
-                    c.ParamString("session"), c.ParamString("role"));
+                    c.ParamSym(k.session), c.ParamSym(k.role));
               })
         .Then("dropSessionRole(sessionId, role)",
-              [eng](RuleContext& c) {
-                (void)eng->ForceDeactivate(c.ParamString("user"),
-                                           c.ParamString("session"),
-                                           c.ParamString("role"));
+              [eng, k](RuleContext& c) {
+                (void)eng->ForceDeactivate(c.ParamString(k.user),
+                                           c.ParamString(k.session),
+                                           c.ParamString(k.role));
                 AllowDecision(c, "GLOB.drop");
               })
         .Else("raise error \"Cannot Deactivate\"", [](RuleContext& c) {
@@ -404,39 +408,38 @@ Status RuleGenerator::GenerateGlobalRules(const Policy& policy) {
               O{0, true, RuleClass::kActivityControl,
                 RuleGranularity::kGlobalized});
     rule.When("sessionId IN sessionL",
-              [eng](RuleContext& c) {
-                return eng->rbac().db().HasSession(c.ParamString("session"));
+              [eng, k](RuleContext& c) {
+                return eng->rbac().db().HasSession(c.ParamSym(k.session));
               })
         .When("operation IN opsL",
-              [eng](RuleContext& c) {
-                return eng->rbac().db().HasOperation(
-                    c.ParamString("operation"));
+              [eng, k](RuleContext& c) {
+                return eng->rbac().db().HasOperation(c.ParamSym(k.operation));
               })
         .When("object IN objL",
-              [eng](RuleContext& c) {
-                return eng->rbac().db().HasObject(c.ParamString("object"));
+              [eng, k](RuleContext& c) {
+                return eng->rbac().db().HasObject(c.ParamSym(k.object));
               })
         .When("ANY role IN getSessionRoles has checkPermissions",
-              [eng](RuleContext& c) {
-                auto verdict = eng->rbac().CheckAccess(
-                    c.ParamString("session"), c.ParamString("operation"),
-                    c.ParamString("object"));
+              [eng, k](RuleContext& c) {
+                auto verdict = eng->rbac().CheckAccess(c.ParamSym(k.session),
+                                                       c.ParamSym(k.operation),
+                                                       c.ParamSym(k.object));
                 return verdict.ok() && *verdict;
               })
         .When("purpose permitted by object policy",
-              [eng](RuleContext& c) {
+              [eng, k](RuleContext& c) {
                 return eng->privacy().AccessPermitted(
-                    c.ParamString("object"), c.ParamString("purpose"));
+                    c.ParamString(k.object), c.ParamString(k.purpose));
               })
         .Then("allow access",
               [](RuleContext& c) { AllowDecision(c, "CA.global"); })
-        .Else("raise error \"Permission Denied\"", [eng](RuleContext& c) {
+        .Else("raise error \"Permission Denied\"", [eng, k](RuleContext& c) {
           DenyDecision(c, "CA.global", "Permission Denied");
           (void)eng->RaiseEvent(
               eng->events().access_denied,
-              {{"session", V(c.ParamString("session"))},
-               {"operation", V(c.ParamString("operation"))},
-               {"object", V(c.ParamString("object"))}});
+              {{k.session, Value(c.ParamSym(k.session))},
+               {k.operation, Value(c.ParamSym(k.operation))},
+               {k.object, Value(c.ParamSym(k.object))}});
         });
     SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
   }
@@ -447,27 +450,26 @@ Status RuleGenerator::GenerateGlobalRules(const Policy& policy) {
               O{0, true, RuleClass::kActivityControl,
                 RuleGranularity::kGlobalized});
     rule.When("role IN roleL",
-              [eng](RuleContext& c) {
-                return eng->rbac().db().HasRole(c.ParamString("role"));
+              [eng, k](RuleContext& c) {
+                return eng->rbac().db().HasRole(c.ParamSym(k.role));
               })
         .When("role is not a CFD trigger",
-              [eng](RuleContext& c) {
-                return !eng->IsCfdTrigger(c.ParamString("role"));
+              [eng, k](RuleContext& c) {
+                return !eng->IsCfdTrigger(c.ParamString(k.role));
               })
         .When("enabling-time SoD satisfied",
-              [eng](RuleContext& c) {
-                return eng->EnableTsodOk(c.ParamString("role"));
+              [eng, k](RuleContext& c) {
+                return eng->EnableTsodOk(c.ParamString(k.role));
               })
         .Then("enableRole(role)",
-              [eng](RuleContext& c) {
-                const RoleName role = c.ParamString("role");
-                eng->role_state().Enable(role, eng->Now());
+              [eng, k](RuleContext& c) {
+                eng->role_state().Enable(c.ParamString(k.role), eng->Now());
                 AllowDecision(c, "GLOB.enable");
                 (void)eng->RaiseEvent(eng->events().role_enabled,
-                                      {{"role", V(role)}});
+                                      {{k.role, Value(c.ParamSym(k.role))}});
               })
-        .Else("deny or defer to CFD rule", [eng](RuleContext& c) {
-          const RoleName role = c.ParamString("role");
+        .Else("deny or defer to CFD rule", [eng, k](RuleContext& c) {
+          const RoleName role = c.ParamString(k.role);
           if (!eng->rbac().db().HasRole(role)) {
             DenyDecision(c, "GLOB.enable", "No Such Role");
           } else if (eng->IsCfdTrigger(role)) {
@@ -486,25 +488,25 @@ Status RuleGenerator::GenerateGlobalRules(const Policy& policy) {
               O{0, true, RuleClass::kActivityControl,
                 RuleGranularity::kGlobalized});
     rule.When("role IN roleL",
-              [eng](RuleContext& c) {
-                return eng->rbac().db().HasRole(c.ParamString("role"));
+              [eng, k](RuleContext& c) {
+                return eng->rbac().db().HasRole(c.ParamSym(k.role));
               })
         .When("no disabling-time SoD window in effect",
-              [eng](RuleContext& c) {
-                return !eng->TsodGuardedNow(c.ParamString("role"),
+              [eng, k](RuleContext& c) {
+                return !eng->TsodGuardedNow(c.ParamString(k.role),
                                             TimeSodKind::kDisabling);
               })
         .Then("disableRole(role)",
-              [eng](RuleContext& c) {
-                const RoleName role = c.ParamString("role");
+              [eng, k](RuleContext& c) {
+                const RoleName role = c.ParamString(k.role);
                 eng->role_state().Disable(role, eng->Now());
                 eng->DeactivateAllInstances(role);
                 AllowDecision(c, "GLOB.disable");
                 (void)eng->RaiseEvent(eng->events().role_disabled,
-                                      {{"role", V(role)}});
+                                      {{k.role, Value(c.ParamSym(k.role))}});
               })
-        .Else("deny or defer to TSOD rule", [eng](RuleContext& c) {
-          const RoleName role = c.ParamString("role");
+        .Else("deny or defer to TSOD rule", [eng, k](RuleContext& c) {
+          const RoleName role = c.ParamString(k.role);
           if (!eng->rbac().db().HasRole(role)) {
             DenyDecision(c, "GLOB.disable", "No Such Role");
           }
@@ -522,7 +524,10 @@ Status RuleGenerator::GenerateRoleRules(const Policy& policy,
                                         const RoleSpec& spec) {
   AuthorizationEngine* eng = engine_;
   const auto& ev = eng->events();
+  const AuthorizationEngine::ParamKeys k = eng->keys();
   const RoleName role = spec.name;
+  // Captured once here; the rule's per-firing checks never touch the name.
+  const Symbol role_sym = eng->symbols().Intern(role);
   const std::string tag = "role:" + role;
   tags_[tag].touches.insert(role);
 
@@ -550,55 +555,60 @@ Status RuleGenerator::GenerateRoleRules(const Policy& policy,
               Rule::Options{0, true, RuleClass::kActivityControl,
                             RuleGranularity::kLocalized});
     rule.When("user IN userL",
-              [eng](RuleContext& c) {
-                return eng->rbac().db().HasUser(c.ParamString("user"));
+              [eng, k](RuleContext& c) {
+                return eng->rbac().db().HasUser(c.ParamSym(k.user));
               })
         .When("sessionId IN sessionL",
-              [eng](RuleContext& c) {
-                return eng->rbac().db().HasSession(c.ParamString("session"));
+              [eng, k](RuleContext& c) {
+                return eng->rbac().db().HasSession(c.ParamSym(k.session));
               })
         .When("sessionId IN checkUserSessions(user)",
-              [eng](RuleContext& c) {
-                auto info =
-                    eng->rbac().db().GetSession(c.ParamString("session"));
-                return info.ok() && (*info)->user == c.ParamString("user");
+              [eng, k](RuleContext& c) {
+                const auto* state =
+                    eng->rbac().db().GetSessionState(c.ParamSym(k.session));
+                return state != nullptr && state->user == c.ParamSym(k.user);
               })
         .When(role + " NOT IN checkSessionRoles(sessionId)",
-              [eng, role](RuleContext& c) {
+              [eng, k, role_sym](RuleContext& c) {
                 return !eng->rbac().db().IsSessionRoleActive(
-                    c.ParamString("session"), role);
+                    c.ParamSym(k.session), role_sym);
               });
     if (in_hierarchy) {
       rule.When("checkAuthorization" + role + "(user) IS TRUE",
-                [eng, role](RuleContext& c) {
-                  return eng->rbac().IsAuthorized(c.ParamString("user"),
-                                                  role);
+                [eng, k, role_sym](RuleContext& c) {
+                  return eng->rbac().IsAuthorized(c.ParamSym(k.user),
+                                                  role_sym);
                 });
     } else {
       rule.When("checkAssigned" + role + "(user) IS TRUE",
-                [eng, role](RuleContext& c) {
-                  return eng->rbac().db().IsAssigned(c.ParamString("user"),
-                                                     role);
+                [eng, k, role_sym](RuleContext& c) {
+                  return eng->rbac().db().IsAssigned(c.ParamSym(k.user),
+                                                     role_sym);
                 });
     }
     if (in_dsd) {
       rule.When("checkDynamicSoDSet(user, " + role + ") IS TRUE",
-                [eng, role](RuleContext& c) {
-                  return eng->rbac().DsdSatisfiedWith(
-                      c.ParamString("session"), role);
+                [eng, k, role_sym](RuleContext& c) {
+                  return eng->rbac().DsdSatisfiedWith(c.ParamSym(k.session),
+                                                      role_sym);
                 });
     }
     rule.When("checkRoleEnabled(" + role + ") IS TRUE",
-              [eng, role](RuleContext& c) {
+              [eng, role_sym](RuleContext& c) {
                 (void)c;
-                return eng->role_state().IsEnabled(role);
+                return eng->role_state().IsEnabled(role_sym);
               });
     if (!prerequisites.empty()) {
+      std::vector<Symbol> prereq_syms;
+      prereq_syms.reserve(prerequisites.size());
+      for (const RoleName& prereq : prerequisites) {
+        prereq_syms.push_back(eng->symbols().Intern(prereq));
+      }
       rule.When("checkPrerequisiteRoles(sessionId) IS TRUE",
-                [eng, prerequisites](RuleContext& c) {
-                  for (const RoleName& prereq : prerequisites) {
+                [eng, k, prereq_syms](RuleContext& c) {
+                  for (Symbol prereq : prereq_syms) {
                     if (!eng->rbac().db().IsSessionRoleActive(
-                            c.ParamString("session"), prereq)) {
+                            c.ParamSym(k.session), prereq)) {
                       return false;
                     }
                   }
@@ -615,15 +625,15 @@ Status RuleGenerator::GenerateRoleRules(const Policy& policy,
                 });
     }
     rule.Then("addSessionRole" + role + "(sessionId)",
-              [eng, role](RuleContext& c) {
+              [eng, k, role, role_sym](RuleContext& c) {
                 (void)eng->rbac().db().AddSessionRole(
-                    c.ParamString("session"), role);
+                    c.ParamString(k.session), role);
                 AllowDecision(c, "AAR." + role);
                 (void)eng->RaiseEvent(
                     eng->events().session_role_added,
-                    {{"user", V(c.ParamString("user"))},
-                     {"session", V(c.ParamString("session"))},
-                     {"role", V(role)}});
+                    {{k.user, Value(c.ParamSym(k.user))},
+                     {k.session, Value(c.ParamSym(k.session))},
+                     {k.role, Value(role_sym)}});
               })
         .Else("raise error \"Access Denied Cannot Activate\"",
               [role](RuleContext& c) {
@@ -661,16 +671,16 @@ Status RuleGenerator::GenerateRoleRules(const Policy& policy,
               Rule::Options{0, true, RuleClass::kActivityControl,
                             RuleGranularity::kLocalized});
     rule.When("Cardinality" + role + "(INCR) IS TRUE",
-              [eng, role, limit](RuleContext& c) {
+              [eng, role_sym, limit](RuleContext& c) {
                 (void)c;
-                return eng->rbac().db().ActiveSessionCount(role) <= limit;
+                return eng->rbac().db().ActiveSessionCount(role_sym) <= limit;
               })
         .Then("confirm activation", [](RuleContext&) {})
         .Else("undo activation; raise error \"Maximum Number of Roles "
               "Reached\"",
-              [eng, role](RuleContext& c) {
-                (void)eng->ForceDeactivate(c.ParamString("user"),
-                                           c.ParamString("session"), role);
+              [eng, k, role](RuleContext& c) {
+                (void)eng->ForceDeactivate(c.ParamString(k.user),
+                                           c.ParamString(k.session), role);
                 DenyDecision(c, "CC." + role,
                              "Maximum Number of Roles Reached");
               });
@@ -690,14 +700,14 @@ Status RuleGenerator::GenerateRoleRules(const Policy& policy,
               Rule::Options{0, true, RuleClass::kActivityControl,
                             RuleGranularity::kLocalized});
     rule.When("role still active in session",
-              [eng, role](RuleContext& c) {
+              [eng, k, role_sym](RuleContext& c) {
                 return eng->rbac().db().IsSessionRoleActive(
-                    c.ParamString("session"), role);
+                    c.ParamSym(k.session), role_sym);
               })
         .Then("deactivateRole" + role + "(sessionId)",
-              [eng, role](RuleContext& c) {
-                (void)eng->ForceDeactivate(c.ParamString("user"),
-                                           c.ParamString("session"), role);
+              [eng, k, role](RuleContext& c) {
+                (void)eng->ForceDeactivate(c.ParamString(k.user),
+                                           c.ParamString(k.session), role);
               });
     SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
   }
@@ -718,11 +728,11 @@ Status RuleGenerator::GenerateRoleRules(const Policy& policy,
                  Rule::Options{0, true, RuleClass::kActivityControl,
                                RuleGranularity::kLocalized});
     on_rule.Then("enableRole" + role,
-                 [eng, role](RuleContext& c) {
+                 [eng, k, role, role_sym](RuleContext& c) {
                    (void)c;
                    eng->role_state().Enable(role, eng->Now());
                    (void)eng->RaiseEvent(eng->events().role_enabled,
-                                         {{"role", V(role)}});
+                                         {{k.role, Value(role_sym)}});
                  });
     SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(on_rule)));
 
@@ -730,12 +740,12 @@ Status RuleGenerator::GenerateRoleRules(const Policy& policy,
                   Rule::Options{0, true, RuleClass::kActivityControl,
                                 RuleGranularity::kLocalized});
     off_rule.Then("disableRole" + role + "; deactivate instances",
-                  [eng, role](RuleContext& c) {
+                  [eng, k, role, role_sym](RuleContext& c) {
                     (void)c;
                     eng->role_state().Disable(role, eng->Now());
                     eng->DeactivateAllInstances(role);
                     (void)eng->RaiseEvent(eng->events().role_disabled,
-                                          {{"role", V(role)}});
+                                          {{k.role, Value(role_sym)}});
                   });
     SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(off_rule)));
   }
@@ -750,6 +760,7 @@ Status RuleGenerator::GenerateUserRules(const Policy& policy,
   (void)policy;
   AuthorizationEngine* eng = engine_;
   const auto& ev = eng->events();
+  const AuthorizationEngine::ParamKeys k = eng->keys();
   const UserName user = spec.name;
   const std::string tag = "user:" + user;
   tags_[tag];  // Materialize the tag even when no rules follow.
@@ -771,9 +782,9 @@ Status RuleGenerator::GenerateUserRules(const Policy& policy,
         .Then("confirm activation", [](RuleContext&) {})
         .Else("undo activation; raise error \"Maximum Number of Roles "
               "Reached\"",
-              [eng, user](RuleContext& c) {
-                (void)eng->ForceDeactivate(user, c.ParamString("session"),
-                                           c.ParamString("role"));
+              [eng, k, user](RuleContext& c) {
+                (void)eng->ForceDeactivate(user, c.ParamString(k.session),
+                                           c.ParamString(k.role));
                 DenyDecision(c, "UAC." + user,
                              "Maximum Number of Roles Reached");
               });
@@ -795,17 +806,18 @@ Status RuleGenerator::GenerateUserRules(const Policy& policy,
     eng->RegisterDurationEvent(*plus_ev);
 
     const RoleName role_copy = role;
+    const Symbol role_sym = eng->symbols().Intern(role);
     Rule rule("DUR." + user + "." + role, *plus_ev,
               Rule::Options{0, true, RuleClass::kActivityControl,
                             RuleGranularity::kSpecialized});
     rule.When("role still active in session",
-              [eng, role_copy](RuleContext& c) {
+              [eng, k, role_sym](RuleContext& c) {
                 return eng->rbac().db().IsSessionRoleActive(
-                    c.ParamString("session"), role_copy);
+                    c.ParamSym(k.session), role_sym);
               })
         .Then("deactivateRole" + role + "(sessionId)",
-              [eng, user, role_copy](RuleContext& c) {
-                (void)eng->ForceDeactivate(user, c.ParamString("session"),
+              [eng, k, user, role_copy](RuleContext& c) {
+                (void)eng->ForceDeactivate(user, c.ParamString(k.session),
                                            role_copy);
               });
     SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
@@ -821,6 +833,7 @@ Status RuleGenerator::GenerateTimeSodRules(const Policy& policy,
   (void)policy;
   AuthorizationEngine* eng = engine_;
   const auto& ev = eng->events();
+  const AuthorizationEngine::ParamKeys k = eng->keys();
   const std::string tag = "tsod:" + tsod.name;
   tags_[tag].touches.insert(tsod.roles.begin(), tsod.roles.end());
 
@@ -873,17 +886,17 @@ Status RuleGenerator::GenerateTimeSodRules(const Policy& policy,
               return period.Contains(eng->Now());
             })
       .When("checkActive counter-role IS TRUE",
-            [eng](RuleContext& c) {
-              return eng->DisableTsodOk(c.ParamString("role"));
+            [eng, k](RuleContext& c) {
+              return eng->DisableTsodOk(c.ParamString(k.role));
             })
       .Then("disable requested role",
-            [eng, rule_name = "TSOD." + tsod.name](RuleContext& c) {
-              const RoleName role = c.ParamString("role");
+            [eng, k, rule_name = "TSOD." + tsod.name](RuleContext& c) {
+              const RoleName role = c.ParamString(k.role);
               eng->role_state().Disable(role, eng->Now());
               eng->DeactivateAllInstances(role);
               AllowDecision(c, rule_name);
               (void)eng->RaiseEvent(eng->events().role_disabled,
-                                    {{"role", V(role)}});
+                                    {{k.role, Value(c.ParamSym(k.role))}});
             })
       .Else("raise error \"Denied as Counter-Role Already Disabled\"",
             [eng, period, rule_name = "TSOD." + tsod.name](RuleContext& c) {
@@ -911,8 +924,11 @@ Status RuleGenerator::GenerateCfdRules(const Policy& policy,
   const auto& ev = eng->events();
   const std::string tag = "cfd:" + std::to_string(index);
   tags_[tag].touches = {pair.trigger, pair.companion};
+  const AuthorizationEngine::ParamKeys k = eng->keys();
   const RoleName trigger = pair.trigger;
   const RoleName companion = pair.companion;
+  const Symbol trigger_sym = eng->symbols().Intern(trigger);
+  const Symbol companion_sym = eng->symbols().Intern(companion);
 
   SENTINEL_ASSIGN_OR_RETURN(
       enable_trigger_ev, EnsureFilter("ev.enable." + trigger, ev.enable_role,
@@ -941,14 +957,15 @@ Status RuleGenerator::GenerateCfdRules(const Policy& policy,
                        eng->EnableTsodOk(companion);
               })
         .Then("enableRole" + trigger + "(); enableRole" + companion + "()",
-              [eng, trigger, companion](RuleContext& c) {
+              [eng, k, trigger, companion, trigger_sym,
+               companion_sym](RuleContext& c) {
                 eng->role_state().Enable(trigger, eng->Now());
                 (void)eng->RaiseEvent(eng->events().role_enabled,
-                                      {{"role", V(trigger)}});
+                                      {{k.role, Value(trigger_sym)}});
                 if (!eng->role_state().IsEnabled(companion)) {
                   eng->role_state().Enable(companion, eng->Now());
                   (void)eng->RaiseEvent(eng->events().role_enabled,
-                                        {{"role", V(companion)}});
+                                        {{k.role, Value(companion_sym)}});
                 }
                 AllowDecision(c, "CFD." + trigger + ".enable");
               })
@@ -978,12 +995,12 @@ Status RuleGenerator::GenerateCfdRules(const Policy& policy,
                 return eng->role_state().IsEnabled(trigger);
               })
         .Then("disableRole" + trigger + "()",
-              [eng, trigger](RuleContext& c) {
+              [eng, k, trigger, trigger_sym](RuleContext& c) {
                 (void)c;
                 eng->role_state().Disable(trigger, eng->Now());
                 eng->DeactivateAllInstances(trigger);
                 (void)eng->RaiseEvent(eng->events().role_disabled,
-                                      {{"role", V(trigger)}});
+                                      {{k.role, Value(trigger_sym)}});
               });
     SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
   }
@@ -999,8 +1016,11 @@ Status RuleGenerator::GenerateTransactionRules(
   const auto& ev = eng->events();
   const std::string tag = "tx:" + tx.name;
   tags_[tag].touches = {tx.controller, tx.dependent};
+  const AuthorizationEngine::ParamKeys k = eng->keys();
   const RoleName controller = tx.controller;
   const RoleName dependent = tx.dependent;
+  const Symbol controller_sym = eng->symbols().Intern(controller);
+  const Symbol dependent_sym = eng->symbols().Intern(dependent);
 
   SENTINEL_ASSIGN_OR_RETURN(
       ctrl_on_ev, EnsureFilter("ev.added." + controller,
@@ -1039,38 +1059,38 @@ Status RuleGenerator::GenerateTransactionRules(
               Rule::Options{0, true, RuleClass::kActiveSecurity,
                             RuleGranularity::kLocalized});
     rule.When("user IN userL",
-              [eng](RuleContext& c) {
-                return eng->rbac().db().HasUser(c.ParamString("user"));
+              [eng, k](RuleContext& c) {
+                return eng->rbac().db().HasUser(c.ParamSym(k.user));
               })
         .When("sessionId IN sessionL",
-              [eng](RuleContext& c) {
-                return eng->rbac().db().HasSession(c.ParamString("session"));
+              [eng, k](RuleContext& c) {
+                return eng->rbac().db().HasSession(c.ParamSym(k.session));
               })
         .When("sessionId IN checkUserSessions(user)",
-              [eng](RuleContext& c) {
-                auto info =
-                    eng->rbac().db().GetSession(c.ParamString("session"));
-                return info.ok() && (*info)->user == c.ParamString("user");
+              [eng, k](RuleContext& c) {
+                const auto* state =
+                    eng->rbac().db().GetSessionState(c.ParamSym(k.session));
+                return state != nullptr && state->user == c.ParamSym(k.user);
               })
         .When(dependent + " NOT IN checkSessionRoles(sessionId)",
-              [eng, dependent](RuleContext& c) {
+              [eng, k, dependent_sym](RuleContext& c) {
                 return !eng->rbac().db().IsSessionRoleActive(
-                    c.ParamString("session"), dependent);
+                    c.ParamSym(k.session), dependent_sym);
               })
         .When(in_hierarchy ? "checkAuthorization(user) IS TRUE"
                            : "checkAssigned(user) IS TRUE",
-              [eng, dependent, in_hierarchy](RuleContext& c) {
+              [eng, k, dependent_sym, in_hierarchy](RuleContext& c) {
                 return in_hierarchy
-                           ? eng->rbac().IsAuthorized(c.ParamString("user"),
-                                                      dependent)
-                           : eng->rbac().db().IsAssigned(
-                                 c.ParamString("user"), dependent);
+                           ? eng->rbac().IsAuthorized(c.ParamSym(k.user),
+                                                      dependent_sym)
+                           : eng->rbac().db().IsAssigned(c.ParamSym(k.user),
+                                                         dependent_sym);
               });
     if (in_dsd) {
       rule.When("checkDynamicSoDSet(user, " + dependent + ") IS TRUE",
-                [eng, dependent](RuleContext& c) {
-                  return eng->rbac().DsdSatisfiedWith(
-                      c.ParamString("session"), dependent);
+                [eng, k, dependent_sym](RuleContext& c) {
+                  return eng->rbac().DsdSatisfiedWith(c.ParamSym(k.session),
+                                                      dependent_sym);
                 });
     }
     const std::map<std::string, std::string> dep_context =
@@ -1085,25 +1105,27 @@ Status RuleGenerator::GenerateTransactionRules(
                 });
     }
     rule.When("checkRoleEnabled(" + dependent + ") IS TRUE",
-              [eng, dependent](RuleContext& c) {
+              [eng, dependent_sym](RuleContext& c) {
                 (void)c;
-                return eng->role_state().IsEnabled(dependent);
+                return eng->role_state().IsEnabled(dependent_sym);
               })
         .When("controller " + controller + " still active",
-              [eng, controller](RuleContext& c) {
+              [eng, controller_sym](RuleContext& c) {
                 (void)c;
-                return eng->rbac().db().ActiveSessionCount(controller) > 0;
+                return eng->rbac().db().ActiveSessionCount(controller_sym) >
+                       0;
               })
         .Then("activate" + dependent,
-              [eng, dependent, tx_name = tx.name](RuleContext& c) {
+              [eng, k, dependent, dependent_sym,
+               tx_name = tx.name](RuleContext& c) {
                 (void)eng->rbac().db().AddSessionRole(
-                    c.ParamString("session"), dependent);
+                    c.ParamString(k.session), dependent);
                 AllowDecision(c, "ASEC." + tx_name + ".activate");
                 (void)eng->RaiseEvent(
                     eng->events().session_role_added,
-                    {{"user", V(c.ParamString("user"))},
-                     {"session", V(c.ParamString("session"))},
-                     {"role", V(dependent)}});
+                    {{k.user, Value(c.ParamSym(k.user))},
+                     {k.session, Value(c.ParamSym(k.session))},
+                     {k.role, Value(dependent_sym)}});
               })
         .Else("raise error \"Permission Denied\"",
               [tx_name = tx.name](RuleContext& c) {
@@ -1122,9 +1144,10 @@ Status RuleGenerator::GenerateTransactionRules(
               Rule::Options{0, true, RuleClass::kActiveSecurity,
                             RuleGranularity::kLocalized});
     rule.Then("deactivate dependents or re-open window",
-              [eng, controller, dependent, boot](RuleContext& c) {
+              [eng, controller_sym, dependent, boot](RuleContext& c) {
                 (void)c;
-                if (eng->rbac().db().ActiveSessionCount(controller) == 0) {
+                if (eng->rbac().db().ActiveSessionCount(controller_sym) ==
+                    0) {
                   eng->DeactivateAllInstances(dependent);
                 } else {
                   (void)eng->RaiseEvent(boot, {});
@@ -1152,7 +1175,10 @@ Status RuleGenerator::GenerateThresholdRules(
   eng->security().DefineWindow(directive.name, directive.window,
                                directive.threshold);
 
+  const AuthorizationEngine::ParamKeys k = eng->keys();
   const std::string name = directive.name;
+  const Symbol alert_key = eng->symbols().Intern("name");
+  const Symbol alert_name = eng->symbols().Intern(name);
   const int threshold = directive.threshold;
   const std::vector<std::string> prefixes = directive.disable_rule_prefixes;
   const std::vector<RoleName> disable_roles = directive.disable_roles;
@@ -1163,14 +1189,15 @@ Status RuleGenerator::GenerateThresholdRules(
   rule.Then(
       "record denial; alert administrators and disable critical rules on "
       "breach",
-      [eng, name, threshold, prefixes, disable_roles](RuleContext& c) {
+      [eng, k, name, alert_key, alert_name, threshold, prefixes,
+       disable_roles](RuleContext& c) {
         const Time now = eng->Now();
         const int count = eng->security().RecordDenial(name, now);
         if (count < threshold) return;
         eng->security().RaiseAlert(
             name, now, count,
-            "denied access burst: op=" + c.ParamString("operation") +
-                " obj=" + c.ParamString("object"));
+            "denied access burst: op=" + c.ParamString(k.operation) +
+                " obj=" + c.ParamString(k.object));
         int disabled = 0;
         for (const std::string& prefix : prefixes) {
           disabled += eng->rule_manager().DisableIf(
@@ -1188,12 +1215,13 @@ Status RuleGenerator::GenerateThresholdRules(
           if (eng->role_state().IsEnabled(role)) {
             eng->role_state().Disable(role, now);
             eng->DeactivateAllInstances(role);
-            (void)eng->RaiseEvent(eng->events().role_disabled,
-                                  {{"role", V(role)}});
+            (void)eng->RaiseEvent(
+                eng->events().role_disabled,
+                {{k.role, Value(eng->symbols().Intern(role))}});
           }
         }
         (void)eng->RaiseEvent(eng->events().security_alert,
-                              {{"name", V(name)}});
+                              {{alert_key, Value(alert_name)}});
       });
   SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
   return Status::OK();

@@ -6,12 +6,12 @@
 
 namespace sentinel {
 
-std::string OccurrenceToString(const Occurrence& occ,
-                               const std::string& name) {
+std::string OccurrenceToString(const Occurrence& occ, const std::string& name,
+                               const SymbolTable& symbols) {
   std::ostringstream os;
   os << name << '[' << FormatTime(occ.start);
   if (occ.end != occ.start) os << " .. " << FormatTime(occ.end);
-  os << ']' << ParamMapToString(occ.params);
+  os << ']' << occ.params.ToString(symbols);
   return os.str();
 }
 

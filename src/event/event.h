@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/interner.h"
 #include "common/value.h"
 
 namespace sentinel {
@@ -23,6 +24,11 @@ constexpr EventId kInvalidEventId = -1;
 /// maps; on key conflicts the latest-arriving constituent wins. `source` is
 /// the event whose arrival completed the detection (for OR, which of the
 /// alternatives occurred — the paper's TSOD rule dispatches on this).
+///
+/// Params are symbol-keyed: keys and name-valued entries are interned in the
+/// detector's SymbolTable at the raise boundary, so everything downstream
+/// (filter index, operator merging, rule conditions, RBAC lookups) compares
+/// integers instead of strings.
 struct Occurrence {
   EventId event = kInvalidEventId;
   EventId source = kInvalidEventId;
@@ -30,12 +36,13 @@ struct Occurrence {
   Time end = 0;
   /// Monotone per-detector sequence number; total order of detections.
   uint64_t seq = 0;
-  ParamMap params;
+  FlatParamMap params;
 };
 
 /// Renders an occurrence as `name[start,end]{params}` given the display
-/// name (the detector supplies it).
-std::string OccurrenceToString(const Occurrence& occ, const std::string& name);
+/// name and symbol table (the detector supplies both).
+std::string OccurrenceToString(const Occurrence& occ, const std::string& name,
+                               const SymbolTable& symbols);
 
 }  // namespace sentinel
 

@@ -1,11 +1,17 @@
 #include "event/event_detector.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace sentinel {
 
-EventDetector::EventDetector(Clock* clock) : clock_(clock) {
+EventDetector::EventDetector(Clock* clock, SymbolTable* symbols)
+    : clock_(clock),
+      owned_symbols_(symbols == nullptr ? std::make_unique<SymbolTable>()
+                                        : nullptr),
+      symbols_(symbols == nullptr ? owned_symbols_.get() : symbols) {
   assert(clock != nullptr);
+  registry_.set_symbols(symbols_);
 }
 
 EventDetector::~EventDetector() = default;
@@ -18,15 +24,33 @@ Result<EventId> EventDetector::Install(EventDef def) {
   subscribers_.emplace_back();
   occ_counts_.push_back(0);
   deactivated_.push_back(false);
-  // Single-key string-equality filters go into the hash index instead of
-  // the linear parent list (see filter_index_).
+  filter_index_.emplace_back();
+  // Single-key name-equality filters (values interned to symbols at
+  // definition time) go into the hash index instead of the linear parent
+  // list (see filter_index_).
   const bool indexable_filter =
       stored->kind == EventKind::kFilter && stored->filter.size() == 1 &&
-      stored->filter.begin()->second.is_string();
+      stored->filter.begin()->value.is_symbol();
   if (indexable_filter) {
-    const auto& [key, value] = *stored->filter.begin();
-    filter_index_[stored->children[0]][key][value.AsString()].push_back(
-        static_cast<int>(id));
+    const Symbol key = stored->filter.begin()->key;
+    const uint32_t value_id = stored->filter.begin()->value.AsSymbol().id();
+    std::vector<FilterKeyBucket>& buckets = filter_index_[stored->children[0]];
+    const std::string& key_name = symbols_->NameOf(key);
+    auto bucket_it = std::find_if(
+        buckets.begin(), buckets.end(),
+        [&](const FilterKeyBucket& b) { return b.key == key; });
+    if (bucket_it == buckets.end()) {
+      // Keep buckets ordered by key name so dispatch order matches the
+      // seed's ordered-map behaviour regardless of intern order.
+      bucket_it = buckets.insert(
+          std::upper_bound(buckets.begin(), buckets.end(), key_name,
+                           [](const std::string& name,
+                              const FilterKeyBucket& b) {
+                             return name < b.key_name;
+                           }),
+          FilterKeyBucket{key, key_name, {}});
+    }
+    bucket_it->by_value[value_id].push_back(static_cast<int>(id));
   } else {
     for (size_t slot = 0; slot < stored->children.size(); ++slot) {
       parents_[stored->children[slot]].push_back(
@@ -50,7 +74,7 @@ Result<EventId> EventDetector::DefineFilter(const std::string& name,
   def.kind = EventKind::kFilter;
   def.name = name;
   def.children = {base};
-  def.filter = std::move(equals);
+  def.filter = InternParams(*symbols_, equals);
   return Install(std::move(def));
 }
 
@@ -199,6 +223,10 @@ void EventDetector::Unsubscribe(EventId event, SubscriptionId id) {
 }
 
 Status EventDetector::Raise(EventId event, ParamMap params) {
+  return RaiseInterned(event, InternParams(*symbols_, params));
+}
+
+Status EventDetector::RaiseInterned(EventId event, FlatParamMap params) {
   if (event < 0 || event >= registry_.size()) {
     return Status::InvalidArgument("unknown event id");
   }
@@ -210,6 +238,9 @@ Status EventDetector::Raise(EventId event, ParamMap params) {
     return Status::FailedPrecondition("event is deactivated: " +
                                       registry_.name(event));
   }
+  // Invariant: occurrence params never carry raw strings — name-valued
+  // entries are symbols, so downstream matching is integer-only.
+  params.InternStringValues(*symbols_);
   Occurrence occ;
   occ.event = event;
   occ.source = event;
@@ -255,25 +286,21 @@ void EventDetector::Dispatch(const Occurrence& occ) {
     if (deactivated_[parent]) continue;
     nodes_[parent]->OnChild(slot, occ);
   }
-  // Indexed single-key filters: direct lookup by parameter value instead
-  // of scanning every per-role/per-user filter node. Iterating the maps by
-  // reference is safe against mid-dispatch definitions (node-based maps
-  // never invalidate live iterators on insert); only the small match
-  // vector is snapshotted because a push_back could reallocate it.
-  auto index_it = filter_index_.find(occ.event);
-  if (index_it != filter_index_.end()) {
-    for (const auto& [key, by_value] : index_it->second) {
-      auto param_it = occ.params.find(key);
-      if (param_it == occ.params.end() || !param_it->second.is_string()) {
-        continue;
-      }
-      auto match_it = by_value.find(param_it->second.AsString());
-      if (match_it == by_value.end()) continue;
-      const std::vector<int> matches = match_it->second;
-      for (int filter : matches) {
-        if (deactivated_[filter]) continue;
-        nodes_[filter]->OnChild(0, occ);
-      }
+  // Indexed single-key filters: direct lookup by interned parameter value
+  // instead of scanning every per-role/per-user filter node. Buckets are
+  // re-fetched by index each iteration because a mid-dispatch definition
+  // may reallocate the index vectors; the small match vector is snapshotted
+  // before OnChild for the same reason.
+  for (size_t bi = 0; bi < filter_index_[occ.event].size(); ++bi) {
+    const FilterKeyBucket& bucket = filter_index_[occ.event][bi];
+    const Value* param = occ.params.Find(bucket.key);
+    if (param == nullptr || !param->is_symbol()) continue;
+    auto match_it = bucket.by_value.find(param->AsSymbol().id());
+    if (match_it == bucket.by_value.end()) continue;
+    const std::vector<int> matches = match_it->second;
+    for (int filter : matches) {
+      if (deactivated_[filter]) continue;
+      nodes_[filter]->OnChild(0, occ);
     }
   }
   // Copy subscriber list: rule actions may subscribe/unsubscribe.
@@ -302,6 +329,11 @@ void EventDetector::PollTimers() {
 
 Result<int> EventDetector::CancelPendingPlus(EventId plus_event,
                                              const ParamMap& match) {
+  return CancelPendingPlusInterned(plus_event, InternParams(*symbols_, match));
+}
+
+Result<int> EventDetector::CancelPendingPlusInterned(
+    EventId plus_event, const FlatParamMap& match) {
   if (plus_event < 0 || plus_event >= registry_.size()) {
     return Status::InvalidArgument("unknown event id");
   }

@@ -3,12 +3,13 @@
 
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/interner.h"
 #include "common/status.h"
 #include "event/consumption.h"
 #include "event/event.h"
@@ -38,8 +39,10 @@ class EventDetector final : public NodeContext {
  public:
   using Subscriber = std::function<void(const Occurrence&)>;
 
-  /// `clock` must outlive the detector; not owned.
-  explicit EventDetector(Clock* clock);
+  /// `clock` must outlive the detector; not owned. `symbols` is the table
+  /// event parameters are interned in — pass the engine's table so names are
+  /// shared across layers; when null the detector owns a private one.
+  explicit EventDetector(Clock* clock, SymbolTable* symbols = nullptr);
   ~EventDetector() override;
 
   EventDetector(const EventDetector&) = delete;
@@ -107,8 +110,15 @@ class EventDetector final : public NodeContext {
   /// Injects a primitive occurrence at Now() and drains the full cascade
   /// (unless called re-entrantly from a subscriber, in which case the
   /// occurrence joins the in-progress drain).
+  ///
+  /// The ParamMap overloads intern keys and string values on the way in —
+  /// the convenience path for tests and ad-hoc callers. Hot callers (the
+  /// engine) build a FlatParamMap from pre-interned symbols and use
+  /// RaiseInterned; string-typed values are still canonicalized to symbols
+  /// there so occurrence params never carry raw strings.
   Status Raise(EventId event, ParamMap params);
   Status RaiseByName(const std::string& name, ParamMap params);
+  Status RaiseInterned(EventId event, FlatParamMap params);
 
   /// Advances the simulated clock to `t`, firing due timers in order at
   /// their exact fire times. Requires the detector's clock to be the given
@@ -121,7 +131,11 @@ class EventDetector final : public NodeContext {
 
   /// Cancels pending PLUS expiries of `plus_event` whose initiating params
   /// contain `match`. Returns count, or error if the event is not a PLUS.
+  /// The ParamMap form interns `match` first; the Interned form expects
+  /// symbol keys/values (the engine's duration-cancel path).
   Result<int> CancelPendingPlus(EventId plus_event, const ParamMap& match);
+  Result<int> CancelPendingPlusInterned(EventId plus_event,
+                                        const FlatParamMap& match);
 
   /// Permanently deactivates an event: its node cancels timers/state, its
   /// occurrences stop propagating, and primitive raises are rejected. The
@@ -139,7 +153,11 @@ class EventDetector final : public NodeContext {
   // ------------------------------------------------------ Introspection
 
   /// Occurrences delivered (to parents/subscribers) per event id.
-  uint64_t occurrence_count(EventId id) const { return occ_counts_[id]; }
+  /// Out-of-range ids count zero, mirroring IsDeactivated.
+  uint64_t occurrence_count(EventId id) const {
+    if (id < 0 || static_cast<size_t>(id) >= occ_counts_.size()) return 0;
+    return occ_counts_[id];
+  }
   uint64_t total_occurrences() const { return total_occurrences_; }
   size_t pending_timer_count() const { return timers_.pending_count(); }
 
@@ -150,6 +168,8 @@ class EventDetector final : public NodeContext {
   void CancelTimer(TimerId id) override;
   Time Now() const override { return clock_->Now(); }
   uint64_t NextSeq() override { return next_seq_++; }
+  SymbolTable& symbols() override { return *symbols_; }
+  const SymbolTable& symbols() const { return *symbols_; }
 
  private:
   struct SubscriberEntry {
@@ -164,7 +184,20 @@ class EventDetector final : public NodeContext {
   void Drain();
   void Dispatch(const Occurrence& occ);
 
+  /// One key's worth of the filter fast-path index: all single-key equality
+  /// filters on a base event that test this key, bucketed by the (interned)
+  /// value they require. Dispatch is one flat-map probe plus one integer
+  /// hash lookup. `key_name` keeps bucket order deterministic (by key name,
+  /// matching the seed's ordered-map iteration).
+  struct FilterKeyBucket {
+    Symbol key;
+    std::string key_name;
+    std::unordered_map<uint32_t, std::vector<int>> by_value;
+  };
+
   Clock* clock_;          // Not owned.
+  std::unique_ptr<SymbolTable> owned_symbols_;  // Set iff none was injected.
+  SymbolTable* symbols_;  // Not owned (points at owned_symbols_ if set).
   EventRegistry registry_;
   TimerService timers_;   // Declared before nodes_: nodes cancel in dtors.
   std::vector<std::unique_ptr<OperatorNode>> nodes_;
@@ -173,11 +206,9 @@ class EventDetector final : public NodeContext {
   /// Fast path for the dominant generated shape: many single-key equality
   /// filters on one base event (one per role/user). Indexed filters are
   /// kept out of parents_ and dispatched by hash lookup on the occurrence's
-  /// parameter value instead of a linear scan. Ordered maps keep dispatch
-  /// order deterministic (by key, then value).
-  std::map<EventId,
-           std::map<std::string, std::map<std::string, std::vector<int>>>>
-      filter_index_;
+  /// (interned) parameter value instead of a linear scan. Indexed by base
+  /// event id, parallel to nodes_.
+  std::vector<std::vector<FilterKeyBucket>> filter_index_;
   std::vector<std::vector<SubscriberEntry>> subscribers_;
   std::vector<uint64_t> occ_counts_;
   std::vector<bool> deactivated_;

@@ -90,7 +90,9 @@ std::string EventRegistry::Describe(EventId id) const {
     }
     os << ')';
   }
-  if (d.kind == EventKind::kFilter) os << ' ' << ParamMapToString(d.filter);
+  if (d.kind == EventKind::kFilter && symbols_ != nullptr) {
+    os << ' ' << d.filter.ToString(*symbols_);
+  }
   if (d.kind == EventKind::kAbsolute) os << " @" << d.pattern.ToString();
   if (d.kind != EventKind::kPrimitive && d.kind != EventKind::kOr &&
       d.kind != EventKind::kFilter && d.kind != EventKind::kAbsolute) {

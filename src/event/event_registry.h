@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "event/consumption.h"
@@ -38,7 +39,7 @@ struct EventDef {
   std::string name;
   std::vector<EventId> children;
   Duration duration = 0;            // kPlus delta; kPeriodic(/Star) tau.
-  ParamMap filter;                  // kFilter equality constraints.
+  FlatParamMap filter;              // kFilter equality constraints (interned).
   TimePattern pattern;              // kAbsolute calendar pattern.
   ConsumptionMode mode = ConsumptionMode::kRecent;
 };
@@ -51,6 +52,10 @@ class EventRegistry {
 
   EventRegistry(const EventRegistry&) = delete;
   EventRegistry& operator=(const EventRegistry&) = delete;
+
+  /// The table filter symbols resolve against (for Describe); the owning
+  /// detector sets it once at construction. Not owned.
+  void set_symbols(const SymbolTable* symbols) { symbols_ = symbols; }
 
   /// Registers a definition. Fails on duplicate name or unknown child id.
   Result<EventId> Register(EventDef def);
@@ -74,6 +79,7 @@ class EventRegistry {
   // Deque: stable references — operator nodes hold pointers to their defs.
   std::deque<EventDef> defs_;
   std::unordered_map<std::string, EventId> by_name_;
+  const SymbolTable* symbols_ = nullptr;
 };
 
 }  // namespace sentinel

@@ -5,27 +5,13 @@
 
 namespace sentinel {
 
-namespace {
-
-/// True iff every (key, value) of `filter` appears in `params`.
-bool ParamsContain(const ParamMap& params, const ParamMap& filter) {
-  for (const auto& [key, want] : filter) {
-    auto it = params.find(key);
-    if (it == params.end() || !(it->second == want)) return false;
-  }
-  return true;
-}
-
-}  // namespace
-
-ParamMap OperatorNode::MergeParams(ParamMap base, const ParamMap& overlay) {
-  for (const auto& [key, value] : overlay) {
-    base[key] = value;  // Overlay (later constituent) wins.
-  }
+FlatParamMap OperatorNode::MergeParams(FlatParamMap base,
+                                       const FlatParamMap& overlay) {
+  base.MergeFrom(overlay);  // Overlay (later constituent) wins.
   return base;
 }
 
-void OperatorNode::Emit(Time start, Time end, ParamMap params,
+void OperatorNode::Emit(Time start, Time end, FlatParamMap params,
                         EventId source) {
   Occurrence occ;
   occ.event = id_;
@@ -41,7 +27,7 @@ void OperatorNode::Emit(Time start, Time end, ParamMap params,
 
 void FilterNode::OnChild(int slot, const Occurrence& occ) {
   (void)slot;
-  if (!ParamsContain(occ.params, def_->filter)) return;
+  if (!occ.params.ContainsAll(def_->filter)) return;
   Emit(occ.start, occ.end, occ.params, occ.source);
 }
 
@@ -90,7 +76,7 @@ void AndNode::OnChild(int slot, const Occurrence& occ) {
       break;
     case ConsumptionMode::kCumulative:
       if (!other.empty()) {
-        ParamMap merged;
+        FlatParamMap merged;
         Time start = occ.start;
         for (const Occurrence& partner : other) {
           merged = MergeParams(std::move(merged), partner.params);
@@ -149,7 +135,7 @@ void SeqNode::OnChild(int slot, const Occurrence& occ) {
       break;
     }
     case ConsumptionMode::kCumulative: {
-      ParamMap merged;
+      FlatParamMap merged;
       Time start = occ.start;
       bool any = false;
       std::deque<Occurrence> keep;
@@ -210,7 +196,7 @@ void NotNode::OnChild(int slot, const Occurrence& occ) {
           windows_.clear();
           break;
         case ConsumptionMode::kCumulative: {
-          ParamMap merged;
+          FlatParamMap merged;
           Time start = occ.start;
           bool any = false;
           for (const Occurrence& a : windows_) {
@@ -251,10 +237,10 @@ void PlusNode::OnChild(int slot, const Occurrence& occ) {
   pending_.emplace(id, occ);
 }
 
-int PlusNode::CancelMatching(const ParamMap& match) {
+int PlusNode::CancelMatching(const FlatParamMap& match) {
   int cancelled = 0;
   for (auto it = pending_.begin(); it != pending_.end();) {
-    if (ParamsContain(it->second.params, match)) {
+    if (it->second.params.ContainsAll(match)) {
       ctx_->CancelTimer(it->first);
       it = pending_.erase(it);
       ++cancelled;
@@ -273,9 +259,9 @@ void AperiodicNode::EmitMiddle(const Window& w, const Occurrence& middle) {
 }
 
 void AperiodicNode::EmitStarClose(const Window& w, const Occurrence& term) {
-  ParamMap params = MergeParams(w.init.params, w.accumulated);
+  FlatParamMap params = MergeParams(w.init.params, w.accumulated);
   params = MergeParams(std::move(params), term.params);
-  params["_count"] = Value(w.count);
+  params.Set(ctx_->symbols().Intern("_count"), Value(w.count));
   Emit(w.init.start, term.end, std::move(params), term.source);
 }
 
@@ -314,7 +300,7 @@ void AperiodicNode::OnChild(int slot, const Occurrence& occ) {
               if (StrictlyBefore(w.init, occ)) EmitMiddle(w, occ);
             }
           } else {
-            ParamMap merged;
+            FlatParamMap merged;
             Time start = occ.start;
             bool any = false;
             for (const Window& w : windows_) {
@@ -383,8 +369,8 @@ void PeriodicNode::CloseWindow(size_t index, const Occurrence& term) {
   Window& w = windows_[index];
   if (w.timer != 0) ctx_->CancelTimer(w.timer);
   if (star_) {
-    ParamMap params = MergeParams(w.init.params, term.params);
-    params["_ticks"] = Value(w.ticks);
+    FlatParamMap params = MergeParams(w.init.params, term.params);
+    params.Set(ctx_->symbols().Intern("_ticks"), Value(w.ticks));
     Emit(w.init.start, term.end, std::move(params), term.source);
   }
   windows_.erase(windows_.begin() + static_cast<ptrdiff_t>(index));

@@ -28,6 +28,9 @@ class NodeContext {
 
   /// Next value of the detector-wide detection sequence counter.
   virtual uint64_t NextSeq() = 0;
+
+  /// The detector-wide symbol table param keys/values are interned in.
+  virtual SymbolTable& symbols() = 0;
 };
 
 /// \brief One node of the event-detection graph. Child occurrences are
@@ -68,10 +71,11 @@ class OperatorNode {
   }
 
   /// Merges `overlay` into `base` (overlay wins conflicts) and returns it.
-  static ParamMap MergeParams(ParamMap base, const ParamMap& overlay);
+  static FlatParamMap MergeParams(FlatParamMap base,
+                                  const FlatParamMap& overlay);
 
   /// Builds a detection for this node and queues it.
-  void Emit(Time start, Time end, ParamMap params, EventId source);
+  void Emit(Time start, Time end, FlatParamMap params, EventId source);
 
   EventId id_;
   const EventDef* def_;
@@ -149,7 +153,7 @@ class PlusNode final : public OperatorNode {
 
   /// Cancels pending expiries whose stored params contain every pair of
   /// `match`; returns how many were cancelled.
-  int CancelMatching(const ParamMap& match);
+  int CancelMatching(const FlatParamMap& match);
 
   void Deactivate() override { CancelMatching({}); }
 
@@ -175,8 +179,8 @@ class AperiodicNode final : public OperatorNode {
  private:
   struct Window {
     Occurrence init;
-    ParamMap accumulated;  // Star: merged middle params.
-    int64_t count = 0;     // Star: number of middles.
+    FlatParamMap accumulated;  // Star: merged middle params.
+    int64_t count = 0;         // Star: number of middles.
   };
 
   void EmitMiddle(const Window& w, const Occurrence& middle);

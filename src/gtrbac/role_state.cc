@@ -2,13 +2,24 @@
 
 namespace sentinel {
 
+RoleStateTable::RoleStateTable(SymbolTable* symbols) {
+  if (symbols == nullptr) {
+    owned_symbols_ = std::make_unique<SymbolTable>();
+    symbols_ = owned_symbols_.get();
+  } else {
+    symbols_ = symbols;
+  }
+}
+
 void RoleStateTable::Enable(const RoleName& role, Time when) {
   disabled_.erase(role);
+  disabled_sym_.erase(symbols_->Intern(role).id());
   last_transition_[role] = when;
 }
 
 void RoleStateTable::Disable(const RoleName& role, Time when) {
   disabled_.insert(role);
+  disabled_sym_.insert(symbols_->Intern(role).id());
   last_transition_[role] = when;
 }
 
@@ -25,6 +36,7 @@ std::optional<Time> RoleStateTable::LastTransition(
 
 void RoleStateTable::EraseRole(const RoleName& role) {
   disabled_.erase(role);
+  disabled_sym_.erase(symbols_->Intern(role).id());
   last_transition_.erase(role);
 }
 

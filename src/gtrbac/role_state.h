@@ -2,10 +2,13 @@
 #define SENTINELPP_GTRBAC_ROLE_STATE_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_set>
 
+#include "common/interner.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "rbac/types.h"
@@ -18,9 +21,15 @@ namespace sentinel {
 /// being *active* (in some session). Periodic enabling constraints and
 /// time-based SoD act on this table; activation rules consult it. Roles
 /// without an entry are enabled by default.
+///
+/// The disabled set is mirrored by symbol id so the per-activation
+/// IsEnabled check on the rule path costs one integer-set probe (and
+/// nothing at all while no role is disabled, the common case).
 class RoleStateTable {
  public:
-  RoleStateTable() = default;
+  /// `symbols` is shared with the owning engine; when null the table owns
+  /// a private one.
+  explicit RoleStateTable(SymbolTable* symbols = nullptr);
 
   /// Enables the role; records the transition time.
   void Enable(const RoleName& role, Time when);
@@ -28,6 +37,9 @@ class RoleStateTable {
   void Disable(const RoleName& role, Time when);
 
   bool IsEnabled(const RoleName& role) const;
+  bool IsEnabled(Symbol role) const {
+    return disabled_sym_.empty() || disabled_sym_.count(role.id()) == 0;
+  }
 
   /// Time of the last enable/disable transition, or nullopt if none.
   std::optional<Time> LastTransition(const RoleName& role) const;
@@ -43,6 +55,10 @@ class RoleStateTable {
  private:
   std::set<RoleName> disabled_;
   std::map<RoleName, Time> last_transition_;
+
+  std::unique_ptr<SymbolTable> owned_symbols_;
+  SymbolTable* symbols_;
+  std::unordered_set<uint32_t> disabled_sym_;
 };
 
 }  // namespace sentinel

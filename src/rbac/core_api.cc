@@ -222,6 +222,27 @@ Result<bool> RbacSystem::CheckAccess(const SessionId& session,
   return false;
 }
 
+Result<bool> RbacSystem::CheckAccess(Symbol session, Symbol op,
+                                     Symbol obj) const {
+  const RbacDatabase::SessionState* state = db_.GetSessionState(session);
+  if (state == nullptr) {
+    return Status::NotFound("no such session: " +
+                            db_.symbols().NameOf(session));
+  }
+  if (hierarchy_.empty()) {
+    for (Symbol role : state->active_roles) {
+      if (db_.IsGranted(op, obj, role)) return true;
+    }
+    return false;
+  }
+  for (Symbol role : state->active_roles) {
+    for (Symbol source : JuniorsClosure(role)) {
+      if (db_.IsGranted(op, obj, source)) return true;
+    }
+  }
+  return false;
+}
+
 std::set<UserName> RbacSystem::AuthorizedUsers(const RoleName& role) const {
   std::set<UserName> out;
   for (const RoleName& senior : hierarchy_.SeniorsOf(role)) {
@@ -306,6 +327,15 @@ bool RbacSystem::IsAuthorized(const UserName& user,
   return false;
 }
 
+bool RbacSystem::IsAuthorized(Symbol user, Symbol role) const {
+  if (db_.IsAssigned(user, role)) return true;
+  if (hierarchy_.empty()) return false;
+  for (Symbol senior : SeniorsClosure(role)) {
+    if (db_.IsAssigned(user, senior)) return true;
+  }
+  return false;
+}
+
 bool RbacSystem::DsdSatisfiedWith(const SessionId& session,
                                   const RoleName& role) const {
   auto info = db_.GetSession(session);
@@ -315,12 +345,53 @@ bool RbacSystem::DsdSatisfiedWith(const SessionId& session,
   return dsd_.Satisfies(hypothetical);
 }
 
+bool RbacSystem::DsdSatisfiedWith(Symbol session, Symbol role) const {
+  const RbacDatabase::SessionState* state = db_.GetSessionState(session);
+  if (state == nullptr) return false;
+  if (dsd_.size() == 0) return true;
+  return DsdSatisfiedWith(db_.symbols().NameOf(session),
+                          db_.symbols().NameOf(role));
+}
+
 bool RbacSystem::SsdSatisfiedWith(const UserName& user,
                                   const RoleName& role) const {
   std::set<RoleName> hypothetical = AuthorizedRoles(user);
   const std::set<RoleName> juniors = hierarchy_.JuniorsOf(role);
   hypothetical.insert(juniors.begin(), juniors.end());
   return ssd_.Satisfies(hypothetical);
+}
+
+const std::vector<Symbol>& RbacSystem::JuniorsClosure(Symbol role) const {
+  if (cache_epoch_ != hierarchy_.epoch()) {
+    juniors_cache_.clear();
+    seniors_cache_.clear();
+    cache_epoch_ = hierarchy_.epoch();
+  }
+  auto it = juniors_cache_.find(role.id());
+  if (it != juniors_cache_.end()) return it->second;
+  const SymbolTable& syms = db_.symbols();
+  std::vector<Symbol> closure;
+  for (const RoleName& junior : hierarchy_.JuniorsOf(syms.NameOf(role))) {
+    // Registered roles are interned at AddRole; Find never misses here.
+    closure.push_back(syms.Find(junior));
+  }
+  return juniors_cache_.emplace(role.id(), std::move(closure)).first->second;
+}
+
+const std::vector<Symbol>& RbacSystem::SeniorsClosure(Symbol role) const {
+  if (cache_epoch_ != hierarchy_.epoch()) {
+    juniors_cache_.clear();
+    seniors_cache_.clear();
+    cache_epoch_ = hierarchy_.epoch();
+  }
+  auto it = seniors_cache_.find(role.id());
+  if (it != seniors_cache_.end()) return it->second;
+  const SymbolTable& syms = db_.symbols();
+  std::vector<Symbol> closure;
+  for (const RoleName& senior : hierarchy_.SeniorsOf(syms.NameOf(role))) {
+    closure.push_back(syms.Find(senior));
+  }
+  return seniors_cache_.emplace(role.id(), std::move(closure)).first->second;
 }
 
 std::string RbacSystem::FindSsdViolation() const {

@@ -1,8 +1,10 @@
 #ifndef SENTINELPP_RBAC_CORE_API_H_
 #define SENTINELPP_RBAC_CORE_API_H_
 
+#include <cstdint>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -24,7 +26,10 @@ namespace sentinel {
 /// the hand-coded comparator the paper argues rule generation replaces.
 class RbacSystem {
  public:
-  RbacSystem() : ssd_("SSD"), dsd_("DSD") {}
+  /// `symbols` is shared with the owning engine (see RbacDatabase); null
+  /// gives the database a private table.
+  explicit RbacSystem(SymbolTable* symbols = nullptr)
+      : db_(symbols), ssd_("SSD"), dsd_("DSD") {}
 
   RbacSystem(const RbacSystem&) = delete;
   RbacSystem& operator=(const RbacSystem&) = delete;
@@ -103,6 +108,10 @@ class RbacSystem {
   /// via a junior) for operation `op` on object `obj`.
   Result<bool> CheckAccess(const SessionId& session, const OperationName& op,
                            const ObjectName& obj) const;
+  /// Symbol hot path: session lookup, hierarchy closure and permission
+  /// membership are all integer operations (closures cached per hierarchy
+  /// epoch). Unknown session yields NotFound like the string overload.
+  Result<bool> CheckAccess(Symbol session, Symbol op, Symbol obj) const;
 
   // ------------------------------------------------------ Review functions
 
@@ -135,10 +144,14 @@ class RbacSystem {
   /// the paper's checkAuthorizationR1 (reduces to checkAssignedR1 when the
   /// role takes part in no hierarchy).
   bool IsAuthorized(const UserName& user, const RoleName& role) const;
+  bool IsAuthorized(Symbol user, Symbol role) const;
 
   /// True iff activating `role` in `session` keeps every DSD relation
   /// satisfied — the paper's checkDynamicSoDSet.
   bool DsdSatisfiedWith(const SessionId& session, const RoleName& role) const;
+  /// With no DSD relations defined (the common case) this is a single
+  /// session lookup; otherwise it falls back to the string evaluation.
+  bool DsdSatisfiedWith(Symbol session, Symbol role) const;
 
   /// True iff assigning `role` to `user` keeps every SSD relation
   /// satisfied over the user's authorized roles.
@@ -155,16 +168,28 @@ class RbacSystem {
   SodStore& dsd() { return dsd_; }
   const SodStore& dsd() const { return dsd_; }
 
+  const SymbolTable& symbols() const { return db_.symbols(); }
+  SymbolTable& symbols() { return db_.symbols(); }
+
  private:
   /// Every user's authorized role set satisfies every SSD relation; used
   /// to validate hierarchy and SSD administration. Returns the offending
   /// (user, set) description, or empty when fine.
   std::string FindSsdViolation() const;
 
+  /// Hierarchy closures as symbol vectors, memoized until the hierarchy's
+  /// epoch moves (administration is rare; decisions are hot).
+  const std::vector<Symbol>& JuniorsClosure(Symbol role) const;
+  const std::vector<Symbol>& SeniorsClosure(Symbol role) const;
+
   RbacDatabase db_;
   RoleHierarchy hierarchy_;
   SodStore ssd_;
   SodStore dsd_;
+
+  mutable std::unordered_map<uint32_t, std::vector<Symbol>> juniors_cache_;
+  mutable std::unordered_map<uint32_t, std::vector<Symbol>> seniors_cache_;
+  mutable uint64_t cache_epoch_ = 0;
 };
 
 }  // namespace sentinel

@@ -26,13 +26,52 @@ const std::set<SessionId>& EmptySessionSet() {
   return *kEmpty;
 }
 
+// Sorted-vector set operations for the small per-user / per-session role
+// lists in the symbol mirrors.
+void SortedInsert(std::vector<Symbol>& v, Symbol s) {
+  auto it = std::lower_bound(v.begin(), v.end(), s);
+  if (it == v.end() || *it != s) v.insert(it, s);
+}
+
+void SortedErase(std::vector<Symbol>& v, Symbol s) {
+  auto it = std::lower_bound(v.begin(), v.end(), s);
+  if (it != v.end() && *it == s) v.erase(it);
+}
+
 }  // namespace
+
+RbacDatabase::RbacDatabase(SymbolTable* symbols) {
+  if (symbols == nullptr) {
+    owned_symbols_ = std::make_unique<SymbolTable>();
+    symbols_ = owned_symbols_.get();
+  } else {
+    symbols_ = symbols;
+  }
+}
+
+Symbol RbacDatabase::InternName(const std::string& name) {
+  Symbol s = symbols_->Intern(name);
+  if (s.id() >= kind_bits_.size()) kind_bits_.resize(s.id() + 1, 0);
+  return s;
+}
+
+void RbacDatabase::SetKind(Symbol s, uint8_t bit) {
+  if (s.id() >= kind_bits_.size()) kind_bits_.resize(s.id() + 1, 0);
+  kind_bits_[s.id()] |= bit;
+}
+
+void RbacDatabase::ClearKind(Symbol s, uint8_t bit) {
+  if (s.valid() && s.id() < kind_bits_.size()) {
+    kind_bits_[s.id()] &= static_cast<uint8_t>(~bit);
+  }
+}
 
 Status RbacDatabase::AddUser(const UserName& user) {
   if (user.empty()) return Status::InvalidArgument("empty user name");
   if (!users_.insert(user).second) {
     return Status::AlreadyExists("user exists: " + user);
   }
+  SetKind(InternName(user), kUserBit);
   return Status::OK();
 }
 
@@ -40,12 +79,15 @@ Status RbacDatabase::DeleteUser(const UserName& user) {
   if (users_.erase(user) == 0) {
     return Status::NotFound("no such user: " + user);
   }
+  const Symbol user_sym = symbols_->Find(user);
+  ClearKind(user_sym, kUserBit);
   // Drop assignments.
   auto ua = ua_.find(user);
   if (ua != ua_.end()) {
     for (const RoleName& role : ua->second) ua_inverse_[role].erase(user);
     ua_.erase(ua);
   }
+  ua_sym_.erase(user_sym.id());
   // NIST DeleteUser: the user's sessions are deleted as well.
   auto us = user_sessions_.find(user);
   if (us != user_sessions_.end()) {
@@ -62,6 +104,7 @@ Status RbacDatabase::AddRole(const RoleName& role) {
   if (!roles_.insert(role).second) {
     return Status::AlreadyExists("role exists: " + role);
   }
+  SetKind(InternName(role), kRoleBit);
   return Status::OK();
 }
 
@@ -69,18 +112,27 @@ Status RbacDatabase::DeleteRole(const RoleName& role) {
   if (roles_.erase(role) == 0) {
     return Status::NotFound("no such role: " + role);
   }
+  const Symbol role_sym = symbols_->Find(role);
+  ClearKind(role_sym, kRoleBit);
   auto inv = ua_inverse_.find(role);
   if (inv != ua_inverse_.end()) {
-    for (const UserName& user : inv->second) ua_[user].erase(role);
+    for (const UserName& user : inv->second) {
+      ua_[user].erase(role);
+      auto uas = ua_sym_.find(symbols_->Find(user).id());
+      if (uas != ua_sym_.end()) SortedErase(uas->second, role_sym);
+    }
     ua_inverse_.erase(inv);
   }
   pa_.erase(role);
+  pa_sym_.erase(role_sym.id());
   for (auto& [id, session] : sessions_) {
-    if (session.active_roles.erase(role) > 0) {
-      // Active count bookkeeping handled below via map erase.
-    }
+    session.active_roles.erase(role);
+  }
+  for (auto& [id, state] : sessions_sym_) {
+    SortedErase(state.active_roles, role_sym);
   }
   active_counts_.erase(role);
+  active_counts_sym_.erase(role_sym.id());
   return Status::OK();
 }
 
@@ -89,6 +141,7 @@ Status RbacDatabase::AddOperation(const OperationName& op) {
   if (!operations_.insert(op).second) {
     return Status::AlreadyExists("operation exists: " + op);
   }
+  SetKind(InternName(op), kOperationBit);
   return Status::OK();
 }
 
@@ -97,6 +150,7 @@ Status RbacDatabase::AddObject(const ObjectName& obj) {
   if (!objects_.insert(obj).second) {
     return Status::AlreadyExists("object exists: " + obj);
   }
+  SetKind(InternName(obj), kObjectBit);
   return Status::OK();
 }
 
@@ -107,6 +161,7 @@ Status RbacDatabase::Assign(const UserName& user, const RoleName& role) {
     return Status::AlreadyExists(user + " already assigned to " + role);
   }
   ua_inverse_[role].insert(user);
+  SortedInsert(ua_sym_[symbols_->Find(user).id()], symbols_->Find(role));
   return Status::OK();
 }
 
@@ -116,6 +171,8 @@ Status RbacDatabase::Deassign(const UserName& user, const RoleName& role) {
     return Status::NotFound(user + " is not assigned to " + role);
   }
   ua_inverse_[role].erase(user);
+  auto uas = ua_sym_.find(symbols_->Find(user).id());
+  if (uas != ua_sym_.end()) SortedErase(uas->second, symbols_->Find(role));
   return Status::OK();
 }
 
@@ -123,6 +180,12 @@ bool RbacDatabase::IsAssigned(const UserName& user,
                               const RoleName& role) const {
   auto it = ua_.find(user);
   return it != ua_.end() && it->second.count(role) > 0;
+}
+
+bool RbacDatabase::IsAssigned(Symbol user, Symbol role) const {
+  auto it = ua_sym_.find(user.id());
+  return it != ua_sym_.end() &&
+         std::binary_search(it->second.begin(), it->second.end(), role);
 }
 
 const std::set<RoleName>& RbacDatabase::AssignedRoles(
@@ -140,12 +203,18 @@ const std::set<UserName>& RbacDatabase::AssignedUsers(
 Status RbacDatabase::Grant(const Permission& perm, const RoleName& role) {
   if (!HasRole(role)) return Status::NotFound("no such role: " + role);
   // Operations and objects are registered implicitly on first grant.
-  operations_.insert(perm.operation);
-  objects_.insert(perm.object);
+  if (operations_.insert(perm.operation).second) {
+    SetKind(InternName(perm.operation), kOperationBit);
+  }
+  if (objects_.insert(perm.object).second) {
+    SetKind(InternName(perm.object), kObjectBit);
+  }
   if (!pa_[role].insert(perm).second) {
     return Status::AlreadyExists(perm.ToString() + " already granted to " +
                                  role);
   }
+  pa_sym_[symbols_->Find(role).id()].insert(PackPermission(
+      symbols_->Find(perm.operation), symbols_->Find(perm.object)));
   return Status::OK();
 }
 
@@ -154,6 +223,12 @@ Status RbacDatabase::Revoke(const Permission& perm, const RoleName& role) {
   if (it == pa_.end() || it->second.erase(perm) == 0) {
     return Status::NotFound(perm.ToString() + " not granted to " + role);
   }
+  auto pas = pa_sym_.find(symbols_->Find(role).id());
+  if (pas != pa_sym_.end()) {
+    pas->second.erase(PackPermission(symbols_->Find(perm.operation),
+                                     symbols_->Find(perm.object)));
+    if (pas->second.empty()) pa_sym_.erase(pas);
+  }
   return Status::OK();
 }
 
@@ -161,6 +236,12 @@ bool RbacDatabase::IsGranted(const Permission& perm,
                              const RoleName& role) const {
   auto it = pa_.find(role);
   return it != pa_.end() && it->second.count(perm) > 0;
+}
+
+bool RbacDatabase::IsGranted(Symbol op, Symbol obj, Symbol role) const {
+  auto it = pa_sym_.find(role.id());
+  return it != pa_sym_.end() &&
+         it->second.count(PackPermission(op, obj)) > 0;
 }
 
 const std::set<Permission>& RbacDatabase::RolePermissions(
@@ -178,6 +259,8 @@ Status RbacDatabase::CreateSession(const UserName& user,
   }
   sessions_.emplace(session, Session{session, user, {}});
   user_sessions_[user].insert(session);
+  sessions_sym_.emplace(InternName(session).id(),
+                        SessionState{symbols_->Find(user), {}});
   return Status::OK();
 }
 
@@ -191,8 +274,13 @@ Status RbacDatabase::DeleteSession(const SessionId& session) {
     if (ac != active_counts_.end() && --ac->second <= 0) {
       active_counts_.erase(ac);
     }
+    auto acs = active_counts_sym_.find(symbols_->Find(role).id());
+    if (acs != active_counts_sym_.end() && --acs->second <= 0) {
+      active_counts_sym_.erase(acs);
+    }
   }
   user_sessions_[it->second.user].erase(session);
+  sessions_sym_.erase(symbols_->Find(session).id());
   sessions_.erase(it);
   return Status::OK();
 }
@@ -204,6 +292,12 @@ Result<const Session*> RbacDatabase::GetSession(
     return Status::NotFound("no such session: " + session);
   }
   return &it->second;
+}
+
+const RbacDatabase::SessionState* RbacDatabase::GetSessionState(
+    Symbol session) const {
+  auto it = sessions_sym_.find(session.id());
+  return it == sessions_sym_.end() ? nullptr : &it->second;
 }
 
 const std::set<SessionId>& RbacDatabase::UserSessions(
@@ -223,6 +317,10 @@ Status RbacDatabase::AddSessionRole(const SessionId& session,
     return Status::AlreadyExists(role + " already active in " + session);
   }
   ++active_counts_[role];
+  const Symbol role_sym = symbols_->Find(role);
+  auto ss = sessions_sym_.find(symbols_->Find(session).id());
+  if (ss != sessions_sym_.end()) SortedInsert(ss->second.active_roles, role_sym);
+  ++active_counts_sym_[role_sym.id()];
   return Status::OK();
 }
 
@@ -239,7 +337,22 @@ Status RbacDatabase::DropSessionRole(const SessionId& session,
   if (ac != active_counts_.end() && --ac->second <= 0) {
     active_counts_.erase(ac);
   }
+  const Symbol role_sym = symbols_->Find(role);
+  auto ss = sessions_sym_.find(symbols_->Find(session).id());
+  if (ss != sessions_sym_.end()) SortedErase(ss->second.active_roles, role_sym);
+  auto acs = active_counts_sym_.find(role_sym.id());
+  if (acs != active_counts_sym_.end() && --acs->second <= 0) {
+    active_counts_sym_.erase(acs);
+  }
   return Status::OK();
+}
+
+Status RbacDatabase::AddSessionRole(Symbol session, Symbol role) {
+  return AddSessionRole(symbols_->NameOf(session), symbols_->NameOf(role));
+}
+
+Status RbacDatabase::DropSessionRole(Symbol session, Symbol role) {
+  return DropSessionRole(symbols_->NameOf(session), symbols_->NameOf(role));
 }
 
 bool RbacDatabase::IsSessionRoleActive(const SessionId& session,
@@ -248,9 +361,19 @@ bool RbacDatabase::IsSessionRoleActive(const SessionId& session,
   return it != sessions_.end() && it->second.active_roles.count(role) > 0;
 }
 
+bool RbacDatabase::IsSessionRoleActive(Symbol session, Symbol role) const {
+  auto it = sessions_sym_.find(session.id());
+  return it != sessions_sym_.end() && it->second.IsActive(role);
+}
+
 int RbacDatabase::ActiveSessionCount(const RoleName& role) const {
   auto it = active_counts_.find(role);
   return it == active_counts_.end() ? 0 : it->second;
+}
+
+int RbacDatabase::ActiveSessionCount(Symbol role) const {
+  auto it = active_counts_sym_.find(role.id());
+  return it == active_counts_sym_.end() ? 0 : it->second;
 }
 
 std::vector<SessionId> RbacDatabase::SessionIds() const {

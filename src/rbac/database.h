@@ -1,11 +1,17 @@
 #ifndef SENTINELPP_RBAC_DATABASE_H_
 #define SENTINELPP_RBAC_DATABASE_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/status.h"
 #include "rbac/types.h"
 
@@ -15,12 +21,24 @@ namespace sentinel {
 /// user-assignment (UA) and permission-assignment (PA) relations, and
 /// SESSIONS. Maintains referential integrity only; policy constraints
 /// (hierarchy semantics, SoD, temporal) live in the layers above.
+///
+/// Names are interned at registration: every mutator keeps symbol-keyed
+/// mirrors of the hot relations in step with the string containers, so the
+/// per-request predicates (HasRole, IsAssigned, IsGranted, session lookups)
+/// have Symbol overloads that never hash or compare a string. The string
+/// API remains the public boundary and the source for ordered
+/// introspection.
 class RbacDatabase {
  public:
-  RbacDatabase() = default;
+  /// `symbols` is shared with the owning engine so rule-captured symbols
+  /// align; when null the database owns a private table.
+  explicit RbacDatabase(SymbolTable* symbols = nullptr);
 
   RbacDatabase(const RbacDatabase&) = delete;
   RbacDatabase& operator=(const RbacDatabase&) = delete;
+
+  const SymbolTable& symbols() const { return *symbols_; }
+  SymbolTable& symbols() { return *symbols_; }
 
   // -------------------------------------------------------- Element sets
 
@@ -28,26 +46,31 @@ class RbacDatabase {
   /// Also removes the user's assignments and sessions.
   Status DeleteUser(const UserName& user);
   bool HasUser(const UserName& user) const { return users_.count(user) > 0; }
+  bool HasUser(Symbol user) const { return HasKind(user, kUserBit); }
 
   Status AddRole(const RoleName& role);
   /// Also removes the role's assignments, grants and active instances.
   Status DeleteRole(const RoleName& role);
   bool HasRole(const RoleName& role) const { return roles_.count(role) > 0; }
+  bool HasRole(Symbol role) const { return HasKind(role, kRoleBit); }
 
   Status AddOperation(const OperationName& op);
   bool HasOperation(const OperationName& op) const {
     return operations_.count(op) > 0;
   }
+  bool HasOperation(Symbol op) const { return HasKind(op, kOperationBit); }
   Status AddObject(const ObjectName& obj);
   bool HasObject(const ObjectName& obj) const {
     return objects_.count(obj) > 0;
   }
+  bool HasObject(Symbol obj) const { return HasKind(obj, kObjectBit); }
 
   // ------------------------------------------------------------------ UA
 
   Status Assign(const UserName& user, const RoleName& role);
   Status Deassign(const UserName& user, const RoleName& role);
   bool IsAssigned(const UserName& user, const RoleName& role) const;
+  bool IsAssigned(Symbol user, Symbol role) const;
   const std::set<RoleName>& AssignedRoles(const UserName& user) const;
   const std::set<UserName>& AssignedUsers(const RoleName& role) const;
 
@@ -56,17 +79,35 @@ class RbacDatabase {
   Status Grant(const Permission& perm, const RoleName& role);
   Status Revoke(const Permission& perm, const RoleName& role);
   bool IsGranted(const Permission& perm, const RoleName& role) const;
+  bool IsGranted(Symbol op, Symbol obj, Symbol role) const;
   const std::set<Permission>& RolePermissions(const RoleName& role) const;
 
   // ------------------------------------------------------------ Sessions
+
+  /// Symbol mirror of one session: owner plus sorted active-role symbols.
+  struct SessionState {
+    Symbol user;
+    std::vector<Symbol> active_roles;  // Sorted by symbol id.
+
+    bool IsActive(Symbol role) const {
+      return std::binary_search(active_roles.begin(), active_roles.end(),
+                                role);
+    }
+  };
 
   Status CreateSession(const UserName& user, const SessionId& session);
   Status DeleteSession(const SessionId& session);
   bool HasSession(const SessionId& session) const {
     return sessions_.count(session) > 0;
   }
+  bool HasSession(Symbol session) const {
+    return sessions_sym_.count(session.id()) > 0;
+  }
   /// Owner and active-role set; error when unknown.
   Result<const Session*> GetSession(const SessionId& session) const;
+  /// Symbol mirror lookup; nullptr when unknown. The pointer is valid until
+  /// the next session mutation.
+  const SessionState* GetSessionState(Symbol session) const;
   const std::set<SessionId>& UserSessions(const UserName& user) const;
 
   /// Adds/removes an active role in a session. Validity (assignment,
@@ -74,12 +115,16 @@ class RbacDatabase {
   /// only existence of the session and role.
   Status AddSessionRole(const SessionId& session, const RoleName& role);
   Status DropSessionRole(const SessionId& session, const RoleName& role);
+  Status AddSessionRole(Symbol session, Symbol role);
+  Status DropSessionRole(Symbol session, Symbol role);
   bool IsSessionRoleActive(const SessionId& session,
                            const RoleName& role) const;
+  bool IsSessionRoleActive(Symbol session, Symbol role) const;
 
   /// Number of sessions in which `role` is currently active (counts each
   /// session once) — the quantity cardinality constraints bound.
   int ActiveSessionCount(const RoleName& role) const;
+  int ActiveSessionCount(Symbol role) const;
 
   // ------------------------------------------------------ Introspection
 
@@ -91,6 +136,24 @@ class RbacDatabase {
   size_t session_count() const { return sessions_.size(); }
 
  private:
+  // What element kinds a symbol is registered as (a name may be reused
+  // across kinds, e.g. an object named like a role).
+  static constexpr uint8_t kUserBit = 1;
+  static constexpr uint8_t kRoleBit = 2;
+  static constexpr uint8_t kOperationBit = 4;
+  static constexpr uint8_t kObjectBit = 8;
+
+  bool HasKind(Symbol s, uint8_t bit) const {
+    return s.valid() && s.id() < kind_bits_.size() &&
+           (kind_bits_[s.id()] & bit) != 0;
+  }
+  Symbol InternName(const std::string& name);
+  void SetKind(Symbol s, uint8_t bit);
+  void ClearKind(Symbol s, uint8_t bit);
+  static uint64_t PackPermission(Symbol op, Symbol obj) {
+    return (static_cast<uint64_t>(op.id()) << 32) | obj.id();
+  }
+
   std::set<UserName> users_;
   std::set<RoleName> roles_;
   std::set<OperationName> operations_;
@@ -102,6 +165,16 @@ class RbacDatabase {
   std::map<SessionId, Session> sessions_;
   std::map<UserName, std::set<SessionId>> user_sessions_;
   std::map<RoleName, int> active_counts_;
+
+  // Symbol mirrors of the relations above, maintained by the same mutators.
+  // All keys are dense symbol ids; values holding role lists are sorted.
+  std::unique_ptr<SymbolTable> owned_symbols_;
+  SymbolTable* symbols_;
+  std::vector<uint8_t> kind_bits_;  // Indexed by symbol id.
+  std::unordered_map<uint32_t, std::vector<Symbol>> ua_sym_;
+  std::unordered_map<uint32_t, std::unordered_set<uint64_t>> pa_sym_;
+  std::unordered_map<uint32_t, SessionState> sessions_sym_;
+  std::unordered_map<uint32_t, int> active_counts_sym_;
 };
 
 }  // namespace sentinel

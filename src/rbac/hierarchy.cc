@@ -46,6 +46,7 @@ Status RoleHierarchy::AddInheritance(const RoleName& senior,
                                  junior);
   }
   seniors_[junior].insert(senior);
+  ++epoch_;
   return Status::OK();
 }
 
@@ -56,6 +57,7 @@ Status RoleHierarchy::DeleteInheritance(const RoleName& senior,
     return Status::NotFound("no inheritance: " + senior + " >>= " + junior);
   }
   seniors_[junior].erase(senior);
+  ++epoch_;
   return Status::OK();
 }
 
@@ -70,6 +72,7 @@ void RoleHierarchy::EraseRole(const RoleName& role) {
     for (const RoleName& senior : up->second) juniors_[senior].erase(role);
     seniors_.erase(up);
   }
+  ++epoch_;
 }
 
 bool RoleHierarchy::Dominates(const RoleName& senior,

@@ -49,9 +49,14 @@ class RoleHierarchy {
   /// Number of immediate inheritance edges.
   int edge_count() const;
 
+  /// Bumped on every structural change; closure caches key their validity
+  /// on it instead of subscribing to mutations.
+  uint64_t epoch() const { return epoch_; }
+
  private:
   std::map<RoleName, std::set<RoleName>> juniors_;  // senior -> juniors
   std::map<RoleName, std::set<RoleName>> seniors_;  // junior -> seniors
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace sentinel

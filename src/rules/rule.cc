@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "event/event_detector.h"
+
 namespace sentinel {
 
 const char* RuleClassToString(RuleClass cls) {
@@ -28,27 +30,59 @@ const char* RuleGranularityToString(RuleGranularity granularity) {
   return "unknown";
 }
 
+namespace {
+const std::string kEmptyParam;
+}  // namespace
+
+const std::string& RuleContext::ParamString(Symbol key) const {
+  if (occurrence == nullptr || detector == nullptr) return kEmptyParam;
+  const Value* v = occurrence->params.Find(key);
+  if (v == nullptr) return kEmptyParam;
+  // Name-valued params are interned at the raise boundary; resolve through
+  // the detector's table. Free-text string values pass through unchanged.
+  if (v->is_symbol()) return detector->symbols().NameOf(v->AsSymbol());
+  return v->AsString();
+}
+
+Symbol RuleContext::ParamSym(Symbol key) const {
+  if (occurrence == nullptr) return Symbol();
+  const Value* v = occurrence->params.Find(key);
+  return v == nullptr ? Symbol() : v->AsSymbol();
+}
+
+int64_t RuleContext::ParamInt(Symbol key) const {
+  if (occurrence == nullptr) return 0;
+  const Value* v = occurrence->params.Find(key);
+  return v == nullptr ? 0 : v->AsInt();
+}
+
+bool RuleContext::ParamBool(Symbol key) const {
+  if (occurrence == nullptr) return false;
+  const Value* v = occurrence->params.Find(key);
+  return v == nullptr ? false : v->AsBool();
+}
+
+bool RuleContext::HasParam(Symbol key) const {
+  return occurrence != nullptr && occurrence->params.Contains(key);
+}
+
 const std::string& RuleContext::ParamString(const std::string& key) const {
-  static const std::string kEmpty;
-  if (occurrence == nullptr) return kEmpty;
-  auto it = occurrence->params.find(key);
-  return it == occurrence->params.end() ? kEmpty : it->second.AsString();
+  if (detector == nullptr) return kEmptyParam;
+  return ParamString(detector->symbols().Find(key));
 }
 
 int64_t RuleContext::ParamInt(const std::string& key) const {
-  if (occurrence == nullptr) return 0;
-  auto it = occurrence->params.find(key);
-  return it == occurrence->params.end() ? 0 : it->second.AsInt();
+  if (detector == nullptr) return 0;
+  return ParamInt(detector->symbols().Find(key));
 }
 
 bool RuleContext::ParamBool(const std::string& key) const {
-  if (occurrence == nullptr) return false;
-  auto it = occurrence->params.find(key);
-  return it == occurrence->params.end() ? false : it->second.AsBool();
+  if (detector == nullptr) return false;
+  return ParamBool(detector->symbols().Find(key));
 }
 
 bool RuleContext::HasParam(const std::string& key) const {
-  return occurrence != nullptr && occurrence->params.count(key) > 0;
+  return detector != nullptr && HasParam(detector->symbols().Find(key));
 }
 
 Rule::Rule(std::string name, EventId event)

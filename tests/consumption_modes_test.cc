@@ -83,9 +83,9 @@ TEST_P(ConsumptionModeTest, SeqTwoLeftsOneRightCounts) {
   ASSERT_EQ(log_.size(), expected);
   // Which initiator pairs depends on the mode.
   if (mode() == ConsumptionMode::kRecent) {
-    EXPECT_EQ(log_[0].params.at("x"), Value(2));
+    EXPECT_EQ(log_[0].params.Get(detector_.symbols(), "x"), Value(2));
   } else if (mode() == ConsumptionMode::kChronicle) {
-    EXPECT_EQ(log_[0].params.at("x"), Value(1));
+    EXPECT_EQ(log_[0].params.Get(detector_.symbols(), "x"), Value(1));
   }
 }
 

@@ -43,7 +43,7 @@ TEST_F(EventDetectorTest, PrimitiveRaiseNotifiesSubscribers) {
   EXPECT_EQ(log_[0].source, e);
   EXPECT_EQ(log_[0].start, testutil::Noon());
   EXPECT_EQ(log_[0].end, testutil::Noon());
-  EXPECT_EQ(log_[0].params.at("k"), Value("v"));
+  EXPECT_EQ(log_[0].params.GetString(detector_.symbols(), "k"), "v");
 }
 
 TEST_F(EventDetectorTest, RaiseRejectsCompositeAndUnknown) {
@@ -81,7 +81,7 @@ TEST_F(EventDetectorTest, FilterPassesOnlyMatchingParams) {
   Raise(e, {{"role", Value("R2")}});
   Raise(e, {});  // Missing key.
   ASSERT_EQ(log_.size(), 1u);
-  EXPECT_EQ(log_[0].params.at("user"), Value("bob"));
+  EXPECT_EQ(log_[0].params.GetString(detector_.symbols(), "user"), "bob");
 }
 
 TEST_F(EventDetectorTest, FilterChainsCompose) {
@@ -120,8 +120,8 @@ TEST_F(EventDetectorTest, AndRecentPairsWithMostRecent) {
   Raise(a, {{"x", Value(2)}});
   Raise(b, {{"y", Value(9)}});
   ASSERT_EQ(log_.size(), 1u);
-  EXPECT_EQ(log_[0].params.at("x"), Value(2));  // Most recent a.
-  EXPECT_EQ(log_[0].params.at("y"), Value(9));
+  EXPECT_EQ(log_[0].params.Get(detector_.symbols(), "x"), Value(2));  // Most recent a.
+  EXPECT_EQ(log_[0].params.Get(detector_.symbols(), "y"), Value(9));
   // Recent keeps the initiator: another b pairs again.
   Raise(b);
   EXPECT_EQ(log_.size(), 2u);
@@ -137,10 +137,10 @@ TEST_F(EventDetectorTest, AndChroniclePairsFifoAndConsumes) {
   Raise(a, {{"x", Value(2)}});
   Raise(b);
   ASSERT_EQ(log_.size(), 1u);
-  EXPECT_EQ(log_[0].params.at("x"), Value(1));  // Oldest a.
+  EXPECT_EQ(log_[0].params.Get(detector_.symbols(), "x"), Value(1));  // Oldest a.
   Raise(b);
   ASSERT_EQ(log_.size(), 2u);
-  EXPECT_EQ(log_[1].params.at("x"), Value(2));
+  EXPECT_EQ(log_[1].params.Get(detector_.symbols(), "x"), Value(2));
   Raise(b);  // No a left: b queues on its own side.
   EXPECT_EQ(log_.size(), 2u);
 }
@@ -169,9 +169,9 @@ TEST_F(EventDetectorTest, AndCumulativeMergesAll) {
   Raise(a, {{"y", Value(2)}});
   Raise(b, {{"z", Value(3)}});
   ASSERT_EQ(log_.size(), 1u);
-  EXPECT_EQ(log_[0].params.at("x"), Value(1));
-  EXPECT_EQ(log_[0].params.at("y"), Value(2));
-  EXPECT_EQ(log_[0].params.at("z"), Value(3));
+  EXPECT_EQ(log_[0].params.Get(detector_.symbols(), "x"), Value(1));
+  EXPECT_EQ(log_[0].params.Get(detector_.symbols(), "y"), Value(2));
+  EXPECT_EQ(log_[0].params.Get(detector_.symbols(), "z"), Value(3));
 }
 
 TEST_F(EventDetectorTest, AndEitherOrderDetects) {
@@ -224,8 +224,8 @@ TEST_F(EventDetectorTest, SeqChronicleConsumesOldestEligible) {
   Raise(b);
   Raise(b);
   ASSERT_EQ(log_.size(), 2u);
-  EXPECT_EQ(log_[0].params.at("x"), Value(1));
-  EXPECT_EQ(log_[1].params.at("x"), Value(2));
+  EXPECT_EQ(log_[0].params.Get(detector_.symbols(), "x"), Value(1));
+  EXPECT_EQ(log_[1].params.Get(detector_.symbols(), "x"), Value(2));
 }
 
 TEST_F(EventDetectorTest, SeqContinuousDetectsPerInitiator) {
@@ -294,7 +294,7 @@ TEST_F(EventDetectorTest, PlusFiresAfterDelta) {
   ASSERT_EQ(log_.size(), 1u);
   EXPECT_EQ(log_[0].start, testutil::Noon());
   EXPECT_EQ(log_[0].end, testutil::Noon() + 5 * kSecond);
-  EXPECT_EQ(log_[0].params.at("user"), Value("bob"));
+  EXPECT_EQ(log_[0].params.GetString(detector_.symbols(), "user"), "bob");
 }
 
 TEST_F(EventDetectorTest, PlusEachOccurrenceSchedulesItsOwnExpiry) {
@@ -306,8 +306,8 @@ TEST_F(EventDetectorTest, PlusEachOccurrenceSchedulesItsOwnExpiry) {
   Raise(a, {{"n", Value(2)}});
   detector_.AdvanceTo(testutil::Noon() + kMinute, &clock_);
   ASSERT_EQ(log_.size(), 2u);
-  EXPECT_EQ(log_[0].params.at("n"), Value(1));
-  EXPECT_EQ(log_[1].params.at("n"), Value(2));
+  EXPECT_EQ(log_[0].params.Get(detector_.symbols(), "n"), Value(1));
+  EXPECT_EQ(log_[1].params.Get(detector_.symbols(), "n"), Value(2));
 }
 
 TEST_F(EventDetectorTest, PlusCancelByParamMatch) {
@@ -322,7 +322,7 @@ TEST_F(EventDetectorTest, PlusCancelByParamMatch) {
   EXPECT_EQ(*cancelled, 1);
   detector_.AdvanceTo(testutil::Noon() + kMinute, &clock_);
   ASSERT_EQ(log_.size(), 1u);
-  EXPECT_EQ(log_[0].params.at("session"), Value("s2"));
+  EXPECT_EQ(log_[0].params.GetString(detector_.symbols(), "session"), "s2");
 }
 
 TEST_F(EventDetectorTest, CancelPendingPlusRejectsNonPlus) {
@@ -361,8 +361,8 @@ TEST_F(EventDetectorTest, AperiodicMergesInitiatorAndMiddleParams) {
   Raise(a, {{"w", Value("win")}});
   Raise(b, {{"m", Value("mid")}});
   ASSERT_EQ(log_.size(), 1u);
-  EXPECT_EQ(log_[0].params.at("w"), Value("win"));
-  EXPECT_EQ(log_[0].params.at("m"), Value("mid"));
+  EXPECT_EQ(log_[0].params.GetString(detector_.symbols(), "w"), "win");
+  EXPECT_EQ(log_[0].params.GetString(detector_.symbols(), "m"), "mid");
 }
 
 TEST_F(EventDetectorTest, AperiodicRecentNewInitiatorReplacesWindow) {
@@ -376,7 +376,7 @@ TEST_F(EventDetectorTest, AperiodicRecentNewInitiatorReplacesWindow) {
   Raise(a, {{"w", Value(2)}});
   Raise(b);
   ASSERT_EQ(log_.size(), 1u);
-  EXPECT_EQ(log_[0].params.at("w"), Value(2));
+  EXPECT_EQ(log_[0].params.Get(detector_.symbols(), "w"), Value(2));
 }
 
 TEST_F(EventDetectorTest, AperiodicStarAccumulatesAndEmitsAtTerminator) {
@@ -392,7 +392,7 @@ TEST_F(EventDetectorTest, AperiodicStarAccumulatesAndEmitsAtTerminator) {
   EXPECT_EQ(log_.size(), 0u);  // Nothing until the terminator.
   Raise(c);
   ASSERT_EQ(log_.size(), 1u);
-  EXPECT_EQ(log_[0].params.at("_count"), Value(int64_t{3}));
+  EXPECT_EQ(log_[0].params.Get(detector_.symbols(), "_count"), Value(int64_t{3}));
 }
 
 TEST_F(EventDetectorTest, AperiodicStarEmitsZeroCountWindow) {
@@ -404,7 +404,7 @@ TEST_F(EventDetectorTest, AperiodicStarEmitsZeroCountWindow) {
   Raise(a);
   Raise(c);
   ASSERT_EQ(log_.size(), 1u);
-  EXPECT_EQ(log_[0].params.at("_count"), Value(int64_t{0}));
+  EXPECT_EQ(log_[0].params.Get(detector_.symbols(), "_count"), Value(int64_t{0}));
 }
 
 // ------------------------------------------------------------ PERIODIC
@@ -434,7 +434,7 @@ TEST_F(EventDetectorTest, PeriodicStarCountsTicks) {
   EXPECT_EQ(log_.size(), 0u);
   Raise(c);
   ASSERT_EQ(log_.size(), 1u);
-  EXPECT_EQ(log_[0].params.at("_ticks"), Value(int64_t{2}));
+  EXPECT_EQ(log_[0].params.Get(detector_.symbols(), "_ticks"), Value(int64_t{2}));
 }
 
 TEST_F(EventDetectorTest, PeriodicRejectsNonPositiveTau) {

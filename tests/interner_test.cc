@@ -1,0 +1,195 @@
+#include "common/interner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace sentinel {
+namespace {
+
+// ------------------------------------------------------------ SymbolTable
+
+TEST(SymbolTableTest, InternAssignsDenseIdsInOrder) {
+  SymbolTable t;
+  EXPECT_EQ(t.Intern("alice").id(), 0u);
+  EXPECT_EQ(t.Intern("bob").id(), 1u);
+  EXPECT_EQ(t.Intern("carol").id(), 2u);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(SymbolTableTest, ReinternReturnsSameSymbol) {
+  SymbolTable t;
+  const Symbol a = t.Intern("alice");
+  const Symbol b = t.Intern("bob");
+  EXPECT_EQ(t.Intern("alice"), a);
+  EXPECT_EQ(t.Intern("bob"), b);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(SymbolTableTest, FindDoesNotIntern) {
+  SymbolTable t;
+  EXPECT_FALSE(t.Find("ghost").valid());
+  EXPECT_EQ(t.size(), 0u);
+  const Symbol s = t.Intern("real");
+  EXPECT_EQ(t.Find("real"), s);
+}
+
+TEST(SymbolTableTest, NameOfRoundTripsAndHandlesInvalid) {
+  SymbolTable t;
+  const Symbol s = t.Intern("role:doctor");
+  EXPECT_EQ(t.NameOf(s), "role:doctor");
+  EXPECT_EQ(t.NameOf(Symbol()), "");
+  EXPECT_EQ(t.NameOf(Symbol(999)), "");
+}
+
+TEST(SymbolTableTest, IdsAndNamesStableAcrossGrowth) {
+  SymbolTable t;
+  // Enough insertions to force several rehashes of the index.
+  std::vector<Symbol> syms;
+  for (int i = 0; i < 1000; ++i) {
+    syms.push_back(t.Intern("name" + std::to_string(i)));
+  }
+  const std::string* early = &t.NameOf(syms[0]);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string name = "name" + std::to_string(i);
+    EXPECT_EQ(syms[i].id(), static_cast<uint32_t>(i));
+    EXPECT_EQ(t.Find(name), syms[i]);
+    EXPECT_EQ(t.NameOf(syms[i]), name);
+  }
+  // NameOf references stay valid for the table's lifetime.
+  EXPECT_EQ(early, &t.NameOf(syms[0]));
+}
+
+TEST(SymbolTableTest, EmptyStringIsAValidDistinctSymbol) {
+  SymbolTable t;
+  const Symbol empty = t.Intern("");
+  EXPECT_TRUE(empty.valid());
+  EXPECT_EQ(t.NameOf(empty), "");
+  EXPECT_EQ(t.Intern(""), empty);
+}
+
+// ----------------------------------------------------------- FlatParamMap
+
+Symbol Sym(uint32_t id) { return Symbol(id); }
+
+TEST(FlatParamMapTest, SetKeepsEntriesSortedRegardlessOfInsertOrder) {
+  FlatParamMap m;
+  m.Set(Sym(5), Value(5));
+  m.Set(Sym(1), Value(1));
+  m.Set(Sym(3), Value(3));
+  ASSERT_EQ(m.size(), 3u);
+  uint32_t prev = 0;
+  for (const auto& e : m) {
+    EXPECT_GE(e.key.id(), prev);
+    prev = e.key.id();
+    EXPECT_EQ(e.value, Value(static_cast<int64_t>(e.key.id())));
+  }
+}
+
+TEST(FlatParamMapTest, LatestWriteWins) {
+  FlatParamMap m;
+  m.Set(Sym(2), Value("old"));
+  m.Set(Sym(2), Value("new"));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.Get(Sym(2)), Value("new"));
+}
+
+TEST(FlatParamMapTest, FindAndGetMissingKey) {
+  FlatParamMap m;
+  m.Set(Sym(1), Value(1));
+  EXPECT_EQ(m.Find(Sym(9)), nullptr);
+  EXPECT_TRUE(m.Get(Sym(9)).is_null());
+  EXPECT_FALSE(m.Contains(Sym(9)));
+  EXPECT_TRUE(m.Contains(Sym(1)));
+}
+
+TEST(FlatParamMapTest, SpillsToHeapPastInlineCapacityAndStaysSorted) {
+  FlatParamMap m;
+  // Insert in descending order, well past kInlineCapacity (6).
+  for (uint32_t i = 20; i > 0; --i) {
+    m.Set(Sym(i), Value(static_cast<int64_t>(i)));
+  }
+  ASSERT_EQ(m.size(), 20u);
+  uint32_t expect = 1;
+  for (const auto& e : m) {
+    EXPECT_EQ(e.key.id(), expect);
+    EXPECT_EQ(e.value, Value(static_cast<int64_t>(expect)));
+    ++expect;
+  }
+  // Lookups still work after the spill.
+  EXPECT_EQ(m.Get(Sym(20)), Value(int64_t{20}));
+  EXPECT_EQ(m.Get(Sym(1)), Value(int64_t{1}));
+}
+
+TEST(FlatParamMapTest, EqualityIsOrderInsensitive) {
+  FlatParamMap a{{Sym(1), Value(1)}, {Sym(2), Value(2)}};
+  FlatParamMap b;
+  b.Set(Sym(2), Value(2));
+  b.Set(Sym(1), Value(1));
+  EXPECT_EQ(a, b);
+  b.Set(Sym(1), Value(7));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(FlatParamMapTest, ContainsAllIsSubsetWithEqualValues) {
+  FlatParamMap super{{Sym(1), Value(1)}, {Sym(2), Value(2)}, {Sym(3), Value(3)}};
+  FlatParamMap sub{{Sym(1), Value(1)}, {Sym(3), Value(3)}};
+  EXPECT_TRUE(super.ContainsAll(sub));
+  EXPECT_TRUE(super.ContainsAll({}));
+  sub.Set(Sym(3), Value(9));  // Wrong value.
+  EXPECT_FALSE(super.ContainsAll(sub));
+  FlatParamMap missing{{Sym(4), Value(4)}};
+  EXPECT_FALSE(super.ContainsAll(missing));
+}
+
+TEST(FlatParamMapTest, MergeFromOverlayWins) {
+  FlatParamMap base{{Sym(1), Value(1)}, {Sym(2), Value(2)}};
+  FlatParamMap overlay{{Sym(2), Value(22)}, {Sym(3), Value(3)}};
+  base.MergeFrom(overlay);
+  EXPECT_EQ(base.size(), 3u);
+  EXPECT_EQ(base.Get(Sym(1)), Value(1));
+  EXPECT_EQ(base.Get(Sym(2)), Value(22));
+  EXPECT_EQ(base.Get(Sym(3)), Value(3));
+}
+
+TEST(FlatParamMapTest, InternStringValuesCanonicalizesOnlyStrings) {
+  SymbolTable t;
+  const Symbol k1 = t.Intern("user");
+  const Symbol k2 = t.Intern("count");
+  FlatParamMap m{{k1, Value("bob")}, {k2, Value(7)}};
+  m.InternStringValues(t);
+  ASSERT_TRUE(m.Get(k1).is_symbol());
+  EXPECT_EQ(t.NameOf(m.Get(k1).AsSymbol()), "bob");
+  EXPECT_EQ(m.Get(k2), Value(7));  // Non-strings untouched.
+}
+
+TEST(FlatParamMapTest, StringKeyedAccessorsResolveThroughTable) {
+  SymbolTable t;
+  FlatParamMap m = InternParams(t, {{"user", Value("bob")}, {"n", Value(3)}});
+  EXPECT_EQ(m.GetString(t, "user"), "bob");
+  EXPECT_EQ(m.Get(t, "n"), Value(3));
+  EXPECT_TRUE(m.Get(t, "missing").is_null());
+  EXPECT_EQ(m.GetString(t, "never-interned-key"), "");
+}
+
+TEST(FlatParamMapTest, ToStringMatchesParamMapToStringRendering) {
+  SymbolTable t;
+  const ParamMap source = {
+      {"b", Value("beta")}, {"a", Value(1)}, {"c", Value(true)}};
+  FlatParamMap m = InternParams(t, source);
+  EXPECT_EQ(m.ToString(t), ParamMapToString(source));
+}
+
+TEST(FlatParamMapTest, InternExternRoundTrip) {
+  SymbolTable t;
+  const ParamMap source = {
+      {"user", Value("bob")}, {"x", Value(2)}, {"ok", Value(false)}};
+  const FlatParamMap m = InternParams(t, source);
+  EXPECT_EQ(ExternParams(t, m), source);
+}
+
+}  // namespace
+}  // namespace sentinel
