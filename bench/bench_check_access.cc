@@ -1,14 +1,22 @@
 // E5 — checkAccess latency (Rule 5 / CA1): the globalized check-access
 // rule walks the session's active role set and the permission inheritance
 // closure. Sweeps the number of active roles per session and permissions
-// per role; engine vs DirectEnforcer.
+// per role; engine (behind the AuthorizationService facade, submitted via
+// CheckAccessBatch so bulk callers pay one boundary hop per batch) vs
+// DirectEnforcer.
 
 #include <benchmark/benchmark.h>
+
+#include <span>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 
 namespace sentinel {
 namespace {
+
+constexpr size_t kBatch = 64;
 
 /// Flat policy: `roles` roles, each granted `perms` permissions, one user
 /// assigned to all of them.
@@ -31,10 +39,10 @@ Policy FlatPolicy(int roles, int perms) {
   return policy;
 }
 
-void ActivateAll(AuthorizationEngine& engine, int roles) {
-  (void)engine.CreateSession("u", "s1");
+void ActivateAll(AuthorizationService& service, int roles) {
+  (void)service.CreateSession("u", "s1");
   for (int r = 0; r < roles; ++r) {
-    (void)engine.AddActiveRole("u", "s1", SyntheticRoleName(r));
+    (void)service.AddActiveRole("u", "s1", SyntheticRoleName(r));
   }
 }
 
@@ -45,15 +53,31 @@ void ActivateAllBaseline(DirectEnforcer& enforcer, int roles) {
   }
 }
 
+/// A batch of identical worst-case requests; per-request cost is the
+/// reported metric (items_processed).
+std::vector<AccessRequest> RepeatRequest(const std::string& op,
+                                         const std::string& obj) {
+  return std::vector<AccessRequest>(kBatch,
+                                    AccessRequest{"u", "s1", op, obj, ""});
+}
+
+void RunBatches(benchmark::State& state, AuthorizationService& service,
+                const std::vector<AccessRequest>& batch) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        service.CheckAccessBatch(std::span<const AccessRequest>(batch)));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+
 void BM_CheckAccess_Engine_ActiveRoles(benchmark::State& state) {
   const int roles = static_cast<int>(state.range(0));
-  benchutil::EngineUnderTest sut(FlatPolicy(roles, 4));
-  ActivateAll(*sut.engine, roles);
+  benchutil::ServiceUnderTest sut(FlatPolicy(roles, 4));
+  ActivateAll(*sut.service, roles);
   // Worst case: the permission held only by the last-ordered role.
   const std::string obj = SyntheticObjectName((roles - 1) * 4 + 3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sut.engine->CheckAccess("s1", "op3", obj));
-  }
+  RunBatches(state, *sut.service, RepeatRequest("op3", obj));
   state.counters["active_roles"] = roles;
 }
 BENCHMARK(BM_CheckAccess_Engine_ActiveRoles)->Arg(1)->Arg(4)->Arg(16)
@@ -74,26 +98,22 @@ BENCHMARK(BM_CheckAccess_Baseline_ActiveRoles)->Arg(1)->Arg(4)->Arg(16)
 
 void BM_CheckAccess_Engine_PermsPerRole(benchmark::State& state) {
   const int perms = static_cast<int>(state.range(0));
-  benchutil::EngineUnderTest sut(FlatPolicy(4, perms));
-  ActivateAll(*sut.engine, 4);
+  benchutil::ServiceUnderTest sut(FlatPolicy(4, perms));
+  ActivateAll(*sut.service, 4);
   const std::string obj = SyntheticObjectName(3 * perms + perms - 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        sut.engine->CheckAccess("s1", "op" + std::to_string(perms - 1), obj));
-  }
+  RunBatches(state, *sut.service,
+             RepeatRequest("op" + std::to_string(perms - 1), obj));
   state.counters["perms_per_role"] = perms;
 }
 BENCHMARK(BM_CheckAccess_Engine_PermsPerRole)->Arg(2)->Arg(8)->Arg(32)
     ->Arg(128);
 
 void BM_CheckAccess_Engine_Denied(benchmark::State& state) {
-  benchutil::EngineUnderTest sut(FlatPolicy(8, 4));
-  ActivateAll(*sut.engine, 8);
-  for (auto _ : state) {
-    // Known op/object, but no grant matches: full scan, then deny.
-    benchmark::DoNotOptimize(
-        sut.engine->CheckAccess("s1", "op0", SyntheticObjectName(1)));
-  }
+  benchutil::ServiceUnderTest sut(FlatPolicy(8, 4));
+  ActivateAll(*sut.service, 8);
+  // Known op/object, but no grant matches: full scan, then deny.
+  RunBatches(state, *sut.service,
+             RepeatRequest("op0", SyntheticObjectName(1)));
 }
 BENCHMARK(BM_CheckAccess_Engine_Denied);
 
@@ -127,12 +147,10 @@ void BM_CheckAccess_Engine_HierarchyDepth(benchmark::State& state) {
   user.assignments.insert("L" + std::to_string(depth));
   (void)policy.AddUser(std::move(user));
 
-  benchutil::EngineUnderTest sut(policy);
-  (void)sut.engine->CreateSession("u", "s1");
-  (void)sut.engine->AddActiveRole("u", "s1", "L" + std::to_string(depth));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sut.engine->CheckAccess("s1", "read", "leaf"));
-  }
+  benchutil::ServiceUnderTest sut(policy);
+  (void)sut.service->CreateSession("u", "s1");
+  (void)sut.service->AddActiveRole("u", "s1", "L" + std::to_string(depth));
+  RunBatches(state, *sut.service, RepeatRequest("read", "leaf"));
   state.counters["depth"] = depth;
 }
 BENCHMARK(BM_CheckAccess_Engine_HierarchyDepth)->Arg(1)->Arg(4)->Arg(16)

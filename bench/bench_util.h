@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "api/sentinelpp.h"
 #include "common/calendar.h"
 #include "common/clock.h"
 #include "core/engine.h"
@@ -27,6 +28,27 @@ struct EngineUnderTest {
     clock = std::make_unique<SimulatedClock>(start);
     engine = std::make_unique<AuthorizationEngine>(clock.get());
     const Status status = engine->LoadPolicy(policy);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench setup failed: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+  }
+};
+
+/// AuthorizationService with policy loaded; synchronous single-shard by
+/// default (the engine-equivalent mode), or `num_shards` threaded shards.
+struct ServiceUnderTest {
+  std::unique_ptr<AuthorizationService> service;
+
+  explicit ServiceUnderTest(const Policy& policy, int num_shards = 1,
+                            bool synchronous = true, Time start = Noon()) {
+    ServiceConfig config;
+    config.num_shards = num_shards;
+    config.synchronous = synchronous;
+    config.start_time = start;
+    service = std::make_unique<AuthorizationService>(config);
+    const Status status = service->LoadPolicy(policy);
     if (!status.ok()) {
       std::fprintf(stderr, "bench setup failed: %s\n",
                    status.ToString().c_str());

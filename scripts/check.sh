@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure, build, test — then repeat under ASan/UBSan.
+# Tier-1 gate: configure, build, test — then repeat under ASan/UBSan, and
+# run the concurrent service tests under TSan.
 #
 # Usage: scripts/check.sh [--no-sanitize]
 set -euo pipefail
@@ -22,5 +23,13 @@ cmake -B build-asan -S . -DSENTINELPP_SANITIZE=address,undefined \
   -DCMAKE_BUILD_TYPE=Debug >/dev/null
 cmake --build build-asan -j"$JOBS"
 ctest --test-dir build-asan --output-on-failure -j"$JOBS"
+
+# TSan is incompatible with ASan, so the threaded service tests get their
+# own build tree.
+echo "== Sanitizer pass: thread (service tests) =="
+cmake -B build-tsan -S . -DSENTINELPP_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build build-tsan -j"$JOBS" --target service_test
+ctest --test-dir build-tsan --output-on-failure -R '^service_test$'
 
 echo "== All checks passed =="

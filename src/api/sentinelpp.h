@@ -1,0 +1,91 @@
+/// \file
+/// \brief sentinelpp public facade.
+///
+/// This is the one header an embedding application includes. It defines the
+/// stable request/decision value types of the service boundary and pulls in
+/// the concurrent AuthorizationService plus the policy toolchain (DSL
+/// parser, clock, calendar, reports).
+///
+/// The boundary contract: callers describe an access check as an
+/// `AccessRequest` value and receive an `AccessDecision` value — no
+/// positional string-parameter overloads, no engine internals. The
+/// string-keyed `AuthorizationEngine` signatures remain as the internal
+/// layer underneath `AuthorizationService`.
+///
+/// Layout note: the value types live under their own include guard, and the
+/// umbrella includes under a second one, so that
+/// `service/authorization_service.h` can include this header for the types
+/// without an include cycle.
+
+#ifndef SENTINELPP_API_SENTINELPP_TYPES_H_
+#define SENTINELPP_API_SENTINELPP_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/value.h"
+#include "rbac/types.h"
+
+namespace sentinel {
+
+/// \brief One access-check request at the service boundary.
+///
+/// `user` is the routing key: every request for the same user is handled by
+/// the same engine shard, which keeps that user's sessions, DSD state and
+/// activation history shard-local. It may be left empty for pure
+/// session-keyed checks (legacy callers); the service then resolves the
+/// session's home shard through its session registry.
+struct AccessRequest {
+  UserName user;
+  SessionId session;
+  OperationName operation;
+  ObjectName object;
+  /// Optional; required when the object carries a privacy policy.
+  std::string purpose;
+};
+
+/// \brief The service's verdict for one request.
+///
+/// A value type: safe to copy across threads, carries everything an
+/// embedding application audits on — the verdict, the generated rule that
+/// produced it, the paper-style denial reason, and service metadata
+/// (which shard decided, under which administrative epoch, and the
+/// submit-to-decision latency).
+struct AccessDecision {
+  bool allowed = false;
+  /// Name of the generated OWTE rule that produced the verdict
+  /// (e.g. "CA.global"); empty for the fail-safe default deny.
+  std::string rule;
+  /// Denial reason ("Permission Denied", ...). Empty for allows.
+  std::string reason;
+  /// The WHEN condition whose failure routed the deciding rule into its
+  /// ELSE branch. Diagnostic only.
+  std::string failed_condition;
+  /// Submit-to-decision latency in microseconds of wall time (includes
+  /// mailbox queueing in concurrent mode; 0 is possible for sub-µs calls).
+  Duration latency = 0;
+  /// Shard whose engine decided the request.
+  uint32_t shard = 0;
+  /// Administrative epoch the deciding shard had applied. Monotonic:
+  /// once an admin broadcast returns, every later decision carries an
+  /// epoch >= that broadcast's epoch on every shard.
+  uint64_t epoch = 0;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_API_SENTINELPP_TYPES_H_
+
+// ----------------------------------------------------------- Facade umbrella
+// (separately guarded; see the layout note above).
+#ifndef SENTINELPP_API_SENTINELPP_H_
+#define SENTINELPP_API_SENTINELPP_H_
+
+#include "common/calendar.h"
+#include "common/clock.h"
+#include "core/policy_parser.h"
+#include "core/report.h"
+#include "rules/decision.h"
+#include "service/authorization_service.h"
+
+#endif  // SENTINELPP_API_SENTINELPP_H_

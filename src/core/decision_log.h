@@ -1,0 +1,148 @@
+#ifndef SENTINELPP_CORE_DECISION_LOG_H_
+#define SENTINELPP_CORE_DECISION_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "rules/decision.h"
+
+namespace sentinel {
+
+/// One entry of the engine's decision audit trail.
+struct DecisionRecord {
+  Time when = 0;
+  /// The request event's name, e.g. "rbac.addActiveRole".
+  std::string operation;
+  Decision decision;
+};
+
+/// \brief Fixed-size ring buffer over the most recent DecisionRecords.
+///
+/// Under sustained traffic the audit trail must stay O(capacity): once full,
+/// each Push overwrites the oldest record in place (no allocation, no
+/// deque-block churn) and bumps the overflow counter so administrators can
+/// tell how much history was shed. Indexing and iteration are oldest-first,
+/// mirroring the deque this replaces; capacity 0 disables recording
+/// entirely (every Push counts as overflow).
+class DecisionLog {
+ public:
+  explicit DecisionLog(size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Appends a record, evicting the oldest when full.
+  void Push(DecisionRecord record) {
+    if (capacity_ == 0) {
+      ++overflow_;
+      return;
+    }
+    if (buffer_.size() < capacity_) {
+      buffer_.push_back(std::move(record));
+      return;
+    }
+    buffer_[head_] = std::move(record);
+    head_ = (head_ + 1) % capacity_;
+    ++overflow_;
+  }
+
+  /// Resizes the trail; when shrinking, the oldest surplus records are
+  /// dropped (counted as overflow).
+  void set_capacity(size_t capacity) {
+    std::vector<DecisionRecord> kept;
+    const size_t keep = capacity < size() ? capacity : size();
+    overflow_ += size() - keep;
+    kept.reserve(keep);
+    for (size_t i = size() - keep; i < size(); ++i) {
+      kept.push_back(std::move((*this)[i]));
+    }
+    buffer_ = std::move(kept);
+    head_ = 0;
+    capacity_ = capacity;
+  }
+
+  size_t size() const { return buffer_.size(); }
+  bool empty() const { return buffer_.empty(); }
+  size_t capacity() const { return capacity_; }
+  /// Number of records dropped (evicted or rejected) so far.
+  uint64_t overflow() const { return overflow_; }
+
+  /// Oldest-first access: [0] is the oldest retained record.
+  const DecisionRecord& operator[](size_t i) const {
+    return buffer_[(head_ + i) % buffer_.size()];
+  }
+  DecisionRecord& operator[](size_t i) {
+    return buffer_[(head_ + i) % buffer_.size()];
+  }
+  const DecisionRecord& front() const { return (*this)[0]; }
+  const DecisionRecord& back() const { return (*this)[size() - 1]; }
+
+  /// Random-access const iterator in logical (oldest-first) order.
+  class const_iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = DecisionRecord;
+    using difference_type = ptrdiff_t;
+    using pointer = const DecisionRecord*;
+    using reference = const DecisionRecord&;
+
+    const_iterator() = default;
+    const_iterator(const DecisionLog* log, size_t pos)
+        : log_(log), pos_(pos) {}
+
+    reference operator*() const { return (*log_)[pos_]; }
+    pointer operator->() const { return &(*log_)[pos_]; }
+    reference operator[](difference_type n) const { return (*log_)[pos_ + n]; }
+
+    const_iterator& operator++() { ++pos_; return *this; }
+    const_iterator operator++(int) { auto c = *this; ++pos_; return c; }
+    const_iterator& operator--() { --pos_; return *this; }
+    const_iterator operator--(int) { auto c = *this; --pos_; return c; }
+    const_iterator& operator+=(difference_type n) { pos_ += n; return *this; }
+    const_iterator& operator-=(difference_type n) { pos_ -= n; return *this; }
+    friend const_iterator operator+(const_iterator it, difference_type n) {
+      return it += n;
+    }
+    friend const_iterator operator-(const_iterator it, difference_type n) {
+      return it -= n;
+    }
+    friend difference_type operator-(const_iterator a, const_iterator b) {
+      return static_cast<difference_type>(a.pos_) -
+             static_cast<difference_type>(b.pos_);
+    }
+    friend bool operator==(const_iterator a, const_iterator b) {
+      return a.pos_ == b.pos_;
+    }
+    friend bool operator!=(const_iterator a, const_iterator b) {
+      return a.pos_ != b.pos_;
+    }
+    friend bool operator<(const_iterator a, const_iterator b) {
+      return a.pos_ < b.pos_;
+    }
+
+   private:
+    const DecisionLog* log_ = nullptr;
+    size_t pos_ = 0;
+  };
+  using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size()); }
+  const_reverse_iterator rbegin() const {
+    return const_reverse_iterator(end());
+  }
+  const_reverse_iterator rend() const {
+    return const_reverse_iterator(begin());
+  }
+
+ private:
+  std::vector<DecisionRecord> buffer_;
+  size_t head_ = 0;  // Index of the oldest record once the buffer is full.
+  size_t capacity_;
+  uint64_t overflow_ = 0;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_CORE_DECISION_LOG_H_

@@ -228,21 +228,12 @@ Decision AuthorizationEngine::Dispatch(EventId event, FlatParamMap params) {
   }
   ++decisions_made_;
   if (!decision.allowed) ++denials_;
-  if (decision_log_capacity_ > 0) {
-    decision_log_.push_back(
-        DecisionRecord{Now(), detector_.name(event), decision});
-    while (decision_log_.size() > decision_log_capacity_) {
-      decision_log_.pop_front();
-    }
-  }
+  decision_log_.Push(DecisionRecord{Now(), detector_.name(event), decision});
   return decision;
 }
 
 void AuthorizationEngine::set_decision_log_capacity(size_t capacity) {
-  decision_log_capacity_ = capacity;
-  while (decision_log_.size() > decision_log_capacity_) {
-    decision_log_.pop_front();
-  }
+  decision_log_.set_capacity(capacity);
 }
 
 Decision AuthorizationEngine::CreateSession(const UserName& user,

@@ -1,7 +1,6 @@
 #ifndef SENTINELPP_CORE_ENGINE_H_
 #define SENTINELPP_CORE_ENGINE_H_
 
-#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -11,6 +10,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "core/active_security.h"
+#include "core/decision_log.h"
 #include "core/policy.h"
 #include "core/privacy.h"
 #include "event/event_detector.h"
@@ -22,14 +22,6 @@
 namespace sentinel {
 
 class RuleGenerator;
-
-/// One entry of the engine's decision audit trail.
-struct DecisionRecord {
-  Time when = 0;
-  /// The request event's name, e.g. "rbac.addActiveRole".
-  std::string operation;
-  Decision decision;
-};
 
 /// Outcome summary of an incremental policy update (ApplyPolicyUpdate).
 struct RegenReport {
@@ -211,10 +203,11 @@ class AuthorizationEngine {
   uint64_t denials() const { return denials_; }
 
   /// Bounded audit trail of the most recent decisions (administrators'
-  /// report material; audit rules summarize it). Oldest first.
-  const std::deque<DecisionRecord>& decision_log() const {
-    return decision_log_;
-  }
+  /// report material; audit rules summarize it). Oldest first; a fixed-size
+  /// ring buffer, so sustained traffic never grows it past its capacity.
+  const DecisionLog& decision_log() const { return decision_log_; }
+  /// Number of audit records shed once the ring filled up.
+  uint64_t decision_log_overflow() const { return decision_log_.overflow(); }
   /// Sets the trail capacity (default 256; 0 disables recording).
   void set_decision_log_capacity(size_t capacity);
 
@@ -241,8 +234,7 @@ class AuthorizationEngine {
   CoreEvents events_;
   std::vector<EventId> duration_events_;
   std::map<std::string, std::string> context_;
-  std::deque<DecisionRecord> decision_log_;
-  size_t decision_log_capacity_ = 256;
+  DecisionLog decision_log_;
   bool policy_loaded_ = false;
   uint64_t decisions_made_ = 0;
   uint64_t denials_ = 0;

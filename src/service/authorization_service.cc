@@ -1,0 +1,444 @@
+#include "service/authorization_service.h"
+
+#include <chrono>
+
+namespace sentinel {
+namespace {
+
+/// Fixed FNV-1a so request placement never depends on platform hash seeds:
+/// the same user lands on the same shard in every run and every process.
+uint64_t Fnv1a(const std::string& name) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void AuthorizationService::Latch::Arrive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--remaining_ == 0) cv_.notify_all();
+}
+
+void AuthorizationService::Latch::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return remaining_ <= 0; });
+}
+
+AuthorizationService::AuthorizationService(const ServiceConfig& config)
+    : synchronous_(config.synchronous) {
+  int count = config.num_shards;
+  if (count <= 0) {
+    count = static_cast<int>(std::thread::hardware_concurrency());
+    if (count <= 0) count = 1;
+  }
+  if (synchronous_) count = 1;
+  now_.store(config.start_time, std::memory_order_release);
+  shards_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = static_cast<uint32_t>(i);
+    shard->clock = std::make_unique<SimulatedClock>(config.start_time);
+    shard->engine = std::make_unique<AuthorizationEngine>(shard->clock.get());
+    shard->engine->set_decision_log_capacity(config.decision_log_capacity);
+    shards_.push_back(std::move(shard));
+  }
+  if (!synchronous_) {
+    for (auto& shard : shards_) {
+      shard->thread = std::thread(&AuthorizationService::ShardLoop, this,
+                                  shard.get());
+    }
+    timer_thread_ = std::thread(&AuthorizationService::TimerLoop, this);
+  }
+}
+
+AuthorizationService::~AuthorizationService() { Shutdown(); }
+
+void AuthorizationService::ShardLoop(Shard* shard) {
+  std::deque<std::function<void(Shard&)>> batch;
+  while (shard->mailbox.PopAll(&batch)) {
+    for (auto& task : batch) task(*shard);
+  }
+}
+
+void AuthorizationService::TimerLoop() {
+  std::deque<TimerCommand> batch;
+  while (timer_mailbox_.PopAll(&batch)) {
+    for (TimerCommand& command : batch) {
+      ApplyAdvance(command.target);
+      command.done->Arrive();
+    }
+  }
+}
+
+void AuthorizationService::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (shut_down_) return;
+  shut_down_ = true;
+  if (!synchronous_) {
+    // Order matters: the timer thread broadcasts into shard mailboxes, so
+    // it must drain and exit before those mailboxes close.
+    timer_mailbox_.Close();
+    if (timer_thread_.joinable()) timer_thread_.join();
+    for (auto& shard : shards_) shard->mailbox.Close();
+    for (auto& shard : shards_) {
+      if (shard->thread.joinable()) shard->thread.join();
+    }
+  }
+}
+
+// ----------------------------------------------------------------- Routing
+
+uint32_t AuthorizationService::ShardOf(const std::string& user) const {
+  return static_cast<uint32_t>(Fnv1a(user) % shards_.size());
+}
+
+uint32_t AuthorizationService::RouteSession(const SessionId& session) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(session_mu_);
+    auto it = sessions_.find(session);
+    if (it != sessions_.end()) return it->second;
+  }
+  // Unknown session: any shard denies it identically; pick one
+  // deterministically.
+  return ShardOf(session);
+}
+
+uint32_t AuthorizationService::RouteRequest(
+    const AccessRequest& request) const {
+  if (!request.user.empty()) return ShardOf(request.user);
+  return RouteSession(request.session);
+}
+
+// ------------------------------------------------------------- Conversions
+
+AccessDecision AuthorizationService::ShutdownDecision() {
+  AccessDecision decision;
+  decision.allowed = false;
+  decision.reason = "service is shut down";
+  return decision;
+}
+
+AccessDecision AuthorizationService::Convert(const Decision& decision,
+                                             uint32_t shard, uint64_t epoch,
+                                             int64_t submit_ns) const {
+  AccessDecision out;
+  out.allowed = decision.allowed;
+  out.rule = decision.rule;
+  out.reason = decision.reason;
+  out.failed_condition = decision.failed_condition;
+  out.latency = (NowNanos() - submit_ns) / 1000;
+  out.shard = shard;
+  out.epoch = epoch;
+  return out;
+}
+
+// ------------------------------------------------------------ Dispatch core
+
+AccessDecision AuthorizationService::RunOnShard(
+    uint32_t shard, const std::function<Decision(AuthorizationEngine&)>& op) {
+  const int64_t submit_ns = NowNanos();
+  Shard& home = *shards_[shard];
+  if (synchronous_) {
+    const Decision decision = op(*home.engine);
+    return Convert(decision, shard,
+                   home.applied_epoch.load(std::memory_order_relaxed),
+                   submit_ns);
+  }
+  AccessDecision out;
+  Latch done(1);
+  const bool pushed = home.mailbox.Push([&](Shard& s) {
+    const Decision decision = op(*s.engine);
+    out = Convert(decision, s.index,
+                  s.applied_epoch.load(std::memory_order_relaxed), submit_ns);
+    done.Arrive();
+  });
+  if (!pushed) return ShutdownDecision();
+  done.Wait();
+  return out;
+}
+
+void AuthorizationService::Broadcast(
+    const std::function<void(AuthorizationEngine&, uint32_t)>& fn) {
+  std::lock_guard<std::mutex> admin_lock(admin_mu_);
+  const uint64_t epoch = admin_epoch_.load(std::memory_order_relaxed) + 1;
+  if (synchronous_) {
+    fn(*shards_[0]->engine, 0);
+    shards_[0]->applied_epoch.store(epoch, std::memory_order_release);
+    admin_epoch_.store(epoch, std::memory_order_release);
+    return;
+  }
+  Latch done(static_cast<int>(shards_.size()));
+  for (auto& shard : shards_) {
+    const bool pushed = shard->mailbox.Push([&fn, &done, epoch](Shard& s) {
+      fn(*s.engine, s.index);
+      s.applied_epoch.store(epoch, std::memory_order_release);
+      done.Arrive();
+    });
+    // A closed mailbox (shutdown race) can no longer observe the update;
+    // count it down so the barrier still completes.
+    if (!pushed) done.Arrive();
+  }
+  done.Wait();
+  admin_epoch_.store(epoch, std::memory_order_release);
+}
+
+AccessDecision AuthorizationService::BroadcastRequest(
+    uint32_t authoritative,
+    const std::function<Decision(AuthorizationEngine&)>& op) {
+  const int64_t submit_ns = NowNanos();
+  Decision authoritative_decision;
+  Broadcast([&](AuthorizationEngine& engine, uint32_t shard) {
+    const Decision decision = op(engine);
+    if (shard == authoritative) authoritative_decision = decision;
+  });
+  return Convert(authoritative_decision, authoritative, admin_epoch(),
+                 submit_ns);
+}
+
+// ------------------------------------------------------------------ Policy
+
+Status AuthorizationService::LoadPolicy(const Policy& policy) {
+  std::vector<Status> statuses(shards_.size());
+  Broadcast([&](AuthorizationEngine& engine, uint32_t shard) {
+    statuses[shard] = engine.LoadPolicy(policy);
+  });
+  for (const Status& status : statuses) {
+    SENTINEL_RETURN_IF_ERROR(status);
+  }
+  return Status::OK();
+}
+
+Result<RegenReport> AuthorizationService::ApplyPolicyUpdate(
+    const Policy& updated) {
+  // Every shard runs the identical regeneration; shard 0's report stands
+  // for all of them.
+  std::vector<Result<RegenReport>> reports(
+      shards_.size(), Result<RegenReport>(Status::Internal("not applied")));
+  Broadcast([&](AuthorizationEngine& engine, uint32_t shard) {
+    reports[shard] = engine.ApplyPolicyUpdate(updated);
+  });
+  for (auto& report : reports) {
+    if (!report.ok()) return report.status();
+  }
+  return reports[0];
+}
+
+// ------------------------------------------------------------ Request path
+
+AccessDecision AuthorizationService::CheckAccess(const AccessRequest& request) {
+  return RunOnShard(RouteRequest(request),
+                    [&request](AuthorizationEngine& engine) {
+                      return engine.CheckAccess(request.session,
+                                                request.operation,
+                                                request.object,
+                                                request.purpose);
+                    });
+}
+
+std::vector<AccessDecision> AuthorizationService::CheckAccessBatch(
+    std::span<const AccessRequest> requests) {
+  const int64_t submit_ns = NowNanos();
+  std::vector<AccessDecision> out(requests.size());
+  if (requests.empty()) return out;
+  if (synchronous_) {
+    Shard& shard = *shards_[0];
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const Decision decision = shard.engine->CheckAccess(
+          requests[i].session, requests[i].operation, requests[i].object,
+          requests[i].purpose);
+      out[i] = Convert(decision, 0,
+                       shard.applied_epoch.load(std::memory_order_relaxed),
+                       submit_ns);
+    }
+    return out;
+  }
+  // One envelope per involved shard, carrying that shard's request indices.
+  std::vector<std::vector<uint32_t>> indices(shards_.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    indices[RouteRequest(requests[i])].push_back(static_cast<uint32_t>(i));
+  }
+  int involved = 0;
+  for (const auto& shard_indices : indices) {
+    if (!shard_indices.empty()) ++involved;
+  }
+  Latch done(involved);
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    if (indices[shard].empty()) continue;
+    // Capture a copy: the lambda is built (and `mine` populated) before
+    // Push decides, and the refusal fallback below still needs the list.
+    const bool pushed = shards_[shard]->mailbox.Push(
+        [this, &requests, &out, &done, submit_ns,
+         mine = indices[shard]](Shard& s) {
+          const uint64_t epoch =
+              s.applied_epoch.load(std::memory_order_relaxed);
+          for (const uint32_t i : mine) {
+            const Decision decision = s.engine->CheckAccess(
+                requests[i].session, requests[i].operation,
+                requests[i].object, requests[i].purpose);
+            out[i] = Convert(decision, s.index, epoch, submit_ns);
+          }
+          done.Arrive();
+        });
+    if (!pushed) {
+      for (const uint32_t i : indices[shard]) out[i] = ShutdownDecision();
+      done.Arrive();
+    }
+  }
+  done.Wait();
+  return out;
+}
+
+AccessDecision AuthorizationService::CreateSession(const UserName& user,
+                                                   const SessionId& session) {
+  const uint32_t shard = ShardOf(user);
+  AccessDecision decision =
+      RunOnShard(shard, [&user, &session](AuthorizationEngine& engine) {
+        return engine.CreateSession(user, session);
+      });
+  if (decision.allowed) {
+    std::unique_lock<std::shared_mutex> lock(session_mu_);
+    sessions_[session] = shard;
+  }
+  return decision;
+}
+
+AccessDecision AuthorizationService::DeleteSession(const SessionId& session) {
+  const uint32_t shard = RouteSession(session);
+  AccessDecision decision =
+      RunOnShard(shard, [&session](AuthorizationEngine& engine) {
+        return engine.DeleteSession(session);
+      });
+  if (decision.allowed) {
+    std::unique_lock<std::shared_mutex> lock(session_mu_);
+    sessions_.erase(session);
+  }
+  return decision;
+}
+
+AccessDecision AuthorizationService::AddActiveRole(const UserName& user,
+                                                   const SessionId& session,
+                                                   const RoleName& role) {
+  return RunOnShard(ShardOf(user),
+                    [&user, &session, &role](AuthorizationEngine& engine) {
+                      return engine.AddActiveRole(user, session, role);
+                    });
+}
+
+AccessDecision AuthorizationService::DropActiveRole(const UserName& user,
+                                                    const SessionId& session,
+                                                    const RoleName& role) {
+  return RunOnShard(ShardOf(user),
+                    [&user, &session, &role](AuthorizationEngine& engine) {
+                      return engine.DropActiveRole(user, session, role);
+                    });
+}
+
+// ---------------------------------------------------------- Administration
+
+AccessDecision AuthorizationService::AssignUser(const UserName& user,
+                                                const RoleName& role) {
+  return BroadcastRequest(ShardOf(user),
+                          [&user, &role](AuthorizationEngine& engine) {
+                            return engine.AssignUser(user, role);
+                          });
+}
+
+AccessDecision AuthorizationService::DeassignUser(const UserName& user,
+                                                  const RoleName& role) {
+  return BroadcastRequest(ShardOf(user),
+                          [&user, &role](AuthorizationEngine& engine) {
+                            return engine.DeassignUser(user, role);
+                          });
+}
+
+AccessDecision AuthorizationService::EnableRole(const RoleName& role) {
+  return BroadcastRequest(0, [&role](AuthorizationEngine& engine) {
+    return engine.EnableRole(role);
+  });
+}
+
+AccessDecision AuthorizationService::DisableRole(const RoleName& role) {
+  return BroadcastRequest(0, [&role](AuthorizationEngine& engine) {
+    return engine.DisableRole(role);
+  });
+}
+
+void AuthorizationService::SetContext(const std::string& key,
+                                      const std::string& value) {
+  Broadcast([&key, &value](AuthorizationEngine& engine, uint32_t) {
+    engine.SetContext(key, value);
+  });
+}
+
+// -------------------------------------------------------------------- Time
+
+void AuthorizationService::ApplyAdvance(Time target) {
+  Broadcast([target](AuthorizationEngine& engine, uint32_t) {
+    engine.AdvanceTo(target);
+  });
+  Time current = now_.load(std::memory_order_relaxed);
+  while (target > current &&
+         !now_.compare_exchange_weak(current, target,
+                                     std::memory_order_release,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void AuthorizationService::AdvanceTo(Time t) {
+  if (synchronous_) {
+    ApplyAdvance(t);
+    return;
+  }
+  Latch done(1);
+  if (!timer_mailbox_.Push(TimerCommand{t, &done})) return;
+  done.Wait();
+}
+
+// ---------------------------------------------------------- Introspection
+
+void AuthorizationService::Inspect(
+    uint32_t shard,
+    const std::function<void(const AuthorizationEngine&)>& fn) {
+  Shard& target = *shards_[shard];
+  if (synchronous_) {
+    fn(*target.engine);
+    return;
+  }
+  Latch done(1);
+  const bool pushed = target.mailbox.Push([&](Shard& s) {
+    fn(*s.engine);
+    done.Arrive();
+  });
+  if (pushed) {
+    done.Wait();
+    return;
+  }
+  // Mailbox closed: wait for shutdown to finish joining the shard threads
+  // (shutdown_mu_ is held for the whole join), then inspect inline.
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  fn(*target.engine);
+}
+
+ServiceStats AuthorizationService::Stats() {
+  ServiceStats stats;
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    Inspect(static_cast<uint32_t>(shard), [&](const AuthorizationEngine& e) {
+      stats.decisions += e.decisions_made();
+      stats.denials += e.denials();
+      stats.audit_overflow += e.decision_log_overflow();
+    });
+  }
+  return stats;
+}
+
+}  // namespace sentinel

@@ -1,0 +1,240 @@
+#ifndef SENTINELPP_SERVICE_AUTHORIZATION_SERVICE_H_
+#define SENTINELPP_SERVICE_AUTHORIZATION_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/sentinelpp.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "service/mailbox.h"
+
+namespace sentinel {
+
+/// Shape of an AuthorizationService.
+struct ServiceConfig {
+  /// Number of engine shards / shard threads; 0 means
+  /// std::thread::hardware_concurrency().
+  int num_shards = 0;
+  /// Synchronous single-shard mode: one engine, every call runs inline on
+  /// the caller's thread, no threads are spawned. Semantically identical to
+  /// driving an AuthorizationEngine directly — the mode existing tests and
+  /// benches (and the stress test's oracle) rely on.
+  bool synchronous = false;
+  /// Simulated start time for every shard clock.
+  Time start_time = 0;
+  /// Per-shard decision audit ring capacity (see DecisionLog).
+  size_t decision_log_capacity = 256;
+};
+
+/// Aggregated per-shard counters (gathered with a quiescing inspection).
+struct ServiceStats {
+  uint64_t decisions = 0;
+  uint64_t denials = 0;
+  uint64_t audit_overflow = 0;
+};
+
+/// \brief Sharded concurrent front-end over N AuthorizationEngines.
+///
+/// The actor-style design the paper's "thousands of events per second"
+/// target asks for, built on the observation (Ali & Fernández) that
+/// request-path state is read-mostly and partitionable per user:
+///
+///  * **Shard-per-core.** The service owns `num_shards` engines, each with
+///    its own SimulatedClock, SymbolTable and rule pool, each driven by one
+///    dedicated shard thread. Engines stay single-threaded internally —
+///    there are no locks anywhere on the decision path, only the short
+///    mailbox critical section at the boundary.
+///  * **Routing by user.** Every request carrying a user name is delivered
+///    to `hash(user) % num_shards` (a fixed FNV-1a hash, so placement is
+///    deterministic across runs and across service instances). Sessions,
+///    DSD state, per-user caps and GTRBAC activations are therefore always
+///    shard-local. Session-only calls (DeleteSession, legacy CheckAccess
+///    without a user) resolve the home shard through a session registry
+///    maintained at session create/delete.
+///  * **Admin broadcast + epoch barrier.** Policy loads/updates, user-role
+///    administration, role enable/disable, and context changes are pushed
+///    to *every* shard mailbox and stamped with a fresh epoch; the caller
+///    blocks until all shards applied it. Because mailboxes are FIFO, any
+///    request submitted after the broadcast returns is behind the admin
+///    envelope on every shard — a request never observes a half-applied
+///    update (it sees either the whole old or the whole new policy).
+///  * **One timer thread.** Time advances fan out from a single timer
+///    thread as epoch-barriered broadcasts, so all shards observe temporal
+///    events (shift boundaries, duration expiries) in the same order
+///    relative to admin operations.
+///
+/// Caveat (documented, by design): constraints whose scope is global across
+/// users — role activation cardinalities, active-security denial thresholds
+/// — are enforced per shard, since each shard only sees its own users'
+/// activity. Per-user and per-session semantics are exact.
+class AuthorizationService {
+ public:
+  explicit AuthorizationService(const ServiceConfig& config = {});
+  ~AuthorizationService();
+
+  AuthorizationService(const AuthorizationService&) = delete;
+  AuthorizationService& operator=(const AuthorizationService&) = delete;
+
+  // ------------------------------------------------------ Policy (broadcast)
+
+  /// Validates and installs `policy` on every shard. Call once.
+  Status LoadPolicy(const Policy& policy);
+
+  /// Broadcasts an incremental policy update with an epoch barrier; on
+  /// return, every shard runs the new policy.
+  Result<RegenReport> ApplyPolicyUpdate(const Policy& updated);
+
+  // ------------------------------------------------------- Request path
+
+  /// Decides one access request on its home shard; blocks for the verdict.
+  AccessDecision CheckAccess(const AccessRequest& request);
+
+  /// Decides a batch with one mailbox hop per involved shard instead of one
+  /// per request — the bulk-caller fast path. Results are positionally
+  /// aligned with `requests`.
+  std::vector<AccessDecision> CheckAccessBatch(
+      std::span<const AccessRequest> requests);
+
+  AccessDecision CreateSession(const UserName& user, const SessionId& session);
+  AccessDecision DeleteSession(const SessionId& session);
+  AccessDecision AddActiveRole(const UserName& user, const SessionId& session,
+                               const RoleName& role);
+  AccessDecision DropActiveRole(const UserName& user, const SessionId& session,
+                                const RoleName& role);
+
+  // ------------------------------------- Administration (broadcast + epoch)
+
+  AccessDecision AssignUser(const UserName& user, const RoleName& role);
+  AccessDecision DeassignUser(const UserName& user, const RoleName& role);
+  AccessDecision EnableRole(const RoleName& role);
+  AccessDecision DisableRole(const RoleName& role);
+  /// Context-aware RBAC environment change, visible on all shards.
+  void SetContext(const std::string& key, const std::string& value);
+
+  // --------------------------------------------------------------- Time
+
+  /// Advances simulated time on every shard via the timer thread; blocks
+  /// until all shards fired their temporal events up to `t`.
+  void AdvanceTo(Time t);
+  void AdvanceBy(Duration d) { AdvanceTo(Now() + d); }
+  Time Now() const { return now_.load(std::memory_order_acquire); }
+
+  // ------------------------------------------------------ Introspection
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  bool synchronous() const { return synchronous_; }
+  /// Epoch of the latest completed admin broadcast.
+  uint64_t admin_epoch() const {
+    return admin_epoch_.load(std::memory_order_acquire);
+  }
+  /// Home shard of `user` — deterministic in (user, num_shards).
+  uint32_t ShardOf(const std::string& user) const;
+
+  /// Runs `fn` against one shard's engine on that shard's thread (inline in
+  /// synchronous mode) and blocks until done — the race-free window tests
+  /// and stats use to look inside an engine.
+  void Inspect(uint32_t shard,
+               const std::function<void(const AuthorizationEngine&)>& fn);
+
+  /// Aggregates decision/denial/audit-overflow counters across shards.
+  ServiceStats Stats();
+
+  /// Closes every mailbox, drains queued envelopes (queued requests still
+  /// get real decisions), then joins all threads. Idempotent; the
+  /// destructor calls it. Requests submitted after shutdown are answered
+  /// with a denied "service is shut down" decision.
+  void Shutdown();
+
+ private:
+  struct Shard {
+    uint32_t index = 0;
+    std::unique_ptr<SimulatedClock> clock;
+    std::unique_ptr<AuthorizationEngine> engine;
+    /// Epoch of the last admin envelope this shard applied.
+    std::atomic<uint64_t> applied_epoch{0};
+    Mailbox<std::function<void(Shard&)>> mailbox;
+    std::thread thread;
+  };
+
+  /// Countdown latch (mutex+condvar; C++20 <latch> kept out so TSan's view
+  /// stays trivial).
+  class Latch {
+   public:
+    explicit Latch(int count) : remaining_(count) {}
+    void Arrive();
+    void Wait();
+
+   private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    int remaining_;
+  };
+
+  struct TimerCommand {
+    Time target = 0;
+    Latch* done = nullptr;
+  };
+
+  /// Runs `op` on shard `shard` and blocks for its Decision.
+  AccessDecision RunOnShard(
+      uint32_t shard, const std::function<Decision(AuthorizationEngine&)>& op);
+
+  /// Pushes `fn` to every shard with a fresh epoch and waits for all shards
+  /// to apply it. Serialized by admin_mu_.
+  void Broadcast(
+      const std::function<void(AuthorizationEngine&, uint32_t shard)>& fn);
+
+  /// Broadcast returning the Decision observed on `authoritative` (the home
+  /// shard for user-scoped admin ops, shard 0 for role-scoped ones).
+  AccessDecision BroadcastRequest(
+      uint32_t authoritative,
+      const std::function<Decision(AuthorizationEngine&)>& op);
+
+  void ShardLoop(Shard* shard);
+  void TimerLoop();
+  void ApplyAdvance(Time target);
+
+  /// Resolves the shard handling `request` (user key, else session
+  /// registry, else session hash).
+  uint32_t RouteRequest(const AccessRequest& request) const;
+  uint32_t RouteSession(const SessionId& session) const;
+
+  static AccessDecision ShutdownDecision();
+  AccessDecision Convert(const Decision& decision, uint32_t shard,
+                         uint64_t epoch, int64_t submit_ns) const;
+
+  bool synchronous_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Serializes admin broadcasts so epochs hit every mailbox in one order.
+  std::mutex admin_mu_;
+  std::atomic<uint64_t> admin_epoch_{0};
+
+  Mailbox<TimerCommand> timer_mailbox_;
+  std::thread timer_thread_;
+  std::atomic<Time> now_{0};
+
+  /// session -> home shard, for session-only calls.
+  mutable std::shared_mutex session_mu_;
+  std::unordered_map<SessionId, uint32_t> sessions_;
+
+  std::mutex shutdown_mu_;
+  bool shut_down_ = false;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_SERVICE_AUTHORIZATION_SERVICE_H_

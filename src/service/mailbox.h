@@ -1,0 +1,72 @@
+#ifndef SENTINELPP_SERVICE_MAILBOX_H_
+#define SENTINELPP_SERVICE_MAILBOX_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace sentinel {
+
+/// \brief Multi-producer single-consumer mailbox for one shard thread.
+///
+/// Producers (request submitters, the admin broadcaster, the timer thread)
+/// push envelopes under a short critical section; the owning shard thread
+/// drains the whole queue in one swap per wakeup, so per-item consumer cost
+/// is amortized to almost nothing. FIFO order is total per mailbox — that
+/// ordering is what makes the service's epoch barrier sound: any envelope
+/// pushed after an admin broadcast returns is behind the admin envelope on
+/// every shard.
+///
+/// Close() initiates shutdown: further pushes are refused, but everything
+/// already queued is still handed to the consumer — mailboxes drain, they
+/// don't drop.
+template <typename T>
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues `item`; returns false (item dropped) when closed.
+  bool Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      queue_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until items are available or the mailbox is closed, then moves
+  /// the entire backlog into `*out` (previous contents replaced). Returns
+  /// false only when closed AND fully drained — the consumer's exit signal.
+  bool PopAll(std::deque<T>* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return false;
+    out->clear();
+    queue_.swap(*out);
+    return true;
+  }
+
+  /// Refuses new pushes; queued items remain poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_SERVICE_MAILBOX_H_
