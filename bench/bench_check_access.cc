@@ -69,6 +69,16 @@ void RunBatches(benchmark::State& state, AuthorizationService& service,
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(batch.size()));
+  // The engine's own sampled latency histogram, scraped once at the end —
+  // percentile counters ride along in the benchmark's JSON output.
+  const TelemetrySnapshot snap = service.Snapshot();
+  const telemetry::HistogramSnapshot* latency =
+      snap.metrics.FindHistogram("decision_latency_us");
+  if (latency != nullptr && latency->TotalCount() > 0) {
+    state.counters["lat_p50_us"] = latency->Percentile(50);
+    state.counters["lat_p99_us"] = latency->Percentile(99);
+    state.counters["lat_samples"] = static_cast<double>(latency->TotalCount());
+  }
 }
 
 void BM_CheckAccess_Engine_ActiveRoles(benchmark::State& state) {

@@ -13,6 +13,16 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
+echo "== Bench smoke: every bench_* runs one tiny iteration =="
+# Not a measurement — just proof that each benchmark still sets up its
+# policy, runs, and tears down. (This toolchain's google-benchmark takes a
+# plain seconds double for --benchmark_min_time.)
+for bench in build/bench/bench_*; do
+  [[ -x "$bench" ]] || continue
+  echo "-- $(basename "$bench")"
+  "$bench" --benchmark_min_time=0.001 >/dev/null
+done
+
 if [[ "${1:-}" == "--no-sanitize" ]]; then
   echo "== Skipping sanitizer pass =="
   exit 0

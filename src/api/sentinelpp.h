@@ -87,5 +87,6 @@ struct AccessDecision {
 #include "core/report.h"
 #include "rules/decision.h"
 #include "service/authorization_service.h"
+#include "telemetry/exposition.h"
 
 #endif  // SENTINELPP_API_SENTINELPP_H_

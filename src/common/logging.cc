@@ -32,10 +32,8 @@ void Logger::SetSink(Sink sink) {
   sink_ = std::move(sink);
 }
 
-void Logger::SetMinLevel(LogLevel level) { min_level_ = level; }
-
 void Logger::Log(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(min_level_)) return;
+  if (static_cast<int>(level) < static_cast<int>(min_level())) return;
   std::lock_guard<std::mutex> lock(mu_);
   if (sink_) {
     sink_(level, message);

@@ -1,6 +1,7 @@
 #ifndef SENTINELPP_COMMON_LOGGING_H_
 #define SENTINELPP_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <functional>
 #include <mutex>
 #include <sstream>
@@ -34,9 +35,15 @@ class Logger {
   /// Replaces the sink; pass nullptr to restore the default stderr sink.
   void SetSink(Sink sink);
 
-  /// Minimum level that reaches the sink (default: kWarning).
-  void SetMinLevel(LogLevel level);
-  LogLevel min_level() const { return min_level_; }
+  /// Minimum level that reaches the sink (default: kWarning). Atomic so
+  /// the early-out level check in Log stays lock-free: shard threads log
+  /// concurrently with tests (or admins) adjusting the level.
+  void SetMinLevel(LogLevel level) {
+    min_level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return min_level_.load(std::memory_order_relaxed);
+  }
 
   void Log(LogLevel level, const std::string& message);
 
@@ -45,7 +52,7 @@ class Logger {
 
   std::mutex mu_;
   Sink sink_;
-  LogLevel min_level_;
+  std::atomic<LogLevel> min_level_;
 };
 
 /// \brief RAII sink that records every message at or above `level`;

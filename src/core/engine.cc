@@ -6,10 +6,21 @@ namespace sentinel {
 
 AuthorizationEngine::AuthorizationEngine(SimulatedClock* clock)
     : clock_(clock),
-      detector_(clock, &symbols_),
-      rules_(&detector_),
+      detector_(clock, &symbols_, &metrics_, &tracer_),
+      rules_(&detector_, &metrics_, &tracer_),
       rbac_(&symbols_),
       role_state_(&symbols_) {
+  decisions_counter_ =
+      metrics_.AddCounter("decisions_total", "authorization decisions made");
+  denials_counter_ = metrics_.AddCounter("denials_total", "requests denied");
+  // 1us..16ms in powers of two, matching the ~sub-ms request path.
+  latency_hist_ = metrics_.AddHistogram(
+      "decision_latency_us", "sampled wall-clock dispatch latency (us)",
+      telemetry::Histogram::ExponentialBounds(1, 2.0, 15));
+  // 1..1024 firings per cascade, matching the default cascade budget.
+  cascade_hist_ = metrics_.AddHistogram(
+      "cascade_firings", "rule firings per drained cascade",
+      telemetry::Histogram::ExponentialBounds(1, 2.0, 11));
   keys_.user = symbols_.Intern(kUser);
   keys_.session = symbols_.Intern(kSession);
   keys_.role = symbols_.Intern(kRole);
@@ -20,8 +31,14 @@ AuthorizationEngine::AuthorizationEngine(SimulatedClock* clock)
   keys_.context_value = symbols_.Intern("value");
   rules_.set_engine(this);
   // Each independent trigger (request or timer firing) gets a fresh
-  // cascade budget once its own cascade has fully drained.
-  detector_.SetQuiescentCallback([this] { rules_.ResetCascadeBudget(); });
+  // cascade budget once its own cascade has fully drained. The drained
+  // length is only stashed here — Dispatch records it into the histogram
+  // on sampled dispatches, keeping the per-trigger path free of the
+  // bucket-search cost.
+  detector_.SetQuiescentCallback([this] {
+    last_cascade_used_ = rules_.cascade_used();
+    rules_.ResetCascadeBudget();
+  });
   generator_ = std::make_unique<RuleGenerator>(this);
 
   auto define = [this](const char* name) {
@@ -217,6 +234,13 @@ Status AuthorizationEngine::ReconcileBaseState(const Policy& from,
 }
 
 Decision AuthorizationEngine::Dispatch(EventId event, FlatParamMap params) {
+  // Sampled instrumentation keeps the fast path flat: wall-clock reads
+  // happen on one dispatch in latency_sample_every_, spans per the
+  // tracer's own sampling. A traced-but-untimed span reports wall_ns 0.
+  const bool timed = latency_tick_ != 0 && --latency_tick_ == 0;
+  if (timed) latency_tick_ = latency_sample_every_;
+  const int64_t start_ns = timed ? telemetry::NowNanos() : 0;
+  const bool traced = tracer_.Begin(Now(), detector_.name(event));
   Decision decision;
   {
     ScopedDecision scope(&rules_, &decision);
@@ -226,8 +250,18 @@ Decision AuthorizationEngine::Dispatch(EventId event, FlatParamMap params) {
     // Fail-safe default: requests no rule adjudicates are denied.
     decision.Deny("", "Permission Denied");
   }
-  ++decisions_made_;
-  if (!decision.allowed) ++denials_;
+  const int64_t elapsed_ns = timed ? telemetry::NowNanos() - start_ns : 0;
+  decisions_counter_->Inc();
+  if (!decision.allowed) denials_counter_->Inc();
+  if (timed) {
+    latency_hist_->Record(elapsed_ns / 1000);
+    // Same sample as the latency read: cascade length of the drain this
+    // dispatch just triggered (quiet cascades are not observations).
+    if (last_cascade_used_ > 0) {
+      cascade_hist_->Record(static_cast<int64_t>(last_cascade_used_));
+    }
+  }
+  if (traced) tracer_.End(decision.allowed, decision.rule, elapsed_ns);
   decision_log_.Push(DecisionRecord{Now(), detector_.name(event), decision});
   return decision;
 }

@@ -18,6 +18,8 @@
 #include "rbac/core_api.h"
 #include "rules/decision.h"
 #include "rules/rule_manager.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace sentinel {
 
@@ -199,8 +201,31 @@ class AuthorizationEngine {
 
   // ------------------------------------------------------ Introspection
 
-  uint64_t decisions_made() const { return decisions_made_; }
-  uint64_t denials() const { return denials_; }
+  uint64_t decisions_made() const { return decisions_counter_->value(); }
+  uint64_t denials() const { return denials_counter_->value(); }
+
+  /// The engine's metrics registry. Instruments are registered during
+  /// construction (engine, detector, rule manager); afterwards the
+  /// structure is immutable, so Snapshot() may be called from any thread
+  /// concurrently with the engine's own updates.
+  telemetry::Registry& metrics() { return metrics_; }
+  const telemetry::Registry& metrics() const { return metrics_; }
+
+  /// The engine's span recorder. Single-threaded like the engine: read it
+  /// only from the thread driving the engine (the service uses Inspect).
+  telemetry::TraceCollector& tracer() { return tracer_; }
+  const telemetry::TraceCollector& tracer() const { return tracer_; }
+
+  /// Tunes hot-path sampling: wall-clock latency is measured on every
+  /// `latency_every`-th dispatch (0 disables timing) and spans are recorded
+  /// per the tracer's own sampling. Defaults: 32 and 256 — chosen so the
+  /// full instrumentation stays within a few percent of the uninstrumented
+  /// dispatch cost (see BENCH_PR3.json).
+  void set_telemetry_sampling(uint32_t latency_every, uint32_t trace_every) {
+    latency_sample_every_ = latency_every;
+    latency_tick_ = latency_every == 0 ? 0 : 1;
+    tracer_.set_sample_every(trace_every);
+  }
 
   /// Bounded audit trail of the most recent decisions (administrators'
   /// report material; audit rules summarize it). Oldest first; a fixed-size
@@ -223,6 +248,10 @@ class AuthorizationEngine {
   /// first so it outlives every component that holds a pointer to it.
   SymbolTable symbols_;
   ParamKeys keys_;
+  /// Declared before the detector and rule manager, which register their
+  /// instruments on it at construction.
+  telemetry::Registry metrics_;
+  telemetry::TraceCollector tracer_;
   EventDetector detector_;
   RuleManager rules_;
   RbacSystem rbac_;
@@ -236,8 +265,18 @@ class AuthorizationEngine {
   std::map<std::string, std::string> context_;
   DecisionLog decision_log_;
   bool policy_loaded_ = false;
-  uint64_t decisions_made_ = 0;
-  uint64_t denials_ = 0;
+  telemetry::Counter* decisions_counter_ = nullptr;  // Owned by metrics_.
+  telemetry::Counter* denials_counter_ = nullptr;
+  telemetry::Histogram* latency_hist_ = nullptr;
+  telemetry::Histogram* cascade_hist_ = nullptr;
+  uint32_t latency_sample_every_ = 32;
+  /// Dispatches until the next timed one; 0 = timing off. Starts at 1 so
+  /// the first dispatch seeds the latency histogram (countdown instead of
+  /// a modulo: no division on the fast path).
+  uint32_t latency_tick_ = 1;
+  /// Rule firings in the most recently drained cascade, stashed by the
+  /// quiescent callback and recorded on sampled dispatches.
+  uint64_t last_cascade_used_ = 0;
 };
 
 }  // namespace sentinel

@@ -82,6 +82,31 @@ std::string GenerateAdminReport(const AuthorizationEngine& engine,
   }
   os << "\n";
 
+  // ------------------------------------------------------------- Telemetry
+  const telemetry::RegistrySnapshot metrics = engine.metrics().Snapshot();
+  os << "-- telemetry --\n";
+  os << "audit trail overflow: " << engine.decision_log_overflow()
+     << " records shed\n";
+  const telemetry::HistogramSnapshot* latency =
+      metrics.FindHistogram("decision_latency_us");
+  if (latency != nullptr && latency->TotalCount() > 0) {
+    os << "decision latency (us, sampled): p50 " << latency->Percentile(50)
+       << "  p90 " << latency->Percentile(90) << "  p99 "
+       << latency->Percentile(99) << "  samples " << latency->TotalCount()
+       << "\n";
+  }
+  const telemetry::CounterSnapshot* occurrences =
+      metrics.FindCounter("event_occurrences_total");
+  const telemetry::CounterSnapshot* firings =
+      metrics.FindCounter("rule_firings_total");
+  const telemetry::CounterSnapshot* dropped =
+      metrics.FindCounter("dropped_firings_total");
+  os << "event occurrences: " << (occurrences ? occurrences->value : 0)
+     << "  rule firings: " << (firings ? firings->value : 0)
+     << "  dropped firings: " << (dropped ? dropped->value : 0) << "\n";
+  os << "trace spans: " << engine.tracer().spans_recorded() << " recorded, "
+     << engine.tracer().ring_size() << " retained\n\n";
+
   // -------------------------------------------------------- Recent denials
   if (options.recent_denials > 0) {
     os << "-- recent denials --\n";

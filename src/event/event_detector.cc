@@ -3,15 +3,30 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace sentinel {
 
-EventDetector::EventDetector(Clock* clock, SymbolTable* symbols)
+EventDetector::EventDetector(Clock* clock, SymbolTable* symbols,
+                             telemetry::Registry* metrics,
+                             telemetry::TraceCollector* tracer)
     : clock_(clock),
       owned_symbols_(symbols == nullptr ? std::make_unique<SymbolTable>()
                                         : nullptr),
-      symbols_(symbols == nullptr ? owned_symbols_.get() : symbols) {
+      symbols_(symbols == nullptr ? owned_symbols_.get() : symbols),
+      tracer_(tracer) {
   assert(clock != nullptr);
   registry_.set_symbols(symbols_);
+  if (metrics != nullptr) {
+    raises_counter_ = metrics->AddCounter(
+        "events_raised_total", "primitive event occurrences raised");
+    occurrences_counter_ = metrics->AddCounter(
+        "event_occurrences_total",
+        "occurrences dispatched, primitive and composite");
+    pending_timers_gauge_ = metrics->AddGauge(
+        "pending_timers", "temporal-event timers waiting to fire");
+  }
 }
 
 EventDetector::~EventDetector() = default;
@@ -247,6 +262,7 @@ Status EventDetector::RaiseInterned(EventId event, FlatParamMap params) {
   occ.start = occ.end = clock_->Now();
   occ.seq = NextSeq();
   occ.params = std::move(params);
+  if (raises_counter_) raises_counter_->Inc();
   queue_.push_back(std::move(occ));
   Drain();
   return Status::OK();
@@ -278,6 +294,10 @@ void EventDetector::Dispatch(const Occurrence& occ) {
   if (deactivated_[occ.event]) return;  // Orphaned by regeneration.
   ++occ_counts_[occ.event];
   ++total_occurrences_;
+  if (occurrences_counter_) occurrences_counter_->Inc();
+  if (tracer_ != nullptr && tracer_->active()) {
+    tracer_->AddEventStep(registry_.name(occ.event));
+  }
   // Parents first (detection propagates up the DAG), then subscribers.
   // Both iterate over index snapshots so that definitions/subscriptions
   // added mid-dispatch do not invalidate iteration.
@@ -319,12 +339,14 @@ void EventDetector::AdvanceTo(Time t, SimulatedClock* clock) {
     timers_.FireDueOne(*next);  // Callbacks emit; Drain runs inside.
   }
   clock->SetTime(t);
+  UpdateTimerGauge();
 }
 
 void EventDetector::PollTimers() {
   const Time now = clock_->Now();
   while (timers_.FireDueOne(now)) {
   }
+  UpdateTimerGauge();
 }
 
 Result<int> EventDetector::CancelPendingPlus(EventId plus_event,
@@ -357,9 +379,20 @@ Status EventDetector::DeactivateEvent(EventId event) {
 }
 
 TimerId EventDetector::ScheduleTimer(Time when, TimerService::Callback cb) {
-  return timers_.Schedule(when, std::move(cb));
+  const TimerId id = timers_.Schedule(when, std::move(cb));
+  UpdateTimerGauge();
+  return id;
 }
 
-void EventDetector::CancelTimer(TimerId id) { timers_.Cancel(id); }
+void EventDetector::CancelTimer(TimerId id) {
+  timers_.Cancel(id);
+  UpdateTimerGauge();
+}
+
+void EventDetector::UpdateTimerGauge() {
+  if (pending_timers_gauge_) {
+    pending_timers_gauge_->Set(static_cast<int64_t>(timers_.pending_count()));
+  }
+}
 
 }  // namespace sentinel

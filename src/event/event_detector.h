@@ -19,6 +19,13 @@
 
 namespace sentinel {
 
+namespace telemetry {
+class Counter;
+class Gauge;
+class Registry;
+class TraceCollector;
+}  // namespace telemetry
+
 /// Handle returned by Subscribe, used to Unsubscribe.
 using SubscriptionId = uint64_t;
 
@@ -42,7 +49,12 @@ class EventDetector final : public NodeContext {
   /// `clock` must outlive the detector; not owned. `symbols` is the table
   /// event parameters are interned in — pass the engine's table so names are
   /// shared across layers; when null the detector owns a private one.
-  explicit EventDetector(Clock* clock, SymbolTable* symbols = nullptr);
+  /// `metrics`/`tracer` (both optional, not owned) attach the telemetry
+  /// layer: the detector registers its own instruments on `metrics` and
+  /// records occurrence steps on `tracer` while a span is active.
+  explicit EventDetector(Clock* clock, SymbolTable* symbols = nullptr,
+                         telemetry::Registry* metrics = nullptr,
+                         telemetry::TraceCollector* tracer = nullptr);
   ~EventDetector() override;
 
   EventDetector(const EventDetector&) = delete;
@@ -195,9 +207,17 @@ class EventDetector final : public NodeContext {
     std::unordered_map<uint32_t, std::vector<int>> by_value;
   };
 
+  /// Refreshes the pending-timer gauge after heap mutations (no-op when
+  /// no registry is attached).
+  void UpdateTimerGauge();
+
   Clock* clock_;          // Not owned.
   std::unique_ptr<SymbolTable> owned_symbols_;  // Set iff none was injected.
   SymbolTable* symbols_;  // Not owned (points at owned_symbols_ if set).
+  telemetry::TraceCollector* tracer_ = nullptr;   // Not owned; may be null.
+  telemetry::Counter* raises_counter_ = nullptr;  // Null iff no registry.
+  telemetry::Counter* occurrences_counter_ = nullptr;
+  telemetry::Gauge* pending_timers_gauge_ = nullptr;
   EventRegistry registry_;
   TimerService timers_;   // Declared before nodes_: nodes cancel in dtors.
   std::vector<std::unique_ptr<OperatorNode>> nodes_;

@@ -4,10 +4,24 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace sentinel {
 
-RuleManager::RuleManager(EventDetector* detector) : detector_(detector) {}
+RuleManager::RuleManager(EventDetector* detector,
+                         telemetry::Registry* metrics,
+                         telemetry::TraceCollector* tracer)
+    : detector_(detector), tracer_(tracer) {
+  if (metrics != nullptr) {
+    firings_counter_ =
+        metrics->AddCounter("rule_firings_total", "rule firings, all branches");
+    else_counter_ = metrics->AddCounter(
+        "rule_else_total", "firings whose WHEN failed (ELSE branch ran)");
+    dropped_counter_ = metrics->AddCounter(
+        "dropped_firings_total", "firings dropped by the cascade budget");
+  }
+}
 
 RuleManager::~RuleManager() {
   for (const auto& [event, sub] : dispatchers_) {
@@ -128,18 +142,26 @@ void RuleManager::OnOccurrence(EventId event, const Occurrence& occ) {
     if (!rule->enabled()) continue;
     if (cascade_used_ >= cascade_limit_) {
       ++dropped_firings_;
+      if (dropped_counter_) dropped_counter_->Inc();
       SENTINEL_LOG(kError) << "cascade budget exhausted; dropping firing of "
                            << rule->name();
       continue;
     }
     ++cascade_used_;
     ++total_fired_;
+    if (firings_counter_) firings_counter_->Inc();
     RuleContext ctx;
     ctx.occurrence = &occ;
     ctx.detector = detector_;
     ctx.decision = decisions_.empty() ? nullptr : decisions_.back();
     ctx.engine = engine_;
-    rule->Fire(ctx);
+    const bool held = rule->Fire(ctx);
+    if (!held && else_counter_) else_counter_->Inc();
+    if (tracer_ != nullptr && tracer_->active()) {
+      tracer_->AddRuleStep(rule->name(), rule->priority(), !held,
+                           RuleClassToString(rule->rule_class()),
+                           RuleGranularityToString(rule->granularity()));
+    }
   }
 }
 

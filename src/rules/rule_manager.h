@@ -29,8 +29,13 @@ namespace sentinel {
 /// engine backpointer handed to every RuleContext.
 class RuleManager {
  public:
-  /// `detector` must outlive the manager; not owned.
-  explicit RuleManager(EventDetector* detector);
+  /// `detector` must outlive the manager; not owned. `metrics`/`tracer`
+  /// (both optional, not owned) attach the telemetry layer: the manager
+  /// registers firing counters on `metrics` and records one rule step per
+  /// firing on `tracer` while a span is active.
+  explicit RuleManager(EventDetector* detector,
+                       telemetry::Registry* metrics = nullptr,
+                       telemetry::TraceCollector* tracer = nullptr);
   ~RuleManager();
 
   RuleManager(const RuleManager&) = delete;
@@ -71,6 +76,10 @@ class RuleManager {
   void set_cascade_limit(uint64_t limit) { cascade_limit_ = limit; }
   void ResetCascadeBudget() { cascade_used_ = 0; }
   uint64_t dropped_firings() const { return dropped_firings_; }
+  /// Firings consumed since the last budget reset — the length of the
+  /// cascade currently (or just) drained. The engine samples this into a
+  /// histogram at each quiescent point before resetting the budget.
+  uint64_t cascade_used() const { return cascade_used_; }
 
   // ------------------------------------------------------ Introspection
 
@@ -99,6 +108,10 @@ class RuleManager {
 
   EventDetector* detector_;  // Not owned.
   void* engine_ = nullptr;
+  telemetry::TraceCollector* tracer_ = nullptr;     // Not owned; may be null.
+  telemetry::Counter* firings_counter_ = nullptr;   // Null iff no registry.
+  telemetry::Counter* else_counter_ = nullptr;
+  telemetry::Counter* dropped_counter_ = nullptr;
 
   std::unordered_map<std::string, Entry> rules_;
   std::unordered_map<std::string, uint64_t> insertion_order_;

@@ -1,9 +1,13 @@
 #include "service/authorization_service.h"
 
-#include <chrono>
+#include <sstream>
+
+#include "telemetry/exposition.h"
 
 namespace sentinel {
 namespace {
+
+using telemetry::NowNanos;
 
 /// Fixed FNV-1a so request placement never depends on platform hash seeds:
 /// the same user lands on the same shard in every run and every process.
@@ -14,12 +18,6 @@ uint64_t Fnv1a(const std::string& name) {
     hash *= 1099511628211ull;
   }
   return hash;
-}
-
-int64_t NowNanos() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
 }
 
 }  // namespace
@@ -43,6 +41,22 @@ AuthorizationService::AuthorizationService(const ServiceConfig& config)
   }
   if (synchronous_) count = 1;
   now_.store(config.start_time, std::memory_order_release);
+
+  // Service-boundary instruments, registered (like the shards' own) before
+  // any thread exists — the registry is structurally frozen from here on.
+  requests_counter_ = service_metrics_.AddCounter(
+      "service_requests_total", "requests accepted at the service boundary");
+  batches_counter_ =
+      service_metrics_.AddCounter("service_batches_total",
+                                  "CheckAccessBatch calls");
+  broadcasts_counter_ = service_metrics_.AddCounter(
+      "admin_broadcasts_total", "epoch-barriered admin broadcasts");
+  sessions_gauge_ = service_metrics_.AddGauge(
+      "service_sessions", "sessions tracked in the routing registry");
+  batch_size_hist_ = service_metrics_.AddHistogram(
+      "batch_size", "requests per CheckAccessBatch call",
+      telemetry::Histogram::ExponentialBounds(1, 2.0, 11));
+
   shards_.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
     auto shard = std::make_unique<Shard>();
@@ -50,6 +64,23 @@ AuthorizationService::AuthorizationService(const ServiceConfig& config)
     shard->clock = std::make_unique<SimulatedClock>(config.start_time);
     shard->engine = std::make_unique<AuthorizationEngine>(shard->clock.get());
     shard->engine->set_decision_log_capacity(config.decision_log_capacity);
+    shard->engine->set_telemetry_sampling(config.latency_sample_every,
+                                          config.trace_sample_every);
+    if (config.telemetry_report_interval > 0) {
+      telemetry::ReportSink sink;
+      if (config.telemetry_sink) {
+        // Tag each report with its shard of origin; the engine itself does
+        // not know it is sharded.
+        sink = [user_sink = config.telemetry_sink,
+                index = shard->index](const std::string& body) {
+          user_sink("# shard " + std::to_string(index) + '\n' + body);
+        };
+      }
+      // Cannot fail here: the engine is fresh (no "telemetry.*" events yet)
+      // and the interval was checked above.
+      (void)InstallPeriodicMetricsReporter(
+          *shard->engine, config.telemetry_report_interval, std::move(sink));
+    }
     shards_.push_back(std::move(shard));
   }
   if (!synchronous_) {
@@ -147,6 +178,7 @@ AccessDecision AuthorizationService::Convert(const Decision& decision,
 AccessDecision AuthorizationService::RunOnShard(
     uint32_t shard, const std::function<Decision(AuthorizationEngine&)>& op) {
   const int64_t submit_ns = NowNanos();
+  requests_counter_->Add();
   Shard& home = *shards_[shard];
   if (synchronous_) {
     const Decision decision = op(*home.engine);
@@ -170,6 +202,7 @@ AccessDecision AuthorizationService::RunOnShard(
 void AuthorizationService::Broadcast(
     const std::function<void(AuthorizationEngine&, uint32_t)>& fn) {
   std::lock_guard<std::mutex> admin_lock(admin_mu_);
+  broadcasts_counter_->Add();
   const uint64_t epoch = admin_epoch_.load(std::memory_order_relaxed) + 1;
   if (synchronous_) {
     fn(*shards_[0]->engine, 0);
@@ -250,6 +283,9 @@ std::vector<AccessDecision> AuthorizationService::CheckAccessBatch(
   const int64_t submit_ns = NowNanos();
   std::vector<AccessDecision> out(requests.size());
   if (requests.empty()) return out;
+  batches_counter_->Add();
+  requests_counter_->Add(requests.size());
+  batch_size_hist_->RecordShared(static_cast<int64_t>(requests.size()));
   if (synchronous_) {
     Shard& shard = *shards_[0];
     for (size_t i = 0; i < requests.size(); ++i) {
@@ -308,6 +344,7 @@ AccessDecision AuthorizationService::CreateSession(const UserName& user,
   if (decision.allowed) {
     std::unique_lock<std::shared_mutex> lock(session_mu_);
     sessions_[session] = shard;
+    sessions_gauge_->Set(static_cast<int64_t>(sessions_.size()));
   }
   return decision;
 }
@@ -321,6 +358,7 @@ AccessDecision AuthorizationService::DeleteSession(const SessionId& session) {
   if (decision.allowed) {
     std::unique_lock<std::shared_mutex> lock(session_mu_);
     sessions_.erase(session);
+    sessions_gauge_->Set(static_cast<int64_t>(sessions_.size()));
   }
   return decision;
 }
@@ -439,6 +477,56 @@ ServiceStats AuthorizationService::Stats() {
     });
   }
   return stats;
+}
+
+// -------------------------------------------------------------- Telemetry
+
+TelemetrySnapshot AuthorizationService::Snapshot() {
+  TelemetrySnapshot snap;
+  snap.now = Now();
+  snap.admin_epoch = admin_epoch();
+  snap.num_shards = num_shards();
+  // Metrics merge without queueing behind the shards: registries are
+  // structurally frozen after construction and reads are atomic loads, so
+  // this is safe against concurrent shard-thread updates.
+  snap.metrics = service_metrics_.Snapshot();
+  for (const auto& shard : shards_) {
+    snap.metrics.MergeFrom(shard->engine->metrics().Snapshot());
+  }
+  // Spans hold strings the shard thread mutates freely, so they are copied
+  // on the shard thread via Inspect.
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    Inspect(static_cast<uint32_t>(shard), [&](const AuthorizationEngine& e) {
+      std::vector<telemetry::DecisionSpan> spans = e.tracer().Spans();
+      for (telemetry::DecisionSpan& span : spans) {
+        span.shard = static_cast<uint32_t>(shard);
+      }
+      snap.spans.insert(snap.spans.end(),
+                        std::make_move_iterator(spans.begin()),
+                        std::make_move_iterator(spans.end()));
+    });
+  }
+  return snap;
+}
+
+std::string AuthorizationService::RenderMetrics() {
+  const TelemetrySnapshot snap = Snapshot();
+  std::ostringstream os;
+  os << telemetry::RenderPrometheus(snap.metrics);
+  for (const telemetry::DecisionSpan& span : snap.spans) {
+    os << "# trace " << telemetry::DescribeSpan(span) << '\n';
+  }
+  return os.str();
+}
+
+std::string AuthorizationService::RenderMetricsJson() {
+  const TelemetrySnapshot snap = Snapshot();
+  std::ostringstream os;
+  os << "{\"now\":" << snap.now << ",\"admin_epoch\":" << snap.admin_epoch
+     << ",\"num_shards\":" << snap.num_shards
+     << ",\"metrics\":" << telemetry::RenderJson(snap.metrics)
+     << ",\"spans\":" << telemetry::RenderSpansJson(snap.spans) << '}';
+  return os.str();
 }
 
 }  // namespace sentinel

@@ -20,6 +20,7 @@
 #include "common/status.h"
 #include "core/engine.h"
 #include "service/mailbox.h"
+#include "telemetry/reporter.h"
 
 namespace sentinel {
 
@@ -37,6 +38,20 @@ struct ServiceConfig {
   Time start_time = 0;
   /// Per-shard decision audit ring capacity (see DecisionLog).
   size_t decision_log_capacity = 256;
+  /// When > 0, a PERIODIC-driven metrics reporter is installed on every
+  /// shard engine: each simulated interval, the shard renders its registry
+  /// and hands it to `telemetry_sink`. Ticks ride the shards' simulated
+  /// clocks, so reports fire during AdvanceTo — deterministically.
+  Duration telemetry_report_interval = 0;
+  /// Destination for periodic reports (default: the INFO log). Reports are
+  /// prefixed "# shard N"; the sink runs on shard threads, so a shared sink
+  /// must be thread-safe.
+  telemetry::ReportSink telemetry_sink;
+  /// Per-shard hot-path sampling: wall-clock latency is measured on every
+  /// Nth dispatch (0 disables) and every Mth request records a full trace
+  /// span. See AuthorizationEngine::set_telemetry_sampling.
+  uint32_t latency_sample_every = 32;
+  uint32_t trace_sample_every = 256;
 };
 
 /// Aggregated per-shard counters (gathered with a quiescing inspection).
@@ -44,6 +59,18 @@ struct ServiceStats {
   uint64_t decisions = 0;
   uint64_t denials = 0;
   uint64_t audit_overflow = 0;
+};
+
+/// \brief One observability capture of the whole service: every shard
+/// registry merged with the service-boundary registry, plus the sampled
+/// decision spans gathered from each shard (shard-tagged, oldest first
+/// within a shard).
+struct TelemetrySnapshot {
+  Time now = 0;
+  uint64_t admin_epoch = 0;
+  int num_shards = 0;
+  telemetry::RegistrySnapshot metrics;
+  std::vector<telemetry::DecisionSpan> spans;
 };
 
 /// \brief Sharded concurrent front-end over N AuthorizationEngines.
@@ -152,6 +179,22 @@ class AuthorizationService {
   /// Aggregates decision/denial/audit-overflow counters across shards.
   ServiceStats Stats();
 
+  // -------------------------------------------------------- Telemetry
+
+  /// Captures the merged metrics view plus sampled decision spans. Metric
+  /// merging is lock-free (pure atomic loads against each shard registry);
+  /// span gathering uses Inspect, briefly queueing behind each shard's
+  /// in-flight work.
+  TelemetrySnapshot Snapshot();
+
+  /// The Prometheus text exposition of Snapshot(), with sampled spans
+  /// appended as "# trace ..." comment lines — the scrape endpoint body.
+  std::string RenderMetrics();
+
+  /// The same capture as a JSON document ({"now", "admin_epoch",
+  /// "num_shards", "metrics", "spans"}).
+  std::string RenderMetricsJson();
+
   /// Closes every mailbox, drains queued envelopes (queued requests still
   /// get real decisions), then joins all threads. Idempotent; the
   /// destructor calls it. Requests submitted after shutdown are answered
@@ -218,6 +261,16 @@ class AuthorizationService {
 
   bool synchronous_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Service-boundary metrics (request/batch/broadcast counts), bumped from
+  /// arbitrary caller threads — multi-writer instruments (Add/RecordShared),
+  /// unlike the shards' single-writer registries.
+  telemetry::Registry service_metrics_;
+  telemetry::Counter* requests_counter_ = nullptr;  // Owned by the registry.
+  telemetry::Counter* batches_counter_ = nullptr;
+  telemetry::Counter* broadcasts_counter_ = nullptr;
+  telemetry::Gauge* sessions_gauge_ = nullptr;
+  telemetry::Histogram* batch_size_hist_ = nullptr;
 
   /// Serializes admin broadcasts so epochs hit every mailbox in one order.
   std::mutex admin_mu_;

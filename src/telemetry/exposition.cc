@@ -1,0 +1,141 @@
+#include "telemetry/exposition.h"
+
+#include <sstream>
+
+namespace sentinel {
+namespace telemetry {
+namespace {
+
+/// Escapes a string for a JSON literal (quotes, backslashes, control chars).
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const RegistrySnapshot& snapshot,
+                             const std::string& prefix) {
+  std::ostringstream os;
+  for (const CounterSnapshot& c : snapshot.counters) {
+    os << "# HELP " << prefix << c.name << ' ' << c.help << '\n';
+    os << "# TYPE " << prefix << c.name << " counter\n";
+    os << prefix << c.name << ' ' << c.value << '\n';
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    os << "# HELP " << prefix << g.name << ' ' << g.help << '\n';
+    os << "# TYPE " << prefix << g.name << " gauge\n";
+    os << prefix << g.name << ' ' << g.value << '\n';
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    os << "# HELP " << prefix << h.name << ' ' << h.help << '\n';
+    os << "# TYPE " << prefix << h.name << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      os << prefix << h.name << "_bucket{le=\"" << h.bounds[i] << "\"} "
+         << cumulative << '\n';
+    }
+    cumulative += h.counts.back();
+    os << prefix << h.name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+    os << prefix << h.name << "_sum " << h.sum << '\n';
+    os << prefix << h.name << "_count " << cumulative << '\n';
+  }
+  return os.str();
+}
+
+std::string RenderJson(const RegistrySnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) os << ',';
+    AppendJsonString(os, snapshot.counters[i].name);
+    os << ':' << snapshot.counters[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) os << ',';
+    AppendJsonString(os, snapshot.gauges[i].name);
+    os << ':' << snapshot.gauges[i].value;
+  }
+  os << "},\"histograms\":{";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    if (i > 0) os << ',';
+    AppendJsonString(os, h.name);
+    os << ":{\"bounds\":[";
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) os << ',';
+      os << h.bounds[b];
+    }
+    os << "],\"counts\":[";
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) os << ',';
+      os << h.counts[b];
+    }
+    os << "],\"sum\":" << h.sum << ",\"count\":" << h.TotalCount() << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string RenderSpansJson(const std::vector<DecisionSpan>& spans) {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const DecisionSpan& span = spans[i];
+    if (i > 0) os << ',';
+    os << "{\"seq\":" << span.seq << ",\"shard\":" << span.shard
+       << ",\"when\":" << span.when << ",\"operation\":";
+    AppendJsonString(os, span.operation);
+    os << ",\"allowed\":" << (span.allowed ? "true" : "false") << ",\"rule\":";
+    AppendJsonString(os, span.rule);
+    os << ",\"wall_ns\":" << span.wall_ns << ",\"dropped_steps\":"
+       << span.dropped_steps << ",\"steps\":[";
+    for (size_t s = 0; s < span.steps.size(); ++s) {
+      const TraceStep& step = span.steps[s];
+      if (s > 0) os << ',';
+      os << "{\"kind\":\""
+         << (step.kind == TraceStep::Kind::kEvent ? "event" : "rule")
+         << "\",\"name\":";
+      AppendJsonString(os, step.name);
+      if (step.kind == TraceStep::Kind::kRule) {
+        os << ",\"priority\":" << step.priority << ",\"branch\":\""
+           << (step.else_branch ? "else" : "then") << "\",\"class\":";
+        AppendJsonString(os,
+                         std::string(step.rule_class) + "/" + step.granularity);
+      }
+      os << '}';
+    }
+    os << "]}";
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace telemetry
+}  // namespace sentinel

@@ -1,0 +1,31 @@
+#ifndef SENTINELPP_TELEMETRY_EXPOSITION_H_
+#define SENTINELPP_TELEMETRY_EXPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace sentinel {
+namespace telemetry {
+
+/// \brief Renders a merged snapshot in the Prometheus text exposition
+/// format (text/plain; version 0.0.4): `# HELP` / `# TYPE` preambles,
+/// histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+/// `_count`. Every series name gets `prefix` prepended.
+std::string RenderPrometheus(const RegistrySnapshot& snapshot,
+                             const std::string& prefix = "sentinelpp_");
+
+/// \brief Renders a snapshot as a JSON object:
+/// {"counters":{name:value,...},"gauges":{...},
+///  "histograms":{name:{"bounds":[...],"counts":[...],"sum":N,"count":N}}}.
+std::string RenderJson(const RegistrySnapshot& snapshot);
+
+/// \brief Renders sampled decision spans as a JSON array (steps inline).
+std::string RenderSpansJson(const std::vector<DecisionSpan>& spans);
+
+}  // namespace telemetry
+}  // namespace sentinel
+
+#endif  // SENTINELPP_TELEMETRY_EXPOSITION_H_

@@ -1,0 +1,231 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace sentinel {
+namespace telemetry {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ----------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::vector<int64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  assert(!bounds_.empty());
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+         std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end());
+}
+
+void Histogram::Record(int64_t v) {
+  // First bound >= v, i.e. the inclusive-upper-bound bucket; past-the-end
+  // means the overflow bucket.
+  const size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  auto& slot = counts_[i];
+  slot.store(slot.load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+  sum_.store(sum_.load(std::memory_order_relaxed) + v,
+             std::memory_order_relaxed);
+}
+
+void Histogram::RecordShared(int64_t v) {
+  const size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    snap.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::vector<int64_t> Histogram::ExponentialBounds(int64_t start, double factor,
+                                                  int count) {
+  assert(start > 0 && factor > 1.0 && count > 0);
+  std::vector<int64_t> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double bound = static_cast<double>(start);
+  for (int i = 0; i < count; ++i) {
+    const auto v = static_cast<int64_t>(bound);
+    // Guard against rounding collapse for tiny starts/factors.
+    if (bounds.empty() || v > bounds.back()) bounds.push_back(v);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+uint64_t HistogramSnapshot::TotalCount() const {
+  uint64_t total = 0;
+  for (const uint64_t c : counts) total += c;
+  return total;
+}
+
+bool HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  if (bounds != other.bounds || counts.size() != other.counts.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  sum += other.sum;
+  return true;
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  const uint64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target observation (1-based, ceil), then walk buckets.
+  const double rank = std::max(1.0, p / 100.0 * static_cast<double>(total));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (static_cast<double>(seen + counts[i]) < rank) {
+      seen += counts[i];
+      continue;
+    }
+    // Target falls in bucket i: interpolate between its edges.
+    const double lower = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+    if (i == counts.size() - 1) {
+      // Overflow bucket has no upper edge; clamp to its lower bound.
+      return std::max(lower, static_cast<double>(bounds.back()));
+    }
+    const double upper = static_cast<double>(bounds[i]);
+    const double fraction =
+        (rank - static_cast<double>(seen)) / static_cast<double>(counts[i]);
+    return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return static_cast<double>(bounds.back());
+}
+
+// ------------------------------------------------------------------ Registry
+
+Counter* Registry::AddCounter(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Meta& meta : counter_meta_) {
+    if (meta.name == name) return &counter_slots_[meta.slot];
+  }
+  counter_meta_.push_back({name, help, counter_slots_.size()});
+  return &counter_slots_.emplace_back();
+}
+
+Gauge* Registry::AddGauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Meta& meta : gauge_meta_) {
+    if (meta.name == name) return &gauge_slots_[meta.slot];
+  }
+  gauge_meta_.push_back({name, help, gauge_slots_.size()});
+  return &gauge_slots_.emplace_back();
+}
+
+Histogram* Registry::AddHistogram(const std::string& name,
+                                  const std::string& help,
+                                  std::vector<int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : histograms_) {
+    if (entry.name == name) return &entry.instrument;
+  }
+  return &histograms_.emplace_back(name, help, std::move(bounds)).instrument;
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  // No lock: registration finished before concurrent use (see class
+  // comment), so the deques are structurally stable and the instrument
+  // reads are atomic loads.
+  RegistrySnapshot snap;
+  snap.counters.reserve(counter_meta_.size());
+  for (const Meta& meta : counter_meta_) {
+    snap.counters.push_back(
+        {meta.name, meta.help, counter_slots_[meta.slot].value()});
+  }
+  snap.gauges.reserve(gauge_meta_.size());
+  for (const Meta& meta : gauge_meta_) {
+    snap.gauges.push_back(
+        {meta.name, meta.help, gauge_slots_[meta.slot].value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& entry : histograms_) {
+    HistogramSnapshot h = entry.instrument.Snapshot();
+    h.name = entry.name;
+    h.help = entry.help;
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+// ---------------------------------------------------------- Snapshot merging
+
+namespace {
+
+template <typename Series>
+Series* FindByName(std::vector<Series>& list, const std::string& name) {
+  for (Series& s : list) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+template <typename Series>
+const Series* FindByName(const std::vector<Series>& list,
+                         const std::string& name) {
+  for (const Series& s : list) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void RegistrySnapshot::MergeFrom(const RegistrySnapshot& other) {
+  for (const CounterSnapshot& c : other.counters) {
+    if (CounterSnapshot* mine = FindByName(counters, c.name)) {
+      mine->value += c.value;
+    } else {
+      counters.push_back(c);
+    }
+  }
+  for (const GaugeSnapshot& g : other.gauges) {
+    if (GaugeSnapshot* mine = FindByName(gauges, g.name)) {
+      mine->value += g.value;
+    } else {
+      gauges.push_back(g);
+    }
+  }
+  for (const HistogramSnapshot& h : other.histograms) {
+    if (HistogramSnapshot* mine = FindByName(histograms, h.name)) {
+      (void)mine->MergeFrom(h);  // Layout mismatch: keep ours, skip theirs.
+    } else {
+      histograms.push_back(h);
+    }
+  }
+}
+
+const CounterSnapshot* RegistrySnapshot::FindCounter(
+    const std::string& name) const {
+  return FindByName(counters, name);
+}
+
+const GaugeSnapshot* RegistrySnapshot::FindGauge(
+    const std::string& name) const {
+  return FindByName(gauges, name);
+}
+
+const HistogramSnapshot* RegistrySnapshot::FindHistogram(
+    const std::string& name) const {
+  return FindByName(histograms, name);
+}
+
+}  // namespace telemetry
+}  // namespace sentinel

@@ -1,0 +1,51 @@
+#include "telemetry/reporter.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/calendar.h"
+#include "common/logging.h"
+#include "core/engine.h"
+#include "telemetry/exposition.h"
+
+namespace sentinel {
+
+Status InstallPeriodicMetricsReporter(AuthorizationEngine& engine,
+                                      Duration interval,
+                                      telemetry::ReportSink sink) {
+  if (interval <= 0) {
+    return Status::InvalidArgument("telemetry report interval must be > 0");
+  }
+  EventDetector& detector = engine.detector();
+  if (detector.Lookup("telemetry.boot").ok()) {
+    return Status::AlreadyExists("periodic metrics reporter already installed");
+  }
+  SENTINEL_ASSIGN_OR_RETURN(boot, detector.DefinePrimitive("telemetry.boot"));
+  SENTINEL_ASSIGN_OR_RETURN(stop, detector.DefinePrimitive("telemetry.stop"));
+  SENTINEL_ASSIGN_OR_RETURN(
+      tick, detector.DefinePeriodic("telemetry.tick", boot, interval, stop));
+
+  AuthorizationEngine* eng = &engine;
+  Rule rule("TEL.report", tick,
+            Rule::Options{0, true, RuleClass::kActiveSecurity,
+                          RuleGranularity::kGlobalized});
+  rule.Then("emit metrics report", [eng, sink = std::move(sink)](
+                                       RuleContext& c) {
+    (void)c;
+    std::ostringstream os;
+    os << "# sentinelpp telemetry report @ " << FormatTime(eng->Now()) << '\n'
+       << telemetry::RenderPrometheus(eng->metrics().Snapshot());
+    if (sink) {
+      sink(os.str());
+    } else {
+      SENTINEL_LOG(kInfo) << os.str();
+    }
+  });
+  SENTINEL_ASSIGN_OR_RETURN(added, engine.rule_manager().AddRule(
+                                       std::move(rule)));
+  (void)added;
+  // Boot the periodic stream: the first tick lands one interval from now.
+  return detector.Raise(boot, {});
+}
+
+}  // namespace sentinel

@@ -1,0 +1,39 @@
+#ifndef SENTINELPP_TELEMETRY_REPORTER_H_
+#define SENTINELPP_TELEMETRY_REPORTER_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sentinel {
+
+class AuthorizationEngine;
+
+namespace telemetry {
+
+/// Receives one rendered report per tick. Reports are emitted from the
+/// thread advancing the engine's clock (the shard thread in a concurrent
+/// service), so a shared sink must be thread-safe.
+using ReportSink = std::function<void(const std::string&)>;
+
+}  // namespace telemetry
+
+/// \brief Installs the periodic metrics reporter on an engine.
+///
+/// This is the paper's own machinery turned on the enforcement mechanism
+/// itself: a PERIODIC composite event (boot, interval, stop — exactly how
+/// audit directives are compiled) drives a "TEL.report" OWTE rule whose
+/// action renders the engine's metrics registry in the Prometheus text
+/// format and hands it to `sink` (default: the INFO log). Ticks fire on the
+/// engine's simulated clock, so reports are deterministic under AdvanceTo.
+///
+/// One reporter per engine; a second install returns AlreadyExists.
+Status InstallPeriodicMetricsReporter(AuthorizationEngine& engine,
+                                      Duration interval,
+                                      telemetry::ReportSink sink = nullptr);
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_TELEMETRY_REPORTER_H_

@@ -1,0 +1,94 @@
+#include "telemetry/trace.h"
+
+#include <sstream>
+
+namespace sentinel {
+namespace telemetry {
+
+std::string DescribeSpan(const DecisionSpan& span) {
+  std::ostringstream os;
+  os << "span#" << span.seq << " shard=" << span.shard << " t=" << span.when
+     << ' ' << span.operation << " -> "
+     << (span.allowed ? "ALLOW" : "DENY") << " by "
+     << (span.rule.empty() ? "(default)" : span.rule) << " in "
+     << span.wall_ns / 1000 << "us:";
+  for (const TraceStep& step : span.steps) {
+    if (step.kind == TraceStep::Kind::kEvent) {
+      os << " ev:" << step.name;
+    } else {
+      os << " rule:" << step.name << "(p" << step.priority << ','
+         << (step.else_branch ? "ELSE" : "THEN") << ')';
+    }
+  }
+  if (span.dropped_steps > 0) os << " +" << span.dropped_steps << " dropped";
+  return os.str();
+}
+
+bool TraceCollector::BeginSampled(Time now, const std::string& operation) {
+  if (options_.capacity == 0) return false;
+  current_ = DecisionSpan{};
+  current_.steps.reserve(8);  // Typical cascade; avoids regrow churn.
+  current_.seq = spans_recorded_;
+  current_.when = now;
+  current_.operation = operation;
+  active_ = true;
+  return true;
+}
+
+void TraceCollector::AddEventStep(const std::string& name) {
+  if (!active_) return;
+  if (current_.steps.size() >= options_.max_steps) {
+    ++current_.dropped_steps;
+    return;
+  }
+  TraceStep step;
+  step.kind = TraceStep::Kind::kEvent;
+  step.name = name;
+  current_.steps.push_back(std::move(step));
+}
+
+void TraceCollector::AddRuleStep(const std::string& name, int priority,
+                                 bool else_branch, const char* rule_class,
+                                 const char* granularity) {
+  if (!active_) return;
+  if (current_.steps.size() >= options_.max_steps) {
+    ++current_.dropped_steps;
+    return;
+  }
+  TraceStep step;
+  step.kind = TraceStep::Kind::kRule;
+  step.name = name;
+  step.priority = priority;
+  step.else_branch = else_branch;
+  step.rule_class = rule_class;
+  step.granularity = granularity;
+  current_.steps.push_back(std::move(step));
+}
+
+void TraceCollector::End(bool allowed, const std::string& rule,
+                         int64_t wall_ns) {
+  if (!active_) return;
+  active_ = false;
+  current_.allowed = allowed;
+  current_.rule = rule;
+  current_.wall_ns = wall_ns;
+  ++spans_recorded_;
+  if (ring_.size() < options_.capacity) {
+    ring_.push_back(std::move(current_));
+    return;
+  }
+  ring_[head_] = std::move(current_);
+  head_ = (head_ + 1) % options_.capacity;
+}
+
+std::vector<DecisionSpan> TraceCollector::Spans() const {
+  std::vector<DecisionSpan> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace sentinel

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -329,6 +330,82 @@ TEST(ServiceTest, StatsAggregateAcrossShards) {
   EXPECT_EQ(stats.denials, 2u);
 }
 
+// --------------------------------------------------------------- Telemetry
+
+TEST(ServiceTelemetryTest, SnapshotMergesShardsAndCarriesSpans) {
+  ServiceConfig config = ShardedConfig(4);
+  // Sample everything so the assertions are deterministic.
+  config.latency_sample_every = 1;
+  config.trace_sample_every = 1;
+  AuthorizationService service(config);
+  ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
+  ASSERT_TRUE(service.CreateSession("bob", "s2").allowed);
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+  ASSERT_TRUE(service.AddActiveRole("bob", "s2", "AC").allowed);
+  EXPECT_TRUE(
+      service.CheckAccess({"alice", "s1", "approve", "budget-request", ""})
+          .allowed);
+  EXPECT_FALSE(service.CheckAccess({"bob", "s2", "fly", "moon", ""}).allowed);
+
+  const TelemetrySnapshot snap = service.Snapshot();
+  EXPECT_EQ(snap.num_shards, 4);
+  // Engine counters merged across shards...
+  EXPECT_EQ(snap.metrics.FindCounter("decisions_total")->value, 6u);
+  EXPECT_EQ(snap.metrics.FindCounter("denials_total")->value, 1u);
+  EXPECT_EQ(snap.metrics.FindHistogram("decision_latency_us")->TotalCount(),
+            6u);
+  // ...alongside the service-boundary series.
+  EXPECT_EQ(snap.metrics.FindCounter("service_requests_total")->value, 6u);
+  EXPECT_EQ(snap.metrics.FindGauge("service_sessions")->value, 2);
+
+  // At least one span records a full rule cascade, tagged with its shard.
+  ASSERT_GE(snap.spans.size(), 1u);
+  bool cascade_span = false;
+  for (const telemetry::DecisionSpan& span : snap.spans) {
+    for (const telemetry::TraceStep& step : span.steps) {
+      if (step.kind == telemetry::TraceStep::Kind::kRule) cascade_span = true;
+    }
+  }
+  EXPECT_TRUE(cascade_span);
+
+  const std::string text = service.RenderMetrics();
+  EXPECT_NE(text.find("sentinelpp_decisions_total 6"), std::string::npos);
+  EXPECT_NE(text.find("sentinelpp_decision_latency_us_count 6"),
+            std::string::npos);
+  EXPECT_NE(text.find("# trace span#"), std::string::npos);
+
+  const std::string json = service.RenderMetricsJson();
+  EXPECT_NE(json.find("\"num_shards\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"decisions_total\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"spans\":["), std::string::npos);
+}
+
+TEST(ServiceTelemetryTest, PeriodicReporterFiresPerShardOnSimulatedClock) {
+  ServiceConfig config = ShardedConfig(2);
+  config.telemetry_report_interval = 10 * kMinute;
+  std::mutex mu;
+  std::vector<std::string> reports;
+  config.telemetry_sink = [&mu, &reports](const std::string& body) {
+    std::lock_guard<std::mutex> lock(mu);
+    reports.push_back(body);
+  };
+  AuthorizationService service(config);
+  ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  service.AdvanceBy(30 * kMinute);  // Exactly three intervals.
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(reports.size(), 6u);  // 3 ticks x 2 shards.
+  int shard0 = 0, shard1 = 0;
+  for (const std::string& report : reports) {
+    if (report.rfind("# shard 0\n", 0) == 0) ++shard0;
+    if (report.rfind("# shard 1\n", 0) == 0) ++shard1;
+    EXPECT_NE(report.find("sentinelpp_decisions_total"), std::string::npos);
+  }
+  EXPECT_EQ(shard0, 3);
+  EXPECT_EQ(shard1, 3);
+}
+
 // ------------------------------------------------------------- Stress test
 
 /// One scripted step of a user's trace.
@@ -483,6 +560,16 @@ TEST(ServiceStressTest, ConcurrentBatchesAndAdminBroadcasts) {
     }
     stop.store(true);
   });
+  // A scraper races the whole time: metric merges are lock-free reads of
+  // the shard registries, span gathering queues behind in-flight work —
+  // neither may deadlock, tear, or trip TSan.
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      const std::string text = service.RenderMetrics();
+      EXPECT_NE(text.find("sentinelpp_decisions_total"), std::string::npos);
+      (void)service.RenderMetricsJson();
+    }
+  });
   std::vector<AccessRequest> requests(
       64, AccessRequest{"alice", "s1", "read", "ledger", ""});
   uint64_t last_epoch = 0;
@@ -497,8 +584,13 @@ TEST(ServiceStressTest, ConcurrentBatchesAndAdminBroadcasts) {
     }
   }
   admin.join();
+  scraper.join();
   const uint64_t final_epoch = service.admin_epoch();
   EXPECT_GE(final_epoch, 41u);  // Load + 40 role toggles.
+  // The scrape after the storm still aggregates a coherent view.
+  const TelemetrySnapshot snap = service.Snapshot();
+  EXPECT_EQ(snap.metrics.FindCounter("decisions_total")->value,
+            service.Stats().decisions);
 }
 
 }  // namespace
