@@ -137,6 +137,40 @@ void BM_CheckAccess_Baseline_Denied(benchmark::State& state) {
 }
 BENCHMARK(BM_CheckAccess_Baseline_Denied);
 
+// Repeat-heavy workload: a small working set of distinct (op, obj) pairs
+// cycled through every batch — the access pattern the decision cache is
+// built for. Arg is the cache capacity (0 = cache off), so consecutive
+// rows are the uncached/cached A/B at identical request streams.
+void BM_CheckAccess_Engine_RepeatHeavy(benchmark::State& state) {
+  const size_t capacity = static_cast<size_t>(state.range(0));
+  constexpr int kRoles = 16;
+  constexpr int kPerms = 4;
+  benchutil::ServiceUnderTest sut(FlatPolicy(kRoles, kPerms), 1,
+                                  /*synchronous=*/true, benchutil::Noon(),
+                                  capacity);
+  ActivateAll(*sut.service, kRoles);
+  // 16 distinct requests spread across the role set, repeated to kBatch.
+  std::vector<AccessRequest> batch;
+  batch.reserve(kBatch);
+  for (size_t i = 0; i < kBatch; ++i) {
+    const int slot = static_cast<int>(i % 16);
+    const int role = slot * kRoles / 16;
+    const int perm = slot % kPerms;
+    batch.push_back(AccessRequest{
+        "u", "s1", "op" + std::to_string(perm),
+        SyntheticObjectName(role * kPerms + perm), ""});
+  }
+  RunBatches(state, *sut.service, batch);
+  state.counters["cache_capacity"] = static_cast<double>(capacity);
+  const ServiceStats stats = sut.service->Stats();
+  const uint64_t lookups = stats.cache_hits + stats.cache_misses;
+  state.counters["cache_hit_rate"] =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(stats.cache_hits) /
+                         static_cast<double>(lookups);
+}
+BENCHMARK(BM_CheckAccess_Engine_RepeatHeavy)->Arg(0)->Arg(1024);
+
 // Deep hierarchy: permission only at the bottom; the active role is the
 // top. CheckAccess walks the junior closure.
 void BM_CheckAccess_Engine_HierarchyDepth(benchmark::State& state) {

@@ -42,11 +42,13 @@ struct ServiceUnderTest {
   std::unique_ptr<AuthorizationService> service;
 
   explicit ServiceUnderTest(const Policy& policy, int num_shards = 1,
-                            bool synchronous = true, Time start = Noon()) {
+                            bool synchronous = true, Time start = Noon(),
+                            size_t decision_cache_capacity = 0) {
     ServiceConfig config;
     config.num_shards = num_shards;
     config.synchronous = synchronous;
     config.start_time = start;
+    config.decision_cache_capacity = decision_cache_capacity;
     service = std::make_unique<AuthorizationService>(config);
     const Status status = service->LoadPolicy(policy);
     if (!status.ok()) {

@@ -13,6 +13,20 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
+echo "== Differential: cached service vs oracle, release build =="
+# The harness's own default seed is fixed (deterministic bare ctest); this
+# stage explores fresh seeds on developer machines and pins one in CI so
+# gate results are reproducible. Failures print the seed for --seed replay.
+cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-rel -j"$JOBS" --target differential_test
+if [[ -n "${CI:-}" ]]; then
+  DIFF_SEED=20260806
+else
+  DIFF_SEED=$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')
+fi
+echo "-- differential seed: $DIFF_SEED"
+./build-rel/tests/differential_test --seed="$DIFF_SEED"
+
 echo "== Bench smoke: every bench_* runs one tiny iteration =="
 # Not a measurement — just proof that each benchmark still sets up its
 # policy, runs, and tears down. (This toolchain's google-benchmark takes a

@@ -1,0 +1,160 @@
+#ifndef SENTINELPP_CORE_DECISION_CACHE_H_
+#define SENTINELPP_CORE_DECISION_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/interner.h"
+
+namespace sentinel {
+
+/// \brief Per-shard memo table for CheckAccess verdicts.
+///
+/// The paper's observation cuts both ways: because every state change that
+/// can affect an authorization verdict flows through the rule machinery as
+/// an event, those same firing sites can invalidate a verdict cache
+/// *precisely* — no TTLs, no scan-and-evict. Each entry carries the Stamp
+/// of the state it was computed under (policy epoch, rule-pool generation,
+/// per-session generation, active-role generation sum); a lookup whose
+/// recomputed Stamp differs treats the entry as dead. Stale entries are
+/// never searched for — they die lazily when probed or get overwritten by
+/// a later fill.
+///
+/// Shape: fixed-capacity open-addressed table, power-of-two slots, bounded
+/// linear probe window. Owned by a single-threaded engine shard, so there
+/// are no locks; Lookup and Fill never allocate. Slots are only reclaimed
+/// by overwrite or Clear() — the table tolerates dead weight by design.
+class DecisionCache {
+ public:
+  /// The validity stamp: an entry is alive iff every component still equals
+  /// the value recomputed at lookup time. Components are compared exactly
+  /// (not hashed together) so distinct states can never alias.
+  struct Stamp {
+    uint32_t epoch = 0;    ///< Engine policy/admin-broadcast epoch.
+    uint32_t pool = 0;     ///< RuleManager pool generation.
+    uint32_t session = 0;  ///< RbacDatabase per-session generation.
+    uint32_t roles = 0;    ///< Sum of the session's active-role generations.
+    bool operator==(const Stamp&) const = default;
+  };
+
+  /// What a hit reconstructs. Only CA-rule verdicts and the fail-safe
+  /// default deny are cacheable, so two bits suffice; the engine rebuilds
+  /// the Decision strings from them.
+  struct Verdict {
+    bool allowed = false;
+    /// Deny attribution: true = the CA rule's ELSE branch, false = the
+    /// fail-safe default (no rule decided). Meaningless for allows.
+    bool by_rule = false;
+  };
+
+  enum class Outcome { kHit, kMiss, kStale };
+
+  static bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+  /// (session, operation, object) packed 24/16/24 into one key. Returns
+  /// nullopt when a symbol id overflows its field (callers bypass the cache
+  /// for such requests; with dense interning this needs ~16M distinct
+  /// session/object names or 65k operations).
+  static std::optional<uint64_t> PackKey(Symbol session, Symbol op,
+                                         Symbol obj) {
+    const uint64_t s = session.id();
+    const uint64_t o = op.id();
+    const uint64_t b = obj.id();
+    if (s >= (1u << 24) || o >= (1u << 16) || b >= (1u << 24)) {
+      return std::nullopt;
+    }
+    return (s << 40) | (o << 24) | b;
+  }
+
+  /// Sizes the table to `capacity` slots (0 disables, otherwise must be a
+  /// power of two — validated at the service boundary) and drops every
+  /// cached entry.
+  void Configure(size_t capacity) {
+    slots_.assign(IsPowerOfTwo(capacity) ? capacity : 0, Slot{});
+    live_ = 0;
+    fills_ = 0;
+  }
+
+  bool enabled() const { return !slots_.empty(); }
+  size_t capacity() const { return slots_.size(); }
+  /// Occupied slots (live and stale alike — staleness is only decidable
+  /// per key, at lookup time).
+  size_t size() const { return live_; }
+
+  Outcome Lookup(uint64_t key, const Stamp& stamp, Verdict* out) {
+    const uint64_t stored = key + 1;
+    const size_t mask = slots_.size() - 1;
+    size_t index = Mix(key) & mask;
+    for (size_t i = 0; i < kProbeWindow; ++i, index = (index + 1) & mask) {
+      Slot& slot = slots_[index];
+      // Fills take the first empty slot in the window and slots never
+      // empty out again, so an empty slot proves the key is absent.
+      if (slot.key_plus_1 == 0) return Outcome::kMiss;
+      if (slot.key_plus_1 != stored) continue;
+      if (!(slot.stamp == stamp)) return Outcome::kStale;
+      *out = slot.verdict;
+      return Outcome::kHit;
+    }
+    return Outcome::kMiss;
+  }
+
+  void Fill(uint64_t key, const Stamp& stamp, Verdict verdict) {
+    const uint64_t stored = key + 1;
+    const size_t mask = slots_.size() - 1;
+    const size_t home = Mix(key) & mask;
+    size_t victim = kNoSlot;
+    size_t index = home;
+    for (size_t i = 0; i < kProbeWindow; ++i, index = (index + 1) & mask) {
+      Slot& slot = slots_[index];
+      if (slot.key_plus_1 == stored) {  // Refresh in place.
+        slot.stamp = stamp;
+        slot.verdict = verdict;
+        return;
+      }
+      if (slot.key_plus_1 == 0 && victim == kNoSlot) victim = index;
+    }
+    if (victim == kNoSlot) {
+      // Window full of other keys: rotate the eviction point so one hot
+      // bucket cannot pin a single victim slot forever.
+      victim = (home + static_cast<size_t>(fills_ % kProbeWindow)) & mask;
+    } else {
+      ++live_;
+    }
+    ++fills_;
+    slots_[victim] = Slot{stored, stamp, verdict};
+  }
+
+  void Clear() {
+    for (Slot& slot : slots_) slot = Slot{};
+    live_ = 0;
+  }
+
+ private:
+  struct Slot {
+    uint64_t key_plus_1 = 0;  ///< Packed key + 1; 0 marks an empty slot.
+    Stamp stamp;
+    Verdict verdict;
+  };
+
+  static constexpr size_t kProbeWindow = 8;
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
+  /// SplitMix64 finalizer — spreads the packed symbol-id fields across the
+  /// whole index range.
+  static uint64_t Mix(uint64_t key) {
+    key += 0x9e3779b97f4a7c15ull;
+    key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
+    key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
+    return key ^ (key >> 31);
+  }
+
+  std::vector<Slot> slots_;
+  size_t live_ = 0;
+  uint64_t fills_ = 0;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_CORE_DECISION_CACHE_H_

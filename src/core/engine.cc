@@ -3,6 +3,16 @@
 #include "core/rule_generator.h"
 
 namespace sentinel {
+namespace {
+
+/// The one rule the decision cache may replay (rule_generator's global
+/// check-access rule). Its THEN is a pure Allow and its ELSE a Deny plus
+/// the rbac.accessDenied raise — which is why denials are only cached
+/// while that event has no consumers.
+constexpr const char* kCaRuleName = "CA.global";
+constexpr const char* kDenyReason = "Permission Denied";
+
+}  // namespace
 
 AuthorizationEngine::AuthorizationEngine(SimulatedClock* clock)
     : clock_(clock),
@@ -13,6 +23,17 @@ AuthorizationEngine::AuthorizationEngine(SimulatedClock* clock)
   decisions_counter_ =
       metrics_.AddCounter("decisions_total", "authorization decisions made");
   denials_counter_ = metrics_.AddCounter("denials_total", "requests denied");
+  cache_hits_counter_ = metrics_.AddCounter(
+      "decision_cache_hits_total", "CheckAccess verdicts replayed from cache");
+  cache_misses_counter_ = metrics_.AddCounter(
+      "decision_cache_misses_total", "cacheable CheckAccess lookups that missed");
+  cache_stale_counter_ = metrics_.AddCounter(
+      "decision_cache_stale_total",
+      "cache entries found dead (stamp mismatch) at lookup");
+  cache_fills_counter_ = metrics_.AddCounter(
+      "decision_cache_fills_total", "verdicts written into the cache");
+  cache_entries_gauge_ = metrics_.AddGauge(
+      "decision_cache_entries", "occupied decision cache slots");
   // 1us..16ms in powers of two, matching the ~sub-ms request path.
   latency_hist_ = metrics_.AddHistogram(
       "decision_latency_us", "sampled wall-clock dispatch latency (us)",
@@ -77,6 +98,7 @@ Status AuthorizationEngine::LoadPolicy(const Policy& policy) {
   policy_loaded_ = true;
   auto stats = generator_->GenerateAll(policy_);
   if (!stats.ok()) return stats.status();
+  BumpDecisionCacheEpoch();
   return Status::OK();
 }
 
@@ -97,6 +119,7 @@ Result<RegenReport> AuthorizationEngine::ApplyPolicyUpdate(
 
   auto regen = generator_->Regenerate(policy_, roles, users, directives);
   if (!regen.ok()) return regen.status();
+  BumpDecisionCacheEpoch();
 
   RegenReport report;
   report.roles_affected = static_cast<int>(roles.size());
@@ -300,17 +323,139 @@ Decision AuthorizationEngine::DropActiveRole(const UserName& user,
                    {keys_.role, Value(symbols_.Intern(role))}});
 }
 
+void AuthorizationEngine::ConfigureDecisionCache(size_t capacity) {
+  decision_cache_.Configure(capacity);
+  cache_entries_gauge_->Set(0);
+}
+
+DecisionCache::Stamp AuthorizationEngine::CacheStamp(Symbol session) const {
+  DecisionCache::Stamp stamp;
+  stamp.epoch = static_cast<uint32_t>(cache_epoch_);
+  stamp.pool = static_cast<uint32_t>(rules_.pool_generation());
+  stamp.session = rbac_.db().SessionGeneration(session);
+  uint32_t roles = 0;
+  if (const RbacDatabase::SessionState* state =
+          rbac_.db().GetSessionState(session)) {
+    for (Symbol role : state->active_roles) {
+      roles += role_state_.Generation(role);
+    }
+  }
+  stamp.roles = roles;
+  return stamp;
+}
+
+void AuthorizationEngine::RefreshCacheGates() {
+  gate_pool_generation_ = rules_.pool_generation();
+  gate_epoch_ = cache_epoch_;
+  // Replaying a verdict skips the rbac.checkAccess Raise, which is sound
+  // only while the event's sole consumer is the rule dispatcher firing the
+  // CA rule whose verdict we reconstruct. Any other consumer — another
+  // rule, a composite operand, an indexed filter, an external subscriber —
+  // would miss occurrences, so its presence turns the cache off.
+  const std::vector<Rule*>* ca_rules = rules_.RulesFor(events_.check_access);
+  const size_t rule_count = ca_rules == nullptr ? 0 : ca_rules->size();
+  const size_t expected_consumers = rule_count > 0 ? 1 : 0;
+  cache_positive_ok_ =
+      detector_.ConsumerCount(events_.check_access) == expected_consumers &&
+      (rule_count == 0 ||
+       (rule_count == 1 && (*ca_rules)[0]->name() == kCaRuleName));
+  // The CA rule's ELSE raises rbac.accessDenied; a replayed denial
+  // suppresses that raise, so denials are cacheable only while nothing
+  // consumes it (active-security SEC rules do — denial bursts must count).
+  cache_negative_ok_ = cache_positive_ok_ &&
+                       detector_.ConsumerCount(events_.access_denied) == 0;
+}
+
+bool AuthorizationEngine::CacheableVerdict(const Decision& decision) {
+  if (decision.allowed) return decision.rule == kCaRuleName;
+  return (decision.rule.empty() || decision.rule == kCaRuleName) &&
+         decision.reason == kDenyReason;
+}
+
+Decision AuthorizationEngine::ReplayCachedVerdict(
+    DecisionCache::Verdict verdict) {
+  // Replays join the same sampled latency stream as full dispatches: on a
+  // cache-heavy workload the decision_latency_us p50 must reflect hits,
+  // not just the residue of misses.
+  const bool timed = latency_tick_ != 0 && --latency_tick_ == 0;
+  if (timed) latency_tick_ = latency_sample_every_;
+  const int64_t start_ns = timed ? telemetry::NowNanos() : 0;
+  Decision decision;
+  if (verdict.allowed) {
+    decision.Allow(kCaRuleName);
+  } else {
+    decision.Deny(verdict.by_rule ? kCaRuleName : "", kDenyReason);
+  }
+  decisions_counter_->Inc();
+  if (!decision.allowed) denials_counter_->Inc();
+  if (timed) {
+    latency_hist_->Record((telemetry::NowNanos() - start_ns) / 1000);
+  }
+  if (tracer_.Begin(Now(), detector_.name(events_.check_access))) {
+    tracer_.EndCached(decision.allowed, decision.rule);
+  }
+  decision_log_.Push(
+      DecisionRecord{Now(), detector_.name(events_.check_access), decision});
+  return decision;
+}
+
 Decision AuthorizationEngine::CheckAccess(const SessionId& session,
                                           const OperationName& op,
                                           const ObjectName& obj,
                                           const PurposeName& purpose) {
-  FlatParamMap params = {{keys_.session, Value(symbols_.Intern(session))},
-                         {keys_.operation, Value(symbols_.Intern(op))},
-                         {keys_.object, Value(symbols_.Intern(obj))}};
+  const Symbol session_sym = symbols_.Intern(session);
+  const Symbol op_sym = symbols_.Intern(op);
+  const Symbol obj_sym = symbols_.Intern(obj);
+  uint64_t key = 0;
+  DecisionCache::Stamp stamp;
+  bool fillable = false;
+  // Purpose is deliberately outside the packed key, so privacy-qualified
+  // requests always dispatch.
+  if (decision_cache_.enabled() && purpose.empty()) {
+    if (gate_pool_generation_ != rules_.pool_generation() ||
+        gate_epoch_ != cache_epoch_) {
+      RefreshCacheGates();
+    }
+    const std::optional<uint64_t> packed =
+        DecisionCache::PackKey(session_sym, op_sym, obj_sym);
+    if (packed.has_value() && cache_positive_ok_) {
+      key = *packed;
+      stamp = CacheStamp(session_sym);
+      DecisionCache::Verdict verdict;
+      switch (decision_cache_.Lookup(key, stamp, &verdict)) {
+        case DecisionCache::Outcome::kHit:
+          cache_hits_counter_->Inc();
+          return ReplayCachedVerdict(verdict);
+        case DecisionCache::Outcome::kStale:
+          cache_stale_counter_->Inc();
+          fillable = true;
+          break;
+        case DecisionCache::Outcome::kMiss:
+          cache_misses_counter_->Inc();
+          fillable = true;
+          break;
+      }
+    }
+  }
+  FlatParamMap params = {{keys_.session, Value(session_sym)},
+                         {keys_.operation, Value(op_sym)},
+                         {keys_.object, Value(obj_sym)}};
   if (!purpose.empty()) {
     params.Set(keys_.purpose, Value(symbols_.Intern(purpose)));
   }
-  return Dispatch(events_.check_access, std::move(params));
+  Decision decision = Dispatch(events_.check_access, std::move(params));
+  // Fill only when the pre-dispatch stamp still holds: a denial's cascade
+  // (SEC alerts disabling rules or roles) may have moved the very state
+  // this verdict was computed under.
+  if (fillable && (decision.allowed || cache_negative_ok_) &&
+      CacheableVerdict(decision) && CacheStamp(session_sym) == stamp) {
+    decision_cache_.Fill(key, stamp,
+                         DecisionCache::Verdict{
+                             decision.allowed, decision.rule == kCaRuleName});
+    cache_fills_counter_->Inc();
+    cache_entries_gauge_->Set(static_cast<int64_t>(decision_cache_.size()));
+  }
+  return decision;
 }
 
 Decision AuthorizationEngine::AssignUser(const UserName& user,
@@ -344,6 +489,9 @@ void AuthorizationEngine::AdvanceTo(Time t) {
 void AuthorizationEngine::SetContext(const std::string& key,
                                      const std::string& value) {
   context_[key] = value;
+  // Context moves can flip CTX-rule verdict paths that never touch a
+  // session or role generation; a full epoch bump is the safe blanket.
+  BumpDecisionCacheEpoch();
   (void)detector_.RaiseInterned(
       events_.context_changed,
       {{keys_.context_key, Value(symbols_.Intern(key))},

@@ -10,6 +10,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "core/active_security.h"
+#include "core/decision_cache.h"
 #include "core/decision_log.h"
 #include "core/policy.h"
 #include "core/privacy.h"
@@ -227,6 +228,46 @@ class AuthorizationEngine {
     tracer_.set_sample_every(trace_every);
   }
 
+  // ------------------------------------------------------ Decision cache
+
+  /// Sizes the per-shard CheckAccess verdict cache: 0 disables (the
+  /// default), otherwise a power of two — validated at the service
+  /// boundary. Any existing entries are dropped.
+  ///
+  /// What the cache does: CheckAccess verdicts whose deciding rule is the
+  /// global CA rule (or the fail-safe default deny) are memoized under a
+  /// 64-bit (session, operation, object) symbol key together with a
+  /// validity stamp — policy epoch, rule-pool generation, session
+  /// generation, active-role generation sum. A later identical request
+  /// whose recomputed stamp matches replays the verdict without raising
+  /// rbac.checkAccess at all; every state change that could alter the
+  /// verdict bumps one of the stamp's components at its firing site, so
+  /// stale entries die lazily at lookup. Guard rails, re-derived whenever
+  /// the pool or epoch moves: caching is bypassed entirely if anything but
+  /// the CA rule consumes rbac.checkAccess, denials are only cached while
+  /// rbac.accessDenied has no consumers (active-security directives attach
+  /// SEC rules to it, which must see every denial), and requests carrying a
+  /// purpose always dispatch. Replayed denials carry rule/reason but no
+  /// failed_condition (diagnostic only); replayed requests skip latency and
+  /// span sampling but still count decisions/denials and feed the audit log.
+  void ConfigureDecisionCache(size_t capacity);
+  const DecisionCache& decision_cache() const { return decision_cache_; }
+
+  /// Advances the stamp epoch, atomically invalidating every cached
+  /// verdict. The engine bumps it itself on policy load/update and context
+  /// change; the service bumps it on every shard inside each admin
+  /// broadcast.
+  void BumpDecisionCacheEpoch() { ++cache_epoch_; }
+  uint64_t decision_cache_epoch() const { return cache_epoch_; }
+
+  uint64_t decision_cache_hits() const { return cache_hits_counter_->value(); }
+  uint64_t decision_cache_misses() const {
+    return cache_misses_counter_->value();
+  }
+  uint64_t decision_cache_stale() const {
+    return cache_stale_counter_->value();
+  }
+
   /// Bounded audit trail of the most recent decisions (administrators'
   /// report material; audit rules summarize it). Oldest first; a fixed-size
   /// ring buffer, so sustained traffic never grows it past its capacity.
@@ -242,6 +283,17 @@ class AuthorizationEngine {
   Decision Dispatch(EventId event, FlatParamMap params);
 
   Status ReconcileBaseState(const Policy& from, const Policy& to);
+
+  /// The validity stamp a CheckAccess on `session` depends on, right now.
+  DecisionCache::Stamp CacheStamp(Symbol session) const;
+  /// Re-derives cache_positive_ok_ / cache_negative_ok_ from the current
+  /// rule pool and event graph (called when pool generation or epoch moved).
+  void RefreshCacheGates();
+  /// True iff `decision` is one the cache can reconstruct exactly.
+  static bool CacheableVerdict(const Decision& decision);
+  /// Rebuilds a Decision from a cache hit and applies the bookkeeping the
+  /// dispatched path would have done (counters, audit log, sampled span).
+  Decision ReplayCachedVerdict(DecisionCache::Verdict verdict);
 
   SimulatedClock* clock_;  // Not owned.
   /// Shared by the detector, RBAC base and role-state table; declared
@@ -265,8 +317,21 @@ class AuthorizationEngine {
   std::map<std::string, std::string> context_;
   DecisionLog decision_log_;
   bool policy_loaded_ = false;
+  DecisionCache decision_cache_;
+  uint64_t cache_epoch_ = 0;
+  /// Pool generation / epoch the gates below were derived under; starts
+  /// out-of-band so the first cacheable request derives them.
+  uint64_t gate_pool_generation_ = ~0ull;
+  uint64_t gate_epoch_ = ~0ull;
+  bool cache_positive_ok_ = false;
+  bool cache_negative_ok_ = false;
   telemetry::Counter* decisions_counter_ = nullptr;  // Owned by metrics_.
   telemetry::Counter* denials_counter_ = nullptr;
+  telemetry::Counter* cache_hits_counter_ = nullptr;
+  telemetry::Counter* cache_misses_counter_ = nullptr;
+  telemetry::Counter* cache_stale_counter_ = nullptr;
+  telemetry::Counter* cache_fills_counter_ = nullptr;
+  telemetry::Gauge* cache_entries_gauge_ = nullptr;
   telemetry::Histogram* latency_hist_ = nullptr;
   telemetry::Histogram* cascade_hist_ = nullptr;
   uint32_t latency_sample_every_ = 32;

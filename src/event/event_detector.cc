@@ -227,6 +227,22 @@ SubscriptionId EventDetector::Subscribe(EventId event,
   return id;
 }
 
+size_t EventDetector::ConsumerCount(EventId event) const {
+  if (event < 0) return 0;
+  const size_t id = static_cast<size_t>(event);
+  size_t count = 0;
+  if (id < subscribers_.size()) count += subscribers_[id].size();
+  if (id < parents_.size()) count += parents_[id].size();
+  if (id < filter_index_.size()) {
+    for (const FilterKeyBucket& bucket : filter_index_[id]) {
+      for (const auto& [value, nodes] : bucket.by_value) {
+        count += nodes.size();
+      }
+    }
+  }
+  return count;
+}
+
 void EventDetector::Unsubscribe(EventId event, SubscriptionId id) {
   auto& subs = subscribers_[event];
   for (auto it = subs.begin(); it != subs.end(); ++it) {

@@ -173,6 +173,13 @@ class EventDetector final : public NodeContext {
   uint64_t total_occurrences() const { return total_occurrences_; }
   size_t pending_timer_count() const { return timers_.pending_count(); }
 
+  /// Number of attached consumers of `event`: external subscribers plus
+  /// composite-operator parent links plus indexed filter nodes. The
+  /// decision cache uses this to prove that suppressing a Raise (replaying
+  /// a memoized verdict instead) is unobservable to everything except the
+  /// one rule whose verdict is being replayed.
+  size_t ConsumerCount(EventId event) const;
+
   // ------------------------------------------------- NodeContext (nodes)
 
   void EmitDetected(Occurrence occ) override;

@@ -13,14 +13,18 @@ RoleStateTable::RoleStateTable(SymbolTable* symbols) {
 
 void RoleStateTable::Enable(const RoleName& role, Time when) {
   disabled_.erase(role);
-  disabled_sym_.erase(symbols_->Intern(role).id());
+  const Symbol sym = symbols_->Intern(role);
+  disabled_sym_.erase(sym.id());
   last_transition_[role] = when;
+  BumpGeneration(sym);
 }
 
 void RoleStateTable::Disable(const RoleName& role, Time when) {
   disabled_.insert(role);
-  disabled_sym_.insert(symbols_->Intern(role).id());
+  const Symbol sym = symbols_->Intern(role);
+  disabled_sym_.insert(sym.id());
   last_transition_[role] = when;
+  BumpGeneration(sym);
 }
 
 bool RoleStateTable::IsEnabled(const RoleName& role) const {
@@ -36,8 +40,10 @@ std::optional<Time> RoleStateTable::LastTransition(
 
 void RoleStateTable::EraseRole(const RoleName& role) {
   disabled_.erase(role);
-  disabled_sym_.erase(symbols_->Intern(role).id());
+  const Symbol sym = symbols_->Intern(role);
+  disabled_sym_.erase(sym.id());
   last_transition_.erase(role);
+  BumpGeneration(sym);
 }
 
 std::set<RoleName> RoleStateTable::DisabledRoles() const { return disabled_; }

@@ -129,7 +129,10 @@ Status RbacDatabase::DeleteRole(const RoleName& role) {
     session.active_roles.erase(role);
   }
   for (auto& [id, state] : sessions_sym_) {
-    SortedErase(state.active_roles, role_sym);
+    if (state.IsActive(role_sym)) {
+      SortedErase(state.active_roles, role_sym);
+      BumpSessionGeneration(Symbol(id));
+    }
   }
   active_counts_.erase(role);
   active_counts_sym_.erase(role_sym.id());
@@ -259,8 +262,10 @@ Status RbacDatabase::CreateSession(const UserName& user,
   }
   sessions_.emplace(session, Session{session, user, {}});
   user_sessions_[user].insert(session);
-  sessions_sym_.emplace(InternName(session).id(),
+  const Symbol session_sym = InternName(session);
+  sessions_sym_.emplace(session_sym.id(),
                         SessionState{symbols_->Find(user), {}});
+  BumpSessionGeneration(session_sym);
   return Status::OK();
 }
 
@@ -280,8 +285,10 @@ Status RbacDatabase::DeleteSession(const SessionId& session) {
     }
   }
   user_sessions_[it->second.user].erase(session);
-  sessions_sym_.erase(symbols_->Find(session).id());
+  const Symbol session_sym = symbols_->Find(session);
+  sessions_sym_.erase(session_sym.id());
   sessions_.erase(it);
+  BumpSessionGeneration(session_sym);
   return Status::OK();
 }
 
@@ -318,9 +325,11 @@ Status RbacDatabase::AddSessionRole(const SessionId& session,
   }
   ++active_counts_[role];
   const Symbol role_sym = symbols_->Find(role);
-  auto ss = sessions_sym_.find(symbols_->Find(session).id());
+  const Symbol session_sym = symbols_->Find(session);
+  auto ss = sessions_sym_.find(session_sym.id());
   if (ss != sessions_sym_.end()) SortedInsert(ss->second.active_roles, role_sym);
   ++active_counts_sym_[role_sym.id()];
+  BumpSessionGeneration(session_sym);
   return Status::OK();
 }
 
@@ -338,12 +347,14 @@ Status RbacDatabase::DropSessionRole(const SessionId& session,
     active_counts_.erase(ac);
   }
   const Symbol role_sym = symbols_->Find(role);
-  auto ss = sessions_sym_.find(symbols_->Find(session).id());
+  const Symbol session_sym = symbols_->Find(session);
+  auto ss = sessions_sym_.find(session_sym.id());
   if (ss != sessions_sym_.end()) SortedErase(ss->second.active_roles, role_sym);
   auto acs = active_counts_sym_.find(role_sym.id());
   if (acs != active_counts_sym_.end() && --acs->second <= 0) {
     active_counts_sym_.erase(acs);
   }
+  BumpSessionGeneration(session_sym);
   return Status::OK();
 }
 

@@ -110,6 +110,18 @@ class RbacDatabase {
   const SessionState* GetSessionState(Symbol session) const;
   const std::set<SessionId>& UserSessions(const UserName& user) const;
 
+  /// Monotonic mutation counter for the session bound to this symbol:
+  /// bumped by create/delete and by every active-role change (including
+  /// cascaded drops from DeleteUser / DeleteRole / deassignment). Never
+  /// reset — a session id deleted and re-created under the same name keeps
+  /// counting up, so a decision-cache stamp taken before the delete can
+  /// never match again. Sessions never seen read 0.
+  uint32_t SessionGeneration(Symbol session) const {
+    return session.valid() && session.id() < session_gen_.size()
+               ? session_gen_[session.id()]
+               : 0;
+  }
+
   /// Adds/removes an active role in a session. Validity (assignment,
   /// authorization, DSD) is checked by the enforcement layer, not here —
   /// only existence of the session and role.
@@ -150,6 +162,13 @@ class RbacDatabase {
   Symbol InternName(const std::string& name);
   void SetKind(Symbol s, uint8_t bit);
   void ClearKind(Symbol s, uint8_t bit);
+  void BumpSessionGeneration(Symbol session) {
+    if (!session.valid()) return;
+    if (session.id() >= session_gen_.size()) {
+      session_gen_.resize(session.id() + 1, 0);
+    }
+    ++session_gen_[session.id()];
+  }
   static uint64_t PackPermission(Symbol op, Symbol obj) {
     return (static_cast<uint64_t>(op.id()) << 32) | obj.id();
   }
@@ -175,6 +194,7 @@ class RbacDatabase {
   std::unordered_map<uint32_t, std::unordered_set<uint64_t>> pa_sym_;
   std::unordered_map<uint32_t, SessionState> sessions_sym_;
   std::unordered_map<uint32_t, int> active_counts_sym_;
+  std::vector<uint32_t> session_gen_;  // Indexed by session symbol id.
 };
 
 }  // namespace sentinel

@@ -46,6 +46,7 @@ Result<Rule*> RuleManager::AddRule(Rule rule) {
   by_event_[event].push_back(ptr);
   SortEventRules(event);
   EnsureDispatcher(event);
+  ++pool_generation_;
   return ptr;
 }
 
@@ -88,6 +89,7 @@ Status RuleManager::RemoveRule(const std::string& name) {
   DetachFromEvent(it->second.rule->event(), it->second.rule.get());
   insertion_order_.erase(name);
   rules_.erase(it);
+  ++pool_generation_;
   return Status::OK();
 }
 
@@ -116,6 +118,7 @@ Result<const Rule*> RuleManager::Find(const std::string& name) const {
 
 Status RuleManager::SetEnabled(const std::string& name, bool enabled) {
   SENTINEL_ASSIGN_OR_RETURN(rule, Find(name));
+  if (rule->enabled() != enabled) ++pool_generation_;
   rule->set_enabled(enabled);
   return Status::OK();
 }
@@ -128,6 +131,7 @@ int RuleManager::DisableIf(const std::function<bool(const Rule&)>& pred) {
       ++disabled;
     }
   }
+  if (disabled > 0) ++pool_generation_;
   return disabled;
 }
 

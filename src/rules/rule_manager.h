@@ -86,6 +86,27 @@ class RuleManager {
   size_t rule_count() const { return rules_.size(); }
   uint64_t total_fired() const { return total_fired_; }
 
+  /// Monotonic counter bumped by every pool mutation that can change what
+  /// a future event dispatch decides: add, remove, enable/disable. Folded
+  /// into the decision cache's validity stamp, so disabling CA rules (the
+  /// active-security response) invalidates memoized verdicts without any
+  /// explicit cache traffic.
+  uint64_t pool_generation() const { return pool_generation_; }
+
+  /// True iff at least one rule (enabled or not) is attached to `event` —
+  /// e.g. whether serving a cached denial would starve rules listening on
+  /// rbac.accessDenied.
+  bool HasRulesFor(EventId event) const {
+    return by_event_.count(event) > 0;
+  }
+
+  /// Rules attached to `event` in firing order; nullptr when none. Valid
+  /// until the next pool mutation.
+  const std::vector<Rule*>* RulesFor(EventId event) const {
+    auto it = by_event_.find(event);
+    return it == by_event_.end() ? nullptr : &it->second;
+  }
+
   /// All rules, insertion-ordered. Pointers valid until pool mutation.
   std::vector<const Rule*> rules() const;
 
@@ -121,6 +142,7 @@ class RuleManager {
 
   std::vector<Decision*> decisions_;
   uint64_t next_insertion_seq_ = 1;
+  uint64_t pool_generation_ = 0;
   uint64_t total_fired_ = 0;
   uint64_t cascade_limit_ = 1024;
   uint64_t cascade_used_ = 0;

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/logging.h"
+#include "core/decision_cache.h"
 #include "telemetry/exposition.h"
 
 namespace sentinel {
@@ -32,9 +34,39 @@ void AuthorizationService::Latch::Wait() {
   cv_.wait(lock, [this] { return remaining_ <= 0; });
 }
 
+Status AuthorizationService::ValidateConfig(const ServiceConfig& config) {
+  if (config.num_shards != ServiceConfig::kAutoShards &&
+      config.num_shards < 1) {
+    return Status::InvalidArgument(
+        "num_shards must be >= 1 or ServiceConfig::kAutoShards; got " +
+        std::to_string(config.num_shards));
+  }
+  if (config.decision_cache_capacity != 0 &&
+      !DecisionCache::IsPowerOfTwo(config.decision_cache_capacity)) {
+    return Status::InvalidArgument(
+        "decision_cache_capacity must be 0 or a power of two; got " +
+        std::to_string(config.decision_cache_capacity));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<AuthorizationService>> AuthorizationService::Create(
+    const ServiceConfig& config) {
+  SENTINEL_RETURN_IF_ERROR(ValidateConfig(config));
+  return std::make_unique<AuthorizationService>(config);
+}
+
 AuthorizationService::AuthorizationService(const ServiceConfig& config)
-    : synchronous_(config.synchronous) {
+    : synchronous_(config.synchronous), init_status_(ValidateConfig(config)) {
   int count = config.num_shards;
+  size_t cache_capacity = config.decision_cache_capacity;
+  if (!init_status_.ok()) {
+    SENTINEL_LOG(kError) << "AuthorizationService config rejected ("
+                        << init_status_.message()
+                        << "); degrading to 1 shard, cache off";
+    count = 1;
+    cache_capacity = 0;
+  }
   if (count <= 0) {
     count = static_cast<int>(std::thread::hardware_concurrency());
     if (count <= 0) count = 1;
@@ -66,6 +98,9 @@ AuthorizationService::AuthorizationService(const ServiceConfig& config)
     shard->engine->set_decision_log_capacity(config.decision_log_capacity);
     shard->engine->set_telemetry_sampling(config.latency_sample_every,
                                           config.trace_sample_every);
+    if (cache_capacity > 0) {
+      shard->engine->ConfigureDecisionCache(cache_capacity);
+    }
     if (config.telemetry_report_interval > 0) {
       telemetry::ReportSink sink;
       if (config.telemetry_sink) {
@@ -200,11 +235,13 @@ AccessDecision AuthorizationService::RunOnShard(
 }
 
 void AuthorizationService::Broadcast(
-    const std::function<void(AuthorizationEngine&, uint32_t)>& fn) {
+    const std::function<void(AuthorizationEngine&, uint32_t)>& fn,
+    bool admin) {
   std::lock_guard<std::mutex> admin_lock(admin_mu_);
   broadcasts_counter_->Add();
   const uint64_t epoch = admin_epoch_.load(std::memory_order_relaxed) + 1;
   if (synchronous_) {
+    if (admin) shards_[0]->engine->BumpDecisionCacheEpoch();
     fn(*shards_[0]->engine, 0);
     shards_[0]->applied_epoch.store(epoch, std::memory_order_release);
     admin_epoch_.store(epoch, std::memory_order_release);
@@ -212,11 +249,16 @@ void AuthorizationService::Broadcast(
   }
   Latch done(static_cast<int>(shards_.size()));
   for (auto& shard : shards_) {
-    const bool pushed = shard->mailbox.Push([&fn, &done, epoch](Shard& s) {
-      fn(*s.engine, s.index);
-      s.applied_epoch.store(epoch, std::memory_order_release);
-      done.Arrive();
-    });
+    const bool pushed =
+        shard->mailbox.Push([&fn, &done, epoch, admin](Shard& s) {
+          // Admin envelopes carry the cache-epoch bump with them, so any
+          // request queued behind this one already sees every memoized
+          // verdict from the old policy world as stale.
+          if (admin) s.engine->BumpDecisionCacheEpoch();
+          fn(*s.engine, s.index);
+          s.applied_epoch.store(epoch, std::memory_order_release);
+          done.Arrive();
+        });
     // A closed mailbox (shutdown race) can no longer observe the update;
     // count it down so the barrier still completes.
     if (!pushed) done.Arrive();
@@ -421,9 +463,13 @@ void AuthorizationService::SetContext(const std::string& key,
 // -------------------------------------------------------------------- Time
 
 void AuthorizationService::ApplyAdvance(Time target) {
-  Broadcast([target](AuthorizationEngine& engine, uint32_t) {
-    engine.AdvanceTo(target);
-  });
+  // Not an admin broadcast for the decision cache: temporal firings
+  // invalidate precisely via role/session generations.
+  Broadcast(
+      [target](AuthorizationEngine& engine, uint32_t) {
+        engine.AdvanceTo(target);
+      },
+      /*admin=*/false);
   Time current = now_.load(std::memory_order_relaxed);
   while (target > current &&
          !now_.compare_exchange_weak(current, target,
@@ -474,6 +520,9 @@ ServiceStats AuthorizationService::Stats() {
       stats.decisions += e.decisions_made();
       stats.denials += e.denials();
       stats.audit_overflow += e.decision_log_overflow();
+      stats.cache_hits += e.decision_cache_hits();
+      stats.cache_misses += e.decision_cache_misses();
+      stats.cache_stale += e.decision_cache_stale();
     });
   }
   return stats;

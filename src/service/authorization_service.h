@@ -26,9 +26,14 @@ namespace sentinel {
 
 /// Shape of an AuthorizationService.
 struct ServiceConfig {
-  /// Number of engine shards / shard threads; 0 means
-  /// std::thread::hardware_concurrency().
-  int num_shards = 0;
+  /// Sentinel for num_shards: one shard per hardware thread.
+  static constexpr int kAutoShards = -1;
+
+  /// Number of engine shards / shard threads. kAutoShards (the default)
+  /// resolves to std::thread::hardware_concurrency(); explicit values must
+  /// be >= 1 — 0 and other negatives are rejected by ValidateConfig with a
+  /// Status error, not silently clamped.
+  int num_shards = kAutoShards;
   /// Synchronous single-shard mode: one engine, every call runs inline on
   /// the caller's thread, no threads are spawned. Semantically identical to
   /// driving an AuthorizationEngine directly — the mode existing tests and
@@ -52,6 +57,11 @@ struct ServiceConfig {
   /// span. See AuthorizationEngine::set_telemetry_sampling.
   uint32_t latency_sample_every = 32;
   uint32_t trace_sample_every = 256;
+  /// Per-shard decision cache capacity in slots; 0 (the default) disables
+  /// caching. Nonzero values must be a power of two (the cache is an
+  /// open-addressed table) — anything else is rejected by ValidateConfig.
+  /// See AuthorizationEngine::ConfigureDecisionCache for semantics.
+  size_t decision_cache_capacity = 0;
 };
 
 /// Aggregated per-shard counters (gathered with a quiescing inspection).
@@ -59,6 +69,9 @@ struct ServiceStats {
   uint64_t decisions = 0;
   uint64_t denials = 0;
   uint64_t audit_overflow = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_stale = 0;
 };
 
 /// \brief One observability capture of the whole service: every shard
@@ -109,8 +122,23 @@ struct TelemetrySnapshot {
 /// activity. Per-user and per-session semantics are exact.
 class AuthorizationService {
  public:
+  /// Config checks applied before construction: num_shards must be >= 1 or
+  /// kAutoShards, decision_cache_capacity must be 0 or a power of two.
+  static Status ValidateConfig(const ServiceConfig& config);
+
+  /// Validating factory — the Status-returning construction path. Rejects
+  /// malformed configs instead of degrading.
+  static Result<std::unique_ptr<AuthorizationService>> Create(
+      const ServiceConfig& config = {});
+
+  /// Constructs directly. A config ValidateConfig rejects does not throw:
+  /// the service degrades loudly (1 shard, cache off, error logged) and
+  /// records the rejection in init_status(). Prefer Create().
   explicit AuthorizationService(const ServiceConfig& config = {});
   ~AuthorizationService();
+
+  /// OK unless the constructor was handed a config ValidateConfig rejects.
+  const Status& init_status() const { return init_status_; }
 
   AuthorizationService(const AuthorizationService&) = delete;
   AuthorizationService& operator=(const AuthorizationService&) = delete;
@@ -236,9 +264,14 @@ class AuthorizationService {
       uint32_t shard, const std::function<Decision(AuthorizationEngine&)>& op);
 
   /// Pushes `fn` to every shard with a fresh epoch and waits for all shards
-  /// to apply it. Serialized by admin_mu_.
+  /// to apply it. Serialized by admin_mu_. `admin` distinguishes real
+  /// administrative changes (which also bump each shard's decision-cache
+  /// epoch) from timer-driven advances (which must not — temporal firings
+  /// invalidate precisely through role/session generations, and wiping the
+  /// cache every tick would defeat it).
   void Broadcast(
-      const std::function<void(AuthorizationEngine&, uint32_t shard)>& fn);
+      const std::function<void(AuthorizationEngine&, uint32_t shard)>& fn,
+      bool admin = true);
 
   /// Broadcast returning the Decision observed on `authoritative` (the home
   /// shard for user-scoped admin ops, shard 0 for role-scoped ones).
@@ -260,6 +293,7 @@ class AuthorizationService {
                          uint64_t epoch, int64_t submit_ns) const;
 
   bool synchronous_ = false;
+  Status init_status_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   /// Service-boundary metrics (request/batch/broadcast counts), bumped from

@@ -114,7 +114,8 @@ std::string RenderSpansJson(const std::vector<DecisionSpan>& spans) {
     AppendJsonString(os, span.operation);
     os << ",\"allowed\":" << (span.allowed ? "true" : "false") << ",\"rule\":";
     AppendJsonString(os, span.rule);
-    os << ",\"wall_ns\":" << span.wall_ns << ",\"dropped_steps\":"
+    os << ",\"cached\":" << (span.cached ? "true" : "false")
+       << ",\"wall_ns\":" << span.wall_ns << ",\"dropped_steps\":"
        << span.dropped_steps << ",\"steps\":[";
     for (size_t s = 0; s < span.steps.size(); ++s) {
       const TraceStep& step = span.steps[s];

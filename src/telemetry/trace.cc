@@ -10,7 +10,8 @@ std::string DescribeSpan(const DecisionSpan& span) {
   os << "span#" << span.seq << " shard=" << span.shard << " t=" << span.when
      << ' ' << span.operation << " -> "
      << (span.allowed ? "ALLOW" : "DENY") << " by "
-     << (span.rule.empty() ? "(default)" : span.rule) << " in "
+     << (span.rule.empty() ? "(default)" : span.rule)
+     << (span.cached ? " [cached]" : "") << " in "
      << span.wall_ns / 1000 << "us:";
   for (const TraceStep& step : span.steps) {
     if (step.kind == TraceStep::Kind::kEvent) {

@@ -39,6 +39,9 @@ struct DecisionSpan {
   std::string operation;     // The request's primitive event name.
   bool allowed = false;
   std::string rule;          // Rule that produced the final verdict.
+  /// Verdict replayed from the shard's decision cache: no event was raised
+  /// and no rule fired, so the span has no steps and wall_ns 0.
+  bool cached = false;
   int64_t wall_ns = 0;       // Real elapsed time for the whole cascade.
   std::vector<TraceStep> steps;
   uint32_t dropped_steps = 0;  // Steps past max_steps_per_span.
@@ -107,6 +110,14 @@ class TraceCollector {
 
   /// Finishes the active span with the verdict and pushes it to the ring.
   void End(bool allowed, const std::string& rule, int64_t wall_ns);
+
+  /// End() for a decision-cache replay: marks the span cached (it has no
+  /// steps — nothing was raised or fired) and records zero wall time.
+  void EndCached(bool allowed, const std::string& rule) {
+    if (!active_) return;
+    current_.cached = true;
+    End(allowed, rule, 0);
+  }
 
   /// Finished spans, oldest first (a copy — callers hold no ring refs).
   std::vector<DecisionSpan> Spans() const;

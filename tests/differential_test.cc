@@ -1,14 +1,25 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <iostream>
 #include <memory>
+#include <random>
+#include <string>
 
 #include "baseline/direct_enforcer.h"
 #include "core/engine.h"
+#include "service/authorization_service.h"
 #include "tests/test_util.h"
 #include "workload/policy_gen.h"
 #include "workload/request_gen.h"
 
 namespace sentinel {
+
+/// Seed for the randomized cached-service harness. Set by main() from
+/// --seed=N (replay) or std::random_device (fresh exploration); always
+/// printed so any failure is reproducible.
+uint64_t g_harness_seed = 1;
+
 namespace {
 
 /// THE reproduction's correctness anchor: for random policies and random
@@ -312,5 +323,258 @@ TEST(DifferentialUpdateTest, LockstepAcrossPolicyUpdate) {
             StateFingerprint(baseline.rbac(), baseline.role_state()));
 }
 
+// ================================================================
+// Satellite: cached sharded service vs uncached oracle (PR 4)
+// ================================================================
+
+/// Adapts the AuthorizationService facade to the engine-shaped surface
+/// ApplyRequest() expects, folding AccessDecision back into Decision.
+struct ServiceAdapter {
+  AuthorizationService& service;
+
+  static Decision ToDecision(const AccessDecision& decision) {
+    Decision d;
+    if (decision.allowed) {
+      d.Allow(decision.rule);
+    } else {
+      d.Deny(decision.rule, decision.reason);
+    }
+    return d;
+  }
+
+  Decision CreateSession(const UserName& user, const SessionId& session) {
+    return ToDecision(service.CreateSession(user, session));
+  }
+  Decision DeleteSession(const SessionId& session) {
+    return ToDecision(service.DeleteSession(session));
+  }
+  Decision AddActiveRole(const UserName& user, const SessionId& session,
+                         const RoleName& role) {
+    return ToDecision(service.AddActiveRole(user, session, role));
+  }
+  Decision DropActiveRole(const UserName& user, const SessionId& session,
+                          const RoleName& role) {
+    return ToDecision(service.DropActiveRole(user, session, role));
+  }
+  Decision CheckAccess(const SessionId& session, const OperationName& op,
+                       const ObjectName& obj, const std::string& purpose) {
+    AccessRequest request;
+    request.session = session;
+    request.operation = op;
+    request.object = obj;
+    request.purpose = purpose;
+    return ToDecision(service.CheckAccess(request));
+  }
+  Decision AssignUser(const UserName& user, const RoleName& role) {
+    return ToDecision(service.AssignUser(user, role));
+  }
+  Decision DeassignUser(const UserName& user, const RoleName& role) {
+    return ToDecision(service.DeassignUser(user, role));
+  }
+  Decision EnableRole(const RoleName& role) {
+    return ToDecision(service.EnableRole(role));
+  }
+  Decision DisableRole(const RoleName& role) {
+    return ToDecision(service.DisableRole(role));
+  }
+  void SetContext(const std::string& key, const std::string& value) {
+    service.SetContext(key, value);
+  }
+  void AdvanceTo(Time t) { service.AdvanceTo(t); }
+  Time Now() const { return service.Now(); }
+};
+
+/// Policy shape for the cached-service harness. Activation cardinalities
+/// are global-scope and enforced per shard by design (see the
+/// AuthorizationService caveat), so the single-engine oracle excludes
+/// them; everything per-user / per-session / temporal is fair game.
+PolicyGenParams CachedHarnessPolicyParams(uint64_t seed) {
+  PolicyGenParams params;
+  params.seed = seed ^ 0x9e3779b97f4a7c15ull;
+  params.num_roles = 28;
+  params.num_users = 40;
+  params.hierarchy_prob = 0.6;
+  params.ssd_sets = 3;
+  params.dsd_sets = 3;
+  params.cardinality_frac = 0.0;
+  params.duration_frac = 0.25;
+  params.shift_frac = 0.35;  // Periodic enable/disable boundaries.
+  params.context_frac = 0.25;
+  params.user_cap_frac = 0.25;
+  params.prereq_frac = 0.2;
+  return params;
+}
+
+/// ≥10k randomized operations — checks, session create/drop, role
+/// activate/drop, assign/deassign broadcasts, enable/disable, clock
+/// advances across shift boundaries, context flips — through a cached
+/// sharded service and the uncached DirectEnforcer oracle in lockstep.
+/// Every kCheckAccess is issued twice against the service: the replay
+/// must match both the first verdict and the oracle, which drives the
+/// hit path hard while the interleaved mutations exercise staleness.
+TEST(CachedServiceDifferentialTest, TenThousandOpsZeroDivergences) {
+  const uint64_t seed = g_harness_seed;
+  std::cerr << "[harness] cached-service differential seed: --seed=" << seed
+            << "\n";
+
+  const Policy policy = GeneratePolicy(CachedHarnessPolicyParams(seed));
+  ASSERT_TRUE(policy.Validate().ok());
+
+  // Two mid-stream policy edits: revoke a permission, then grant it back.
+  Policy revoked = policy;
+  Permission moved_perm;
+  {
+    auto role = revoked.MutableRole(SyntheticRoleName(1));
+    ASSERT_TRUE(role.ok());
+    ASSERT_FALSE((*role)->permissions.empty());
+    moved_perm = *(*role)->permissions.begin();
+    (*role)->permissions.erase((*role)->permissions.begin());
+  }
+  Policy granted = revoked;
+  {
+    auto role = granted.MutableRole(SyntheticRoleName(1));
+    ASSERT_TRUE(role.ok());
+    (*role)->permissions.insert(moved_perm);
+  }
+
+  RequestGenParams request_params;
+  request_params.seed = seed;
+  request_params.num_requests = 12000;
+  request_params.max_advance = 45 * kMinute + 1;
+  const std::vector<Request> requests =
+      RequestGenerator(policy, request_params).Generate();
+  ASSERT_GE(requests.size(), 10000u);
+
+  ServiceConfig config;
+  config.num_shards = 3;
+  config.start_time = testutil::Noon();
+  config.decision_cache_capacity = 4096;
+  auto service_or = AuthorizationService::Create(config);
+  ASSERT_TRUE(service_or.ok());
+  AuthorizationService& service = **service_or;
+  ASSERT_TRUE(service.LoadPolicy(policy).ok());
+  ServiceAdapter cached{service};
+
+  SimulatedClock oracle_clock(testutil::Noon());
+  DirectEnforcer oracle(&oracle_clock);
+  ASSERT_TRUE(oracle.LoadPolicy(policy).ok());
+
+  const Policy* updates[] = {&revoked, &granted};
+  size_t next_update = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (next_update < 2 && i == (next_update + 1) * requests.size() / 3) {
+      // The stream's runtime assignments can make a re-validation fail
+      // (e.g. a new UA pair now conflicts with policy SSD); that outcome
+      // is seed-dependent but must be IDENTICAL on both sides, and a
+      // rejected update must leave both systems unchanged and in step.
+      const auto service_update =
+          service.ApplyPolicyUpdate(*updates[next_update]);
+      const Status oracle_update =
+          oracle.ApplyPolicyUpdate(*updates[next_update]);
+      ASSERT_EQ(service_update.ok(), oracle_update.ok())
+          << "--seed=" << seed << " update #" << next_update
+          << "\n  service: " << service_update.status().message()
+          << "\n  oracle: " << oracle_update.message();
+      ++next_update;
+    }
+    const Request& request = requests[i];
+    const Decision got = ApplyRequest(cached, request);
+    const Decision want = ApplyRequest(oracle, request);
+    ASSERT_EQ(got.allowed, want.allowed)
+        << "--seed=" << seed << " request #" << i << " "
+        << RequestKindToString(request.kind) << " user=" << request.user
+        << " session=" << request.session << " role=" << request.role
+        << " op=" << request.operation << " obj=" << request.object
+        << "\n  cached service: rule=" << got.rule
+        << " reason=" << got.reason << "\n  oracle: rule=" << want.rule
+        << " reason=" << want.reason;
+    if (request.kind == RequestKind::kCheckAccess) {
+      if (!want.allowed) {
+        ASSERT_EQ(got.reason, want.reason)
+            << "--seed=" << seed << " request #" << i;
+      }
+      // Immediate replay: nothing changed in between, so the (likely
+      // cached) second verdict must agree with the dispatched first.
+      const Decision again = ApplyRequest(cached, request);
+      ASSERT_EQ(again.allowed, want.allowed)
+          << "--seed=" << seed << " replay of request #" << i
+          << " op=" << request.operation << " obj=" << request.object;
+    }
+  }
+
+  ServiceStats stats = service.Stats();
+  EXPECT_GT(stats.cache_hits, 0u) << "--seed=" << seed;
+  EXPECT_GT(stats.cache_misses, 0u) << "--seed=" << seed;
+}
+
+/// Same lockstep over the synchronous single-shard mode, where the cache
+/// shares the caller's thread — a cheaper second arm with its own seed.
+TEST(CachedServiceDifferentialTest, SynchronousCachedServiceMatchesOracle) {
+  const uint64_t seed = g_harness_seed * 0xd1342543de82ef95ull + 1;
+  std::cerr << "[harness] synchronous-arm seed derived from --seed="
+            << g_harness_seed << "\n";
+
+  const Policy policy = GeneratePolicy(CachedHarnessPolicyParams(seed));
+  ASSERT_TRUE(policy.Validate().ok());
+
+  RequestGenParams request_params;
+  request_params.seed = seed;
+  request_params.num_requests = 3000;
+  request_params.max_advance = 2 * kHour + 1;
+  const std::vector<Request> requests =
+      RequestGenerator(policy, request_params).Generate();
+
+  ServiceConfig config;
+  config.num_shards = 1;
+  config.synchronous = true;
+  config.start_time = testutil::Noon();
+  config.decision_cache_capacity = 1024;
+  auto service_or = AuthorizationService::Create(config);
+  ASSERT_TRUE(service_or.ok());
+  AuthorizationService& service = **service_or;
+  ASSERT_TRUE(service.LoadPolicy(policy).ok());
+  ServiceAdapter cached{service};
+
+  SimulatedClock oracle_clock(testutil::Noon());
+  DirectEnforcer oracle(&oracle_clock);
+  ASSERT_TRUE(oracle.LoadPolicy(policy).ok());
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const Decision got = ApplyRequest(cached, requests[i]);
+    const Decision want = ApplyRequest(oracle, requests[i]);
+    ASSERT_EQ(got.allowed, want.allowed)
+        << "--seed=" << g_harness_seed << " request #" << i << " "
+        << RequestKindToString(requests[i].kind)
+        << "\n  cached service: " << got.rule << " / " << got.reason
+        << "\n  oracle: " << want.rule << " / " << want.reason;
+    if (!want.allowed && requests[i].kind == RequestKind::kCheckAccess) {
+      ASSERT_EQ(got.reason, want.reason) << "request #" << i;
+    }
+  }
+  EXPECT_GT(service.Stats().cache_hits + service.Stats().cache_misses, 0u);
+}
+
 }  // namespace
 }  // namespace sentinel
+
+/// Custom main instead of gtest_main: accepts --seed=N (or "--seed N")
+/// to replay or randomize the cached-service harness. The default is a
+/// fixed seed so a bare ctest run is deterministic; scripts/check.sh's
+/// `differential` stage passes a random seed on developer machines (and
+/// pins one in CI). The active seed is printed in every failure message.
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  uint64_t seed = 20260806;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  if (seed == 0) seed = std::random_device{}();
+  if (seed == 0) seed = 0x5eed;  // random_device may legally return 0.
+  sentinel::g_harness_seed = seed;
+  return RUN_ALL_TESTS();
+}

@@ -476,7 +476,10 @@ RecordedDecision ApplyStep(AuthorizationService& service,
   return RecordedDecision{decision.allowed, decision.rule, decision.reason};
 }
 
-TEST(ServiceStressTest, PerUserSequencesMatchSingleShardEngine) {
+/// Body of the per-user lockstep stress run, shared by the uncached and
+/// cache-enabled arms (the latter hammers the per-shard decision cache
+/// from 4 submitter threads — the TSan-relevant configuration).
+void RunPerUserStress(size_t decision_cache_capacity) {
   // A policy with no cross-user global constraints (no cardinalities, no
   // duration timers), so sharded and single-shard semantics must coincide
   // exactly. SSD/DSD/user caps are per-user/per-session and stay exact.
@@ -498,7 +501,9 @@ TEST(ServiceStressTest, PerUserSequencesMatchSingleShardEngine) {
 
   // Concurrent run: 4 submitter threads over a 4-shard service, each
   // thread interleaving its own users step by step.
-  AuthorizationService sharded(ShardedConfig(4));
+  ServiceConfig sharded_config = ShardedConfig(4);
+  sharded_config.decision_cache_capacity = decision_cache_capacity;
+  AuthorizationService sharded(sharded_config);
   ASSERT_TRUE(sharded.LoadPolicy(policy).ok());
   std::vector<std::vector<RecordedDecision>> concurrent(users.size());
   constexpr int kThreads = 4;
@@ -540,6 +545,14 @@ TEST(ServiceStressTest, PerUserSequencesMatchSingleShardEngine) {
           << users[u] << " step " << step;
     }
   }
+}
+
+TEST(ServiceStressTest, PerUserSequencesMatchSingleShardEngine) {
+  RunPerUserStress(/*decision_cache_capacity=*/0);
+}
+
+TEST(ServiceStressTest, PerUserSequencesMatchWithDecisionCache) {
+  RunPerUserStress(/*decision_cache_capacity=*/512);
 }
 
 TEST(ServiceStressTest, ConcurrentBatchesAndAdminBroadcasts) {
