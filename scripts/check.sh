@@ -50,10 +50,20 @@ ctest --test-dir build-asan --output-on-failure -j"$JOBS"
 
 # TSan is incompatible with ASan, so the threaded service tests get their
 # own build tree.
-echo "== Sanitizer pass: thread (service tests) =="
+echo "== Sanitizer pass: thread (service + mailbox tests) =="
 cmake -B build-tsan -S . -DSENTINELPP_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=Debug >/dev/null
-cmake --build build-tsan -j"$JOBS" --target service_test
-ctest --test-dir build-tsan --output-on-failure -R '^service_test$'
+cmake --build build-tsan -j"$JOBS" --target service_test mailbox_test
+ctest --test-dir build-tsan --output-on-failure -R '^(service_test|mailbox_test)$'
+
+echo "== Overload stress: stall-injected shed/deadline paths under TSan =="
+# The acceptance stress for the bounded-mailbox work: shard stalls injected
+# via InjectShardFault while producers saturate a capacity-8 mailbox.
+# Repeated runs shake out schedule-dependent interleavings; the test itself
+# asserts bounded peak depth, exact shed/expired accounting against a
+# statically known oracle, and drain-not-drop shutdown.
+./build-tsan/tests/service_test \
+  --gtest_filter='ServiceOverloadTest.*:ServiceStressTest.OverloadShedStressBoundedCountedAndDrained' \
+  --gtest_repeat=3 --gtest_brief=1
 
 echo "== All checks passed =="

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
 #include "common/value.h"
 #include "rbac/types.h"
 
@@ -36,12 +37,37 @@ namespace sentinel {
 /// session-keyed checks (legacy callers); the service then resolves the
 /// session's home shard through its session registry.
 struct AccessRequest {
+  /// `deadline` sentinel: opt this request out of the service-wide
+  /// ServiceConfig::default_deadline.
+  static constexpr Duration kNoDeadline = -1;
+
   UserName user;
   SessionId session;
   OperationName operation;
   ObjectName object;
   /// Optional; required when the object carries a privacy policy.
   std::string purpose;
+  /// Wall-clock decision budget in microseconds, measured from submission.
+  /// A request still queued when its budget runs out is answered
+  /// `AccessOutcome::kOverloaded` instead of consuming engine time. 0 (the
+  /// default) inherits ServiceConfig::default_deadline; kNoDeadline makes
+  /// this request wait however long it takes.
+  Duration deadline = 0;
+};
+
+/// \brief How the service arrived at an AccessDecision.
+///
+/// Distinguishes "the policy said no" from "the service never asked the
+/// policy" — a load balancer retries kOverloaded, but must never retry its
+/// way around a real denial.
+enum class AccessOutcome : uint8_t {
+  /// A rule-pool verdict: `allowed` is the policy's answer.
+  kDecided = 0,
+  /// Shed at a full mailbox or expired before dispatch; `allowed` is false
+  /// but no policy evaluation happened. Maps to Status::ResourceExhausted.
+  kOverloaded = 1,
+  /// Submitted after Shutdown(); nothing was evaluated.
+  kShutdown = 2,
 };
 
 /// \brief The service's verdict for one request.
@@ -70,7 +96,24 @@ struct AccessDecision {
   /// once an admin broadcast returns, every later decision carries an
   /// epoch >= that broadcast's epoch on every shard.
   uint64_t epoch = 0;
+  /// Whether `allowed` is a policy verdict at all — see AccessOutcome.
+  AccessOutcome outcome = AccessOutcome::kDecided;
 };
+
+/// Maps the service-layer outcome onto the library's Status vocabulary:
+/// OK for decided requests (allowed or denied — both are answers),
+/// ResourceExhausted for overload, FailedPrecondition after shutdown.
+inline Status ToStatus(const AccessDecision& decision) {
+  switch (decision.outcome) {
+    case AccessOutcome::kDecided:
+      return Status::OK();
+    case AccessOutcome::kOverloaded:
+      return Status::ResourceExhausted(decision.reason);
+    case AccessOutcome::kShutdown:
+      return Status::FailedPrecondition(decision.reason);
+  }
+  return Status::Internal("unknown AccessOutcome");
+}
 
 }  // namespace sentinel
 

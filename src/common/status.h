@@ -23,6 +23,9 @@ enum class StatusCode : int {
   kConstraintViolation = 5,
   kParseError = 6,
   kInternal = 7,
+  /// The call was refused or abandoned for capacity reasons (mailbox full,
+  /// deadline expired in queue) — retryable, unlike a policy denial.
+  kResourceExhausted = 8,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -79,6 +82,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -105,6 +111,9 @@ class Status {
   }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

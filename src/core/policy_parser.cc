@@ -1,6 +1,7 @@
 #include "core/policy_parser.h"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -118,14 +119,30 @@ Result<Duration> PolicyParser::ParseDuration(const std::string& text) {
   }
   if (i == 0) return Status::ParseError("expected number in duration: " + t);
   const std::string suffix = t.substr(i);
-  if (suffix.empty() || suffix == "s") return value * kSecond;
-  if (suffix == "us") return value * kMicrosecond;
-  if (suffix == "ms") return value * kMillisecond;
-  if (suffix == "m" || suffix == "min") return value * kMinute;
-  if (suffix == "h") return value * kHour;
-  if (suffix == "d") return value * kDay;
-  return Status::ParseError("unknown duration suffix '" + suffix + "' in " +
-                            t);
+  Duration unit = 0;
+  if (suffix.empty() || suffix == "s") {
+    unit = kSecond;
+  } else if (suffix == "us") {
+    unit = kMicrosecond;
+  } else if (suffix == "ms") {
+    unit = kMillisecond;
+  } else if (suffix == "m" || suffix == "min") {
+    unit = kMinute;
+  } else if (suffix == "h") {
+    unit = kHour;
+  } else if (suffix == "d") {
+    unit = kDay;
+  } else {
+    return Status::ParseError("unknown duration suffix '" + suffix + "' in " +
+                              t);
+  }
+  // The digit loop caps `value`, but the unit multiplication can still
+  // leave the Duration range (100e9 days of microseconds ≫ int64) —
+  // signed-overflow UB unless checked against the per-suffix limit.
+  if (value > std::numeric_limits<Duration>::max() / unit) {
+    return Status::ParseError("duration too large: " + t);
+  }
+  return value * unit;
 }
 
 Result<Policy> PolicyParser::Parse(const std::string& text) {

@@ -104,6 +104,28 @@ std::string GenerateAdminReport(const AuthorizationEngine& engine,
   os << "event occurrences: " << (occurrences ? occurrences->value : 0)
      << "  rule firings: " << (firings ? firings->value : 0)
      << "  dropped firings: " << (dropped ? dropped->value : 0) << "\n";
+  // Overload series exist only when this engine is a service shard (the
+  // AuthorizationService registers them at construction).
+  const telemetry::CounterSnapshot* shed =
+      metrics.FindCounter("mailbox_shed_total");
+  const telemetry::CounterSnapshot* expired =
+      metrics.FindCounter("mailbox_expired_total");
+  if (shed != nullptr || expired != nullptr) {
+    os << "overload: shed " << (shed ? shed->value : 0) << "  expired "
+       << (expired ? expired->value : 0);
+    const telemetry::HistogramSnapshot* wait =
+        metrics.FindHistogram("mailbox_queue_wait_us");
+    if (wait != nullptr && wait->TotalCount() > 0) {
+      os << "  queue wait (us): p50 " << wait->Percentile(50) << "  p99 "
+         << wait->Percentile(99);
+    }
+    const telemetry::HistogramSnapshot* depth =
+        metrics.FindHistogram("mailbox_queue_depth");
+    if (depth != nullptr && depth->TotalCount() > 0) {
+      os << "  queue depth: p99 " << depth->Percentile(99);
+    }
+    os << "\n";
+  }
   os << "trace spans: " << engine.tracer().spans_recorded() << " recorded, "
      << engine.tracer().ring_size() << " retained\n\n";
 

@@ -1,5 +1,6 @@
 #include "service/authorization_service.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/logging.h"
@@ -47,6 +48,17 @@ Status AuthorizationService::ValidateConfig(const ServiceConfig& config) {
         "decision_cache_capacity must be 0 or a power of two; got " +
         std::to_string(config.decision_cache_capacity));
   }
+  if (config.overload_policy == OverloadPolicy::kShed &&
+      config.mailbox_capacity == 0) {
+    return Status::InvalidArgument(
+        "overload_policy kShed requires mailbox_capacity > 0 — an unbounded "
+        "mailbox can never shed");
+  }
+  if (config.default_deadline < 0) {
+    return Status::InvalidArgument(
+        "default_deadline must be >= 0 (0 disables); got " +
+        std::to_string(config.default_deadline));
+  }
   return Status::OK();
 }
 
@@ -57,15 +69,21 @@ Result<std::unique_ptr<AuthorizationService>> AuthorizationService::Create(
 }
 
 AuthorizationService::AuthorizationService(const ServiceConfig& config)
-    : synchronous_(config.synchronous), init_status_(ValidateConfig(config)) {
+    : synchronous_(config.synchronous),
+      init_status_(ValidateConfig(config)),
+      shed_on_full_(config.overload_policy == OverloadPolicy::kShed),
+      default_deadline_(config.default_deadline) {
   int count = config.num_shards;
   size_t cache_capacity = config.decision_cache_capacity;
   if (!init_status_.ok()) {
     SENTINEL_LOG(kError) << "AuthorizationService config rejected ("
                         << init_status_.message()
-                        << "); degrading to 1 shard, cache off";
+                        << "); degrading to 1 shard, cache off, no overload "
+                           "protection";
     count = 1;
     cache_capacity = 0;
+    shed_on_full_ = false;
+    default_deadline_ = 0;
   }
   if (count <= 0) {
     count = static_cast<int>(std::thread::hardware_concurrency());
@@ -98,6 +116,29 @@ AuthorizationService::AuthorizationService(const ServiceConfig& config)
     shard->engine->set_decision_log_capacity(config.decision_log_capacity);
     shard->engine->set_telemetry_sampling(config.latency_sample_every,
                                           config.trace_sample_every);
+    if (!init_status_.ok()) {
+      shard->mailbox.set_capacity(0);
+    } else {
+      shard->mailbox.set_capacity(config.mailbox_capacity);
+    }
+    // Overload instruments live in the shard engine's registry so they are
+    // merged, rendered and reported alongside its other series. Registered
+    // here — still before any thread exists, so the registry stays
+    // structurally frozen once the shards start.
+    telemetry::Registry& registry = shard->engine->metrics();
+    shard->shed_counter = registry.AddCounter(
+        "mailbox_shed_total",
+        "decision envelopes refused at a full shard mailbox");
+    shard->expired_counter = registry.AddCounter(
+        "mailbox_expired_total",
+        "decision envelopes answered kOverloaded after deadline expiry");
+    shard->queue_depth_hist = registry.AddHistogram(
+        "mailbox_queue_depth", "shard mailbox depth observed at each push",
+        telemetry::Histogram::ExponentialBounds(1, 2.0, 12));
+    shard->queue_wait_hist = registry.AddHistogram(
+        "mailbox_queue_wait_us",
+        "submit-to-dequeue wait of decision envelopes (us)",
+        telemetry::Histogram::ExponentialBounds(1, 2.0, 15));
     if (cache_capacity > 0) {
       shard->engine->ConfigureDecisionCache(cache_capacity);
     }
@@ -148,8 +189,8 @@ void AuthorizationService::TimerLoop() {
 
 void AuthorizationService::Shutdown() {
   std::lock_guard<std::mutex> lock(shutdown_mu_);
-  if (shut_down_) return;
-  shut_down_ = true;
+  if (shut_down_.load(std::memory_order_relaxed)) return;
+  shut_down_.store(true, std::memory_order_release);
   if (!synchronous_) {
     // Order matters: the timer thread broadcasts into shard mailboxes, so
     // it must drain and exit before those mailboxes close.
@@ -191,7 +232,34 @@ AccessDecision AuthorizationService::ShutdownDecision() {
   AccessDecision decision;
   decision.allowed = false;
   decision.reason = "service is shut down";
+  decision.outcome = AccessOutcome::kShutdown;
   return decision;
+}
+
+AccessDecision AuthorizationService::OverloadDecision(bool shed,
+                                                      uint32_t shard,
+                                                      int64_t submit_ns) const {
+  AccessDecision decision;
+  decision.allowed = false;
+  decision.outcome = AccessOutcome::kOverloaded;
+  decision.reason =
+      shed ? "overloaded: shed" : "overloaded: deadline exceeded";
+  decision.shard = shard;
+  decision.epoch = admin_epoch();
+  decision.latency = (NowNanos() - submit_ns) / 1000;
+  return decision;
+}
+
+Duration AuthorizationService::EffectiveDeadline(
+    const AccessRequest& request) const {
+  if (request.deadline == 0) return default_deadline_;
+  return request.deadline;  // kNoDeadline (< 0) disables below.
+}
+
+int64_t AuthorizationService::DeadlineNanos(Duration deadline_us,
+                                            int64_t submit_ns) {
+  if (deadline_us <= 0) return 0;
+  return submit_ns + deadline_us * 1000;
 }
 
 AccessDecision AuthorizationService::Convert(const Decision& decision,
@@ -211,25 +279,56 @@ AccessDecision AuthorizationService::Convert(const Decision& decision,
 // ------------------------------------------------------------ Dispatch core
 
 AccessDecision AuthorizationService::RunOnShard(
-    uint32_t shard, const std::function<Decision(AuthorizationEngine&)>& op) {
+    uint32_t shard, const std::function<Decision(AuthorizationEngine&)>& op,
+    Duration deadline_us) {
   const int64_t submit_ns = NowNanos();
   requests_counter_->Add();
   Shard& home = *shards_[shard];
   if (synchronous_) {
+    // No queue, no admission control: the engine runs inline immediately,
+    // so a deadline can never expire before dispatch.
     const Decision decision = op(*home.engine);
     return Convert(decision, shard,
                    home.applied_epoch.load(std::memory_order_relaxed),
                    submit_ns);
   }
+  const int64_t deadline_ns = DeadlineNanos(deadline_us, submit_ns);
   AccessDecision out;
   Latch done(1);
-  const bool pushed = home.mailbox.Push([&](Shard& s) {
-    const Decision decision = op(*s.engine);
-    out = Convert(decision, s.index,
-                  s.applied_epoch.load(std::memory_order_relaxed), submit_ns);
+  // Once admitted, the producer always waits for this envelope to run —
+  // expiry is decided at dequeue (answered kOverloaded without engine
+  // time), never by abandoning an envelope whose captures live on this
+  // stack frame.
+  auto envelope = [&](Shard& s) {
+    const int64_t start_ns = NowNanos();
+    s.queue_wait_hist->Record((start_ns - submit_ns) / 1000);
+    if (deadline_ns != 0 && start_ns > deadline_ns) {
+      s.expired_counter->Add();
+      out = OverloadDecision(/*shed=*/false, s.index, submit_ns);
+    } else {
+      const Decision decision = op(*s.engine);
+      out = Convert(decision, s.index,
+                    s.applied_epoch.load(std::memory_order_relaxed),
+                    submit_ns);
+    }
     done.Arrive();
-  });
-  if (!pushed) return ShutdownDecision();
+  };
+  using PushResult = Mailbox<std::function<void(Shard&)>>::PushResult;
+  size_t depth = 0;
+  switch (home.mailbox.PushBounded(std::move(envelope), !shed_on_full_,
+                                   deadline_ns, &depth)) {
+    case PushResult::kClosed:
+      return ShutdownDecision();
+    case PushResult::kFull:
+      home.shed_counter->Add();
+      return OverloadDecision(/*shed=*/true, shard, submit_ns);
+    case PushResult::kExpired:
+      home.expired_counter->Add();
+      return OverloadDecision(/*shed=*/false, shard, submit_ns);
+    case PushResult::kOk:
+      break;
+  }
+  home.queue_depth_hist->RecordShared(static_cast<int64_t>(depth));
   done.Wait();
   return out;
 }
@@ -317,7 +416,8 @@ AccessDecision AuthorizationService::CheckAccess(const AccessRequest& request) {
                                                 request.operation,
                                                 request.object,
                                                 request.purpose);
-                    });
+                    },
+                    EffectiveDeadline(request));
 }
 
 std::vector<AccessDecision> AuthorizationService::CheckAccessBatch(
@@ -341,6 +441,12 @@ std::vector<AccessDecision> AuthorizationService::CheckAccessBatch(
     return out;
   }
   // One envelope per involved shard, carrying that shard's request indices.
+  // Deadlines are per item: expiry is judged request by request when the
+  // envelope runs, so one slow item never spoils its batch-mates' budget.
+  std::vector<int64_t> deadlines(requests.size(), 0);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    deadlines[i] = DeadlineNanos(EffectiveDeadline(requests[i]), submit_ns);
+  }
   std::vector<std::vector<uint32_t>> indices(shards_.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     indices[RouteRequest(requests[i])].push_back(static_cast<uint32_t>(i));
@@ -349,28 +455,69 @@ std::vector<AccessDecision> AuthorizationService::CheckAccessBatch(
   for (const auto& shard_indices : indices) {
     if (!shard_indices.empty()) ++involved;
   }
+  using PushResult = Mailbox<std::function<void(Shard&)>>::PushResult;
   Latch done(involved);
   for (size_t shard = 0; shard < shards_.size(); ++shard) {
     if (indices[shard].empty()) continue;
-    // Capture a copy: the lambda is built (and `mine` populated) before
-    // Push decides, and the refusal fallback below still needs the list.
-    const bool pushed = shards_[shard]->mailbox.Push(
-        [this, &requests, &out, &done, submit_ns,
-         mine = indices[shard]](Shard& s) {
-          const uint64_t epoch =
-              s.applied_epoch.load(std::memory_order_relaxed);
-          for (const uint32_t i : mine) {
-            const Decision decision = s.engine->CheckAccess(
-                requests[i].session, requests[i].operation,
-                requests[i].object, requests[i].purpose);
-            out[i] = Convert(decision, s.index, epoch, submit_ns);
-          }
-          done.Arrive();
-        });
-    if (!pushed) {
-      for (const uint32_t i : indices[shard]) out[i] = ShutdownDecision();
-      done.Arrive();
+    Shard& home = *shards_[shard];
+    // A blocked admission may wait until the envelope's *latest* item
+    // deadline: earlier-expiring items are answered kOverloaded by the
+    // per-item check once the envelope runs. Any item without a deadline
+    // makes the wait unbounded (0).
+    int64_t push_deadline_ns = 0;
+    for (const uint32_t i : indices[shard]) {
+      if (deadlines[i] == 0) {
+        push_deadline_ns = 0;
+        break;
+      }
+      push_deadline_ns = std::max(push_deadline_ns, deadlines[i]);
     }
+    // Capture a copy: the lambda is built (and `mine` populated) before
+    // the push decides, and the refusal fallbacks below still need the
+    // list.
+    auto envelope = [this, &requests, &deadlines, &out, &done, submit_ns,
+                     mine = indices[shard]](Shard& s) {
+      const int64_t start_ns = NowNanos();
+      s.queue_wait_hist->Record((start_ns - submit_ns) / 1000);
+      const uint64_t epoch = s.applied_epoch.load(std::memory_order_relaxed);
+      for (const uint32_t i : mine) {
+        if (deadlines[i] != 0 && start_ns > deadlines[i]) {
+          s.expired_counter->Add();
+          out[i] = OverloadDecision(/*shed=*/false, s.index, submit_ns);
+          continue;
+        }
+        const Decision decision = s.engine->CheckAccess(
+            requests[i].session, requests[i].operation, requests[i].object,
+            requests[i].purpose);
+        out[i] = Convert(decision, s.index, epoch, submit_ns);
+      }
+      done.Arrive();
+    };
+    size_t depth = 0;
+    switch (home.mailbox.PushBounded(std::move(envelope), !shed_on_full_,
+                                     push_deadline_ns, &depth)) {
+      case PushResult::kClosed:
+        for (const uint32_t i : indices[shard]) out[i] = ShutdownDecision();
+        done.Arrive();
+        continue;
+      case PushResult::kFull:
+        home.shed_counter->Add(indices[shard].size());
+        for (const uint32_t i : indices[shard]) {
+          out[i] = OverloadDecision(/*shed=*/true, home.index, submit_ns);
+        }
+        done.Arrive();
+        continue;
+      case PushResult::kExpired:
+        home.expired_counter->Add(indices[shard].size());
+        for (const uint32_t i : indices[shard]) {
+          out[i] = OverloadDecision(/*shed=*/false, home.index, submit_ns);
+        }
+        done.Arrive();
+        continue;
+      case PushResult::kOk:
+        break;
+    }
+    home.queue_depth_hist->RecordShared(static_cast<int64_t>(depth));
   }
   done.Wait();
   return out;
@@ -379,10 +526,12 @@ std::vector<AccessDecision> AuthorizationService::CheckAccessBatch(
 AccessDecision AuthorizationService::CreateSession(const UserName& user,
                                                    const SessionId& session) {
   const uint32_t shard = ShardOf(user);
-  AccessDecision decision =
-      RunOnShard(shard, [&user, &session](AuthorizationEngine& engine) {
+  AccessDecision decision = RunOnShard(
+      shard,
+      [&user, &session](AuthorizationEngine& engine) {
         return engine.CreateSession(user, session);
-      });
+      },
+      default_deadline_);
   if (decision.allowed) {
     std::unique_lock<std::shared_mutex> lock(session_mu_);
     sessions_[session] = shard;
@@ -393,10 +542,12 @@ AccessDecision AuthorizationService::CreateSession(const UserName& user,
 
 AccessDecision AuthorizationService::DeleteSession(const SessionId& session) {
   const uint32_t shard = RouteSession(session);
-  AccessDecision decision =
-      RunOnShard(shard, [&session](AuthorizationEngine& engine) {
+  AccessDecision decision = RunOnShard(
+      shard,
+      [&session](AuthorizationEngine& engine) {
         return engine.DeleteSession(session);
-      });
+      },
+      default_deadline_);
   if (decision.allowed) {
     std::unique_lock<std::shared_mutex> lock(session_mu_);
     sessions_.erase(session);
@@ -411,7 +562,8 @@ AccessDecision AuthorizationService::AddActiveRole(const UserName& user,
   return RunOnShard(ShardOf(user),
                     [&user, &session, &role](AuthorizationEngine& engine) {
                       return engine.AddActiveRole(user, session, role);
-                    });
+                    },
+                    default_deadline_);
 }
 
 AccessDecision AuthorizationService::DropActiveRole(const UserName& user,
@@ -420,7 +572,8 @@ AccessDecision AuthorizationService::DropActiveRole(const UserName& user,
   return RunOnShard(ShardOf(user),
                     [&user, &session, &role](AuthorizationEngine& engine) {
                       return engine.DropActiveRole(user, session, role);
-                    });
+                    },
+                    default_deadline_);
 }
 
 // ---------------------------------------------------------- Administration
@@ -478,14 +631,25 @@ void AuthorizationService::ApplyAdvance(Time target) {
   }
 }
 
-void AuthorizationService::AdvanceTo(Time t) {
+Status AuthorizationService::AdvanceTo(Time t) {
   if (synchronous_) {
+    if (shut_down_.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition(
+          "service is shut down; time not advanced");
+    }
     ApplyAdvance(t);
-    return;
+    return Status::OK();
   }
   Latch done(1);
-  if (!timer_mailbox_.Push(TimerCommand{t, &done})) return;
+  // A closed timer mailbox means Shutdown already joined the timer thread:
+  // the advance can never happen, and pretending it did would let callers
+  // observe a time that no shard ever reached.
+  if (!timer_mailbox_.Push(TimerCommand{t, &done})) {
+    return Status::FailedPrecondition(
+        "service is shut down; time not advanced");
+  }
   done.Wait();
+  return Status::OK();
 }
 
 // ---------------------------------------------------------- Introspection
@@ -524,8 +688,30 @@ ServiceStats AuthorizationService::Stats() {
       stats.cache_misses += e.decision_cache_misses();
       stats.cache_stale += e.decision_cache_stale();
     });
+    // Overload counters are plain atomics bumped at the producer edge; no
+    // shard-thread quiescing needed to read them exactly.
+    stats.shed += shards_[shard]->shed_counter->value();
+    stats.expired += shards_[shard]->expired_counter->value();
   }
   return stats;
+}
+
+size_t AuthorizationService::MailboxDepth(uint32_t shard) const {
+  return shards_[shard]->mailbox.depth();
+}
+
+size_t AuthorizationService::MailboxPeakDepth(uint32_t shard) const {
+  return shards_[shard]->mailbox.peak_depth();
+}
+
+bool AuthorizationService::InjectShardFault(uint32_t shard,
+                                            std::function<void()> fn) {
+  if (synchronous_) {
+    fn();
+    return true;
+  }
+  return shards_[shard]->mailbox.Push(
+      [fn = std::move(fn)](Shard&) { fn(); });
 }
 
 // -------------------------------------------------------------- Telemetry

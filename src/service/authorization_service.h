@@ -24,6 +24,16 @@
 
 namespace sentinel {
 
+/// Producer-side policy when a shard mailbox is at capacity.
+enum class OverloadPolicy {
+  /// Wait for the shard to drain, up to the request's deadline (forever
+  /// when it has none). Backpressure: callers slow down, nothing is lost.
+  kBlock,
+  /// Fail fast with AccessOutcome::kOverloaded. Load shedding: callers
+  /// stay responsive, excess traffic is refused explicitly.
+  kShed,
+};
+
 /// Shape of an AuthorizationService.
 struct ServiceConfig {
   /// Sentinel for num_shards: one shard per hardware thread.
@@ -62,6 +72,21 @@ struct ServiceConfig {
   /// open-addressed table) — anything else is rejected by ValidateConfig.
   /// See AuthorizationEngine::ConfigureDecisionCache for semantics.
   size_t decision_cache_capacity = 0;
+  /// Per-shard mailbox capacity in queued envelopes for decision traffic
+  /// (CheckAccess, session/role calls, one batch envelope per involved
+  /// shard). 0 (the default) = unbounded, the pre-overload-protection
+  /// behavior. Admin broadcasts and timer commands are exempt — the epoch
+  /// barrier requires every shard to observe every admin envelope.
+  size_t mailbox_capacity = 0;
+  /// What a producer does when its shard mailbox is full. Only meaningful
+  /// with mailbox_capacity > 0; kShed with capacity 0 is rejected by
+  /// ValidateConfig as a misconfiguration (it could never shed).
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+  /// Wall-clock decision budget in microseconds applied to every
+  /// decision-path call that does not carry its own AccessRequest::deadline
+  /// (0 = none). Expiry — in queue, or blocked waiting for mailbox space —
+  /// yields AccessOutcome::kOverloaded, never a policy deny.
+  Duration default_deadline = 0;
 };
 
 /// Aggregated per-shard counters (gathered with a quiescing inspection).
@@ -72,6 +97,13 @@ struct ServiceStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_stale = 0;
+  /// Decision envelopes refused at a full mailbox (kShed policy). Every
+  /// shed is a caller-visible kOverloaded decision — the counter and the
+  /// caller-observed outcomes reconcile exactly.
+  uint64_t shed = 0;
+  /// Decision envelopes answered kOverloaded because their deadline passed
+  /// — in queue, or while blocked waiting for mailbox space.
+  uint64_t expired = 0;
 };
 
 /// \brief One observability capture of the whole service: every shard
@@ -182,9 +214,12 @@ class AuthorizationService {
   // --------------------------------------------------------------- Time
 
   /// Advances simulated time on every shard via the timer thread; blocks
-  /// until all shards fired their temporal events up to `t`.
-  void AdvanceTo(Time t);
-  void AdvanceBy(Duration d) { AdvanceTo(Now() + d); }
+  /// until all shards fired their temporal events up to `t`. After
+  /// Shutdown() the advance cannot happen — the timer thread is gone — and
+  /// the call says so with FailedPrecondition instead of silently
+  /// returning as if time had moved.
+  Status AdvanceTo(Time t);
+  Status AdvanceBy(Duration d) { return AdvanceTo(Now() + d); }
   Time Now() const { return now_.load(std::memory_order_acquire); }
 
   // ------------------------------------------------------ Introspection
@@ -206,6 +241,20 @@ class AuthorizationService {
 
   /// Aggregates decision/denial/audit-overflow counters across shards.
   ServiceStats Stats();
+
+  /// Current / high-water queued-envelope depth of one shard mailbox
+  /// (exempt admin envelopes included). Always 0 in synchronous mode.
+  size_t MailboxDepth(uint32_t shard) const;
+  size_t MailboxPeakDepth(uint32_t shard) const;
+
+  /// Test-only fault injection: enqueues `fn` on `shard`'s mailbox through
+  /// the exempt lane (never shed, never expired) and returns immediately,
+  /// without waiting for it to run. While `fn` runs, the shard thread is
+  /// stalled: decision traffic behind it ages in queue and, with a bounded
+  /// mailbox, producers shed or block — the deterministic way tests create
+  /// overload. Returns false when the mailbox is already closed. In
+  /// synchronous mode `fn` runs inline before returning.
+  bool InjectShardFault(uint32_t shard, std::function<void()> fn);
 
   // -------------------------------------------------------- Telemetry
 
@@ -237,6 +286,14 @@ class AuthorizationService {
     /// Epoch of the last admin envelope this shard applied.
     std::atomic<uint64_t> applied_epoch{0};
     Mailbox<std::function<void(Shard&)>> mailbox;
+    /// Overload instruments, registered in the shard engine's registry so
+    /// they merge into RenderMetrics and the admin report like any other
+    /// per-shard series. Shed/expired are bumped from producer threads as
+    /// well as the shard thread — multi-writer, hence Add/RecordShared.
+    telemetry::Counter* shed_counter = nullptr;     // Owned by the registry.
+    telemetry::Counter* expired_counter = nullptr;  // Owned by the registry.
+    telemetry::Histogram* queue_depth_hist = nullptr;
+    telemetry::Histogram* queue_wait_hist = nullptr;
     std::thread thread;
   };
 
@@ -259,9 +316,25 @@ class AuthorizationService {
     Latch* done = nullptr;
   };
 
-  /// Runs `op` on shard `shard` and blocks for its Decision.
+  /// Runs `op` on shard `shard` and blocks for its Decision. `deadline_us`
+  /// is the wall-clock budget from submission (<= 0 = none): admission is
+  /// bounded by the overload policy, and an envelope still queued past its
+  /// deadline is answered kOverloaded without touching the engine.
   AccessDecision RunOnShard(
-      uint32_t shard, const std::function<Decision(AuthorizationEngine&)>& op);
+      uint32_t shard, const std::function<Decision(AuthorizationEngine&)>& op,
+      Duration deadline_us);
+
+  /// The wall budget for `request`: its own deadline, else the configured
+  /// default; <= 0 = none.
+  Duration EffectiveDeadline(const AccessRequest& request) const;
+
+  /// Steady-clock expiry instant in ns for a budget of `deadline_us`
+  /// starting at `submit_ns`; 0 = no deadline.
+  static int64_t DeadlineNanos(Duration deadline_us, int64_t submit_ns);
+
+  /// Overload verdict (shed at admission or expired before dispatch).
+  AccessDecision OverloadDecision(bool shed, uint32_t shard,
+                                  int64_t submit_ns) const;
 
   /// Pushes `fn` to every shard with a fresh epoch and waits for all shards
   /// to apply it. Serialized by admin_mu_. `admin` distinguishes real
@@ -294,6 +367,9 @@ class AuthorizationService {
 
   bool synchronous_ = false;
   Status init_status_;
+  /// Overload knobs, frozen at construction.
+  bool shed_on_full_ = false;
+  Duration default_deadline_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   /// Service-boundary metrics (request/batch/broadcast counts), bumped from
@@ -319,7 +395,9 @@ class AuthorizationService {
   std::unordered_map<SessionId, uint32_t> sessions_;
 
   std::mutex shutdown_mu_;
-  bool shut_down_ = false;
+  /// Written under shutdown_mu_; read lock-free by synchronous-mode calls
+  /// that must refuse after shutdown (AdvanceTo).
+  std::atomic<bool> shut_down_{false};
 };
 
 }  // namespace sentinel

@@ -1,7 +1,10 @@
 #ifndef SENTINELPP_SERVICE_MAILBOX_H_
 #define SENTINELPP_SERVICE_MAILBOX_H_
 
+#include <chrono>
 #include <condition_variable>
+#include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <utility>
@@ -18,52 +21,149 @@ namespace sentinel {
 /// pushed after an admin broadcast returns is behind the admin envelope on
 /// every shard.
 ///
-/// Close() initiates shutdown: further pushes are refused, but everything
-/// already queued is still handed to the consumer — mailboxes drain, they
-/// don't drop.
+/// Overload protection happens at the producer edge, in two lanes:
+///
+///  * `Push` is the **exempt lane** — admin broadcasts, timer fan-outs and
+///    inspections. It never sheds and never waits for space, because every
+///    shard must observe every admin envelope for the epoch barrier to
+///    mean anything. Exempt traffic is low-rate by construction.
+///  * `PushBounded` is the **decision lane**. When a capacity is configured
+///    and the queue is at it, the producer either fails fast (`kFull`, the
+///    shed policy) or waits for the consumer to drain — optionally up to a
+///    deadline (`kExpired`). A blocked producer wakes as soon as PopAll
+///    swaps the backlog out, and immediately on Close.
+///
+/// Close() initiates shutdown: further pushes are refused (both lanes, and
+/// blocked producers wake with `kClosed`), but everything already queued is
+/// still handed to the consumer — mailboxes drain, they don't drop.
 template <typename T>
 class Mailbox {
  public:
+  /// Producer-edge outcome of a bounded push.
+  enum class PushResult {
+    kOk,       ///< Enqueued.
+    kClosed,   ///< Mailbox closed (shutdown); item dropped.
+    kFull,     ///< At capacity and not blocking; item shed.
+    kExpired,  ///< Blocked for space until the deadline passed; item shed.
+  };
+
   Mailbox() = default;
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
-  /// Enqueues `item`; returns false (item dropped) when closed.
+  /// Caps the decision lane at `capacity` queued envelopes (0 = unbounded,
+  /// the default). Exempt-lane pushes ignore the cap but still count
+  /// against it, so admin bursts delay rather than starve decision
+  /// producers. Set during construction wiring, before producers exist.
+  void set_capacity(size_t capacity) {
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = capacity;
+  }
+
+  size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+  }
+
+  /// Exempt-lane enqueue; returns false (item dropped) only when closed.
   bool Push(T item) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_) return false;
       queue_.push_back(std::move(item));
+      if (queue_.size() > peak_depth_) peak_depth_ = queue_.size();
     }
     cv_.notify_one();
     return true;
+  }
+
+  /// Decision-lane enqueue against the configured capacity.
+  ///
+  /// At capacity: returns `kFull` when `block` is false; otherwise waits
+  /// for the consumer to make space. `deadline_ns` bounds that wait in
+  /// std::chrono::steady_clock nanoseconds-since-epoch (the NowNanos
+  /// timebase); 0 means wait indefinitely. On success `*depth_after` (when
+  /// non-null) receives the queue depth including the new item — the
+  /// producer-side congestion signal.
+  PushResult PushBounded(T item, bool block, int64_t deadline_ns,
+                         size_t* depth_after = nullptr) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (closed_) return PushResult::kClosed;
+      if (capacity_ > 0 && queue_.size() >= capacity_) {
+        if (!block) return PushResult::kFull;
+        const auto has_space = [this] {
+          return closed_ || queue_.size() < capacity_;
+        };
+        if (deadline_ns > 0) {
+          const std::chrono::steady_clock::time_point deadline{
+              std::chrono::nanoseconds(deadline_ns)};
+          if (!space_cv_.wait_until(lock, deadline, has_space)) {
+            return PushResult::kExpired;
+          }
+        } else {
+          space_cv_.wait(lock, has_space);
+        }
+        if (closed_) return PushResult::kClosed;
+      }
+      queue_.push_back(std::move(item));
+      if (queue_.size() > peak_depth_) peak_depth_ = queue_.size();
+      if (depth_after != nullptr) *depth_after = queue_.size();
+    }
+    cv_.notify_one();
+    return PushResult::kOk;
   }
 
   /// Blocks until items are available or the mailbox is closed, then moves
   /// the entire backlog into `*out` (previous contents replaced). Returns
   /// false only when closed AND fully drained — the consumer's exit signal.
   bool PopAll(std::deque<T>* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
-    if (queue_.empty()) return false;
-    out->clear();
-    queue_.swap(*out);
+    bool notify_producers = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+      if (queue_.empty()) return false;
+      out->clear();
+      queue_.swap(*out);
+      // The whole backlog left at once: every producer blocked on capacity
+      // can now be admitted.
+      notify_producers = capacity_ > 0;
+    }
+    if (notify_producers) space_cv_.notify_all();
     return true;
   }
 
-  /// Refuses new pushes; queued items remain poppable.
+  /// Refuses new pushes and wakes producers blocked on capacity; queued
+  /// items remain poppable.
   void Close() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  /// Current queued-envelope count (both lanes).
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  /// High-water mark of the queued-envelope count since construction.
+  /// Bounded-lane admissions keep it <= capacity + in-flight exempt pushes.
+  size_t peak_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_depth_;
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // Consumer wakeups.
+  std::condition_variable space_cv_;  // Blocked bounded producers.
   std::deque<T> queue_;
+  size_t capacity_ = 0;
+  size_t peak_depth_ = 0;
   bool closed_ = false;
 };
 

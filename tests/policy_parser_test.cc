@@ -1,5 +1,8 @@
 #include "core/policy_parser.h"
 
+#include <limits>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "common/calendar.h"
@@ -119,6 +122,21 @@ TEST(PolicyParserTest, DurationLiterals) {
   EXPECT_FALSE(PolicyParser::ParseDuration("").ok());
   EXPECT_FALSE(PolicyParser::ParseDuration("abc").ok());
   EXPECT_FALSE(PolicyParser::ParseDuration("10y").ok());
+}
+
+TEST(PolicyParserTest, DurationOverflowIsAParseErrorNotUndefinedBehavior) {
+  // 1e11 days of microseconds overflows int64; the suffix multiply must be
+  // guarded, not left as signed-overflow UB yielding a garbage duration.
+  auto huge = PolicyParser::ParseDuration("100000000000d");
+  ASSERT_FALSE(huge.ok());
+  EXPECT_NE(huge.status().message().find("too large"), std::string::npos);
+  EXPECT_FALSE(PolicyParser::ParseDuration("9223372036854775807s").ok());
+  // The largest representable whole-day duration still parses.
+  constexpr Duration kMaxDays =
+      std::numeric_limits<Duration>::max() / kDay;  // ~106M days.
+  auto big_ok = PolicyParser::ParseDuration(std::to_string(kMaxDays) + "d");
+  ASSERT_TRUE(big_ok.ok());
+  EXPECT_EQ(*big_ok, kMaxDays * kDay);
 }
 
 TEST(PolicyParserTest, ErrorsCarryLineNumbers) {

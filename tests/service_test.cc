@@ -221,26 +221,7 @@ TEST(ServiceTest, BatchMatchesSingleCallDecisions) {
 }
 
 // --------------------------------------------------------------- Shutdown
-
-// The drain-not-drop contract, pinned deterministically at the mailbox
-// level: items queued before Close() are still handed to the consumer;
-// pushes after Close() are refused.
-TEST(MailboxTest, CloseDrainsBacklogBeforeRefusing) {
-  Mailbox<int> mailbox;
-  EXPECT_TRUE(mailbox.Push(1));
-  EXPECT_TRUE(mailbox.Push(2));
-  EXPECT_TRUE(mailbox.Push(3));
-  mailbox.Close();
-  EXPECT_FALSE(mailbox.Push(4));
-
-  std::deque<int> backlog;
-  ASSERT_TRUE(mailbox.PopAll(&backlog));
-  ASSERT_EQ(backlog.size(), 3u);
-  EXPECT_EQ(backlog[0], 1);
-  EXPECT_EQ(backlog[2], 3);
-  // Closed and drained: the consumer's exit signal, without blocking.
-  EXPECT_FALSE(mailbox.PopAll(&backlog));
-}
+// (The mailbox-level drain-not-drop contract is pinned in mailbox_test.cc.)
 
 TEST(ServiceTest, ShutdownDrainsQueuedWorkAndRefusesNewWork) {
   AuthorizationService service(ShardedConfig(2));
@@ -284,8 +265,412 @@ TEST(ServiceTest, ShutdownDrainsQueuedWorkAndRefusesNewWork) {
       service.CheckAccess({"alice", "s1", "read", "ledger", ""});
   EXPECT_FALSE(after.allowed);
   EXPECT_EQ(after.reason, "service is shut down");
+  EXPECT_EQ(after.outcome, AccessOutcome::kShutdown);
+  EXPECT_TRUE(ToStatus(after).IsFailedPrecondition());
   EXPECT_FALSE(service.CreateSession("bob", "s2").allowed);
   service.Shutdown();  // Idempotent.
+}
+
+TEST(ServiceTest, AdvanceAfterShutdownIsARefusalNotASilentNoop) {
+  // Concurrent mode: the timer thread is gone after Shutdown, so the call
+  // must say the advance did not happen instead of returning as if it had.
+  AuthorizationService service(ShardedConfig(2));
+  ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  const Time target = testutil::Noon() + kHour;
+  ASSERT_TRUE(service.AdvanceTo(target).ok());
+  EXPECT_EQ(service.Now(), target);
+  service.Shutdown();
+  const Status refused = service.AdvanceTo(target + kHour);
+  EXPECT_TRUE(refused.IsFailedPrecondition()) << refused;
+  EXPECT_EQ(service.Now(), target);  // Time did not move.
+
+  // Synchronous mode takes the inline path; same contract.
+  AuthorizationService sync(SyncConfig());
+  ASSERT_TRUE(sync.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  ASSERT_TRUE(sync.AdvanceBy(kMinute).ok());
+  sync.Shutdown();
+  EXPECT_TRUE(sync.AdvanceBy(kMinute).IsFailedPrecondition());
+}
+
+TEST(ServiceTest, AdvanceRacingShutdownNeverFabricatesTime) {
+  // A timer caller racing Shutdown: every call either advanced time for
+  // real (OK) or reported the refusal — Now() reflects exactly the
+  // successful advances.
+  AuthorizationService service(ShardedConfig(2));
+  ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  const Time base = testutil::Noon();
+  Time last_success = service.Now();
+  std::thread advancer([&] {
+    for (int i = 1; i <= 200; ++i) {
+      const Time target = base + i * kMinute;
+      const Status status = service.AdvanceTo(target);
+      if (status.ok()) {
+        last_success = target;
+      } else {
+        EXPECT_TRUE(status.IsFailedPrecondition()) << status;
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  service.Shutdown();
+  advancer.join();
+  EXPECT_EQ(service.Now(), last_success);
+}
+
+// ---------------------------------------------------- Overload protection
+
+/// One-shot gate for deterministic shard stalls: the injected fault parks
+/// the shard thread on Wait() until the test calls Open(). Signaled() lets
+/// the test wait until the stall is actually in effect (the fault envelope
+/// has been dequeued), so mailbox depths observed afterwards are stable.
+class Gate {
+ public:
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+  void Signal() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      signaled_ = true;
+    }
+    cv_.notify_all();
+  }
+  void AwaitSignal() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return signaled_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+  bool signaled_ = false;
+};
+
+/// Parks `shard` until gate.Open(); returns once the stall is in effect.
+void StallShard(AuthorizationService& service, uint32_t shard, Gate& gate) {
+  ASSERT_TRUE(service.InjectShardFault(shard, [&gate] {
+    gate.Signal();
+    gate.Wait();
+  }));
+  gate.AwaitSignal();
+}
+
+ServiceConfig OverloadConfig(size_t capacity, OverloadPolicy policy,
+                             Duration default_deadline = 0) {
+  ServiceConfig config = ShardedConfig(1);
+  config.mailbox_capacity = capacity;
+  config.overload_policy = policy;
+  config.default_deadline = default_deadline;
+  return config;
+}
+
+TEST(ServiceOverloadTest, ConfigValidationRejectsIncoherentKnobs) {
+  ServiceConfig shed_unbounded;
+  shed_unbounded.overload_policy = OverloadPolicy::kShed;
+  EXPECT_TRUE(AuthorizationService::ValidateConfig(shed_unbounded)
+                  .IsInvalidArgument());
+  EXPECT_FALSE(AuthorizationService::Create(shed_unbounded).ok());
+
+  ServiceConfig negative_deadline;
+  negative_deadline.default_deadline = -5;
+  EXPECT_TRUE(AuthorizationService::ValidateConfig(negative_deadline)
+                  .IsInvalidArgument());
+
+  ServiceConfig valid;
+  valid.mailbox_capacity = 16;
+  valid.overload_policy = OverloadPolicy::kShed;
+  valid.default_deadline = 50 * kMillisecond;
+  EXPECT_TRUE(AuthorizationService::ValidateConfig(valid).ok());
+}
+
+TEST(ServiceOverloadTest, ShedAtFullMailboxIsExplicitAndCounted) {
+  AuthorizationService service(
+      OverloadConfig(/*capacity=*/1, OverloadPolicy::kShed));
+  ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+
+  Gate gate;
+  StallShard(service, 0, gate);
+  // One request is admitted into the single mailbox slot (its submitter
+  // blocks for the verdict)...
+  std::thread admitted_submitter([&] {
+    const AccessDecision decision =
+        service.CheckAccess({"alice", "s1", "read", "ledger", ""});
+    EXPECT_EQ(decision.outcome, AccessOutcome::kDecided);
+    EXPECT_TRUE(decision.allowed);
+  });
+  while (service.MailboxDepth(0) < 1) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  // ...and the next is shed instantly: an explicit overload verdict, not a
+  // policy deny and not a wait.
+  const AccessDecision shed =
+      service.CheckAccess({"alice", "s1", "read", "ledger", ""});
+  EXPECT_EQ(shed.outcome, AccessOutcome::kOverloaded);
+  EXPECT_FALSE(shed.allowed);
+  EXPECT_EQ(shed.reason, "overloaded: shed");
+  EXPECT_NE(shed.reason, "Permission Denied");
+  EXPECT_TRUE(ToStatus(shed).IsResourceExhausted());
+
+  gate.Open();
+  admitted_submitter.join();
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.expired, 0u);
+  // The shed never reached an engine: decisions count only real verdicts.
+  EXPECT_EQ(stats.decisions, 3u);  // create + activate + admitted check.
+
+  // The overload series surface in the merged scrape and the admin report.
+  const std::string text = service.RenderMetrics();
+  EXPECT_NE(text.find("sentinelpp_mailbox_shed_total 1"), std::string::npos);
+  EXPECT_NE(text.find("sentinelpp_mailbox_queue_wait_us"), std::string::npos);
+  service.Inspect(0, [](const AuthorizationEngine& engine) {
+    const std::string report = GenerateAdminReport(engine);
+    EXPECT_NE(report.find("overload: shed 1  expired 0"), std::string::npos);
+  });
+}
+
+TEST(ServiceOverloadTest, BlockPolicyWaitsForSpaceInsteadOfShedding) {
+  AuthorizationService service(
+      OverloadConfig(/*capacity=*/1, OverloadPolicy::kBlock));
+  ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+
+  Gate gate;
+  StallShard(service, 0, gate);
+  std::atomic<int> decided{0};
+  std::vector<std::thread> submitters;
+  for (int i = 0; i < 3; ++i) {
+    submitters.emplace_back([&] {
+      const AccessDecision decision =
+          service.CheckAccess({"alice", "s1", "read", "ledger", ""});
+      EXPECT_EQ(decision.outcome, AccessOutcome::kDecided);
+      EXPECT_TRUE(decision.allowed);
+      decided.fetch_add(1);
+    });
+  }
+  // All three are either queued (one slot) or blocked for space; none is
+  // answered while the shard is stalled.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(decided.load(), 0);
+  EXPECT_LE(service.MailboxDepth(0), 1u);
+
+  gate.Open();
+  for (std::thread& thread : submitters) thread.join();
+  EXPECT_EQ(decided.load(), 3);
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.expired, 0u);
+  // Backpressure never let the queue exceed its bound (the stall fault is
+  // the one exempt envelope on top).
+  EXPECT_LE(service.MailboxPeakDepth(0), 1u + 1u);
+}
+
+TEST(ServiceOverloadTest, DeadlineExpiryInQueueIsOverloadNotPolicyDeny) {
+  AuthorizationService service(OverloadConfig(
+      /*capacity=*/0, OverloadPolicy::kBlock, /*default_deadline=*/0));
+  ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+
+  Gate gate;
+  StallShard(service, 0, gate);
+  AccessRequest dated{"alice", "s1", "read", "ledger", ""};
+  dated.deadline = 2 * kMillisecond;  // Wall-clock budget.
+  AccessDecision expired;
+  std::thread submitter(
+      [&] { expired = service.CheckAccess(dated); });
+  // Hold the shard well past the request's budget, then let it drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.Open();
+  submitter.join();
+
+  EXPECT_EQ(expired.outcome, AccessOutcome::kOverloaded);
+  EXPECT_EQ(expired.reason, "overloaded: deadline exceeded");
+  EXPECT_TRUE(ToStatus(expired).IsResourceExhausted());
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.shed, 0u);
+  // The expired request consumed no engine time.
+  EXPECT_EQ(stats.decisions, 2u);  // create + activate only.
+
+  // With the shard drained, the same dated request is decided normally.
+  const AccessDecision fresh = service.CheckAccess(dated);
+  EXPECT_EQ(fresh.outcome, AccessOutcome::kDecided);
+  EXPECT_TRUE(fresh.allowed);
+}
+
+TEST(ServiceOverloadTest, DefaultDeadlineAppliesAndPerRequestOverrides) {
+  // Service-wide 2ms budget; one request opts out with kNoDeadline and
+  // must survive a stall that expires the defaulted one.
+  AuthorizationService service(OverloadConfig(
+      /*capacity=*/0, OverloadPolicy::kBlock,
+      /*default_deadline=*/2 * kMillisecond));
+  ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+
+  Gate gate;
+  StallShard(service, 0, gate);
+  AccessRequest defaulted{"alice", "s1", "read", "ledger", ""};
+  AccessRequest patient{"alice", "s1", "read", "ledger", ""};
+  patient.deadline = AccessRequest::kNoDeadline;
+  AccessDecision defaulted_decision, patient_decision;
+  std::thread a([&] { defaulted_decision = service.CheckAccess(defaulted); });
+  std::thread b([&] { patient_decision = service.CheckAccess(patient); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.Open();
+  a.join();
+  b.join();
+
+  EXPECT_EQ(defaulted_decision.outcome, AccessOutcome::kOverloaded);
+  EXPECT_EQ(patient_decision.outcome, AccessOutcome::kDecided);
+  EXPECT_TRUE(patient_decision.allowed);
+  EXPECT_EQ(service.Stats().expired, 1u);
+}
+
+TEST(ServiceOverloadTest, BatchReportsPerItemOutcomes) {
+  AuthorizationService service(OverloadConfig(
+      /*capacity=*/0, OverloadPolicy::kBlock, /*default_deadline=*/0));
+  ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+
+  Gate gate;
+  StallShard(service, 0, gate);
+  // One envelope (single user -> single shard), three fates: a patient
+  // item decides, a dated item expires, and the dated deny shows that
+  // overload outcomes are disjoint from policy denials.
+  std::vector<AccessRequest> requests = {
+      {"alice", "s1", "read", "ledger", "", AccessRequest::kNoDeadline},
+      {"alice", "s1", "read", "ledger", "", 2 * kMillisecond},
+      {"alice", "s1", "erase", "ledger", "", AccessRequest::kNoDeadline},
+  };
+  std::vector<AccessDecision> decisions;
+  std::thread submitter(
+      [&] { decisions = service.CheckAccessBatch(requests); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.Open();
+  submitter.join();
+
+  ASSERT_EQ(decisions.size(), 3u);
+  EXPECT_EQ(decisions[0].outcome, AccessOutcome::kDecided);
+  EXPECT_TRUE(decisions[0].allowed);
+  EXPECT_EQ(decisions[1].outcome, AccessOutcome::kOverloaded);
+  EXPECT_EQ(decisions[1].reason, "overloaded: deadline exceeded");
+  EXPECT_EQ(decisions[2].outcome, AccessOutcome::kDecided);
+  EXPECT_FALSE(decisions[2].allowed);
+  EXPECT_EQ(decisions[2].reason, "Permission Denied");
+  EXPECT_EQ(service.Stats().expired, 1u);
+}
+
+TEST(ServiceOverloadTest, BatchShedsWholeEnvelopePerItem) {
+  AuthorizationService service(
+      OverloadConfig(/*capacity=*/1, OverloadPolicy::kShed));
+  ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+
+  Gate gate;
+  StallShard(service, 0, gate);
+  std::thread admitted_submitter([&] {
+    (void)service.CheckAccess({"alice", "s1", "read", "ledger", ""});
+  });
+  while (service.MailboxDepth(0) < 1) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  const std::vector<AccessRequest> requests(
+      4, AccessRequest{"alice", "s1", "read", "ledger", ""});
+  const std::vector<AccessDecision> decisions =
+      service.CheckAccessBatch(requests);
+  ASSERT_EQ(decisions.size(), 4u);
+  for (const AccessDecision& decision : decisions) {
+    EXPECT_EQ(decision.outcome, AccessOutcome::kOverloaded);
+    EXPECT_EQ(decision.reason, "overloaded: shed");
+  }
+  gate.Open();
+  admitted_submitter.join();
+  // Shed counting is per request, not per envelope.
+  EXPECT_EQ(service.Stats().shed, 4u);
+}
+
+TEST(ServiceOverloadTest, EpochBarrierStaysSoundWhenProducersBlock) {
+  // Admin traffic rides the exempt lane: a full mailbox and blocked
+  // decision producers can delay a broadcast (the shard is busy) but never
+  // starve it, and a producer admitted after the admin envelope observes
+  // its epoch — FIFO puts the blocked producer behind the broadcast.
+  AuthorizationService service(
+      OverloadConfig(/*capacity=*/1, OverloadPolicy::kBlock));
+  ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+  const uint64_t epoch_before = service.admin_epoch();
+
+  Gate gate;
+  StallShard(service, 0, gate);
+  std::thread admitted([&] {
+    (void)service.CheckAccess({"alice", "s1", "read", "ledger", ""});
+  });
+  while (service.MailboxDepth(0) < 1) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  // Fills past capacity through the exempt lane; the barrier completes
+  // only when the stalled shard drains.
+  std::atomic<bool> broadcast_done{false};
+  std::thread admin([&] {
+    (void)service.EnableRole("AC");
+    broadcast_done.store(true);
+  });
+  // A producer blocked on mailbox space, behind the queued admin envelope.
+  AccessDecision late;
+  std::thread blocked([&] {
+    late = service.CheckAccess({"alice", "s1", "read", "ledger", ""});
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(broadcast_done.load());  // Still stalled, not lost.
+
+  gate.Open();
+  admitted.join();
+  admin.join();
+  blocked.join();
+  const uint64_t epoch_after = service.admin_epoch();
+  EXPECT_GT(epoch_after, epoch_before);
+  // The blocked producer was admitted after the admin envelope, so its
+  // decision reflects the post-broadcast world.
+  EXPECT_EQ(late.outcome, AccessOutcome::kDecided);
+  EXPECT_GE(late.epoch, epoch_after);
+}
+
+TEST(ServiceOverloadTest, SynchronousModeRunsInlineWithoutOverload) {
+  // No queue in synchronous mode: deadlines cannot expire before dispatch
+  // and nothing sheds — the oracle configuration stays overload-free.
+  ServiceConfig config = SyncConfig();
+  config.mailbox_capacity = 1;
+  config.default_deadline = 1;  // 1us — instantly expirable if queued.
+  AuthorizationService service(config);
+  ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+  for (int i = 0; i < 100; ++i) {
+    const AccessDecision decision =
+        service.CheckAccess({"alice", "s1", "read", "ledger", ""});
+    EXPECT_EQ(decision.outcome, AccessOutcome::kDecided);
+    EXPECT_TRUE(decision.allowed);
+  }
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.expired, 0u);
 }
 
 // ---------------------------------------------------- Decision audit ring
@@ -553,6 +938,123 @@ TEST(ServiceStressTest, PerUserSequencesMatchSingleShardEngine) {
 
 TEST(ServiceStressTest, PerUserSequencesMatchWithDecisionCache) {
   RunPerUserStress(/*decision_cache_capacity=*/512);
+}
+
+TEST(ServiceStressTest, OverloadShedStressBoundedCountedAndDrained) {
+  // Overload acceptance run: repeated stall-injected pressure against a
+  // tiny bounded mailbox under the shed policy. Invariants proved here:
+  //  * memory stays bounded — peak mailbox depth never exceeds the
+  //    capacity plus the single in-flight exempt stall envelope;
+  //  * every submitted request is answered, and sheds are counted exactly
+  //    (caller-observed outcomes reconcile with ServiceStats);
+  //  * decided outcomes never diverge from the synchronous oracle;
+  //  * shutdown still drains-not-drops (asserted by the final Stats
+  //    reconciliation running after Shutdown()).
+  constexpr size_t kCapacity = 8;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  ServiceConfig config = ShardedConfig(2);
+  config.mailbox_capacity = kCapacity;
+  config.overload_policy = OverloadPolicy::kShed;
+  AuthorizationService service(config);
+  ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+  ASSERT_TRUE(service.CreateSession("bob", "s2").allowed);
+  ASSERT_TRUE(service.AddActiveRole("bob", "s2", "AC").allowed);
+
+  // The request mix is read-only with statically-known verdicts, so any
+  // decided answer can be checked against the oracle without replaying an
+  // interleaving: requests[i] expects kExpected[i].
+  const std::vector<AccessRequest> kMix = {
+      {"alice", "s1", "read", "ledger", ""},        // allowed
+      {"alice", "s1", "erase", "ledger", ""},       // denied
+      {"bob", "s2", "write", "approval", ""},       // allowed
+      {"bob", "s2", "fly", "moon", ""},             // denied
+  };
+  const std::vector<bool> kExpected = {true, false, true, false};
+
+  // Stall injector: keeps parking each shard briefly, with at most one
+  // exempt fault envelope in flight per shard at any time.
+  std::atomic<bool> stop_faults{false};
+  std::thread fault_injector([&] {
+    while (!stop_faults.load()) {
+      for (int shard = 0; shard < service.num_shards(); ++shard) {
+        std::atomic<bool> fault_done{false};
+        if (!service.InjectShardFault(static_cast<uint32_t>(shard), [&] {
+              std::this_thread::sleep_for(std::chrono::microseconds(500));
+              fault_done.store(true);
+            })) {
+          return;
+        }
+        while (!fault_done.load() && !stop_faults.load()) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      }
+    }
+  });
+
+  std::atomic<uint64_t> observed_shed{0};
+  std::atomic<uint64_t> observed_decided{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const size_t pick = static_cast<size_t>((t + i) % kMix.size());
+        if (i % 16 == 0) {
+          // Periodic batch arm: one envelope per involved shard; sheds are
+          // reported per item.
+          const std::vector<AccessDecision> decisions =
+              service.CheckAccessBatch(kMix);
+          ASSERT_EQ(decisions.size(), kMix.size());
+          for (size_t j = 0; j < decisions.size(); ++j) {
+            if (decisions[j].outcome == AccessOutcome::kOverloaded) {
+              observed_shed.fetch_add(1);
+            } else {
+              ASSERT_EQ(decisions[j].outcome, AccessOutcome::kDecided);
+              EXPECT_EQ(decisions[j].allowed, kExpected[j]) << j;
+              observed_decided.fetch_add(1);
+            }
+          }
+          continue;
+        }
+        const AccessDecision decision = service.CheckAccess(kMix[pick]);
+        if (decision.outcome == AccessOutcome::kOverloaded) {
+          EXPECT_EQ(decision.reason, "overloaded: shed");
+          observed_shed.fetch_add(1);
+        } else {
+          ASSERT_EQ(decision.outcome, AccessOutcome::kDecided);
+          EXPECT_EQ(decision.allowed, kExpected[pick]) << pick;
+          observed_decided.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : submitters) thread.join();
+  stop_faults.store(true);
+  fault_injector.join();
+
+  // Bounded: the cap held on every shard (+1 for the in-flight exempt
+  // stall envelope).
+  for (int shard = 0; shard < service.num_shards(); ++shard) {
+    EXPECT_LE(service.MailboxPeakDepth(static_cast<uint32_t>(shard)),
+              kCapacity + 1)
+        << "shard " << shard;
+  }
+
+  // Complete & reconciled: every submission was answered, and the
+  // service's shed counter agrees exactly with what callers saw.
+  const uint64_t total_submitted =
+      static_cast<uint64_t>(kThreads) * kPerThread / 16 * kMix.size() +
+      static_cast<uint64_t>(kThreads) * (kPerThread - kPerThread / 16);
+  EXPECT_EQ(observed_decided.load() + observed_shed.load(), total_submitted);
+  service.Shutdown();  // Drain everything before the final reconciliation.
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.shed, observed_shed.load());
+  EXPECT_EQ(stats.expired, 0u);
+  // Setup made 4 decisions; every decided request made exactly one more —
+  // sheds consumed no engine time.
+  EXPECT_EQ(stats.decisions, observed_decided.load() + 4u);
 }
 
 TEST(ServiceStressTest, ConcurrentBatchesAndAdminBroadcasts) {
