@@ -30,7 +30,9 @@ echo "-- differential seed: $DIFF_SEED"
 echo "== Bench smoke: every bench_* runs one tiny iteration =="
 # Not a measurement — just proof that each benchmark still sets up its
 # policy, runs, and tears down. (This toolchain's google-benchmark takes a
-# plain seconds double for --benchmark_min_time.)
+# plain seconds double for --benchmark_min_time.) bench_fastpath is built
+# explicitly so the zero-hop A/B always exists even in a stale tree.
+cmake --build build -j"$JOBS" --target bench_fastpath
 for bench in build/bench/bench_*; do
   [[ -x "$bench" ]] || continue
   echo "-- $(basename "$bench")"
@@ -50,11 +52,13 @@ ctest --test-dir build-asan --output-on-failure -j"$JOBS"
 
 # TSan is incompatible with ASan, so the threaded service tests get their
 # own build tree.
-echo "== Sanitizer pass: thread (service + mailbox tests) =="
+echo "== Sanitizer pass: thread (service + mailbox + fast-path tests) =="
 cmake -B build-tsan -S . -DSENTINELPP_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=Debug >/dev/null
-cmake --build build-tsan -j"$JOBS" --target service_test mailbox_test
-ctest --test-dir build-tsan --output-on-failure -R '^(service_test|mailbox_test)$'
+cmake --build build-tsan -j"$JOBS" --target service_test mailbox_test \
+  fastpath_test interner_test
+ctest --test-dir build-tsan --output-on-failure \
+  -R '^(service_test|mailbox_test|fastpath_test|interner_test)$'
 
 echo "== Overload stress: stall-injected shed/deadline paths under TSan =="
 # The acceptance stress for the bounded-mailbox work: shard stalls injected
@@ -65,5 +69,15 @@ echo "== Overload stress: stall-injected shed/deadline paths under TSan =="
 ./build-tsan/tests/service_test \
   --gtest_filter='ServiceOverloadTest.*:ServiceStressTest.OverloadShedStressBoundedCountedAndDrained' \
   --gtest_repeat=3 --gtest_brief=1
+
+echo "== Fast-path stress: snapshot readers vs broadcast storm under TSan =="
+# The acceptance stress for the zero-hop read path: concurrent callers
+# replay two stable-truth verdicts from the shards' seqlock snapshots while
+# admin broadcasts, session churn and timer advances republish the stamps
+# underneath them. The test asserts zero verdict divergences and a
+# post-storm linearization check; TSan checks the seqlock and ring
+# protocols. Repeats shake out schedule-dependent interleavings.
+./build-tsan/tests/fastpath_test \
+  --gtest_filter='FastPathStressTest.*' --gtest_repeat=3 --gtest_brief=1
 
 echo "== All checks passed =="

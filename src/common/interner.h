@@ -1,12 +1,13 @@
 #ifndef SENTINELPP_COMMON_INTERNER_H_
 #define SENTINELPP_COMMON_INTERNER_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <new>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -21,28 +22,69 @@ namespace sentinel {
 /// database and role-state table, so a name interned once at policy-load time
 /// is an integer everywhere on the request path. Interned strings are never
 /// released; NameOf references stay valid for the table's lifetime.
+///
+/// Concurrency: Intern is single-writer (the owning shard thread). Find,
+/// NameOf and size are lock-free and may run on any thread concurrently with
+/// Intern — the service's zero-hop read path resolves request names on
+/// caller threads while the shard keeps interning. A concurrent reader may
+/// miss a symbol whose Intern has not fully published yet (Find returns the
+/// invalid symbol, NameOf the empty string — both conservative), but it can
+/// never observe a torn or dangling name. Publish order: write the string,
+/// release-store size_, release-store the index slot.
 class SymbolTable {
  public:
   SymbolTable() = default;
+  ~SymbolTable();
   SymbolTable(const SymbolTable&) = delete;
   SymbolTable& operator=(const SymbolTable&) = delete;
 
   /// Returns the symbol for `name`, interning it if new. O(1) amortized.
+  /// Single-writer: only the thread that owns the table may call this.
   Symbol Intern(std::string_view name);
 
   /// Returns the symbol for `name`, or an invalid symbol if never interned.
+  /// Safe from any thread.
   Symbol Find(std::string_view name) const;
 
   /// Reverse lookup. Invalid/out-of-range symbols map to the empty string.
+  /// Safe from any thread.
   const std::string& NameOf(Symbol s) const;
 
-  size_t size() const { return names_.size(); }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
  private:
-  // Deque keeps element addresses stable across growth, so index_ can key on
-  // string_views into the stored names without re-pointing on rehash.
-  std::deque<std::string> names_;
-  std::unordered_map<std::string_view, uint32_t> index_;
+  // Names live in fixed-size blocks behind atomic pointers: a string, once
+  // written, never moves, so NameOf references stay valid for the table's
+  // lifetime and readers never chase a reallocating container.
+  static constexpr size_t kBlockShift = 12;               // 4096 names/block.
+  static constexpr size_t kBlockSize = size_t{1} << kBlockShift;
+  static constexpr size_t kMaxBlocks = size_t{1} << kBlockShift;  // ~16.7M.
+
+  /// Open-addressed lookup index. Each slot packs (hash tag << 32 | id + 1);
+  /// 0 marks an empty slot. Grown tables are built aside and published
+  /// whole; the outgrown ones are retired, not freed, so an in-flight
+  /// reader keeps probing a valid — merely stale — view.
+  struct IndexTable {
+    explicit IndexTable(size_t capacity)
+        : mask(capacity - 1), slots(new std::atomic<uint64_t>[capacity]()) {}
+    const size_t mask;
+    std::unique_ptr<std::atomic<uint64_t>[]> slots;
+  };
+
+  static uint64_t HashName(std::string_view name);
+  /// The stored name for a published id (no bounds/validity checks).
+  const std::string& NameUnchecked(uint32_t id) const {
+    const std::string* block =
+        blocks_[id >> kBlockShift].load(std::memory_order_acquire);
+    return block[id & (kBlockSize - 1)];
+  }
+  static void InsertSlot(IndexTable* table, uint64_t hash, uint32_t id);
+  void GrowIndex(size_t min_live);
+
+  std::array<std::atomic<std::string*>, kMaxBlocks> blocks_{};
+  std::atomic<uint32_t> size_{0};
+  std::atomic<IndexTable*> index_{nullptr};
+  std::vector<std::unique_ptr<IndexTable>> tables_;  // Current + retired.
 };
 
 /// \brief A small sorted flat map from Symbol to Value.

@@ -1,6 +1,7 @@
 #ifndef SENTINELPP_CORE_DECISION_CACHE_H_
 #define SENTINELPP_CORE_DECISION_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -26,6 +27,28 @@ namespace sentinel {
 /// linear probe window. Owned by a single-threaded engine shard, so there
 /// are no locks; Lookup and Fill never allocate. Slots are only reclaimed
 /// by overwrite or Clear() — the table tolerates dead weight by design.
+///
+/// Zero-hop read path (PR 6): alongside the private table the cache keeps a
+/// *shared* mirror — one seqlock-stamped atomic slot per private slot, plus
+/// the current fast stamp published as two release-stored words. Fills (and
+/// only fills, on the shard thread) write the mirror; any caller thread may
+/// SharedLookup() against it without crossing the mailbox. The mirror
+/// carries the coarse *fast* stamp (epoch, pool generation, table-wide
+/// session generation, table-wide role generation) rather than the exact
+/// per-session stamp: a caller cannot recompute per-session components, but
+/// every precise bump also bumps its table-wide counter, so a fast-stamp
+/// match is strictly stronger than the exact check — staleness costs a hit,
+/// never correctness. Memory ordering contract:
+///
+///  * Writer (shard thread) per slot: seq -> odd (relaxed), release fence,
+///    data stores (relaxed), seq -> even (release).
+///  * Reader: seq load (acquire; odd => fall back), data loads (relaxed),
+///    acquire fence, seq re-load (changed => torn, fall back).
+///  * Current stamp: release-stored after every mutating engine call
+///    returns (AuthorizationEngine::PublishFastPathState), so a hit whose
+///    entry stamp equals the loaded current stamp replays a verdict valid
+///    as of the last *completed* engine call — in-flight mutations are
+///    unacknowledged to their callers, so the read linearizes before them.
 class DecisionCache {
  public:
   /// The validity stamp: an entry is alive iff every component still equals
@@ -70,9 +93,12 @@ class DecisionCache {
 
   /// Sizes the table to `capacity` slots (0 disables, otherwise must be a
   /// power of two — validated at the service boundary) and drops every
-  /// cached entry.
+  /// cached entry, shared mirror included. Not thread-safe: call before
+  /// concurrent readers exist (the service configures at construction).
   void Configure(size_t capacity) {
-    slots_.assign(IsPowerOfTwo(capacity) ? capacity : 0, Slot{});
+    const size_t n = IsPowerOfTwo(capacity) ? capacity : 0;
+    slots_.assign(n, Slot{});
+    shared_slots_ = std::vector<SharedSlot>(n);
     live_ = 0;
     fills_ = 0;
   }
@@ -100,7 +126,16 @@ class DecisionCache {
     return Outcome::kMiss;
   }
 
+  /// Writes a verdict under its exact stamp, mirroring the slot into the
+  /// shared view under `fast_stamp` (the coarse stamp callers validate
+  /// against; see the class comment). The 3-arg overload mirrors under the
+  /// exact stamp — for unit tests and engines without a fast path.
   void Fill(uint64_t key, const Stamp& stamp, Verdict verdict) {
+    Fill(key, stamp, verdict, stamp);
+  }
+
+  void Fill(uint64_t key, const Stamp& stamp, Verdict verdict,
+            const Stamp& fast_stamp) {
     const uint64_t stored = key + 1;
     const size_t mask = slots_.size() - 1;
     const size_t home = Mix(key) & mask;
@@ -111,6 +146,7 @@ class DecisionCache {
       if (slot.key_plus_1 == stored) {  // Refresh in place.
         slot.stamp = stamp;
         slot.verdict = verdict;
+        PublishSharedSlot(index, stored, fast_stamp, verdict);
         return;
       }
       if (slot.key_plus_1 == 0 && victim == kNoSlot) victim = index;
@@ -124,11 +160,80 @@ class DecisionCache {
     }
     ++fills_;
     slots_[victim] = Slot{stored, stamp, verdict};
+    PublishSharedSlot(victim, stored, fast_stamp, verdict);
   }
 
   void Clear() {
-    for (Slot& slot : slots_) slot = Slot{};
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      slots_[i] = Slot{};
+      PublishSharedSlot(i, 0, Stamp{}, Verdict{});
+    }
     live_ = 0;
+  }
+
+  // ------------------------------------------------- Zero-hop shared view
+
+  /// Publishes the current fast stamp (shard thread only). Called by the
+  /// engine at the tail of every mutating public call; entries whose
+  /// mirrored stamp equals the published words are replayable caller-side.
+  void PublishCurrentStamp(const Stamp& fast) {
+    shared_cur_lo_.store(PackLo(fast), std::memory_order_relaxed);
+    shared_cur_hi_.store(PackHi(fast), std::memory_order_release);
+  }
+
+  /// Caller-side zero-hop probe: true (with `*out` set) only for an entry
+  /// whose mirrored fast stamp equals the currently published one. Every
+  /// other outcome — empty window, key absent, stamp mismatch, publish in
+  /// flight, torn read — returns false: the caller falls back to the
+  /// mailbox, which re-derives exactly. Safe from any thread.
+  bool SharedLookup(uint64_t key, Verdict* out) const {
+    if (shared_slots_.empty()) return false;
+    // Current stamp first: an entry matching it replays a verdict valid as
+    // of that publish. (Both words monotonic; see class comment.)
+    const uint64_t cur_hi = shared_cur_hi_.load(std::memory_order_acquire);
+    const uint64_t cur_lo = shared_cur_lo_.load(std::memory_order_acquire);
+    const uint64_t stored = key + 1;
+    const size_t mask = shared_slots_.size() - 1;
+    size_t index = Mix(key) & mask;
+    for (size_t i = 0; i < kProbeWindow; ++i, index = (index + 1) & mask) {
+      const SharedSlot& slot = shared_slots_[index];
+      const uint32_t seq = slot.seq.load(std::memory_order_acquire);
+      if ((seq & 1u) != 0) return false;  // Publish in flight.
+      const uint64_t k = slot.key_plus_1.load(std::memory_order_relaxed);
+      const uint64_t lo = slot.stamp_lo.load(std::memory_order_relaxed);
+      const uint64_t hi = slot.stamp_hi.load(std::memory_order_relaxed);
+      const uint32_t v = slot.verdict.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != seq) return false;
+      // Mirrored fills keep the private table's probe geometry, so an
+      // empty shared slot proves absence just like Lookup's does.
+      if (k == 0) return false;
+      if (k != stored) continue;
+      if (lo != cur_lo || hi != cur_hi) return false;  // Stale.
+      *out = Verdict{(v & 1u) != 0, (v & 2u) != 0};
+      return true;
+    }
+    return false;
+  }
+
+  bool shared_enabled() const { return !shared_slots_.empty(); }
+
+  /// Test-only fault injection (shard thread, via InjectShardFault):
+  /// freezes `key`'s shared slot mid-publish — sequence left odd — until
+  /// EndTornPublishForTest. Readers must treat the slot as unreadable and
+  /// fall back to the mailbox; the private table is untouched.
+  void BeginTornPublishForTest(uint64_t key) {
+    SharedSlot* slot = SharedSlotFor(key);
+    if (slot == nullptr) return;
+    slot->seq.store(slot->seq.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_release);
+  }
+
+  void EndTornPublishForTest(uint64_t key) {
+    SharedSlot* slot = SharedSlotFor(key);
+    if (slot == nullptr) return;
+    slot->seq.store(slot->seq.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_release);
   }
 
  private:
@@ -136,6 +241,17 @@ class DecisionCache {
     uint64_t key_plus_1 = 0;  ///< Packed key + 1; 0 marks an empty slot.
     Stamp stamp;
     Verdict verdict;
+  };
+
+  /// One mirrored cache entry, readable from any thread. Cache-line sized
+  /// so a writer publishing one slot never invalidates a neighbour a
+  /// reader is probing.
+  struct alignas(64) SharedSlot {
+    std::atomic<uint32_t> seq{0};  ///< Seqlock: odd = publish in flight.
+    std::atomic<uint64_t> key_plus_1{0};
+    std::atomic<uint64_t> stamp_lo{0};  ///< epoch | pool << 32 (fast stamp).
+    std::atomic<uint64_t> stamp_hi{0};  ///< session | roles << 32.
+    std::atomic<uint32_t> verdict{0};   ///< bit0 allowed, bit1 by_rule.
   };
 
   static constexpr size_t kProbeWindow = 8;
@@ -150,7 +266,53 @@ class DecisionCache {
     return key ^ (key >> 31);
   }
 
+  static uint64_t PackLo(const Stamp& s) {
+    return static_cast<uint64_t>(s.epoch) |
+           (static_cast<uint64_t>(s.pool) << 32);
+  }
+  static uint64_t PackHi(const Stamp& s) {
+    return static_cast<uint64_t>(s.session) |
+           (static_cast<uint64_t>(s.roles) << 32);
+  }
+
+  /// Seqlock write of one mirrored slot (shard thread only).
+  void PublishSharedSlot(size_t index, uint64_t stored, const Stamp& fast,
+                         Verdict verdict) {
+    if (shared_slots_.empty()) return;
+    SharedSlot& slot = shared_slots_[index];
+    const uint32_t seq = slot.seq.load(std::memory_order_relaxed);
+    slot.seq.store(seq + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    slot.key_plus_1.store(stored, std::memory_order_relaxed);
+    slot.stamp_lo.store(PackLo(fast), std::memory_order_relaxed);
+    slot.stamp_hi.store(PackHi(fast), std::memory_order_relaxed);
+    slot.verdict.store((verdict.allowed ? 1u : 0u) |
+                           (verdict.by_rule ? 2u : 0u),
+                       std::memory_order_relaxed);
+    slot.seq.store(seq + 2, std::memory_order_release);
+  }
+
+  /// The shared slot currently holding `key` (home slot when absent), or
+  /// nullptr when the mirror is disabled. Shard thread only.
+  SharedSlot* SharedSlotFor(uint64_t key) {
+    if (shared_slots_.empty()) return nullptr;
+    const uint64_t stored = key + 1;
+    const size_t mask = shared_slots_.size() - 1;
+    const size_t home = Mix(key) & mask;
+    size_t index = home;
+    for (size_t i = 0; i < kProbeWindow; ++i, index = (index + 1) & mask) {
+      if (shared_slots_[index].key_plus_1.load(std::memory_order_relaxed) ==
+          stored) {
+        return &shared_slots_[index];
+      }
+    }
+    return &shared_slots_[home];
+  }
+
   std::vector<Slot> slots_;
+  std::vector<SharedSlot> shared_slots_;
+  std::atomic<uint64_t> shared_cur_lo_{0};
+  std::atomic<uint64_t> shared_cur_hi_{0};
   size_t live_ = 0;
   uint64_t fills_ = 0;
 };

@@ -3,16 +3,13 @@
 #include "core/rule_generator.h"
 
 namespace sentinel {
-namespace {
 
-/// The one rule the decision cache may replay (rule_generator's global
-/// check-access rule). Its THEN is a pure Allow and its ELSE a Deny plus
-/// the rbac.accessDenied raise — which is why denials are only cached
-/// while that event has no consumers.
-constexpr const char* kCaRuleName = "CA.global";
-constexpr const char* kDenyReason = "Permission Denied";
-
-}  // namespace
+// kCaRuleName is the one rule the decision cache may replay
+// (rule_generator's global check-access rule). Its THEN is a pure Allow and
+// its ELSE a Deny plus the rbac.accessDenied raise — which is why denials
+// are only cached while that event has no consumers. Both constants live on
+// the class so the service's zero-hop fast path reconstructs identical
+// Decisions.
 
 AuthorizationEngine::AuthorizationEngine(SimulatedClock* clock)
     : clock_(clock),
@@ -286,6 +283,10 @@ Decision AuthorizationEngine::Dispatch(EventId event, FlatParamMap params) {
   }
   if (traced) tracer_.End(decision.allowed, decision.rule, elapsed_ns);
   decision_log_.Push(DecisionRecord{Now(), detector_.name(event), decision});
+  // Whatever this dispatch's cascade mutated is reflected in the fast stamp
+  // by the time the caller (and, through the service, the client) learns
+  // the outcome. Every mutating engine entry point funnels through here.
+  PublishFastPathState();
   return decision;
 }
 
@@ -326,6 +327,24 @@ Decision AuthorizationEngine::DropActiveRole(const UserName& user,
 void AuthorizationEngine::ConfigureDecisionCache(size_t capacity) {
   decision_cache_.Configure(capacity);
   cache_entries_gauge_->Set(0);
+  // Seed the shared view's current stamp so readers arriving before the
+  // first mutation validate against real values, not zero-init.
+  PublishFastPathState();
+}
+
+DecisionCache::Stamp AuthorizationEngine::FastCacheStamp() const {
+  DecisionCache::Stamp stamp;
+  stamp.epoch = static_cast<uint32_t>(cache_epoch_);
+  stamp.pool = static_cast<uint32_t>(rules_.pool_generation());
+  stamp.session = rbac_.db().sessions_generation();
+  stamp.roles = role_state_.roles_generation();
+  return stamp;
+}
+
+void AuthorizationEngine::PublishFastPathState() {
+  if (decision_cache_.shared_enabled()) {
+    decision_cache_.PublishCurrentStamp(FastCacheStamp());
+  }
 }
 
 DecisionCache::Stamp AuthorizationEngine::CacheStamp(Symbol session) const {
@@ -451,7 +470,8 @@ Decision AuthorizationEngine::CheckAccess(const SessionId& session,
       CacheableVerdict(decision) && CacheStamp(session_sym) == stamp) {
     decision_cache_.Fill(key, stamp,
                          DecisionCache::Verdict{
-                             decision.allowed, decision.rule == kCaRuleName});
+                             decision.allowed, decision.rule == kCaRuleName},
+                         FastCacheStamp());
     cache_fills_counter_->Inc();
     cache_entries_gauge_->Set(static_cast<int64_t>(decision_cache_.size()));
   }
@@ -484,6 +504,9 @@ Decision AuthorizationEngine::DisableRole(const RoleName& role) {
 
 void AuthorizationEngine::AdvanceTo(Time t) {
   detector_.AdvanceTo(t, clock_);
+  // Timer-driven firings (periodic enable/disable, duration expiry) mutate
+  // role state without passing through Dispatch.
+  PublishFastPathState();
 }
 
 void AuthorizationEngine::SetContext(const std::string& key,
@@ -496,6 +519,9 @@ void AuthorizationEngine::SetContext(const std::string& key,
       events_.context_changed,
       {{keys_.context_key, Value(symbols_.Intern(key))},
        {keys_.context_value, Value(symbols_.Intern(value))}});
+  // The contextChanged cascade may itself mutate state after the epoch
+  // bump above already published; re-publish at the tail.
+  PublishFastPathState();
 }
 
 const std::string& AuthorizationEngine::ContextValue(

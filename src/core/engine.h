@@ -49,6 +49,12 @@ struct RegenReport {
 /// Fail-safe default: a request no rule decides is denied.
 class AuthorizationEngine {
  public:
+  /// The deciding rule name and denial reason the decision cache (and the
+  /// service's zero-hop fast path) reconstruct Decisions from. The rule
+  /// generator emits the global check-access rule under this name.
+  static constexpr const char* kCaRuleName = "CA.global";
+  static constexpr const char* kDenyReason = "Permission Denied";
+
   /// Parameter keys used on all engine events.
   static constexpr const char* kUser = "user";
   static constexpr const char* kSession = "session";
@@ -252,12 +258,18 @@ class AuthorizationEngine {
   /// span sampling but still count decisions/denials and feed the audit log.
   void ConfigureDecisionCache(size_t capacity);
   const DecisionCache& decision_cache() const { return decision_cache_; }
+  /// Mutable cache access for tests (torn-publish fault injection) and
+  /// service wiring. Must only be used on the engine's owning thread.
+  DecisionCache& decision_cache_for_test() { return decision_cache_; }
 
   /// Advances the stamp epoch, atomically invalidating every cached
   /// verdict. The engine bumps it itself on policy load/update and context
   /// change; the service bumps it on every shard inside each admin
   /// broadcast.
-  void BumpDecisionCacheEpoch() { ++cache_epoch_; }
+  void BumpDecisionCacheEpoch() {
+    ++cache_epoch_;
+    PublishFastPathState();
+  }
   uint64_t decision_cache_epoch() const { return cache_epoch_; }
 
   uint64_t decision_cache_hits() const { return cache_hits_counter_->value(); }
@@ -286,6 +298,16 @@ class AuthorizationEngine {
 
   /// The validity stamp a CheckAccess on `session` depends on, right now.
   DecisionCache::Stamp CacheStamp(Symbol session) const;
+  /// The coarse caller-validatable stamp: epoch, pool generation, and the
+  /// *table-wide* session/role generations (every precise bump also bumps
+  /// its table-wide counter, so a fast-stamp match implies an exact match).
+  DecisionCache::Stamp FastCacheStamp() const;
+  /// Publishes the current fast stamp into the cache's shared view. Called
+  /// at the tail of every mutating public entry point, so the publish is
+  /// complete before that call's result is acknowledged to its caller —
+  /// the zero-hop read path's linearization anchor. A branch when the
+  /// shared view is off.
+  void PublishFastPathState();
   /// Re-derives cache_positive_ok_ / cache_negative_ok_ from the current
   /// rule pool and event graph (called when pool generation or epoch moved).
   void RefreshCacheGates();

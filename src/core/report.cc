@@ -104,8 +104,14 @@ std::string GenerateAdminReport(const AuthorizationEngine& engine,
   os << "event occurrences: " << (occurrences ? occurrences->value : 0)
      << "  rule firings: " << (firings ? firings->value : 0)
      << "  dropped firings: " << (dropped ? dropped->value : 0) << "\n";
-  // Overload series exist only when this engine is a service shard (the
-  // AuthorizationService registers them at construction).
+  // Overload and fast-path series exist only when this engine is a service
+  // shard (the AuthorizationService registers them at construction).
+  const telemetry::CounterSnapshot* fastpath =
+      metrics.FindCounter("decision_cache_fastpath_hits_total");
+  if (fastpath != nullptr && fastpath->value > 0) {
+    os << "zero-hop fast path: " << fastpath->value
+       << " verdicts answered caller-side\n";
+  }
   const telemetry::CounterSnapshot* shed =
       metrics.FindCounter("mailbox_shed_total");
   const telemetry::CounterSnapshot* expired =

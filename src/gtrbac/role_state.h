@@ -64,11 +64,17 @@ class RoleStateTable {
                : 0;
   }
 
+  /// Table-wide transition counter: bumped whenever *any* role's generation
+  /// is. The coarse component of the zero-hop fast stamp — "no role anywhere
+  /// has transitioned" implies "this session's active-role sum is intact".
+  uint32_t roles_generation() const { return roles_generation_; }
+
  private:
   void BumpGeneration(Symbol role) {
     if (!role.valid()) return;
     if (role.id() >= generation_.size()) generation_.resize(role.id() + 1, 0);
     ++generation_[role.id()];
+    ++roles_generation_;
   }
 
   std::set<RoleName> disabled_;
@@ -78,6 +84,7 @@ class RoleStateTable {
   SymbolTable* symbols_;
   std::unordered_set<uint32_t> disabled_sym_;
   std::vector<uint32_t> generation_;  // Indexed by role symbol id.
+  uint32_t roles_generation_ = 0;     // Sum of all per-role bumps.
 };
 
 }  // namespace sentinel

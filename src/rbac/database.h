@@ -122,6 +122,12 @@ class RbacDatabase {
                : 0;
   }
 
+  /// Table-wide session mutation counter: bumped whenever *any* session's
+  /// generation is. The coarse component of the zero-hop fast stamp — a
+  /// caller-side reader cannot recompute a per-session generation, but "no
+  /// session anywhere has changed" implies "this session has not changed".
+  uint32_t sessions_generation() const { return sessions_generation_; }
+
   /// Adds/removes an active role in a session. Validity (assignment,
   /// authorization, DSD) is checked by the enforcement layer, not here —
   /// only existence of the session and role.
@@ -168,6 +174,7 @@ class RbacDatabase {
       session_gen_.resize(session.id() + 1, 0);
     }
     ++session_gen_[session.id()];
+    ++sessions_generation_;
   }
   static uint64_t PackPermission(Symbol op, Symbol obj) {
     return (static_cast<uint64_t>(op.id()) << 32) | obj.id();
@@ -195,6 +202,7 @@ class RbacDatabase {
   std::unordered_map<uint32_t, SessionState> sessions_sym_;
   std::unordered_map<uint32_t, int> active_counts_sym_;
   std::vector<uint32_t> session_gen_;  // Indexed by session symbol id.
+  uint32_t sessions_generation_ = 0;   // Sum of all per-session bumps.
 };
 
 }  // namespace sentinel

@@ -48,11 +48,23 @@ Status AuthorizationService::ValidateConfig(const ServiceConfig& config) {
         "decision_cache_capacity must be 0 or a power of two; got " +
         std::to_string(config.decision_cache_capacity));
   }
+  if (config.mailbox_capacity != 0 &&
+      !DecisionCache::IsPowerOfTwo(config.mailbox_capacity)) {
+    return Status::InvalidArgument(
+        "mailbox_capacity must be 0 or a power of two (the decision lane is "
+        "a slot ring); got " +
+        std::to_string(config.mailbox_capacity));
+  }
   if (config.overload_policy == OverloadPolicy::kShed &&
       config.mailbox_capacity == 0) {
     return Status::InvalidArgument(
         "overload_policy kShed requires mailbox_capacity > 0 — an unbounded "
         "mailbox can never shed");
+  }
+  if (config.decision_cache_fastpath && config.decision_cache_capacity == 0) {
+    return Status::InvalidArgument(
+        "decision_cache_fastpath requires decision_cache_capacity > 0 — "
+        "there is no snapshot to read with the cache off");
   }
   if (config.default_deadline < 0) {
     return Status::InvalidArgument(
@@ -75,13 +87,15 @@ AuthorizationService::AuthorizationService(const ServiceConfig& config)
       default_deadline_(config.default_deadline) {
   int count = config.num_shards;
   size_t cache_capacity = config.decision_cache_capacity;
+  bool fastpath = config.decision_cache_fastpath;
   if (!init_status_.ok()) {
     SENTINEL_LOG(kError) << "AuthorizationService config rejected ("
                         << init_status_.message()
-                        << "); degrading to 1 shard, cache off, no overload "
-                           "protection";
+                        << "); degrading to 1 shard, cache off, fast path "
+                           "off, no overload protection";
     count = 1;
     cache_capacity = 0;
+    fastpath = false;
     shed_on_full_ = false;
     default_deadline_ = 0;
   }
@@ -90,6 +104,11 @@ AuthorizationService::AuthorizationService(const ServiceConfig& config)
     if (count <= 0) count = 1;
   }
   if (synchronous_) count = 1;
+  // Synchronous calls already run inline on the caller's thread; the fast
+  // path would only add a redundant probe in front of the engine's own
+  // cache lookup.
+  fastpath_ = fastpath && cache_capacity > 0 && !synchronous_;
+  latency_sample_every_ = config.latency_sample_every;
   now_.store(config.start_time, std::memory_order_release);
 
   // Service-boundary instruments, registered (like the shards' own) before
@@ -106,6 +125,11 @@ AuthorizationService::AuthorizationService(const ServiceConfig& config)
   batch_size_hist_ = service_metrics_.AddHistogram(
       "batch_size", "requests per CheckAccessBatch call",
       telemetry::Histogram::ExponentialBounds(1, 2.0, 11));
+  // Identical name and bounds to the engines' series: snapshot merging
+  // folds sampled fast-path hits into the same latency distribution.
+  fastpath_latency_hist_ = service_metrics_.AddHistogram(
+      "decision_latency_us", "sampled wall-clock dispatch latency (us)",
+      telemetry::Histogram::ExponentialBounds(1, 2.0, 15));
 
   shards_.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
@@ -132,6 +156,10 @@ AuthorizationService::AuthorizationService(const ServiceConfig& config)
     shard->expired_counter = registry.AddCounter(
         "mailbox_expired_total",
         "decision envelopes answered kOverloaded after deadline expiry");
+    shard->fastpath_counter = registry.AddCounter(
+        "decision_cache_fastpath_hits_total",
+        "CheckAccess verdicts answered caller-side from the published cache "
+        "snapshot (zero mailbox hops)");
     shard->queue_depth_hist = registry.AddHistogram(
         "mailbox_queue_depth", "shard mailbox depth observed at each push",
         telemetry::Histogram::ExponentialBounds(1, 2.0, 12));
@@ -409,7 +437,64 @@ Result<RegenReport> AuthorizationService::ApplyPolicyUpdate(
 
 // ------------------------------------------------------------ Request path
 
+bool AuthorizationService::TryFastPath(const AccessRequest& request,
+                                       AccessDecision* out) {
+  // Purpose stays outside the packed cache key (privacy-qualified requests
+  // always dispatch), so it bypasses here too.
+  if (!request.purpose.empty()) return false;
+  // Clock reads are sampled exactly like the engines' dispatch path; an
+  // unsampled hit never touches the wall clock and reports latency 0.
+  thread_local uint32_t latency_tick = 1;
+  const bool timed =
+      latency_sample_every_ != 0 && --latency_tick == 0;
+  if (timed) latency_tick = latency_sample_every_;
+  const int64_t start_ns = timed ? NowNanos() : 0;
+
+  Shard& home = *shards_[RouteRequest(request)];
+  // Linearization anchor: the epoch is read before the snapshot probe, so
+  // the decision we return is stamped no newer than the state it was
+  // validated against.
+  const uint64_t epoch = home.applied_epoch.load(std::memory_order_acquire);
+  const SymbolTable& symbols = home.engine->symbols();
+  // Find, never Intern: interning is the shard thread's privilege. A name
+  // this shard has not published yet is simply a miss.
+  const Symbol session = symbols.Find(request.session);
+  const Symbol op = symbols.Find(request.operation);
+  const Symbol obj = symbols.Find(request.object);
+  if (!session.valid() || !op.valid() || !obj.valid()) return false;
+  const std::optional<uint64_t> key = DecisionCache::PackKey(session, op, obj);
+  if (!key.has_value()) return false;
+  DecisionCache::Verdict verdict;
+  if (!home.engine->decision_cache().SharedLookup(*key, &verdict)) {
+    return false;
+  }
+  out->allowed = verdict.allowed;
+  if (verdict.allowed) {
+    out->rule = AuthorizationEngine::kCaRuleName;
+  } else {
+    if (verdict.by_rule) out->rule = AuthorizationEngine::kCaRuleName;
+    out->reason = AuthorizationEngine::kDenyReason;
+  }
+  out->shard = home.index;
+  out->epoch = epoch;
+  out->outcome = AccessOutcome::kDecided;
+  home.fastpath_counter->Add();
+  if (timed) {
+    const int64_t latency_us = (NowNanos() - start_ns) / 1000;
+    out->latency = latency_us;
+    fastpath_latency_hist_->RecordShared(latency_us);
+  }
+  return true;
+}
+
 AccessDecision AuthorizationService::CheckAccess(const AccessRequest& request) {
+  if (fastpath_) {
+    AccessDecision fast;
+    if (TryFastPath(request, &fast)) {
+      requests_counter_->Add();
+      return fast;
+    }
+  }
   return RunOnShard(RouteRequest(request),
                     [&request](AuthorizationEngine& engine) {
                       return engine.CheckAccess(request.session,
@@ -440,16 +525,26 @@ std::vector<AccessDecision> AuthorizationService::CheckAccessBatch(
     }
     return out;
   }
+  // Per-item zero-hop probe first: only the misses pay a mailbox hop, and
+  // a batch answered entirely from snapshots involves no shard at all.
+  std::vector<uint32_t> pending;
+  pending.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!fastpath_ || !TryFastPath(requests[i], &out[i])) {
+      pending.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  if (pending.empty()) return out;
   // One envelope per involved shard, carrying that shard's request indices.
   // Deadlines are per item: expiry is judged request by request when the
   // envelope runs, so one slow item never spoils its batch-mates' budget.
   std::vector<int64_t> deadlines(requests.size(), 0);
-  for (size_t i = 0; i < requests.size(); ++i) {
+  for (const uint32_t i : pending) {
     deadlines[i] = DeadlineNanos(EffectiveDeadline(requests[i]), submit_ns);
   }
   std::vector<std::vector<uint32_t>> indices(shards_.size());
-  for (size_t i = 0; i < requests.size(); ++i) {
-    indices[RouteRequest(requests[i])].push_back(static_cast<uint32_t>(i));
+  for (const uint32_t i : pending) {
+    indices[RouteRequest(requests[i])].push_back(i);
   }
   int involved = 0;
   for (const auto& shard_indices : indices) {
@@ -688,10 +783,11 @@ ServiceStats AuthorizationService::Stats() {
       stats.cache_misses += e.decision_cache_misses();
       stats.cache_stale += e.decision_cache_stale();
     });
-    // Overload counters are plain atomics bumped at the producer edge; no
-    // shard-thread quiescing needed to read them exactly.
+    // Overload and fast-path counters are plain atomics bumped at the
+    // producer edge; no shard-thread quiescing needed to read them exactly.
     stats.shed += shards_[shard]->shed_counter->value();
     stats.expired += shards_[shard]->expired_counter->value();
+    stats.fastpath_hits += shards_[shard]->fastpath_counter->value();
   }
   return stats;
 }

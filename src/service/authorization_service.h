@@ -72,11 +72,25 @@ struct ServiceConfig {
   /// open-addressed table) — anything else is rejected by ValidateConfig.
   /// See AuthorizationEngine::ConfigureDecisionCache for semantics.
   size_t decision_cache_capacity = 0;
+  /// Zero-hop read path: purpose-free CheckAccess / CheckAccessBatch items
+  /// first consult the home shard's published cache snapshot from the
+  /// *caller's* thread — a cache hit whose validity stamp matches the
+  /// shard's live published stamp is answered without a mailbox hop or any
+  /// lock. Misses, stale entries, purpose-qualified requests and
+  /// symbol-overflow keys fall back to the mailbox path unchanged. Requires
+  /// decision_cache_capacity > 0 (rejected by ValidateConfig otherwise) and
+  /// is ignored in synchronous mode, where every call is already inline.
+  /// Caveat: fast-path hits are counted in decision_cache_fastpath_hits_total
+  /// and service_requests_total but bypass the shard engine — they do not
+  /// appear in its decisions_total or its decision audit log.
+  bool decision_cache_fastpath = false;
   /// Per-shard mailbox capacity in queued envelopes for decision traffic
   /// (CheckAccess, session/role calls, one batch envelope per involved
   /// shard). 0 (the default) = unbounded, the pre-overload-protection
-  /// behavior. Admin broadcasts and timer commands are exempt — the epoch
-  /// barrier requires every shard to observe every admin envelope.
+  /// behavior. Nonzero values must be a power of two (the decision lane is
+  /// a slot ring) — anything else is rejected by ValidateConfig. Admin
+  /// broadcasts and timer commands are exempt — the epoch barrier requires
+  /// every shard to observe every admin envelope.
   size_t mailbox_capacity = 0;
   /// What a producer does when its shard mailbox is full. Only meaningful
   /// with mailbox_capacity > 0; kShed with capacity 0 is rejected by
@@ -104,6 +118,9 @@ struct ServiceStats {
   /// Decision envelopes answered kOverloaded because their deadline passed
   /// — in queue, or while blocked waiting for mailbox space.
   uint64_t expired = 0;
+  /// CheckAccess verdicts answered on the caller's thread from a shard's
+  /// published cache snapshot — zero mailbox hops, zero locks.
+  uint64_t fastpath_hits = 0;
 };
 
 /// \brief One observability capture of the whole service: every shard
@@ -127,8 +144,17 @@ struct TelemetrySnapshot {
 ///  * **Shard-per-core.** The service owns `num_shards` engines, each with
 ///    its own SimulatedClock, SymbolTable and rule pool, each driven by one
 ///    dedicated shard thread. Engines stay single-threaded internally —
-///    there are no locks anywhere on the decision path, only the short
-///    mailbox critical section at the boundary.
+///    there are no locks anywhere on the decision path: the mailbox
+///    decision lane is a lock-free MPSC ring, and only the low-rate exempt
+///    admin lane takes a mutex.
+///  * **Zero-hop read path (opt-in).** With `decision_cache_fastpath` set,
+///    each shard publishes a seqlock-stamped snapshot of its decision cache
+///    plus its live validity-stamp components; purpose-free CheckAccess
+///    calls probe that snapshot from the caller's thread and return
+///    repeated verdicts without entering the mailbox at all. Any admin
+///    broadcast, session change or role transition moves the published
+///    stamp before the mutation is acknowledged, so a fast hit can never
+///    replay across a change the caller has been told about.
 ///  * **Routing by user.** Every request carrying a user name is delivered
 ///    to `hash(user) % num_shards` (a fixed FNV-1a hash, so placement is
 ///    deterministic across runs and across service instances). Sessions,
@@ -292,6 +318,7 @@ class AuthorizationService {
     /// well as the shard thread — multi-writer, hence Add/RecordShared.
     telemetry::Counter* shed_counter = nullptr;     // Owned by the registry.
     telemetry::Counter* expired_counter = nullptr;  // Owned by the registry.
+    telemetry::Counter* fastpath_counter = nullptr;
     telemetry::Histogram* queue_depth_hist = nullptr;
     telemetry::Histogram* queue_wait_hist = nullptr;
     std::thread thread;
@@ -327,6 +354,15 @@ class AuthorizationService {
   /// The wall budget for `request`: its own deadline, else the configured
   /// default; <= 0 = none.
   Duration EffectiveDeadline(const AccessRequest& request) const;
+
+  /// Zero-hop read path: answers `request` from its home shard's published
+  /// cache snapshot, entirely on the caller's thread. Returns true and
+  /// fills `*out` only on a hit whose stamp matches the shard's live
+  /// published stamp; every other case (fast path off, purpose-qualified,
+  /// unknown symbols, key overflow, miss, stale, torn publish) returns
+  /// false and the caller takes the mailbox path. Does not bump
+  /// service_requests_total — callers do, per their own accounting.
+  bool TryFastPath(const AccessRequest& request, AccessDecision* out);
 
   /// Steady-clock expiry instant in ns for a budget of `deadline_us`
   /// starting at `submit_ns`; 0 = no deadline.
@@ -370,6 +406,10 @@ class AuthorizationService {
   /// Overload knobs, frozen at construction.
   bool shed_on_full_ = false;
   Duration default_deadline_ = 0;
+  /// Zero-hop read path enabled (config flag, cache on, not synchronous).
+  bool fastpath_ = false;
+  /// Fast-path latency sampling interval (mirrors the engines' setting).
+  uint32_t latency_sample_every_ = 32;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   /// Service-boundary metrics (request/batch/broadcast counts), bumped from
@@ -381,6 +421,10 @@ class AuthorizationService {
   telemetry::Counter* broadcasts_counter_ = nullptr;
   telemetry::Gauge* sessions_gauge_ = nullptr;
   telemetry::Histogram* batch_size_hist_ = nullptr;
+  /// Sampled fast-path hit latency. Same name and bounds as the engines'
+  /// decision_latency_us, so snapshots merge hits and dispatches into one
+  /// series — a cache-heavy workload's p50 must reflect the hits.
+  telemetry::Histogram* fastpath_latency_hist_ = nullptr;
 
   /// Serializes admin broadcasts so epochs hit every mailbox in one order.
   std::mutex admin_mu_;

@@ -1,40 +1,69 @@
 #ifndef SENTINELPP_SERVICE_MAILBOX_H_
 #define SENTINELPP_SERVICE_MAILBOX_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 namespace sentinel {
 
-/// \brief Multi-producer single-consumer mailbox for one shard thread.
+/// \brief Multi-producer single-consumer mailbox for one shard thread, in
+/// two independent lanes.
 ///
-/// Producers (request submitters, the admin broadcaster, the timer thread)
-/// push envelopes under a short critical section; the owning shard thread
-/// drains the whole queue in one swap per wakeup, so per-item consumer cost
-/// is amortized to almost nothing. FIFO order is total per mailbox — that
-/// ordering is what makes the service's epoch barrier sound: any envelope
-/// pushed after an admin broadcast returns is behind the admin envelope on
-/// every shard.
-///
-/// Overload protection happens at the producer edge, in two lanes:
-///
+///  * `PushBounded` is the **decision lane**: a fixed-size MPSC ring with an
+///    explicit admission counter. The happy path is lock-free — a CAS to
+///    admit, a fetch_add to claim a slot, a release store to publish — so
+///    decision producers never serialize on a mutex against each other or
+///    against admin traffic. When a capacity is configured and the ring is
+///    at it, the producer either fails fast (`kFull`, the shed policy) or
+///    parks for space — optionally up to a deadline (`kExpired`).
 ///  * `Push` is the **exempt lane** — admin broadcasts, timer fan-outs and
-///    inspections. It never sheds and never waits for space, because every
-///    shard must observe every admin envelope for the epoch barrier to
-///    mean anything. Exempt traffic is low-rate by construction.
-///  * `PushBounded` is the **decision lane**. When a capacity is configured
-///    and the queue is at it, the producer either fails fast (`kFull`, the
-///    shed policy) or waits for the consumer to drain — optionally up to a
-///    deadline (`kExpired`). A blocked producer wakes as soon as PopAll
-///    swaps the backlog out, and immediately on Close.
+///    inspections. It stays a mutex-protected deque: it never sheds and
+///    never waits for space, because every shard must observe every admin
+///    envelope for the epoch barrier to mean anything, and its condvar
+///    handshake is what the service's latch-based barrier was proved
+///    against. Exempt traffic is low-rate by construction.
+///
+/// The two lanes are drained together by `PopAll` (exempt backlog first,
+/// then every published ring slot). Order is FIFO *within* each lane; the
+/// lanes are not ordered against each other. That is sufficient for the
+/// service: the epoch barrier is enforced by the broadcast latch (producers
+/// wait for all shards to apply before returning), not by queue position,
+/// and each decision producer has at most one envelope in flight.
+///
+/// Admission accounting is exact, not approximate: `depth()` and
+/// `peak_depth()` report real enqueued counts, and a bounded lane never
+/// overshoots its capacity even transiently — the overload tests pin this.
+///
+/// Memory ordering contract (the proof sketch the orderings hang off):
+///  * Admission CAS on `ring_size_`, the producer's post-admit re-check of
+///    `closed_`, Close's store, and the consumer's exit-time load of
+///    `ring_size_` are all seq_cst: in the single total order either the
+///    producer sees the close (rolls back its admission), or the consumer
+///    sees the admission (waits for the slot to publish). An envelope can
+///    therefore never be admitted and silently dropped at shutdown.
+///  * A slot publish is `seq.store(pos + 1, release)`; the consumer reads it
+///    with acquire, so the item write happens-before the consume. Sequence
+///    values are the monotonic position + 1, never reset — no ABA across
+///    ring wraps.
+///  * The consumer decrements `ring_size_` (acq_rel) only *after* moving
+///    items out; the next producer's admission CAS reads that value through
+///    the RMW chain, so the consumer's read of a slot happens-before any
+///    producer's reuse of it. No per-slot reset writes, no data race.
+///  * Sleep/wake uses a Dekker handshake: the consumer sets
+///    `consumer_waiting_`, fences seq_cst, then re-checks the ring before
+///    sleeping; the producer publishes, fences seq_cst, then checks the
+///    flag and notifies under the mutex. One side always sees the other.
 ///
 /// Close() initiates shutdown: further pushes are refused (both lanes, and
-/// blocked producers wake with `kClosed`), but everything already queued is
+/// parked producers wake with `kClosed`), but everything already queued is
 /// still handed to the consumer — mailboxes drain, they don't drop.
 template <typename T>
 class Mailbox {
@@ -47,31 +76,36 @@ class Mailbox {
     kExpired,  ///< Blocked for space until the deadline passed; item shed.
   };
 
-  Mailbox() = default;
+  Mailbox() { AllocateRing(kDefaultRingSlots); }
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
-  /// Caps the decision lane at `capacity` queued envelopes (0 = unbounded,
-  /// the default). Exempt-lane pushes ignore the cap but still count
-  /// against it, so admin bursts delay rather than starve decision
-  /// producers. Set during construction wiring, before producers exist.
+  /// Caps the decision lane at `capacity` admitted envelopes (0 = unbounded,
+  /// the default). Resizes the physical ring, so it must be called during
+  /// construction wiring, before any producer or the consumer exists. The
+  /// service validates capacities to powers of two; any other value is
+  /// rounded up for the slot array while admission stays exact.
   void set_capacity(size_t capacity) {
     std::lock_guard<std::mutex> lock(mu_);
-    capacity_ = capacity;
+    capacity_.store(capacity, std::memory_order_relaxed);
+    size_t slots = kDefaultRingSlots;
+    if (capacity > 0) {
+      slots = 1;
+      while (slots < capacity) slots <<= 1;
+    }
+    AllocateRing(slots);
   }
 
-  size_t capacity() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return capacity_;
-  }
+  size_t capacity() const { return capacity_.load(std::memory_order_relaxed); }
 
   /// Exempt-lane enqueue; returns false (item dropped) only when closed.
   bool Push(T item) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (closed_) return false;
-      queue_.push_back(std::move(item));
-      if (queue_.size() > peak_depth_) peak_depth_ = queue_.size();
+      if (closed_.load(std::memory_order_relaxed)) return false;
+      exempt_.push_back(std::move(item));
+      exempt_size_.store(exempt_.size(), std::memory_order_relaxed);
+      UpdatePeak(ring_size_.load(std::memory_order_relaxed) + exempt_.size());
     }
     cv_.notify_one();
     return true;
@@ -87,30 +121,34 @@ class Mailbox {
   /// producer-side congestion signal.
   PushResult PushBounded(T item, bool block, int64_t deadline_ns,
                          size_t* depth_after = nullptr) {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (closed_) return PushResult::kClosed;
-      if (capacity_ > 0 && queue_.size() >= capacity_) {
-        if (!block) return PushResult::kFull;
-        const auto has_space = [this] {
-          return closed_ || queue_.size() < capacity_;
-        };
-        if (deadline_ns > 0) {
-          const std::chrono::steady_clock::time_point deadline{
-              std::chrono::nanoseconds(deadline_ns)};
-          if (!space_cv_.wait_until(lock, deadline, has_space)) {
-            return PushResult::kExpired;
-          }
-        } else {
-          space_cv_.wait(lock, has_space);
-        }
-        if (closed_) return PushResult::kClosed;
+    if (closed_.load(std::memory_order_acquire)) return PushResult::kClosed;
+    const size_t cap = capacity_.load(std::memory_order_relaxed);
+    const size_t bound = cap > 0 ? cap : slot_count_;
+    size_t ring_after = 0;
+    if (TryAdmit(bound, &ring_after)) {
+      // Admitted lock-free: re-check closed (seq_cst, pairs with Close and
+      // the consumer's exit check) so shutdown can't leak this admission.
+      if (closed_.load(std::memory_order_seq_cst)) {
+        ring_size_.fetch_sub(1, std::memory_order_acq_rel);
+        return PushResult::kClosed;
       }
-      queue_.push_back(std::move(item));
-      if (queue_.size() > peak_depth_) peak_depth_ = queue_.size();
-      if (depth_after != nullptr) *depth_after = queue_.size();
+    } else if (cap == 0) {
+      // Unbounded lane, physical ring full: spill into the exempt deque
+      // rather than refuse. (Spilled items may drain ahead of ring items;
+      // the service never has more than one envelope per producer in
+      // flight, so no caller can observe its own reordering.)
+      return SpillUnbounded(std::move(item), depth_after);
+    } else {
+      if (!block) return PushResult::kFull;
+      const PushResult parked = ParkForSpace(bound, deadline_ns, &ring_after);
+      if (parked != PushResult::kOk) return parked;
     }
-    cv_.notify_one();
+    Publish(std::move(item));
+    const size_t after =
+        ring_after + exempt_size_.load(std::memory_order_relaxed);
+    UpdatePeak(after);
+    if (depth_after != nullptr) *depth_after = after;
+    WakeConsumer();
     return PushResult::kOk;
   }
 
@@ -118,27 +156,61 @@ class Mailbox {
   /// the entire backlog into `*out` (previous contents replaced). Returns
   /// false only when closed AND fully drained — the consumer's exit signal.
   bool PopAll(std::deque<T>* out) {
-    bool notify_producers = false;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
-      if (queue_.empty()) return false;
-      out->clear();
-      queue_.swap(*out);
-      // The whole backlog left at once: every producer blocked on capacity
-      // can now be admitted.
-      notify_producers = capacity_ > 0;
+    out->clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      bool got = false;
+      if (!exempt_.empty()) {
+        while (!exempt_.empty()) {
+          out->push_back(std::move(exempt_.front()));
+          exempt_.pop_front();
+        }
+        exempt_size_.store(0, std::memory_order_relaxed);
+        got = true;
+      }
+      size_t moved = 0;
+      for (;;) {
+        Cell& cell = cells_[head_ & mask_];
+        if (cell.seq.load(std::memory_order_acquire) != head_ + 1) break;
+        out->push_back(std::move(cell.item));
+        ++head_;
+        ++moved;
+      }
+      if (moved > 0) {
+        // After the moves: the RMW chain on ring_size_ hands the freed
+        // slots to the next admitted producers.
+        ring_size_.fetch_sub(moved, std::memory_order_acq_rel);
+        if (space_waiters_ > 0) space_cv_.notify_all();
+        got = true;
+      }
+      if (got) return true;
+      if (closed_.load(std::memory_order_relaxed)) {
+        if (ring_size_.load(std::memory_order_seq_cst) == 0) return false;
+        // A producer admitted but hasn't published yet (or is about to
+        // roll back against the close): give it the CPU and re-check.
+        lock.unlock();
+        std::this_thread::yield();
+        lock.lock();
+        continue;
+      }
+      consumer_waiting_.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (cells_[head_ & mask_].seq.load(std::memory_order_acquire) ==
+          head_ + 1) {
+        consumer_waiting_.store(false, std::memory_order_relaxed);
+        continue;  // Publish raced our flag; don't sleep.
+      }
+      cv_.wait(lock);
+      consumer_waiting_.store(false, std::memory_order_relaxed);
     }
-    if (notify_producers) space_cv_.notify_all();
-    return true;
   }
 
-  /// Refuses new pushes and wakes producers blocked on capacity; queued
+  /// Refuses new pushes and wakes producers parked on capacity; queued
   /// items remain poppable.
   void Close() {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      closed_ = true;
+      closed_.store(true, std::memory_order_seq_cst);
     }
     cv_.notify_all();
     space_cv_.notify_all();
@@ -146,25 +218,147 @@ class Mailbox {
 
   /// Current queued-envelope count (both lanes).
   size_t depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return queue_.size();
+    return ring_size_.load(std::memory_order_relaxed) +
+           exempt_size_.load(std::memory_order_relaxed);
   }
 
   /// High-water mark of the queued-envelope count since construction.
-  /// Bounded-lane admissions keep it <= capacity + in-flight exempt pushes.
+  /// Bounded-lane admission is exact: the ring contribution never exceeds
+  /// the capacity, even transiently.
   size_t peak_depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return peak_depth_;
+    return peak_depth_.load(std::memory_order_relaxed);
   }
 
  private:
+  /// Physical ring slots in unbounded mode (capacity 0): deep enough that
+  /// spilling is rare, small enough to stay cache-resident per shard.
+  static constexpr size_t kDefaultRingSlots = 2048;
+
+  struct Cell {
+    std::atomic<uint64_t> seq{0};
+    T item;
+  };
+
+  void AllocateRing(size_t slots) {
+    cells_ = std::make_unique<Cell[]>(slots);
+    slot_count_ = slots;
+    mask_ = slots - 1;
+  }
+
+  /// Claims one admission against `bound` (CAS on the exact counter). On
+  /// success `*ring_after` is the admitted ring depth including this item.
+  bool TryAdmit(size_t bound, size_t* ring_after) {
+    size_t cur = ring_size_.load(std::memory_order_relaxed);
+    while (cur < bound) {
+      if (ring_size_.compare_exchange_weak(cur, cur + 1,
+                                           std::memory_order_seq_cst,
+                                           std::memory_order_relaxed)) {
+        *ring_after = cur + 1;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Writes the item into its claimed slot and publishes it.
+  void Publish(T item) {
+    const uint64_t pos = tail_.fetch_add(1, std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    cell.item = std::move(item);
+    cell.seq.store(pos + 1, std::memory_order_release);
+  }
+
+  /// Dekker wakeup: publish is visible (release above), fence, then the
+  /// flag read. Notifying under the mutex closes the check-then-sleep gap.
+  void WakeConsumer() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (consumer_waiting_.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_one();
+    }
+  }
+
+  /// Unbounded overflow: enqueue on the exempt deque under the mutex.
+  PushResult SpillUnbounded(T item, size_t* depth_after) {
+    size_t after = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_.load(std::memory_order_relaxed)) return PushResult::kClosed;
+      exempt_.push_back(std::move(item));
+      exempt_size_.store(exempt_.size(), std::memory_order_relaxed);
+      after = ring_size_.load(std::memory_order_relaxed) + exempt_.size();
+      UpdatePeak(after);
+    }
+    if (depth_after != nullptr) *depth_after = after;
+    cv_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Blocked-producer path: parks on the space condvar, re-trying admission
+  /// on every wake. Close wakes everyone; the consumer notifies per drained
+  /// batch while anyone is registered.
+  PushResult ParkForSpace(size_t bound, int64_t deadline_ns,
+                          size_t* ring_after) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++space_waiters_;
+    PushResult result = PushResult::kOk;
+    bool admitted = false;
+    for (;;) {
+      if (closed_.load(std::memory_order_relaxed)) {
+        result = PushResult::kClosed;
+        break;
+      }
+      if (TryAdmit(bound, ring_after)) {
+        admitted = true;
+        break;
+      }
+      if (deadline_ns > 0) {
+        const std::chrono::steady_clock::time_point deadline{
+            std::chrono::nanoseconds(deadline_ns)};
+        if (space_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+          if (closed_.load(std::memory_order_relaxed)) {
+            result = PushResult::kClosed;
+          } else if (TryAdmit(bound, ring_after)) {
+            admitted = true;  // Space appeared exactly at the deadline.
+          } else {
+            result = PushResult::kExpired;
+          }
+          break;
+        }
+      } else {
+        space_cv_.wait(lock);
+      }
+    }
+    --space_waiters_;
+    return admitted ? PushResult::kOk : result;
+  }
+
+  void UpdatePeak(size_t depth) {
+    size_t seen = peak_depth_.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !peak_depth_.compare_exchange_weak(seen, depth,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;        // Consumer wakeups.
-  std::condition_variable space_cv_;  // Blocked bounded producers.
-  std::deque<T> queue_;
-  size_t capacity_ = 0;
-  size_t peak_depth_ = 0;
-  bool closed_ = false;
+  std::condition_variable space_cv_;  // Parked bounded producers.
+  std::deque<T> exempt_;              // Exempt lane + unbounded spill.
+
+  std::unique_ptr<Cell[]> cells_;  // Decision-lane ring.
+  size_t slot_count_ = 0;
+  size_t mask_ = 0;
+  uint64_t head_ = 0;  // Consumer-only; next ring position to read.
+
+  std::atomic<size_t> capacity_{0};
+  std::atomic<size_t> ring_size_{0};  // Exact admitted-not-consumed count.
+  std::atomic<uint64_t> tail_{0};     // Next ring position to claim.
+  std::atomic<size_t> exempt_size_{0};
+  std::atomic<size_t> peak_depth_{0};
+  std::atomic<bool> consumer_waiting_{false};
+  std::atomic<bool> closed_{false};
+  int space_waiters_ = 0;  // Guarded by mu_.
 };
 
 }  // namespace sentinel

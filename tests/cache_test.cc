@@ -317,6 +317,100 @@ TEST(DecisionCacheUnitTest, EvictionKeepsTableBounded) {
   EXPECT_LE(cache.size(), 8u);
 }
 
+// ------------------------------------- Shared mirror (zero-hop) unit
+
+TEST(DecisionCacheSharedViewTest, SharedLookupMirrorsFillsUnderTheFastStamp) {
+  DecisionCache cache;
+  cache.Configure(64);
+  const uint64_t key = *DecisionCache::PackKey(Symbol(7), Symbol(8), Symbol(9));
+  const DecisionCache::Stamp exact{1, 2, 3, 4};
+  const DecisionCache::Stamp fast{1, 2, 10, 20};
+
+  DecisionCache::Verdict verdict{};
+  EXPECT_FALSE(cache.SharedLookup(key, &verdict));  // Empty mirror.
+
+  cache.PublishCurrentStamp(fast);
+  cache.Fill(key, exact, {true, true}, fast);
+  ASSERT_TRUE(cache.SharedLookup(key, &verdict));
+  EXPECT_TRUE(verdict.allowed);
+  EXPECT_TRUE(verdict.by_rule);
+
+  // A different key in the same table misses without a false positive.
+  const uint64_t other =
+      *DecisionCache::PackKey(Symbol(1), Symbol(2), Symbol(3));
+  EXPECT_FALSE(cache.SharedLookup(other, &verdict));
+}
+
+TEST(DecisionCacheSharedViewTest, MovedCurrentStampKillsSharedHits) {
+  DecisionCache cache;
+  cache.Configure(64);
+  const uint64_t key = *DecisionCache::PackKey(Symbol(7), Symbol(8), Symbol(9));
+  DecisionCache::Stamp fast{1, 1, 1, 1};
+  cache.PublishCurrentStamp(fast);
+  cache.Fill(key, fast, {false, false}, fast);
+
+  DecisionCache::Verdict verdict{};
+  ASSERT_TRUE(cache.SharedLookup(key, &verdict));
+  EXPECT_FALSE(verdict.allowed);
+  EXPECT_FALSE(verdict.by_rule);
+
+  // Any component of the published stamp moving makes every mirrored entry
+  // filled under the old stamp unreadable — low word and high word alike.
+  DecisionCache::Stamp moved = fast;
+  moved.pool += 1;  // Low word.
+  cache.PublishCurrentStamp(moved);
+  EXPECT_FALSE(cache.SharedLookup(key, &verdict));
+  moved = fast;
+  moved.roles += 1;  // High word.
+  cache.PublishCurrentStamp(moved);
+  EXPECT_FALSE(cache.SharedLookup(key, &verdict));
+
+  // Republishing the fill-time stamp revives the entry: staleness is a
+  // property of the comparison, not the slot.
+  cache.PublishCurrentStamp(fast);
+  EXPECT_TRUE(cache.SharedLookup(key, &verdict));
+}
+
+TEST(DecisionCacheSharedViewTest, TornPublishMakesTheSlotUnreadable) {
+  DecisionCache cache;
+  cache.Configure(64);
+  const uint64_t key = *DecisionCache::PackKey(Symbol(7), Symbol(8), Symbol(9));
+  const DecisionCache::Stamp fast{1, 1, 1, 1};
+  cache.PublishCurrentStamp(fast);
+  cache.Fill(key, fast, {true, true}, fast);
+
+  DecisionCache::Verdict verdict{};
+  ASSERT_TRUE(cache.SharedLookup(key, &verdict));
+  cache.BeginTornPublishForTest(key);  // Sequence left odd.
+  EXPECT_FALSE(cache.SharedLookup(key, &verdict));
+  cache.EndTornPublishForTest(key);
+  EXPECT_TRUE(cache.SharedLookup(key, &verdict));
+}
+
+TEST(DecisionCacheSharedViewTest, ClearWipesTheMirrorToo) {
+  DecisionCache cache;
+  cache.Configure(64);
+  const uint64_t key = *DecisionCache::PackKey(Symbol(7), Symbol(8), Symbol(9));
+  const DecisionCache::Stamp fast{1, 1, 1, 1};
+  cache.PublishCurrentStamp(fast);
+  cache.Fill(key, fast, {true, true}, fast);
+
+  DecisionCache::Verdict verdict{};
+  ASSERT_TRUE(cache.SharedLookup(key, &verdict));
+  cache.Clear();
+  EXPECT_FALSE(cache.SharedLookup(key, &verdict));
+}
+
+TEST(DecisionCacheSharedViewTest, DisabledCacheHasNoSharedView) {
+  DecisionCache cache;  // Never configured.
+  EXPECT_FALSE(cache.shared_enabled());
+  DecisionCache::Verdict verdict{};
+  EXPECT_FALSE(cache.SharedLookup(42, &verdict));
+  cache.PublishCurrentStamp({1, 1, 1, 1});  // Must not crash.
+  cache.BeginTornPublishForTest(42);
+  cache.EndTornPublishForTest(42);
+}
+
 // -------------------------------------- Satellite 6: config validation
 
 TEST(ServiceConfigValidationTest, RejectsZeroShards) {

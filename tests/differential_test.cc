@@ -412,11 +412,10 @@ PolicyGenParams CachedHarnessPolicyParams(uint64_t seed) {
 /// Every kCheckAccess is issued twice against the service: the replay
 /// must match both the first verdict and the oracle, which drives the
 /// hit path hard while the interleaved mutations exercise staleness.
-TEST(CachedServiceDifferentialTest, TenThousandOpsZeroDivergences) {
-  const uint64_t seed = g_harness_seed;
-  std::cerr << "[harness] cached-service differential seed: --seed=" << seed
-            << "\n";
-
+/// With `fastpath` the replays are answered caller-side from the shards'
+/// published cache snapshots — the zero-hop read path must be invisible
+/// to this oracle.
+void RunCachedServiceHarness(uint64_t seed, bool fastpath) {
   const Policy policy = GeneratePolicy(CachedHarnessPolicyParams(seed));
   ASSERT_TRUE(policy.Validate().ok());
 
@@ -449,6 +448,7 @@ TEST(CachedServiceDifferentialTest, TenThousandOpsZeroDivergences) {
   config.num_shards = 3;
   config.start_time = testutil::Noon();
   config.decision_cache_capacity = 4096;
+  config.decision_cache_fastpath = fastpath;
   auto service_or = AuthorizationService::Create(config);
   ASSERT_TRUE(service_or.ok());
   AuthorizationService& service = **service_or;
@@ -503,8 +503,27 @@ TEST(CachedServiceDifferentialTest, TenThousandOpsZeroDivergences) {
   }
 
   ServiceStats stats = service.Stats();
-  EXPECT_GT(stats.cache_hits, 0u) << "--seed=" << seed;
   EXPECT_GT(stats.cache_misses, 0u) << "--seed=" << seed;
+  if (fastpath) {
+    EXPECT_GT(stats.fastpath_hits, 0u) << "--seed=" << seed;
+  } else {
+    EXPECT_GT(stats.cache_hits, 0u) << "--seed=" << seed;
+  }
+}
+
+TEST(CachedServiceDifferentialTest, TenThousandOpsZeroDivergences) {
+  std::cerr << "[harness] cached-service differential seed: --seed="
+            << g_harness_seed << "\n";
+  RunCachedServiceHarness(g_harness_seed, /*fastpath=*/false);
+}
+
+/// The same 12k-op lockstep with the zero-hop read path on: caller-side
+/// snapshot replays must never diverge from the oracle, across admin
+/// broadcasts, policy edits, session churn and shift boundaries.
+TEST(CachedServiceDifferentialTest, FastPathTenThousandOpsZeroDivergences) {
+  std::cerr << "[harness] fast-path differential seed: --seed="
+            << g_harness_seed << "\n";
+  RunCachedServiceHarness(g_harness_seed, /*fastpath=*/true);
 }
 
 /// Same lockstep over the synchronous single-shard mode, where the cache

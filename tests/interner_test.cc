@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/value.h"
@@ -69,6 +71,56 @@ TEST(SymbolTableTest, EmptyStringIsAValidDistinctSymbol) {
   EXPECT_TRUE(empty.valid());
   EXPECT_EQ(t.NameOf(empty), "");
   EXPECT_EQ(t.Intern(""), empty);
+}
+
+/// Zero-hop contract: Find and NameOf run from caller threads while the
+/// single shard-thread writer interns new names and grows the index.
+/// Readers must only ever see fully-published symbols — a name that was
+/// interned before the reader started can never go missing, and any Symbol
+/// Find returns must round-trip through NameOf.
+TEST(SymbolTableTest, ConcurrentFindsStayCoherentDuringInterning) {
+  SymbolTable t;
+  constexpr int kSeeded = 256;
+  constexpr int kExtra = 4096;  // Forces index growth mid-flight.
+  for (int i = 0; i < kSeeded; ++i) {
+    t.Intern("seed" + std::to_string(i));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> violations{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&t, &stop, &violations] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string seeded = "seed" + std::to_string(i % kSeeded);
+        const Symbol s = t.Find(seeded);
+        if (!s.valid() || t.NameOf(s) != seeded) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        // In-flight names: absent or fully published, never half-built.
+        const std::string racing = "extra" + std::to_string(i % kExtra);
+        const Symbol e = t.Find(racing);
+        if (e.valid() && t.NameOf(e) != racing) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++i;
+      }
+    });
+  }
+
+  for (int i = 0; i < kExtra; ++i) {
+    t.Intern("extra" + std::to_string(i));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(t.size(), static_cast<size_t>(kSeeded + kExtra));
+  for (int i = 0; i < kExtra; ++i) {
+    const std::string name = "extra" + std::to_string(i);
+    EXPECT_EQ(t.NameOf(t.Find(name)), name);
+  }
 }
 
 // ----------------------------------------------------------- FlatParamMap
