@@ -1,0 +1,270 @@
+// sentinelpp-load — load generator for sentinelpp-serve.
+//
+//   sentinelpp-load --port=PORT [--host=127.0.0.1] [--mode=closed|open]
+//                   [--connections=4] [--requests=1000] [--batch=1]
+//                   [--rate=0] [--users=16] [--deadline-us=0]
+//
+// Closed loop: each connection keeps exactly `batch` requests in flight
+// (Check for batch=1, pipelined CheckBatch otherwise) until it has issued
+// `requests` of them; latency is the full wire round-trip. Open loop: each
+// connection *schedules* sends at `rate` requests/second split across
+// connections and never waits for a response before the next send — a
+// reader thread drains verdicts concurrently, so queueing delay shows up
+// in the measured latency instead of throttling the offered load (this is
+// the arm that makes shed-vs-block visible end to end).
+//
+// Prints one summary line ending in `protocol_errors=N`; the exit code is
+// nonzero iff a transport/protocol failure occurred, so scripts can assert
+// a clean run.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "workload/policy_gen.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t IntFlag(const char* arg, const char* name, int64_t* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return 0;
+  *out = std::strtoll(arg + len + 1, nullptr, 10);
+  return 1;
+}
+
+int64_t Percentile(std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t index = std::min(
+      sorted.size() - 1, static_cast<size_t>(p * (sorted.size() - 1)));
+  return sorted[index];
+}
+
+struct WorkerResult {
+  std::vector<int64_t> latencies_us;
+  uint64_t decided = 0;
+  uint64_t overloaded = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t transport_errors = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t port = 0, connections = 4, requests = 1'000, batch = 1;
+  int64_t rate = 0, users = 16, deadline_us = 0;
+  std::string host = "127.0.0.1";
+  std::string mode = "closed";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (IntFlag(arg, "--port", &port) ||
+        IntFlag(arg, "--connections", &connections) ||
+        IntFlag(arg, "--requests", &requests) ||
+        IntFlag(arg, "--batch", &batch) || IntFlag(arg, "--rate", &rate) ||
+        IntFlag(arg, "--users", &users) ||
+        IntFlag(arg, "--deadline-us", &deadline_us)) {
+      continue;
+    }
+    if (std::strncmp(arg, "--host=", 7) == 0) {
+      host = arg + 7;
+      continue;
+    }
+    if (std::strncmp(arg, "--mode=", 7) == 0) {
+      mode = arg + 7;
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag: %s\n", arg);
+    return 2;
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "--port is required\n");
+    return 2;
+  }
+  if (mode == "open" && rate <= 0) {
+    std::fprintf(stderr, "--mode=open requires --rate\n");
+    return 2;
+  }
+  batch = std::max<int64_t>(1, batch);
+
+  auto request_for = [&](int64_t i) {
+    const int u = static_cast<int>(i % users);
+    sentinel::AccessRequest request{sentinel::SyntheticUserName(u),
+                                    "sess" + std::to_string(u), "read",
+                                    "ledger", ""};
+    request.deadline = deadline_us;
+    return request;
+  };
+
+  std::vector<WorkerResult> results(static_cast<size_t>(connections));
+  std::vector<std::thread> workers;
+  const int64_t start_us = NowUs();
+
+  for (int64_t c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      WorkerResult& result = results[static_cast<size_t>(c)];
+      auto connected = sentinel::net::WireClient::Connect(
+          host, static_cast<uint16_t>(port));
+      if (!connected.ok()) {
+        ++result.transport_errors;
+        return;
+      }
+      std::unique_ptr<sentinel::net::WireClient> client =
+          std::move(connected).value();
+
+      if (mode == "closed") {
+        std::vector<sentinel::AccessRequest> window;
+        for (int64_t sent = 0; sent < requests;) {
+          window.clear();
+          for (int64_t b = 0; b < batch && sent + b < requests; ++b) {
+            window.push_back(request_for(sent + b));
+          }
+          const int64_t before = NowUs();
+          auto decisions = client->CheckBatch(window);
+          const int64_t rtt = NowUs() - before;
+          if (!decisions.ok()) {
+            ++result.transport_errors;
+            break;
+          }
+          for (const sentinel::AccessDecision& decision :
+               decisions.value()) {
+            result.latencies_us.push_back(
+                rtt / static_cast<int64_t>(window.size()));
+            if (decision.outcome == sentinel::AccessOutcome::kDecided) {
+              ++result.decided;
+            } else {
+              ++result.overloaded;
+            }
+          }
+          sent += static_cast<int64_t>(window.size());
+        }
+      } else {
+        // Open loop: the sender paces raw encoded frames onto the socket;
+        // the reader drains verdicts concurrently. The send timestamp
+        // array is indexed by request_id and handed across threads with
+        // release/acquire atomics.
+        const size_t total = static_cast<size_t>(requests);
+        std::vector<std::atomic<int64_t>> send_us(total);
+        std::atomic<uint64_t> sent_count{0};
+        std::atomic<bool> sender_failed{false};
+        const double interval_us =
+            1e6 * static_cast<double>(connections) / static_cast<double>(rate);
+
+        std::thread reader([&] {
+          size_t received = 0;
+          while (received < total && !client->eof()) {
+            auto frame = client->ReadRawFrame();
+            if (!frame.ok()) {
+              if (sender_failed.load(std::memory_order_acquire)) break;
+              // Timeout while the sender is still pacing: keep reading.
+              if (received + client->protocol_errors() <
+                  sent_count.load(std::memory_order_acquire)) {
+                ++result.transport_errors;
+                break;
+              }
+              continue;
+            }
+            sentinel::wire::ProtocolError perror;
+            if (frame.value().type == sentinel::wire::MsgType::kDecision) {
+              sentinel::wire::DecisionMsg msg;
+              if (!sentinel::wire::DecodeDecision(frame.value(), &msg,
+                                                  &perror)) {
+                ++result.transport_errors;
+                break;
+              }
+              const size_t index = static_cast<size_t>(msg.request_id - 1);
+              if (index < total) {
+                result.latencies_us.push_back(
+                    NowUs() -
+                    send_us[index].load(std::memory_order_acquire));
+              }
+              if (msg.decision.outcome ==
+                  sentinel::AccessOutcome::kDecided) {
+                ++result.decided;
+              } else {
+                ++result.overloaded;
+              }
+              ++received;
+            } else if (frame.value().type ==
+                       sentinel::wire::MsgType::kError) {
+              ++result.protocol_errors;
+              ++received;
+            }
+          }
+        });
+
+        std::string encoded;
+        const int64_t t0 = NowUs();
+        for (size_t i = 0; i < total; ++i) {
+          const int64_t due =
+              t0 + static_cast<int64_t>(interval_us * static_cast<double>(i));
+          int64_t now = NowUs();
+          if (due > now) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(due - now));
+          }
+          encoded.clear();
+          const sentinel::Status enc = sentinel::wire::EncodeCheckRequest(
+              static_cast<uint64_t>(i + 1), request_for(static_cast<int64_t>(i)),
+              &encoded);
+          send_us[i].store(NowUs(), std::memory_order_release);
+          sentinel::Status sent_status =
+              enc.ok() ? client->SendRaw(encoded) : enc;
+          if (!sent_status.ok()) {
+            ++result.transport_errors;
+            sender_failed.store(true, std::memory_order_release);
+            break;
+          }
+          sent_count.fetch_add(1, std::memory_order_release);
+        }
+        reader.join();
+      }
+      result.protocol_errors += client->protocol_errors();
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const int64_t elapsed_us = std::max<int64_t>(1, NowUs() - start_us);
+
+  WorkerResult total;
+  for (WorkerResult& result : results) {
+    total.decided += result.decided;
+    total.overloaded += result.overloaded;
+    total.protocol_errors += result.protocol_errors;
+    total.transport_errors += result.transport_errors;
+    total.latencies_us.insert(total.latencies_us.end(),
+                              result.latencies_us.begin(),
+                              result.latencies_us.end());
+  }
+  std::sort(total.latencies_us.begin(), total.latencies_us.end());
+  const uint64_t answered = total.decided + total.overloaded;
+  std::printf(
+      "mode=%s connections=%lld answered=%llu decided=%llu overloaded=%llu "
+      "throughput_rps=%.0f p50_us=%lld p99_us=%lld transport_errors=%llu "
+      "protocol_errors=%llu\n",
+      mode.c_str(), static_cast<long long>(connections),
+      static_cast<unsigned long long>(answered),
+      static_cast<unsigned long long>(total.decided),
+      static_cast<unsigned long long>(total.overloaded),
+      1e6 * static_cast<double>(answered) /
+          static_cast<double>(elapsed_us),
+      static_cast<long long>(Percentile(total.latencies_us, 0.50)),
+      static_cast<long long>(Percentile(total.latencies_us, 0.99)),
+      static_cast<unsigned long long>(total.transport_errors),
+      static_cast<unsigned long long>(total.protocol_errors));
+  std::fflush(stdout);
+  return (total.transport_errors > 0 || total.protocol_errors > 0) ? 1 : 0;
+}

@@ -1,0 +1,140 @@
+// sentinelpp-serve — the network front door as a runnable binary.
+//
+// Stands up an AuthorizationService over a synthetic flat policy (N users
+// all granted `read ledger` through one role, sessions pre-created and
+// activated) and serves the versioned binary wire API on an epoll reactor.
+//
+//   sentinelpp-serve [--port=0] [--shards=1] [--users=16]
+//                    [--cache=0] [--fastpath=0]
+//                    [--capacity=0] [--policy=block|shed]
+//                    [--deadline-us=0] [--idle-ms=30000]
+//
+// Prints exactly one `listening on <addr>:<port>` line once the socket is
+// bound (port 0 binds an ephemeral port — scripts parse the real one from
+// this line), then serves until SIGINT/SIGTERM. Shutdown is graceful: the
+// reactor answers everything already read, flushes write buffers, and the
+// final stats line ends with `drained` so harnesses can assert a clean
+// exit.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/server.h"
+#include "workload/policy_gen.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+int64_t IntFlag(const char* arg, const char* name, int64_t* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return 0;
+  *out = std::strtoll(arg + len + 1, nullptr, 10);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t port = 0, shards = 1, users = 16, cache = 0, fastpath = 0;
+  int64_t capacity = 0, deadline_us = 0, idle_ms = 30'000;
+  std::string overload = "block";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (IntFlag(arg, "--port", &port) || IntFlag(arg, "--shards", &shards) ||
+        IntFlag(arg, "--users", &users) || IntFlag(arg, "--cache", &cache) ||
+        IntFlag(arg, "--fastpath", &fastpath) ||
+        IntFlag(arg, "--capacity", &capacity) ||
+        IntFlag(arg, "--deadline-us", &deadline_us) ||
+        IntFlag(arg, "--idle-ms", &idle_ms)) {
+      continue;
+    }
+    if (std::strncmp(arg, "--policy=", 9) == 0) {
+      overload = arg + 9;
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag: %s\n", arg);
+    return 2;
+  }
+
+  sentinel::ServiceConfig config;
+  config.num_shards = static_cast<int>(shards);
+  config.synchronous = false;
+  config.start_time = sentinel::MakeTime(2026, 7, 6, 12, 0, 0);
+  config.decision_cache_capacity = static_cast<size_t>(cache);
+  config.decision_cache_fastpath = fastpath != 0;
+  config.mailbox_capacity = static_cast<size_t>(capacity);
+  config.overload_policy = overload == "shed"
+                               ? sentinel::OverloadPolicy::kShed
+                               : sentinel::OverloadPolicy::kBlock;
+  config.default_deadline = deadline_us;
+  sentinel::AuthorizationService service(config);
+
+  sentinel::Policy policy("serve");
+  sentinel::RoleSpec role;
+  role.name = "worker";
+  role.permissions.insert(sentinel::Permission{"read", "ledger"});
+  (void)policy.AddRole(std::move(role));
+  for (int u = 0; u < users; ++u) {
+    sentinel::UserSpec user;
+    user.name = sentinel::SyntheticUserName(u);
+    user.assignments.insert("worker");
+    (void)policy.AddUser(std::move(user));
+  }
+  if (!service.LoadPolicy(policy).ok()) {
+    std::fprintf(stderr, "policy load failed\n");
+    return 1;
+  }
+  for (int u = 0; u < users; ++u) {
+    const std::string name = sentinel::SyntheticUserName(u);
+    const std::string session = "sess" + std::to_string(u);
+    if (!service.CreateSession(name, session).ok() ||
+        !service.AddActiveRole(name, session, "worker").ok()) {
+      std::fprintf(stderr, "session setup failed for %s\n", name.c_str());
+      return 1;
+    }
+  }
+
+  sentinel::net::ServerConfig net_config;
+  net_config.port = static_cast<uint16_t>(port);
+  net_config.idle_timeout_ms = idle_ms;
+  sentinel::net::WireServer server(&service, net_config);
+  const sentinel::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 std::string(started.message()).c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u\n", net_config.bind_address.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  server.Stop();
+  const sentinel::net::ServerStats stats = server.stats();
+  std::printf(
+      "accepted=%llu requests=%llu decisions=%llu batches=%llu "
+      "protocol_errors=%llu idle_closed=%llu bytes_in=%llu bytes_out=%llu "
+      "drained\n",
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.decisions),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.protocol_errors),
+      static_cast<unsigned long long>(stats.idle_closed),
+      static_cast<unsigned long long>(stats.bytes_in),
+      static_cast<unsigned long long>(stats.bytes_out));
+  std::fflush(stdout);
+  return 0;
+}

@@ -39,6 +39,48 @@ for bench in build/bench/bench_*; do
   "$bench" --benchmark_min_time=0.001 >/dev/null
 done
 
+# Exercises the shipped binaries over a real socket: serve on an ephemeral
+# port, parse the bound port from its banner line, run a fixed-count load,
+# assert zero protocol errors from the client (its exit code) AND from the
+# server's shutdown stats line, and require the `drained` marker proving a
+# graceful stop. $1 is the build tree.
+net_smoke() {
+  local tree="$1"
+  cmake --build "$tree" -j"$JOBS" --target sentinelpp_serve sentinelpp_load
+  local log
+  log=$(mktemp)
+  "./$tree/examples/sentinelpp-serve" --port=0 --cache=1024 --fastpath=1 \
+    >"$log" 2>&1 &
+  local serve_pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$log")
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "net-smoke: server never announced its port" >&2
+    kill -9 "$serve_pid" 2>/dev/null || true
+    cat "$log" >&2
+    return 1
+  fi
+  "./$tree/examples/sentinelpp-load" --port="$port" --connections=4 \
+    --requests=500 --batch=8
+  "./$tree/examples/sentinelpp-load" --port="$port" --mode=open \
+    --rate=5000 --requests=2000 --connections=2
+  kill -TERM "$serve_pid"
+  wait "$serve_pid"
+  grep -E 'protocol_errors=0 .*drained$' "$log" >/dev/null || {
+    echo "net-smoke: server stats line missing protocol_errors=0 + drained" >&2
+    cat "$log" >&2
+    return 1
+  }
+  rm -f "$log"
+}
+
+echo "== Net smoke: serve + load over a real socket =="
+net_smoke build
+
 if [[ "${1:-}" == "--no-sanitize" ]]; then
   echo "== Skipping sanitizer pass =="
   exit 0
@@ -50,15 +92,18 @@ cmake -B build-asan -S . -DSENTINELPP_SANITIZE=address,undefined \
 cmake --build build-asan -j"$JOBS"
 ctest --test-dir build-asan --output-on-failure -j"$JOBS"
 
+echo "== Net smoke under ASan =="
+net_smoke build-asan
+
 # TSan is incompatible with ASan, so the threaded service tests get their
 # own build tree.
-echo "== Sanitizer pass: thread (service + mailbox + fast-path tests) =="
+echo "== Sanitizer pass: thread (service + mailbox + fast-path + net tests) =="
 cmake -B build-tsan -S . -DSENTINELPP_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=Debug >/dev/null
 cmake --build build-tsan -j"$JOBS" --target service_test mailbox_test \
-  fastpath_test interner_test
+  fastpath_test interner_test wire_test net_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(service_test|mailbox_test|fastpath_test|interner_test)$'
+  -R '^(service_test|mailbox_test|fastpath_test|interner_test|wire_test|net_test)$'
 
 echo "== Overload stress: stall-injected shed/deadline paths under TSan =="
 # The acceptance stress for the bounded-mailbox work: shard stalls injected
@@ -79,5 +124,14 @@ echo "== Fast-path stress: snapshot readers vs broadcast storm under TSan =="
 # protocols. Repeats shake out schedule-dependent interleavings.
 ./build-tsan/tests/fastpath_test \
   --gtest_filter='FastPathStressTest.*' --gtest_repeat=3 --gtest_brief=1
+
+echo "== Net stress: concurrent clients vs reactor vs admin churn under TSan =="
+# N client threads (mixed single checks and pipelined bursts) against the
+# epoll reactor, the shard threads, the zero-hop fastpath and a concurrent
+# admin-churn thread driving the epoch barrier — every cross-thread handoff
+# in the serving stack under TSan at once.
+./build-tsan/tests/net_test \
+  --gtest_filter='NetTest.ConcurrentClientsWithAdminChurn' \
+  --gtest_repeat=3 --gtest_brief=1
 
 echo "== All checks passed =="

@@ -38,7 +38,10 @@ namespace sentinel {
 /// session's home shard through its session registry.
 struct AccessRequest {
   /// `deadline` sentinel: opt this request out of the service-wide
-  /// ServiceConfig::default_deadline.
+  /// ServiceConfig::default_deadline. This is the *only* meaningful
+  /// negative deadline; the wire boundary (api/wire.h) rejects every other
+  /// negative value with a typed protocol error, and the in-process path
+  /// treats them as the sentinel via EffectiveDeadline below.
   static constexpr Duration kNoDeadline = -1;
 
   UserName user;
@@ -53,6 +56,18 @@ struct AccessRequest {
   /// default) inherits ServiceConfig::default_deadline; kNoDeadline makes
   /// this request wait however long it takes.
   Duration deadline = 0;
+
+  /// The one place the deadline sentinel is interpreted. Resolves this
+  /// request's wall budget against the service-wide default `fallback`:
+  /// a positive return is the budget in microseconds, 0 means "no budget".
+  /// 0 inherits `fallback`; kNoDeadline (and, in-process, any negative —
+  /// the wire boundary has already rejected non-sentinel negatives)
+  /// disables the budget even when a default is configured.
+  Duration EffectiveDeadline(Duration fallback) const {
+    if (deadline == 0) return fallback > 0 ? fallback : 0;
+    if (deadline < 0) return 0;
+    return deadline;
+  }
 };
 
 /// \brief How the service arrived at an AccessDecision.
@@ -114,6 +129,56 @@ inline Status ToStatus(const AccessDecision& decision) {
   }
   return Status::Internal("unknown AccessOutcome");
 }
+
+/// \brief Result of a service mutator (session lifecycle, user/role
+/// administration, role enable/disable).
+///
+/// Mutators used to return AccessDecision, overloading a type whose fields
+/// (`rule`, `failed_condition`, fast-path semantics) only make sense for
+/// access checks. AdminResult carries exactly what a mutating caller can
+/// act on: did the mutation apply, under which administrative epoch, on
+/// which shard.
+struct AdminResult {
+  /// OK — the mutation was applied. ConstraintViolation — the policy
+  /// refused it (denial reason in the message). ResourceExhausted — shed
+  /// or expired before evaluation (retryable). FailedPrecondition —
+  /// submitted after Shutdown().
+  Status status;
+  /// Same vocabulary as AccessDecision::outcome: kDecided covers both
+  /// applied and policy-refused; kOverloaded/kShutdown mean the policy was
+  /// never asked.
+  AccessOutcome outcome = AccessOutcome::kDecided;
+  /// Administrative epoch the deciding shard had applied.
+  uint64_t epoch = 0;
+  /// Shard that decided (the authoritative shard for broadcast mutators).
+  uint32_t shard = 0;
+  /// Submit-to-decision latency in microseconds of wall time.
+  Duration latency = 0;
+
+  bool ok() const { return status.ok(); }
+
+  /// Lossy adaptation to the old return type: `rule` and
+  /// `failed_condition` are gone (they never meant anything for
+  /// mutators), `reason` is the status message. Prefer `.ok()`/`.status`.
+  AccessDecision ToDecision() const {
+    AccessDecision decision;
+    decision.allowed = status.ok();
+    decision.reason = status.message();
+    decision.outcome = outcome;
+    decision.epoch = epoch;
+    decision.shard = shard;
+    decision.latency = latency;
+    return decision;
+  }
+
+  /// Deprecated bridge so pre-AdminResult callers that bind the result to
+  /// an AccessDecision still compile. New code reads the typed fields.
+  [[deprecated("service mutators return AdminResult; use .ok()/.status or "
+               "the explicit ToDecision()")]]
+  operator AccessDecision() const {  // NOLINT(google-explicit-constructor)
+    return ToDecision();
+  }
+};
 
 }  // namespace sentinel
 

@@ -1,0 +1,278 @@
+#include "api/wire.h"
+
+namespace sentinel {
+namespace wire {
+
+namespace {
+
+/// Frame scaffolding: appends the length prefix (backpatched) + fixed
+/// header, returns the offset of the length field for Finish.
+size_t BeginFrame(MsgType type, uint64_t request_id, std::string* out) {
+  const size_t length_at = out->size();
+  PutU32(0, out);  // Backpatched by FinishFrame.
+  out->push_back(static_cast<char>(kWireVersion));
+  out->push_back(static_cast<char>(type));
+  PutU16(0, out);  // reserved
+  PutU64(request_id, out);
+  return length_at;
+}
+
+void FinishFrame(size_t length_at, std::string* out) {
+  const uint32_t length =
+      static_cast<uint32_t>(out->size() - length_at - kLengthPrefixBytes);
+  for (int i = 0; i < 4; ++i) {
+    (*out)[length_at + i] = static_cast<char>((length >> (8 * i)) & 0xff);
+  }
+}
+
+Status CheckFieldLength(std::string_view name, std::string_view value) {
+  if (value.size() > UINT16_MAX) {
+    return Status::InvalidArgument(std::string("wire field '") +
+                                   std::string(name) +
+                                   "' exceeds 65535 bytes");
+  }
+  return Status::OK();
+}
+
+/// Sequential payload reader with bounds checking.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool Need(size_t n) const { return pos_ + n <= data_.size(); }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  uint16_t U16() { return GetU16(Take(2)); }
+  uint32_t U32() { return GetU32(Take(4)); }
+  uint64_t U64() { return GetU64(Take(8)); }
+  int64_t I64() { return GetI64(Take(8)); }
+  uint8_t U8() { return static_cast<uint8_t>(*Take(1)); }
+  std::string Bytes(size_t n) {
+    const char* p = Take(n);
+    return std::string(p, n);
+  }
+
+ private:
+  const char* Take(size_t n) {
+    const char* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+bool Malformed(std::string message, ProtocolError* error) {
+  error->code = WireError::kMalformedFrame;
+  error->message = std::move(message);
+  error->fatal = true;
+  return false;
+}
+
+}  // namespace
+
+const char* WireErrorToString(WireError code) {
+  switch (code) {
+    case WireError::kUnsupportedVersion:
+      return "unsupported protocol version";
+    case WireError::kUnknownMessageType:
+      return "unknown message type";
+    case WireError::kFrameTooLarge:
+      return "frame exceeds maximum size";
+    case WireError::kMalformedFrame:
+      return "malformed frame";
+    case WireError::kInvalidDeadline:
+      return "invalid (negative non-sentinel) deadline";
+    case WireError::kShuttingDown:
+      return "server shutting down";
+    case WireError::kFieldTooLong:
+      return "string field too long";
+  }
+  return "unknown wire error";
+}
+
+// ---------------------------------------------------------------- Encoding
+
+Status EncodeCheckRequest(uint64_t request_id, const AccessRequest& request,
+                          std::string* out) {
+  SENTINEL_RETURN_IF_ERROR(CheckFieldLength("user", request.user));
+  SENTINEL_RETURN_IF_ERROR(CheckFieldLength("session", request.session));
+  SENTINEL_RETURN_IF_ERROR(CheckFieldLength("operation", request.operation));
+  SENTINEL_RETURN_IF_ERROR(CheckFieldLength("object", request.object));
+  SENTINEL_RETURN_IF_ERROR(CheckFieldLength("purpose", request.purpose));
+  const size_t at = BeginFrame(MsgType::kCheckRequest, request_id, out);
+  PutI64(request.deadline, out);
+  PutU16(static_cast<uint16_t>(request.user.size()), out);
+  PutU16(static_cast<uint16_t>(request.session.size()), out);
+  PutU16(static_cast<uint16_t>(request.operation.size()), out);
+  PutU16(static_cast<uint16_t>(request.object.size()), out);
+  PutU16(static_cast<uint16_t>(request.purpose.size()), out);
+  out->append(request.user);
+  out->append(request.session);
+  out->append(request.operation);
+  out->append(request.object);
+  out->append(request.purpose);
+  FinishFrame(at, out);
+  return Status::OK();
+}
+
+Status EncodeDecision(uint64_t request_id, const AccessDecision& decision,
+                      std::string* out) {
+  SENTINEL_RETURN_IF_ERROR(CheckFieldLength("rule", decision.rule));
+  SENTINEL_RETURN_IF_ERROR(CheckFieldLength("reason", decision.reason));
+  SENTINEL_RETURN_IF_ERROR(
+      CheckFieldLength("failed_condition", decision.failed_condition));
+  const size_t at = BeginFrame(MsgType::kDecision, request_id, out);
+  out->push_back(decision.allowed ? 1 : 0);
+  out->push_back(static_cast<char>(ToWireOutcome(decision.outcome)));
+  PutU16(0, out);  // reserved
+  PutU32(decision.shard, out);
+  PutU64(decision.epoch, out);
+  PutI64(decision.latency, out);
+  PutU16(static_cast<uint16_t>(decision.rule.size()), out);
+  PutU16(static_cast<uint16_t>(decision.reason.size()), out);
+  PutU16(static_cast<uint16_t>(decision.failed_condition.size()), out);
+  out->append(decision.rule);
+  out->append(decision.reason);
+  out->append(decision.failed_condition);
+  FinishFrame(at, out);
+  return Status::OK();
+}
+
+void EncodeError(uint64_t request_id, WireError code, std::string_view message,
+                 std::string* out) {
+  // Error messages are advisory; clamp instead of failing the failure path.
+  if (message.size() > UINT16_MAX) message = message.substr(0, UINT16_MAX);
+  const size_t at = BeginFrame(MsgType::kError, request_id, out);
+  PutU16(static_cast<uint16_t>(code), out);
+  PutU16(0, out);  // reserved
+  PutU16(static_cast<uint16_t>(message.size()), out);
+  out->append(message);
+  FinishFrame(at, out);
+}
+
+void EncodePing(uint64_t request_id, std::string* out) {
+  FinishFrame(BeginFrame(MsgType::kPing, request_id, out), out);
+}
+
+void EncodePong(uint64_t request_id, std::string* out) {
+  FinishFrame(BeginFrame(MsgType::kPong, request_id, out), out);
+}
+
+// ---------------------------------------------------------------- Decoding
+
+bool DecodeFrame(std::string_view data, FrameView* frame,
+                 ProtocolError* error) {
+  if (data.size() < kFrameHeaderBytes) {
+    return Malformed("frame shorter than fixed header", error);
+  }
+  frame->version = static_cast<uint8_t>(data[0]);
+  if (frame->version != kWireVersion) {
+    error->code = WireError::kUnsupportedVersion;
+    error->message = "version " + std::to_string(frame->version) +
+                     " (this peer speaks " + std::to_string(kWireVersion) +
+                     ")";
+    error->fatal = true;
+    return false;
+  }
+  frame->raw_type = static_cast<uint8_t>(data[1]);
+  frame->type = static_cast<MsgType>(frame->raw_type);
+  // data[2..3] reserved: ignored (forward compatibility).
+  frame->request_id = GetU64(data.data() + 4);
+  frame->payload = data.substr(kFrameHeaderBytes);
+  return true;
+}
+
+bool DecodeCheckRequest(const FrameView& frame, CheckRequestMsg* out,
+                        ProtocolError* error) {
+  Reader r(frame.payload);
+  if (!r.Need(8 + 5 * 2)) {
+    return Malformed("check-request payload truncated", error);
+  }
+  out->request_id = frame.request_id;
+  AccessRequest& req = out->request;
+  req.deadline = r.I64();
+  const uint16_t user_len = r.U16();
+  const uint16_t session_len = r.U16();
+  const uint16_t operation_len = r.U16();
+  const uint16_t object_len = r.U16();
+  const uint16_t purpose_len = r.U16();
+  const size_t total = static_cast<size_t>(user_len) + session_len +
+                       operation_len + object_len + purpose_len;
+  if (!r.Need(total)) {
+    return Malformed("check-request strings exceed payload", error);
+  }
+  req.user = r.Bytes(user_len);
+  req.session = r.Bytes(session_len);
+  req.operation = r.Bytes(operation_len);
+  req.object = r.Bytes(object_len);
+  req.purpose = r.Bytes(purpose_len);
+  // The wire boundary enforces what the in-process API only documents: a
+  // negative deadline is either *the* sentinel or a caller bug. Reject the
+  // bug with a typed, request-scoped error instead of silently treating it
+  // as "no deadline".
+  if (req.deadline < 0 && req.deadline != AccessRequest::kNoDeadline) {
+    error->code = WireError::kInvalidDeadline;
+    error->message =
+        "deadline " + std::to_string(req.deadline) +
+        "us is negative but not the kNoDeadline sentinel (-1)";
+    error->fatal = false;
+    return false;
+  }
+  return true;
+}
+
+bool DecodeDecision(const FrameView& frame, DecisionMsg* out,
+                    ProtocolError* error) {
+  Reader r(frame.payload);
+  if (!r.Need(1 + 1 + 2 + 4 + 8 + 8 + 3 * 2)) {
+    return Malformed("decision payload truncated", error);
+  }
+  out->request_id = frame.request_id;
+  AccessDecision& d = out->decision;
+  d.allowed = r.U8() != 0;
+  const uint8_t outcome_id = r.U8();
+  const std::optional<AccessOutcome> outcome = FromWireOutcome(outcome_id);
+  if (!outcome.has_value()) {
+    return Malformed("unknown AccessOutcome wire id " +
+                         std::to_string(outcome_id),
+                     error);
+  }
+  d.outcome = *outcome;
+  (void)r.U16();  // reserved
+  d.shard = r.U32();
+  d.epoch = r.U64();
+  d.latency = r.I64();
+  const uint16_t rule_len = r.U16();
+  const uint16_t reason_len = r.U16();
+  const uint16_t failed_len = r.U16();
+  const size_t total =
+      static_cast<size_t>(rule_len) + reason_len + failed_len;
+  if (!r.Need(total)) {
+    return Malformed("decision strings exceed payload", error);
+  }
+  d.rule = r.Bytes(rule_len);
+  d.reason = r.Bytes(reason_len);
+  d.failed_condition = r.Bytes(failed_len);
+  return true;
+}
+
+bool DecodeError(const FrameView& frame, ErrorMsg* out, ProtocolError* error) {
+  Reader r(frame.payload);
+  if (!r.Need(2 + 2 + 2)) {
+    return Malformed("error payload truncated", error);
+  }
+  out->request_id = frame.request_id;
+  out->code = static_cast<WireError>(r.U16());
+  (void)r.U16();  // reserved
+  const uint16_t message_len = r.U16();
+  if (!r.Need(message_len)) {
+    return Malformed("error message exceeds payload", error);
+  }
+  out->message = r.Bytes(message_len);
+  return true;
+}
+
+}  // namespace wire
+}  // namespace sentinel

@@ -1,0 +1,282 @@
+/// \file
+/// \brief sentinelpp versioned binary wire schema — the network twin of the
+/// in-process facade types.
+///
+/// This header is the single source of truth for what `AccessRequest`,
+/// `AccessDecision` and `AccessOutcome` look like on a socket. It is shared
+/// by the server (src/net/server.*), the client (src/net/client.*) and the
+/// tests, so the in-process API and the wire API cannot drift: every
+/// wire-visible enumerator is pinned to a fixed numeric id below and
+/// `static_assert`ed against the in-process enum.
+///
+/// ## Framing
+///
+/// A connection is a byte stream of *frames*. Every frame is:
+///
+///     u32  length     — byte count of everything after this field
+///     u8   version    — kWireVersion; unknown values are a fatal
+///                       kUnsupportedVersion protocol error
+///     u8   type       — MsgType id
+///     u16  reserved   — writers send 0, readers ignore (forward compat)
+///     u64  request_id — caller-chosen correlation id, echoed verbatim in
+///                       the response (decision or error) for pipelining
+///     ...  payload    — per-MsgType, see the layouts below
+///
+/// All integers are little-endian, encoded and decoded byte-by-byte (no
+/// struct punning, no host-order assumptions). Strings are u16-length-
+/// prefixed raw bytes (no NUL terminator, no encoding constraint). Fields
+/// are fixed-width: a reader can locate every field of a known message
+/// type without parsing its predecessors' contents.
+///
+/// ## Compatibility rule (add-only, never renumber)
+///
+/// The ids in this header — kWireVersion payload layouts, MsgType values,
+/// AccessOutcome values, WireError values — are wire-stable:
+///
+///  * **Never renumber or reuse an id.** A retired message type or error
+///    code keeps its number forever (comment it `// retired`).
+///  * **Add, don't mutate.** New fields go at the *end* of a payload (old
+///    readers ignore trailing bytes they don't know; new readers treat
+///    their absence as the documented default). New message types, outcome
+///    values and error codes take the next free id.
+///  * **Version bumps are for breaking changes only** — reordering or
+///    resizing existing fields requires a new kWireVersion, and servers
+///    answer the old version with kUnsupportedVersion rather than
+///    guessing.
+///
+/// The `static_assert`s below enforce the pinning against the in-process
+/// enums: if someone renumbers `AccessOutcome`, this header refuses to
+/// compile instead of silently shipping a different meaning of
+/// "overloaded" on the wire.
+
+#ifndef SENTINELPP_API_WIRE_H_
+#define SENTINELPP_API_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "api/sentinelpp.h"
+
+namespace sentinel {
+namespace wire {
+
+/// Current protocol version. Bump only for breaking layout changes.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Hard cap on `length` (bytes after the length prefix). A peer announcing
+/// more is either broken or hostile; the connection cannot resync past an
+/// unread multi-megabyte body, so this is a fatal protocol error.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Size of the length prefix and of the fixed header that follows it.
+inline constexpr size_t kLengthPrefixBytes = 4;
+inline constexpr size_t kFrameHeaderBytes = 12;  // version..request_id
+
+/// Message-type ids (wire-stable; add-only, never renumber).
+enum class MsgType : uint8_t {
+  kCheckRequest = 1,  ///< client -> server: one AccessRequest
+  kDecision = 2,      ///< server -> client: the full typed AccessDecision
+  kError = 3,         ///< server -> client: typed protocol error
+  kPing = 4,          ///< either direction: liveness probe
+  kPong = 5,          ///< reply to kPing, request_id echoed
+};
+
+/// Typed protocol-error codes (wire-stable; add-only, never renumber).
+/// "Fatal" errors poison the byte stream — the sender of the error closes
+/// the connection after flushing it. Request-scoped errors answer one
+/// request_id and the connection continues.
+enum class WireError : uint16_t {
+  kUnsupportedVersion = 1,  ///< fatal: unknown version byte
+  kUnknownMessageType = 2,  ///< request-scoped: framing intact, type unknown
+  kFrameTooLarge = 3,       ///< fatal: length prefix exceeds kMaxFrameBytes
+  kMalformedFrame = 4,      ///< fatal: payload inconsistent with its type
+  kInvalidDeadline = 5,     ///< request-scoped: negative non-sentinel deadline
+  kShuttingDown = 6,        ///< request-scoped: server is draining
+  kFieldTooLong = 7,        ///< encode-side: string exceeds u16 length
+};
+
+const char* WireErrorToString(WireError code);
+
+/// A typed protocol error: what went wrong, and whether the byte stream
+/// can still be trusted afterwards.
+struct ProtocolError {
+  WireError code = WireError::kMalformedFrame;
+  std::string message;
+  /// Fatal errors (framing poisoned) require closing the connection.
+  bool fatal = true;
+};
+
+// ------------------------------------------------------- Outcome id pinning
+//
+// AccessOutcome travels as its numeric value. Pin every enumerator here;
+// adding a new outcome means adding a line (add-only), renumbering one
+// breaks the build.
+
+static_assert(static_cast<uint8_t>(AccessOutcome::kDecided) == 0,
+              "wire id of AccessOutcome::kDecided is pinned to 0");
+static_assert(static_cast<uint8_t>(AccessOutcome::kOverloaded) == 1,
+              "wire id of AccessOutcome::kOverloaded is pinned to 1");
+static_assert(static_cast<uint8_t>(AccessOutcome::kShutdown) == 2,
+              "wire id of AccessOutcome::kShutdown is pinned to 2");
+
+/// Highest AccessOutcome id this protocol version knows. Decoders treat
+/// anything above it as malformed rather than casting blindly.
+inline constexpr uint8_t kMaxOutcomeId = 2;
+
+/// Outcome -> wire id. The switch is exhaustive on purpose: a new
+/// enumerator makes -Wswitch flag this function until it is pinned above
+/// and handled here.
+constexpr uint8_t ToWireOutcome(AccessOutcome outcome) {
+  switch (outcome) {
+    case AccessOutcome::kDecided:
+    case AccessOutcome::kOverloaded:
+    case AccessOutcome::kShutdown:
+      return static_cast<uint8_t>(outcome);
+  }
+  return static_cast<uint8_t>(outcome);
+}
+
+/// Wire id -> outcome; nullopt for ids this version does not know.
+constexpr std::optional<AccessOutcome> FromWireOutcome(uint8_t id) {
+  if (id > kMaxOutcomeId) return std::nullopt;
+  return static_cast<AccessOutcome>(id);
+}
+
+// ------------------------------------------------------- Deadline sentinel
+//
+// AccessRequest::deadline crosses the wire as a signed 64-bit microsecond
+// budget. 0 inherits the server's configured default;
+// kWireNoDeadline (-1, matching AccessRequest::kNoDeadline) opts out of
+// any budget. Every *other* negative value is a request-scoped
+// kInvalidDeadline protocol error — the wire boundary rejects what the
+// in-process API used to silently coerce.
+
+inline constexpr int64_t kWireNoDeadline = -1;
+static_assert(AccessRequest::kNoDeadline == kWireNoDeadline,
+              "wire deadline sentinel is pinned to the in-process sentinel");
+
+// ----------------------------------------------------------- Message values
+
+/// Decoded frame header + raw payload view (valid only while the backing
+/// buffer lives).
+struct FrameView {
+  uint8_t version = 0;
+  MsgType type = MsgType::kPing;
+  uint8_t raw_type = 0;  ///< on-wire byte, meaningful when type is unknown
+  uint64_t request_id = 0;
+  std::string_view payload;
+};
+
+/// kCheckRequest payload:
+///     i64 deadline_us
+///     u16 user_len, u16 session_len, u16 operation_len, u16 object_len,
+///     u16 purpose_len
+///     bytes user, session, operation, object, purpose
+struct CheckRequestMsg {
+  uint64_t request_id = 0;
+  AccessRequest request;
+};
+
+/// kDecision payload:
+///     u8  allowed, u8 outcome, u16 reserved
+///     u32 shard
+///     u64 epoch
+///     i64 latency_us
+///     u16 rule_len, u16 reason_len, u16 failed_condition_len
+///     bytes rule, reason, failed_condition
+struct DecisionMsg {
+  uint64_t request_id = 0;
+  AccessDecision decision;
+};
+
+/// kError payload:
+///     u16 code, u16 reserved
+///     u16 message_len
+///     bytes message
+struct ErrorMsg {
+  uint64_t request_id = 0;
+  WireError code = WireError::kMalformedFrame;
+  std::string message;
+};
+
+// -------------------------------------------------------------- Encoding
+//
+// Encoders append one complete frame (length prefix included) to `*out`,
+// which doubles as a connection write buffer. They fail (Status, nothing
+// appended) only on fields too long for their u16 length prefix.
+
+Status EncodeCheckRequest(uint64_t request_id, const AccessRequest& request,
+                          std::string* out);
+Status EncodeDecision(uint64_t request_id, const AccessDecision& decision,
+                      std::string* out);
+void EncodeError(uint64_t request_id, WireError code, std::string_view message,
+                 std::string* out);
+void EncodePing(uint64_t request_id, std::string* out);
+void EncodePong(uint64_t request_id, std::string* out);
+
+// -------------------------------------------------------------- Decoding
+
+/// Parses the fixed header of one complete frame (`data` spans version
+/// through payload end — the length prefix already stripped and validated
+/// by the framing layer). Fails only on an unsupported version or a body
+/// shorter than the fixed header; an unknown MsgType id *succeeds* with
+/// `raw_type` set, so the caller can answer kUnknownMessageType without
+/// killing the connection.
+bool DecodeFrame(std::string_view data, FrameView* frame, ProtocolError* error);
+
+/// Payload decoders for the typed messages. `frame` must be the matching
+/// type. On failure the error is request-scoped (kInvalidDeadline) or
+/// fatal (kMalformedFrame), per ProtocolError::fatal.
+bool DecodeCheckRequest(const FrameView& frame, CheckRequestMsg* out,
+                        ProtocolError* error);
+bool DecodeDecision(const FrameView& frame, DecisionMsg* out,
+                    ProtocolError* error);
+bool DecodeError(const FrameView& frame, ErrorMsg* out, ProtocolError* error);
+
+// --------------------------------------------------- Low-level primitives
+//
+// Exposed for the framing layer and the torture tests.
+
+inline void PutU16(uint16_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+inline void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+inline void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+inline void PutI64(int64_t v, std::string* out) {
+  PutU64(static_cast<uint64_t>(v), out);
+}
+
+inline uint16_t GetU16(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint16_t>(u[0] | (u[1] << 8));
+}
+inline uint32_t GetU32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+inline uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(u[i]) << (8 * i);
+  return v;
+}
+inline int64_t GetI64(const char* p) { return static_cast<int64_t>(GetU64(p)); }
+
+}  // namespace wire
+}  // namespace sentinel
+
+#endif  // SENTINELPP_API_WIRE_H_

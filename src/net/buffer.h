@@ -1,0 +1,61 @@
+/// \file
+/// \brief Per-connection byte buffer for the reactor (surgebot sock.c
+/// idiom: every connection owns one read and one write buffer; partial
+/// reads append, partial writes consume from the front).
+///
+/// A thin deque-of-bytes over std::string: appenders push at the tail,
+/// the consumer advances a head offset, and the storage is compacted
+/// lazily once the dead prefix dominates — so steady-state pipelining
+/// costs no memmove per frame.
+
+#ifndef SENTINELPP_NET_BUFFER_H_
+#define SENTINELPP_NET_BUFFER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace sentinel {
+namespace net {
+
+class IoBuffer {
+ public:
+  /// Unconsumed bytes, front first.
+  std::string_view readable() const {
+    return std::string_view(data_).substr(head_);
+  }
+  size_t size() const { return data_.size() - head_; }
+  bool empty() const { return size() == 0; }
+
+  void Append(std::string_view bytes) { data_.append(bytes); }
+  void Append(const char* bytes, size_t n) { data_.append(bytes, n); }
+
+  /// Appendable tail access for encoders that take a std::string*. Callers
+  /// must only ever append to it.
+  std::string* tail() { return &data_; }
+
+  /// Drops `n` bytes from the front (n <= size()).
+  void Consume(size_t n) {
+    head_ += n;
+    // Compact once the dead prefix is both large and the majority of the
+    // storage — amortized O(1) per byte.
+    if (head_ >= 4096 && head_ * 2 >= data_.size()) {
+      data_.erase(0, head_);
+      head_ = 0;
+    }
+  }
+
+  void Clear() {
+    data_.clear();
+    head_ = 0;
+  }
+
+ private:
+  std::string data_;
+  size_t head_ = 0;
+};
+
+}  // namespace net
+}  // namespace sentinel
+
+#endif  // SENTINELPP_NET_BUFFER_H_

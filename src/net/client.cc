@@ -1,0 +1,229 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace sentinel {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::string(strerror(errno)));
+}
+
+void SetIoTimeout(int fd, int64_t timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WireClient>> WireClient::Connect(const std::string& host,
+                                                        uint16_t port,
+                                                        int64_t timeout_ms) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  SetIoTimeout(fd, timeout_ms);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = Errno("connect");
+    close(fd);
+    return status;
+  }
+  const int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<WireClient>(new WireClient(fd, timeout_ms));
+}
+
+WireClient::WireClient(int fd, int64_t timeout_ms)
+    : fd_(fd), timeout_ms_(timeout_ms) {}
+
+WireClient::~WireClient() { Close(); }
+
+void WireClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status WireClient::SendRaw(std::string_view bytes, size_t chunk) {
+  if (fd_ < 0) return Status::FailedPrecondition("client closed");
+  size_t at = 0;
+  while (at < bytes.size()) {
+    const size_t want = chunk == 0 ? bytes.size() - at
+                                   : std::min(chunk, bytes.size() - at);
+    const ssize_t wrote = write(fd_, bytes.data() + at, want);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    at += static_cast<size_t>(wrote);
+  }
+  return Status::OK();
+}
+
+Status WireClient::ReadFrame(wire::FrameView* frame) {
+  wire::ProtocolError error;
+  for (;;) {
+    switch (decoder_.Poll(frame, &error)) {
+      case FrameDecoder::Next::kFrame:
+        return Status::OK();
+      case FrameDecoder::Next::kError:
+        return Status::Internal("framing error from server: " +
+                                std::string(wire::WireErrorToString(
+                                    error.code)) +
+                                (error.message.empty() ? ""
+                                                       : ": " + error.message));
+      case FrameDecoder::Next::kNeedMore:
+        break;
+    }
+    char chunk[16 * 1024];
+    const ssize_t got = read(fd_, chunk, sizeof(chunk));
+    if (got > 0) {
+      decoder_.Feed(chunk, static_cast<size_t>(got));
+      continue;
+    }
+    if (got == 0) {
+      eof_ = true;
+      return Status::FailedPrecondition("server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::ResourceExhausted("read timeout");
+    }
+    return Errno("read");
+  }
+}
+
+Result<wire::FrameView> WireClient::ReadRawFrame() {
+  wire::FrameView frame;
+  SENTINEL_RETURN_IF_ERROR(ReadFrame(&frame));
+  return frame;
+}
+
+Status WireClient::ErrorStatus(const wire::ErrorMsg& error) {
+  const std::string text =
+      std::string("wire error ") + wire::WireErrorToString(error.code) +
+      (error.message.empty() ? "" : ": " + error.message);
+  switch (error.code) {
+    case wire::WireError::kInvalidDeadline:
+      return Status::InvalidArgument(text);
+    case wire::WireError::kShuttingDown:
+      return Status::FailedPrecondition(text);
+    default:
+      return Status::Internal(text);
+  }
+}
+
+Result<AccessDecision> WireClient::Check(const AccessRequest& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client closed");
+  const uint64_t id = next_request_id_++;
+  send_buffer_.clear();
+  SENTINEL_RETURN_IF_ERROR(
+      wire::EncodeCheckRequest(id, request, &send_buffer_));
+  SENTINEL_RETURN_IF_ERROR(SendRaw(send_buffer_));
+  for (;;) {
+    wire::FrameView frame;
+    SENTINEL_RETURN_IF_ERROR(ReadFrame(&frame));
+    wire::ProtocolError perror;
+    if (frame.type == wire::MsgType::kDecision) {
+      wire::DecisionMsg msg;
+      if (!wire::DecodeDecision(frame, &msg, &perror)) {
+        return Status::Internal("malformed decision: " + perror.message);
+      }
+      if (msg.request_id != id) continue;  // Stale (shouldn't happen).
+      return msg.decision;
+    }
+    if (frame.type == wire::MsgType::kError) {
+      wire::ErrorMsg error;
+      if (!wire::DecodeError(frame, &error, &perror)) {
+        return Status::Internal("malformed error frame: " + perror.message);
+      }
+      ++protocol_errors_;
+      return ErrorStatus(error);
+    }
+    // Pongs and future frame types are skipped.
+  }
+}
+
+Result<std::vector<AccessDecision>> WireClient::CheckBatch(
+    std::span<const AccessRequest> requests) {
+  if (fd_ < 0) return Status::FailedPrecondition("client closed");
+  std::vector<AccessDecision> decisions(requests.size());
+  if (requests.empty()) return decisions;
+  // Pipeline: every request on the wire before the first read. The
+  // server folds whatever arrives in one reactor sweep into one
+  // CheckAccessBatch call.
+  const uint64_t first_id = next_request_id_;
+  send_buffer_.clear();
+  for (const AccessRequest& request : requests) {
+    SENTINEL_RETURN_IF_ERROR(
+        wire::EncodeCheckRequest(next_request_id_++, request, &send_buffer_));
+  }
+  SENTINEL_RETURN_IF_ERROR(SendRaw(send_buffer_));
+  size_t received = 0;
+  while (received < requests.size()) {
+    wire::FrameView frame;
+    SENTINEL_RETURN_IF_ERROR(ReadFrame(&frame));
+    wire::ProtocolError perror;
+    if (frame.type == wire::MsgType::kDecision) {
+      wire::DecisionMsg msg;
+      if (!wire::DecodeDecision(frame, &msg, &perror)) {
+        return Status::Internal("malformed decision: " + perror.message);
+      }
+      const uint64_t index = msg.request_id - first_id;
+      if (index >= requests.size()) continue;
+      decisions[index] = std::move(msg.decision);
+      ++received;
+      continue;
+    }
+    if (frame.type == wire::MsgType::kError) {
+      wire::ErrorMsg error;
+      if (!wire::DecodeError(frame, &error, &perror)) {
+        return Status::Internal("malformed error frame: " + perror.message);
+      }
+      ++protocol_errors_;
+      return ErrorStatus(error);
+    }
+  }
+  return decisions;
+}
+
+Status WireClient::Ping() {
+  if (fd_ < 0) return Status::FailedPrecondition("client closed");
+  const uint64_t id = next_request_id_++;
+  send_buffer_.clear();
+  wire::EncodePing(id, &send_buffer_);
+  SENTINEL_RETURN_IF_ERROR(SendRaw(send_buffer_));
+  for (;;) {
+    wire::FrameView frame;
+    SENTINEL_RETURN_IF_ERROR(ReadFrame(&frame));
+    if (frame.type == wire::MsgType::kPong && frame.request_id == id) {
+      return Status::OK();
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace sentinel

@@ -1,0 +1,91 @@
+/// \file
+/// \brief WireClient — blocking client for the sentinelpp wire API.
+///
+/// One connection, one thread at a time (callers wanting concurrency open
+/// more clients — connections are cheap and the server is a reactor).
+/// `Check` is the closed-loop primitive; `CheckBatch` pipelines a whole
+/// span of requests before reading any response, which is what turns the
+/// server's per-sweep folding into real CheckAccessBatch batches.
+///
+/// Protocol errors come back as typed Status values carrying the server's
+/// WireError (`wire error <name>: <detail>`); transport failures are
+/// Internal. The raw-byte hooks (SendRaw/ReadRawFrame) exist for the
+/// framing torture tests — production callers never need them.
+
+#ifndef SENTINELPP_NET_CLIENT_H_
+#define SENTINELPP_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/wire.h"
+#include "net/frame.h"
+
+namespace sentinel {
+namespace net {
+
+class WireClient {
+ public:
+  /// Connects (blocking, with a connect+IO timeout in milliseconds;
+  /// 0 = no timeout).
+  static Result<std::unique_ptr<WireClient>> Connect(
+      const std::string& host, uint16_t port, int64_t timeout_ms = 5'000);
+
+  ~WireClient();
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// One request, one response (closed loop).
+  Result<AccessDecision> Check(const AccessRequest& request);
+
+  /// Pipelines every request, then reads every response. Results are
+  /// positionally aligned with `requests`. A request-scoped wire error
+  /// (e.g. kInvalidDeadline) fails the whole call — batch users send
+  /// well-formed requests.
+  Result<std::vector<AccessDecision>> CheckBatch(
+      std::span<const AccessRequest> requests);
+
+  /// Liveness probe: kPing, waits for the matching kPong.
+  Status Ping();
+
+  /// Number of request-scoped wire errors observed (kError frames).
+  uint64_t protocol_errors() const { return protocol_errors_; }
+
+  // ------------------------------------------------ Torture-test surface
+
+  /// Writes raw bytes, optionally in `chunk` byte slices (0 = one write).
+  Status SendRaw(std::string_view bytes, size_t chunk = 0);
+
+  /// Reads one complete frame (any type). Fails on timeout, EOF, or a
+  /// framing-level decode error.
+  Result<wire::FrameView> ReadRawFrame();
+
+  /// True once the server closed the stream (EOF observed).
+  bool eof() const { return eof_; }
+
+  void Close();
+
+ private:
+  WireClient(int fd, int64_t timeout_ms);
+
+  /// Reads until the decoder yields a frame; fills `*frame`.
+  Status ReadFrame(wire::FrameView* frame);
+  /// Maps a received kError frame to a typed Status.
+  static Status ErrorStatus(const wire::ErrorMsg& error);
+
+  int fd_ = -1;
+  int64_t timeout_ms_ = 0;
+  uint64_t next_request_id_ = 1;
+  uint64_t protocol_errors_ = 0;
+  bool eof_ = false;
+  FrameDecoder decoder_;
+  std::string send_buffer_;
+};
+
+}  // namespace net
+}  // namespace sentinel
+
+#endif  // SENTINELPP_NET_CLIENT_H_

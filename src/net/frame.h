@@ -1,0 +1,105 @@
+/// \file
+/// \brief Incremental frame extraction from a connection byte stream.
+///
+/// The reactor feeds whatever the socket produced — one byte or one
+/// megabyte — and polls for complete frames. The decoder never copies
+/// payloads: a polled FrameView aliases the internal buffer and stays
+/// valid until the next Poll/Feed.
+///
+/// Error model (the torture tests pin this):
+///  * an oversized length prefix or an unsupported version byte poisons
+///    the stream — kError with fatal=true, and every later Poll repeats
+///    the error (there is no way to resync);
+///  * an unknown message type is NOT a framing error — the frame is
+///    returned with `raw_type` set and `type` out of the known range, so
+///    the server can answer kUnknownMessageType and keep the connection;
+///  * a truncated trailing frame is simply kNeedMore — only the peer
+///    closing mid-frame turns it into an error, which the *caller*
+///    detects (bytes pending + EOF) because only it sees the EOF.
+
+#ifndef SENTINELPP_NET_FRAME_H_
+#define SENTINELPP_NET_FRAME_H_
+
+#include <string_view>
+
+#include "api/wire.h"
+#include "net/buffer.h"
+
+namespace sentinel {
+namespace net {
+
+class FrameDecoder {
+ public:
+  enum class Next {
+    kFrame,     ///< *frame filled; valid until the next Feed/Poll
+    kNeedMore,  ///< byte stream exhausted mid-frame (or empty)
+    kError,     ///< *error filled; fatal errors repeat forever
+  };
+
+  explicit FrameDecoder(uint32_t max_frame_bytes = wire::kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Feed(std::string_view bytes) {
+    if (!poisoned_) buffer_.Append(bytes);
+  }
+  void Feed(const char* bytes, size_t n) {
+    Feed(std::string_view(bytes, n));
+  }
+
+  Next Poll(wire::FrameView* frame, wire::ProtocolError* error) {
+    if (poisoned_) {
+      *error = poison_;
+      return Next::kError;
+    }
+    // Drop the previous frame (aliased until this call).
+    if (pending_consume_ > 0) {
+      buffer_.Consume(pending_consume_);
+      pending_consume_ = 0;
+    }
+    const std::string_view bytes = buffer_.readable();
+    if (bytes.size() < wire::kLengthPrefixBytes) return Next::kNeedMore;
+    const uint32_t length = wire::GetU32(bytes.data());
+    if (length > max_frame_bytes_) {
+      poison_.code = wire::WireError::kFrameTooLarge;
+      poison_.message = "frame length " + std::to_string(length) +
+                        " exceeds limit " + std::to_string(max_frame_bytes_);
+      poison_.fatal = true;
+      poisoned_ = true;
+      *error = poison_;
+      return Next::kError;
+    }
+    if (bytes.size() < wire::kLengthPrefixBytes + length) return Next::kNeedMore;
+    const std::string_view body =
+        bytes.substr(wire::kLengthPrefixBytes, length);
+    if (!wire::DecodeFrame(body, frame, error)) {
+      if (error->fatal) {
+        poison_ = *error;
+        poisoned_ = true;
+      }
+      return Next::kError;
+    }
+    pending_consume_ = wire::kLengthPrefixBytes + length;
+    return Next::kFrame;
+  }
+
+  /// Bytes of an incomplete trailing frame still buffered — nonzero at EOF
+  /// means the peer died mid-frame (a truncated-stream protocol error the
+  /// connection owner reports).
+  size_t pending_bytes() const {
+    return poisoned_ ? 0 : buffer_.size() - pending_consume_;
+  }
+
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  uint32_t max_frame_bytes_;
+  IoBuffer buffer_;
+  size_t pending_consume_ = 0;
+  bool poisoned_ = false;
+  wire::ProtocolError poison_;
+};
+
+}  // namespace net
+}  // namespace sentinel
+
+#endif  // SENTINELPP_NET_FRAME_H_

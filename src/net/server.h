@@ -1,0 +1,187 @@
+/// \file
+/// \brief WireServer — a single-threaded epoll reactor serving the
+/// versioned binary wire API (api/wire.h) over an AuthorizationService.
+///
+/// Threading model (the surgebot sock.c/irc.c shape): ONE reactor thread
+/// owns the listening socket, every connection, every buffer and the
+/// timer wheel — no locks anywhere in the network layer. Concurrency
+/// comes from the service underneath: the reactor drains every readable
+/// connection, folds the decoded pipeline of requests into a single
+/// `CheckAccessBatchInto` call (one mailbox hop per involved shard), and
+/// distributes the positionally aligned verdicts back into the
+/// connections' write buffers.
+///
+/// Why the reactor cannot deadlock the epoch barrier: the reactor thread
+/// is a pure *client* of the service — it only ever submits decision-lane
+/// work and blocks on decision latches. Shard threads never wait on the
+/// reactor (replies are byte pushes into reactor-owned buffers performed
+/// by the reactor itself), and admin broadcasts ride the exempt unbounded
+/// mailbox lane, so a full decision lane cannot wedge an epoch barrier no
+/// matter what the reactor is blocked on. The one blocking edge —
+/// reactor -> shards, bounded by the PR-5 deadlines — has no reverse
+/// edge, so no cycle exists.
+///
+/// Overload composes end to end: a full shard mailbox or an expired
+/// deadline surfaces as a kOverloaded decision *on the wire*, so a remote
+/// load balancer sees exactly what an in-process caller would.
+
+#ifndef SENTINELPP_NET_SERVER_H_
+#define SENTINELPP_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/wire.h"
+#include "net/buffer.h"
+#include "net/frame.h"
+#include "net/timer_wheel.h"
+#include "service/authorization_service.h"
+
+namespace sentinel {
+namespace net {
+
+struct ServerConfig {
+  /// Bind address (IPv4 dotted quad) and port; port 0 binds an ephemeral
+  /// port, readable via WireServer::port() after Start().
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;
+  int backlog = 128;
+  /// Connections idle longer than this are closed by the timer wheel.
+  /// 0 disables idle harvesting.
+  int64_t idle_timeout_ms = 30'000;
+  /// Per-frame size cap (fatal kFrameTooLarge beyond it).
+  uint32_t max_frame_bytes = wire::kMaxFrameBytes;
+  /// Requests folded into one CheckAccessBatch call. A reactor sweep that
+  /// decodes more than this dispatches in chunks.
+  size_t max_batch = 1024;
+  /// Accept() stops beyond this many live connections (listener stays
+  /// registered; accepting resumes as connections close).
+  size_t max_connections = 10'000;
+  /// How long Stop() keeps flushing pending write buffers before closing
+  /// connections that will not drain.
+  int64_t drain_timeout_ms = 2'000;
+};
+
+/// Reactor counters, written only by the reactor thread, readable from any
+/// thread (relaxed atomics — monitoring, not synchronization).
+struct ServerStats {
+  uint64_t accepted = 0;
+  uint64_t closed = 0;
+  uint64_t active = 0;
+  uint64_t requests = 0;         ///< decoded kCheckRequest frames
+  uint64_t decisions = 0;        ///< kDecision frames written
+  uint64_t batches = 0;          ///< CheckAccessBatch calls
+  uint64_t pings = 0;
+  uint64_t protocol_errors = 0;  ///< kError frames sent + truncated EOFs
+  uint64_t idle_closed = 0;      ///< connections harvested by the wheel
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+class WireServer {
+ public:
+  WireServer(AuthorizationService* service, ServerConfig config);
+  ~WireServer();
+
+  WireServer(const WireServer&) = delete;
+  WireServer& operator=(const WireServer&) = delete;
+
+  /// Binds, listens, spawns the reactor thread. Fails (Status) on socket
+  /// errors; idempotence is not attempted — one Start per server.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, answer everything already read,
+  /// flush write buffers (bounded by drain_timeout_ms), close, join.
+  /// Idempotent; the destructor calls it.
+  void Stop();
+
+  /// Bound port (resolves ephemeral binds); 0 before Start().
+  uint16_t port() const { return port_; }
+
+  ServerStats stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    FrameDecoder decoder;
+    IoBuffer write_buffer;
+    int64_t idle_deadline_ms = 0;
+    bool close_after_flush = false;
+    bool wants_writable = false;  ///< EPOLLOUT currently subscribed
+
+    explicit Connection(uint32_t max_frame_bytes)
+        : decoder(max_frame_bytes) {}
+  };
+
+  /// One decoded request waiting for its verdict: which connection asked,
+  /// under which correlation id.
+  struct PendingRef {
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;
+  };
+
+  void ReactorLoop();
+  void AcceptReady();
+  void HandleReadable(Connection& conn);
+  void HandleWritable(Connection& conn);
+  /// Decodes every complete frame buffered on `conn`, queueing check
+  /// requests into pending_ and answering pings/errors inline.
+  void DrainFrames(Connection& conn);
+  /// One CheckAccessBatchInto over everything in pending_, verdicts
+  /// encoded into their connections' write buffers.
+  void DispatchPending();
+  /// write() until EAGAIN; (un)subscribes EPOLLOUT as needed.
+  void FlushConnection(Connection& conn);
+  void CloseConnection(uint64_t conn_id);
+  /// Whether any queued-but-undispatched request belongs to `conn_id`
+  /// (an EOF'd connection with pending work must live to receive answers).
+  bool HasPendingFor(uint64_t conn_id) const;
+  void UpdateEpollOut(Connection& conn, bool want);
+  void ArmIdleTimer(Connection& conn);
+  void HarvestIdle();
+  int64_t NowMs() const;
+
+  AuthorizationService* service_;
+  ServerConfig config_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wakeup_fd_ = -1;  ///< eventfd: Stop() -> reactor
+  uint16_t port_ = 0;
+
+  std::thread reactor_;
+  std::atomic<bool> stop_requested_{false};
+  bool started_ = false;
+  bool joined_ = false;
+
+  // ---- Reactor-thread-only state below this line. ----
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  std::unordered_map<int, uint64_t> fd_to_conn_;
+  TimerWheel timer_wheel_;
+  std::vector<TimerWheel::Entry> expired_scratch_;
+  /// Batch scratch, reused across sweeps (no per-batch allocation in
+  /// steady state).
+  std::vector<AccessRequest> pending_requests_;
+  std::vector<PendingRef> pending_refs_;
+  std::vector<AccessDecision> decisions_scratch_;
+
+  /// Stats mirror (relaxed; reactor writes, anyone reads).
+  struct AtomicStats {
+    std::atomic<uint64_t> accepted{0}, closed{0}, active{0}, requests{0},
+        decisions{0}, batches{0}, pings{0}, protocol_errors{0},
+        idle_closed{0}, bytes_in{0}, bytes_out{0};
+  };
+  AtomicStats stats_;
+};
+
+}  // namespace net
+}  // namespace sentinel
+
+#endif  // SENTINELPP_NET_SERVER_H_

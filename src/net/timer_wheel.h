@@ -1,0 +1,92 @@
+/// \file
+/// \brief Hashed timer wheel for connection deadlines (surgebot timer.c
+/// idiom, adapted to the reactor's monotonic-millisecond clock).
+///
+/// The reactor schedules one idle deadline per connection and advances
+/// the wheel from its loop. Cancellation is *lazy*: the wheel never
+/// removes an entry — when a slot fires, the owner validates the entry
+/// against the connection's live deadline and simply re-arms if activity
+/// has pushed it into the future. That keeps Schedule/Advance O(1)
+/// amortized with no per-entry bookkeeping shared between wheel and
+/// owner beyond the key.
+
+#ifndef SENTINELPP_NET_TIMER_WHEEL_H_
+#define SENTINELPP_NET_TIMER_WHEEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace sentinel {
+namespace net {
+
+class TimerWheel {
+ public:
+  struct Entry {
+    uint64_t key = 0;         ///< owner-defined (the reactor uses conn ids)
+    int64_t deadline_ms = 0;  ///< absolute, owner's clock
+  };
+
+  /// `tick_ms` is the firing granularity; `slots` the wheel circumference
+  /// (entries farther than tick_ms*slots in the future simply lap).
+  explicit TimerWheel(int64_t tick_ms = 100, size_t slots = 256)
+      : tick_ms_(tick_ms > 0 ? tick_ms : 1), slots_(slots ? slots : 1) {
+    wheel_.resize(slots_);
+  }
+
+  void Schedule(uint64_t key, int64_t deadline_ms) {
+    wheel_[SlotOf(deadline_ms)].push_back(Entry{key, deadline_ms});
+    ++size_;
+  }
+
+  /// Fires every entry due at `now_ms` into `expired` (append). Entries in
+  /// due slots that have lapped (deadline still in the future) are
+  /// re-queued, not fired.
+  void Advance(int64_t now_ms, std::vector<Entry>* expired) {
+    if (size_ == 0) {
+      last_ms_ = now_ms;
+      return;
+    }
+    // Sweep every slot the clock passed since the last advance (bounded by
+    // one full revolution).
+    const int64_t from_tick = last_ms_ / tick_ms_;
+    const int64_t to_tick = now_ms / tick_ms_;
+    const int64_t span =
+        std::min<int64_t>(to_tick - from_tick, static_cast<int64_t>(slots_));
+    for (int64_t t = 0; t <= span; ++t) {
+      auto& slot = wheel_[static_cast<size_t>((from_tick + t) %
+                                              static_cast<int64_t>(slots_))];
+      size_t kept = 0;
+      for (size_t i = 0; i < slot.size(); ++i) {
+        if (slot[i].deadline_ms <= now_ms) {
+          expired->push_back(slot[i]);
+          --size_;
+        } else {
+          slot[kept++] = slot[i];
+        }
+      }
+      slot.resize(kept);
+    }
+    last_ms_ = now_ms;
+  }
+
+  size_t size() const { return size_; }
+  int64_t tick_ms() const { return tick_ms_; }
+
+ private:
+  size_t SlotOf(int64_t deadline_ms) const {
+    return static_cast<size_t>((deadline_ms / tick_ms_) %
+                               static_cast<int64_t>(slots_));
+  }
+
+  int64_t tick_ms_;
+  size_t slots_;
+  int64_t last_ms_ = 0;
+  size_t size_ = 0;
+  std::vector<std::vector<Entry>> wheel_;
+};
+
+}  // namespace net
+}  // namespace sentinel
+
+#endif  // SENTINELPP_NET_TIMER_WHEEL_H_

@@ -278,10 +278,27 @@ AccessDecision AuthorizationService::OverloadDecision(bool shed,
   return decision;
 }
 
-Duration AuthorizationService::EffectiveDeadline(
-    const AccessRequest& request) const {
-  if (request.deadline == 0) return default_deadline_;
-  return request.deadline;  // kNoDeadline (< 0) disables below.
+AdminResult AuthorizationService::ToAdminResult(
+    const AccessDecision& decision) {
+  AdminResult result;
+  switch (decision.outcome) {
+    case AccessOutcome::kDecided:
+      result.status = decision.allowed
+                          ? Status::OK()
+                          : Status::ConstraintViolation(decision.reason);
+      break;
+    case AccessOutcome::kOverloaded:
+      result.status = Status::ResourceExhausted(decision.reason);
+      break;
+    case AccessOutcome::kShutdown:
+      result.status = Status::FailedPrecondition(decision.reason);
+      break;
+  }
+  result.outcome = decision.outcome;
+  result.epoch = decision.epoch;
+  result.shard = decision.shard;
+  result.latency = decision.latency;
+  return result;
 }
 
 int64_t AuthorizationService::DeadlineNanos(Duration deadline_us,
@@ -502,14 +519,23 @@ AccessDecision AuthorizationService::CheckAccess(const AccessRequest& request) {
                                                 request.object,
                                                 request.purpose);
                     },
-                    EffectiveDeadline(request));
+                    request.EffectiveDeadline(default_deadline_));
 }
 
 std::vector<AccessDecision> AuthorizationService::CheckAccessBatch(
     std::span<const AccessRequest> requests) {
+  std::vector<AccessDecision> results(requests.size());
+  CheckAccessBatchInto(requests, results);
+  return results;
+}
+
+void AuthorizationService::CheckAccessBatchInto(
+    std::span<const AccessRequest> requests,
+    std::span<AccessDecision> results) {
+  assert(requests.size() == results.size());
   const int64_t submit_ns = NowNanos();
-  std::vector<AccessDecision> out(requests.size());
-  if (requests.empty()) return out;
+  AccessDecision* const out = results.data();
+  if (requests.empty()) return;
   batches_counter_->Add();
   requests_counter_->Add(requests.size());
   batch_size_hist_->RecordShared(static_cast<int64_t>(requests.size()));
@@ -523,7 +549,7 @@ std::vector<AccessDecision> AuthorizationService::CheckAccessBatch(
                        shard.applied_epoch.load(std::memory_order_relaxed),
                        submit_ns);
     }
-    return out;
+    return;
   }
   // Per-item zero-hop probe first: only the misses pay a mailbox hop, and
   // a batch answered entirely from snapshots involves no shard at all.
@@ -534,13 +560,14 @@ std::vector<AccessDecision> AuthorizationService::CheckAccessBatch(
       pending.push_back(static_cast<uint32_t>(i));
     }
   }
-  if (pending.empty()) return out;
+  if (pending.empty()) return;
   // One envelope per involved shard, carrying that shard's request indices.
   // Deadlines are per item: expiry is judged request by request when the
   // envelope runs, so one slow item never spoils its batch-mates' budget.
   std::vector<int64_t> deadlines(requests.size(), 0);
   for (const uint32_t i : pending) {
-    deadlines[i] = DeadlineNanos(EffectiveDeadline(requests[i]), submit_ns);
+    deadlines[i] = DeadlineNanos(
+        requests[i].EffectiveDeadline(default_deadline_), submit_ns);
   }
   std::vector<std::vector<uint32_t>> indices(shards_.size());
   for (const uint32_t i : pending) {
@@ -570,7 +597,7 @@ std::vector<AccessDecision> AuthorizationService::CheckAccessBatch(
     // Capture a copy: the lambda is built (and `mine` populated) before
     // the push decides, and the refusal fallbacks below still need the
     // list.
-    auto envelope = [this, &requests, &deadlines, &out, &done, submit_ns,
+    auto envelope = [this, requests, &deadlines, out, &done, submit_ns,
                      mine = indices[shard]](Shard& s) {
       const int64_t start_ns = NowNanos();
       s.queue_wait_hist->Record((start_ns - submit_ns) / 1000);
@@ -615,11 +642,10 @@ std::vector<AccessDecision> AuthorizationService::CheckAccessBatch(
     home.queue_depth_hist->RecordShared(static_cast<int64_t>(depth));
   }
   done.Wait();
-  return out;
 }
 
-AccessDecision AuthorizationService::CreateSession(const UserName& user,
-                                                   const SessionId& session) {
+AdminResult AuthorizationService::CreateSession(const UserName& user,
+                                                const SessionId& session) {
   const uint32_t shard = ShardOf(user);
   AccessDecision decision = RunOnShard(
       shard,
@@ -632,10 +658,10 @@ AccessDecision AuthorizationService::CreateSession(const UserName& user,
     sessions_[session] = shard;
     sessions_gauge_->Set(static_cast<int64_t>(sessions_.size()));
   }
-  return decision;
+  return ToAdminResult(decision);
 }
 
-AccessDecision AuthorizationService::DeleteSession(const SessionId& session) {
+AdminResult AuthorizationService::DeleteSession(const SessionId& session) {
   const uint32_t shard = RouteSession(session);
   AccessDecision decision = RunOnShard(
       shard,
@@ -648,57 +674,63 @@ AccessDecision AuthorizationService::DeleteSession(const SessionId& session) {
     sessions_.erase(session);
     sessions_gauge_->Set(static_cast<int64_t>(sessions_.size()));
   }
-  return decision;
+  return ToAdminResult(decision);
 }
 
-AccessDecision AuthorizationService::AddActiveRole(const UserName& user,
-                                                   const SessionId& session,
-                                                   const RoleName& role) {
-  return RunOnShard(ShardOf(user),
-                    [&user, &session, &role](AuthorizationEngine& engine) {
-                      return engine.AddActiveRole(user, session, role);
-                    },
-                    default_deadline_);
+AdminResult AuthorizationService::AddActiveRole(const UserName& user,
+                                                const SessionId& session,
+                                                const RoleName& role) {
+  return ToAdminResult(
+      RunOnShard(ShardOf(user),
+                 [&user, &session, &role](AuthorizationEngine& engine) {
+                   return engine.AddActiveRole(user, session, role);
+                 },
+                 default_deadline_));
 }
 
-AccessDecision AuthorizationService::DropActiveRole(const UserName& user,
-                                                    const SessionId& session,
-                                                    const RoleName& role) {
-  return RunOnShard(ShardOf(user),
-                    [&user, &session, &role](AuthorizationEngine& engine) {
-                      return engine.DropActiveRole(user, session, role);
-                    },
-                    default_deadline_);
+AdminResult AuthorizationService::DropActiveRole(const UserName& user,
+                                                 const SessionId& session,
+                                                 const RoleName& role) {
+  return ToAdminResult(
+      RunOnShard(ShardOf(user),
+                 [&user, &session, &role](AuthorizationEngine& engine) {
+                   return engine.DropActiveRole(user, session, role);
+                 },
+                 default_deadline_));
 }
 
 // ---------------------------------------------------------- Administration
 
-AccessDecision AuthorizationService::AssignUser(const UserName& user,
-                                                const RoleName& role) {
-  return BroadcastRequest(ShardOf(user),
-                          [&user, &role](AuthorizationEngine& engine) {
-                            return engine.AssignUser(user, role);
-                          });
+AdminResult AuthorizationService::AssignUser(const UserName& user,
+                                             const RoleName& role) {
+  return ToAdminResult(
+      BroadcastRequest(ShardOf(user),
+                       [&user, &role](AuthorizationEngine& engine) {
+                         return engine.AssignUser(user, role);
+                       }));
 }
 
-AccessDecision AuthorizationService::DeassignUser(const UserName& user,
-                                                  const RoleName& role) {
-  return BroadcastRequest(ShardOf(user),
-                          [&user, &role](AuthorizationEngine& engine) {
-                            return engine.DeassignUser(user, role);
-                          });
+AdminResult AuthorizationService::DeassignUser(const UserName& user,
+                                               const RoleName& role) {
+  return ToAdminResult(
+      BroadcastRequest(ShardOf(user),
+                       [&user, &role](AuthorizationEngine& engine) {
+                         return engine.DeassignUser(user, role);
+                       }));
 }
 
-AccessDecision AuthorizationService::EnableRole(const RoleName& role) {
-  return BroadcastRequest(0, [&role](AuthorizationEngine& engine) {
-    return engine.EnableRole(role);
-  });
+AdminResult AuthorizationService::EnableRole(const RoleName& role) {
+  return ToAdminResult(
+      BroadcastRequest(0, [&role](AuthorizationEngine& engine) {
+        return engine.EnableRole(role);
+      }));
 }
 
-AccessDecision AuthorizationService::DisableRole(const RoleName& role) {
-  return BroadcastRequest(0, [&role](AuthorizationEngine& engine) {
-    return engine.DisableRole(role);
-  });
+AdminResult AuthorizationService::DisableRole(const RoleName& role) {
+  return ToAdminResult(
+      BroadcastRequest(0, [&role](AuthorizationEngine& engine) {
+        return engine.DisableRole(role);
+      }));
 }
 
 void AuthorizationService::SetContext(const std::string& key,

@@ -221,19 +221,31 @@ class AuthorizationService {
   std::vector<AccessDecision> CheckAccessBatch(
       std::span<const AccessRequest> requests);
 
-  AccessDecision CreateSession(const UserName& user, const SessionId& session);
-  AccessDecision DeleteSession(const SessionId& session);
-  AccessDecision AddActiveRole(const UserName& user, const SessionId& session,
-                               const RoleName& role);
-  AccessDecision DropActiveRole(const UserName& user, const SessionId& session,
-                                const RoleName& role);
+  /// Allocation-free batch variant for callers that own a reusable result
+  /// buffer (the wire server's reactor thread): decides `requests` into
+  /// `results`, which must be exactly requests.size() long. Same admission,
+  /// deadline and fast-path semantics as CheckAccessBatch.
+  void CheckAccessBatchInto(std::span<const AccessRequest> requests,
+                            std::span<AccessDecision> results);
+
+  // --------------------------------------------- Session lifecycle (typed)
+  //
+  // Mutators return AdminResult — status + epoch + shard — not the
+  // check-shaped AccessDecision (see AdminResult in api/sentinelpp.h).
+
+  AdminResult CreateSession(const UserName& user, const SessionId& session);
+  AdminResult DeleteSession(const SessionId& session);
+  AdminResult AddActiveRole(const UserName& user, const SessionId& session,
+                            const RoleName& role);
+  AdminResult DropActiveRole(const UserName& user, const SessionId& session,
+                             const RoleName& role);
 
   // ------------------------------------- Administration (broadcast + epoch)
 
-  AccessDecision AssignUser(const UserName& user, const RoleName& role);
-  AccessDecision DeassignUser(const UserName& user, const RoleName& role);
-  AccessDecision EnableRole(const RoleName& role);
-  AccessDecision DisableRole(const RoleName& role);
+  AdminResult AssignUser(const UserName& user, const RoleName& role);
+  AdminResult DeassignUser(const UserName& user, const RoleName& role);
+  AdminResult EnableRole(const RoleName& role);
+  AdminResult DisableRole(const RoleName& role);
   /// Context-aware RBAC environment change, visible on all shards.
   void SetContext(const std::string& key, const std::string& value);
 
@@ -351,9 +363,8 @@ class AuthorizationService {
       uint32_t shard, const std::function<Decision(AuthorizationEngine&)>& op,
       Duration deadline_us);
 
-  /// The wall budget for `request`: its own deadline, else the configured
-  /// default; <= 0 = none.
-  Duration EffectiveDeadline(const AccessRequest& request) const;
+  /// Folds a mutator's internal AccessDecision into the typed AdminResult.
+  static AdminResult ToAdminResult(const AccessDecision& decision);
 
   /// Zero-hop read path: answers `request` from its home shard's published
   /// cache snapshot, entirely on the caller's thread. Returns true and

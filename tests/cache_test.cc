@@ -183,8 +183,8 @@ TEST(CacheServiceTest, CachedAllowFlipsAfterAdminBroadcast) {
   AuthorizationService& service = **service_or;
   ASSERT_TRUE(service.LoadPolicy(CacheLabPolicy()).ok());
 
-  ASSERT_TRUE(service.CreateSession("dave", "s1").allowed);
-  ASSERT_TRUE(service.AddActiveRole("dave", "s1", "Doctor").allowed);
+  ASSERT_TRUE(service.CreateSession("dave", "s1").ok());
+  ASSERT_TRUE(service.AddActiveRole("dave", "s1", "Doctor").ok());
 
   AccessRequest request;
   request.user = "dave";
@@ -198,13 +198,13 @@ TEST(CacheServiceTest, CachedAllowFlipsAfterAdminBroadcast) {
 
   // An unrelated admin broadcast: the stamp's epoch component moves, the
   // entry re-validates as stale, but the verdict itself is unchanged.
-  EXPECT_TRUE(service.AssignUser("nina", "Doctor").allowed);
+  EXPECT_TRUE(service.AssignUser("nina", "Doctor").ok());
   EXPECT_TRUE(service.CheckAccess(request).allowed);
   ServiceStats after_unrelated = service.Stats();
   EXPECT_GE(after_unrelated.cache_stale, warm.cache_stale + 1);
 
   // A broadcast that strips the authorization: the cached ALLOW must flip.
-  EXPECT_TRUE(service.DeassignUser("dave", "Doctor").allowed);
+  EXPECT_TRUE(service.DeassignUser("dave", "Doctor").ok());
   const AccessDecision denied = service.CheckAccess(request);
   EXPECT_FALSE(denied.allowed);
   EXPECT_EQ(denied.reason, "Permission Denied");
@@ -457,8 +457,8 @@ TEST(ServiceConfigValidationTest, ConstructorDegradesLoudlyButStillServes) {
 
   // Degraded, not dead: the fallback single shard still decides.
   ASSERT_TRUE(service.LoadPolicy(CacheLabPolicy()).ok());
-  ASSERT_TRUE(service.CreateSession("dave", "s1").allowed);
-  ASSERT_TRUE(service.AddActiveRole("dave", "s1", "Doctor").allowed);
+  ASSERT_TRUE(service.CreateSession("dave", "s1").ok());
+  ASSERT_TRUE(service.AddActiveRole("dave", "s1", "Doctor").ok());
   AccessRequest request;
   request.session = "s1";
   request.operation = "read";

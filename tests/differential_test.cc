@@ -342,6 +342,18 @@ struct ServiceAdapter {
     return d;
   }
 
+  /// Mutators answer the typed AdminResult now; the denial reason (the
+  /// surface the lockstep harness asserts on) rides the status message.
+  static Decision ToDecision(const AdminResult& result) {
+    Decision d;
+    if (result.ok()) {
+      d.Allow("");
+    } else {
+      d.Deny("", result.status.message());
+    }
+    return d;
+  }
+
   Decision CreateSession(const UserName& user, const SessionId& session) {
     return ToDecision(service.CreateSession(user, session));
   }

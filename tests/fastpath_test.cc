@@ -59,8 +59,8 @@ class FastPathServiceTest : public ::testing::Test {
     ASSERT_TRUE(service_or.ok()) << service_or.status().message();
     service_ = std::move(*service_or);
     ASSERT_TRUE(service_->LoadPolicy(FastLabPolicy()).ok());
-    ASSERT_TRUE(service_->CreateSession("alice", "s1").allowed);
-    ASSERT_TRUE(service_->AddActiveRole("alice", "s1", "Doctor").allowed);
+    ASSERT_TRUE(service_->CreateSession("alice", "s1").ok());
+    ASSERT_TRUE(service_->AddActiveRole("alice", "s1", "Doctor").ok());
   }
 
   AuthorizationService& service() { return *service_; }
@@ -177,7 +177,7 @@ TEST_F(FastPathServiceTest, AdminBroadcastMovesTheStampBeforeReturning) {
   // The broadcast returns only after every shard applied it — and every
   // shard published its moved stamp first. A fast hit after this line can
   // therefore never replay the pre-broadcast verdict.
-  ASSERT_TRUE(service().DeassignUser("alice", "Doctor").allowed);
+  ASSERT_TRUE(service().DeassignUser("alice", "Doctor").ok());
   const AccessDecision after = service().CheckAccess(Req("read", "chart"));
   EXPECT_FALSE(after.allowed);
   EXPECT_EQ(after.reason, AuthorizationEngine::kDenyReason);
@@ -188,10 +188,10 @@ TEST_F(FastPathServiceTest, SessionRoleChurnInvalidatesCallerSideReplays) {
   ASSERT_TRUE(service().CheckAccess(Req("read", "chart")).allowed);
   ASSERT_TRUE(service().CheckAccess(Req("read", "chart")).allowed);  // Warm.
 
-  ASSERT_TRUE(service().DropActiveRole("alice", "s1", "Doctor").allowed);
+  ASSERT_TRUE(service().DropActiveRole("alice", "s1", "Doctor").ok());
   EXPECT_FALSE(service().CheckAccess(Req("read", "chart")).allowed);
 
-  ASSERT_TRUE(service().AddActiveRole("alice", "s1", "Doctor").allowed);
+  ASSERT_TRUE(service().AddActiveRole("alice", "s1", "Doctor").ok());
   EXPECT_TRUE(service().CheckAccess(Req("read", "chart")).allowed);
 }
 
@@ -203,7 +203,7 @@ TEST_F(FastPathServiceTest, UnrelatedBroadcastCostsHitsNeverCorrectness) {
   // An admin change that does not touch alice still moves the coarse stamp
   // (epoch component) — the next call re-dispatches and re-fills, then
   // replays resume.
-  ASSERT_TRUE(service().EnableRole("Temp").allowed);
+  ASSERT_TRUE(service().EnableRole("Temp").ok());
   EXPECT_TRUE(service().CheckAccess(Req("read", "chart")).allowed);
   const uint64_t hits = service().Stats().fastpath_hits;
   EXPECT_TRUE(service().CheckAccess(Req("read", "chart")).allowed);
@@ -266,8 +266,8 @@ TEST(FastPathModeTest, SynchronousModeIgnoresTheFlag) {
   ASSERT_TRUE(service_or.ok());
   AuthorizationService& service = **service_or;
   ASSERT_TRUE(service.LoadPolicy(FastLabPolicy()).ok());
-  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
-  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "Doctor").allowed);
+  ASSERT_TRUE(service.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "Doctor").ok());
 
   // Inline calls have no mailbox to skip: the engine's own cache serves
   // replays and the fast-path counter stays dark.
@@ -334,8 +334,8 @@ TEST(FastPathConfigTest, ConstructorDegradeForcesTheFastPathOff) {
   // Degraded but serving — with no cache there is no snapshot, so the fast
   // path must be off, not crashing on an empty mirror.
   ASSERT_TRUE(service.LoadPolicy(FastLabPolicy()).ok());
-  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
-  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "Doctor").allowed);
+  ASSERT_TRUE(service.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "Doctor").ok());
   EXPECT_TRUE(service.CheckAccess(Req("read", "chart")).allowed);
   EXPECT_TRUE(service.CheckAccess(Req("read", "chart")).allowed);
   EXPECT_EQ(service.Stats().fastpath_hits, 0u);
@@ -358,8 +358,8 @@ TEST(FastPathStressTest, ReadersRaceAdminBroadcastsAndChurn) {
   ASSERT_TRUE(service_or.ok());
   AuthorizationService& service = **service_or;
   ASSERT_TRUE(service.LoadPolicy(FastLabPolicy()).ok());
-  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
-  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "Doctor").allowed);
+  ASSERT_TRUE(service.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "Doctor").ok());
 
   // Warm both keys so readers start on the snapshot.
   ASSERT_TRUE(service.CheckAccess(Req("read", "chart")).allowed);
@@ -389,11 +389,11 @@ TEST(FastPathStressTest, ReadersRaceAdminBroadcastsAndChurn) {
   // The storm: every op moves published stamps on every shard while the
   // readers above race the republishes.
   for (int round = 0; round < 100; ++round) {
-    ASSERT_TRUE(service.DisableRole("Temp").allowed);
-    ASSERT_TRUE(service.EnableRole("Temp").allowed);
+    ASSERT_TRUE(service.DisableRole("Temp").ok());
+    ASSERT_TRUE(service.EnableRole("Temp").ok());
     const std::string session = "bob-" + std::to_string(round);
-    ASSERT_TRUE(service.CreateSession("bob", session).allowed);
-    ASSERT_TRUE(service.DeleteSession(session).allowed);
+    ASSERT_TRUE(service.CreateSession("bob", session).ok());
+    ASSERT_TRUE(service.DeleteSession(session).ok());
     ASSERT_TRUE(service.AdvanceBy(kMinute).ok());
   }
   for (std::thread& reader : readers) reader.join();
@@ -404,7 +404,7 @@ TEST(FastPathStressTest, ReadersRaceAdminBroadcastsAndChurn) {
 
   // Post-storm linearization: stripping the grant must be visible to the
   // very next call.
-  ASSERT_TRUE(service.DeassignUser("alice", "Doctor").allowed);
+  ASSERT_TRUE(service.DeassignUser("alice", "Doctor").ok());
   const AccessDecision after = service.CheckAccess(Req("read", "chart"));
   EXPECT_FALSE(after.allowed);
   EXPECT_EQ(after.reason, AuthorizationEngine::kDenyReason);

@@ -46,8 +46,8 @@ TEST(ServiceTest, SynchronousModeMatchesEngineSemantics) {
   EXPECT_EQ(service.num_shards(), 1);
   EXPECT_TRUE(service.synchronous());
 
-  EXPECT_TRUE(service.CreateSession("alice", "s1").allowed);
-  EXPECT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+  EXPECT_TRUE(service.CreateSession("alice", "s1").ok());
+  EXPECT_TRUE(service.AddActiveRole("alice", "s1", "PM").ok());
 
   AccessRequest ok_request{"alice", "s1", "read", "ledger", ""};
   AccessDecision allowed = service.CheckAccess(ok_request);
@@ -91,8 +91,8 @@ TEST(ServiceTest, RoutingIsDeterministicAcrossInstances) {
 TEST(ServiceTest, SessionsLiveOnTheUsersHomeShard) {
   AuthorizationService service(ShardedConfig(4));
   ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
-  ASSERT_TRUE(service.CreateSession("alice", "s-alice").allowed);
-  ASSERT_TRUE(service.CreateSession("bob", "s-bob").allowed);
+  ASSERT_TRUE(service.CreateSession("alice", "s-alice").ok());
+  ASSERT_TRUE(service.CreateSession("bob", "s-bob").ok());
 
   const uint32_t alice_home = service.ShardOf("alice");
   for (int shard = 0; shard < service.num_shards(); ++shard) {
@@ -119,9 +119,9 @@ TEST(ServiceTest, AdminBroadcastVisibleOnAllShardsAfterBarrier) {
   const uint64_t epoch_after_load = service.admin_epoch();
   EXPECT_GE(epoch_after_load, 1u);
 
-  ASSERT_TRUE(service.CreateSession("carol", "s-carol").allowed);
+  ASSERT_TRUE(service.CreateSession("carol", "s-carol").ok());
   // carol is only a Clerk: activating PC is denied pre-update.
-  EXPECT_FALSE(service.AddActiveRole("carol", "s-carol", "PC").allowed);
+  EXPECT_FALSE(service.AddActiveRole("carol", "s-carol", "PC").ok());
 
   Policy updated = policy;
   auto carol = updated.MutableUser("carol");
@@ -132,7 +132,7 @@ TEST(ServiceTest, AdminBroadcastVisibleOnAllShardsAfterBarrier) {
   EXPECT_GT(service.admin_epoch(), epoch_after_load);
 
   // Post-barrier, the new assignment is visible wherever it is queried.
-  EXPECT_TRUE(service.AddActiveRole("carol", "s-carol", "PC").allowed);
+  EXPECT_TRUE(service.AddActiveRole("carol", "s-carol", "PC").ok());
   for (int shard = 0; shard < service.num_shards(); ++shard) {
     service.Inspect(static_cast<uint32_t>(shard),
                     [&](const AuthorizationEngine& engine) {
@@ -148,12 +148,12 @@ TEST(ServiceTest, AdminBroadcastVisibleOnAllShardsAfterBarrier) {
 TEST(ServiceTest, RoleDisableBroadcastDeactivatesEverywhere) {
   AuthorizationService service(ShardedConfig(4));
   ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
-  ASSERT_TRUE(service.CreateSession("alice", "sa").allowed);
-  ASSERT_TRUE(service.CreateSession("carol", "sc").allowed);
-  ASSERT_TRUE(service.AddActiveRole("alice", "sa", "PM").allowed);
-  ASSERT_TRUE(service.AddActiveRole("carol", "sc", "Clerk").allowed);
+  ASSERT_TRUE(service.CreateSession("alice", "sa").ok());
+  ASSERT_TRUE(service.CreateSession("carol", "sc").ok());
+  ASSERT_TRUE(service.AddActiveRole("alice", "sa", "PM").ok());
+  ASSERT_TRUE(service.AddActiveRole("carol", "sc", "Clerk").ok());
 
-  EXPECT_TRUE(service.DisableRole("Clerk").allowed);
+  EXPECT_TRUE(service.DisableRole("Clerk").ok());
   for (int shard = 0; shard < service.num_shards(); ++shard) {
     service.Inspect(static_cast<uint32_t>(shard),
                     [&](const AuthorizationEngine& engine) {
@@ -196,10 +196,10 @@ TEST(ServiceTest, BatchMatchesSingleCallDecisions) {
   AuthorizationService sync(SyncConfig());
   for (AuthorizationService* service : {&sharded, &sync}) {
     ASSERT_TRUE(service->LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
-    ASSERT_TRUE(service->CreateSession("alice", "s1").allowed);
-    ASSERT_TRUE(service->AddActiveRole("alice", "s1", "PM").allowed);
-    ASSERT_TRUE(service->CreateSession("bob", "s2").allowed);
-    ASSERT_TRUE(service->AddActiveRole("bob", "s2", "AC").allowed);
+    ASSERT_TRUE(service->CreateSession("alice", "s1").ok());
+    ASSERT_TRUE(service->AddActiveRole("alice", "s1", "PM").ok());
+    ASSERT_TRUE(service->CreateSession("bob", "s2").ok());
+    ASSERT_TRUE(service->AddActiveRole("bob", "s2", "AC").ok());
   }
   std::vector<AccessRequest> requests = {
       {"alice", "s1", "read", "ledger", ""},
@@ -226,8 +226,8 @@ TEST(ServiceTest, BatchMatchesSingleCallDecisions) {
 TEST(ServiceTest, ShutdownDrainsQueuedWorkAndRefusesNewWork) {
   AuthorizationService service(ShardedConfig(2));
   ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
-  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
-  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+  ASSERT_TRUE(service.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").ok());
 
   std::vector<AccessRequest> requests(
       5000, AccessRequest{"alice", "s1", "read", "ledger", ""});
@@ -267,7 +267,7 @@ TEST(ServiceTest, ShutdownDrainsQueuedWorkAndRefusesNewWork) {
   EXPECT_EQ(after.reason, "service is shut down");
   EXPECT_EQ(after.outcome, AccessOutcome::kShutdown);
   EXPECT_TRUE(ToStatus(after).IsFailedPrecondition());
-  EXPECT_FALSE(service.CreateSession("bob", "s2").allowed);
+  EXPECT_FALSE(service.CreateSession("bob", "s2").ok());
   service.Shutdown();  // Idempotent.
 }
 
@@ -396,8 +396,8 @@ TEST(ServiceOverloadTest, ShedAtFullMailboxIsExplicitAndCounted) {
   AuthorizationService service(
       OverloadConfig(/*capacity=*/1, OverloadPolicy::kShed));
   ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
-  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
-  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+  ASSERT_TRUE(service.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").ok());
 
   Gate gate;
   StallShard(service, 0, gate);
@@ -444,8 +444,8 @@ TEST(ServiceOverloadTest, BlockPolicyWaitsForSpaceInsteadOfShedding) {
   AuthorizationService service(
       OverloadConfig(/*capacity=*/1, OverloadPolicy::kBlock));
   ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
-  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
-  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+  ASSERT_TRUE(service.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").ok());
 
   Gate gate;
   StallShard(service, 0, gate);
@@ -481,8 +481,8 @@ TEST(ServiceOverloadTest, DeadlineExpiryInQueueIsOverloadNotPolicyDeny) {
   AuthorizationService service(OverloadConfig(
       /*capacity=*/0, OverloadPolicy::kBlock, /*default_deadline=*/0));
   ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
-  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
-  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+  ASSERT_TRUE(service.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").ok());
 
   Gate gate;
   StallShard(service, 0, gate);
@@ -518,8 +518,8 @@ TEST(ServiceOverloadTest, DefaultDeadlineAppliesAndPerRequestOverrides) {
       /*capacity=*/0, OverloadPolicy::kBlock,
       /*default_deadline=*/2 * kMillisecond));
   ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
-  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
-  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+  ASSERT_TRUE(service.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").ok());
 
   Gate gate;
   StallShard(service, 0, gate);
@@ -544,8 +544,8 @@ TEST(ServiceOverloadTest, BatchReportsPerItemOutcomes) {
   AuthorizationService service(OverloadConfig(
       /*capacity=*/0, OverloadPolicy::kBlock, /*default_deadline=*/0));
   ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
-  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
-  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+  ASSERT_TRUE(service.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").ok());
 
   Gate gate;
   StallShard(service, 0, gate);
@@ -579,8 +579,8 @@ TEST(ServiceOverloadTest, BatchShedsWholeEnvelopePerItem) {
   AuthorizationService service(
       OverloadConfig(/*capacity=*/1, OverloadPolicy::kShed));
   ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
-  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
-  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+  ASSERT_TRUE(service.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").ok());
 
   Gate gate;
   StallShard(service, 0, gate);
@@ -613,8 +613,8 @@ TEST(ServiceOverloadTest, EpochBarrierStaysSoundWhenProducersBlock) {
   AuthorizationService service(
       OverloadConfig(/*capacity=*/1, OverloadPolicy::kBlock));
   ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
-  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
-  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+  ASSERT_TRUE(service.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").ok());
   const uint64_t epoch_before = service.admin_epoch();
 
   Gate gate;
@@ -660,8 +660,8 @@ TEST(ServiceOverloadTest, SynchronousModeRunsInlineWithoutOverload) {
   config.default_deadline = 1;  // 1us — instantly expirable if queued.
   AuthorizationService service(config);
   ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
-  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
-  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+  ASSERT_TRUE(service.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").ok());
   for (int i = 0; i < 100; ++i) {
     const AccessDecision decision =
         service.CheckAccess({"alice", "s1", "read", "ledger", ""});
@@ -706,8 +706,8 @@ TEST(ServiceTest, DecisionLogRingBufferCapsAndCountsOverflow) {
 TEST(ServiceTest, StatsAggregateAcrossShards) {
   AuthorizationService service(ShardedConfig(4));
   ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
-  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
-  ASSERT_TRUE(service.CreateSession("bob", "s2").allowed);
+  ASSERT_TRUE(service.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(service.CreateSession("bob", "s2").ok());
   (void)service.CheckAccess({"alice", "s1", "read", "ledger", ""});  // Deny.
   (void)service.CheckAccess({"bob", "s2", "read", "ledger", ""});    // Deny.
   const ServiceStats stats = service.Stats();
@@ -724,10 +724,10 @@ TEST(ServiceTelemetryTest, SnapshotMergesShardsAndCarriesSpans) {
   config.trace_sample_every = 1;
   AuthorizationService service(config);
   ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
-  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
-  ASSERT_TRUE(service.CreateSession("bob", "s2").allowed);
-  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
-  ASSERT_TRUE(service.AddActiveRole("bob", "s2", "AC").allowed);
+  ASSERT_TRUE(service.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(service.CreateSession("bob", "s2").ok());
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").ok());
+  ASSERT_TRUE(service.AddActiveRole("bob", "s2", "AC").ok());
   EXPECT_TRUE(
       service.CheckAccess({"alice", "s1", "approve", "budget-request", ""})
           .allowed);
@@ -842,20 +842,22 @@ RecordedDecision ApplyStep(AuthorizationService& service,
   AccessDecision decision;
   switch (step.kind) {
     case TraceStep::kCreate:
-      decision = service.CreateSession(user, step.session);
+      decision = service.CreateSession(user, step.session).ToDecision();
       break;
     case TraceStep::kActivate:
-      decision = service.AddActiveRole(user, step.session, step.role);
+      decision =
+          service.AddActiveRole(user, step.session, step.role).ToDecision();
       break;
     case TraceStep::kCheck:
       decision = service.CheckAccess(
           {user, step.session, step.operation, step.object, ""});
       break;
     case TraceStep::kDrop:
-      decision = service.DropActiveRole(user, step.session, step.role);
+      decision =
+          service.DropActiveRole(user, step.session, step.role).ToDecision();
       break;
     case TraceStep::kDelete:
-      decision = service.DeleteSession(step.session);
+      decision = service.DeleteSession(step.session).ToDecision();
       break;
   }
   return RecordedDecision{decision.allowed, decision.rule, decision.reason};
@@ -958,10 +960,10 @@ TEST(ServiceStressTest, OverloadShedStressBoundedCountedAndDrained) {
   config.overload_policy = OverloadPolicy::kShed;
   AuthorizationService service(config);
   ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
-  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
-  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
-  ASSERT_TRUE(service.CreateSession("bob", "s2").allowed);
-  ASSERT_TRUE(service.AddActiveRole("bob", "s2", "AC").allowed);
+  ASSERT_TRUE(service.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").ok());
+  ASSERT_TRUE(service.CreateSession("bob", "s2").ok());
+  ASSERT_TRUE(service.AddActiveRole("bob", "s2", "AC").ok());
 
   // The request mix is read-only with statically-known verdicts, so any
   // decided answer can be checked against the oracle without replaying an
@@ -1064,8 +1066,8 @@ TEST(ServiceStressTest, ConcurrentBatchesAndAdminBroadcasts) {
   // instant; per-decision consistency is the invariant.
   AuthorizationService service(ShardedConfig(4));
   ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
-  ASSERT_TRUE(service.CreateSession("alice", "s1").allowed);
-  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").allowed);
+  ASSERT_TRUE(service.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").ok());
 
   std::atomic<bool> stop{false};
   std::thread admin([&] {

@@ -1,0 +1,386 @@
+// Wire schema + framing torture tests. These pin the on-wire contract:
+// byte-exact roundtrips, the deadline sentinel, the fatal/request-scoped
+// error taxonomy, and a FrameDecoder that survives arbitrary TCP
+// segmentation — the stream split at EVERY byte boundary, dribbled one
+// byte at a time, truncated, oversized, and versioned from the future.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/wire.h"
+#include "net/frame.h"
+
+namespace sentinel {
+namespace {
+
+using net::FrameDecoder;
+using wire::FrameView;
+using wire::MsgType;
+using wire::ProtocolError;
+using wire::WireError;
+
+AccessRequest SampleRequest() {
+  AccessRequest request{"alice", "sess-1", "read", "ledger", "billing"};
+  request.deadline = 2'500;
+  return request;
+}
+
+AccessDecision SampleDecision() {
+  AccessDecision decision;
+  decision.allowed = false;
+  decision.rule = "CA.global";
+  decision.reason = "Permission Denied";
+  decision.failed_condition = "role.enabled";
+  decision.latency = 123;
+  decision.shard = 3;
+  decision.epoch = 42;
+  decision.outcome = AccessOutcome::kDecided;
+  return decision;
+}
+
+/// Encodes one frame and strips the length prefix, handing back the body
+/// the framing layer would pass to DecodeFrame.
+std::string_view Body(const std::string& encoded) {
+  return std::string_view(encoded).substr(wire::kLengthPrefixBytes);
+}
+
+// ------------------------------------------------------------- Roundtrips
+
+TEST(WireCodec, CheckRequestRoundTrip) {
+  std::string bytes;
+  ASSERT_TRUE(wire::EncodeCheckRequest(7, SampleRequest(), &bytes).ok());
+
+  FrameView frame;
+  ProtocolError error;
+  ASSERT_TRUE(wire::DecodeFrame(Body(bytes), &frame, &error));
+  EXPECT_EQ(frame.version, wire::kWireVersion);
+  EXPECT_EQ(frame.type, MsgType::kCheckRequest);
+  EXPECT_EQ(frame.request_id, 7u);
+
+  wire::CheckRequestMsg msg;
+  ASSERT_TRUE(wire::DecodeCheckRequest(frame, &msg, &error));
+  EXPECT_EQ(msg.request_id, 7u);
+  EXPECT_EQ(msg.request.user, "alice");
+  EXPECT_EQ(msg.request.session, "sess-1");
+  EXPECT_EQ(msg.request.operation, "read");
+  EXPECT_EQ(msg.request.object, "ledger");
+  EXPECT_EQ(msg.request.purpose, "billing");
+  EXPECT_EQ(msg.request.deadline, 2'500);
+}
+
+TEST(WireCodec, CheckRequestEmptyAndBinaryFields) {
+  AccessRequest request;
+  request.user = std::string("b\0b", 3);  // embedded NUL survives
+  request.session = "";
+  request.operation = "\xff\xfe caf\xc3\xa9";  // arbitrary bytes, no UTF rule
+  request.object = "";
+  request.purpose = "";
+
+  std::string bytes;
+  ASSERT_TRUE(wire::EncodeCheckRequest(1, request, &bytes).ok());
+  FrameView frame;
+  ProtocolError error;
+  ASSERT_TRUE(wire::DecodeFrame(Body(bytes), &frame, &error));
+  wire::CheckRequestMsg msg;
+  ASSERT_TRUE(wire::DecodeCheckRequest(frame, &msg, &error));
+  EXPECT_EQ(msg.request.user, request.user);
+  EXPECT_EQ(msg.request.session, "");
+  EXPECT_EQ(msg.request.operation, request.operation);
+  EXPECT_EQ(msg.request.object, "");
+  EXPECT_EQ(msg.request.purpose, "");
+}
+
+TEST(WireCodec, DecisionRoundTripCarriesEveryTypedField) {
+  std::string bytes;
+  ASSERT_TRUE(wire::EncodeDecision(99, SampleDecision(), &bytes).ok());
+  FrameView frame;
+  ProtocolError error;
+  ASSERT_TRUE(wire::DecodeFrame(Body(bytes), &frame, &error));
+  EXPECT_EQ(frame.type, MsgType::kDecision);
+
+  wire::DecisionMsg msg;
+  ASSERT_TRUE(wire::DecodeDecision(frame, &msg, &error));
+  EXPECT_EQ(msg.request_id, 99u);
+  EXPECT_FALSE(msg.decision.allowed);
+  EXPECT_EQ(msg.decision.rule, "CA.global");
+  EXPECT_EQ(msg.decision.reason, "Permission Denied");
+  EXPECT_EQ(msg.decision.failed_condition, "role.enabled");
+  EXPECT_EQ(msg.decision.latency, 123);
+  EXPECT_EQ(msg.decision.shard, 3u);
+  EXPECT_EQ(msg.decision.epoch, 42u);
+  EXPECT_EQ(msg.decision.outcome, AccessOutcome::kDecided);
+}
+
+TEST(WireCodec, DecisionRoundTripEveryOutcome) {
+  for (const AccessOutcome outcome :
+       {AccessOutcome::kDecided, AccessOutcome::kOverloaded,
+        AccessOutcome::kShutdown}) {
+    AccessDecision decision;
+    decision.outcome = outcome;
+    std::string bytes;
+    ASSERT_TRUE(wire::EncodeDecision(1, decision, &bytes).ok());
+    FrameView frame;
+    ProtocolError error;
+    ASSERT_TRUE(wire::DecodeFrame(Body(bytes), &frame, &error));
+    wire::DecisionMsg msg;
+    ASSERT_TRUE(wire::DecodeDecision(frame, &msg, &error));
+    EXPECT_EQ(msg.decision.outcome, outcome);
+  }
+}
+
+TEST(WireCodec, UnknownOutcomeIdIsMalformed) {
+  std::string bytes;
+  ASSERT_TRUE(wire::EncodeDecision(1, AccessDecision{}, &bytes).ok());
+  // The outcome byte sits right after the allowed byte in the payload.
+  const size_t outcome_at =
+      wire::kLengthPrefixBytes + wire::kFrameHeaderBytes + 1;
+  bytes[outcome_at] = static_cast<char>(wire::kMaxOutcomeId + 1);
+  FrameView frame;
+  ProtocolError error;
+  ASSERT_TRUE(wire::DecodeFrame(Body(bytes), &frame, &error));
+  wire::DecisionMsg msg;
+  EXPECT_FALSE(wire::DecodeDecision(frame, &msg, &error));
+  EXPECT_EQ(error.code, WireError::kMalformedFrame);
+  EXPECT_TRUE(error.fatal);
+}
+
+TEST(WireCodec, ErrorAndPingPongRoundTrip) {
+  std::string bytes;
+  wire::EncodeError(5, WireError::kInvalidDeadline, "deadline -7", &bytes);
+  wire::EncodePing(6, &bytes);
+  wire::EncodePong(7, &bytes);
+
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  FrameView frame;
+  ProtocolError error;
+  ASSERT_EQ(decoder.Poll(&frame, &error), FrameDecoder::Next::kFrame);
+  ASSERT_EQ(frame.type, MsgType::kError);
+  wire::ErrorMsg msg;
+  ASSERT_TRUE(wire::DecodeError(frame, &msg, &error));
+  EXPECT_EQ(msg.request_id, 5u);
+  EXPECT_EQ(msg.code, WireError::kInvalidDeadline);
+  EXPECT_EQ(msg.message, "deadline -7");
+
+  ASSERT_EQ(decoder.Poll(&frame, &error), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(frame.type, MsgType::kPing);
+  EXPECT_EQ(frame.request_id, 6u);
+  ASSERT_EQ(decoder.Poll(&frame, &error), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(frame.type, MsgType::kPong);
+  EXPECT_EQ(frame.request_id, 7u);
+  EXPECT_EQ(decoder.Poll(&frame, &error), FrameDecoder::Next::kNeedMore);
+}
+
+// ------------------------------------------------------ Deadline boundary
+
+TEST(WireCodec, DeadlineSentinelRoundTrips) {
+  AccessRequest request = SampleRequest();
+  request.deadline = AccessRequest::kNoDeadline;
+  std::string bytes;
+  ASSERT_TRUE(wire::EncodeCheckRequest(1, request, &bytes).ok());
+  FrameView frame;
+  ProtocolError error;
+  ASSERT_TRUE(wire::DecodeFrame(Body(bytes), &frame, &error));
+  wire::CheckRequestMsg msg;
+  ASSERT_TRUE(wire::DecodeCheckRequest(frame, &msg, &error));
+  EXPECT_EQ(msg.request.deadline, AccessRequest::kNoDeadline);
+}
+
+TEST(WireCodec, NegativeNonSentinelDeadlineIsRequestScopedError) {
+  AccessRequest request = SampleRequest();
+  request.deadline = -7;  // any negative other than kNoDeadline (-1)
+  std::string bytes;
+  ASSERT_TRUE(wire::EncodeCheckRequest(1, request, &bytes).ok());
+  FrameView frame;
+  ProtocolError error;
+  ASSERT_TRUE(wire::DecodeFrame(Body(bytes), &frame, &error));
+  wire::CheckRequestMsg msg;
+  EXPECT_FALSE(wire::DecodeCheckRequest(frame, &msg, &error));
+  EXPECT_EQ(error.code, WireError::kInvalidDeadline);
+  EXPECT_FALSE(error.fatal) << "connection must survive a bad deadline";
+}
+
+// -------------------------------------------------- Header edge behavior
+
+TEST(WireCodec, ReservedHeaderBytesAreIgnored) {
+  std::string bytes;
+  ASSERT_TRUE(wire::EncodeCheckRequest(3, SampleRequest(), &bytes).ok());
+  // reserved u16 lives after version + type.
+  bytes[wire::kLengthPrefixBytes + 2] = '\xaa';
+  bytes[wire::kLengthPrefixBytes + 3] = '\xbb';
+  FrameView frame;
+  ProtocolError error;
+  ASSERT_TRUE(wire::DecodeFrame(Body(bytes), &frame, &error));
+  wire::CheckRequestMsg msg;
+  EXPECT_TRUE(wire::DecodeCheckRequest(frame, &msg, &error));
+  EXPECT_EQ(msg.request.user, "alice");
+}
+
+TEST(WireCodec, TruncatedPayloadAtEveryCutIsMalformed) {
+  std::string bytes;
+  ASSERT_TRUE(wire::EncodeCheckRequest(1, SampleRequest(), &bytes).ok());
+  const std::string_view body = Body(bytes);
+  // Every strictly-shorter payload must decode to a fatal malformed error,
+  // never read out of bounds (ASan watches), never crash.
+  for (size_t cut = wire::kFrameHeaderBytes; cut < body.size(); ++cut) {
+    FrameView frame;
+    ProtocolError error;
+    ASSERT_TRUE(wire::DecodeFrame(body.substr(0, cut), &frame, &error))
+        << "header itself is intact at cut " << cut;
+    wire::CheckRequestMsg msg;
+    EXPECT_FALSE(wire::DecodeCheckRequest(frame, &msg, &error))
+        << "cut at " << cut;
+    EXPECT_EQ(error.code, WireError::kMalformedFrame);
+    EXPECT_TRUE(error.fatal);
+  }
+}
+
+TEST(WireCodec, OverlongFieldRefusedAtEncode) {
+  AccessRequest request = SampleRequest();
+  request.object.assign(70'000, 'x');  // > u16 length prefix
+  std::string bytes;
+  const Status status = wire::EncodeCheckRequest(1, request, &bytes);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(bytes.empty()) << "failed encode must not append bytes";
+
+  AccessDecision decision;
+  decision.reason.assign(66'000, 'r');
+  const Status dstatus = wire::EncodeDecision(1, decision, &bytes);
+  EXPECT_FALSE(dstatus.ok());
+  EXPECT_TRUE(bytes.empty());
+}
+
+// --------------------------------------------------- FrameDecoder torture
+
+std::string ThreeFrameStream() {
+  std::string bytes;
+  (void)wire::EncodeCheckRequest(1, SampleRequest(), &bytes);
+  (void)wire::EncodeDecision(2, SampleDecision(), &bytes);
+  wire::EncodePing(3, &bytes);
+  return bytes;
+}
+
+/// Polls every available frame, recording (type, request_id) pairs.
+std::vector<std::pair<MsgType, uint64_t>> DrainAll(FrameDecoder& decoder) {
+  std::vector<std::pair<MsgType, uint64_t>> seen;
+  FrameView frame;
+  ProtocolError error;
+  while (decoder.Poll(&frame, &error) == FrameDecoder::Next::kFrame) {
+    seen.emplace_back(frame.type, frame.request_id);
+  }
+  return seen;
+}
+
+TEST(FrameDecoderTorture, SplitAtEveryByteBoundary) {
+  const std::string stream = ThreeFrameStream();
+  const std::vector<std::pair<MsgType, uint64_t>> expected = {
+      {MsgType::kCheckRequest, 1},
+      {MsgType::kDecision, 2},
+      {MsgType::kPing, 3}};
+  // TCP may hand the reactor any prefix/suffix segmentation. Feed
+  // [0, split) then [split, end) for every split point and demand the
+  // identical frame sequence, with interleaved polls between the feeds.
+  for (size_t split = 0; split <= stream.size(); ++split) {
+    FrameDecoder decoder;
+    decoder.Feed(std::string_view(stream).substr(0, split));
+    std::vector<std::pair<MsgType, uint64_t>> seen = DrainAll(decoder);
+    decoder.Feed(std::string_view(stream).substr(split));
+    for (const auto& frame : DrainAll(decoder)) seen.push_back(frame);
+    EXPECT_EQ(seen, expected) << "split at byte " << split;
+    EXPECT_EQ(decoder.pending_bytes(), 0u) << "split at byte " << split;
+  }
+}
+
+TEST(FrameDecoderTorture, ByteByByteDribble) {
+  const std::string stream = ThreeFrameStream();
+  FrameDecoder decoder;
+  std::vector<std::pair<MsgType, uint64_t>> seen;
+  FrameView frame;
+  ProtocolError error;
+  for (const char byte : stream) {
+    decoder.Feed(&byte, 1);
+    while (decoder.Poll(&frame, &error) == FrameDecoder::Next::kFrame) {
+      seen.emplace_back(frame.type, frame.request_id);
+    }
+  }
+  const std::vector<std::pair<MsgType, uint64_t>> expected = {
+      {MsgType::kCheckRequest, 1},
+      {MsgType::kDecision, 2},
+      {MsgType::kPing, 3}};
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(FrameDecoderTorture, OversizedLengthPrefixPoisonsForever) {
+  std::string bytes;
+  wire::PutU32(wire::kMaxFrameBytes + 1, &bytes);
+  bytes += "whatever follows is unreachable";
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  FrameView frame;
+  ProtocolError error;
+  ASSERT_EQ(decoder.Poll(&frame, &error), FrameDecoder::Next::kError);
+  EXPECT_EQ(error.code, WireError::kFrameTooLarge);
+  EXPECT_TRUE(error.fatal);
+  EXPECT_TRUE(decoder.poisoned());
+  // No resync: later feeds are ignored, later polls repeat the poison.
+  std::string good;
+  wire::EncodePing(1, &good);
+  decoder.Feed(good);
+  ASSERT_EQ(decoder.Poll(&frame, &error), FrameDecoder::Next::kError);
+  EXPECT_EQ(error.code, WireError::kFrameTooLarge);
+}
+
+TEST(FrameDecoderTorture, UnknownVersionIsFatal) {
+  std::string bytes;
+  wire::EncodePing(9, &bytes);
+  bytes[wire::kLengthPrefixBytes] = char(wire::kWireVersion + 1);
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  FrameView frame;
+  ProtocolError error;
+  ASSERT_EQ(decoder.Poll(&frame, &error), FrameDecoder::Next::kError);
+  EXPECT_EQ(error.code, WireError::kUnsupportedVersion);
+  EXPECT_TRUE(error.fatal);
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(FrameDecoderTorture, UnknownMessageTypeSurvivesFraming) {
+  std::string bytes;
+  wire::EncodePing(4, &bytes);
+  bytes[wire::kLengthPrefixBytes + 1] = '\x7f';  // type id from the future
+  wire::EncodePing(5, &bytes);                   // stream continues after it
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  FrameView frame;
+  ProtocolError error;
+  ASSERT_EQ(decoder.Poll(&frame, &error), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(frame.raw_type, 0x7f);
+  EXPECT_EQ(frame.request_id, 4u);
+  ASSERT_EQ(decoder.Poll(&frame, &error), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(frame.type, MsgType::kPing);
+  EXPECT_EQ(frame.request_id, 5u);
+}
+
+TEST(FrameDecoderTorture, TruncatedTrailingFrameIsPendingAtEof) {
+  std::string bytes;
+  (void)wire::EncodeCheckRequest(1, SampleRequest(), &bytes);
+  std::string tail;
+  (void)wire::EncodeCheckRequest(2, SampleRequest(), &tail);
+  bytes += tail.substr(0, tail.size() / 2);  // peer dies mid-frame
+
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  FrameView frame;
+  ProtocolError error;
+  ASSERT_EQ(decoder.Poll(&frame, &error), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(frame.request_id, 1u);
+  EXPECT_EQ(decoder.Poll(&frame, &error), FrameDecoder::Next::kNeedMore);
+  EXPECT_GT(decoder.pending_bytes(), 0u)
+      << "connection owner uses this to flag a truncated stream at EOF";
+}
+
+}  // namespace
+}  // namespace sentinel
