@@ -87,7 +87,10 @@ enum class MsgType : uint8_t {
 /// Typed protocol-error codes (wire-stable; add-only, never renumber).
 /// "Fatal" errors poison the byte stream — the sender of the error closes
 /// the connection after flushing it. Request-scoped errors answer one
-/// request_id and the connection continues.
+/// request_id and the connection continues. Framing-level errors (no
+/// decodable frame to attribute) carry request_id 0 — 0 is reserved to
+/// mean "not request-scoped", so clients should start correlation ids
+/// at 1.
 enum class WireError : uint16_t {
   kUnsupportedVersion = 1,  ///< fatal: unknown version byte
   kUnknownMessageType = 2,  ///< request-scoped: framing intact, type unknown

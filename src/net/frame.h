@@ -89,6 +89,22 @@ class FrameDecoder {
     return poisoned_ ? 0 : buffer_.size() - pending_consume_;
   }
 
+  /// Whether Poll would make progress without another Feed: a complete
+  /// frame — or an oversized length prefix, which Poll turns into a fatal
+  /// error — is already buffered. Drives the server's re-drain of
+  /// connections that pipelined past its per-sweep decode budget (those
+  /// bytes are off the socket, so no readable event will ever re-announce
+  /// them). False once poisoned: the owner is already closing the stream.
+  bool has_buffered_frame() const {
+    if (poisoned_) return false;
+    const std::string_view bytes = buffer_.readable();
+    const size_t avail = bytes.size() - pending_consume_;
+    if (avail < wire::kLengthPrefixBytes) return false;
+    const uint32_t length = wire::GetU32(bytes.data() + pending_consume_);
+    return length > max_frame_bytes_ ||
+           avail >= wire::kLengthPrefixBytes + length;
+  }
+
   bool poisoned() const { return poisoned_; }
 
  private:

@@ -45,6 +45,17 @@ WireServer::~WireServer() { Stop(); }
 Status WireServer::Start() {
   if (started_) return Status::FailedPrecondition("server already started");
 
+  // Every failure path releases whatever descriptors are already open —
+  // a failed Start leaves the server exactly as before the call.
+  const auto fail = [this](Status status) {
+    if (listen_fd_ >= 0) close(listen_fd_);
+    if (epoll_fd_ >= 0) close(epoll_fd_);
+    if (wakeup_fd_ >= 0) close(wakeup_fd_);
+    listen_fd_ = epoll_fd_ = wakeup_fd_ = -1;
+    listener_armed_ = false;
+    return status;
+  };
+
   listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) return Errno("socket");
   const int one = 1;
@@ -54,44 +65,38 @@ Status WireServer::Start() {
   addr.sin_family = AF_INET;
   addr.sin_port = htons(config_.port);
   if (inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::InvalidArgument("bad bind address: " +
-                                   config_.bind_address);
+    return fail(Status::InvalidArgument("bad bind address: " +
+                                        config_.bind_address));
   }
   if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const Status status = Errno("bind");
-    close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
+    return fail(Errno("bind"));
   }
   if (listen(listen_fd_, config_.backlog) < 0) {
-    const Status status = Errno("listen");
-    close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
+    return fail(Errno("listen"));
   }
   socklen_t len = sizeof(addr);
   if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
     port_ = ntohs(addr.sin_port);
   }
-  SENTINEL_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+  Status nonblocking = SetNonBlocking(listen_fd_);
+  if (!nonblocking.ok()) return fail(std::move(nonblocking));
 
   epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
-  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  if (epoll_fd_ < 0) return fail(Errno("epoll_create1"));
   wakeup_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
-  if (wakeup_fd_ < 0) return Errno("eventfd");
+  if (wakeup_fd_ < 0) return fail(Errno("eventfd"));
 
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = listen_fd_;
   if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
-    return Errno("epoll_ctl(listen)");
+    return fail(Errno("epoll_ctl(listen)"));
   }
+  listener_armed_ = true;
   ev.events = EPOLLIN;
   ev.data.fd = wakeup_fd_;
   if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev) < 0) {
-    return Errno("epoll_ctl(wakeup)");
+    return fail(Errno("epoll_ctl(wakeup)"));
   }
 
   started_ = true;
@@ -140,18 +145,17 @@ int64_t WireServer::NowMs() const {
 void WireServer::ReactorLoop() {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
-  bool draining = false;
   int64_t drain_deadline_ms = 0;
 
   for (;;) {
-    if (!draining && stop_requested_.load(std::memory_order_acquire)) {
+    if (!draining_ && stop_requested_.load(std::memory_order_acquire)) {
       // Graceful drain: stop accepting, keep the loop alive until every
       // write buffer is flushed (or the drain deadline passes).
-      draining = true;
+      draining_ = true;
       drain_deadline_ms = NowMs() + config_.drain_timeout_ms;
-      (void)epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      SetListenerArmed(false);
     }
-    if (draining) {
+    if (draining_) {
       bool flushed = true;
       for (auto& [id, conn] : connections_) {
         if (!conn->write_buffer.empty()) {
@@ -184,8 +188,11 @@ void WireServer::ReactorLoop() {
       const uint64_t conn_id = it->second;
       if (events[i].events & (EPOLLHUP | EPOLLERR)) {
         Connection& conn = *connections_.at(conn_id);
-        if (conn.decoder.pending_bytes() > 0) {
-          // Peer died mid-frame: a truncated trailing request.
+        if (conn.decoder.pending_bytes() > 0 &&
+            !conn.decoder.has_buffered_frame()) {
+          // Peer died mid-frame: a truncated trailing request. (Complete
+          // frames still buffered are not truncation — just unanswerable
+          // now that the peer is gone.)
           stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
         }
         CloseConnection(conn_id);
@@ -204,10 +211,17 @@ void WireServer::ReactorLoop() {
     // into (a bounded number of) CheckAccessBatch calls.
     DispatchPending();
 
+    // Connections that pipelined past the per-sweep decode budget still
+    // hold complete frames; keep draining/dispatching until they don't.
+    RedrainBacklog();
+
     HarvestIdle();
   }
 
-  // Loop exit: close everything that remains.
+  // Loop exit: close everything that remains. A hard epoll failure lands
+  // here without the drain flag — set it so CloseConnection does not
+  // re-arm the listener we are abandoning.
+  draining_ = true;
   std::vector<uint64_t> ids;
   ids.reserve(connections_.size());
   for (auto& [id, conn] : connections_) ids.push_back(id);
@@ -216,7 +230,13 @@ void WireServer::ReactorLoop() {
 
 void WireServer::AcceptReady() {
   for (;;) {
-    if (connections_.size() >= config_.max_connections) return;
+    if (connections_.size() >= config_.max_connections) {
+      // A ready listener we refuse to accept from would wake every
+      // (level-triggered) epoll_wait — de-register it until a slot
+      // frees; CloseConnection re-arms.
+      SetListenerArmed(false);
+      return;
+    }
     const int fd = accept4(listen_fd_, nullptr, nullptr,
                            SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
@@ -267,16 +287,19 @@ void WireServer::HandleReadable(Connection& conn) {
     break;
   }
   ArmIdleTimer(conn);
-  DrainFrames(conn);
+  if (!DrainFrames(conn)) return;  // conn destroyed during the drain
   if (peer_closed) {
-    if (conn.decoder.pending_bytes() > 0) {
+    if (conn.decoder.pending_bytes() > 0 &&
+        !conn.decoder.has_buffered_frame()) {
       // EOF mid-frame: truncated trailing request, no way to answer it.
+      // (Complete frames still buffered beyond the decode budget are not
+      // truncation — the redrain pass will answer them.)
       stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
     }
     // Answer what was fully received, then close: flushing happens when
     // the pending batch distributes. Mark rather than close immediately.
     conn.close_after_flush = true;
-    if (conn.write_buffer.empty() && conn.decoder.pending_bytes() == 0 &&
+    if (conn.write_buffer.empty() && !conn.decoder.has_buffered_frame() &&
         !HasPendingFor(conn.id)) {
       CloseConnection(conn.id);
     }
@@ -290,29 +313,32 @@ bool WireServer::HasPendingFor(uint64_t conn_id) const {
   return false;
 }
 
-void WireServer::DrainFrames(Connection& conn) {
+bool WireServer::DrainFrames(Connection& conn) {
   wire::FrameView frame;
   wire::ProtocolError error;
   for (;;) {
     // Chunk guard: with max_batch already decoded and undispatched, stop
-    // decoding — remaining frames stay buffered for the next sweep (the
-    // loop calls DispatchPending in between, so progress is guaranteed).
-    if (pending_requests_.size() >= config_.max_batch) return;
+    // decoding — remaining frames stay buffered, and RedrainBacklog
+    // revisits this decoder after each DispatchPending until it holds no
+    // complete frame.
+    if (pending_requests_.size() >= config_.max_batch) return true;
     switch (conn.decoder.Poll(&frame, &error)) {
       case FrameDecoder::Next::kNeedMore:
-        return;
+        return true;
       case FrameDecoder::Next::kError: {
         stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
-        wire::EncodeError(frame.request_id, error.code, error.message,
+        // Framing-level failure: there is no decoded frame to attribute,
+        // so the error carries request_id 0 ("not request-scoped") rather
+        // than echoing a stale or uninitialized id.
+        wire::EncodeError(0, error.code, error.message,
                           conn.write_buffer.tail());
         if (error.fatal) {
           // Framing poisoned: flush the error and close. Requests already
           // decoded still get answers (their refs are queued).
           conn.close_after_flush = true;
-          FlushConnection(conn);
-          return;
+          return FlushConnection(conn);
         }
-        FlushConnection(conn);
+        if (!FlushConnection(conn)) return false;
         continue;
       }
       case FrameDecoder::Next::kFrame:
@@ -327,10 +353,9 @@ void WireServer::DrainFrames(Connection& conn) {
                             conn.write_buffer.tail());
           if (error.fatal) {
             conn.close_after_flush = true;
-            FlushConnection(conn);
-            return;
+            return FlushConnection(conn);
           }
-          FlushConnection(conn);
+          if (!FlushConnection(conn)) return false;
           continue;
         }
         stats_.requests.fetch_add(1, std::memory_order_relaxed);
@@ -341,7 +366,7 @@ void WireServer::DrainFrames(Connection& conn) {
       case wire::MsgType::kPing:
         stats_.pings.fetch_add(1, std::memory_order_relaxed);
         wire::EncodePong(frame.request_id, conn.write_buffer.tail());
-        FlushConnection(conn);
+        if (!FlushConnection(conn)) return false;
         continue;
       case wire::MsgType::kDecision:
       case wire::MsgType::kPong:
@@ -354,7 +379,7 @@ void WireServer::DrainFrames(Connection& conn) {
                           "unexpected message type " +
                               std::to_string(frame.raw_type),
                           conn.write_buffer.tail());
-        FlushConnection(conn);
+        if (!FlushConnection(conn)) return false;
         continue;
       }
     }
@@ -398,12 +423,30 @@ void WireServer::DispatchPending() {
     }
     for (const uint64_t id : touched) {
       const auto it = connections_.find(id);
-      if (it != connections_.end()) FlushConnection(*it->second);
+      if (it != connections_.end()) (void)FlushConnection(*it->second);
     }
   }
 }
 
-void WireServer::FlushConnection(Connection& conn) {
+void WireServer::RedrainBacklog() {
+  for (;;) {
+    redrain_scratch_.clear();
+    for (auto& [id, conn] : connections_) {
+      if (conn->decoder.has_buffered_frame()) redrain_scratch_.push_back(id);
+    }
+    if (redrain_scratch_.empty()) return;
+    for (const uint64_t id : redrain_scratch_) {
+      const auto it = connections_.find(id);
+      if (it != connections_.end()) (void)DrainFrames(*it->second);
+    }
+    // Each round either consumes buffered frames outright or fills
+    // pending_ to max_batch and answers it here — the backlog strictly
+    // shrinks, so this loop terminates.
+    DispatchPending();
+  }
+}
+
+bool WireServer::FlushConnection(Connection& conn) {
   while (!conn.write_buffer.empty()) {
     const std::string_view bytes = conn.write_buffer.readable();
     const ssize_t wrote = write(conn.fd, bytes.data(), bytes.size());
@@ -415,21 +458,26 @@ void WireServer::FlushConnection(Connection& conn) {
     }
     if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       UpdateEpollOut(conn, true);
-      return;
+      return true;
     }
     if (wrote < 0 && errno == EINTR) continue;
-    // Peer gone mid-write.
+    // Peer gone mid-write: `conn` is destroyed here, so report that to
+    // the caller — it must not touch the connection again.
     CloseConnection(conn.id);
-    return;
+    return false;
   }
   UpdateEpollOut(conn, false);
   if (conn.close_after_flush && !HasPendingFor(conn.id) &&
-      conn.decoder.pending_bytes() == 0) {
+      !conn.decoder.has_buffered_frame()) {
     CloseConnection(conn.id);
+    return false;
   }
+  return true;
 }
 
-void WireServer::HandleWritable(Connection& conn) { FlushConnection(conn); }
+void WireServer::HandleWritable(Connection& conn) {
+  (void)FlushConnection(conn);
+}
 
 void WireServer::UpdateEpollOut(Connection& conn, bool want) {
   if (conn.wants_writable == want) return;
@@ -451,6 +499,29 @@ void WireServer::CloseConnection(uint64_t conn_id) {
   connections_.erase(it);
   stats_.closed.fetch_add(1, std::memory_order_relaxed);
   stats_.active.store(connections_.size(), std::memory_order_relaxed);
+  // A freed slot lets the (possibly de-armed) listener accept again.
+  if (!draining_ && connections_.size() < config_.max_connections) {
+    SetListenerArmed(true);
+  }
+}
+
+void WireServer::SetListenerArmed(bool armed) {
+  if (listener_armed_ == armed) return;
+  if (armed) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+      SENTINEL_LOG(kWarning) << "epoll_ctl(re-arm listen): "
+                             << strerror(errno);
+      return;
+    }
+  } else if (epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr) < 0) {
+    SENTINEL_LOG(kWarning) << "epoll_ctl(de-arm listen): "
+                           << strerror(errno);
+    return;
+  }
+  listener_armed_ = armed;
 }
 
 void WireServer::ArmIdleTimer(Connection& conn) {

@@ -130,15 +130,29 @@ class WireServer {
   void AcceptReady();
   void HandleReadable(Connection& conn);
   void HandleWritable(Connection& conn);
-  /// Decodes every complete frame buffered on `conn`, queueing check
-  /// requests into pending_ and answering pings/errors inline.
-  void DrainFrames(Connection& conn);
+  /// Decodes buffered frames on `conn` (up to the max_batch chunk guard),
+  /// queueing check requests into pending_ and answering pings/errors
+  /// inline. Returns false iff the connection was closed during the drain
+  /// — `conn` is destroyed and the caller must not touch it again.
+  [[nodiscard]] bool DrainFrames(Connection& conn);
   /// One CheckAccessBatchInto over everything in pending_, verdicts
   /// encoded into their connections' write buffers.
   void DispatchPending();
-  /// write() until EAGAIN; (un)subscribes EPOLLOUT as needed.
-  void FlushConnection(Connection& conn);
+  /// Re-drains connections whose decoders still buffer complete frames
+  /// (pipelined past max_batch — those bytes are already off the socket,
+  /// so no further EPOLLIN will arrive for them), dispatching in chunks
+  /// until every buffered frame is answered.
+  void RedrainBacklog();
+  /// write() until EAGAIN; (un)subscribes EPOLLOUT as needed. Returns
+  /// false iff the connection was closed (write error, or a completed
+  /// close_after_flush) — `conn` is destroyed and the caller must not
+  /// touch it again.
+  [[nodiscard]] bool FlushConnection(Connection& conn);
   void CloseConnection(uint64_t conn_id);
+  /// (De)registers the listening socket with epoll. De-armed while at
+  /// max_connections (a ready level-triggered listener we refuse to
+  /// accept from would spin the reactor) and during drain.
+  void SetListenerArmed(bool armed);
   /// Whether any queued-but-undispatched request belongs to `conn_id`
   /// (an EOF'd connection with pending work must live to receive answers).
   bool HasPendingFor(uint64_t conn_id) const;
@@ -162,10 +176,13 @@ class WireServer {
 
   // ---- Reactor-thread-only state below this line. ----
   uint64_t next_conn_id_ = 1;
+  bool listener_armed_ = false;  ///< listen fd registered with epoll
+  bool draining_ = false;        ///< graceful shutdown in progress
   std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
   std::unordered_map<int, uint64_t> fd_to_conn_;
   TimerWheel timer_wheel_;
   std::vector<TimerWheel::Entry> expired_scratch_;
+  std::vector<uint64_t> redrain_scratch_;
   /// Batch scratch, reused across sweeps (no per-batch allocation in
   /// steady state).
   std::vector<AccessRequest> pending_requests_;

@@ -162,6 +162,33 @@ TEST_F(NetTest, PipelinedBatchAlignsPositionally) {
   EXPECT_LT(server_->stats().batches, 64u);
 }
 
+// Regression: a pipeline deeper than max_batch leaves complete frames in
+// the decoder after the sweep's chunk fills — with the bytes already off
+// the socket no readable event re-announces them, so the reactor's
+// redrain pass must answer them (previously they hung until idle close).
+TEST_F(NetTest, PipeliningBeyondMaxBatchStillAnswersEverything) {
+  ServiceConfig config;
+  config.num_shards = 2;
+  config.start_time = MakeTime(2026, 7, 6, 12, 0, 0);
+  StartService(config);
+  net::ServerConfig net_config;
+  net_config.max_batch = 8;
+  StartServer(net_config);
+
+  auto client = Connect();
+  std::vector<AccessRequest> requests;
+  for (int i = 0; i < 100; ++i) requests.push_back(ReadLedger(i % kUsers));
+  auto decisions = client->CheckBatch(requests);
+  ASSERT_TRUE(decisions.ok()) << decisions.status().message();
+  ASSERT_EQ(decisions.value().size(), requests.size());
+  for (size_t i = 0; i < decisions.value().size(); ++i) {
+    EXPECT_TRUE(decisions.value()[i].allowed) << "index " << i;
+  }
+  // The backlog dispatched in max_batch chunks, not one giant batch.
+  EXPECT_GE(server_->stats().batches, 100u / 8u);
+  EXPECT_EQ(server_->stats().protocol_errors, 0u);
+}
+
 TEST_F(NetTest, SingleByteDribbleOverSocket) {
   StartDefault();
   auto client = Connect();
@@ -191,6 +218,7 @@ TEST_F(NetTest, OversizedLengthPrefixIsFatal) {
   wire::ProtocolError error;
   ASSERT_TRUE(wire::DecodeError(frame.value(), &msg, &error));
   EXPECT_EQ(msg.code, wire::WireError::kFrameTooLarge);
+  EXPECT_EQ(msg.request_id, 0u) << "framing errors are not request-scoped";
   // Fatal: the server closes after flushing the error.
   EXPECT_FALSE(client->ReadRawFrame().ok());
   EXPECT_TRUE(client->eof());
@@ -211,6 +239,31 @@ TEST_F(NetTest, UnknownVersionIsFatal) {
   wire::ProtocolError error;
   ASSERT_TRUE(wire::DecodeError(frame.value(), &msg, &error));
   EXPECT_EQ(msg.code, wire::WireError::kUnsupportedVersion);
+  EXPECT_EQ(msg.request_id, 0u) << "framing errors are not request-scoped";
+  EXPECT_FALSE(client->ReadRawFrame().ok());
+  EXPECT_TRUE(client->eof());
+}
+
+// Regression: a framing error following a valid frame must not echo the
+// previous frame's correlation id — framing-level errors carry id 0.
+TEST_F(NetTest, FramingErrorDoesNotEchoStaleRequestId) {
+  StartDefault();
+  auto client = Connect();
+  std::string bytes;
+  wire::EncodePing(7, &bytes);
+  wire::PutU32(wire::kMaxFrameBytes + 1, &bytes);  // poison right behind it
+  ASSERT_TRUE(client->SendRaw(bytes).ok());
+  auto pong = client->ReadRawFrame();
+  ASSERT_TRUE(pong.ok()) << pong.status().message();
+  EXPECT_EQ(pong.value().type, wire::MsgType::kPong);
+  auto frame = client->ReadRawFrame();
+  ASSERT_TRUE(frame.ok()) << frame.status().message();
+  ASSERT_EQ(frame.value().type, wire::MsgType::kError);
+  wire::ErrorMsg msg;
+  wire::ProtocolError error;
+  ASSERT_TRUE(wire::DecodeError(frame.value(), &msg, &error));
+  EXPECT_EQ(msg.code, wire::WireError::kFrameTooLarge);
+  EXPECT_EQ(msg.request_id, 0u) << "must not echo the ping's id 7";
   EXPECT_FALSE(client->ReadRawFrame().ok());
   EXPECT_TRUE(client->eof());
 }
@@ -276,6 +329,37 @@ TEST_F(NetTest, TruncatedTrailingFrameCountsAsProtocolError) {
   EXPECT_TRUE(WaitFor([&] {
     return server_->stats().protocol_errors >= 1;
   })) << "EOF with a truncated trailing frame must count";
+}
+
+// At the connection cap the listener is de-registered from epoll (a
+// ready listener the reactor refuses to accept from would spin it at
+// 100% CPU); closing a connection must re-arm it so waiting connects in
+// the backlog get accepted.
+TEST_F(NetTest, ConnectionCapResumesAcceptingAfterClose) {
+  ServiceConfig config;
+  config.num_shards = 1;
+  config.start_time = MakeTime(2026, 7, 6, 12, 0, 0);
+  StartService(config);
+  net::ServerConfig net_config;
+  net_config.max_connections = 2;
+  StartServer(net_config);
+
+  auto first = Connect();
+  auto second = Connect();
+  ASSERT_TRUE(first->Ping().ok());
+  ASSERT_TRUE(second->Ping().ok());
+  ASSERT_TRUE(WaitFor([&] { return server_->stats().accepted == 2; }));
+
+  // Third TCP connect completes via the kernel backlog but the reactor,
+  // at cap, must not accept it yet.
+  auto third = Connect();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(server_->stats().accepted, 2u);
+
+  first->Close();
+  EXPECT_TRUE(WaitFor([&] { return server_->stats().accepted == 3; }))
+      << "freed slot must re-arm the listener";
+  EXPECT_TRUE(third->Ping().ok());
 }
 
 TEST_F(NetTest, IdleConnectionsAreHarvested) {
