@@ -8,6 +8,12 @@
 //                    [--cache=0] [--fastpath=0]
 //                    [--capacity=0] [--policy=block|shed]
 //                    [--deadline-us=0] [--idle-ms=30000]
+//                    [--audit=PATH] [--audit-rotate=0] [--audit-queue=65536]
+//
+// --audit attaches the async JSONL audit exporter (see audit/exporter.h):
+// every decision the service makes is exported, and the final stats line
+// gains `audit_records=`/`audit_drops=` fields so harnesses can assert a
+// complete stream.
 //
 // Prints exactly one `listening on <addr>:<port>` line once the socket is
 // bound (port 0 binds an ephemeral port — scripts parse the real one from
@@ -44,7 +50,8 @@ int64_t IntFlag(const char* arg, const char* name, int64_t* out) {
 int main(int argc, char** argv) {
   int64_t port = 0, shards = 1, users = 16, cache = 0, fastpath = 0;
   int64_t capacity = 0, deadline_us = 0, idle_ms = 30'000;
-  std::string overload = "block";
+  int64_t audit_rotate = 0, audit_queue = 65536;
+  std::string overload = "block", audit_path;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (IntFlag(arg, "--port", &port) || IntFlag(arg, "--shards", &shards) ||
@@ -52,11 +59,17 @@ int main(int argc, char** argv) {
         IntFlag(arg, "--fastpath", &fastpath) ||
         IntFlag(arg, "--capacity", &capacity) ||
         IntFlag(arg, "--deadline-us", &deadline_us) ||
-        IntFlag(arg, "--idle-ms", &idle_ms)) {
+        IntFlag(arg, "--idle-ms", &idle_ms) ||
+        IntFlag(arg, "--audit-rotate", &audit_rotate) ||
+        IntFlag(arg, "--audit-queue", &audit_queue)) {
       continue;
     }
     if (std::strncmp(arg, "--policy=", 9) == 0) {
       overload = arg + 9;
+      continue;
+    }
+    if (std::strncmp(arg, "--audit=", 8) == 0) {
+      audit_path = arg + 8;
       continue;
     }
     std::fprintf(stderr, "unknown flag: %s\n", arg);
@@ -74,6 +87,9 @@ int main(int argc, char** argv) {
                                ? sentinel::OverloadPolicy::kShed
                                : sentinel::OverloadPolicy::kBlock;
   config.default_deadline = deadline_us;
+  config.audit_path = audit_path;
+  config.audit_rotate_bytes = static_cast<uint64_t>(audit_rotate);
+  config.audit_queue_capacity = static_cast<size_t>(audit_queue);
   sentinel::AuthorizationService service(config);
 
   sentinel::Policy policy("serve");
@@ -122,11 +138,21 @@ int main(int argc, char** argv) {
   }
 
   server.Stop();
+  // Shut the service down before reading audit counters: Shutdown drains
+  // every shard's decision ring into the exporter and flush-closes it, so
+  // the printed numbers describe the complete stream.
+  service.Shutdown();
+  unsigned long long audit_records = 0, audit_drops = 0;
+  if (auto* exporter = service.audit_exporter()) {
+    const auto counters = exporter->counters();
+    audit_records = counters.records;
+    audit_drops = counters.drops;
+  }
   const sentinel::net::ServerStats stats = server.stats();
   std::printf(
       "accepted=%llu requests=%llu decisions=%llu batches=%llu "
       "protocol_errors=%llu idle_closed=%llu bytes_in=%llu bytes_out=%llu "
-      "drained\n",
+      "audit_records=%llu audit_drops=%llu drained\n",
       static_cast<unsigned long long>(stats.accepted),
       static_cast<unsigned long long>(stats.requests),
       static_cast<unsigned long long>(stats.decisions),
@@ -134,7 +160,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.protocol_errors),
       static_cast<unsigned long long>(stats.idle_closed),
       static_cast<unsigned long long>(stats.bytes_in),
-      static_cast<unsigned long long>(stats.bytes_out));
+      static_cast<unsigned long long>(stats.bytes_out),
+      audit_records, audit_drops);
   std::fflush(stdout);
   return 0;
 }

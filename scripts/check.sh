@@ -81,6 +81,63 @@ net_smoke() {
 echo "== Net smoke: serve + load over a real socket =="
 net_smoke build
 
+# The audit pipeline end to end over a real socket: serve with the JSONL
+# exporter attached, push a fixed load, then require (a) the shutdown stats
+# line reports zero audit drops — the complete-stream guarantee under
+# net-smoke load at the default queue size — and (b) every exported line
+# parses back through the replay loader, with the loader's record count
+# agreeing exactly with the server's own audit_records counter.
+audit_smoke() {
+  local tree="$1"
+  cmake --build "$tree" -j"$JOBS" --target sentinelpp_serve sentinelpp_load \
+    sentinelpp_replay
+  local log tmpdir
+  log=$(mktemp)
+  tmpdir=$(mktemp -d)
+  "./$tree/examples/sentinelpp-serve" --port=0 \
+    --audit="$tmpdir/audit.jsonl" >"$log" 2>&1 &
+  local serve_pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$log")
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "audit-smoke: server never announced its port" >&2
+    kill -9 "$serve_pid" 2>/dev/null || true
+    cat "$log" >&2
+    return 1
+  fi
+  "./$tree/examples/sentinelpp-load" --port="$port" --connections=4 \
+    --requests=500 --batch=8
+  kill -TERM "$serve_pid"
+  wait "$serve_pid"
+  grep -E 'audit_drops=0 drained$' "$log" >/dev/null || {
+    echo "audit-smoke: server stats line missing audit_drops=0" >&2
+    cat "$log" >&2
+    return 1
+  }
+  local exported parsed
+  exported=$(sed -n 's/.* audit_records=\([0-9]*\) .*/\1/p' "$log")
+  parsed=$("./$tree/examples/sentinelpp-replay" \
+    --capture="$tmpdir/audit.jsonl" --parse-only)
+  echo "$parsed" | grep -q '^parse_errors: 0$' || {
+    echo "audit-smoke: capture had parse errors" >&2
+    echo "$parsed" >&2
+    return 1
+  }
+  echo "$parsed" | grep -q "^records: $exported\$" || {
+    echo "audit-smoke: capture/counter mismatch (counter=$exported)" >&2
+    echo "$parsed" >&2
+    return 1
+  }
+  rm -rf "$log" "$tmpdir"
+}
+
+echo "== Audit smoke: exported stream is complete and parseable =="
+audit_smoke build
+
 if [[ "${1:-}" == "--no-sanitize" ]]; then
   echo "== Skipping sanitizer pass =="
   exit 0
@@ -95,15 +152,35 @@ ctest --test-dir build-asan --output-on-failure -j"$JOBS"
 echo "== Net smoke under ASan =="
 net_smoke build-asan
 
+echo "== Replay determinism under ASan: capture -> zero-diff shadow eval =="
+# The record/replay acceptance loop on the instrumented tree: a smoke-scale
+# soak captures a multi-thousand-decision stream plus its policy and a
+# one-DSD-edge mutation of it. Replaying against the unchanged policy must
+# produce zero verdict diffs (--expect-zero-diffs exits 3 otherwise); the
+# mutated policy must replay cleanly (diffs expected, exit 0 without the
+# strict flag) — both paths under ASan/UBSan.
+REPLAY_TMP=$(mktemp -d)
+./build-asan/examples/sentinelpp-soak --scale=smoke \
+  --audit="$REPLAY_TMP/capture.jsonl" \
+  --policy-out="$REPLAY_TMP/policy.acp" \
+  --mutated-policy-out="$REPLAY_TMP/mutated.acp" --expect-no-drops
+./build-asan/examples/sentinelpp-replay \
+  --capture="$REPLAY_TMP/capture.jsonl" --policy="$REPLAY_TMP/policy.acp" \
+  --expect-zero-diffs >/dev/null
+./build-asan/examples/sentinelpp-replay \
+  --capture="$REPLAY_TMP/capture.jsonl" --policy="$REPLAY_TMP/mutated.acp" \
+  >/dev/null
+rm -rf "$REPLAY_TMP"
+
 # TSan is incompatible with ASan, so the threaded service tests get their
 # own build tree.
 echo "== Sanitizer pass: thread (service + mailbox + fast-path + net tests) =="
 cmake -B build-tsan -S . -DSENTINELPP_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=Debug >/dev/null
 cmake --build build-tsan -j"$JOBS" --target service_test mailbox_test \
-  fastpath_test interner_test wire_test net_test
+  fastpath_test interner_test wire_test net_test audit_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(service_test|mailbox_test|fastpath_test|interner_test|wire_test|net_test)$'
+  -R '^(service_test|mailbox_test|fastpath_test|interner_test|wire_test|net_test|audit_test)$'
 
 echo "== Overload stress: stall-injected shed/deadline paths under TSan =="
 # The acceptance stress for the bounded-mailbox work: shard stalls injected

@@ -1,0 +1,328 @@
+#include "audit/record.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sentinel {
+namespace audit {
+
+AuditRecord FromDecisionRecord(const DecisionRecord& record, int shard,
+                               uint64_t epoch) {
+  AuditRecord out;
+  out.seq = record.seq;
+  out.shard = shard;
+  out.epoch = epoch;
+  out.wall_us = record.wall_us;
+  out.sim_us = record.when;
+  out.kind = record.operation;
+  out.user = record.user;
+  out.session = record.session;
+  out.role = record.role;
+  out.op = record.op;
+  out.object = record.object;
+  out.purpose = record.purpose;
+  out.allowed = record.decision.allowed;
+  out.outcome = 0;
+  out.rule = record.decision.rule;
+  out.reason = record.decision.reason;
+  out.failed_condition = record.decision.failed_condition;
+  out.latency_us = record.latency_us;
+  return out;
+}
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+namespace {
+
+void AppendKey(std::string_view key, std::string* out) {
+  if (out->back() != '{') out->push_back(',');
+  AppendJsonString(key, out);
+  out->push_back(':');
+}
+
+void AppendInt(std::string_view key, int64_t value, std::string* out) {
+  AppendKey(key, out);
+  out->append(std::to_string(value));
+}
+
+void AppendUint(std::string_view key, uint64_t value, std::string* out) {
+  AppendKey(key, out);
+  out->append(std::to_string(value));
+}
+
+void AppendStringIf(std::string_view key, const std::string& value,
+                    std::string* out) {
+  if (value.empty()) return;
+  AppendKey(key, out);
+  AppendJsonString(value, out);
+}
+
+}  // namespace
+
+void AppendJsonLine(const AuditRecord& record, std::string* out) {
+  out->push_back('{');
+  AppendInt("v", record.v, out);
+  AppendUint("seq", record.seq, out);
+  AppendInt("shard", record.shard, out);
+  AppendUint("epoch", record.epoch, out);
+  AppendInt("wall_us", record.wall_us, out);
+  AppendInt("sim_us", record.sim_us, out);
+  AppendKey("kind", out);
+  AppendJsonString(record.kind, out);
+  AppendStringIf("user", record.user, out);
+  AppendStringIf("session", record.session, out);
+  AppendStringIf("role", record.role, out);
+  AppendStringIf("op", record.op, out);
+  AppendStringIf("obj", record.object, out);
+  AppendStringIf("purpose", record.purpose, out);
+  AppendKey("allowed", out);
+  out->append(record.allowed ? "true" : "false");
+  if (record.outcome != 0) AppendInt("outcome", record.outcome, out);
+  AppendStringIf("rule", record.rule, out);
+  AppendStringIf("reason", record.reason, out);
+  AppendStringIf("failed_condition", record.failed_condition, out);
+  if (record.latency_us != 0) AppendInt("latency_us", record.latency_us, out);
+  out->append("}\n");
+}
+
+namespace {
+
+// Hand-rolled flat-object scanner: the schema is one level deep with
+// string / integer / boolean values only, so a full JSON library would be
+// dead weight — but escapes (including \uXXXX) must decode exactly, since
+// policy names are user-controlled.
+class LineParser {
+ public:
+  LineParser(std::string_view line, std::string* error)
+      : p_(line.data()), end_(line.data() + line.size()), error_(error) {}
+
+  bool Parse(AuditRecord* out) {
+    SkipSpace();
+    if (!Consume('{')) return Fail("expected '{'");
+    SkipSpace();
+    if (Consume('}')) return AtEnd();
+    while (true) {
+      std::string key;
+      SkipSpace();
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (!Consume(':')) return Fail("expected ':'");
+      SkipSpace();
+      if (!ParseValue(key, out)) return false;
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return AtEnd();
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+ private:
+  bool AtEnd() {
+    SkipSpace();
+    if (p_ != end_) return Fail("trailing content after object");
+    return true;
+  }
+
+  bool Fail(const char* what) {
+    if (error_ != nullptr) *error_ = what;
+    return false;
+  }
+
+  void SkipSpace() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (p_ == end_ || *p_ != c) return false;
+    ++p_;
+    return true;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool ParseHex4(uint32_t* out) {
+    if (end_ - p_ < 4) return Fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = *p_++;
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("bad hex digit in \\u escape");
+      }
+    }
+    *out = value;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (true) {
+      if (p_ == end_) return Fail("unterminated string");
+      const char c = *p_++;
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p_ == end_) return Fail("truncated escape");
+      const char e = *p_++;
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          if (!ParseHex4(&cp)) return false;
+          // Surrogate pair: a high surrogate must be chased by \uDC00..DFFF.
+          if (cp >= 0xD800 && cp <= 0xDBFF && end_ - p_ >= 6 &&
+              p_[0] == '\\' && p_[1] == 'u') {
+            const char* mark = p_;
+            p_ += 2;
+            uint32_t low = 0;
+            if (!ParseHex4(&low)) return false;
+            if (low >= 0xDC00 && low <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              p_ = mark;  // Not a pair; emit the lone surrogate as-is.
+            }
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+  }
+
+  bool ParseValue(const std::string& key, AuditRecord* out) {
+    if (p_ == end_) return Fail("missing value");
+    if (*p_ == '"') {
+      std::string value;
+      if (!ParseString(&value)) return false;
+      if (key == "kind") out->kind = std::move(value);
+      else if (key == "user") out->user = std::move(value);
+      else if (key == "session") out->session = std::move(value);
+      else if (key == "role") out->role = std::move(value);
+      else if (key == "op") out->op = std::move(value);
+      else if (key == "obj") out->object = std::move(value);
+      else if (key == "purpose") out->purpose = std::move(value);
+      else if (key == "rule") out->rule = std::move(value);
+      else if (key == "reason") out->reason = std::move(value);
+      else if (key == "failed_condition") out->failed_condition = std::move(value);
+      // Unknown string key: ignored (add-only schema).
+      return true;
+    }
+    if (*p_ == 't' || *p_ == 'f') {
+      const bool value = *p_ == 't';
+      const std::string_view want = value ? "true" : "false";
+      if (static_cast<size_t>(end_ - p_) < want.size() ||
+          std::string_view(p_, want.size()) != want) {
+        return Fail("bad literal");
+      }
+      p_ += want.size();
+      if (key == "allowed") out->allowed = value;
+      return true;
+    }
+    // Number (integers only in this schema; tolerate a sign).
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    if (p_ == start || (p_ - start == 1 && !std::isdigit(
+                            static_cast<unsigned char>(*start)))) {
+      return Fail("bad value");
+    }
+    const int64_t value = std::strtoll(std::string(start, p_).c_str(),
+                                       nullptr, 10);
+    if (key == "v") out->v = static_cast<int>(value);
+    else if (key == "seq") out->seq = static_cast<uint64_t>(value);
+    else if (key == "shard") out->shard = static_cast<int>(value);
+    else if (key == "epoch") out->epoch = static_cast<uint64_t>(value);
+    else if (key == "wall_us") out->wall_us = value;
+    else if (key == "sim_us") out->sim_us = value;
+    else if (key == "outcome") out->outcome = static_cast<int>(value);
+    else if (key == "latency_us") out->latency_us = value;
+    // Unknown numeric key: ignored (add-only schema).
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+  std::string* error_;
+};
+
+}  // namespace
+
+bool ParseJsonLine(std::string_view line, AuditRecord* out,
+                   std::string* error) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  *out = AuditRecord();
+  return LineParser(line, error).Parse(out);
+}
+
+}  // namespace audit
+}  // namespace sentinel

@@ -1,0 +1,85 @@
+#ifndef SENTINELPP_AUDIT_RECORD_H_
+#define SENTINELPP_AUDIT_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/decision_log.h"
+
+namespace sentinel {
+namespace audit {
+
+/// \brief One line of the durable audit stream — the exporter's stable,
+/// add-only schema (version field `v`, currently 1).
+///
+/// "Add-only" is the compatibility contract: a future version may introduce
+/// new keys but never rename, retype or remove existing ones, and the parser
+/// ignores keys it does not know — so an old reader survives a new stream
+/// and a new reader survives an old one. Keep that in mind before touching
+/// any field here.
+///
+/// Records carry both clocks: `sim_us` is the engine's simulated time (what
+/// temporal rules evaluated against — replay re-warps to it), `wall_us` the
+/// wall-clock capture instant (what external log correlation joins on).
+struct AuditRecord {
+  int v = 1;
+  /// Per-shard DecisionLog sequence. 0 marks a service-level record that
+  /// never reached an engine (overload shed, deadline expiry, fast-path
+  /// answer) — such records have no total order against the shard stream
+  /// and are skipped by replay.
+  uint64_t seq = 0;
+  int shard = 0;
+  /// Service admin epoch at drain time: which generation of the policy the
+  /// surrounding records were decided under. Drain-time, not decision-time,
+  /// so records raced by an in-flight admin broadcast may carry the new
+  /// epoch — a correlation hint, not a proof.
+  uint64_t epoch = 0;
+  int64_t wall_us = 0;
+  int64_t sim_us = 0;
+  /// The request event's name ("rbac.checkAccess", "rbac.addActiveRole",
+  /// ...), or a service-level marker ("service.overload", "service.fastpath").
+  std::string kind;
+  // Request attribution; empty fields are omitted from the line.
+  std::string user;
+  std::string session;
+  std::string role;
+  std::string op;
+  std::string object;
+  std::string purpose;
+  bool allowed = false;
+  /// Mirrors AccessOutcome: 0 decided, 1 overloaded, 2 shutdown.
+  int outcome = 0;
+  std::string rule;
+  std::string reason;
+  std::string failed_condition;
+  /// Sampled dispatch latency (us); 0 when this request was unsampled.
+  int64_t latency_us = 0;
+};
+
+/// Builds the exportable record for one engine decision. `epoch` is the
+/// service admin epoch at drain time.
+AuditRecord FromDecisionRecord(const DecisionRecord& record, int shard,
+                               uint64_t epoch);
+
+/// Serializes `record` as one JSON object and appends it plus '\n' to *out.
+/// Empty string fields and a zero latency are omitted; key order is fixed,
+/// so identical records serialize identically (replay corpora diff cleanly).
+void AppendJsonLine(const AuditRecord& record, std::string* out);
+
+/// Parses one exported line (with or without the trailing newline) back into
+/// *out. Unknown keys are ignored per the add-only contract; missing keys
+/// keep their defaults. Returns false on malformed input, with a short
+/// description in *error when non-null.
+bool ParseJsonLine(std::string_view line, AuditRecord* out,
+                   std::string* error = nullptr);
+
+/// Appends the JSON string escape of `s` (including the surrounding quotes):
+/// `"` `\` and control characters are escaped, all other bytes — UTF-8
+/// included — pass through verbatim.
+void AppendJsonString(std::string_view s, std::string* out);
+
+}  // namespace audit
+}  // namespace sentinel
+
+#endif  // SENTINELPP_AUDIT_RECORD_H_

@@ -9,4 +9,9 @@ Time SystemClock::Now() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(now).count();
 }
 
+Time WallTimeMicros() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+}
+
 }  // namespace sentinel

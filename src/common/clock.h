@@ -50,6 +50,11 @@ class SystemClock final : public Clock {
   Time Now() const override;
 };
 
+/// The current real wall-clock instant (microseconds since the Unix epoch).
+/// The audit trail stamps every record with this alongside the simulated
+/// time, so durable decision streams correlate with external logs.
+Time WallTimeMicros();
+
 }  // namespace sentinel
 
 #endif  // SENTINELPP_COMMON_CLOCK_H_

@@ -39,6 +39,9 @@ AuthorizationEngine::AuthorizationEngine(SimulatedClock* clock)
   cascade_hist_ = metrics_.AddHistogram(
       "cascade_firings", "rule firings per drained cascade",
       telemetry::Histogram::ExponentialBounds(1, 2.0, 11));
+  decision_log_.set_overflow_counter(metrics_.AddCounter(
+      "decision_log_overflow_total",
+      "decision audit records evicted from the in-memory ring"));
   keys_.user = symbols_.Intern(kUser);
   keys_.session = symbols_.Intern(kSession);
   keys_.role = symbols_.Intern(kRole);
@@ -261,6 +264,19 @@ Decision AuthorizationEngine::Dispatch(EventId event, FlatParamMap params) {
   if (timed) latency_tick_ = latency_sample_every_;
   const int64_t start_ns = timed ? telemetry::NowNanos() : 0;
   const bool traced = tracer_.Begin(Now(), detector_.name(event));
+  // Attribution symbols must be read before the params move below; symbols
+  // stay resolvable for the table's lifetime, so NameOf waits until the
+  // record is actually built (only when the trail is on).
+  const bool logged = decision_log_.capacity() > 0;
+  Symbol a_user, a_session, a_role, a_op, a_obj, a_purpose;
+  if (logged) {
+    a_user = params.Get(keys_.user).AsSymbol();
+    a_session = params.Get(keys_.session).AsSymbol();
+    a_role = params.Get(keys_.role).AsSymbol();
+    a_op = params.Get(keys_.operation).AsSymbol();
+    a_obj = params.Get(keys_.object).AsSymbol();
+    a_purpose = params.Get(keys_.purpose).AsSymbol();
+  }
   Decision decision;
   {
     ScopedDecision scope(&rules_, &decision);
@@ -282,7 +298,18 @@ Decision AuthorizationEngine::Dispatch(EventId event, FlatParamMap params) {
     }
   }
   if (traced) tracer_.End(decision.allowed, decision.rule, elapsed_ns);
-  decision_log_.Push(DecisionRecord{Now(), detector_.name(event), decision});
+  if (logged) {
+    DecisionRecord record{Now(), detector_.name(event), decision};
+    record.wall_us = WallTimeMicros();
+    record.user = symbols_.NameOf(a_user);
+    record.session = symbols_.NameOf(a_session);
+    record.role = symbols_.NameOf(a_role);
+    record.op = symbols_.NameOf(a_op);
+    record.object = symbols_.NameOf(a_obj);
+    record.purpose = symbols_.NameOf(a_purpose);
+    record.latency_us = elapsed_ns / 1000;
+    decision_log_.Push(std::move(record));
+  }
   // Whatever this dispatch's cascade mutated is reflected in the fast stamp
   // by the time the caller (and, through the service, the client) learns
   // the outcome. Every mutating engine entry point funnels through here.
@@ -391,8 +418,10 @@ bool AuthorizationEngine::CacheableVerdict(const Decision& decision) {
          decision.reason == kDenyReason;
 }
 
-Decision AuthorizationEngine::ReplayCachedVerdict(
-    DecisionCache::Verdict verdict) {
+Decision AuthorizationEngine::ReplayCachedVerdict(DecisionCache::Verdict
+                                                      verdict,
+                                                  Symbol session, Symbol op,
+                                                  Symbol obj) {
   // Replays join the same sampled latency stream as full dispatches: on a
   // cache-heavy workload the decision_latency_us p50 must reflect hits,
   // not just the residue of misses.
@@ -413,8 +442,15 @@ Decision AuthorizationEngine::ReplayCachedVerdict(
   if (tracer_.Begin(Now(), detector_.name(events_.check_access))) {
     tracer_.EndCached(decision.allowed, decision.rule);
   }
-  decision_log_.Push(
-      DecisionRecord{Now(), detector_.name(events_.check_access), decision});
+  if (decision_log_.capacity() > 0) {
+    DecisionRecord record{Now(), detector_.name(events_.check_access),
+                          decision};
+    record.wall_us = WallTimeMicros();
+    record.session = symbols_.NameOf(session);
+    record.op = symbols_.NameOf(op);
+    record.object = symbols_.NameOf(obj);
+    decision_log_.Push(std::move(record));
+  }
   return decision;
 }
 
@@ -444,7 +480,7 @@ Decision AuthorizationEngine::CheckAccess(const SessionId& session,
       switch (decision_cache_.Lookup(key, stamp, &verdict)) {
         case DecisionCache::Outcome::kHit:
           cache_hits_counter_->Inc();
-          return ReplayCachedVerdict(verdict);
+          return ReplayCachedVerdict(verdict, session_sym, op_sym, obj_sym);
         case DecisionCache::Outcome::kStale:
           cache_stale_counter_->Inc();
           fillable = true;
@@ -519,6 +555,20 @@ void AuthorizationEngine::SetContext(const std::string& key,
       events_.context_changed,
       {{keys_.context_key, Value(symbols_.Intern(key))},
        {keys_.context_value, Value(symbols_.Intern(value))}});
+  // Context moves never produce a Decision, but the audit trail (and the
+  // replay tool reconstructing this engine's inputs from it) must see them:
+  // record a synthetic always-allowed entry, key/value riding in the
+  // op/object slots.
+  if (decision_log_.capacity() > 0) {
+    DecisionRecord record;
+    record.when = Now();
+    record.operation = detector_.name(events_.context_changed);
+    record.decision.Allow("");
+    record.wall_us = WallTimeMicros();
+    record.op = key;
+    record.object = value;
+    decision_log_.Push(std::move(record));
+  }
   // The contextChanged cascade may itself mutate state after the epoch
   // bump above already published; re-publish at the tail.
   PublishFastPathState();

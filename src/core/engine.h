@@ -5,6 +5,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -289,6 +290,22 @@ class AuthorizationEngine {
   /// Sets the trail capacity (default 256; 0 disables recording).
   void set_decision_log_capacity(size_t capacity);
 
+  /// \brief Ordered audit hand-off: invokes `fn` on every decision record
+  /// not yet drained (oldest first) and returns how many records were
+  /// evicted from the ring before they could be drained — the caller (the
+  /// service's export tap) accounts those as audit losses. The engine keeps
+  /// the cursor, so repeat calls only ever see new records; a call with
+  /// nothing new costs one comparison. Engine-thread only, like every other
+  /// mutating entry point.
+  template <typename Fn>
+  uint64_t DrainDecisionLog(Fn&& fn) {
+    return decision_log_.DrainInto(&audit_cursor_, std::forward<Fn>(fn));
+  }
+  /// True iff a drain right now would deliver records (or report losses).
+  bool HasUndrainedDecisions() const {
+    return audit_cursor_ < decision_log_.next_seq();
+  }
+
  private:
   /// Raises `event` with a fresh Decision installed; applies the default
   /// deny when no rule decided.
@@ -315,7 +332,9 @@ class AuthorizationEngine {
   static bool CacheableVerdict(const Decision& decision);
   /// Rebuilds a Decision from a cache hit and applies the bookkeeping the
   /// dispatched path would have done (counters, audit log, sampled span).
-  Decision ReplayCachedVerdict(DecisionCache::Verdict verdict);
+  /// The request symbols attribute the audit record like a full dispatch.
+  Decision ReplayCachedVerdict(DecisionCache::Verdict verdict, Symbol session,
+                               Symbol op, Symbol obj);
 
   SimulatedClock* clock_;  // Not owned.
   /// Shared by the detector, RBAC base and role-state table; declared
@@ -338,6 +357,8 @@ class AuthorizationEngine {
   std::vector<EventId> duration_events_;
   std::map<std::string, std::string> context_;
   DecisionLog decision_log_;
+  /// Drain position for DrainDecisionLog (seq of the next undrained record).
+  uint64_t audit_cursor_ = 0;
   bool policy_loaded_ = false;
   DecisionCache decision_cache_;
   uint64_t cache_epoch_ = 0;

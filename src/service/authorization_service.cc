@@ -71,6 +71,11 @@ Status AuthorizationService::ValidateConfig(const ServiceConfig& config) {
         "default_deadline must be >= 0 (0 disables); got " +
         std::to_string(config.default_deadline));
   }
+  if (!config.audit_path.empty() && config.audit_queue_capacity == 0) {
+    return Status::InvalidArgument(
+        "audit_queue_capacity must be > 0 when audit_path is set — a "
+        "zero-capacity hand-off would drop every record");
+  }
   return Status::OK();
 }
 
@@ -130,6 +135,16 @@ AuthorizationService::AuthorizationService(const ServiceConfig& config)
   fastpath_latency_hist_ = service_metrics_.AddHistogram(
       "decision_latency_us", "sampled wall-clock dispatch latency (us)",
       telemetry::Histogram::ExponentialBounds(1, 2.0, 15));
+
+  // The exporter must exist before any shard thread starts: ShardLoop reads
+  // audit_ without synchronization, relying on the thread-start fence.
+  if (init_status_.ok() && !config.audit_path.empty()) {
+    audit::AuditExporter::Options audit_options;
+    audit_options.path = config.audit_path;
+    audit_options.rotate_bytes = config.audit_rotate_bytes;
+    audit_options.queue_capacity = config.audit_queue_capacity;
+    audit_ = std::make_unique<audit::AuditExporter>(std::move(audit_options));
+  }
 
   shards_.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
@@ -200,9 +215,53 @@ AuthorizationService::~AuthorizationService() { Shutdown(); }
 
 void AuthorizationService::ShardLoop(Shard* shard) {
   std::deque<std::function<void(Shard&)>> batch;
+  const bool tap = audit_ != nullptr;
   while (shard->mailbox.PopAll(&batch)) {
-    for (auto& task : batch) task(*shard);
+    for (auto& task : batch) {
+      task(*shard);
+      // Tap after every envelope, not every PopAll batch: one envelope can
+      // emit at most its own requests' records (a handful; the wire server
+      // batches 8), so the ring can never wrap between taps, while a long
+      // PopAll batch could outrun the whole ring before a per-batch drain.
+      if (tap) DrainShardAudit(*shard);
+    }
   }
+}
+
+void AuthorizationService::DrainShardAudit(Shard& shard) {
+  AuthorizationEngine& engine = *shard.engine;
+  if (!engine.HasUndrainedDecisions()) return;
+  const uint64_t epoch = shard.applied_epoch.load(std::memory_order_relaxed);
+  const uint64_t missed = engine.DrainDecisionLog(
+      [this, &shard, epoch](const DecisionRecord& record) {
+        audit_->Offer(audit::FromDecisionRecord(
+            record, static_cast<int>(shard.index), epoch));
+      });
+  if (missed > 0) audit_->AddUpstreamLoss(missed);
+}
+
+void AuthorizationService::OfferServiceRecord(const char* kind,
+                                              const AccessRequest* request,
+                                              const AccessDecision& decision) {
+  audit::AuditRecord record;
+  record.kind = kind;
+  record.shard = static_cast<int>(decision.shard);
+  record.epoch = decision.epoch;
+  record.wall_us = WallTimeMicros();
+  record.sim_us = Now();
+  record.allowed = decision.allowed;
+  record.outcome = static_cast<int>(decision.outcome);
+  record.rule = decision.rule;
+  record.reason = decision.reason;
+  record.latency_us = decision.latency;
+  if (request != nullptr) {
+    record.user = request->user;
+    record.session = request->session;
+    record.op = request->operation;
+    record.object = request->object;
+    record.purpose = request->purpose;
+  }
+  audit_->Offer(std::move(record));
 }
 
 void AuthorizationService::TimerLoop() {
@@ -228,6 +287,14 @@ void AuthorizationService::Shutdown() {
     for (auto& shard : shards_) {
       if (shard->thread.joinable()) shard->thread.join();
     }
+  }
+  if (audit_ != nullptr) {
+    // Every shard thread is joined (or never existed): a final inline drain
+    // collects whatever the last envelopes pushed, then Close flushes the
+    // stream to disk before Shutdown returns — the "explicit flush/close on
+    // shutdown" half of the exporter contract.
+    for (auto& shard : shards_) DrainShardAudit(*shard);
+    audit_->Close();
   }
 }
 
@@ -333,6 +400,7 @@ AccessDecision AuthorizationService::RunOnShard(
     // No queue, no admission control: the engine runs inline immediately,
     // so a deadline can never expire before dispatch.
     const Decision decision = op(*home.engine);
+    if (audit_ != nullptr) DrainShardAudit(home);
     return Convert(decision, shard,
                    home.applied_epoch.load(std::memory_order_relaxed),
                    submit_ns);
@@ -350,6 +418,9 @@ AccessDecision AuthorizationService::RunOnShard(
     if (deadline_ns != 0 && start_ns > deadline_ns) {
       s.expired_counter->Add();
       out = OverloadDecision(/*shed=*/false, s.index, submit_ns);
+      if (audit_ != nullptr) {
+        OfferServiceRecord("service.overload", nullptr, out);
+      }
     } else {
       const Decision decision = op(*s.engine);
       out = Convert(decision, s.index,
@@ -364,12 +435,24 @@ AccessDecision AuthorizationService::RunOnShard(
                                    deadline_ns, &depth)) {
     case PushResult::kClosed:
       return ShutdownDecision();
-    case PushResult::kFull:
+    case PushResult::kFull: {
       home.shed_counter->Add();
-      return OverloadDecision(/*shed=*/true, shard, submit_ns);
-    case PushResult::kExpired:
+      const AccessDecision shed = OverloadDecision(/*shed=*/true, shard,
+                                                   submit_ns);
+      if (audit_ != nullptr) {
+        OfferServiceRecord("service.overload", nullptr, shed);
+      }
+      return shed;
+    }
+    case PushResult::kExpired: {
       home.expired_counter->Add();
-      return OverloadDecision(/*shed=*/false, shard, submit_ns);
+      const AccessDecision expired = OverloadDecision(/*shed=*/false, shard,
+                                                      submit_ns);
+      if (audit_ != nullptr) {
+        OfferServiceRecord("service.overload", nullptr, expired);
+      }
+      return expired;
+    }
     case PushResult::kOk:
       break;
   }
@@ -389,6 +472,7 @@ void AuthorizationService::Broadcast(
     fn(*shards_[0]->engine, 0);
     shards_[0]->applied_epoch.store(epoch, std::memory_order_release);
     admin_epoch_.store(epoch, std::memory_order_release);
+    if (audit_ != nullptr) DrainShardAudit(*shards_[0]);
     return;
   }
   Latch done(static_cast<int>(shards_.size()));
@@ -509,6 +593,11 @@ AccessDecision AuthorizationService::CheckAccess(const AccessRequest& request) {
     AccessDecision fast;
     if (TryFastPath(request, &fast)) {
       requests_counter_->Add();
+      // Fast-path hits bypass the engine and its DecisionLog entirely; the
+      // service-level record keeps them in the durable stream.
+      if (audit_ != nullptr) {
+        OfferServiceRecord("service.fastpath", &request, fast);
+      }
       return fast;
     }
   }
@@ -549,6 +638,7 @@ void AuthorizationService::CheckAccessBatchInto(
                        shard.applied_epoch.load(std::memory_order_relaxed),
                        submit_ns);
     }
+    if (audit_ != nullptr) DrainShardAudit(shard);
     return;
   }
   // Per-item zero-hop probe first: only the misses pay a mailbox hop, and
@@ -558,6 +648,8 @@ void AuthorizationService::CheckAccessBatchInto(
   for (size_t i = 0; i < requests.size(); ++i) {
     if (!fastpath_ || !TryFastPath(requests[i], &out[i])) {
       pending.push_back(static_cast<uint32_t>(i));
+    } else if (audit_ != nullptr) {
+      OfferServiceRecord("service.fastpath", &requests[i], out[i]);
     }
   }
   if (pending.empty()) return;
@@ -606,6 +698,9 @@ void AuthorizationService::CheckAccessBatchInto(
         if (deadlines[i] != 0 && start_ns > deadlines[i]) {
           s.expired_counter->Add();
           out[i] = OverloadDecision(/*shed=*/false, s.index, submit_ns);
+          if (audit_ != nullptr) {
+            OfferServiceRecord("service.overload", &requests[i], out[i]);
+          }
           continue;
         }
         const Decision decision = s.engine->CheckAccess(
@@ -626,6 +721,9 @@ void AuthorizationService::CheckAccessBatchInto(
         home.shed_counter->Add(indices[shard].size());
         for (const uint32_t i : indices[shard]) {
           out[i] = OverloadDecision(/*shed=*/true, home.index, submit_ns);
+          if (audit_ != nullptr) {
+            OfferServiceRecord("service.overload", &requests[i], out[i]);
+          }
         }
         done.Arrive();
         continue;
@@ -633,6 +731,9 @@ void AuthorizationService::CheckAccessBatchInto(
         home.expired_counter->Add(indices[shard].size());
         for (const uint32_t i : indices[shard]) {
           out[i] = OverloadDecision(/*shed=*/false, home.index, submit_ns);
+          if (audit_ != nullptr) {
+            OfferServiceRecord("service.overload", &requests[i], out[i]);
+          }
         }
         done.Arrive();
         continue;
@@ -821,6 +922,12 @@ ServiceStats AuthorizationService::Stats() {
     stats.expired += shards_[shard]->expired_counter->value();
     stats.fastpath_hits += shards_[shard]->fastpath_counter->value();
   }
+  if (audit_ != nullptr) {
+    const audit::AuditExporter::Counters counters = audit_->counters();
+    stats.audit_records = counters.records;
+    stats.audit_drops = counters.drops;
+    stats.audit_bytes = counters.bytes;
+  }
   return stats;
 }
 
@@ -855,6 +962,23 @@ TelemetrySnapshot AuthorizationService::Snapshot() {
   snap.metrics = service_metrics_.Snapshot();
   for (const auto& shard : shards_) {
     snap.metrics.MergeFrom(shard->engine->metrics().Snapshot());
+  }
+  // The exporter is not a registry; splice its counters into the merged
+  // view so the scrape endpoint carries the whole audit pipeline story
+  // (decision_log_overflow_total arrives via the shard registries above).
+  if (audit_ != nullptr) {
+    const audit::AuditExporter::Counters counters = audit_->counters();
+    snap.metrics.counters.push_back(telemetry::CounterSnapshot{
+        "audit_export_records_total",
+        "audit records durably written by the exporter", counters.records});
+    snap.metrics.counters.push_back(telemetry::CounterSnapshot{
+        "audit_export_drops_total",
+        "audit records lost (hand-off full, write failure, or ring "
+        "eviction before the tap)",
+        counters.drops});
+    snap.metrics.counters.push_back(telemetry::CounterSnapshot{
+        "audit_export_bytes_total", "serialized audit bytes written",
+        counters.bytes});
   }
   // Spans hold strings the shard thread mutates freely, so they are copied
   // on the shard thread via Inspect.

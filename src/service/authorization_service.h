@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "api/sentinelpp.h"
+#include "audit/exporter.h"
 #include "common/clock.h"
 #include "common/status.h"
 #include "core/engine.h"
@@ -101,6 +102,23 @@ struct ServiceConfig {
   /// (0 = none). Expiry — in queue, or blocked waiting for mailbox space —
   /// yields AccessOutcome::kOverloaded, never a policy deny.
   Duration default_deadline = 0;
+  /// Durable audit stream: when non-empty, an async JSONL exporter (see
+  /// audit::AuditExporter) is attached and every shard's DecisionLog is
+  /// tapped after each envelope it processes — on the shard thread, without
+  /// copying the ring and without ever blocking on I/O. Fast-path hits and
+  /// overload verdicts, which never reach an engine, are exported as
+  /// service-level records (seq 0). Requires decision_log_capacity large
+  /// enough that one envelope cannot wrap the ring (a batch envelope emits
+  /// one record per request it carries); with the defaults that margin is
+  /// 256 vs the wire server's 8-request batches.
+  std::string audit_path;
+  /// Rotate the audit file once it exceeds this size; 0 disables. See
+  /// audit::AuditExporter::Options::rotate_bytes.
+  uint64_t audit_rotate_bytes = 0;
+  /// Exporter hand-off buffer, in records; beyond it the exporter drops
+  /// (counted in audit_export_drops_total), never blocks a shard. Must be
+  /// > 0 when audit_path is set.
+  size_t audit_queue_capacity = 65536;
 };
 
 /// Aggregated per-shard counters (gathered with a quiescing inspection).
@@ -121,6 +139,12 @@ struct ServiceStats {
   /// CheckAccess verdicts answered on the caller's thread from a shard's
   /// published cache snapshot — zero mailbox hops, zero locks.
   uint64_t fastpath_hits = 0;
+  /// Audit export pipeline (zeros when no audit_path was configured).
+  /// Completeness invariant when only engine-dispatched traffic runs:
+  /// audit_records + audit_drops covers every decision made.
+  uint64_t audit_records = 0;
+  uint64_t audit_drops = 0;
+  uint64_t audit_bytes = 0;
 };
 
 /// \brief One observability capture of the whole service: every shard
@@ -285,6 +309,11 @@ class AuthorizationService {
   size_t MailboxDepth(uint32_t shard) const;
   size_t MailboxPeakDepth(uint32_t shard) const;
 
+  /// The attached audit exporter, or nullptr when audit_path was empty.
+  /// For tests (stall injection, flush) and tools (final counter lines);
+  /// the exporter's own API is thread-safe.
+  audit::AuditExporter* audit_exporter() { return audit_.get(); }
+
   /// Test-only fault injection: enqueues `fn` on `shard`'s mailbox through
   /// the exempt lane (never shed, never expired) and returns immediately,
   /// without waiting for it to run. While `fn` runs, the shard thread is
@@ -403,6 +432,18 @@ class AuthorizationService {
   void TimerLoop();
   void ApplyAdvance(Time target);
 
+  /// Export tap: hands the shard's undrained DecisionLog tail to the audit
+  /// exporter and accounts ring evictions as drops. Shard-thread only
+  /// (inline callers in synchronous mode / after joins in Shutdown are the
+  /// same single-threaded world). One comparison when nothing is new.
+  void DrainShardAudit(Shard& shard);
+
+  /// Exports a service-level audit marker (seq 0): a verdict that never
+  /// reached an engine — fast-path hit or overload. Any-thread safe;
+  /// `request` may be null when no attribution exists at the call site.
+  void OfferServiceRecord(const char* kind, const AccessRequest* request,
+                          const AccessDecision& decision);
+
   /// Resolves the shard handling `request` (user key, else session
   /// registry, else session hash).
   uint32_t RouteRequest(const AccessRequest& request) const;
@@ -419,6 +460,10 @@ class AuthorizationService {
   Duration default_deadline_ = 0;
   /// Zero-hop read path enabled (config flag, cache on, not synchronous).
   bool fastpath_ = false;
+  /// Async audit writer; null when audit_path was empty. Created before the
+  /// shard threads start and Closed (flushing) inside Shutdown, so every
+  /// shard-thread Offer happens while it is alive.
+  std::unique_ptr<audit::AuditExporter> audit_;
   /// Fast-path latency sampling interval (mirrors the engines' setting).
   uint32_t latency_sample_every_ = 32;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -1,0 +1,290 @@
+#include "workload/scenario_gen.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "event/time_pattern.h"
+
+namespace sentinel {
+
+std::string ScenarioRoleName(int division, int level, int index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "D%dL%02dR%04d", division, level, index);
+  return buf;
+}
+
+std::string ScenarioUserName(int index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "u%06d", index);
+  return buf;
+}
+
+std::string ScenarioObjectName(int index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "o%05d", index);
+  return buf;
+}
+
+ScenarioParams SmokeScenarioParams() {
+  ScenarioParams params;
+  params.divisions = 2;
+  params.depth = 3;
+  params.branching = 2;
+  params.num_objects = 64;
+  params.num_users = 200;
+  params.num_requests = 12000;
+  params.shift_frac = 0.0;  // Keep the smoke capture schedule-free: every
+                            // denial is attributable to RBAC state, which
+                            // makes the replay-determinism check strict.
+  return params;
+}
+
+ScenarioParams EnterpriseScenarioParams() {
+  ScenarioParams params;
+  params.divisions = 6;
+  params.depth = 7;
+  params.branching = 3;
+  params.num_objects = 8192;
+  params.num_users = 120000;
+  params.assignments_per_user = 3;
+  params.ssd_sets = 12;
+  params.ssd_set_size = 3;
+  params.dsd_sets = 12;
+  params.dsd_set_size = 3;
+  params.num_requests = 200000;
+  return params;
+}
+
+namespace {
+
+constexpr const char* kOperations[] = {"read", "write", "exec", "approve"};
+
+bool SsdAllows(const std::map<std::string, SodSet>& ssd_sets,
+               const std::set<RoleName>& authorized) {
+  for (const auto& [name, set] : ssd_sets) {
+    int hits = 0;
+    for (const RoleName& role : set.roles) {
+      if (authorized.count(role) > 0 && ++hits >= set.n) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Scenario GenerateScenario(const ScenarioParams& params) {
+  Rng rng(params.seed);
+  Policy policy("enterprise-" + std::to_string(params.seed));
+
+  // --- Org forest: names[division][level] -> roles of that tier. --------
+  // Level 0 is the division root; each level-l role has `branching`
+  // children at level l+1, so senior chains are exactly `depth` long.
+  std::vector<std::vector<std::vector<RoleName>>> names(
+      static_cast<size_t>(params.divisions));
+  for (int d = 0; d < params.divisions; ++d) {
+    auto& tiers = names[static_cast<size_t>(d)];
+    tiers.resize(static_cast<size_t>(params.depth));
+    int width = 1;
+    for (int l = 0; l < params.depth; ++l) {
+      for (int i = 0; i < width; ++i) {
+        RoleSpec spec;
+        spec.name = ScenarioRoleName(d, l, i);
+        tiers[static_cast<size_t>(l)].push_back(spec.name);
+        for (int p = 0; p < params.permissions_per_role; ++p) {
+          Permission perm;
+          perm.operation = kOperations[rng.NextBounded(4)];
+          perm.object = ScenarioObjectName(
+              static_cast<int>(rng.NextBounded(params.num_objects)));
+          spec.permissions.insert(perm);
+        }
+        // GTRBAC shifts live on the working tiers (bottom two levels):
+        // executives are always enabled, clerks work schedules.
+        if (l >= params.depth - 2 && rng.NextBool(params.shift_frac)) {
+          const int start_hour = 6 + static_cast<int>(rng.NextBounded(4));
+          auto window = PeriodicExpression::Create(
+              TimePattern(start_hour, (i * 7) % 60, 0, TimePattern::kAny,
+                          TimePattern::kAny, TimePattern::kAny),
+              TimePattern(start_hour + 8, (i * 11) % 60, 0, TimePattern::kAny,
+                          TimePattern::kAny, TimePattern::kAny));
+          if (window.ok()) spec.enabling_window = *window;
+        }
+        if (rng.NextBool(params.cardinality_frac)) {
+          spec.activation_cardinality = params.cardinality_limit;
+        }
+        if (rng.NextBool(params.duration_frac)) {
+          spec.max_activation = params.duration +
+                                static_cast<Duration>(l * width + i) * 13 *
+                                    kMillisecond;
+        }
+        if (rng.NextBool(params.context_frac)) {
+          static constexpr const char* kKeys[] = {"location", "network"};
+          static constexpr const char* kValues[] = {"office", "home",
+                                                    "hospital", "secure",
+                                                    "insecure"};
+          spec.required_context[kKeys[rng.NextBounded(2)]] =
+              kValues[rng.NextBounded(5)];
+        }
+        (void)policy.AddRole(std::move(spec));
+        if (l > 0) {
+          // Parent (one tier up, index i / branching) is senior of us.
+          auto parent = policy.MutableRole(
+              tiers[static_cast<size_t>(l - 1)][static_cast<size_t>(
+                  i / params.branching)]);
+          if (parent.ok()) {
+            (*parent)->juniors.insert(ScenarioRoleName(d, l, i));
+          }
+        }
+      }
+      width *= params.branching;
+    }
+  }
+
+  // --- Sibling groups: the pools SoD sets are drawn from. ---------------
+  // Conflicting duties live inside one department, so every SoD set is a
+  // subset of one parent's children.
+  std::vector<std::vector<RoleName>> sibling_groups;
+  for (int d = 0; d < params.divisions; ++d) {
+    const auto& tiers = names[static_cast<size_t>(d)];
+    for (int l = 0; l + 1 < params.depth; ++l) {
+      const auto& children = tiers[static_cast<size_t>(l + 1)];
+      for (size_t parent = 0; parent < tiers[static_cast<size_t>(l)].size();
+           ++parent) {
+        std::vector<RoleName> group;
+        for (int c = 0; c < params.branching; ++c) {
+          const size_t child = parent * static_cast<size_t>(params.branching) +
+                               static_cast<size_t>(c);
+          if (child < children.size()) group.push_back(children[child]);
+        }
+        if (group.size() >= 2) sibling_groups.push_back(std::move(group));
+      }
+    }
+  }
+
+  auto sample_siblings = [&rng, &sibling_groups](int count) {
+    std::set<RoleName> out;
+    if (sibling_groups.empty()) return out;
+    const auto& group =
+        sibling_groups[rng.NextBounded(sibling_groups.size())];
+    const int want = count < static_cast<int>(group.size())
+                         ? count
+                         : static_cast<int>(group.size());
+    int attempts = 0;
+    while (static_cast<int>(out.size()) < want && attempts++ < want * 8) {
+      out.insert(group[rng.NextBounded(group.size())]);
+    }
+    return out;
+  };
+  for (int i = 0; i < params.ssd_sets; ++i) {
+    SodSet set;
+    set.name = "SSD" + std::to_string(i);
+    set.roles = sample_siblings(params.ssd_set_size);
+    set.n = 2;
+    if (static_cast<int>(set.roles.size()) >= set.n) {
+      (void)policy.AddSsd(std::move(set));
+    }
+  }
+  for (int i = 0; i < params.dsd_sets; ++i) {
+    SodSet set;
+    set.name = "DSD" + std::to_string(i);
+    set.roles = sample_siblings(params.dsd_set_size);
+    set.n = 2;
+    if (static_cast<int>(set.roles.size()) >= set.n) {
+      (void)policy.AddDsd(std::move(set));
+    }
+  }
+
+  // --- Junior closures (the subtree of each role), bottom tier up. ------
+  std::map<RoleName, std::set<RoleName>> closures;
+  for (int d = 0; d < params.divisions; ++d) {
+    const auto& tiers = names[static_cast<size_t>(d)];
+    for (int l = params.depth - 1; l >= 0; --l) {
+      for (const RoleName& role : tiers[static_cast<size_t>(l)]) {
+        std::set<RoleName>& mine = closures[role];
+        mine.insert(role);
+        const auto spec = policy.roles().find(role);
+        for (const RoleName& junior : spec->second.juniors) {
+          const auto& sub = closures[junior];
+          mine.insert(sub.begin(), sub.end());
+        }
+      }
+    }
+  }
+
+  // --- Population: assignments biased to the leaf tier, SSD-respecting
+  // under the hierarchy (a manager is authorized for the whole subtree).
+  for (int i = 0; i < params.num_users; ++i) {
+    UserSpec spec;
+    spec.name = ScenarioUserName(i);
+    std::set<RoleName> authorized;
+    int attempts = 0;
+    while (static_cast<int>(spec.assignments.size()) <
+               params.assignments_per_user &&
+           attempts++ < params.assignments_per_user * 8) {
+      const int d = static_cast<int>(rng.NextBounded(params.divisions));
+      const int l = rng.NextBool(params.leaf_assignment_prob)
+                        ? params.depth - 1
+                        : static_cast<int>(rng.NextBounded(params.depth));
+      const auto& tier = names[static_cast<size_t>(d)][static_cast<size_t>(l)];
+      const RoleName candidate = tier[rng.NextBounded(tier.size())];
+      if (spec.assignments.count(candidate) > 0) continue;
+      std::set<RoleName> hypothetical = authorized;
+      const auto& closure = closures.at(candidate);
+      hypothetical.insert(closure.begin(), closure.end());
+      if (!SsdAllows(policy.ssd_sets(), hypothetical)) continue;
+      spec.assignments.insert(candidate);
+      authorized = std::move(hypothetical);
+    }
+    if (rng.NextBool(params.user_cap_frac)) {
+      spec.max_active_roles = params.user_cap;
+    }
+    (void)policy.AddUser(std::move(spec));
+  }
+
+  // --- Request stream over the finished policy. -------------------------
+  Scenario scenario;
+  scenario.num_roles = static_cast<int>(policy.roles().size());
+  RequestGenParams request_params;
+  request_params.seed = params.seed * 7919 + 1;
+  request_params.num_requests = params.num_requests;
+  request_params.mix = params.mix;
+  request_params.max_advance = params.max_advance;
+  request_params.invalid_frac = params.invalid_frac;
+  RequestGenerator generator(policy, request_params);
+  scenario.requests = generator.Generate();
+  scenario.policy = std::move(policy);
+  return scenario;
+}
+
+Result<Policy> WithAddedDsdEdge(const Policy& policy,
+                                const std::string& name) {
+  for (const auto& [user, spec] : policy.users()) {
+    for (auto a = spec.assignments.begin(); a != spec.assignments.end();
+         ++a) {
+      for (auto b = std::next(a); b != spec.assignments.end(); ++b) {
+        bool constrained = false;
+        for (const auto& [set_name, set] : policy.dsd_sets()) {
+          if (set.roles.count(*a) > 0 && set.roles.count(*b) > 0) {
+            constrained = true;
+            break;
+          }
+        }
+        if (constrained) continue;
+        Policy mutated = policy;
+        SodSet set;
+        set.name = name;
+        set.roles = {*a, *b};
+        set.n = 2;
+        SENTINEL_RETURN_IF_ERROR(mutated.AddDsd(std::move(set)));
+        return mutated;
+      }
+    }
+  }
+  return Status::NotFound(
+      "no co-assigned role pair free of an existing DSD constraint");
+}
+
+}  // namespace sentinel

@@ -1,0 +1,103 @@
+#ifndef SENTINELPP_WORKLOAD_SCENARIO_GEN_H_
+#define SENTINELPP_WORKLOAD_SCENARIO_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/policy.h"
+#include "workload/request_gen.h"
+
+namespace sentinel {
+
+/// \brief Shape of a synthetic enterprise: an org *forest* of role trees
+/// (one per division), GTRBAC shift schedules concentrated on the working
+/// tiers, SoD sets over sibling roles (conflicting duties inside one
+/// department), and a large user population assigned near the leaves.
+///
+/// This is the corpus side of the audit pipeline. GenerateScenario builds a
+/// Policy that loads cleanly plus a deterministic request stream; the soak
+/// driver (examples/enterprise_soak.cpp) replays the stream through an
+/// audited AuthorizationService to produce canonical capture files for
+/// sentinelpp-replay. Everything is deterministic in `seed`.
+///
+/// Unlike PolicyGenParams' flat random forest, the hierarchy here is an
+/// explicit org tree: `divisions` independent trees, each `depth` levels
+/// deep with `branching` children per role — so role count is
+/// divisions * (branching^depth - 1) / (branching - 1), and senior chains
+/// are `depth` long by construction.
+struct ScenarioParams {
+  uint64_t seed = 2026;
+
+  // --- Org shape --------------------------------------------------------
+  int divisions = 2;
+  int depth = 4;
+  int branching = 3;
+
+  // --- Permissions ------------------------------------------------------
+  int permissions_per_role = 4;
+  int num_objects = 256;
+
+  // --- Population -------------------------------------------------------
+  int num_users = 1000;
+  int assignments_per_user = 2;
+  /// Probability an assignment lands on the leaf tier (workers) rather
+  /// than a uniformly random level (managers).
+  double leaf_assignment_prob = 0.75;
+  double user_cap_frac = 0.1;
+  int user_cap = 3;
+
+  // --- Constraints ------------------------------------------------------
+  /// SoD sets are drawn over *sibling* roles under one parent.
+  int ssd_sets = 2;
+  int ssd_set_size = 2;
+  int dsd_sets = 2;
+  int dsd_set_size = 2;
+  /// Fraction of bottom-two-tier roles with a GTRBAC shift window.
+  double shift_frac = 0.2;
+  double cardinality_frac = 0.1;
+  int cardinality_limit = 64;
+  double duration_frac = 0.1;
+  Duration duration = 45 * kMinute;
+  double context_frac = 0.05;
+
+  // --- Request stream ---------------------------------------------------
+  int num_requests = 12000;
+  RequestMix mix;
+  Duration max_advance = 2 * kMinute;
+  double invalid_frac = 0.05;
+};
+
+/// \brief A generated enterprise: the policy plus its request stream.
+struct Scenario {
+  Policy policy;
+  std::vector<Request> requests;
+  int num_roles = 0;
+};
+
+/// CI-sized preset: 14 roles, 200 users, 12k requests — fast enough for
+/// the audit-smoke stage, large enough for a >=10k-decision capture.
+ScenarioParams SmokeScenarioParams();
+
+/// Production-scale preset: ~6.5k roles across 6 divisions 7 levels deep,
+/// 120k users, 200k requests — the soak-test shape.
+ScenarioParams EnterpriseScenarioParams();
+
+Scenario GenerateScenario(const ScenarioParams& params);
+
+/// Canonical names: "D1L03R0042" (division 1, level 3, 42nd role of that
+/// level), "u000017", "o00013".
+std::string ScenarioRoleName(int division, int level, int index);
+std::string ScenarioUserName(int index);
+std::string ScenarioObjectName(int index);
+
+/// \brief The replay flip experiment's mutation: a copy of `policy` with
+/// one added DSD set (`name`, cardinality 2) over the first pair of roles
+/// some user is co-assigned to that is not already jointly DSD-constrained.
+/// Deterministic in the policy contents. NotFound when no such pair exists.
+Result<Policy> WithAddedDsdEdge(const Policy& policy, const std::string& name);
+
+}  // namespace sentinel
+
+#endif  // SENTINELPP_WORKLOAD_SCENARIO_GEN_H_
