@@ -9,11 +9,17 @@
 //                    [--capacity=0] [--policy=block|shed]
 //                    [--deadline-us=0] [--idle-ms=30000]
 //                    [--audit=PATH] [--audit-rotate=0] [--audit-queue=65536]
+//                    [--update-churn=0]
 //
 // --audit attaches the async JSONL audit exporter (see audit/exporter.h):
 // every decision the service makes is exported, and the final stats line
 // gains `audit_records=`/`audit_drops=` fields so harnesses can assert a
 // complete stream.
+//
+// --update-churn=N (milliseconds) runs an in-process admin thread that
+// applies a policy update every N ms while serving — each update toggles a
+// spare role's permission, exercising the pauseless swap path under real
+// network load. The final stats line gains a `swaps=` field.
 //
 // Prints exactly one `listening on <addr>:<port>` line once the socket is
 // bound (port 0 binds an ephemeral port — scripts parse the real one from
@@ -22,6 +28,8 @@
 // final stats line ends with `drained` so harnesses can assert a clean
 // exit.
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -50,7 +58,7 @@ int64_t IntFlag(const char* arg, const char* name, int64_t* out) {
 int main(int argc, char** argv) {
   int64_t port = 0, shards = 1, users = 16, cache = 0, fastpath = 0;
   int64_t capacity = 0, deadline_us = 0, idle_ms = 30'000;
-  int64_t audit_rotate = 0, audit_queue = 65536;
+  int64_t audit_rotate = 0, audit_queue = 65536, update_churn_ms = 0;
   std::string overload = "block", audit_path;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -61,7 +69,8 @@ int main(int argc, char** argv) {
         IntFlag(arg, "--deadline-us", &deadline_us) ||
         IntFlag(arg, "--idle-ms", &idle_ms) ||
         IntFlag(arg, "--audit-rotate", &audit_rotate) ||
-        IntFlag(arg, "--audit-queue", &audit_queue)) {
+        IntFlag(arg, "--audit-queue", &audit_queue) ||
+        IntFlag(arg, "--update-churn", &update_churn_ms)) {
       continue;
     }
     if (std::strncmp(arg, "--policy=", 9) == 0) {
@@ -92,18 +101,31 @@ int main(int argc, char** argv) {
   config.audit_queue_capacity = static_cast<size_t>(audit_queue);
   sentinel::AuthorizationService service(config);
 
-  sentinel::Policy policy("serve");
-  sentinel::RoleSpec role;
-  role.name = "worker";
-  role.permissions.insert(sentinel::Permission{"read", "ledger"});
-  (void)policy.AddRole(std::move(role));
-  for (int u = 0; u < users; ++u) {
-    sentinel::UserSpec user;
-    user.name = sentinel::SyntheticUserName(u);
-    user.assignments.insert("worker");
-    (void)policy.AddUser(std::move(user));
-  }
-  if (!service.LoadPolicy(policy).ok()) {
+  // `spare` absorbs the --update-churn stream: no serving user is assigned
+  // to it, so toggling its permission swaps generations without changing
+  // any served verdict.
+  const auto build_policy = [users](bool toggled) {
+    sentinel::Policy policy("serve");
+    sentinel::RoleSpec role;
+    role.name = "worker";
+    role.permissions.insert(sentinel::Permission{"read", "ledger"});
+    (void)policy.AddRole(std::move(role));
+    sentinel::RoleSpec spare;
+    spare.name = "spare";
+    spare.permissions.insert(sentinel::Permission{"read", "scratch"});
+    if (toggled) {
+      spare.permissions.insert(sentinel::Permission{"write", "scratch"});
+    }
+    (void)policy.AddRole(std::move(spare));
+    for (int u = 0; u < users; ++u) {
+      sentinel::UserSpec user;
+      user.name = sentinel::SyntheticUserName(u);
+      user.assignments.insert("worker");
+      (void)policy.AddUser(std::move(user));
+    }
+    return policy;
+  };
+  if (!service.LoadPolicy(build_policy(false)).ok()) {
     std::fprintf(stderr, "policy load failed\n");
     return 1;
   }
@@ -133,10 +155,29 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
+
+  std::thread churner;
+  std::atomic<bool> churn_stop{false};
+  if (update_churn_ms > 0) {
+    churner = std::thread([&] {
+      bool flip = true;
+      while (!churn_stop.load(std::memory_order_acquire)) {
+        (void)service.ApplyPolicyUpdate(build_policy(flip));
+        flip = !flip;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(update_churn_ms));
+      }
+    });
+  }
+
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
+  if (churner.joinable()) {
+    churn_stop.store(true, std::memory_order_release);
+    churner.join();
+  }
   server.Stop();
   // Shut the service down before reading audit counters: Shutdown drains
   // every shard's decision ring into the exporter and flush-closes it, so
@@ -149,10 +190,11 @@ int main(int argc, char** argv) {
     audit_drops = counters.drops;
   }
   const sentinel::net::ServerStats stats = server.stats();
+  const sentinel::ServiceStats service_stats = service.Stats();
   std::printf(
       "accepted=%llu requests=%llu decisions=%llu batches=%llu "
       "protocol_errors=%llu idle_closed=%llu bytes_in=%llu bytes_out=%llu "
-      "audit_records=%llu audit_drops=%llu drained\n",
+      "swaps=%llu audit_records=%llu audit_drops=%llu drained\n",
       static_cast<unsigned long long>(stats.accepted),
       static_cast<unsigned long long>(stats.requests),
       static_cast<unsigned long long>(stats.decisions),
@@ -161,6 +203,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.idle_closed),
       static_cast<unsigned long long>(stats.bytes_in),
       static_cast<unsigned long long>(stats.bytes_out),
+      static_cast<unsigned long long>(service_stats.policy_swaps),
       audit_records, audit_drops);
   std::fflush(stdout);
   return 0;

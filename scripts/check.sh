@@ -30,9 +30,10 @@ echo "-- differential seed: $DIFF_SEED"
 echo "== Bench smoke: every bench_* runs one tiny iteration =="
 # Not a measurement — just proof that each benchmark still sets up its
 # policy, runs, and tears down. (This toolchain's google-benchmark takes a
-# plain seconds double for --benchmark_min_time.) bench_fastpath is built
-# explicitly so the zero-hop A/B always exists even in a stale tree.
-cmake --build build -j"$JOBS" --target bench_fastpath
+# plain seconds double for --benchmark_min_time.) bench_fastpath and
+# bench_policy_swap are built explicitly so the zero-hop and update-churn
+# A/Bs always exist even in a stale tree.
+cmake --build build -j"$JOBS" --target bench_fastpath bench_policy_swap
 for bench in build/bench/bench_*; do
   [[ -x "$bench" ]] || continue
   echo "-- $(basename "$bench")"
@@ -80,6 +81,47 @@ net_smoke() {
 
 echo "== Net smoke: serve + load over a real socket =="
 net_smoke build
+
+# Same serve+load pairing with --update-churn driving pauseless policy
+# swaps from an in-process admin thread while the load runs: asserts the
+# server survived sustained generation flips under real network traffic
+# (zero protocol errors, graceful drain) and that swaps actually happened
+# (swaps= in the stats line is nonzero).
+swap_churn_smoke() {
+  local tree="$1"
+  cmake --build "$tree" -j"$JOBS" --target sentinelpp_serve sentinelpp_load
+  local log
+  log=$(mktemp)
+  "./$tree/examples/sentinelpp-serve" --port=0 --cache=1024 --fastpath=1 \
+    --update-churn=5 >"$log" 2>&1 &
+  local serve_pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$log")
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "swap-churn-smoke: server never announced its port" >&2
+    kill -9 "$serve_pid" 2>/dev/null || true
+    cat "$log" >&2
+    return 1
+  fi
+  "./$tree/examples/sentinelpp-load" --port="$port" --connections=4 \
+    --requests=500 --batch=8
+  kill -TERM "$serve_pid"
+  wait "$serve_pid"
+  grep -E 'protocol_errors=0 .*swaps=[1-9][0-9]* .*drained$' "$log" \
+    >/dev/null || {
+    echo "swap-churn-smoke: stats line missing protocol_errors=0 + swaps>0" >&2
+    cat "$log" >&2
+    return 1
+  }
+  rm -f "$log"
+}
+
+echo "== Swap-churn smoke: serve + load under sustained policy updates =="
+swap_churn_smoke build
 
 # The audit pipeline end to end over a real socket: serve with the JSONL
 # exporter attached, push a fixed load, then require (a) the shutdown stats
@@ -178,9 +220,9 @@ echo "== Sanitizer pass: thread (service + mailbox + fast-path + net tests) =="
 cmake -B build-tsan -S . -DSENTINELPP_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=Debug >/dev/null
 cmake --build build-tsan -j"$JOBS" --target service_test mailbox_test \
-  fastpath_test interner_test wire_test net_test audit_test
+  fastpath_test interner_test wire_test net_test audit_test policy_swap_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(service_test|mailbox_test|fastpath_test|interner_test|wire_test|net_test|audit_test)$'
+  -R '^(service_test|mailbox_test|fastpath_test|interner_test|wire_test|net_test|audit_test|policy_swap_test)$'
 
 echo "== Overload stress: stall-injected shed/deadline paths under TSan =="
 # The acceptance stress for the bounded-mailbox work: shard stalls injected
@@ -201,6 +243,15 @@ echo "== Fast-path stress: snapshot readers vs broadcast storm under TSan =="
 # protocols. Repeats shake out schedule-dependent interleavings.
 ./build-tsan/tests/fastpath_test \
   --gtest_filter='FastPathStressTest.*' --gtest_repeat=3 --gtest_brief=1
+
+echo "== Swap stress: pauseless generation flips vs in-flight batches under TSan =="
+# The acceptance stress for the pauseless policy swap: admin threads drive
+# back-to-back PreparePolicyUpdate/commit generation flips while checker
+# threads keep batches in flight and the cache keeps serving stamped
+# entries. The tests assert every verdict matches exactly one of the two
+# policy generations and that caches never serve a stale pool's entry;
+# TSan checks the shared_ptr flip and generation-stamp protocols.
+./build-tsan/tests/policy_swap_test --gtest_repeat=3 --gtest_brief=1
 
 echo "== Net stress: concurrent clients vs reactor vs admin churn under TSan =="
 # N client threads (mixed single checks and pipelined bursts) against the

@@ -40,7 +40,12 @@ Status DirectEnforcer::ApplyPolicyUpdate(const Policy& updated) {
 }
 
 Status DirectEnforcer::Reconcile(const Policy& from, const Policy& to) {
-  // Same ordering as AuthorizationEngine::ReconcileBaseState.
+  // Same ordering as the engine's ApplyBaseDelta — removals first, then
+  // adds, then constraints. The adds are best-effort exactly like the
+  // engine's: an entry the live runtime state refuses is skipped (the
+  // runtime constraint wins), so the oracle stays in lockstep with a
+  // service whose commit can never fail on runtime conflicts.
+  const auto best_effort = [](const Status&) {};
   for (const auto& [name, set] : from.ssd_sets()) {
     auto it = to.ssd_sets().find(name);
     if (it == to.ssd_sets().end() || !(it->second == set)) {
@@ -86,23 +91,23 @@ Status DirectEnforcer::Reconcile(const Policy& from, const Policy& to) {
   }
   for (const auto& [name, spec] : to.users()) {
     if (!rbac_.db().HasUser(name)) {
-      SENTINEL_RETURN_IF_ERROR(rbac_.AddUser(name));
+      best_effort(rbac_.AddUser(name));
     }
   }
   for (const auto& [name, spec] : to.roles()) {
     if (!rbac_.db().HasRole(name)) {
-      SENTINEL_RETURN_IF_ERROR(rbac_.AddRole(name));
+      best_effort(rbac_.AddRole(name));
     }
   }
   for (const auto& [name, spec] : to.roles()) {
     for (const RoleName& junior : spec.juniors) {
       if (!rbac_.hierarchy().ImmediateJuniors(name).count(junior)) {
-        SENTINEL_RETURN_IF_ERROR(rbac_.AddInheritance(name, junior));
+        best_effort(rbac_.AddInheritance(name, junior));
       }
     }
     for (const Permission& perm : spec.permissions) {
       if (!rbac_.db().IsGranted(perm, name)) {
-        SENTINEL_RETURN_IF_ERROR(
+        best_effort(
             rbac_.GrantPermission(perm.operation, perm.object, name));
       }
     }
@@ -110,18 +115,18 @@ Status DirectEnforcer::Reconcile(const Policy& from, const Policy& to) {
   for (const auto& [name, spec] : to.users()) {
     for (const RoleName& role : spec.assignments) {
       if (!rbac_.db().IsAssigned(name, role)) {
-        SENTINEL_RETURN_IF_ERROR(rbac_.AssignUser(name, role));
+        best_effort(rbac_.AssignUser(name, role));
       }
     }
   }
   for (const auto& [name, set] : to.ssd_sets()) {
     if (!rbac_.ssd().GetSet(name).ok()) {
-      SENTINEL_RETURN_IF_ERROR(rbac_.CreateSsdSet(name, set.roles, set.n));
+      best_effort(rbac_.InstallSsdSet(name, set.roles, set.n));
     }
   }
   for (const auto& [name, set] : to.dsd_sets()) {
     if (!rbac_.dsd().GetSet(name).ok()) {
-      SENTINEL_RETURN_IF_ERROR(rbac_.CreateDsdSet(name, set.roles, set.n));
+      best_effort(rbac_.InstallDsdSet(name, set.roles, set.n));
     }
   }
   privacy_ = PrivacyStore();

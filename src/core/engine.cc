@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include "common/logging.h"
 #include "core/rule_generator.h"
 
 namespace sentinel {
@@ -16,7 +17,8 @@ AuthorizationEngine::AuthorizationEngine(SimulatedClock* clock)
       detector_(clock, &symbols_, &metrics_, &tracer_),
       rules_(&detector_, &metrics_, &tracer_),
       rbac_(&symbols_),
-      role_state_(&symbols_) {
+      role_state_(&symbols_),
+      policy_(std::make_shared<const Policy>()) {
   decisions_counter_ =
       metrics_.AddCounter("decisions_total", "authorization decisions made");
   denials_counter_ = metrics_.AddCounter("denials_total", "requests denied");
@@ -88,15 +90,22 @@ AuthorizationEngine::AuthorizationEngine(SimulatedClock* clock)
 AuthorizationEngine::~AuthorizationEngine() = default;
 
 Status AuthorizationEngine::LoadPolicy(const Policy& policy) {
+  return LoadPolicy(std::make_shared<const Policy>(policy));
+}
+
+Status AuthorizationEngine::LoadPolicy(std::shared_ptr<const Policy> policy) {
   if (policy_loaded_) {
     return Status::FailedPrecondition(
         "a policy is already loaded; use ApplyPolicyUpdate");
   }
-  SENTINEL_RETURN_IF_ERROR(policy.Validate());
-  SENTINEL_RETURN_IF_ERROR(ReconcileBaseState(Policy(), policy));
-  policy_ = policy;
+  if (!policy) return Status::InvalidArgument("null policy");
+  SENTINEL_RETURN_IF_ERROR(policy->Validate());
+  SENTINEL_RETURN_IF_ERROR(
+      ApplyBaseDelta(ComputeBaseStateDelta(*policy_, *policy), *policy));
+  policy_ = std::move(policy);
   policy_loaded_ = true;
-  auto stats = generator_->GenerateAll(policy_);
+  ++policy_version_;
+  auto stats = generator_->GenerateAll(*policy_);
   if (!stats.ok()) return stats.status();
   BumpDecisionCacheEpoch();
   return Status::OK();
@@ -107,152 +116,239 @@ Result<RegenReport> AuthorizationEngine::ApplyPolicyUpdate(
   if (!policy_loaded_) {
     return Status::FailedPrecondition("no policy loaded yet");
   }
-  SENTINEL_RETURN_IF_ERROR(updated.Validate());
+  auto plan = PreparePolicyUpdate(policy_, updated);
+  if (!plan.ok()) return plan.status();
+  return CommitPolicyUpdate(*plan);
+}
 
-  const std::set<RoleName> roles = Policy::AffectedRoles(policy_, updated);
-  const std::set<UserName> users = Policy::AffectedUsers(policy_, updated);
-  const bool directives = Policy::DirectivesChanged(policy_, updated);
+Result<PolicyUpdatePlan> AuthorizationEngine::PreparePolicyUpdate(
+    std::shared_ptr<const Policy> base, Policy next) {
+  if (!base) return Status::FailedPrecondition("no policy loaded yet");
+  SENTINEL_RETURN_IF_ERROR(next.Validate());
+  PolicyUpdatePlan plan;
+  plan.base = std::move(base);
+  plan.next = std::make_shared<const Policy>(std::move(next));
+  plan.affected_roles = Policy::AffectedRoles(*plan.base, *plan.next);
+  plan.affected_users = Policy::AffectedUsers(*plan.base, *plan.next);
+  plan.directives_changed = Policy::DirectivesChanged(*plan.base, *plan.next);
+  plan.delta = ComputeBaseStateDelta(*plan.base, *plan.next);
+  return plan;
+}
 
-  SENTINEL_RETURN_IF_ERROR(ReconcileBaseState(policy_, updated));
-  const Policy previous = std::move(policy_);
-  policy_ = updated;
+Result<RegenReport> AuthorizationEngine::CommitPolicyUpdate(
+    const PolicyUpdatePlan& plan) {
+  if (!policy_loaded_) {
+    return Status::FailedPrecondition("no policy loaded yet");
+  }
+  if (plan.base.get() != policy_.get()) {
+    return Status::FailedPrecondition(
+        "stale policy update plan: another generation was installed since "
+        "it was prepared");
+  }
+  const uint64_t skips_before = base_reconcile_skips_;
+  SENTINEL_RETURN_IF_ERROR(ApplyBaseDelta(plan.delta, *plan.next));
+  // The RCU flip: one pointer store. The retired generation stays alive
+  // for as long as anything (another shard, the service's handle, an
+  // in-flight plan) still references it, then frees by refcount.
+  policy_ = plan.next;
+  ++policy_version_;
 
-  auto regen = generator_->Regenerate(policy_, roles, users, directives);
+  auto regen = generator_->Regenerate(*policy_, plan.affected_roles,
+                                      plan.affected_users,
+                                      plan.directives_changed);
   if (!regen.ok()) return regen.status();
-  BumpDecisionCacheEpoch();
+  // Invalidate through the stamp, not the epoch: every cached and
+  // fast-path verdict carries the rule-pool generation, so bumping it
+  // retires entries filled under the old generation lazily at lookup —
+  // without the blanket cache wipe the epoch barrier used to pay for.
+  rules_.BumpPoolGeneration();
+  PublishFastPathState();
 
   RegenReport report;
-  report.roles_affected = static_cast<int>(roles.size());
-  report.users_affected = static_cast<int>(users.size());
+  report.roles_affected = static_cast<int>(plan.affected_roles.size());
+  report.users_affected = static_cast<int>(plan.affected_users.size());
   report.rules_removed = regen->rules_removed;
   report.rules_added = regen->rules_added;
   report.events_added = regen->events_added;
-  report.directives_rebuilt = directives;
+  report.directives_rebuilt = plan.directives_changed;
+  report.base_entries_skipped =
+      static_cast<int>(base_reconcile_skips_ - skips_before);
   return report;
 }
 
-Status AuthorizationEngine::ReconcileBaseState(const Policy& from,
-                                               const Policy& to) {
+Status AuthorizationEngine::ApplyBaseDelta(const BaseStateDelta& delta,
+                                           const Policy& to) {
   // Ordered so that constraint stores never spuriously reject: retire
   // constraints first, shrink relations, then grow them, then re-install
-  // constraints.
+  // constraints. Steps 1-4 replay the precomputed removal delta. The add
+  // steps have two shapes: while no runtime base-state removal has run
+  // since the last reconcile (the common case — base_removals() still at
+  // the mark), the runtime DB is a superset of the old policy's entries
+  // and replaying the precomputed add delta is exactly equivalent to the
+  // full scan, at O(diff) instead of O(policy). A deassign/revoke/delete
+  // since then (an admin request, an active-security response) moves the
+  // counter, and the commit re-syncs with the full target-policy scan
+  // guarded by live presence checks.
+  const bool resync = rbac_.base_removals() != base_sync_mark_;
+  // The adds are BEST-EFFORT: an entry the live runtime state refuses
+  // (e.g. a policy assignment that now conflicts with runtime SSD state
+  // after an active-security deassign elsewhere) is skipped, counted, and
+  // logged — never a commit failure. Refusing mid-apply cannot be atomic
+  // (steps 1-4 already mutated), and in the sharded service runtime state
+  // legitimately differs per shard (decision-triggered rule actions land
+  // only on the deciding shard), so a per-shard refusal would leave the
+  // generations split-brained and wedge every later plan as stale. The
+  // runtime constraint wins; the dropped entry surfaces in
+  // RegenReport::base_entries_skipped and the warning log.
+  const auto best_effort = [this](const Status& status) {
+    if (status.ok()) return;
+    ++base_reconcile_skips_;
+    SENTINEL_LOG(kWarning)
+        << "policy reconcile skipped an entry the live state refuses: "
+        << status.message();
+  };
   // 1. Drop SSD/DSD sets that changed or disappeared.
-  for (const auto& [name, set] : from.ssd_sets()) {
-    auto it = to.ssd_sets().find(name);
-    if (it == to.ssd_sets().end() || !(it->second == set)) {
-      (void)rbac_.DeleteSsdSet(name);
-    }
-  }
-  for (const auto& [name, set] : from.dsd_sets()) {
-    auto it = to.dsd_sets().find(name);
-    if (it == to.dsd_sets().end() || !(it->second == set)) {
-      (void)rbac_.DeleteDsdSet(name);
-    }
-  }
+  for (const std::string& name : delta.drop_ssd) (void)rbac_.DeleteSsdSet(name);
+  for (const std::string& name : delta.drop_dsd) (void)rbac_.DeleteDsdSet(name);
   // 2. Deassign removed assignments; revoke removed grants.
-  for (const auto& [name, spec] : from.users()) {
-    auto it = to.users().find(name);
-    for (const RoleName& role : spec.assignments) {
-      if (it == to.users().end() || it->second.assignments.count(role) == 0) {
-        (void)rbac_.DeassignUser(name, role);
-      }
-    }
+  for (const auto& [user, role] : delta.deassign) {
+    (void)rbac_.DeassignUser(user, role);
   }
-  for (const auto& [name, spec] : from.roles()) {
-    auto it = to.roles().find(name);
-    for (const Permission& perm : spec.permissions) {
-      if (it == to.roles().end() ||
-          it->second.permissions.count(perm) == 0) {
-        (void)rbac_.RevokePermission(perm.operation, perm.object, name);
-      }
-    }
-    // 3. Remove hierarchy edges that disappeared.
-    for (const RoleName& junior : spec.juniors) {
-      if (it == to.roles().end() || it->second.juniors.count(junior) == 0) {
-        (void)rbac_.DeleteInheritance(name, junior);
-      }
-    }
+  for (const auto& [role, perm] : delta.revoke) {
+    (void)rbac_.RevokePermission(perm.operation, perm.object, role);
+  }
+  // 3. Remove hierarchy edges that disappeared.
+  for (const auto& [senior, junior] : delta.drop_edges) {
+    (void)rbac_.DeleteInheritance(senior, junior);
   }
   // 4. Delete roles and users that disappeared.
-  for (const auto& [name, spec] : from.roles()) {
-    if (to.roles().count(name) == 0) {
-      (void)rbac_.DeleteRole(name);
-      role_state_.EraseRole(name);
-    }
+  for (const RoleName& name : delta.drop_roles) {
+    (void)rbac_.DeleteRole(name);
+    role_state_.EraseRole(name);
   }
-  for (const auto& [name, spec] : from.users()) {
-    if (to.users().count(name) == 0) (void)rbac_.DeleteUser(name);
-  }
-  // 5. Add new users and roles.
-  for (const auto& [name, spec] : to.users()) {
-    if (!rbac_.db().HasUser(name)) {
-      SENTINEL_RETURN_IF_ERROR(rbac_.AddUser(name));
-    }
-  }
-  for (const auto& [name, spec] : to.roles()) {
-    if (!rbac_.db().HasRole(name)) {
-      SENTINEL_RETURN_IF_ERROR(rbac_.AddRole(name));
-    }
-  }
-  // 6. Add hierarchy edges, grants, assignments.
-  for (const auto& [name, spec] : to.roles()) {
-    for (const RoleName& junior : spec.juniors) {
-      if (!rbac_.hierarchy().ImmediateJuniors(name).count(junior)) {
-        SENTINEL_RETURN_IF_ERROR(rbac_.AddInheritance(name, junior));
+  for (const UserName& name : delta.drop_users) (void)rbac_.DeleteUser(name);
+  if (resync) {
+    // 5. Add new users and roles.
+    for (const auto& [name, spec] : to.users()) {
+      if (!rbac_.db().HasUser(name)) {
+        best_effort(rbac_.AddUser(name));
       }
     }
-    for (const Permission& perm : spec.permissions) {
-      if (!rbac_.db().IsGranted(perm, name)) {
-        SENTINEL_RETURN_IF_ERROR(
-            rbac_.GrantPermission(perm.operation, perm.object, name));
+    for (const auto& [name, spec] : to.roles()) {
+      if (!rbac_.db().HasRole(name)) {
+        best_effort(rbac_.AddRole(name));
+      }
+    }
+    // 6. Add hierarchy edges, grants, assignments.
+    for (const auto& [name, spec] : to.roles()) {
+      for (const RoleName& junior : spec.juniors) {
+        if (!rbac_.hierarchy().ImmediateJuniors(name).count(junior)) {
+          best_effort(rbac_.AddInheritance(name, junior));
+        }
+      }
+      for (const Permission& perm : spec.permissions) {
+        if (!rbac_.db().IsGranted(perm, name)) {
+          best_effort(
+              rbac_.GrantPermission(perm.operation, perm.object, name));
+        }
+      }
+    }
+    for (const auto& [name, spec] : to.users()) {
+      for (const RoleName& role : spec.assignments) {
+        if (!rbac_.db().IsAssigned(name, role)) {
+          best_effort(rbac_.AssignUser(name, role));
+        }
+      }
+    }
+    // 7. Re-install SoD sets.
+    for (const auto& [name, set] : to.ssd_sets()) {
+      if (!rbac_.ssd().GetSet(name).ok()) {
+        best_effort(rbac_.InstallSsdSet(name, set.roles, set.n));
+      }
+    }
+    for (const auto& [name, set] : to.dsd_sets()) {
+      if (!rbac_.dsd().GetSet(name).ok()) {
+        best_effort(rbac_.InstallDsdSet(name, set.roles, set.n));
+      }
+    }
+  } else {
+    // 5-7, O(diff): same install order, same presence guards (a runtime
+    // *add* may already have installed an entry the diff lists — e.g. a
+    // runtime-assigned (user, role) the new policy now also carries).
+    for (const UserName& name : delta.add_users) {
+      if (!rbac_.db().HasUser(name)) {
+        best_effort(rbac_.AddUser(name));
+      }
+    }
+    for (const RoleName& name : delta.add_roles) {
+      if (!rbac_.db().HasRole(name)) {
+        best_effort(rbac_.AddRole(name));
+      }
+    }
+    for (const auto& [senior, junior] : delta.add_edges) {
+      if (!rbac_.hierarchy().ImmediateJuniors(senior).count(junior)) {
+        best_effort(rbac_.AddInheritance(senior, junior));
+      }
+    }
+    for (const auto& [role, perm] : delta.add_grants) {
+      if (!rbac_.db().IsGranted(perm, role)) {
+        best_effort(
+            rbac_.GrantPermission(perm.operation, perm.object, role));
+      }
+    }
+    for (const auto& [user, role] : delta.add_assignments) {
+      if (!rbac_.db().IsAssigned(user, role)) {
+        best_effort(rbac_.AssignUser(user, role));
+      }
+    }
+    for (const std::string& name : delta.add_ssd) {
+      if (!rbac_.ssd().GetSet(name).ok()) {
+        const auto& set = to.ssd_sets().at(name);
+        best_effort(rbac_.InstallSsdSet(name, set.roles, set.n));
+      }
+    }
+    for (const std::string& name : delta.add_dsd) {
+      if (!rbac_.dsd().GetSet(name).ok()) {
+        const auto& set = to.dsd_sets().at(name);
+        best_effort(rbac_.InstallDsdSet(name, set.roles, set.n));
       }
     }
   }
-  for (const auto& [name, spec] : to.users()) {
-    for (const RoleName& role : spec.assignments) {
-      if (!rbac_.db().IsAssigned(name, role)) {
-        SENTINEL_RETURN_IF_ERROR(rbac_.AssignUser(name, role));
-      }
+  // 8. Privacy store: rebuild when purposes/object policies changed (the
+  // reconcile is the store's only mutator, so an unchanged delta means an
+  // unchanged store).
+  if (delta.privacy_changed) {
+    privacy_ = PrivacyStore();
+    for (const PurposeSpec& purpose : to.purposes()) {
+      SENTINEL_RETURN_IF_ERROR(privacy_.AddPurpose(purpose.name,
+                                                   purpose.parent));
     }
-  }
-  // 7. Re-install SoD sets.
-  for (const auto& [name, set] : to.ssd_sets()) {
-    if (!rbac_.ssd().GetSet(name).ok()) {
-      SENTINEL_RETURN_IF_ERROR(rbac_.CreateSsdSet(name, set.roles, set.n));
+    for (const ObjectPolicySpec& spec : to.object_policies()) {
+      SENTINEL_RETURN_IF_ERROR(
+          privacy_.SetObjectPolicy(spec.object, spec.purposes));
     }
-  }
-  for (const auto& [name, set] : to.dsd_sets()) {
-    if (!rbac_.dsd().GetSet(name).ok()) {
-      SENTINEL_RETURN_IF_ERROR(rbac_.CreateDsdSet(name, set.roles, set.n));
-    }
-  }
-  // 8. Privacy store: rebuild (cheap, order-sensitive on parents).
-  privacy_ = PrivacyStore();
-  for (const PurposeSpec& purpose : to.purposes()) {
-    SENTINEL_RETURN_IF_ERROR(privacy_.AddPurpose(purpose.name,
-                                                 purpose.parent));
-  }
-  for (const ObjectPolicySpec& spec : to.object_policies()) {
-    SENTINEL_RETURN_IF_ERROR(
-        privacy_.SetObjectPolicy(spec.object, spec.purposes));
   }
   // 9. Role enablement: initialize from enabling windows at current time.
+  // Only window-bearing roles (and roles whose window disappeared) can
+  // change enablement here, so the precomputed lists cover every case the
+  // full role iteration did.
   const Time now = Now();
-  for (const auto& [name, spec] : to.roles()) {
-    if (spec.enabling_window.has_value()) {
-      if (spec.enabling_window->Contains(now)) {
-        role_state_.Enable(name, now);
-      } else {
-        role_state_.Disable(name, now);
-        DeactivateAllInstances(name);
-      }
+  for (const RoleName& name : delta.window_roles) {
+    const auto& window = to.roles().at(name).enabling_window;
+    if (window->Contains(now)) {
+      role_state_.Enable(name, now);
     } else {
-      auto it = from.roles().find(name);
-      const bool had_window =
-          it != from.roles().end() && it->second.enabling_window.has_value();
-      if (had_window) role_state_.Enable(name, now);  // Window removed.
+      role_state_.Disable(name, now);
+      DeactivateAllInstances(name);
     }
   }
+  for (const RoleName& name : delta.window_removed) {
+    role_state_.Enable(name, now);  // Window removed.
+  }
+  // The reconcile itself deassigns/revokes/deletes through the counted
+  // mutators, so the mark is captured after the fact: the next commit may
+  // take the O(diff) path unless NEW removals land in between.
+  base_sync_mark_ = rbac_.base_removals();
   return Status::OK();
 }
 
@@ -629,7 +725,7 @@ int AuthorizationEngine::CountUserActiveRoles(const UserName& user) const {
 bool AuthorizationEngine::TsodGuardedNow(const RoleName& role,
                                          TimeSodKind kind) const {
   const Time now = Now();
-  for (const TimeSod& constraint : policy_.time_sods()) {
+  for (const TimeSod& constraint : policy_->time_sods()) {
     if (constraint.kind != kind) continue;
     if (constraint.roles.count(role) == 0) continue;
     if (constraint.period.Contains(now)) return true;
@@ -638,7 +734,7 @@ bool AuthorizationEngine::TsodGuardedNow(const RoleName& role,
 }
 
 bool AuthorizationEngine::IsCfdTrigger(const RoleName& role) const {
-  for (const CfdPair& pair : policy_.cfd_pairs()) {
+  for (const CfdPair& pair : policy_->cfd_pairs()) {
     if (pair.trigger == role) return true;
   }
   return false;
@@ -646,7 +742,7 @@ bool AuthorizationEngine::IsCfdTrigger(const RoleName& role) const {
 
 bool AuthorizationEngine::DisableTsodOk(const RoleName& role) const {
   const Time now = Now();
-  for (const TimeSod& constraint : policy_.time_sods()) {
+  for (const TimeSod& constraint : policy_->time_sods()) {
     if (constraint.kind != TimeSodKind::kDisabling) continue;
     if (constraint.roles.count(role) == 0) continue;
     if (!constraint.period.Contains(now)) continue;
@@ -664,7 +760,7 @@ bool AuthorizationEngine::DisableTsodOk(const RoleName& role) const {
 
 bool AuthorizationEngine::EnableTsodOk(const RoleName& role) const {
   const Time now = Now();
-  for (const TimeSod& constraint : policy_.time_sods()) {
+  for (const TimeSod& constraint : policy_->time_sods()) {
     if (constraint.kind != TimeSodKind::kEnabling) continue;
     if (constraint.roles.count(role) == 0) continue;
     if (!constraint.period.Contains(now)) continue;

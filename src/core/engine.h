@@ -14,6 +14,7 @@
 #include "core/decision_cache.h"
 #include "core/decision_log.h"
 #include "core/policy.h"
+#include "core/policy_update.h"
 #include "core/privacy.h"
 #include "event/event_detector.h"
 #include "gtrbac/role_state.h"
@@ -35,6 +36,12 @@ struct RegenReport {
   int rules_added = 0;
   int events_added = 0;
   bool directives_rebuilt = false;
+  /// Policy entries the base-state reconcile could not install because the
+  /// live runtime state refused them (e.g. an assignment the engine's own
+  /// runtime SSD state now conflicts with). Each skip is also logged at
+  /// warning level. See ApplyBaseDelta for why the commit is best-effort
+  /// instead of failing: a mid-apply refusal cannot be atomic.
+  int base_entries_skipped = 0;
 };
 
 /// \brief The OWTE-rule-driven authorization engine — the paper's
@@ -112,11 +119,47 @@ class AuthorizationEngine {
   /// generates the full rule pool. Call once on a fresh engine.
   Status LoadPolicy(const Policy& policy);
 
+  /// Shared-generation install: every shard of a service installs the SAME
+  /// immutable Policy object, so PreparePolicyUpdate/CommitPolicyUpdate can
+  /// verify plan freshness by pointer identity. `policy` must not be null.
+  Status LoadPolicy(std::shared_ptr<const Policy> policy);
+
   /// Diffs the loaded policy against `updated`, reconciles base state and
   /// regenerates only the affected rules (the paper's §5 regeneration).
+  /// Equivalent to PreparePolicyUpdate + CommitPolicyUpdate in one call.
   Result<RegenReport> ApplyPolicyUpdate(const Policy& updated);
 
-  const Policy& policy() const { return policy_; }
+  /// \brief Off-thread half of a pauseless swap: validates `next` and
+  /// precomputes every pure piece of the update (affected-role/user diffs,
+  /// directive change, removal delta) against the generation `base`.
+  ///
+  /// Pure and static — safe to run on the admin caller's thread while the
+  /// shards keep serving. `base` should be the currently installed shared
+  /// generation; CommitPolicyUpdate rejects the plan if the engine has
+  /// moved on.
+  static Result<PolicyUpdatePlan> PreparePolicyUpdate(
+      std::shared_ptr<const Policy> base, Policy next);
+
+  /// \brief On-thread half: applies the removal delta, flips the policy
+  /// pointer to `plan.next` (the RCU publish — O(1); the retired
+  /// generation is freed by refcount when the last shard flips), then
+  /// incrementally regenerates affected rules and bumps the rule-pool
+  /// generation so every cached/fast-path verdict stamped under the old
+  /// generation dies at its next lookup. No cache-epoch wipe: that is
+  /// precisely the stop-the-world cost this path removes.
+  ///
+  /// Fails with FailedPrecondition when `plan.base` is not the engine's
+  /// live policy object (a newer update landed first — re-Prepare).
+  Result<RegenReport> CommitPolicyUpdate(const PolicyUpdatePlan& plan);
+
+  const Policy& policy() const { return *policy_; }
+  /// The installed generation (shared across shards when loaded via the
+  /// shared overload). Never null.
+  const std::shared_ptr<const Policy>& policy_generation() const {
+    return policy_;
+  }
+  /// Monotonic count of successfully committed policy generations.
+  uint64_t policy_version() const { return policy_version_; }
 
   // ------------------------------------------------ Runtime (rule-driven)
 
@@ -311,7 +354,11 @@ class AuthorizationEngine {
   /// deny when no rule decided.
   Decision Dispatch(EventId event, FlatParamMap params);
 
-  Status ReconcileBaseState(const Policy& from, const Policy& to);
+  /// Replays a precomputed removal delta, then re-adds from `to` guarded by
+  /// live runtime-DB presence checks (the add half must see the shard's own
+  /// runtime-diverged state, so it cannot be precomputed). Exact semantic
+  /// equivalent of the old full-diff ReconcileBaseState.
+  Status ApplyBaseDelta(const BaseStateDelta& delta, const Policy& to);
 
   /// The validity stamp a CheckAccess on `session` depends on, right now.
   DecisionCache::Stamp CacheStamp(Symbol session) const;
@@ -351,7 +398,19 @@ class AuthorizationEngine {
   RoleStateTable role_state_;
   PrivacyStore privacy_;
   ActiveSecurityMonitor security_;
-  Policy policy_;
+  /// The installed generation. Always non-null (starts empty) because
+  /// generated global rules read engine->policy() live at fire time. Only
+  /// ever swapped on the engine's own thread; immutable once installed.
+  std::shared_ptr<const Policy> policy_;
+  uint64_t policy_version_ = 0;
+  /// rbac_.base_removals() as of the last base-state reconcile. While the
+  /// live counter still equals this mark, no runtime removal has touched
+  /// the base relations and ApplyBaseDelta may replay the precomputed
+  /// O(diff) add lists instead of re-scanning the whole target policy.
+  uint64_t base_sync_mark_ = 0;
+  /// Running count of policy entries skipped by best-effort reconciles
+  /// (RegenReport::base_entries_skipped reports per-commit deltas).
+  uint64_t base_reconcile_skips_ = 0;
   std::unique_ptr<RuleGenerator> generator_;
   CoreEvents events_;
   std::vector<EventId> duration_events_;

@@ -1,0 +1,108 @@
+#include "core/policy_update.h"
+
+namespace sentinel {
+
+BaseStateDelta ComputeBaseStateDelta(const Policy& from, const Policy& to) {
+  BaseStateDelta delta;
+  // Mirrors ReconcileBaseState's removal ordering: constraints first, then
+  // relations, then entities (see ApplyBaseDelta in engine.cc).
+  for (const auto& [name, set] : from.ssd_sets()) {
+    auto it = to.ssd_sets().find(name);
+    if (it == to.ssd_sets().end() || !(it->second == set)) {
+      delta.drop_ssd.push_back(name);
+    }
+  }
+  for (const auto& [name, set] : from.dsd_sets()) {
+    auto it = to.dsd_sets().find(name);
+    if (it == to.dsd_sets().end() || !(it->second == set)) {
+      delta.drop_dsd.push_back(name);
+    }
+  }
+  for (const auto& [name, spec] : from.users()) {
+    auto it = to.users().find(name);
+    for (const RoleName& role : spec.assignments) {
+      if (it == to.users().end() || it->second.assignments.count(role) == 0) {
+        delta.deassign.emplace_back(name, role);
+      }
+    }
+  }
+  for (const auto& [name, spec] : from.roles()) {
+    auto it = to.roles().find(name);
+    for (const Permission& perm : spec.permissions) {
+      if (it == to.roles().end() ||
+          it->second.permissions.count(perm) == 0) {
+        delta.revoke.emplace_back(name, perm);
+      }
+    }
+    for (const RoleName& junior : spec.juniors) {
+      if (it == to.roles().end() || it->second.juniors.count(junior) == 0) {
+        delta.drop_edges.emplace_back(name, junior);
+      }
+    }
+  }
+  for (const auto& [name, spec] : from.roles()) {
+    if (to.roles().count(name) == 0) delta.drop_roles.push_back(name);
+  }
+  for (const auto& [name, spec] : from.users()) {
+    if (to.users().count(name) == 0) delta.drop_users.push_back(name);
+  }
+  // The add half: the same relations diffed in the other direction, in
+  // ApplyBaseDelta's install order (entities, then relations, then
+  // constraints).
+  for (const auto& [name, spec] : to.users()) {
+    if (from.users().count(name) == 0) delta.add_users.push_back(name);
+  }
+  for (const auto& [name, spec] : to.roles()) {
+    if (from.roles().count(name) == 0) delta.add_roles.push_back(name);
+  }
+  for (const auto& [name, spec] : to.roles()) {
+    auto it = from.roles().find(name);
+    const bool fresh = it == from.roles().end();
+    for (const RoleName& junior : spec.juniors) {
+      if (fresh || it->second.juniors.count(junior) == 0) {
+        delta.add_edges.emplace_back(name, junior);
+      }
+    }
+    for (const Permission& perm : spec.permissions) {
+      if (fresh || it->second.permissions.count(perm) == 0) {
+        delta.add_grants.emplace_back(name, perm);
+      }
+    }
+  }
+  for (const auto& [name, spec] : to.users()) {
+    auto it = from.users().find(name);
+    const bool fresh = it == from.users().end();
+    for (const RoleName& role : spec.assignments) {
+      if (fresh || it->second.assignments.count(role) == 0) {
+        delta.add_assignments.emplace_back(name, role);
+      }
+    }
+  }
+  for (const auto& [name, set] : to.ssd_sets()) {
+    auto it = from.ssd_sets().find(name);
+    if (it == from.ssd_sets().end() || !(it->second == set)) {
+      delta.add_ssd.push_back(name);
+    }
+  }
+  for (const auto& [name, set] : to.dsd_sets()) {
+    auto it = from.dsd_sets().find(name);
+    if (it == from.dsd_sets().end() || !(it->second == set)) {
+      delta.add_dsd.push_back(name);
+    }
+  }
+  delta.privacy_changed = !(from.purposes() == to.purposes()) ||
+                          !(from.object_policies() == to.object_policies());
+  for (const auto& [name, spec] : to.roles()) {
+    if (spec.enabling_window.has_value()) {
+      delta.window_roles.push_back(name);
+      continue;
+    }
+    auto it = from.roles().find(name);
+    if (it != from.roles().end() && it->second.enabling_window.has_value()) {
+      delta.window_removed.insert(name);
+    }
+  }
+  return delta;
+}
+
+}  // namespace sentinel

@@ -140,6 +140,22 @@ Status RbacSystem::CreateDsdSet(const std::string& name,
   return Status::OK();
 }
 
+Status RbacSystem::InstallSsdSet(const std::string& name,
+                                 std::set<RoleName> roles, int n) {
+  for (const RoleName& role : roles) {
+    if (!db_.HasRole(role)) return Status::NotFound("no such role: " + role);
+  }
+  return ssd_.CreateSet(name, std::move(roles), n);
+}
+
+Status RbacSystem::InstallDsdSet(const std::string& name,
+                                 std::set<RoleName> roles, int n) {
+  for (const RoleName& role : roles) {
+    if (!db_.HasRole(role)) return Status::NotFound("no such role: " + role);
+  }
+  return dsd_.CreateSet(name, std::move(roles), n);
+}
+
 Status RbacSystem::AddDsdRoleMember(const std::string& name,
                                     const RoleName& role) {
   if (!db_.HasRole(role)) return Status::NotFound("no such role: " + role);

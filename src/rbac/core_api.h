@@ -80,6 +80,20 @@ class RbacSystem {
   /// roles already violate it.
   Status CreateDsdSet(const std::string& name, std::set<RoleName> roles,
                       int n);
+
+  /// Policy-reconcile installers: create an SoD set WITHOUT the runtime
+  /// violation sweep the admin-facing Create*Set calls run. Reconciles
+  /// install sets from a statically-validated policy, and pre-existing
+  /// runtime state that violates a new set is grandfathered (the
+  /// constraint binds future assignments/activations). The sweep would
+  /// also make installation depend on whole-system runtime state, which
+  /// in the sharded service legitimately differs per replica — a
+  /// state-dependent refusal there would install the set on some shards
+  /// and not others.
+  Status InstallSsdSet(const std::string& name, std::set<RoleName> roles,
+                       int n);
+  Status InstallDsdSet(const std::string& name, std::set<RoleName> roles,
+                       int n);
   Status DeleteDsdSet(const std::string& name) { return dsd_.DeleteSet(name); }
   Status AddDsdRoleMember(const std::string& name, const RoleName& role);
   Status DeleteDsdRoleMember(const std::string& name, const RoleName& role) {
@@ -170,6 +184,20 @@ class RbacSystem {
 
   const SymbolTable& symbols() const { return db_.symbols(); }
   SymbolTable& symbols() { return db_.symbols(); }
+
+  /// Count of successful base-state REMOVALS (deassign, revoke, delete
+  /// user/role/edge/SoD-set) since construction, summed across the
+  /// component stores — counted at the store layer so generated rule
+  /// actions that mutate through db()/hierarchy()/ssd()/dsd() directly are
+  /// seen too. A policy-update commit compares this against the mark it
+  /// captured at the last reconcile: if unchanged, the runtime DB still
+  /// holds everything the previous policy installed, and the commit may
+  /// replay the precomputed add delta instead of re-scanning the whole
+  /// target policy (see BaseStateDelta).
+  uint64_t base_removals() const {
+    return db_.removals() + hierarchy_.removals() + ssd_.removals() +
+           dsd_.removals();
+  }
 
  private:
   /// Every user's authorized role set satisfies every SSD relation; used

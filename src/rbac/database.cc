@@ -81,6 +81,7 @@ Status RbacDatabase::DeleteUser(const UserName& user) {
   }
   const Symbol user_sym = symbols_->Find(user);
   ClearKind(user_sym, kUserBit);
+  ++removals_;
   // Drop assignments.
   auto ua = ua_.find(user);
   if (ua != ua_.end()) {
@@ -114,6 +115,7 @@ Status RbacDatabase::DeleteRole(const RoleName& role) {
   }
   const Symbol role_sym = symbols_->Find(role);
   ClearKind(role_sym, kRoleBit);
+  ++removals_;
   auto inv = ua_inverse_.find(role);
   if (inv != ua_inverse_.end()) {
     for (const UserName& user : inv->second) {
@@ -176,6 +178,7 @@ Status RbacDatabase::Deassign(const UserName& user, const RoleName& role) {
   ua_inverse_[role].erase(user);
   auto uas = ua_sym_.find(symbols_->Find(user).id());
   if (uas != ua_sym_.end()) SortedErase(uas->second, symbols_->Find(role));
+  ++removals_;
   return Status::OK();
 }
 
@@ -232,6 +235,7 @@ Status RbacDatabase::Revoke(const Permission& perm, const RoleName& role) {
                                      symbols_->Find(perm.object)));
     if (pas->second.empty()) pa_sym_.erase(pas);
   }
+  ++removals_;
   return Status::OK();
 }
 

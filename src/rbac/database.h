@@ -153,6 +153,13 @@ class RbacDatabase {
   std::vector<SessionId> SessionIds() const;
   size_t session_count() const { return sessions_.size(); }
 
+  /// Successful base-relation removals (DeleteUser, DeleteRole, Deassign,
+  /// Revoke) since construction. Counted here — not in the facade — so
+  /// generated rule actions that mutate the database directly are seen.
+  /// Policy-update commits use the aggregate (RbacSystem::base_removals)
+  /// to decide between the O(diff) add replay and a full re-sync scan.
+  uint64_t removals() const { return removals_; }
+
  private:
   // What element kinds a symbol is registered as (a name may be reused
   // across kinds, e.g. an object named like a role).
@@ -203,6 +210,7 @@ class RbacDatabase {
   std::unordered_map<uint32_t, int> active_counts_sym_;
   std::vector<uint32_t> session_gen_;  // Indexed by session symbol id.
   uint32_t sessions_generation_ = 0;   // Sum of all per-session bumps.
+  uint64_t removals_ = 0;              // Successful base-relation removals.
 };
 
 }  // namespace sentinel

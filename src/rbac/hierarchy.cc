@@ -58,6 +58,7 @@ Status RoleHierarchy::DeleteInheritance(const RoleName& senior,
   }
   seniors_[junior].erase(senior);
   ++epoch_;
+  ++removals_;
   return Status::OK();
 }
 
@@ -66,11 +67,13 @@ void RoleHierarchy::EraseRole(const RoleName& role) {
   if (down != juniors_.end()) {
     for (const RoleName& junior : down->second) seniors_[junior].erase(role);
     juniors_.erase(down);
+    ++removals_;
   }
   auto up = seniors_.find(role);
   if (up != seniors_.end()) {
     for (const RoleName& senior : up->second) juniors_[senior].erase(role);
     seniors_.erase(up);
+    ++removals_;
   }
   ++epoch_;
 }

@@ -1,6 +1,7 @@
 #ifndef SENTINELPP_RBAC_HIERARCHY_H_
 #define SENTINELPP_RBAC_HIERARCHY_H_
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -53,10 +54,15 @@ class RoleHierarchy {
   /// on it instead of subscribing to mutations.
   uint64_t epoch() const { return epoch_; }
 
+  /// Successful edge removals (DeleteInheritance, and EraseRole when the
+  /// role had edges) since construction; see RbacDatabase::removals().
+  uint64_t removals() const { return removals_; }
+
  private:
   std::map<RoleName, std::set<RoleName>> juniors_;  // senior -> juniors
   std::map<RoleName, std::set<RoleName>> seniors_;  // junior -> seniors
   uint64_t epoch_ = 0;
+  uint64_t removals_ = 0;
 };
 
 }  // namespace sentinel

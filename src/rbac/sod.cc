@@ -30,6 +30,7 @@ Status SodStore::DeleteSet(const std::string& name) {
   }
   for (const RoleName& role : it->second.roles) by_role_[role].erase(name);
   sets_.erase(it);
+  ++removals_;
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef SENTINELPP_RBAC_SOD_H_
 #define SENTINELPP_RBAC_SOD_H_
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -38,6 +39,10 @@ class SodStore {
   Status DeleteRoleMember(const std::string& name, const RoleName& role);
   Status SetCardinality(const std::string& name, int n);
 
+  /// Successful whole-set removals (DeleteSet, including the cascades
+  /// inside EraseRole) since construction; see RbacDatabase::removals().
+  uint64_t removals() const { return removals_; }
+
   Result<const SodSet*> GetSet(const std::string& name) const;
   std::vector<const SodSet*> AllSets() const;
   /// Sets that contain `role`.
@@ -60,6 +65,7 @@ class SodStore {
   std::string kind_;  // "SSD" or "DSD", for messages.
   std::map<std::string, SodSet> sets_;
   std::map<RoleName, std::set<std::string>> by_role_;
+  uint64_t removals_ = 0;  // Successful whole-set removals.
 };
 
 }  // namespace sentinel

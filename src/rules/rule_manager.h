@@ -93,6 +93,12 @@ class RuleManager {
   /// explicit cache traffic.
   uint64_t pool_generation() const { return pool_generation_; }
 
+  /// Explicit generation bump for mutations the manager cannot see —
+  /// a pauseless policy swap flips the engine's policy pointer and
+  /// regenerated-rule set as one commit, then bumps the pool here so every
+  /// verdict stamped under the old generation dies at its next lookup.
+  void BumpPoolGeneration() { ++pool_generation_; }
+
   /// True iff at least one rule (enabled or not) is attached to `event` —
   /// e.g. whether serving a cached denial would starve rules listening on
   /// rbac.accessDenied.

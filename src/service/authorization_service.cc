@@ -135,6 +135,16 @@ AuthorizationService::AuthorizationService(const ServiceConfig& config)
   fastpath_latency_hist_ = service_metrics_.AddHistogram(
       "decision_latency_us", "sampled wall-clock dispatch latency (us)",
       telemetry::Histogram::ExponentialBounds(1, 2.0, 15));
+  pauseless_updates_ = config.pauseless_updates;
+  policy_swaps_counter_ = service_metrics_.AddCounter(
+      "policy_swap_total", "policy generations committed pauselessly");
+  policy_swap_failures_counter_ = service_metrics_.AddCounter(
+      "policy_swap_failures_total",
+      "policy updates rejected at prepare or commit");
+  swap_build_hist_ = service_metrics_.AddHistogram(
+      "policy_swap_build_us",
+      "off-thread prepare cost of a policy update (validate+diff, us)",
+      telemetry::Histogram::ExponentialBounds(1, 2.0, 15));
 
   // The exporter must exist before any shard thread starts: ShardLoop reads
   // audit_ without synchronization, relying on the thread-start fence.
@@ -181,6 +191,10 @@ AuthorizationService::AuthorizationService(const ServiceConfig& config)
     shard->queue_wait_hist = registry.AddHistogram(
         "mailbox_queue_wait_us",
         "submit-to-dequeue wait of decision envelopes (us)",
+        telemetry::Histogram::ExponentialBounds(1, 2.0, 15));
+    shard->swap_commit_hist = registry.AddHistogram(
+        "policy_swap_commit_us",
+        "on-shard-thread cost of one pauseless swap commit (us)",
         telemetry::Histogram::ExponentialBounds(1, 2.0, 15));
     if (cache_capacity > 0) {
       shard->engine->ConfigureDecisionCache(cache_capacity);
@@ -511,27 +525,107 @@ AccessDecision AuthorizationService::BroadcastRequest(
 // ------------------------------------------------------------------ Policy
 
 Status AuthorizationService::LoadPolicy(const Policy& policy) {
+  // One immutable generation shared by every shard: pointer identity is
+  // what lets CommitPolicyUpdate reject plans prepared against a policy
+  // that is no longer installed. update_mu_ orders the install against any
+  // concurrent ApplyPolicyUpdate reading current_policy_.
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  auto shared = std::make_shared<const Policy>(policy);
   std::vector<Status> statuses(shards_.size());
   Broadcast([&](AuthorizationEngine& engine, uint32_t shard) {
-    statuses[shard] = engine.LoadPolicy(policy);
+    statuses[shard] = engine.LoadPolicy(shared);
   });
   for (const Status& status : statuses) {
     SENTINEL_RETURN_IF_ERROR(status);
   }
+  current_policy_ = std::move(shared);
   return Status::OK();
+}
+
+std::shared_ptr<const Policy> AuthorizationService::current_policy() const {
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  return current_policy_;
 }
 
 Result<RegenReport> AuthorizationService::ApplyPolicyUpdate(
     const Policy& updated) {
-  // Every shard runs the identical regeneration; shard 0's report stands
-  // for all of them.
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  if (!pauseless_updates_ || current_policy_ == nullptr) {
+    // Legacy stop-the-world path (and the fallback when no policy is
+    // loaded, where every shard will correctly refuse). Every shard runs
+    // the identical validate+diff+regenerate inside the epoch barrier;
+    // shard 0's report stands for all of them.
+    std::vector<Result<RegenReport>> reports(
+        shards_.size(), Result<RegenReport>(Status::Internal("not applied")));
+    Broadcast([&](AuthorizationEngine& engine, uint32_t shard) {
+      reports[shard] = engine.ApplyPolicyUpdate(updated);
+    });
+    for (auto& report : reports) {
+      if (!report.ok()) return report.status();
+    }
+    return reports[0];
+  }
+
+  // Pauseless swap. Prepare once, off every shard thread: validation and
+  // the full-policy diffs happen here, on the admin caller's time.
+  const int64_t build_start_ns = NowNanos();
+  auto plan = AuthorizationEngine::PreparePolicyUpdate(current_policy_,
+                                                       updated);
+  swap_build_hist_->RecordShared((NowNanos() - build_start_ns) / 1000);
+  if (!plan.ok()) {
+    policy_swap_failures_counter_->Add();
+    SENTINEL_LOG(kError) << "policy update rejected at prepare: "
+                         << plan.status().message();
+    return plan.status();
+  }
+
+  // Commit per shard as ordinary exempt-lane envelopes — no epoch, no
+  // barrier between shards, no cache wipe. Each shard flips mid-stream;
+  // the latch below is only the caller's linearization point (on return,
+  // every shard serves the new generation).
   std::vector<Result<RegenReport>> reports(
       shards_.size(), Result<RegenReport>(Status::Internal("not applied")));
-  Broadcast([&](AuthorizationEngine& engine, uint32_t shard) {
-    reports[shard] = engine.ApplyPolicyUpdate(updated);
-  });
+  if (synchronous_) {
+    reports[0] = shards_[0]->engine->CommitPolicyUpdate(*plan);
+    if (audit_ != nullptr) DrainShardAudit(*shards_[0]);
+  } else {
+    Latch done(static_cast<int>(shards_.size()));
+    for (auto& shard : shards_) {
+      const bool pushed =
+          shard->mailbox.Push([&plan, &reports, &done](Shard& s) {
+            const int64_t start_ns = NowNanos();
+            reports[s.index] = s.engine->CommitPolicyUpdate(*plan);
+            s.swap_commit_hist->Record((NowNanos() - start_ns) / 1000);
+            done.Arrive();
+          });
+      // A closed mailbox (shutdown race) can no longer commit; count it
+      // down so the caller is not stranded — its slot keeps the
+      // "not applied" error.
+      if (!pushed) done.Arrive();
+    }
+    done.Wait();
+  }
   for (auto& report : reports) {
-    if (!report.ok()) return report.status();
+    if (!report.ok()) {
+      // Loud rollback: validation failures are caught at Prepare before
+      // any shard mutates, so a commit failure is the rare builder error
+      // (same surface the legacy path had). current_policy_ stays put, the
+      // error is returned and logged, and any shard that did flip will
+      // reject the next plan with FailedPrecondition rather than diverge
+      // silently.
+      policy_swap_failures_counter_->Add();
+      SENTINEL_LOG(kError) << "policy swap failed to commit: "
+                           << report.status().message();
+      return report.status();
+    }
+  }
+  current_policy_ = plan->next;
+  policy_swaps_counter_->Add();
+  if (audit_ != nullptr) {
+    AccessDecision marker;
+    marker.allowed = true;
+    marker.epoch = admin_epoch();
+    OfferServiceRecord("service.swap", nullptr, marker);
   }
   return reports[0];
 }
@@ -928,6 +1022,8 @@ ServiceStats AuthorizationService::Stats() {
     stats.audit_drops = counters.drops;
     stats.audit_bytes = counters.bytes;
   }
+  stats.policy_swaps = policy_swaps_counter_->value();
+  stats.policy_swap_failures = policy_swap_failures_counter_->value();
   return stats;
 }
 

@@ -119,6 +119,19 @@ struct ServiceConfig {
   /// (counted in audit_export_drops_total), never blocks a shard. Must be
   /// > 0 when audit_path is set.
   size_t audit_queue_capacity = 65536;
+  /// Pauseless policy swaps (the default): ApplyPolicyUpdate validates and
+  /// diffs the update once on the caller's thread (PreparePolicyUpdate),
+  /// then each shard commits the prebuilt plan as one ordinary exempt-lane
+  /// envelope — an O(affected-rules) regenerate plus a pointer flip — with
+  /// no epoch barrier and no blanket cache wipe (stamped entries die
+  /// lazily through the rule-pool generation). Set false to restore the
+  /// legacy stop-the-world epoch broadcast: every shard stalls while it
+  /// re-validates and re-diffs the update, and the bumped cache epoch
+  /// discards every cached verdict — the A/B arm bench_policy_swap
+  /// measures against. LoadPolicy and SetContext always take the barrier:
+  /// they rewrite truly-global state (full pool build / context keys) that
+  /// has no incremental stamp to invalidate through.
+  bool pauseless_updates = true;
 };
 
 /// Aggregated per-shard counters (gathered with a quiescing inspection).
@@ -145,6 +158,10 @@ struct ServiceStats {
   uint64_t audit_records = 0;
   uint64_t audit_drops = 0;
   uint64_t audit_bytes = 0;
+  /// Policy generations committed via the pauseless swap path, and update
+  /// attempts rejected at Prepare (validation/diff failure) or Commit.
+  uint64_t policy_swaps = 0;
+  uint64_t policy_swap_failures = 0;
 };
 
 /// \brief One observability capture of the whole service: every shard
@@ -186,13 +203,24 @@ struct TelemetrySnapshot {
 ///    shard-local. Session-only calls (DeleteSession, legacy CheckAccess
 ///    without a user) resolve the home shard through a session registry
 ///    maintained at session create/delete.
-///  * **Admin broadcast + epoch barrier.** Policy loads/updates, user-role
+///  * **Admin broadcast + epoch barrier.** Policy loads, user-role
 ///    administration, role enable/disable, and context changes are pushed
 ///    to *every* shard mailbox and stamped with a fresh epoch; the caller
 ///    blocks until all shards applied it. Because mailboxes are FIFO, any
 ///    request submitted after the broadcast returns is behind the admin
 ///    envelope on every shard — a request never observes a half-applied
 ///    update (it sees either the whole old or the whole new policy).
+///  * **Pauseless policy swap (RCU).** Incremental policy updates skip the
+///    barrier: the update is validated and diffed once off the shard
+///    threads into an immutable shared generation, and each shard flips
+///    its policy pointer + regenerates only affected rules inside one
+///    mailbox envelope — requests on other shards keep flowing, and each
+///    shard's in-flight envelope still sees entirely-old or entirely-new
+///    policy (envelopes are atomic units on a single thread). Cached and
+///    fast-path verdicts invalidate through the rule-pool generation in
+///    their stamps, not an epoch wipe. The retired generation frees by
+///    shared_ptr refcount once the last shard has flipped. Note
+///    admin_epoch() deliberately does not move on swaps.
 ///  * **One timer thread.** Time advances fan out from a single timer
 ///    thread as epoch-barriered broadcasts, so all shards observe temporal
 ///    events (shift boundaries, duration expiries) in the same order
@@ -230,9 +258,19 @@ class AuthorizationService {
   /// Validates and installs `policy` on every shard. Call once.
   Status LoadPolicy(const Policy& policy);
 
-  /// Broadcasts an incremental policy update with an epoch barrier; on
-  /// return, every shard runs the new policy.
+  /// Applies an incremental policy update to every shard. With
+  /// pauseless_updates (the default) this is the RCU swap: prepare once on
+  /// this thread, commit per shard without a barrier — shards keep serving
+  /// throughout, and on return every shard runs the new generation (the
+  /// return is the linearization point: requests submitted afterwards see
+  /// the new policy everywhere). With pauseless_updates=false it is the
+  /// legacy epoch-barrier broadcast. Serialized against concurrent updates
+  /// either way; the returned report is shard 0's.
   Result<RegenReport> ApplyPolicyUpdate(const Policy& updated);
+
+  /// The policy generation the service currently serves (the last
+  /// successfully loaded/applied policy). Null before LoadPolicy.
+  std::shared_ptr<const Policy> current_policy() const;
 
   // ------------------------------------------------------- Request path
 
@@ -362,6 +400,10 @@ class AuthorizationService {
     telemetry::Counter* fastpath_counter = nullptr;
     telemetry::Histogram* queue_depth_hist = nullptr;
     telemetry::Histogram* queue_wait_hist = nullptr;
+    /// On-shard-thread cost of one pauseless swap commit (delta replay +
+    /// affected-rule regenerate + pointer flip), in microseconds — the
+    /// stall a swap actually imposes on this shard's request stream.
+    telemetry::Histogram* swap_commit_hist = nullptr;
     std::thread thread;
   };
 
@@ -485,6 +527,18 @@ class AuthorizationService {
   /// Serializes admin broadcasts so epochs hit every mailbox in one order.
   std::mutex admin_mu_;
   std::atomic<uint64_t> admin_epoch_{0};
+
+  /// Serializes policy updates (and orders them against LoadPolicy's
+  /// installation of current_policy_); never held by shard threads.
+  mutable std::mutex update_mu_;
+  /// The installed shared generation — the identity base the next
+  /// PreparePolicyUpdate pins its plan to. Guarded by update_mu_.
+  std::shared_ptr<const Policy> current_policy_;
+  bool pauseless_updates_ = true;
+  telemetry::Counter* policy_swaps_counter_ = nullptr;  // Owned by registry.
+  telemetry::Counter* policy_swap_failures_counter_ = nullptr;
+  /// Off-thread prepare cost (validate + diff + delta), in microseconds.
+  telemetry::Histogram* swap_build_hist_ = nullptr;
 
   Mailbox<TimerCommand> timer_mailbox_;
   std::thread timer_thread_;

@@ -287,4 +287,63 @@ Result<Policy> WithAddedDsdEdge(const Policy& policy,
       "no co-assigned role pair free of an existing DSD constraint");
 }
 
+Result<Policy> WithToggledPermission(const Policy& policy, uint64_t salt) {
+  if (policy.roles().empty()) return Status::NotFound("policy has no roles");
+  auto it = policy.roles().begin();
+  std::advance(it, static_cast<long>(salt % policy.roles().size()));
+  Policy mutated = policy;
+  auto role = mutated.MutableRole(it->first);
+  SENTINEL_RETURN_IF_ERROR(role.status());
+  const Permission churn{"churn", "churn-object"};
+  if ((*role)->permissions.count(churn) > 0) {
+    (*role)->permissions.erase(churn);
+  } else {
+    (*role)->permissions.insert(churn);
+  }
+  return mutated;
+}
+
+Result<Policy> WithToggledAssignment(const Policy& policy, uint64_t salt) {
+  if (policy.users().empty() || policy.roles().empty()) {
+    return Status::NotFound("policy has no users or roles");
+  }
+  // Candidate roles: outside every SSD set, so toggling the assignment on
+  // can never trip a static SoD conflict during reconcile.
+  std::vector<RoleName> candidates;
+  for (const auto& [name, spec] : policy.roles()) {
+    bool constrained = false;
+    for (const auto& [set_name, set] : policy.ssd_sets()) {
+      if (set.roles.count(name) > 0) {
+        constrained = true;
+        break;
+      }
+    }
+    if (!constrained) candidates.push_back(name);
+  }
+  if (candidates.empty()) {
+    return Status::NotFound("every role is SSD-constrained");
+  }
+  auto user_it = policy.users().begin();
+  std::advance(user_it, static_cast<long>(salt % policy.users().size()));
+  const RoleName& role = candidates[salt % candidates.size()];
+  Policy mutated = policy;
+  auto user = mutated.MutableUser(user_it->first);
+  SENTINEL_RETURN_IF_ERROR(user.status());
+  if ((*user)->assignments.count(role) > 0) {
+    (*user)->assignments.erase(role);
+  } else {
+    (*user)->assignments.insert(role);
+  }
+  return mutated;
+}
+
+Result<Policy> WithToggledDsd(const Policy& policy, const std::string& name) {
+  if (policy.dsd_sets().count(name) > 0) {
+    Policy mutated = policy;
+    SENTINEL_RETURN_IF_ERROR(mutated.RemoveDsd(name));
+    return mutated;
+  }
+  return WithAddedDsdEdge(policy, name);
+}
+
 }  // namespace sentinel

@@ -98,6 +98,25 @@ std::string ScenarioObjectName(int index);
 /// Deterministic in the policy contents. NotFound when no such pair exists.
 Result<Policy> WithAddedDsdEdge(const Policy& policy, const std::string& name);
 
+/// \brief Deterministic churn mutations for update-streaming harnesses
+/// (the differential update-churn arm, serve --update-churn). Each returns
+/// a copy of `policy` with one reversible edit chosen by `salt`; applying
+/// the same helper twice with the same salt round-trips the policy.
+
+/// Toggles the synthetic permission {"churn", "churn-object"} on the
+/// salt-selected role.
+Result<Policy> WithToggledPermission(const Policy& policy, uint64_t salt);
+
+/// Toggles the salt-selected user's assignment to the salt-selected role,
+/// skipping roles that appear in any SSD set (so the reconcile can never
+/// trip a static SoD conflict mid-churn). NotFound when every role is
+/// SSD-constrained.
+Result<Policy> WithToggledAssignment(const Policy& policy, uint64_t salt);
+
+/// Adds DSD set `name` (via WithAddedDsdEdge) when absent, removes it when
+/// present.
+Result<Policy> WithToggledDsd(const Policy& policy, const std::string& name);
+
 }  // namespace sentinel
 
 #endif  // SENTINELPP_WORKLOAD_SCENARIO_GEN_H_

@@ -410,5 +410,97 @@ TEST(FastPathStressTest, ReadersRaceAdminBroadcastsAndChurn) {
   EXPECT_EQ(after.reason, AuthorizationEngine::kDenyReason);
 }
 
+/// The same reader race against continuous PAUSELESS SWAPS instead of
+/// epoch broadcasts: the storm thread streams ApplyPolicyUpdates toggling
+/// Temp's permission set (each one regenerates rules, flips every shard's
+/// generation pointer and republishes the fast stamp — with no barrier and
+/// no cache-epoch wipe) interleaved with session churn and advances.
+/// alice's truths never change across generations, so every fast-path
+/// verdict stays exactly checkable while the generation underneath it
+/// turns over; TSan checks the seqlock + shared_ptr reclamation protocol.
+TEST(FastPathStressTest, ReadersRaceContinuousPauselessSwaps) {
+  ServiceConfig config;
+  config.num_shards = 2;
+  config.start_time = testutil::Noon();
+  config.decision_cache_capacity = 1024;
+  config.decision_cache_fastpath = true;
+  auto service_or = AuthorizationService::Create(config);
+  ASSERT_TRUE(service_or.ok());
+  AuthorizationService& service = **service_or;
+  ASSERT_TRUE(service.LoadPolicy(FastLabPolicy()).ok());
+  ASSERT_TRUE(service.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "Doctor").ok());
+
+  // Warm both keys so readers start on the snapshot.
+  ASSERT_TRUE(service.CheckAccess(Req("read", "chart")).allowed);
+  ASSERT_FALSE(service.CheckAccess(Req("write", "invoice")).allowed);
+
+  // Temp's grant toggles; alice (Doctor) is untouched in either variant.
+  Policy plain = FastLabPolicy();
+  Policy widened = FastLabPolicy();
+  {
+    auto temp = widened.MutableRole("Temp");
+    ASSERT_TRUE(temp.ok());
+    (*temp)->permissions.insert(Permission{"write", "scratch"});
+  }
+
+  constexpr int kReaders = 4;
+  constexpr int kIterations = 3000;
+  std::atomic<uint64_t> divergences{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&service, &divergences] {
+      for (int i = 0; i < kIterations; ++i) {
+        const AccessDecision allow = service.CheckAccess(Req("read", "chart"));
+        if (!allow.allowed || allow.outcome != AccessOutcome::kDecided) {
+          divergences.fetch_add(1, std::memory_order_relaxed);
+        }
+        const AccessDecision deny =
+            service.CheckAccess(Req("write", "invoice"));
+        if (deny.allowed || deny.outcome != AccessOutcome::kDecided) {
+          divergences.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // The storm: every round retires a generation mid-flight on both shards
+  // while readers race the stamp republishes and the dying generation's
+  // reclamation.
+  for (int round = 0; round < 100; ++round) {
+    const auto widen = service.ApplyPolicyUpdate(widened);
+    ASSERT_TRUE(widen.ok()) << widen.status();
+    const auto narrow = service.ApplyPolicyUpdate(plain);
+    ASSERT_TRUE(narrow.ok()) << narrow.status();
+    const std::string session = "bob-" + std::to_string(round);
+    ASSERT_TRUE(service.CreateSession("bob", session).ok());
+    ASSERT_TRUE(service.DeleteSession(session).ok());
+    ASSERT_TRUE(service.AdvanceBy(kMinute).ok());
+  }
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(divergences.load(), 0u);
+  ServiceStats stats = service.Stats();
+  EXPECT_GT(stats.fastpath_hits, 0u);
+  EXPECT_EQ(stats.policy_swaps, 200u);
+  EXPECT_EQ(stats.policy_swap_failures, 0u);
+
+  // Post-storm linearization: a swap that strips alice's ASSIGNMENT (a
+  // policy edit, not a runtime deassign) must be visible — as a policy
+  // deny, through cache and fast path — to the very next call.
+  Policy stripped = FastLabPolicy();
+  {
+    auto alice = stripped.MutableUser("alice");
+    ASSERT_TRUE(alice.ok());
+    (*alice)->assignments.erase("Doctor");
+  }
+  const auto strip = service.ApplyPolicyUpdate(stripped);
+  ASSERT_TRUE(strip.ok()) << strip.status();
+  const AccessDecision after = service.CheckAccess(Req("read", "chart"));
+  EXPECT_FALSE(after.allowed);
+  EXPECT_EQ(after.reason, AuthorizationEngine::kDenyReason);
+}
+
 }  // namespace
 }  // namespace sentinel

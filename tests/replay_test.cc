@@ -191,6 +191,114 @@ TEST(ReplayTest, RemovedDsdEdgeFlipsTheOtherWay) {
   EXPECT_EQ(report->deny_to_allow, 2u);
 }
 
+// ---------------------------------------------------- pauseless swap tails
+
+// A capture taken across mid-run pauseless policy swaps stays replayable:
+// each committed swap drops a `service.swap` marker into the stream, and
+// the segment after the last marker — decided entirely under the final
+// generation — replays against the final policy with zero diffs. The tail
+// must be self-contained (replay starts each shard from a fresh engine, so
+// head-era sessions and runtime assignments do not exist), hence the
+// dedicated epilogue user/role untouched by the generated soak.
+TEST(ReplayTest, TailAfterPauselessSwapsReplaysFinalPolicyWithZeroDiffs) {
+  ScenarioParams params = SmokeScenarioParams();
+  params.num_users = 60;
+  params.num_requests = 3000;
+  const Scenario scenario = GenerateScenario(params);
+  Policy base = scenario.policy;
+  RoleSpec tail_reader;
+  tail_reader.name = "tail_reader";
+  tail_reader.permissions.insert(Permission{"read", "tape"});
+  ASSERT_TRUE(base.AddRole(std::move(tail_reader)).ok());
+  UserSpec tailor;
+  tailor.name = "tailor";
+  tailor.assignments.insert("tail_reader");
+  ASSERT_TRUE(base.AddUser(std::move(tailor)).ok());
+  auto mutated = WithToggledPermission(base, 0);
+  ASSERT_TRUE(mutated.ok()) << mutated.status().message();
+
+  const std::string path = TempPath("replay_swap_tail.jsonl");
+  std::remove(path.c_str());
+  ServiceConfig config;
+  config.synchronous = true;
+  config.num_shards = 1;
+  config.start_time = MakeTime(2026, 7, 6, 9, 0, 0);
+  config.audit_path = path;
+  AuthorizationService service(config);
+  ASSERT_TRUE(service.LoadPolicy(base).ok());
+  // Two pauseless swaps land mid-soak, a third installs the final policy
+  // right before the epilogue — the capture tail runs entirely under it.
+  size_t applied = 0;
+  for (const Request& request : scenario.requests) {
+    Apply(service, request);
+    ++applied;
+    if (applied == 1000) {
+      ASSERT_TRUE(service.ApplyPolicyUpdate(*mutated).ok());
+    } else if (applied == 2000) {
+      ASSERT_TRUE(service.ApplyPolicyUpdate(base).ok());
+    }
+  }
+  ASSERT_TRUE(service.ApplyPolicyUpdate(*mutated).ok());
+  ASSERT_TRUE(service.CreateSession("tailor", "tail_s1").ok());
+  ASSERT_TRUE(service.AddActiveRole("tailor", "tail_s1", "tail_reader").ok());
+  for (int i = 0; i < 64; ++i) {
+    AccessRequest allow;
+    allow.session = "tail_s1";
+    allow.operation = "read";
+    allow.object = "tape";
+    EXPECT_TRUE(service.CheckAccess(allow).allowed);
+    AccessRequest deny;
+    deny.session = "tail_s1";
+    deny.operation = "write";
+    deny.object = "tape";
+    EXPECT_FALSE(service.CheckAccess(deny).allowed);
+  }
+  service.Shutdown();
+  EXPECT_EQ(service.audit_exporter()->counters().drops, 0u);
+
+  uint64_t parse_errors = 0;
+  auto records = LoadCaptureFile(path, &parse_errors);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(parse_errors, 0u);
+
+  size_t last_marker = records->size();
+  size_t markers = 0;
+  for (size_t i = 0; i < records->size(); ++i) {
+    if ((*records)[i].kind == "service.swap") {
+      last_marker = i;
+      ++markers;
+    }
+  }
+  ASSERT_EQ(markers, 3u);
+  ASSERT_LT(last_marker + 1, records->size());
+  const std::vector<AuditRecord> tail(records->begin() + last_marker + 1,
+                                      records->end());
+
+  auto report = ReplayCapture(tail, *mutated);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_GE(report->replayed, 130u);  // 2 session ops + 128 checks.
+  EXPECT_EQ(report->flips(), 0u) << ReportToText(*report);
+  EXPECT_EQ(report->outcome_changes, 0u) << ReportToText(*report);
+
+  // And the cross-check is not vacuous: replaying the same tail against a
+  // policy whose tail_reader lost `read tape` flips exactly the 64
+  // epilogue allows — the zero above is the swap holding, not the harness
+  // ignoring the segment.
+  Policy severed = scenario.policy;
+  RoleSpec blind;
+  blind.name = "tail_reader";
+  blind.permissions.insert(Permission{"read", "tome"});
+  ASSERT_TRUE(severed.AddRole(std::move(blind)).ok());
+  UserSpec tailor_again;
+  tailor_again.name = "tailor";
+  tailor_again.assignments.insert("tail_reader");
+  ASSERT_TRUE(severed.AddUser(std::move(tailor_again)).ok());
+  auto report_severed = ReplayCapture(tail, severed);
+  ASSERT_TRUE(report_severed.ok());
+  EXPECT_EQ(report_severed->allow_to_deny, 64u) << ReportToText(*report_severed);
+  EXPECT_EQ(report_severed->deny_to_allow, 0u);
+}
+
 // ---------------------------------------------------------------- skipping
 
 TEST(ReplayTest, SkipsServiceMarkersAndUnknownKinds) {
