@@ -3,6 +3,13 @@
 //   sentinelpp-load --port=PORT [--host=127.0.0.1] [--mode=closed|open]
 //                   [--connections=4] [--requests=1000] [--batch=1]
 //                   [--rate=0] [--users=16] [--deadline-us=0]
+//                   [--user-base=0] [--user-count=0]
+//
+// --user-base/--user-count restrict the principal mix: requests rotate over
+// user indices [base, base+count) instead of [0, users). count=0 means "all
+// users from base up" — the default spreads over every serving user. Two
+// load instances with disjoint ranges give per-principal attribution of the
+// server's refusals (the policer fairness harness runs exactly that).
 //
 // Closed loop: each connection keeps exactly `batch` requests in flight
 // (Check for batch=1, pipelined CheckBatch otherwise) until it has issued
@@ -68,6 +75,7 @@ struct WorkerResult {
 int main(int argc, char** argv) {
   int64_t port = 0, connections = 4, requests = 1'000, batch = 1;
   int64_t rate = 0, users = 16, deadline_us = 0;
+  int64_t user_base = 0, user_count = 0;
   std::string host = "127.0.0.1";
   std::string mode = "closed";
   for (int i = 1; i < argc; ++i) {
@@ -77,7 +85,9 @@ int main(int argc, char** argv) {
         IntFlag(arg, "--requests", &requests) ||
         IntFlag(arg, "--batch", &batch) || IntFlag(arg, "--rate", &rate) ||
         IntFlag(arg, "--users", &users) ||
-        IntFlag(arg, "--deadline-us", &deadline_us)) {
+        IntFlag(arg, "--deadline-us", &deadline_us) ||
+        IntFlag(arg, "--user-base", &user_base) ||
+        IntFlag(arg, "--user-count", &user_count)) {
       continue;
     }
     if (std::strncmp(arg, "--host=", 7) == 0) {
@@ -101,8 +111,16 @@ int main(int argc, char** argv) {
   }
   batch = std::max<int64_t>(1, batch);
 
+  if (user_base < 0 || user_base >= users) {
+    std::fprintf(stderr, "--user-base out of range\n");
+    return 2;
+  }
+  const int64_t user_span =
+      user_count > 0 ? std::min(user_count, users - user_base)
+                     : users - user_base;
+
   auto request_for = [&](int64_t i) {
-    const int u = static_cast<int>(i % users);
+    const int u = static_cast<int>(user_base + i % user_span);
     sentinel::AccessRequest request{sentinel::SyntheticUserName(u),
                                     "sess" + std::to_string(u), "read",
                                     "ledger", ""};

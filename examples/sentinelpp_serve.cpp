@@ -10,6 +10,17 @@
 //                    [--deadline-us=0] [--idle-ms=30000]
 //                    [--audit=PATH] [--audit-rotate=0] [--audit-queue=65536]
 //                    [--update-churn=0]
+//                    [--quota-rate=0] [--quota-burst=8]
+//                    [--quota-user=NAME:RATE[:BURST]]...
+//                    [--quota-mode=overload|always]
+//
+// --quota-rate attaches per-principal token-bucket admission policing: every
+// principal gets RATE tokens/s (fractional ok) with a burst of --quota-burst.
+// --quota-user pins one principal to its own quota (RATE=0 exempts it); the
+// flag repeats. --quota-mode picks when over-quota verdicts refuse:
+// `overload` (default) only under backpressure — requires --capacity>0 —
+// while `always` refuses at the admission edge unconditionally. The final
+// stats line gains `policer_refused=` so harnesses can attribute refusals.
 //
 // --audit attaches the async JSONL audit exporter (see audit/exporter.h):
 // every decision the service makes is exported, and the final stats line
@@ -36,6 +47,8 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "net/server.h"
 #include "workload/policy_gen.h"
@@ -53,13 +66,41 @@ int64_t IntFlag(const char* arg, const char* name, int64_t* out) {
   return 1;
 }
 
+int64_t DoubleFlag(const char* arg, const char* name, double* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return 0;
+  *out = std::strtod(arg + len + 1, nullptr);
+  return 1;
+}
+
+/// Parses NAME:RATE[:BURST] into a PrincipalQuota; false on malformed input.
+bool ParseQuotaUser(const char* text, sentinel::PrincipalQuota* out) {
+  const char* colon = std::strchr(text, ':');
+  if (colon == nullptr || colon == text) return false;
+  out->principal.assign(text, static_cast<size_t>(colon - text));
+  char* end = nullptr;
+  out->rate_per_s = std::strtod(colon + 1, &end);
+  if (end == colon + 1 || out->rate_per_s < 0) return false;
+  out->burst = 1;
+  if (*end == ':') {
+    out->burst = std::strtoll(end + 1, nullptr, 10);
+    if (out->burst < 1) return false;
+  } else if (*end != '\0') {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int64_t port = 0, shards = 1, users = 16, cache = 0, fastpath = 0;
   int64_t capacity = 0, deadline_us = 0, idle_ms = 30'000;
   int64_t audit_rotate = 0, audit_queue = 65536, update_churn_ms = 0;
-  std::string overload = "block", audit_path;
+  int64_t quota_burst = 8;
+  double quota_rate = 0;
+  std::string overload = "block", audit_path, quota_mode = "overload";
+  std::vector<sentinel::PrincipalQuota> quota_users;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (IntFlag(arg, "--port", &port) || IntFlag(arg, "--shards", &shards) ||
@@ -70,7 +111,9 @@ int main(int argc, char** argv) {
         IntFlag(arg, "--idle-ms", &idle_ms) ||
         IntFlag(arg, "--audit-rotate", &audit_rotate) ||
         IntFlag(arg, "--audit-queue", &audit_queue) ||
-        IntFlag(arg, "--update-churn", &update_churn_ms)) {
+        IntFlag(arg, "--update-churn", &update_churn_ms) ||
+        IntFlag(arg, "--quota-burst", &quota_burst) ||
+        DoubleFlag(arg, "--quota-rate", &quota_rate)) {
       continue;
     }
     if (std::strncmp(arg, "--policy=", 9) == 0) {
@@ -81,7 +124,25 @@ int main(int argc, char** argv) {
       audit_path = arg + 8;
       continue;
     }
+    if (std::strncmp(arg, "--quota-mode=", 13) == 0) {
+      quota_mode = arg + 13;
+      continue;
+    }
+    if (std::strncmp(arg, "--quota-user=", 13) == 0) {
+      sentinel::PrincipalQuota quota;
+      if (!ParseQuotaUser(arg + 13, &quota)) {
+        std::fprintf(stderr, "bad --quota-user (want NAME:RATE[:BURST]): %s\n",
+                     arg);
+        return 2;
+      }
+      quota_users.push_back(std::move(quota));
+      continue;
+    }
     std::fprintf(stderr, "unknown flag: %s\n", arg);
+    return 2;
+  }
+  if (quota_mode != "overload" && quota_mode != "always") {
+    std::fprintf(stderr, "bad --quota-mode (want overload|always)\n");
     return 2;
   }
 
@@ -99,7 +160,18 @@ int main(int argc, char** argv) {
   config.audit_path = audit_path;
   config.audit_rotate_bytes = static_cast<uint64_t>(audit_rotate);
   config.audit_queue_capacity = static_cast<size_t>(audit_queue);
+  config.quota_rate_per_s = quota_rate;
+  config.quota_burst = quota_burst;
+  config.quota_overrides = std::move(quota_users);
+  config.quota_enforcement = quota_mode == "always"
+                                 ? sentinel::QuotaEnforcement::kAlways
+                                 : sentinel::QuotaEnforcement::kOnOverload;
   sentinel::AuthorizationService service(config);
+  if (!service.init_status().ok()) {
+    std::fprintf(stderr, "bad config: %s\n",
+                 std::string(service.init_status().message()).c_str());
+    return 2;
+  }
 
   // `spare` absorbs the --update-churn stream: no serving user is assigned
   // to it, so toggling its permission swaps generations without changing
@@ -194,7 +266,9 @@ int main(int argc, char** argv) {
   std::printf(
       "accepted=%llu requests=%llu decisions=%llu batches=%llu "
       "protocol_errors=%llu idle_closed=%llu bytes_in=%llu bytes_out=%llu "
-      "swaps=%llu audit_records=%llu audit_drops=%llu drained\n",
+      "swaps=%llu audit_records=%llu audit_drops=%llu "
+      "policer_admitted=%llu policer_over_quota=%llu policer_refused=%llu "
+      "drained\n",
       static_cast<unsigned long long>(stats.accepted),
       static_cast<unsigned long long>(stats.requests),
       static_cast<unsigned long long>(stats.decisions),
@@ -204,7 +278,10 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.bytes_in),
       static_cast<unsigned long long>(stats.bytes_out),
       static_cast<unsigned long long>(service_stats.policy_swaps),
-      audit_records, audit_drops);
+      audit_records, audit_drops,
+      static_cast<unsigned long long>(service_stats.policer_admitted),
+      static_cast<unsigned long long>(service_stats.policer_over_quota),
+      static_cast<unsigned long long>(service_stats.policer_refused));
   std::fflush(stdout);
   return 0;
 }

@@ -180,6 +180,68 @@ audit_smoke() {
 echo "== Audit smoke: exported stream is complete and parseable =="
 audit_smoke build
 
+# The admission-policer fairness contract over a real socket: one abusive
+# principal (u0000, pinned to 50 tokens/s) and the well-behaved rest share
+# a server running --quota-mode=always. Two load instances with disjoint
+# --user-base ranges attribute refusals per principal class: the abusive
+# load must absorb >=90% refusals on its own traffic, the well-behaved
+# load must see zero, and the server must report zero protocol errors,
+# nonzero policer_refused, and a clean drain.
+policer_smoke() {
+  local tree="$1"
+  cmake --build "$tree" -j"$JOBS" --target sentinelpp_serve sentinelpp_load
+  local log
+  log=$(mktemp)
+  "./$tree/examples/sentinelpp-serve" --port=0 --shards=1 --users=10 \
+    --quota-rate=100000 --quota-burst=64 --quota-user=u0000:50:4 \
+    --quota-mode=always >"$log" 2>&1 &
+  local serve_pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$log")
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "policer-smoke: server never announced its port" >&2
+    kill -9 "$serve_pid" 2>/dev/null || true
+    cat "$log" >&2
+    return 1
+  fi
+  local abusive good
+  abusive=$("./$tree/examples/sentinelpp-load" --port="$port" \
+    --connections=2 --requests=2000 --batch=8 --users=10 \
+    --user-base=0 --user-count=1)
+  good=$("./$tree/examples/sentinelpp-load" --port="$port" \
+    --connections=2 --requests=2000 --batch=8 --users=10 --user-base=1)
+  kill -TERM "$serve_pid"
+  wait "$serve_pid"
+  echo "policer-smoke abusive: $abusive"
+  echo "policer-smoke good:    $good"
+  local abusive_answered abusive_overloaded good_overloaded
+  abusive_answered=$(sed -n 's/.* answered=\([0-9]*\) .*/\1/p' <<<"$abusive")
+  abusive_overloaded=$(sed -n 's/.* overloaded=\([0-9]*\) .*/\1/p' <<<"$abusive")
+  good_overloaded=$(sed -n 's/.* overloaded=\([0-9]*\) .*/\1/p' <<<"$good")
+  if (( abusive_overloaded * 10 < abusive_answered * 9 )); then
+    echo "policer-smoke: abusive refusal share below 90%" >&2
+    return 1
+  fi
+  if (( good_overloaded != 0 )); then
+    echo "policer-smoke: well-behaved principals were refused" >&2
+    return 1
+  fi
+  grep -E 'protocol_errors=0 .*policer_refused=[1-9][0-9]* drained$' \
+    "$log" >/dev/null || {
+    echo "policer-smoke: stats line missing policer_refused>0 + drained" >&2
+    cat "$log" >&2
+    return 1
+  }
+  rm -f "$log"
+}
+
+echo "== Policer smoke: weighted refusals land on the abusive principal =="
+policer_smoke build
+
 if [[ "${1:-}" == "--no-sanitize" ]]; then
   echo "== Skipping sanitizer pass =="
   exit 0
@@ -220,9 +282,10 @@ echo "== Sanitizer pass: thread (service + mailbox + fast-path + net tests) =="
 cmake -B build-tsan -S . -DSENTINELPP_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=Debug >/dev/null
 cmake --build build-tsan -j"$JOBS" --target service_test mailbox_test \
-  fastpath_test interner_test wire_test net_test audit_test policy_swap_test
+  policer_test fastpath_test interner_test wire_test net_test audit_test \
+  policy_swap_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(service_test|mailbox_test|fastpath_test|interner_test|wire_test|net_test|audit_test|policy_swap_test)$'
+  -R '^(service_test|mailbox_test|policer_test|fastpath_test|interner_test|wire_test|net_test|audit_test|policy_swap_test)$'
 
 echo "== Overload stress: stall-injected shed/deadline paths under TSan =="
 # The acceptance stress for the bounded-mailbox work: shard stalls injected

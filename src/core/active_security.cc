@@ -6,7 +6,7 @@ namespace sentinel {
 
 void ActiveSecurityMonitor::DefineWindow(const std::string& directive,
                                          Duration window, int threshold) {
-  windows_[directive] = WindowState{window, threshold, {}};
+  windows_[directive] = WindowState{window, threshold, {}, {}};
 }
 
 void ActiveSecurityMonitor::RemoveWindow(const std::string& directive) {
@@ -25,6 +25,28 @@ int ActiveSecurityMonitor::RecordDenial(const std::string& directive,
     state.denials.pop_front();
   }
   return static_cast<int>(state.denials.size());
+}
+
+int ActiveSecurityMonitor::RecordDenialKeyed(const std::string& directive,
+                                             const std::string& key,
+                                             Time when) {
+  auto it = windows_.find(directive);
+  if (it == windows_.end()) return 0;
+  WindowState& state = it->second;
+  std::deque<Time>& denials = state.keyed[key];
+  denials.push_back(when);
+  const Time horizon = when - state.window;
+  while (!denials.empty() && denials.front() <= horizon) {
+    denials.pop_front();
+  }
+  return static_cast<int>(denials.size());
+}
+
+void ActiveSecurityMonitor::ClearKeyedWindow(const std::string& directive,
+                                             const std::string& key) {
+  auto it = windows_.find(directive);
+  if (it == windows_.end()) return;
+  it->second.keyed.erase(key);
 }
 
 bool ActiveSecurityMonitor::ThresholdReached(

@@ -39,6 +39,17 @@ class ActiveSecurityMonitor {
   /// the directive's window ending at `when` (inclusive of this one).
   int RecordDenial(const std::string& directive, Time when);
 
+  /// Records one denial attributed to `key` (a user name) at `when`;
+  /// returns that key's own count inside the directive's window. Keyed
+  /// windows back the per-principal throttle reaction: the aggregate
+  /// window answers "is the system under attack", the keyed one "by whom".
+  int RecordDenialKeyed(const std::string& directive, const std::string& key,
+                        Time when);
+
+  /// Clears one key's window (called when a throttle fires, so the same
+  /// burst cannot re-trip the penalty).
+  void ClearKeyedWindow(const std::string& directive, const std::string& key);
+
   /// True iff the directive's window count has reached its threshold.
   bool ThresholdReached(const std::string& directive) const;
 
@@ -60,6 +71,10 @@ class ActiveSecurityMonitor {
     Duration window = 0;
     int threshold = 0;
     std::deque<Time> denials;
+    /// Per-key (per-user) denial timestamps, same sliding window. Entries
+    /// whose deque empties are erased, so the map tracks only keys with
+    /// denials still in window.
+    std::map<std::string, std::deque<Time>> keyed;
   };
 
   std::map<std::string, WindowState> windows_;

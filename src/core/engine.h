@@ -250,6 +250,24 @@ class AuthorizationEngine {
     return detector_.RaiseInterned(event, std::move(params));
   }
 
+  /// Sink for threshold-rule throttle actions (ThresholdDirective::
+  /// throttle_rate_per_s): the hosting service installs one per shard to
+  /// feed its admission policer. Runs on the engine's thread inside rule
+  /// dispatch, so it must be fast and thread-safe (the service's policer
+  /// is lock-free).
+  using ThrottleSink = std::function<void(
+      const std::string& user, double rate_per_s, int64_t burst)>;
+  void set_throttle_sink(ThrottleSink sink) {
+    throttle_sink_ = std::move(sink);
+  }
+  /// Invoked by generated SEC rules when a throttle directive trips. No-op
+  /// without a sink: a bare engine still records the alert, it just has no
+  /// admission edge to police.
+  void NotifyThrottle(const std::string& user, double rate_per_s,
+                      int64_t burst) {
+    if (throttle_sink_) throttle_sink_(user, rate_per_s, burst);
+  }
+
   // ------------------------------------------------------ Introspection
 
   uint64_t decisions_made() const { return decisions_counter_->value(); }
@@ -415,6 +433,7 @@ class AuthorizationEngine {
   CoreEvents events_;
   std::vector<EventId> duration_events_;
   std::map<std::string, std::string> context_;
+  ThrottleSink throttle_sink_;
   DecisionLog decision_log_;
   /// Drain position for DrainDecisionLog (seq of the next undrained record).
   uint64_t audit_cursor_ = 0;

@@ -88,6 +88,15 @@ struct ThresholdDirective {
   /// Roles to disable (and deactivate everywhere) when the alert fires —
   /// the paper's "deactivate a set of roles" alert action (§3).
   std::vector<RoleName> disable_roles;
+  /// Per-principal throttle reaction: when > 0, a single user accruing
+  /// `threshold` denials inside `window` (tracked per user, separately
+  /// from the aggregate alert window) has their admission quota clamped to
+  /// this rate in tokens/s — delivered through
+  /// AuthorizationEngine::NotifyThrottle to the hosting service's policer.
+  /// 0 (the default) keeps the directive alert-only.
+  double throttle_rate_per_s = 0;
+  /// Bucket depth for the penalty quota (values < 1 behave as 1).
+  int64_t throttle_burst = 1;
 
   friend bool operator==(const ThresholdDirective&,
                          const ThresholdDirective&) = default;

@@ -1,5 +1,7 @@
 #include "core/policy_parser.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -99,6 +101,30 @@ Result<int> ParseInt(const std::string& text, int line) {
     if (value > 1000000000) {
       return ParseError(line, "integer too large: " + text);
     }
+  }
+  return value;
+}
+
+/// Non-negative decimal rate in tokens/s ("2", "0.5"); the throttle knob.
+Result<double> ParseRate(const std::string& text, int line) {
+  if (text.empty()) return ParseError(line, "expected rate");
+  int digits = 0;
+  int points = 0;
+  for (char c : text) {
+    if (c == '.') {
+      ++points;
+    } else if (c >= '0' && c <= '9') {
+      ++digits;
+    } else {
+      return ParseError(line, "expected rate (tokens/s), got '" + text + "'");
+    }
+  }
+  if (digits == 0 || points > 1) {
+    return ParseError(line, "expected rate (tokens/s), got '" + text + "'");
+  }
+  const double value = std::strtod(text.c_str(), nullptr);
+  if (!(value >= 0) || value > 1e12) {
+    return ParseError(line, "rate out of range: " + text);
   }
   return value;
 }
@@ -410,6 +436,14 @@ Result<Policy> PolicyParser::Parse(const std::string& text) {
       if (const std::string* v = get_single(block, "disable-roles")) {
         directive.disable_roles = SplitList(*v);
       }
+      if (const std::string* v = get_single(block, "throttle-rate")) {
+        SENTINEL_ASSIGN_OR_RETURN(rate, ParseRate(*v, block.line));
+        directive.throttle_rate_per_s = rate;
+      }
+      if (const std::string* v = get_single(block, "throttle-burst")) {
+        SENTINEL_ASSIGN_OR_RETURN(n, ParseInt(*v, block.line));
+        directive.throttle_burst = n;
+      }
       (void)policy.AddThreshold(std::move(directive));
     } else if (block.kind == "audit") {
       if (block.name.empty()) {
@@ -603,6 +637,13 @@ std::string PolicyToText(const Policy& policy) {
         os << (first ? "" : ", ") << role;
         first = false;
       }
+    }
+    if (directive.throttle_rate_per_s > 0) {
+      char rate[32];
+      std::snprintf(rate, sizeof(rate), "%.10g",
+                    directive.throttle_rate_per_s);
+      os << "  throttle-rate: " << rate
+         << "  throttle-burst: " << directive.throttle_burst;
     }
     os << " }\n";
   }

@@ -435,11 +435,19 @@ Status RuleGenerator::GenerateGlobalRules(const Policy& policy) {
               [](RuleContext& c) { AllowDecision(c, "CA.global"); })
         .Else("raise error \"Permission Denied\"", [eng, k](RuleContext& c) {
           DenyDecision(c, "CA.global", "Permission Denied");
-          (void)eng->RaiseEvent(
-              eng->events().access_denied,
-              {{k.session, Value(c.ParamSym(k.session))},
-               {k.operation, Value(c.ParamSym(k.operation))},
-               {k.object, Value(c.ParamSym(k.object))}});
+          FlatParamMap params{{k.session, Value(c.ParamSym(k.session))},
+                              {k.operation, Value(c.ParamSym(k.operation))},
+                              {k.object, Value(c.ParamSym(k.object))}};
+          // Attribute the denial to the session's user when the session
+          // exists — per-principal threshold reactions (keyed windows,
+          // throttling) need to know *who* is being denied, and the
+          // request itself only names the session.
+          if (const RbacDatabase::SessionState* state =
+                  eng->rbac().db().GetSessionState(c.ParamSym(k.session))) {
+            params.Set(k.user, Value(state->user));
+          }
+          (void)eng->RaiseEvent(eng->events().access_denied,
+                                std::move(params));
         });
     SENTINEL_RETURN_IF_ERROR(AddRule(tag, std::move(rule)));
   }
@@ -1182,6 +1190,9 @@ Status RuleGenerator::GenerateThresholdRules(
   const int threshold = directive.threshold;
   const std::vector<std::string> prefixes = directive.disable_rule_prefixes;
   const std::vector<RoleName> disable_roles = directive.disable_roles;
+  const double throttle_rate = directive.throttle_rate_per_s;
+  const int64_t throttle_burst =
+      directive.throttle_burst < 1 ? 1 : directive.throttle_burst;
 
   Rule rule("SEC." + name, eng->events().access_denied,
             Rule::Options{0, true, RuleClass::kActiveSecurity,
@@ -1190,8 +1201,26 @@ Status RuleGenerator::GenerateThresholdRules(
       "record denial; alert administrators and disable critical rules on "
       "breach",
       [eng, k, name, alert_key, alert_name, threshold, prefixes,
-       disable_roles](RuleContext& c) {
+       disable_roles, throttle_rate, throttle_burst](RuleContext& c) {
         const Time now = eng->Now();
+        // Per-principal reaction first: the keyed window answers "which
+        // user is bursting", independently of the aggregate alert below.
+        // On breach the offender's admission quota is clamped through the
+        // hosting service's policer; the keyed window is cleared so the
+        // same burst cannot re-trip the penalty.
+        if (throttle_rate > 0) {
+          const std::string& user = c.ParamString(k.user);
+          if (!user.empty() &&
+              eng->security().RecordDenialKeyed(name, user, now) >=
+                  threshold) {
+            eng->security().ClearKeyedWindow(name, user);
+            SENTINEL_LOG(kWarning)
+                << "active security throttling user '" << user << "' to "
+                << throttle_rate << " req/s after denial burst ["
+                << name << "]";
+            eng->NotifyThrottle(user, throttle_rate, throttle_burst);
+          }
+        }
         const int count = eng->security().RecordDenial(name, now);
         if (count < threshold) return;
         eng->security().RaiseAlert(

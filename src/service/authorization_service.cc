@@ -1,6 +1,7 @@
 #include "service/authorization_service.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.h"
@@ -76,6 +77,40 @@ Status AuthorizationService::ValidateConfig(const ServiceConfig& config) {
         "audit_queue_capacity must be > 0 when audit_path is set — a "
         "zero-capacity hand-off would drop every record");
   }
+  if (config.quota_rate_per_s < 0) {
+    return Status::InvalidArgument(
+        "quota_rate_per_s must be >= 0 (0 disables the default quota); got " +
+        std::to_string(config.quota_rate_per_s));
+  }
+  if (config.quota_burst < 0) {
+    return Status::InvalidArgument(
+        "quota_burst must be >= 0 (0 behaves as 1); got " +
+        std::to_string(config.quota_burst));
+  }
+  if (config.policer_capacity == 0 ||
+      !DecisionCache::IsPowerOfTwo(config.policer_capacity)) {
+    return Status::InvalidArgument(
+        "policer_capacity must be a power of two (the policer is an "
+        "open-addressed slot table); got " +
+        std::to_string(config.policer_capacity));
+  }
+  bool any_static_quota = config.quota_rate_per_s > 0;
+  for (const PrincipalQuota& quota : config.quota_overrides) {
+    if (quota.principal.empty()) {
+      return Status::InvalidArgument(
+          "quota_overrides entries must name a principal");
+    }
+    if (quota.rate_per_s > 0) any_static_quota = true;
+  }
+  if (any_static_quota &&
+      config.quota_enforcement == QuotaEnforcement::kOnOverload &&
+      config.mailbox_capacity == 0) {
+    return Status::InvalidArgument(
+        "a static quota with QuotaEnforcement::kOnOverload requires "
+        "mailbox_capacity > 0 — an unbounded mailbox never overloads, so "
+        "the quota could never refuse anything; bound the mailbox or use "
+        "QuotaEnforcement::kAlways");
+  }
   return Status::OK();
 }
 
@@ -135,6 +170,35 @@ AuthorizationService::AuthorizationService(const ServiceConfig& config)
   fastpath_latency_hist_ = service_metrics_.AddHistogram(
       "decision_latency_us", "sampled wall-clock dispatch latency (us)",
       telemetry::Histogram::ExponentialBounds(1, 2.0, 15));
+  policer_refused_counter_ = service_metrics_.AddCounter(
+      "policer_refused_total",
+      "requests refused kOverloaded for exceeding their principal's quota");
+  // Always constructed: threshold rules can throttle a principal at runtime
+  // even when no static quota was configured. Inactive, it costs one
+  // relaxed load per request.
+  Policer::Options policer_options;
+  policer_options.capacity =
+      init_status_.ok() ? config.policer_capacity : size_t{1024};
+  policer_options.clock = config.quota_clock;
+  if (init_status_.ok() && config.quota_rate_per_s > 0) {
+    policer_options.default_quota = Policer::Quota{
+        config.quota_rate_per_s,
+        config.quota_burst < 1 ? int64_t{1} : config.quota_burst};
+  }
+  policer_ = std::make_unique<Policer>(std::move(policer_options));
+  if (init_status_.ok()) {
+    for (const PrincipalQuota& quota : config.quota_overrides) {
+      policer_->SetQuota(quota.principal,
+                         Policer::Quota{quota.rate_per_s, quota.burst});
+    }
+    quota_always_ = config.quota_enforcement == QuotaEnforcement::kAlways;
+    quota_key_delimiter_ = config.quota_key_delimiter;
+    // The reserved top quarter of a bounded mailbox: over-quota requests
+    // admit only up to this depth, so conformant principals always find
+    // headroom an abuser cannot occupy.
+    const size_t cap = config.mailbox_capacity;
+    over_quota_max_depth_ = cap > 0 ? cap - cap / 4 : 0;
+  }
   pauseless_updates_ = config.pauseless_updates;
   policy_swaps_counter_ = service_metrics_.AddCounter(
       "policy_swap_total", "policy generations committed pauselessly");
@@ -165,6 +229,14 @@ AuthorizationService::AuthorizationService(const ServiceConfig& config)
     shard->engine->set_decision_log_capacity(config.decision_log_capacity);
     shard->engine->set_telemetry_sampling(config.latency_sample_every,
                                           config.trace_sample_every);
+    // Close the paper's reaction loop: a threshold rule that decides to
+    // throttle a principal (ThresholdDirective::throttle_rate_per_s) lands
+    // here, on the shard thread, and installs the penalty quota in the
+    // shared policer. SetQuota is lock-free and thread-safe.
+    shard->engine->set_throttle_sink(
+        [this](const std::string& user, double rate_per_s, int64_t burst) {
+          policer_->SetQuota(user, Policer::Quota{rate_per_s, burst});
+        });
     if (!init_status_.ok()) {
       shard->mailbox.set_capacity(0);
     } else {
@@ -345,14 +417,26 @@ AccessDecision AuthorizationService::ShutdownDecision() {
   return decision;
 }
 
-AccessDecision AuthorizationService::OverloadDecision(bool shed,
+AccessDecision AuthorizationService::OverloadDecision(OverloadKind kind,
                                                       uint32_t shard,
                                                       int64_t submit_ns) const {
   AccessDecision decision;
   decision.allowed = false;
   decision.outcome = AccessOutcome::kOverloaded;
-  decision.reason =
-      shed ? "overloaded: shed" : "overloaded: deadline exceeded";
+  // The outcome enum is wire-pinned; the reason string is what
+  // distinguishes indiscriminate shedding, deadline expiry, and quota
+  // refusal to callers.
+  switch (kind) {
+    case OverloadKind::kShed:
+      decision.reason = "overloaded: shed";
+      break;
+    case OverloadKind::kExpired:
+      decision.reason = "overloaded: deadline exceeded";
+      break;
+    case OverloadKind::kOverQuota:
+      decision.reason = "overloaded: over quota";
+      break;
+  }
   decision.shard = shard;
   decision.epoch = admin_epoch();
   decision.latency = (NowNanos() - submit_ns) / 1000;
@@ -385,7 +469,15 @@ AdminResult AuthorizationService::ToAdminResult(
 int64_t AuthorizationService::DeadlineNanos(Duration deadline_us,
                                             int64_t submit_ns) {
   if (deadline_us <= 0) return 0;
-  return submit_ns + deadline_us * 1000;
+  // Saturate both steps: a huge but valid budget must mean "effectively
+  // never", and `submit_ns + budget` overflowing would be signed UB that in
+  // practice wraps negative — an already-expired deadline that sheds every
+  // request carrying it.
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  if (deadline_us > kMax / 1000) return kMax;
+  const int64_t budget_ns = static_cast<int64_t>(deadline_us) * 1000;
+  if (submit_ns > kMax - budget_ns) return kMax;
+  return submit_ns + budget_ns;
 }
 
 AccessDecision AuthorizationService::Convert(const Decision& decision,
@@ -404,9 +496,48 @@ AccessDecision AuthorizationService::Convert(const Decision& decision,
 
 // ------------------------------------------------------------ Dispatch core
 
+std::string_view AuthorizationService::PrincipalOf(
+    const AccessRequest& request) const {
+  std::string_view principal = request.user.empty()
+                                   ? std::string_view(request.session)
+                                   : std::string_view(request.user);
+  if (quota_key_delimiter_ != '\0') {
+    const size_t cut = principal.find(quota_key_delimiter_);
+    if (cut != std::string_view::npos) principal = principal.substr(0, cut);
+  }
+  return principal;
+}
+
+Policer::Verdict AuthorizationService::AdmitPrincipal(
+    const AccessRequest& request) {
+  if (!policer_->active()) return Policer::Verdict::kUnpoliced;
+  return policer_->Admit(PrincipalOf(request));
+}
+
+AccessDecision AuthorizationService::RefuseOverQuota(
+    const AccessRequest* request, uint32_t shard, int64_t submit_ns) {
+  policer_refused_counter_->Add();
+  const AccessDecision refused =
+      OverloadDecision(OverloadKind::kOverQuota, shard, submit_ns);
+  if (audit_ != nullptr) {
+    OfferServiceRecord("service.overload", request, refused);
+  }
+  return refused;
+}
+
+void AuthorizationService::SetPrincipalQuota(const std::string& principal,
+                                             double rate_per_s,
+                                             int64_t burst) {
+  if (rate_per_s <= 0) {
+    policer_->ResetQuota(principal);
+    return;
+  }
+  policer_->SetQuota(principal, Policer::Quota{rate_per_s, burst});
+}
+
 AccessDecision AuthorizationService::RunOnShard(
     uint32_t shard, const std::function<Decision(AuthorizationEngine&)>& op,
-    Duration deadline_us) {
+    Duration deadline_us, bool over_quota) {
   const int64_t submit_ns = NowNanos();
   requests_counter_->Add();
   Shard& home = *shards_[shard];
@@ -431,7 +562,7 @@ AccessDecision AuthorizationService::RunOnShard(
     s.queue_wait_hist->Record((start_ns - submit_ns) / 1000);
     if (deadline_ns != 0 && start_ns > deadline_ns) {
       s.expired_counter->Add();
-      out = OverloadDecision(/*shed=*/false, s.index, submit_ns);
+      out = OverloadDecision(OverloadKind::kExpired, s.index, submit_ns);
       if (audit_ != nullptr) {
         OfferServiceRecord("service.overload", nullptr, out);
       }
@@ -445,14 +576,20 @@ AccessDecision AuthorizationService::RunOnShard(
   };
   using PushResult = Mailbox<std::function<void(Shard&)>>::PushResult;
   size_t depth = 0;
-  switch (home.mailbox.PushBounded(std::move(envelope), !shed_on_full_,
-                                   deadline_ns, &depth)) {
+  // Weighted admission: an over-quota producer never blocks for space and
+  // only fills the non-reserved depth, so at saturation it is refused
+  // first while conformant principals keep the full block/shed semantics.
+  const bool block = !shed_on_full_ && !over_quota;
+  const size_t max_depth = over_quota ? over_quota_max_depth_ : 0;
+  switch (home.mailbox.PushBounded(std::move(envelope), block, deadline_ns,
+                                   &depth, max_depth)) {
     case PushResult::kClosed:
       return ShutdownDecision();
     case PushResult::kFull: {
       home.shed_counter->Add();
-      const AccessDecision shed = OverloadDecision(/*shed=*/true, shard,
-                                                   submit_ns);
+      if (over_quota) return RefuseOverQuota(nullptr, shard, submit_ns);
+      const AccessDecision shed =
+          OverloadDecision(OverloadKind::kShed, shard, submit_ns);
       if (audit_ != nullptr) {
         OfferServiceRecord("service.overload", nullptr, shed);
       }
@@ -460,8 +597,8 @@ AccessDecision AuthorizationService::RunOnShard(
     }
     case PushResult::kExpired: {
       home.expired_counter->Add();
-      const AccessDecision expired = OverloadDecision(/*shed=*/false, shard,
-                                                      submit_ns);
+      const AccessDecision expired =
+          OverloadDecision(OverloadKind::kExpired, shard, submit_ns);
       if (audit_ != nullptr) {
         OfferServiceRecord("service.overload", nullptr, expired);
       }
@@ -695,6 +832,16 @@ AccessDecision AuthorizationService::CheckAccess(const AccessRequest& request) {
       return fast;
     }
   }
+  // Policing happens after the fast-path probe: a snapshot hit consumes no
+  // decision-lane capacity, which is the resource quotas protect.
+  bool over_quota = false;
+  if (AdmitPrincipal(request) == Policer::Verdict::kOverQuota) {
+    if (quota_always_) {
+      requests_counter_->Add();
+      return RefuseOverQuota(&request, RouteRequest(request), NowNanos());
+    }
+    over_quota = true;
+  }
   return RunOnShard(RouteRequest(request),
                     [&request](AuthorizationEngine& engine) {
                       return engine.CheckAccess(request.session,
@@ -702,7 +849,7 @@ AccessDecision AuthorizationService::CheckAccess(const AccessRequest& request) {
                                                 request.object,
                                                 request.purpose);
                     },
-                    request.EffectiveDeadline(default_deadline_));
+                    request.EffectiveDeadline(default_deadline_), over_quota);
 }
 
 std::vector<AccessDecision> AuthorizationService::CheckAccessBatch(
@@ -725,6 +872,13 @@ void AuthorizationService::CheckAccessBatchInto(
   if (synchronous_) {
     Shard& shard = *shards_[0];
     for (size_t i = 0; i < requests.size(); ++i) {
+      // Inline dispatch still debits quota buckets; only kAlways can turn
+      // the verdict into a refusal here (there is no queue to overload).
+      if (AdmitPrincipal(requests[i]) == Policer::Verdict::kOverQuota &&
+          quota_always_) {
+        out[i] = RefuseOverQuota(&requests[i], 0, submit_ns);
+        continue;
+      }
       const Decision decision = shard.engine->CheckAccess(
           requests[i].session, requests[i].operation, requests[i].object,
           requests[i].purpose);
@@ -747,33 +901,49 @@ void AuthorizationService::CheckAccessBatchInto(
     }
   }
   if (pending.empty()) return;
-  // One envelope per involved shard, carrying that shard's request indices.
-  // Deadlines are per item: expiry is judged request by request when the
-  // envelope runs, so one slow item never spoils its batch-mates' budget.
+  // Admission policing, per item: each miss debits its principal's bucket.
+  // Under kAlways an over-quota item is refused right here; under
+  // kOnOverload it is grouped into a separate envelope that takes the
+  // restricted (never-block, reserved-depth) push below.
   std::vector<int64_t> deadlines(requests.size(), 0);
+  std::vector<std::vector<uint32_t>> indices(shards_.size());
+  std::vector<std::vector<uint32_t>> over_indices(shards_.size());
   for (const uint32_t i : pending) {
+    bool over_quota = false;
+    if (AdmitPrincipal(requests[i]) == Policer::Verdict::kOverQuota) {
+      if (quota_always_) {
+        out[i] = RefuseOverQuota(&requests[i], RouteRequest(requests[i]),
+                                 submit_ns);
+        continue;
+      }
+      over_quota = true;
+    }
+    // Deadlines are per item: expiry is judged request by request when the
+    // envelope runs, so one slow item never spoils its batch-mates' budget.
     deadlines[i] = DeadlineNanos(
         requests[i].EffectiveDeadline(default_deadline_), submit_ns);
-  }
-  std::vector<std::vector<uint32_t>> indices(shards_.size());
-  for (const uint32_t i : pending) {
-    indices[RouteRequest(requests[i])].push_back(i);
+    (over_quota ? over_indices : indices)[RouteRequest(requests[i])]
+        .push_back(i);
   }
   int involved = 0;
-  for (const auto& shard_indices : indices) {
-    if (!shard_indices.empty()) ++involved;
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    if (!indices[shard].empty()) ++involved;
+    if (!over_indices[shard].empty()) ++involved;
   }
+  if (involved == 0) return;
   using PushResult = Mailbox<std::function<void(Shard&)>>::PushResult;
   Latch done(involved);
-  for (size_t shard = 0; shard < shards_.size(); ++shard) {
-    if (indices[shard].empty()) continue;
+  // One envelope per involved (shard, quota-class) pair, carrying that
+  // group's request indices.
+  auto submit = [&](size_t shard, const std::vector<uint32_t>& group,
+                    bool over_quota) {
     Shard& home = *shards_[shard];
     // A blocked admission may wait until the envelope's *latest* item
     // deadline: earlier-expiring items are answered kOverloaded by the
     // per-item check once the envelope runs. Any item without a deadline
     // makes the wait unbounded (0).
     int64_t push_deadline_ns = 0;
-    for (const uint32_t i : indices[shard]) {
+    for (const uint32_t i : group) {
       if (deadlines[i] == 0) {
         push_deadline_ns = 0;
         break;
@@ -784,14 +954,15 @@ void AuthorizationService::CheckAccessBatchInto(
     // the push decides, and the refusal fallbacks below still need the
     // list.
     auto envelope = [this, requests, &deadlines, out, &done, submit_ns,
-                     mine = indices[shard]](Shard& s) {
+                     mine = group](Shard& s) {
       const int64_t start_ns = NowNanos();
       s.queue_wait_hist->Record((start_ns - submit_ns) / 1000);
       const uint64_t epoch = s.applied_epoch.load(std::memory_order_relaxed);
       for (const uint32_t i : mine) {
         if (deadlines[i] != 0 && start_ns > deadlines[i]) {
           s.expired_counter->Add();
-          out[i] = OverloadDecision(/*shed=*/false, s.index, submit_ns);
+          out[i] = OverloadDecision(OverloadKind::kExpired, s.index,
+                                    submit_ns);
           if (audit_ != nullptr) {
             OfferServiceRecord("service.overload", &requests[i], out[i]);
           }
@@ -805,36 +976,51 @@ void AuthorizationService::CheckAccessBatchInto(
       done.Arrive();
     };
     size_t depth = 0;
-    switch (home.mailbox.PushBounded(std::move(envelope), !shed_on_full_,
-                                     push_deadline_ns, &depth)) {
+    const bool block = !shed_on_full_ && !over_quota;
+    switch (home.mailbox.PushBounded(std::move(envelope), block,
+                                     push_deadline_ns, &depth,
+                                     over_quota ? over_quota_max_depth_
+                                                : size_t{0})) {
       case PushResult::kClosed:
-        for (const uint32_t i : indices[shard]) out[i] = ShutdownDecision();
+        for (const uint32_t i : group) out[i] = ShutdownDecision();
         done.Arrive();
-        continue;
+        return;
       case PushResult::kFull:
-        home.shed_counter->Add(indices[shard].size());
-        for (const uint32_t i : indices[shard]) {
-          out[i] = OverloadDecision(/*shed=*/true, home.index, submit_ns);
+        home.shed_counter->Add(group.size());
+        for (const uint32_t i : group) {
+          if (over_quota) {
+            out[i] = RefuseOverQuota(&requests[i], home.index, submit_ns);
+            continue;
+          }
+          out[i] = OverloadDecision(OverloadKind::kShed, home.index,
+                                    submit_ns);
           if (audit_ != nullptr) {
             OfferServiceRecord("service.overload", &requests[i], out[i]);
           }
         }
         done.Arrive();
-        continue;
+        return;
       case PushResult::kExpired:
-        home.expired_counter->Add(indices[shard].size());
-        for (const uint32_t i : indices[shard]) {
-          out[i] = OverloadDecision(/*shed=*/false, home.index, submit_ns);
+        home.expired_counter->Add(group.size());
+        for (const uint32_t i : group) {
+          out[i] = OverloadDecision(OverloadKind::kExpired, home.index,
+                                    submit_ns);
           if (audit_ != nullptr) {
             OfferServiceRecord("service.overload", &requests[i], out[i]);
           }
         }
         done.Arrive();
-        continue;
+        return;
       case PushResult::kOk:
         break;
     }
     home.queue_depth_hist->RecordShared(static_cast<int64_t>(depth));
+  };
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    if (!indices[shard].empty()) submit(shard, indices[shard], false);
+    if (!over_indices[shard].empty()) {
+      submit(shard, over_indices[shard], true);
+    }
   }
   done.Wait();
 }
@@ -1024,6 +1210,10 @@ ServiceStats AuthorizationService::Stats() {
   }
   stats.policy_swaps = policy_swaps_counter_->value();
   stats.policy_swap_failures = policy_swap_failures_counter_->value();
+  stats.policer_admitted = policer_->admitted();
+  stats.policer_over_quota = policer_->over_quota_verdicts();
+  stats.policer_refused = policer_refused_counter_->value();
+  stats.policer_refill_tokens = policer_->refilled_tokens();
   return stats;
 }
 
@@ -1076,6 +1266,37 @@ TelemetrySnapshot AuthorizationService::Snapshot() {
         "audit_export_bytes_total", "serialized audit bytes written",
         counters.bytes});
   }
+  // The policer is not a registry either; splice its counters and a
+  // point-in-time occupancy scan the same way (policer_refused_total lives
+  // in service_metrics_ and is already merged above).
+  snap.metrics.counters.push_back(telemetry::CounterSnapshot{
+      "policer_admitted_total",
+      "requests admitted within their principal's quota",
+      policer_->admitted()});
+  snap.metrics.counters.push_back(telemetry::CounterSnapshot{
+      "policer_over_quota_total",
+      "admission checks that found the principal's bucket empty",
+      policer_->over_quota_verdicts()});
+  snap.metrics.counters.push_back(telemetry::CounterSnapshot{
+      "policer_refill_tokens_total",
+      "tokens regained by refill-on-read across all buckets",
+      policer_->refilled_tokens()});
+  snap.metrics.counters.push_back(telemetry::CounterSnapshot{
+      "policer_overflow_total",
+      "admissions that failed open because the policer slot table was full",
+      policer_->overflows()});
+  const Policer::Occupancy occupancy = policer_->Occupy();
+  snap.metrics.gauges.push_back(telemetry::GaugeSnapshot{
+      "policer_tracked_principals", "principals with a claimed bucket",
+      static_cast<int64_t>(occupancy.tracked)});
+  snap.metrics.gauges.push_back(telemetry::GaugeSnapshot{
+      "policer_over_quota_principals",
+      "principals whose bucket is currently empty",
+      static_cast<int64_t>(occupancy.over_quota)});
+  snap.metrics.gauges.push_back(telemetry::GaugeSnapshot{
+      "policer_throttled_principals",
+      "principals under an explicit per-principal quota override",
+      static_cast<int64_t>(occupancy.throttled)});
   // Spans hold strings the shard thread mutates freely, so they are copied
   // on the shard thread via Inspect.
   for (size_t shard = 0; shard < shards_.size(); ++shard) {

@@ -21,6 +21,7 @@
 #include "common/status.h"
 #include "core/engine.h"
 #include "service/mailbox.h"
+#include "service/policer.h"
 #include "telemetry/reporter.h"
 
 namespace sentinel {
@@ -33,6 +34,31 @@ enum class OverloadPolicy {
   /// Fail fast with AccessOutcome::kOverloaded. Load shedding: callers
   /// stay responsive, excess traffic is refused explicitly.
   kShed,
+};
+
+/// When an over-quota verdict turns into a refusal.
+enum class QuotaEnforcement {
+  /// Work-conserving (the default): over-quota requests still run while the
+  /// shard has headroom, but they may never block for space and are shut
+  /// out of the mailbox's reserved top quarter — at saturation they are
+  /// refused first, and conformant principals keep the PR-5 block/shed
+  /// semantics over the full capacity.
+  kOnOverload,
+  /// Hard cap: an over-quota request is refused immediately at admission,
+  /// idle shard or not. Deterministic (and the only mode with any effect in
+  /// synchronous mode, where there is no queue to overload) — what the
+  /// differential harness's policer arm runs.
+  kAlways,
+};
+
+/// One principal's static quota override (ServiceConfig::quota_overrides).
+struct PrincipalQuota {
+  std::string principal;
+  /// Sustained tokens per second; <= 0 marks the principal explicitly
+  /// unpoliced (exempt from the default quota).
+  double rate_per_s = 0;
+  /// Bucket depth in requests (values < 1 behave as 1).
+  int64_t burst = 1;
 };
 
 /// Shape of an AuthorizationService.
@@ -119,6 +145,36 @@ struct ServiceConfig {
   /// (counted in audit_export_drops_total), never blocks a shard. Must be
   /// > 0 when audit_path is set.
   size_t audit_queue_capacity = 65536;
+  /// Default per-principal quota at the decision-path admission edge:
+  /// sustained tokens per second refilled on read (GCRA — no background
+  /// thread), checked before the mailbox push. 0 (the default) applies no
+  /// default quota; principals can still be throttled individually via
+  /// quota_overrides or the policy's own threshold rules (see
+  /// ThresholdDirective::throttle_rate_per_s). Negative rates are rejected
+  /// by ValidateConfig.
+  double quota_rate_per_s = 0;
+  /// Bucket depth for the default quota, in requests (how large a burst a
+  /// full bucket absorbs). 0 behaves as 1.
+  int64_t quota_burst = 0;
+  /// Static per-principal overrides, applied at construction. rate <= 0
+  /// exempts that principal from the default quota.
+  std::vector<PrincipalQuota> quota_overrides;
+  /// When over-quota verdicts turn into refusals (see QuotaEnforcement).
+  /// kOnOverload with an unbounded mailbox and a static quota is rejected
+  /// by ValidateConfig: nothing would ever be refused.
+  QuotaEnforcement quota_enforcement = QuotaEnforcement::kOnOverload;
+  /// Policer slot-table capacity (principals tracked); must be a power of
+  /// two. Principals beyond it fail open (unpoliced) and are counted.
+  size_t policer_capacity = 1024;
+  /// When non-zero, the policing key is the principal name truncated at the
+  /// first occurrence of this delimiter — "tenant-a/alice" and
+  /// "tenant-a/bob" then share the "tenant-a" bucket (role/tenant
+  /// aggregation). 0 (the default) polices full principal names.
+  char quota_key_delimiter = '\0';
+  /// Nanosecond clock driving refill arithmetic; defaults to the steady
+  /// wall clock. Injectable so tests and the differential harness control
+  /// refill exactly.
+  std::function<int64_t()> quota_clock;
   /// Pauseless policy swaps (the default): ApplyPolicyUpdate validates and
   /// diffs the update once on the caller's thread (PreparePolicyUpdate),
   /// then each shard commits the prebuilt plan as one ordinary exempt-lane
@@ -162,6 +218,15 @@ struct ServiceStats {
   /// attempts rejected at Prepare (validation/diff failure) or Commit.
   uint64_t policy_swaps = 0;
   uint64_t policy_swap_failures = 0;
+  /// Admission policer: requests admitted within quota, over-quota
+  /// verdicts, caller-visible refusals ("overloaded: over quota"), and
+  /// tokens regained by refill-on-read. refused <= over_quota always —
+  /// under kOnOverload an over-quota request is still served while the
+  /// shard has headroom.
+  uint64_t policer_admitted = 0;
+  uint64_t policer_over_quota = 0;
+  uint64_t policer_refused = 0;
+  uint64_t policer_refill_tokens = 0;
 };
 
 /// \brief One observability capture of the whole service: every shard
@@ -352,6 +417,18 @@ class AuthorizationService {
   /// the exporter's own API is thread-safe.
   audit::AuditExporter* audit_exporter() { return audit_.get(); }
 
+  /// The admission policer. Always present; thread-safe. Direct access is
+  /// the operator/test surface (TokensAvailable, Occupy); prefer
+  /// SetPrincipalQuota for installing quotas.
+  Policer& policer() { return *policer_; }
+
+  /// Installs (rate_per_s > 0) or lifts (rate_per_s <= 0, reverting to the
+  /// default quota) a per-principal quota at runtime — the same path the
+  /// policy's threshold rules use to throttle an abusive principal. Takes
+  /// effect on the next admission; never blocks on shard threads.
+  void SetPrincipalQuota(const std::string& principal, double rate_per_s,
+                         int64_t burst);
+
   /// Test-only fault injection: enqueues `fn` on `shard`'s mailbox through
   /// the exempt lane (never shed, never expired) and returns immediately,
   /// without waiting for it to run. While `fn` runs, the shard thread is
@@ -430,9 +507,12 @@ class AuthorizationService {
   /// is the wall-clock budget from submission (<= 0 = none): admission is
   /// bounded by the overload policy, and an envelope still queued past its
   /// deadline is answered kOverloaded without touching the engine.
+  /// `over_quota` marks a request whose principal exceeded its quota: it
+  /// never blocks for space, admits only into the mailbox's non-reserved
+  /// depth, and a refusal is attributed "over quota", not "shed".
   AccessDecision RunOnShard(
       uint32_t shard, const std::function<Decision(AuthorizationEngine&)>& op,
-      Duration deadline_us);
+      Duration deadline_us, bool over_quota = false);
 
   /// Folds a mutator's internal AccessDecision into the typed AdminResult.
   static AdminResult ToAdminResult(const AccessDecision& decision);
@@ -447,12 +527,31 @@ class AuthorizationService {
   bool TryFastPath(const AccessRequest& request, AccessDecision* out);
 
   /// Steady-clock expiry instant in ns for a budget of `deadline_us`
-  /// starting at `submit_ns`; 0 = no deadline.
+  /// starting at `submit_ns`; 0 = no deadline. Saturates at INT64_MAX — a
+  /// huge but valid budget means "effectively never", not signed-overflow
+  /// UB wrapping to an already-expired instant.
   static int64_t DeadlineNanos(Duration deadline_us, int64_t submit_ns);
 
-  /// Overload verdict (shed at admission or expired before dispatch).
-  AccessDecision OverloadDecision(bool shed, uint32_t shard,
+  /// Why a request was answered kOverloaded without reaching an engine.
+  enum class OverloadKind { kShed, kExpired, kOverQuota };
+
+  /// Overload verdict (shed at admission, expired before dispatch, or
+  /// refused over quota).
+  AccessDecision OverloadDecision(OverloadKind kind, uint32_t shard,
                                   int64_t submit_ns) const;
+
+  /// The policing key for `request`: user when present, else session, both
+  /// optionally truncated at quota_key_delimiter (tenant aggregation). The
+  /// view borrows from `request`.
+  std::string_view PrincipalOf(const AccessRequest& request) const;
+
+  /// Policer verdict for `request` (kUnpoliced when policing is inactive).
+  Policer::Verdict AdmitPrincipal(const AccessRequest& request);
+
+  /// Answers one caller-visible over-quota refusal: counters, audit marker,
+  /// decision.
+  AccessDecision RefuseOverQuota(const AccessRequest* request, uint32_t shard,
+                                 int64_t submit_ns);
 
   /// Pushes `fn` to every shard with a fresh epoch and waits for all shards
   /// to apply it. Serialized by admin_mu_. `admin` distinguishes real
@@ -500,6 +599,19 @@ class AuthorizationService {
   /// Overload knobs, frozen at construction.
   bool shed_on_full_ = false;
   Duration default_deadline_ = 0;
+  /// Admission policer — always constructed (rule-driven throttling can
+  /// install quotas at runtime even with no static quota configured); one
+  /// relaxed load per request while inactive.
+  std::unique_ptr<Policer> policer_;
+  /// QuotaEnforcement::kAlways — refuse over-quota at admission.
+  bool quota_always_ = false;
+  /// Tenant-aggregation delimiter (0 = full principal names).
+  char quota_key_delimiter_ = '\0';
+  /// Ring depth over-quota requests may fill under kOnOverload: capacity
+  /// minus the reserved top quarter (0 with an unbounded mailbox). The
+  /// reservation is what makes shedding weighted — conformant principals
+  /// always find headroom an abuser cannot occupy.
+  size_t over_quota_max_depth_ = 0;
   /// Zero-hop read path enabled (config flag, cache on, not synchronous).
   bool fastpath_ = false;
   /// Async audit writer; null when audit_path was empty. Created before the
@@ -517,6 +629,8 @@ class AuthorizationService {
   telemetry::Counter* requests_counter_ = nullptr;  // Owned by the registry.
   telemetry::Counter* batches_counter_ = nullptr;
   telemetry::Counter* broadcasts_counter_ = nullptr;
+  /// Caller-visible over-quota refusals ("overloaded: over quota").
+  telemetry::Counter* policer_refused_counter_ = nullptr;
   telemetry::Gauge* sessions_gauge_ = nullptr;
   telemetry::Histogram* batch_size_hist_ = nullptr;
   /// Sampled fast-path hit latency. Same name and bounds as the engines'

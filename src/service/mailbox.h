@@ -105,7 +105,7 @@ class Mailbox {
       if (closed_.load(std::memory_order_relaxed)) return false;
       exempt_.push_back(std::move(item));
       exempt_size_.store(exempt_.size(), std::memory_order_relaxed);
-      UpdatePeak(ring_size_.load(std::memory_order_relaxed) + exempt_.size());
+      UpdatePeak(total_size_.fetch_add(1, std::memory_order_relaxed) + 1);
     }
     cv_.notify_one();
     return true;
@@ -119,11 +119,19 @@ class Mailbox {
   /// timebase); 0 means wait indefinitely. On success `*depth_after` (when
   /// non-null) receives the queue depth including the new item — the
   /// producer-side congestion signal.
+  ///
+  /// `max_depth` (when nonzero and below the configured capacity) tightens
+  /// the admission bound for THIS push only — the weighted-shedding hook:
+  /// an over-quota producer admits against the reduced bound, so the top
+  /// of the ring stays reserved for conformant traffic. Ignored on the
+  /// unbounded lane, which never sheds anyway.
   PushResult PushBounded(T item, bool block, int64_t deadline_ns,
-                         size_t* depth_after = nullptr) {
+                         size_t* depth_after = nullptr,
+                         size_t max_depth = 0) {
     if (closed_.load(std::memory_order_acquire)) return PushResult::kClosed;
     const size_t cap = capacity_.load(std::memory_order_relaxed);
-    const size_t bound = cap > 0 ? cap : slot_count_;
+    size_t bound = cap > 0 ? cap : slot_count_;
+    if (cap > 0 && max_depth > 0 && max_depth < bound) bound = max_depth;
     size_t ring_after = 0;
     if (TryAdmit(bound, &ring_after)) {
       // Admitted lock-free: re-check closed (seq_cst, pairs with Close and
@@ -143,10 +151,17 @@ class Mailbox {
       const PushResult parked = ParkForSpace(bound, deadline_ns, &ring_after);
       if (parked != PushResult::kOk) return parked;
     }
-    Publish(std::move(item));
-    const size_t after =
-        ring_after + exempt_size_.load(std::memory_order_relaxed);
+    // The total-size increment happens after the admission won (so the
+    // ring's contribution to the peak can never exceed the capacity, even
+    // transiently) and before the publish (so the consumer's matching
+    // decrement — which follows its read of the published slot — cannot
+    // land first). The fetch_add result is therefore an exact queued-count
+    // observation, which is what makes peak_depth() a measurement instead
+    // of a racy two-counter approximation.
+    const size_t after = total_size_.fetch_add(1, std::memory_order_relaxed)
+                         + 1;
     UpdatePeak(after);
+    Publish(std::move(item));
     if (depth_after != nullptr) *depth_after = after;
     WakeConsumer();
     return PushResult::kOk;
@@ -161,11 +176,14 @@ class Mailbox {
     for (;;) {
       bool got = false;
       if (!exempt_.empty()) {
+        size_t exempt_moved = 0;
         while (!exempt_.empty()) {
           out->push_back(std::move(exempt_.front()));
           exempt_.pop_front();
+          ++exempt_moved;
         }
         exempt_size_.store(0, std::memory_order_relaxed);
+        total_size_.fetch_sub(exempt_moved, std::memory_order_relaxed);
         got = true;
       }
       size_t moved = 0;
@@ -177,6 +195,11 @@ class Mailbox {
         ++moved;
       }
       if (moved > 0) {
+        // Total before ring_size_: a producer's total increment follows
+        // its admission, so keeping the decrements in the same order
+        // bounds the ring's total-size contribution by ring_size_ (and
+        // hence by the capacity) at every instant.
+        total_size_.fetch_sub(moved, std::memory_order_relaxed);
         // After the moves: the RMW chain on ring_size_ hands the freed
         // slots to the next admitted producers.
         ring_size_.fetch_sub(moved, std::memory_order_acq_rel);
@@ -222,9 +245,14 @@ class Mailbox {
            exempt_size_.load(std::memory_order_relaxed);
   }
 
-  /// High-water mark of the queued-envelope count since construction.
-  /// Bounded-lane admission is exact: the ring contribution never exceeds
-  /// the capacity, even transiently.
+  /// High-water mark of the queued-envelope count since construction —
+  /// exact, not approximate: every enqueue on either lane increments one
+  /// shared total counter (post-admission for the ring, under the mutex
+  /// for the exempt lane) and takes its peak observation from that
+  /// fetch_add result, so concurrent ring and exempt traffic can never
+  /// under-report the combined high-water mark the way summing two
+  /// independently-read counters could. The ring contribution never
+  /// exceeds the capacity, even transiently.
   size_t peak_depth() const {
     return peak_depth_.load(std::memory_order_relaxed);
   }
@@ -286,7 +314,7 @@ class Mailbox {
       if (closed_.load(std::memory_order_relaxed)) return PushResult::kClosed;
       exempt_.push_back(std::move(item));
       exempt_size_.store(exempt_.size(), std::memory_order_relaxed);
-      after = ring_size_.load(std::memory_order_relaxed) + exempt_.size();
+      after = total_size_.fetch_add(1, std::memory_order_relaxed) + 1;
       UpdatePeak(after);
     }
     if (depth_after != nullptr) *depth_after = after;
@@ -355,6 +383,11 @@ class Mailbox {
   std::atomic<size_t> ring_size_{0};  // Exact admitted-not-consumed count.
   std::atomic<uint64_t> tail_{0};     // Next ring position to claim.
   std::atomic<size_t> exempt_size_{0};
+  /// Exact both-lane queued count: incremented once per enqueue (after ring
+  /// admission / under the exempt mutex), decremented once per consumed
+  /// item (before the matching ring_size_ release). Sole input to
+  /// peak_depth_.
+  std::atomic<size_t> total_size_{0};
   std::atomic<size_t> peak_depth_{0};
   std::atomic<bool> consumer_waiting_{false};
   std::atomic<bool> closed_{false};

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/decision_cache.h"
 #include "core/engine.h"
@@ -223,6 +224,47 @@ TEST_F(CacheTest, ThresholdPolicyDisablesNegativeCachingOnly) {
   EXPECT_EQ(engine_.decision_cache_hits(), 0u);
 
   // Positive verdicts raise nothing, so they still cache.
+  ASSERT_TRUE(engine_.AddActiveRole("dave", "s1", "Doctor").allowed);
+  EXPECT_TRUE(engine_.CheckAccess("s1", "read", "chart").allowed);
+  EXPECT_TRUE(engine_.CheckAccess("s1", "read", "chart").allowed);
+  EXPECT_EQ(engine_.decision_cache_hits(), 1u);
+}
+
+/// Regression from the policed differential arm: a *throttle-only*
+/// threshold (no alert actions) also consumes rbac.accessDenied, so it
+/// must gate negative caching exactly like an alert threshold. A replayed
+/// (cached) deny would starve the per-principal denial window and the
+/// admission throttle would never trip.
+TEST_F(CacheTest, ThrottleOnlyThresholdAlsoDisablesNegativeCaching) {
+  const char* text = R"(
+policy "cachelab-throttle"
+
+role Doctor { permission: read(chart) }
+
+user dave { assign: Doctor }
+
+threshold slowdown { count: 3  window: 1m  throttle-rate: 0.5 }
+)";
+  auto policy = PolicyParser::Parse(text);
+  ASSERT_TRUE(policy.ok()) << policy.status().message();
+  Load(*policy);
+
+  std::vector<std::string> throttled;
+  engine_.set_throttle_sink(
+      [&throttled](const std::string& user, double rate_per_s,
+                   int64_t burst) { throttled.push_back(user); });
+  ASSERT_TRUE(engine_.CreateSession("dave", "s1").allowed);
+
+  // Three identical denials: each must dispatch (zero negative-cache
+  // hits) so each feeds the keyed window; the third trips the throttle.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(engine_.CheckAccess("s1", "write", "chart").allowed) << i;
+  }
+  EXPECT_EQ(engine_.decision_cache_hits(), 0u);
+  ASSERT_EQ(throttled.size(), 1u);
+  EXPECT_EQ(throttled[0], "dave");
+
+  // Positive verdicts still cache — gating is denial-only.
   ASSERT_TRUE(engine_.AddActiveRole("dave", "s1", "Doctor").allowed);
   EXPECT_TRUE(engine_.CheckAccess("s1", "read", "chart").allowed);
   EXPECT_TRUE(engine_.CheckAccess("s1", "read", "chart").allowed);

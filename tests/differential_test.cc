@@ -12,6 +12,7 @@
 #include "baseline/direct_enforcer.h"
 #include "core/engine.h"
 #include "service/authorization_service.h"
+#include "service/policer.h"
 #include "tests/test_util.h"
 #include "workload/policy_gen.h"
 #include "workload/request_gen.h"
@@ -540,6 +541,125 @@ TEST(CachedServiceDifferentialTest, FastPathTenThousandOpsZeroDivergences) {
   std::cerr << "[harness] fast-path differential seed: --seed="
             << g_harness_seed << "\n";
   RunCachedServiceHarness(g_harness_seed, /*fastpath=*/true);
+}
+
+/// The policed arm: the same 12k-op lockstep with per-principal admission
+/// quotas on. The oracle side runs its own bare Policer with identical
+/// quotas and the same injected logical clock; a service refusal must
+/// happen exactly when the oracle policer refuses (and carry the typed
+/// "over quota" reason), and every admitted request must still match the
+/// DirectEnforcer verdict — zero divergences in either direction.
+/// QuotaEnforcement::kAlways keeps refusals deterministic (independent of
+/// mailbox depth), and the fast path stays off so every check passes the
+/// admission edge on both sides.
+TEST(CachedServiceDifferentialTest, PolicedAdmissionZeroDivergences) {
+  const uint64_t seed = g_harness_seed;
+  std::cerr << "[harness] policed differential seed: --seed=" << seed
+            << "\n";
+  const Policy policy = GeneratePolicy(CachedHarnessPolicyParams(seed));
+  ASSERT_TRUE(policy.Validate().ok());
+
+  RequestGenParams request_params;
+  request_params.seed = seed;
+  request_params.num_requests = 12000;
+  request_params.max_advance = 45 * kMinute + 1;
+  const std::vector<Request> requests =
+      RequestGenerator(policy, request_params).Generate();
+
+  // One logical admission clock drives both policers; it advances 1ms per
+  // op, decoupled from the harness's simulated RBAC time.
+  auto logical_now = std::make_shared<std::atomic<int64_t>>(0);
+  const Policer::Quota quota{/*rate_per_s=*/50.0, /*burst=*/2};
+
+  ServiceConfig config;
+  config.num_shards = 3;
+  config.start_time = testutil::Noon();
+  config.decision_cache_capacity = 4096;
+  config.quota_rate_per_s = quota.rate_per_s;
+  config.quota_burst = quota.burst;
+  config.quota_enforcement = QuotaEnforcement::kAlways;
+  config.quota_clock = [logical_now] { return logical_now->load(); };
+  auto service_or = AuthorizationService::Create(config);
+  ASSERT_TRUE(service_or.ok());
+  AuthorizationService& service = **service_or;
+  ASSERT_TRUE(service.LoadPolicy(policy).ok());
+  ServiceAdapter policed{service};
+
+  SimulatedClock oracle_clock(testutil::Noon());
+  DirectEnforcer oracle(&oracle_clock);
+  ASSERT_TRUE(oracle.LoadPolicy(policy).ok());
+  Policer::Options oracle_options;
+  oracle_options.default_quota = quota;
+  oracle_options.clock = [logical_now] { return logical_now->load(); };
+  Policer oracle_policer(std::move(oracle_options));
+
+  constexpr const char* kOverQuotaReason = "overloaded: over quota";
+  uint64_t refused = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    logical_now->fetch_add(1'000'000);  // 1ms per op.
+    const Request& request = requests[i];
+    if (request.kind != RequestKind::kCheckAccess) {
+      // Admin traffic is never policed; both sides mutate in lockstep.
+      const Decision got = ApplyRequest(policed, request);
+      const Decision want = ApplyRequest(oracle, request);
+      ASSERT_EQ(got.allowed, want.allowed)
+          << "--seed=" << seed << " request #" << i << " "
+          << RequestKindToString(request.kind) << " user=" << request.user
+          << "\n  policed service: " << got.reason
+          << "\n  oracle: " << want.reason;
+      continue;
+    }
+    // The service keys on the session (no user on the wire request); the
+    // oracle policer must see the identical principal and clock.
+    const bool refuse = oracle_policer.Admit(request.session) ==
+                        Policer::Verdict::kOverQuota;
+    const Decision got = ApplyRequest(policed, request);
+    Decision want;
+    if (refuse) {
+      ++refused;
+      ASSERT_FALSE(got.allowed) << "--seed=" << seed << " request #" << i;
+      ASSERT_EQ(got.reason, kOverQuotaReason)
+          << "--seed=" << seed << " request #" << i
+          << " session=" << request.session;
+    } else {
+      want = ApplyRequest(oracle, request);
+      ASSERT_EQ(got.allowed, want.allowed)
+          << "--seed=" << seed << " request #" << i
+          << " session=" << request.session << " op=" << request.operation
+          << " obj=" << request.object
+          << "\n  policed service: rule=" << got.rule
+          << " reason=" << got.reason << "\n  oracle: rule=" << want.rule
+          << " reason=" << want.reason;
+    }
+    // Replay at the same instant: the token spent (or verdict issued)
+    // above makes the replay's own admission verdict — still in lockstep.
+    const bool replay_refuse = oracle_policer.Admit(request.session) ==
+                               Policer::Verdict::kOverQuota;
+    const Decision again = ApplyRequest(policed, request);
+    if (replay_refuse) {
+      ++refused;
+      ASSERT_FALSE(again.allowed)
+          << "--seed=" << seed << " replay of request #" << i;
+      ASSERT_EQ(again.reason, kOverQuotaReason)
+          << "--seed=" << seed << " replay of request #" << i;
+    } else {
+      // An admitted replay implies the original was admitted too (a
+      // refusal never refills the bucket), so `want` is populated.
+      ASSERT_FALSE(refuse);
+      ASSERT_EQ(again.allowed, want.allowed)
+          << "--seed=" << seed << " replay of request #" << i;
+    }
+  }
+
+  // The arm only proves something if both verdict classes occurred.
+  const ServiceStats stats = service.Stats();
+  EXPECT_GT(stats.policer_admitted, 0u) << "--seed=" << seed;
+  EXPECT_GT(stats.policer_over_quota, 0u) << "--seed=" << seed;
+  EXPECT_EQ(stats.policer_refused, refused) << "--seed=" << seed;
+  EXPECT_EQ(stats.policer_over_quota, oracle_policer.over_quota_verdicts())
+      << "--seed=" << seed;
+  EXPECT_EQ(stats.policer_admitted, oracle_policer.admitted())
+      << "--seed=" << seed;
 }
 
 /// Same lockstep over the synchronous single-shard mode, where the cache

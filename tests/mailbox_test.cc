@@ -235,5 +235,46 @@ TEST(MailboxTest, DepthStaysBoundedUnderShedPressure) {
   EXPECT_EQ(consumed.load(), admitted.load());  // Drained, not dropped.
 }
 
+TEST(MailboxTest, MailboxPeakDepthIsExactAcrossBothLanes) {
+  // With no consumer, the high-water mark must land EXACTLY on the total
+  // enqueued count even under concurrent mixed-lane producers — peak depth
+  // is measured from one linearizable counter, not approximated from the
+  // two per-lane sizes (which could each read below their joint sum).
+  IntBox mailbox;
+  mailbox.set_capacity(4096);
+  constexpr int kRingProducers = 3;
+  constexpr int kExemptProducers = 2;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kRingProducers; ++p) {
+    producers.emplace_back([&mailbox] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_EQ(mailbox.PushBounded(i, /*block=*/false, 0),
+                  PushResult::kOk);
+      }
+    });
+  }
+  for (int p = 0; p < kExemptProducers; ++p) {
+    producers.emplace_back([&mailbox] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(mailbox.Push(i));
+      }
+    });
+  }
+  for (std::thread& thread : producers) thread.join();
+
+  constexpr size_t kTotal =
+      static_cast<size_t>(kRingProducers + kExemptProducers) * kPerProducer;
+  EXPECT_EQ(mailbox.depth(), kTotal);
+  EXPECT_EQ(mailbox.peak_depth(), kTotal);
+
+  // Draining moves the depth down without disturbing the recorded peak.
+  std::deque<int> batch;
+  ASSERT_TRUE(mailbox.PopAll(&batch));
+  EXPECT_EQ(batch.size(), kTotal);
+  EXPECT_EQ(mailbox.depth(), 0u);
+  EXPECT_EQ(mailbox.peak_depth(), kTotal);
+}
+
 }  // namespace
 }  // namespace sentinel

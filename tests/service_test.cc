@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -542,6 +543,41 @@ TEST(ServiceOverloadTest, DefaultDeadlineAppliesAndPerRequestOverrides) {
   EXPECT_EQ(patient_decision.outcome, AccessOutcome::kDecided);
   EXPECT_TRUE(patient_decision.allowed);
   EXPECT_EQ(service.Stats().expired, 1u);
+}
+
+TEST(ServiceOverloadTest, HugeDeadlineSaturatesInsteadOfWrapping) {
+  // Regression: `submit_ns + deadline_us * 1000` used to overflow for huge
+  // budgets — signed UB that in practice wrapped negative, turning "wait
+  // practically forever" into "already expired on arrival". The arithmetic
+  // now saturates to INT64_MAX at both steps.
+  AuthorizationService service(OverloadConfig(
+      /*capacity=*/0, OverloadPolicy::kBlock, /*default_deadline=*/0));
+  ASSERT_TRUE(service.LoadPolicy(testutil::EnterpriseXyzPolicy()).ok());
+  ASSERT_TRUE(service.CreateSession("alice", "s1").ok());
+  ASSERT_TRUE(service.AddActiveRole("alice", "s1", "PM").ok());
+
+  constexpr Duration kMaxBudget = std::numeric_limits<Duration>::max();
+  // The saturating cases straddle the first guard (kMax/1000) exactly; the
+  // largest in-range budget exercises the second (submit_ns headroom).
+  for (const Duration budget :
+       {kMaxBudget, kMaxBudget / 1000 + 1, kMaxBudget / 1000}) {
+    AccessRequest patient{"alice", "s1", "read", "ledger", ""};
+    patient.deadline = budget;
+    const AccessDecision decision = service.CheckAccess(patient);
+    EXPECT_EQ(decision.outcome, AccessOutcome::kDecided) << budget;
+    EXPECT_TRUE(decision.allowed) << budget;
+  }
+
+  // The batch path resolves deadlines through the same helper.
+  AccessRequest dated{"alice", "s1", "read", "ledger", ""};
+  dated.deadline = kMaxBudget;
+  const std::vector<AccessRequest> batch = {dated, dated};
+  const std::vector<AccessDecision> decisions =
+      service.CheckAccessBatch(batch);
+  for (const AccessDecision& decision : decisions) {
+    EXPECT_EQ(decision.outcome, AccessOutcome::kDecided);
+  }
+  EXPECT_EQ(service.Stats().expired, 0u);
 }
 
 TEST(ServiceOverloadTest, BatchReportsPerItemOutcomes) {
